@@ -1,0 +1,178 @@
+//! Location-accuracy analyses (Figures 10–13).
+
+use crate::hist::Histogram;
+use mps_types::{LocationProvider, Observation};
+use std::fmt;
+
+/// The paper's accuracy buckets (metres): the figures read off the
+/// `[6, 20)`, `[20, 50)` and just-below-100 ranges.
+pub const ACCURACY_EDGES_M: [f64; 9] =
+    [0.0, 6.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0];
+
+/// Which observations an accuracy report covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProviderFilter {
+    /// All localized observations (Figure 10).
+    #[default]
+    All,
+    /// Only fixes from one provider (Figures 11–13).
+    Only(LocationProvider),
+}
+
+/// Distribution of location-accuracy estimates (one of Figures 10–13).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyReport {
+    /// The filter this report was built with.
+    pub filter: ProviderFilter,
+    /// Histogram over [`ACCURACY_EDGES_M`].
+    pub histogram: Histogram,
+    /// Localized observations matching the filter.
+    pub matching: u64,
+    /// All localized observations (the share denominator).
+    pub localized_total: u64,
+}
+
+impl AccuracyReport {
+    /// Builds the report over `observations`.
+    pub fn build(observations: &[Observation], filter: ProviderFilter) -> Self {
+        let mut histogram = Histogram::new(ACCURACY_EDGES_M.to_vec());
+        let mut matching = 0;
+        let mut localized_total = 0;
+        for obs in observations {
+            let Some(fix) = &obs.location else { continue };
+            localized_total += 1;
+            let keep = match filter {
+                ProviderFilter::All => true,
+                ProviderFilter::Only(p) => fix.provider == p,
+            };
+            if keep {
+                matching += 1;
+                histogram.push(fix.accuracy_m);
+            }
+        }
+        Self {
+            filter,
+            histogram,
+            matching,
+            localized_total,
+        }
+    }
+
+    /// This provider's share of all localized observations (1.0 for
+    /// [`ProviderFilter::All`]).
+    pub fn share_of_localized(&self) -> f64 {
+        if self.localized_total == 0 {
+            0.0
+        } else {
+            self.matching as f64 / self.localized_total as f64
+        }
+    }
+
+    /// Fraction of matching fixes with accuracy in `[lo, hi)` metres.
+    pub fn fraction_in(&self, lo: f64, hi: f64) -> f64 {
+        if self.matching == 0 {
+            return 0.0;
+        }
+        let counts = self.histogram.counts();
+        let edges = self.histogram.edges();
+        let mut n = 0u64;
+        for i in 0..counts.len() {
+            if edges[i] >= lo && edges[i + 1] <= hi {
+                n += counts[i];
+            }
+        }
+        n as f64 / self.matching as f64
+    }
+}
+
+impl fmt::Display for AccuracyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self.filter {
+            ProviderFilter::All => "all providers".to_owned(),
+            ProviderFilter::Only(p) => p.to_string(),
+        };
+        writeln!(
+            f,
+            "Location accuracy ({label}): {} fixes, {:.1}% of localized",
+            self.matching,
+            self.share_of_localized() * 100.0
+        )?;
+        write!(f, "{}", self.histogram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_types::{DeviceModel, GeoPoint, LocationFix, SimTime, SoundLevel};
+
+    fn obs(provider: Option<(LocationProvider, f64)>) -> Observation {
+        let mut b = Observation::builder()
+            .device(1.into())
+            .user(1.into())
+            .model(DeviceModel::LgeNexus5)
+            .captured_at(SimTime::EPOCH)
+            .spl(SoundLevel::new(50.0));
+        if let Some((p, acc)) = provider {
+            b = b.location(LocationFix::new(GeoPoint::PARIS, acc, p));
+        }
+        b.build()
+    }
+
+    fn sample_set() -> Vec<Observation> {
+        vec![
+            obs(None),
+            obs(Some((LocationProvider::Gps, 10.0))),
+            obs(Some((LocationProvider::Network, 30.0))),
+            obs(Some((LocationProvider::Network, 45.0))),
+            obs(Some((LocationProvider::Network, 95.0))),
+            obs(Some((LocationProvider::Fused, 300.0))),
+        ]
+    }
+
+    #[test]
+    fn all_report_counts_localized_only() {
+        let r = AccuracyReport::build(&sample_set(), ProviderFilter::All);
+        assert_eq!(r.matching, 5);
+        assert_eq!(r.localized_total, 5);
+        assert_eq!(r.share_of_localized(), 1.0);
+        assert_eq!(r.histogram.total(), 5);
+    }
+
+    #[test]
+    fn provider_shares() {
+        let set = sample_set();
+        let gps = AccuracyReport::build(&set, ProviderFilter::Only(LocationProvider::Gps));
+        assert_eq!(gps.matching, 1);
+        assert!((gps.share_of_localized() - 0.2).abs() < 1e-12);
+        let net = AccuracyReport::build(&set, ProviderFilter::Only(LocationProvider::Network));
+        assert!((net.share_of_localized() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_in_ranges() {
+        let set = sample_set();
+        let net = AccuracyReport::build(&set, ProviderFilter::Only(LocationProvider::Network));
+        assert!((net.fraction_in(20.0, 50.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((net.fraction_in(50.0, 100.0) - 1.0 / 3.0).abs() < 1e-12);
+        let gps = AccuracyReport::build(&set, ProviderFilter::Only(LocationProvider::Gps));
+        assert_eq!(gps.fraction_in(6.0, 20.0), 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        let r = AccuracyReport::build(&[], ProviderFilter::All);
+        assert_eq!(r.matching, 0);
+        assert_eq!(r.share_of_localized(), 0.0);
+        assert_eq!(r.fraction_in(0.0, 5000.0), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_provider_and_share() {
+        let set = sample_set();
+        let r = AccuracyReport::build(&set, ProviderFilter::Only(LocationProvider::Gps));
+        let s = r.to_string();
+        assert!(s.contains("gps"));
+        assert!(s.contains("20.0%"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Transmission-delay analysis (Figure 17).
+
+use mps_simcore::stats::cdf_at;
+use mps_types::{AppVersion, Observation};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The thresholds (seconds) at which the paper reads its delay CDF:
+/// 10 s, 1 min, 10 min, 1 h, 2 h.
+pub const DELAY_EDGES_S: [f64; 5] = [10.0, 60.0, 600.0, 3_600.0, 7_200.0];
+
+/// Per-app-version empirical CDF of transmission delays (arrival −
+/// capture), Figure 17.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayReport {
+    /// Version → sorted delays in seconds.
+    delays: BTreeMap<AppVersion, Vec<f64>>,
+}
+
+impl DelayReport {
+    /// Builds the report from delivered observations (undelivered ones
+    /// are skipped; they have no delay yet).
+    pub fn build(observations: &[Observation]) -> Self {
+        let mut delays: BTreeMap<AppVersion, Vec<f64>> = BTreeMap::new();
+        for obs in observations {
+            if let Some(delay) = obs.delay() {
+                delays
+                    .entry(obs.app_version)
+                    .or_default()
+                    .push(delay.as_secs_f64().max(0.0));
+            }
+        }
+        for list in delays.values_mut() {
+            list.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+        }
+        Self { delays }
+    }
+
+    /// Versions present in the data, oldest first.
+    pub fn versions(&self) -> Vec<AppVersion> {
+        self.delays.keys().copied().collect()
+    }
+
+    /// Number of delivered observations for a version.
+    pub fn count(&self, version: AppVersion) -> usize {
+        self.delays.get(&version).map_or(0, Vec::len)
+    }
+
+    /// CDF value at `threshold_s` seconds for a version (fraction of
+    /// observations delivered within the threshold).
+    pub fn cdf_at(&self, version: AppVersion, threshold_s: f64) -> f64 {
+        self.delays
+            .get(&version)
+            .map_or(0.0, |sorted| cdf_at(sorted, threshold_s))
+    }
+
+    /// Fraction of a version's observations delayed beyond two hours —
+    /// the paper's headline disconnection number (≈35 % for v1.2.9,
+    /// ≈45 % for v1.3).
+    pub fn beyond_two_hours(&self, version: AppVersion) -> f64 {
+        1.0 - self.cdf_at(version, 7_200.0)
+    }
+
+    /// Median delay in seconds, `None` for an absent version.
+    pub fn median_s(&self, version: AppVersion) -> Option<f64> {
+        let sorted = self.delays.get(&version)?;
+        if sorted.is_empty() {
+            return None;
+        }
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+impl fmt::Display for DelayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<8}", "version")?;
+        for edge in DELAY_EDGES_S {
+            let label = if edge < 60.0 {
+                format!("≤{edge:.0}s")
+            } else if edge < 3600.0 {
+                format!("≤{:.0}min", edge / 60.0)
+            } else {
+                format!("≤{:.0}h", edge / 3600.0)
+            };
+            write!(f, " {label:>8}")?;
+        }
+        writeln!(f, " {:>8} {:>10}", ">2h", "n")?;
+        for version in self.versions() {
+            write!(f, "{:<8}", version.to_string())?;
+            for edge in DELAY_EDGES_S {
+                write!(f, " {:>7.1}%", self.cdf_at(version, edge) * 100.0)?;
+            }
+            writeln!(
+                f,
+                " {:>7.1}% {:>10}",
+                self.beyond_two_hours(version) * 100.0,
+                self.count(version)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_types::{DeviceModel, SimDuration, SimTime, SoundLevel};
+
+    fn obs(version: AppVersion, delay_s: Option<i64>) -> Observation {
+        let captured = SimTime::from_hms(1, 12, 0, 0);
+        let mut b = Observation::builder()
+            .device(1.into())
+            .user(1.into())
+            .model(DeviceModel::LgeNexus5)
+            .captured_at(captured)
+            .spl(SoundLevel::new(50.0))
+            .app_version(version);
+        if let Some(s) = delay_s {
+            b = b.arrived_at(captured + SimDuration::from_secs(s));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn cdf_reads_correctly() {
+        let set = vec![
+            obs(AppVersion::V1_2_9, Some(5)),
+            obs(AppVersion::V1_2_9, Some(8)),
+            obs(AppVersion::V1_2_9, Some(120)),
+            obs(AppVersion::V1_2_9, Some(10_000)),
+        ];
+        let r = DelayReport::build(&set);
+        assert_eq!(r.count(AppVersion::V1_2_9), 4);
+        assert_eq!(r.cdf_at(AppVersion::V1_2_9, 10.0), 0.5);
+        assert_eq!(r.cdf_at(AppVersion::V1_2_9, 600.0), 0.75);
+        assert_eq!(r.beyond_two_hours(AppVersion::V1_2_9), 0.25);
+        assert_eq!(r.median_s(AppVersion::V1_2_9), Some(120.0));
+    }
+
+    #[test]
+    fn undelivered_observations_are_skipped() {
+        let set = vec![obs(AppVersion::V1_1, None), obs(AppVersion::V1_1, Some(3))];
+        let r = DelayReport::build(&set);
+        assert_eq!(r.count(AppVersion::V1_1), 1);
+    }
+
+    #[test]
+    fn versions_separated() {
+        let set = vec![
+            obs(AppVersion::V1_1, Some(30)),
+            obs(AppVersion::V1_3, Some(1_800)),
+        ];
+        let r = DelayReport::build(&set);
+        assert_eq!(r.versions(), vec![AppVersion::V1_1, AppVersion::V1_3]);
+        assert_eq!(r.cdf_at(AppVersion::V1_1, 60.0), 1.0);
+        assert_eq!(r.cdf_at(AppVersion::V1_3, 60.0), 0.0);
+        assert_eq!(r.cdf_at(AppVersion::V1_3, 3_600.0), 1.0);
+    }
+
+    #[test]
+    fn absent_version_is_zero() {
+        let r = DelayReport::build(&[]);
+        assert_eq!(r.cdf_at(AppVersion::V1_1, 10.0), 0.0);
+        assert_eq!(r.count(AppVersion::V1_1), 0);
+        assert_eq!(r.median_s(AppVersion::V1_1), None);
+        assert!(r.versions().is_empty());
+    }
+
+    #[test]
+    fn display_has_version_rows() {
+        let set = vec![obs(AppVersion::V1_2_9, Some(5))];
+        let s = DelayReport::build(&set).to_string();
+        assert!(s.contains("v1.2.9"));
+        assert!(s.contains(">2h"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Quantified-self noise exposure (Section 4.2, experience 1).
+//!
+//! "SoundCity shows the individual's daily and monthly exposure to noise
+//! in relation with its impact on health." Exposure is the
+//! energy-equivalent continuous level (Leq) of a user's measurements over
+//! a day or month, classified against the WHO community-noise guidance
+//! the paper cites [WHO 1999]: serious annoyance outdoors starts around
+//! 55 dB(A), and sustained exposure above ~70 dB(A) risks hearing and
+//! cardiovascular effects.
+
+use mps_types::{Observation, SoundLevel, UserId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// WHO-guidance health band of an exposure level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthBand {
+    /// Below ~55 dB(A): little daytime annoyance.
+    Moderate,
+    /// 55–70 dB(A): serious annoyance, sleep and learning interference.
+    Loud,
+    /// Above ~70 dB(A): long-term health risk (hearing, cardiovascular).
+    Harmful,
+}
+
+impl HealthBand {
+    /// Classifies an exposure level.
+    pub fn of(level: SoundLevel) -> HealthBand {
+        let db = level.db();
+        if db < 55.0 {
+            HealthBand::Moderate
+        } else if db < 70.0 {
+            HealthBand::Loud
+        } else {
+            HealthBand::Harmful
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthBand::Moderate => "moderate",
+            HealthBand::Loud => "loud",
+            HealthBand::Harmful => "harmful",
+        }
+    }
+}
+
+impl fmt::Display for HealthBand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One user's daily/monthly noise-exposure summary — the app's
+/// quantified-self screens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExposureReport {
+    /// The user this report describes.
+    pub user: UserId,
+    /// `(day, Leq, sample count)` rows, in day order.
+    pub daily: Vec<(i64, SoundLevel, usize)>,
+    /// `(month, Leq, sample count)` rows, in month order.
+    pub monthly: Vec<(i64, SoundLevel, usize)>,
+}
+
+impl ExposureReport {
+    /// Builds the report for `user` from a dataset (other users'
+    /// observations are ignored).
+    pub fn build(observations: &[Observation], user: UserId) -> Self {
+        let mut per_day: BTreeMap<i64, Vec<SoundLevel>> = BTreeMap::new();
+        let mut per_month: BTreeMap<i64, Vec<SoundLevel>> = BTreeMap::new();
+        for obs in observations.iter().filter(|o| o.user == user) {
+            per_day.entry(obs.captured_at.day()).or_default().push(obs.spl);
+            per_month
+                .entry(obs.captured_at.month())
+                .or_default()
+                .push(obs.spl);
+        }
+        let daily = per_day
+            .into_iter()
+            .map(|(day, levels)| (day, SoundLevel::leq(&levels), levels.len()))
+            .collect();
+        let monthly = per_month
+            .into_iter()
+            .map(|(month, levels)| (month, SoundLevel::leq(&levels), levels.len()))
+            .collect();
+        Self {
+            user,
+            daily,
+            monthly,
+        }
+    }
+
+    /// The exposure Leq on one day, if the user contributed then.
+    pub fn day_leq(&self, day: i64) -> Option<SoundLevel> {
+        self.daily
+            .iter()
+            .find(|(d, _, _)| *d == day)
+            .map(|(_, leq, _)| *leq)
+    }
+
+    /// Days on which the user's exposure fell in each band:
+    /// `(moderate, loud, harmful)`.
+    pub fn band_days(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for (_, leq, _) in &self.daily {
+            match HealthBand::of(*leq) {
+                HealthBand::Moderate => counts.0 += 1,
+                HealthBand::Loud => counts.1 += 1,
+                HealthBand::Harmful => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Whether the user contributed anything.
+    pub fn is_empty(&self) -> bool {
+        self.daily.is_empty()
+    }
+}
+
+impl fmt::Display for ExposureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "noise exposure of {}", self.user)?;
+        writeln!(f, "{:<7} {:>10} {:>8} {:>10}", "day", "Leq", "n", "band")?;
+        for (day, leq, n) in &self.daily {
+            writeln!(
+                f,
+                "{day:<7} {:>10} {n:>8} {:>10}",
+                leq.to_string(),
+                HealthBand::of(*leq)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_types::{DeviceModel, SimTime};
+
+    fn obs(user: u64, day: i64, spl: f64) -> Observation {
+        Observation::builder()
+            .device(user.into())
+            .user(user.into())
+            .model(DeviceModel::LgeNexus5)
+            .captured_at(SimTime::from_hms(day, 12, 0, 0))
+            .spl(SoundLevel::new(spl))
+            .build()
+    }
+
+    #[test]
+    fn bands_classify_who_thresholds() {
+        assert_eq!(HealthBand::of(SoundLevel::new(40.0)), HealthBand::Moderate);
+        assert_eq!(HealthBand::of(SoundLevel::new(54.9)), HealthBand::Moderate);
+        assert_eq!(HealthBand::of(SoundLevel::new(55.0)), HealthBand::Loud);
+        assert_eq!(HealthBand::of(SoundLevel::new(69.9)), HealthBand::Loud);
+        assert_eq!(HealthBand::of(SoundLevel::new(70.0)), HealthBand::Harmful);
+        assert!(HealthBand::Moderate < HealthBand::Harmful);
+    }
+
+    #[test]
+    fn report_filters_user_and_buckets_days() {
+        let set = vec![
+            obs(1, 0, 50.0),
+            obs(1, 0, 50.0),
+            obs(1, 1, 80.0),
+            obs(2, 0, 90.0), // other user
+        ];
+        let report = ExposureReport::build(&set, 1.into());
+        assert_eq!(report.daily.len(), 2);
+        assert_eq!(report.daily[0].2, 2);
+        assert!((report.day_leq(0).unwrap().db() - 50.0).abs() < 1e-9);
+        assert!((report.day_leq(1).unwrap().db() - 80.0).abs() < 1e-9);
+        assert_eq!(report.day_leq(5), None);
+    }
+
+    #[test]
+    fn leq_is_energy_weighted() {
+        // One loud hour dominates a quiet day.
+        let set = vec![obs(1, 0, 40.0), obs(1, 0, 40.0), obs(1, 0, 85.0)];
+        let report = ExposureReport::build(&set, 1.into());
+        let leq = report.day_leq(0).unwrap().db();
+        assert!(leq > 75.0, "Leq {leq} must be pulled up by the loud sample");
+    }
+
+    #[test]
+    fn band_days_counts() {
+        let set = vec![
+            obs(1, 0, 45.0), // moderate
+            obs(1, 1, 60.0), // loud
+            obs(1, 2, 75.0), // harmful
+            obs(1, 3, 48.0), // moderate
+        ];
+        let report = ExposureReport::build(&set, 1.into());
+        assert_eq!(report.band_days(), (2, 1, 1));
+    }
+
+    #[test]
+    fn monthly_rollup() {
+        let set = vec![obs(1, 5, 50.0), obs(1, 25, 50.0), obs(1, 35, 62.0)];
+        let report = ExposureReport::build(&set, 1.into());
+        assert_eq!(report.monthly.len(), 2);
+        assert_eq!(report.monthly[0].0, 0);
+        assert_eq!(report.monthly[0].2, 2);
+        assert_eq!(report.monthly[1].0, 1);
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = ExposureReport::build(&[], 9.into());
+        assert!(report.is_empty());
+        assert_eq!(report.band_days(), (0, 0, 0));
+    }
+
+    #[test]
+    fn display_has_band_column() {
+        let set = vec![obs(1, 0, 75.0)];
+        let s = ExposureReport::build(&set, 1.into()).to_string();
+        assert!(s.contains("harmful"));
+        assert!(s.contains("user-1"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Generic histogram kit.
+
+use std::fmt;
+
+/// A histogram over explicit bin edges.
+///
+/// `edges = [e0, e1, ..., en]` defines bins `[e0, e1), [e1, e2), ...,
+/// [e_{n-1}, en)`; values outside `[e0, en)` fall into underflow/overflow
+/// counters so no sample is silently dropped.
+///
+/// # Examples
+///
+/// ```
+/// use mps_analytics::Histogram;
+///
+/// let mut h = Histogram::new(vec![0.0, 10.0, 20.0]);
+/// for x in [5.0, 15.0, 15.5, 25.0] {
+///     h.push(x);
+/// }
+/// assert_eq!(h.counts(), &[1, 2]);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.fractions(), vec![0.25, 0.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given (strictly increasing) edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two edges are given or they are not strictly
+    /// increasing.
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "need at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly increasing"
+        );
+        let bins = edges.len() - 1;
+        Self {
+            edges,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Uniform bins: `n` bins of equal width over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `lo >= hi`.
+    pub fn uniform(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0 && lo < hi, "bad uniform histogram spec");
+        let edges = (0..=n)
+            .map(|i| lo + (hi - lo) * i as f64 / n as f64)
+            .collect();
+        Self::new(edges)
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, value: f64) {
+        self.total += 1;
+        let lo = *self.edges.first().expect("validated");
+        let hi = *self.edges.last().expect("validated");
+        if value < lo {
+            self.underflow += 1;
+            return;
+        }
+        if value >= hi {
+            self.overflow += 1;
+            return;
+        }
+        // Binary search for the bin.
+        let idx = match self
+            .edges
+            .binary_search_by(|e| e.partial_cmp(&value).expect("finite edges"))
+        {
+            Ok(i) => i,                 // exactly on edge i -> bin i
+            Err(i) => i - 1,            // between edges i-1 and i
+        };
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// The bin edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples below the first edge.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the last edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples pushed (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bin fractions of the total (zero for an empty histogram).
+    pub fn fractions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|c| *c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Per-bin per-mille (‰) of the total — the unit of the paper's SPL
+    /// distributions (Figures 14–15).
+    pub fn per_mille(&self) -> Vec<f64> {
+        self.fractions().into_iter().map(|f| f * 1000.0).collect()
+    }
+
+    /// Index of the fullest bin, or `None` when empty.
+    pub fn peak_bin(&self) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+    }
+
+    /// Centre of the fullest bin, or `None` when empty.
+    pub fn peak_center(&self) -> Option<f64> {
+        self.peak_bin()
+            .map(|i| (self.edges[i] + self.edges[i + 1]) / 2.0)
+    }
+
+    /// Merges another histogram with identical edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edges differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.edges, other.edges, "histogram edges differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, count) in self.counts.iter().enumerate() {
+            let frac = if self.total > 0 {
+                *count as f64 / self.total as f64 * 100.0
+            } else {
+                0.0
+            };
+            writeln!(
+                f,
+                "[{:>8.1}, {:>8.1})  {:>10}  {:>6.2}%",
+                self.edges[i],
+                self.edges[i + 1],
+                count,
+                frac
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_values_correctly() {
+        let mut h = Histogram::new(vec![0.0, 1.0, 2.0, 4.0]);
+        for v in [0.0, 0.5, 1.0, 1.9, 3.9] {
+            h.push(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn edge_values_go_to_right_bin() {
+        let mut h = Histogram::new(vec![0.0, 1.0, 2.0]);
+        h.push(1.0); // on the inner edge -> second bin
+        assert_eq!(h.counts(), &[0, 1]);
+        h.push(0.0); // on the first edge -> first bin
+        assert_eq!(h.counts(), &[1, 1]);
+        h.push(2.0); // on the last edge -> overflow
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn under_overflow_counted() {
+        let mut h = Histogram::new(vec![0.0, 10.0]);
+        h.push(-1.0);
+        h.push(100.0);
+        h.push(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 3);
+        // Fractions use the full total.
+        assert_eq!(h.fractions(), vec![1.0 / 3.0]);
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let h = Histogram::uniform(0.0, 100.0, 10);
+        assert_eq!(h.edges().len(), 11);
+        assert_eq!(h.edges()[3], 30.0);
+    }
+
+    #[test]
+    fn per_mille_scales() {
+        let mut h = Histogram::uniform(0.0, 10.0, 2);
+        for _ in 0..3 {
+            h.push(1.0);
+        }
+        h.push(7.0);
+        assert_eq!(h.per_mille(), vec![750.0, 250.0]);
+    }
+
+    #[test]
+    fn peak_detection() {
+        let mut h = Histogram::uniform(0.0, 30.0, 3);
+        h.push(15.0);
+        h.push(16.0);
+        h.push(5.0);
+        assert_eq!(h.peak_bin(), Some(1));
+        assert_eq!(h.peak_center(), Some(15.0));
+        let empty = Histogram::uniform(0.0, 1.0, 1);
+        assert_eq!(empty.peak_bin(), None);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::uniform(0.0, 10.0, 2);
+        let mut b = Histogram::uniform(0.0, 10.0, 2);
+        a.push(1.0);
+        b.push(6.0);
+        b.push(100.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1]);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "edges differ")]
+    fn merge_checks_edges() {
+        let mut a = Histogram::uniform(0.0, 10.0, 2);
+        let b = Histogram::uniform(0.0, 20.0, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_edges() {
+        let _ = Histogram::new(vec![0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn display_lists_bins() {
+        let mut h = Histogram::uniform(0.0, 2.0, 2);
+        h.push(0.5);
+        let s = h.to_string();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("100.00%"), "{s}");
+        assert!(s.contains("0.00%"));
+    }
+}

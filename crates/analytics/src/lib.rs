@@ -1,0 +1,39 @@
+//! # mps-analytics — the paper's empirical analyses
+//!
+//! One builder per exhibit of the paper's evaluation (Sections 5–6),
+//! each consuming a slice of [`mps_types::Observation`]s and returning a
+//! printable, testable summary:
+//!
+//! | Exhibit | Builder |
+//! |---|---|
+//! | Fig 8 (contributed observations) | [`GrowthReport`] |
+//! | Fig 9 (top-20 models table) | [`ModelTable`] |
+//! | Figs 10–13 (location accuracy) | [`AccuracyReport`] |
+//! | Figs 14–15 (raw SPL distributions) | [`SplReport`] |
+//! | Fig 17 (transmission delays) | [`DelayReport`] |
+//! | Figs 18–19 (daily distributions) | [`DiurnalReport`] |
+//! | Fig 20 (providers by sensing mode) | [`ProviderByModeReport`] |
+//! | Fig 21 (user activities) | [`ActivityReport`] |
+//!
+//! plus the generic [`Histogram`] kit they are built on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accuracy;
+mod delays;
+mod exposure;
+mod hist;
+mod modes;
+mod participation;
+mod sound;
+mod volume;
+
+pub use accuracy::{AccuracyReport, ProviderFilter, ACCURACY_EDGES_M};
+pub use delays::{DelayReport, DELAY_EDGES_S};
+pub use exposure::{ExposureReport, HealthBand};
+pub use hist::Histogram;
+pub use modes::{ActivityReport, ProviderByModeReport};
+pub use participation::DiurnalReport;
+pub use sound::SplReport;
+pub use volume::{GrowthReport, ModelTable, ModelTableRow};

@@ -1,0 +1,241 @@
+//! Provider shares by sensing mode (Figure 20) and activity shares
+//! (Figure 21).
+
+use mps_types::{Activity, LocationProvider, Observation, SensingMode};
+use std::fmt;
+
+/// Distribution of location providers for each sensing mode (Figure 20).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProviderByModeReport {
+    /// `counts[mode][provider]`, indexed by [`SensingMode::ALL`] and
+    /// [`LocationProvider::ALL`] order.
+    pub counts: [[u64; 3]; 3],
+}
+
+impl ProviderByModeReport {
+    /// Builds the report over localized observations.
+    pub fn build(observations: &[Observation]) -> Self {
+        let mut counts = [[0u64; 3]; 3];
+        for obs in observations {
+            let Some(fix) = &obs.location else { continue };
+            let m = SensingMode::ALL
+                .iter()
+                .position(|x| *x == obs.mode)
+                .expect("mode in ALL");
+            let p = LocationProvider::ALL
+                .iter()
+                .position(|x| *x == fix.provider)
+                .expect("provider in ALL");
+            counts[m][p] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Localized observations in a mode.
+    pub fn total(&self, mode: SensingMode) -> u64 {
+        let m = SensingMode::ALL.iter().position(|x| *x == mode).expect("mode");
+        self.counts[m].iter().sum()
+    }
+
+    /// Share of a provider within a mode (0 for an empty mode).
+    pub fn share(&self, mode: SensingMode, provider: LocationProvider) -> f64 {
+        let m = SensingMode::ALL.iter().position(|x| *x == mode).expect("mode");
+        let p = LocationProvider::ALL
+            .iter()
+            .position(|x| *x == provider)
+            .expect("provider");
+        let total: u64 = self.counts[m].iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[m][p] as f64 / total as f64
+        }
+    }
+
+    /// GPS-share gain of a participatory mode over opportunistic sensing,
+    /// in percentage points — the paper reports > +20 pts (manual) and
+    /// ≈ +40 pts (journey).
+    pub fn gps_gain_pts(&self, mode: SensingMode) -> f64 {
+        (self.share(mode, LocationProvider::Gps)
+            - self.share(SensingMode::Opportunistic, LocationProvider::Gps))
+            * 100.0
+    }
+}
+
+impl fmt::Display for ProviderByModeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<14} {:>8} {:>8} {:>8} {:>10}", "mode", "gps", "network", "fused", "n")?;
+        for mode in SensingMode::ALL {
+            writeln!(
+                f,
+                "{:<14} {:>7.1}% {:>7.1}% {:>7.1}% {:>10}",
+                mode.name(),
+                self.share(mode, LocationProvider::Gps) * 100.0,
+                self.share(mode, LocationProvider::Network) * 100.0,
+                self.share(mode, LocationProvider::Fused) * 100.0,
+                self.total(mode),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Distribution of user activities (Figure 21).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ActivityReport {
+    /// Counts indexed by [`Activity::ALL`] order.
+    pub counts: [u64; 7],
+}
+
+impl ActivityReport {
+    /// Builds the report over all observations.
+    pub fn build(observations: &[Observation]) -> Self {
+        let mut counts = [0u64; 7];
+        for obs in observations {
+            let i = Activity::ALL
+                .iter()
+                .position(|a| *a == obs.activity)
+                .expect("activity in ALL");
+            counts[i] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Share of one activity class.
+    pub fn share(&self, activity: Activity) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let i = Activity::ALL
+            .iter()
+            .position(|a| *a == activity)
+            .expect("activity");
+        self.counts[i] as f64 / total as f64
+    }
+
+    /// Share of observations with the user in motion (< 10 % in the
+    /// paper).
+    pub fn moving_share(&self) -> f64 {
+        Activity::ALL
+            .iter()
+            .filter(|a| a.is_moving())
+            .map(|a| self.share(*a))
+            .sum()
+    }
+
+    /// Share of observations whose activity could not be qualified
+    /// (≈ 20 % in the paper).
+    pub fn unqualified_share(&self) -> f64 {
+        Activity::ALL
+            .iter()
+            .filter(|a| a.is_unqualified())
+            .map(|a| self.share(*a))
+            .sum()
+    }
+}
+
+impl fmt::Display for ActivityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for activity in Activity::ALL {
+            writeln!(
+                f,
+                "{:<10} {:>6.1}%",
+                activity.name(),
+                self.share(activity) * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_types::{DeviceModel, GeoPoint, LocationFix, SimTime, SoundLevel};
+
+    fn obs(mode: SensingMode, provider: Option<LocationProvider>, activity: Activity) -> Observation {
+        let mut b = Observation::builder()
+            .device(1.into())
+            .user(1.into())
+            .model(DeviceModel::LgeNexus5)
+            .captured_at(SimTime::EPOCH)
+            .spl(SoundLevel::new(40.0))
+            .mode(mode)
+            .activity(activity);
+        if let Some(p) = provider {
+            b = b.location(LocationFix::new(GeoPoint::PARIS, 30.0, p));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn provider_shares_per_mode() {
+        let set = vec![
+            obs(SensingMode::Opportunistic, Some(LocationProvider::Network), Activity::Still),
+            obs(SensingMode::Opportunistic, Some(LocationProvider::Network), Activity::Still),
+            obs(SensingMode::Opportunistic, Some(LocationProvider::Gps), Activity::Still),
+            obs(SensingMode::Opportunistic, None, Activity::Still), // not localized
+            obs(SensingMode::Journey, Some(LocationProvider::Gps), Activity::Foot),
+            obs(SensingMode::Journey, Some(LocationProvider::Network), Activity::Foot),
+        ];
+        let r = ProviderByModeReport::build(&set);
+        assert_eq!(r.total(SensingMode::Opportunistic), 3);
+        assert_eq!(r.total(SensingMode::Journey), 2);
+        assert_eq!(r.total(SensingMode::Manual), 0);
+        assert!((r.share(SensingMode::Opportunistic, LocationProvider::Gps) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.share(SensingMode::Journey, LocationProvider::Gps) - 0.5).abs() < 1e-12);
+        let gain = r.gps_gain_pts(SensingMode::Journey);
+        assert!((gain - (50.0 - 100.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_mode_shares_are_zero() {
+        let r = ProviderByModeReport::build(&[]);
+        assert_eq!(r.share(SensingMode::Manual, LocationProvider::Gps), 0.0);
+        assert_eq!(r.gps_gain_pts(SensingMode::Manual), 0.0);
+    }
+
+    #[test]
+    fn activity_shares() {
+        let set = vec![
+            obs(SensingMode::Opportunistic, None, Activity::Still),
+            obs(SensingMode::Opportunistic, None, Activity::Still),
+            obs(SensingMode::Opportunistic, None, Activity::Foot),
+            obs(SensingMode::Opportunistic, None, Activity::Unknown),
+        ];
+        let r = ActivityReport::build(&set);
+        assert_eq!(r.total(), 4);
+        assert_eq!(r.share(Activity::Still), 0.5);
+        assert_eq!(r.moving_share(), 0.25);
+        assert_eq!(r.unqualified_share(), 0.25);
+    }
+
+    #[test]
+    fn empty_activity_report() {
+        let r = ActivityReport::build(&[]);
+        assert_eq!(r.total(), 0);
+        assert_eq!(r.share(Activity::Still), 0.0);
+        assert_eq!(r.moving_share(), 0.0);
+    }
+
+    #[test]
+    fn displays_are_tabular() {
+        let set = vec![obs(
+            SensingMode::Manual,
+            Some(LocationProvider::Gps),
+            Activity::Vehicle,
+        )];
+        let p = ProviderByModeReport::build(&set).to_string();
+        assert!(p.contains("manual"));
+        assert!(p.contains("100.0%"));
+        let a = ActivityReport::build(&set).to_string();
+        assert!(a.contains("vehicle"));
+        assert_eq!(a.lines().count(), 7);
+    }
+}

@@ -1,0 +1,299 @@
+//! Contribution volumes: cumulative growth (Figure 8) and the top-20
+//! model table (Figure 9).
+
+use mps_types::{DeviceModel, Observation};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One row of the reproduced Figure 9 table, with the paper's values for
+/// side-by-side comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelTableRow {
+    /// The model.
+    pub model: DeviceModel,
+    /// Distinct devices observed in the dataset.
+    pub devices: u64,
+    /// Measurements in the dataset.
+    pub measurements: u64,
+    /// Localized measurements in the dataset.
+    pub localized: u64,
+}
+
+impl ModelTableRow {
+    /// Localized fraction of this row.
+    pub fn localized_fraction(&self) -> f64 {
+        if self.measurements == 0 {
+            0.0
+        } else {
+            self.localized as f64 / self.measurements as f64
+        }
+    }
+}
+
+/// The reproduced Figure 9 table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelTable {
+    /// Rows in the paper's order ([`DeviceModel::ALL`]).
+    pub rows: Vec<ModelTableRow>,
+}
+
+impl ModelTable {
+    /// Builds the table from a dataset.
+    pub fn build(observations: &[Observation]) -> Self {
+        let rows = DeviceModel::ALL
+            .iter()
+            .map(|model| {
+                let mut devices = BTreeSet::new();
+                let mut measurements = 0;
+                let mut localized = 0;
+                for obs in observations.iter().filter(|o| o.model == *model) {
+                    devices.insert(obs.device);
+                    measurements += 1;
+                    if obs.is_localized() {
+                        localized += 1;
+                    }
+                }
+                ModelTableRow {
+                    model: *model,
+                    devices: devices.len() as u64,
+                    measurements,
+                    localized,
+                }
+            })
+            .collect();
+        Self { rows }
+    }
+
+    /// Totals over all rows: `(devices, measurements, localized)`.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        self.rows.iter().fold((0, 0, 0), |acc, r| {
+            (
+                acc.0 + r.devices,
+                acc.1 + r.measurements,
+                acc.2 + r.localized,
+            )
+        })
+    }
+
+    /// Overall localized fraction (the paper's "about 40 %").
+    pub fn localized_fraction(&self) -> f64 {
+        let (_, measurements, localized) = self.totals();
+        if measurements == 0 {
+            0.0
+        } else {
+            localized as f64 / measurements as f64
+        }
+    }
+}
+
+impl fmt::Display for ModelTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<18} {:>8} {:>13} {:>13} {:>7}",
+            "Device model", "Devices", "Measurements", "Localized", "Loc%"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<18} {:>8} {:>13} {:>13} {:>6.1}%",
+                row.model.label(),
+                row.devices,
+                row.measurements,
+                row.localized,
+                row.localized_fraction() * 100.0
+            )?;
+        }
+        let (devices, measurements, localized) = self.totals();
+        writeln!(
+            f,
+            "{:<18} {:>8} {:>13} {:>13} {:>6.1}%",
+            "Total",
+            devices,
+            measurements,
+            localized,
+            self.localized_fraction() * 100.0
+        )
+    }
+}
+
+/// Cumulative contribution growth over deployment months (Figure 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowthReport {
+    /// `(month, cumulative measurements, cumulative localized)` rows.
+    pub monthly: Vec<(i64, u64, u64)>,
+}
+
+impl GrowthReport {
+    /// Builds the report from a dataset (months bucketed from capture
+    /// times; empty months between active ones carry forward).
+    pub fn build(observations: &[Observation]) -> Self {
+        if observations.is_empty() {
+            return Self { monthly: vec![] };
+        }
+        let max_month = observations
+            .iter()
+            .map(|o| o.captured_at.month())
+            .max()
+            .expect("non-empty");
+        let mut per_month = vec![(0u64, 0u64); (max_month + 1) as usize];
+        for obs in observations {
+            let m = obs.captured_at.month() as usize;
+            per_month[m].0 += 1;
+            if obs.is_localized() {
+                per_month[m].1 += 1;
+            }
+        }
+        let mut monthly = Vec::with_capacity(per_month.len());
+        let mut total = 0;
+        let mut localized = 0;
+        for (month, (t, l)) in per_month.into_iter().enumerate() {
+            total += t;
+            localized += l;
+            monthly.push((month as i64, total, localized));
+        }
+        Self { monthly }
+    }
+
+    /// Final cumulative totals `(measurements, localized)`.
+    pub fn final_totals(&self) -> (u64, u64) {
+        self.monthly.last().map_or((0, 0), |(_, t, l)| (*t, *l))
+    }
+
+    /// Whether cumulative growth is monotone non-decreasing (sanity).
+    pub fn is_monotone(&self) -> bool {
+        self.monthly.windows(2).all(|w| w[1].1 >= w[0].1 && w[1].2 >= w[0].2)
+    }
+
+    /// Whether contributions accelerated over the deployment: the second
+    /// half added more than the first half (the Figure 8 curve bends up
+    /// as the user base grows).
+    pub fn accelerated(&self) -> bool {
+        let Some((_, final_total, _)) = self.monthly.last() else {
+            return false;
+        };
+        let mid = self.monthly.len() / 2;
+        if mid == 0 {
+            return false;
+        }
+        let first_half = self.monthly[mid - 1].1;
+        final_total - first_half > first_half
+    }
+}
+
+impl fmt::Display for GrowthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<6} {:>13} {:>13} {:>7}", "month", "cumulative", "localized", "loc%")?;
+        for (month, total, localized) in &self.monthly {
+            let frac = if *total > 0 {
+                *localized as f64 / *total as f64 * 100.0
+            } else {
+                0.0
+            };
+            writeln!(f, "{month:<6} {total:>13} {localized:>13} {frac:>6.1}%")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_types::{GeoPoint, LocationFix, LocationProvider, SimTime, SoundLevel};
+
+    fn obs(device: u64, model: DeviceModel, day: i64, localized: bool) -> Observation {
+        let mut b = Observation::builder()
+            .device(device.into())
+            .user(device.into())
+            .model(model)
+            .captured_at(SimTime::from_hms(day, 12, 0, 0))
+            .spl(SoundLevel::new(40.0));
+        if localized {
+            b = b.location(LocationFix::new(
+                GeoPoint::PARIS,
+                30.0,
+                LocationProvider::Network,
+            ));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn table_counts_devices_and_volumes() {
+        let set = vec![
+            obs(1, DeviceModel::LgeNexus5, 0, true),
+            obs(1, DeviceModel::LgeNexus5, 1, false),
+            obs(2, DeviceModel::LgeNexus5, 0, true),
+            obs(3, DeviceModel::SonyD5803, 0, false),
+        ];
+        let table = ModelTable::build(&set);
+        let nexus = table
+            .rows
+            .iter()
+            .find(|r| r.model == DeviceModel::LgeNexus5)
+            .unwrap();
+        assert_eq!(nexus.devices, 2);
+        assert_eq!(nexus.measurements, 3);
+        assert_eq!(nexus.localized, 2);
+        assert!((nexus.localized_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(table.totals(), (3, 4, 2));
+        assert_eq!(table.localized_fraction(), 0.5);
+    }
+
+    #[test]
+    fn table_has_all_twenty_rows() {
+        let table = ModelTable::build(&[]);
+        assert_eq!(table.rows.len(), 20);
+        assert_eq!(table.totals(), (0, 0, 0));
+        assert_eq!(table.localized_fraction(), 0.0);
+    }
+
+    #[test]
+    fn growth_accumulates_by_month() {
+        let mut set = vec![
+            obs(1, DeviceModel::LgeNexus5, 5, true),   // month 0
+            obs(1, DeviceModel::LgeNexus5, 35, false), // month 1
+            obs(1, DeviceModel::LgeNexus5, 65, true),  // month 2
+        ];
+        set.push(obs(1, DeviceModel::LgeNexus5, 66, true)); // month 2
+        let growth = GrowthReport::build(&set);
+        assert_eq!(growth.monthly.len(), 3);
+        assert_eq!(growth.monthly[0], (0, 1, 1));
+        assert_eq!(growth.monthly[1], (1, 2, 1));
+        assert_eq!(growth.monthly[2], (2, 4, 3));
+        assert!(growth.is_monotone());
+        assert!(growth.accelerated());
+        assert_eq!(growth.final_totals(), (4, 3));
+    }
+
+    #[test]
+    fn growth_of_empty_dataset() {
+        let growth = GrowthReport::build(&[]);
+        assert!(growth.monthly.is_empty());
+        assert_eq!(growth.final_totals(), (0, 0));
+        assert!(!growth.accelerated());
+        assert!(growth.is_monotone());
+    }
+
+    #[test]
+    fn growth_fills_gap_months() {
+        let set = vec![
+            obs(1, DeviceModel::LgeNexus5, 0, false),
+            obs(1, DeviceModel::LgeNexus5, 95, false), // month 3
+        ];
+        let growth = GrowthReport::build(&set);
+        assert_eq!(growth.monthly.len(), 4);
+        assert_eq!(growth.monthly[1], (1, 1, 0)); // carries forward
+        assert_eq!(growth.monthly[2], (2, 1, 0));
+    }
+
+    #[test]
+    fn displays_are_tabular() {
+        let set = vec![obs(1, DeviceModel::LgeNexus5, 0, true)];
+        let t = ModelTable::build(&set).to_string();
+        assert!(t.contains("LGE NEXUS 5"));
+        assert!(t.contains("Total"));
+        let g = GrowthReport::build(&set).to_string();
+        assert!(g.contains("month"));
+    }
+}

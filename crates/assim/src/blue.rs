@@ -1,0 +1,326 @@
+//! BLUE analysis (optimal interpolation).
+//!
+//! The Best Linear Unbiased Estimator corrects a background field `x_b`
+//! with observations `y`:
+//!
+//! ```text
+//! x_a = x_b + B Hᵀ (H B Hᵀ + R)⁻¹ (y − H x_b)
+//! ```
+//!
+//! with `H` the (bilinear) observation operator, `R` the diagonal
+//! observation-error covariance, and `B` a Balgovind background
+//! covariance: `B(d) = σ_b² (1 + d/r) e^(−d/r)` — the standard choice of
+//! the urban-scale BLUE assimilation the paper builds on [Tilloy et al.
+//! 2013]. Working in dB treats the log-domain field as Gaussian, as the
+//! noise-mapping literature does.
+
+use crate::grid::Grid;
+use crate::matrix::Matrix;
+use crate::AssimError;
+use mps_types::GeoPoint;
+
+/// One point observation to assimilate: a location, a measured value (dB)
+/// and the observation-error standard deviation (dB) — which per-model
+/// calibration estimates (see
+/// [`CalibrationDatabase`](crate::CalibrationDatabase)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointObservation {
+    /// Where the measurement was taken.
+    pub at: GeoPoint,
+    /// Measured value, dB(A).
+    pub value_db: f64,
+    /// Observation-error standard deviation, dB.
+    pub sigma_db: f64,
+}
+
+impl PointObservation {
+    /// Creates an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_db` is not strictly positive and finite.
+    pub fn new(at: GeoPoint, value_db: f64, sigma_db: f64) -> Self {
+        assert!(
+            sigma_db > 0.0 && sigma_db.is_finite(),
+            "observation error must be positive, got {sigma_db}"
+        );
+        Self {
+            at,
+            value_db,
+            sigma_db,
+        }
+    }
+}
+
+/// The BLUE analysis operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Blue {
+    sigma_b_db: f64,
+    radius_m: f64,
+}
+
+impl Blue {
+    /// Creates an analysis operator with background-error standard
+    /// deviation `sigma_b_db` (dB) and Balgovind correlation radius
+    /// `radius_m` (metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both parameters are strictly positive.
+    pub fn new(sigma_b_db: f64, radius_m: f64) -> Self {
+        assert!(sigma_b_db > 0.0, "sigma_b must be positive");
+        assert!(radius_m > 0.0, "radius must be positive");
+        Self {
+            sigma_b_db,
+            radius_m,
+        }
+    }
+
+    /// Background covariance between two points (Balgovind).
+    pub fn covariance(&self, a: GeoPoint, b: GeoPoint) -> f64 {
+        let d = a.distance_m(b) / self.radius_m;
+        self.sigma_b_db * self.sigma_b_db * (1.0 + d) * (-d).exp()
+    }
+
+    /// Runs the analysis: returns the corrected field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssimError::NoObservations`] for an empty observation
+    /// set, [`AssimError::ObservationOutsideGrid`] if an observation falls
+    /// outside the background grid, and
+    /// [`AssimError::SingularCovariance`] if the innovation covariance
+    /// cannot be factored.
+    pub fn analyse(
+        &self,
+        background: &Grid,
+        observations: &[PointObservation],
+    ) -> Result<Grid, AssimError> {
+        if observations.is_empty() {
+            return Err(AssimError::NoObservations);
+        }
+        let m = observations.len();
+
+        // Innovations d = y − H x_b (also validates the locations).
+        let mut innovations = Vec::with_capacity(m);
+        for obs in observations {
+            let hx = background
+                .sample(obs.at)
+                .ok_or(AssimError::ObservationOutsideGrid {
+                    lat: obs.at.lat,
+                    lon: obs.at.lon,
+                })?;
+            innovations.push(obs.value_db - hx);
+        }
+
+        // S = H B Hᵀ + R. Because H is an interpolation, H B Hᵀ is
+        // approximated by the covariance function evaluated between
+        // observation locations (exact as the grid refines).
+        let s = Matrix::from_fn(m, m, |i, j| {
+            let mut v = self.covariance(observations[i].at, observations[j].at);
+            if i == j {
+                v += observations[i].sigma_db * observations[i].sigma_db;
+            }
+            v
+        });
+        let weights = s.solve_spd(&innovations)?;
+
+        // x_a = x_b + (B Hᵀ) w, with (B Hᵀ)[cell, i] = cov(cell, obs_i).
+        let mut analysis = background.clone();
+        let nx = analysis.nx();
+        let ny = analysis.ny();
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let cell = analysis.cell_center(ix, iy);
+                let mut increment = 0.0;
+                for (obs, w) in observations.iter().zip(&weights) {
+                    increment += self.covariance(cell, obs.at) * w;
+                }
+                analysis.set(ix, iy, analysis.at(ix, iy) + increment);
+            }
+        }
+        Ok(analysis)
+    }
+
+    /// Innovation statistics `(mean, rms)` of observations against a
+    /// field — used to diagnose bias before/after calibration.
+    pub fn innovation_stats(field: &Grid, observations: &[PointObservation]) -> (f64, f64) {
+        let innovations: Vec<f64> = observations
+            .iter()
+            .filter_map(|o| field.sample(o.at).map(|hx| o.value_db - hx))
+            .collect();
+        if innovations.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = innovations.len() as f64;
+        let mean = innovations.iter().sum::<f64>() / n;
+        let rms = (innovations.iter().map(|d| d * d).sum::<f64>() / n).sqrt();
+        (mean, rms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_types::GeoBounds;
+
+    fn bounds() -> GeoBounds {
+        GeoBounds::paris()
+    }
+
+    fn background() -> Grid {
+        Grid::constant(bounds(), 24, 24, 50.0)
+    }
+
+    #[test]
+    fn covariance_at_zero_distance_is_variance() {
+        let blue = Blue::new(3.0, 500.0);
+        let p = GeoPoint::PARIS;
+        assert!((blue.covariance(p, p) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_decays_monotonically() {
+        let blue = Blue::new(3.0, 500.0);
+        let origin = GeoPoint::PARIS;
+        let mut last = f64::INFINITY;
+        for d in [0.0, 100.0, 500.0, 1_000.0, 5_000.0] {
+            let p = GeoPoint::from_local_xy(origin, d, 0.0);
+            let c = blue.covariance(origin, p);
+            assert!(c <= last + 1e-12, "covariance must decay");
+            assert!(c >= 0.0);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn analysis_moves_toward_observation() {
+        let blue = Blue::new(4.0, 800.0);
+        let obs = vec![PointObservation::new(GeoPoint::PARIS, 62.0, 2.0)];
+        let analysis = blue.analyse(&background(), &obs).unwrap();
+        let at_obs = analysis.sample(GeoPoint::PARIS).unwrap();
+        assert!(at_obs > 50.0 && at_obs <= 62.0, "{at_obs}");
+        // With sigma_b=4 and sigma_o=2, the gain is 16/(16+4) = 0.8:
+        // expected ≈ 50 + 0.8 * 12 = 59.6.
+        assert!((at_obs - 59.6).abs() < 1.0, "{at_obs}");
+    }
+
+    #[test]
+    fn correction_is_localised() {
+        let blue = Blue::new(4.0, 500.0);
+        let obs = vec![PointObservation::new(GeoPoint::PARIS, 70.0, 1.0)];
+        let analysis = blue.analyse(&background(), &obs).unwrap();
+        // Far from the observation (many correlation radii), the field is
+        // untouched.
+        let far = GeoPoint::from_local_xy(GeoPoint::PARIS, 6_000.0, 0.0);
+        if let Some(v) = analysis.sample(far) {
+            assert!((v - 50.0).abs() < 0.5, "far field moved to {v}");
+        }
+    }
+
+    #[test]
+    fn trusted_observation_pulls_harder() {
+        let blue = Blue::new(4.0, 800.0);
+        let precise = blue
+            .analyse(&background(), &[PointObservation::new(GeoPoint::PARIS, 62.0, 0.5)])
+            .unwrap()
+            .sample(GeoPoint::PARIS)
+            .unwrap();
+        let noisy = blue
+            .analyse(&background(), &[PointObservation::new(GeoPoint::PARIS, 62.0, 8.0)])
+            .unwrap()
+            .sample(GeoPoint::PARIS)
+            .unwrap();
+        assert!(precise > noisy + 3.0, "precise {precise}, noisy {noisy}");
+    }
+
+    #[test]
+    fn multiple_observations_all_pull() {
+        let blue = Blue::new(4.0, 600.0);
+        let a = GeoPoint::from_local_xy(GeoPoint::PARIS, -3_000.0, 0.0);
+        let b = GeoPoint::from_local_xy(GeoPoint::PARIS, 3_000.0, 0.0);
+        let obs = vec![
+            PointObservation::new(a, 62.0, 2.0),
+            PointObservation::new(b, 40.0, 2.0),
+        ];
+        let analysis = blue.analyse(&background(), &obs).unwrap();
+        assert!(analysis.sample(a).unwrap() > 55.0);
+        assert!(analysis.sample(b).unwrap() < 45.0);
+    }
+
+    #[test]
+    fn reduces_rmse_against_truth() {
+        // Truth: a tilted plane. Background: flat 50. Observations of the
+        // truth must pull the analysis toward it.
+        let truth = Grid::from_fn(bounds(), 24, 24, |p| 50.0 + (p.lon - 2.3) * 100.0);
+        let blue = Blue::new(4.0, 1_500.0);
+        let mut observations = Vec::new();
+        for i in 0..25 {
+            let u = (i % 5) as f64 / 4.0;
+            let v = (i / 5) as f64 / 4.0;
+            let at = bounds().lerp(u * 0.9 + 0.05, v * 0.9 + 0.05);
+            observations.push(PointObservation::new(at, truth.sample(at).unwrap(), 1.0));
+        }
+        let bg = background();
+        let analysis = blue.analyse(&bg, &observations).unwrap();
+        let before = bg.rmse(&truth);
+        let after = analysis.rmse(&truth);
+        assert!(after < before * 0.6, "rmse {before} -> {after}");
+    }
+
+    #[test]
+    fn empty_observations_error() {
+        let blue = Blue::new(4.0, 800.0);
+        assert_eq!(
+            blue.analyse(&background(), &[]).unwrap_err(),
+            AssimError::NoObservations
+        );
+    }
+
+    #[test]
+    fn outside_observation_errors() {
+        let blue = Blue::new(4.0, 800.0);
+        let obs = vec![PointObservation::new(GeoPoint::new(0.0, 0.0), 60.0, 2.0)];
+        assert!(matches!(
+            blue.analyse(&background(), &obs),
+            Err(AssimError::ObservationOutsideGrid { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_locations_still_solve() {
+        // R on the diagonal keeps S positive definite even for co-located
+        // observations.
+        let blue = Blue::new(4.0, 800.0);
+        let obs = vec![
+            PointObservation::new(GeoPoint::PARIS, 60.0, 2.0),
+            PointObservation::new(GeoPoint::PARIS, 64.0, 2.0),
+        ];
+        let analysis = blue.analyse(&background(), &obs).unwrap();
+        let v = analysis.sample(GeoPoint::PARIS).unwrap();
+        assert!(v > 55.0 && v < 64.0, "{v}");
+    }
+
+    #[test]
+    fn innovation_stats_measure_bias() {
+        let field = background();
+        let obs = vec![
+            PointObservation::new(GeoPoint::PARIS, 53.0, 1.0),
+            PointObservation::new(
+                GeoPoint::from_local_xy(GeoPoint::PARIS, 1_000.0, 0.0),
+                53.0,
+                1.0,
+            ),
+        ];
+        let (mean, rms) = Blue::innovation_stats(&field, &obs);
+        assert!((mean - 3.0).abs() < 1e-9);
+        assert!((rms - 3.0).abs() < 1e-9);
+        assert_eq!(Blue::innovation_stats(&field, &[]), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn observation_rejects_zero_sigma() {
+        let _ = PointObservation::new(GeoPoint::PARIS, 60.0, 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The per-model calibration database (Section 5.2).
+//!
+//! "We are thus maintaining a calibration database where we assess the
+//! bias of a particular model compared to a reference sound level meter
+//! [...] we organize 'calibration parties' to meet with our users and
+//! calibrate their phones." The key empirical finding is that calibration
+//! works *per model*: devices of one model behave alike (Figure 15), so a
+//! model-level bias estimate de-biases every device of that model.
+
+use mps_types::{DeviceModel, SoundLevel};
+use std::collections::BTreeMap;
+
+/// Calibration state of one device model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModelCalibration {
+    /// Number of co-located (reference, phone) sample pairs.
+    pub samples: u64,
+    /// Estimated bias: mean(phone − reference), dB.
+    pub bias_db: f64,
+    /// Residual error standard deviation after bias removal, dB.
+    pub residual_std_db: f64,
+}
+
+/// Accumulator internals (Welford over the differences).
+#[derive(Debug, Clone, Copy, Default)]
+struct Acc {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+/// The calibration database: per-model bias estimates from calibration
+/// parties.
+///
+/// # Examples
+///
+/// ```
+/// use mps_assim::CalibrationDatabase;
+/// use mps_types::{DeviceModel, SoundLevel};
+///
+/// let mut db = CalibrationDatabase::new();
+/// // A calibration party: phone reads 4 dB hot against the reference.
+/// for i in 0..50 {
+///     let reference = 60.0 + (i % 5) as f64;
+///     db.record(DeviceModel::LgeNexus5, SoundLevel::new(reference),
+///               SoundLevel::new(reference + 4.0));
+/// }
+/// let corrected = db.correct(DeviceModel::LgeNexus5, SoundLevel::new(70.0));
+/// assert!((corrected.db() - 66.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CalibrationDatabase {
+    models: BTreeMap<DeviceModel, Acc>,
+    /// Error std assumed for uncalibrated models, dB.
+    default_sigma_db: f64,
+}
+
+impl CalibrationDatabase {
+    /// Creates an empty database with the default uncalibrated error
+    /// (6 dB).
+    pub fn new() -> Self {
+        Self {
+            models: BTreeMap::new(),
+            default_sigma_db: 6.0,
+        }
+    }
+
+    /// Sets the error std assumed for models without calibration data.
+    pub fn with_default_sigma(mut self, sigma_db: f64) -> Self {
+        assert!(sigma_db > 0.0, "sigma must be positive");
+        self.default_sigma_db = sigma_db;
+        self
+    }
+
+    /// Records one co-located pair: the reference sound-level meter read
+    /// `reference`, the phone of `model` read `measured`.
+    pub fn record(&mut self, model: DeviceModel, reference: SoundLevel, measured: SoundLevel) {
+        let diff = measured.db() - reference.db();
+        let acc = self.models.entry(model).or_default();
+        acc.n += 1;
+        let delta = diff - acc.mean;
+        acc.mean += delta / acc.n as f64;
+        acc.m2 += delta * (diff - acc.mean);
+    }
+
+    /// The calibration state of a model, if any pairs were recorded.
+    pub fn calibration(&self, model: DeviceModel) -> Option<ModelCalibration> {
+        self.models.get(&model).map(|acc| ModelCalibration {
+            samples: acc.n,
+            bias_db: acc.mean,
+            residual_std_db: if acc.n < 2 {
+                0.0
+            } else {
+                (acc.m2 / (acc.n - 1) as f64).sqrt()
+            },
+        })
+    }
+
+    /// Whether a model has enough samples (≥ 10) to be considered
+    /// calibrated.
+    pub fn is_calibrated(&self, model: DeviceModel) -> bool {
+        self.models.get(&model).is_some_and(|a| a.n >= 10)
+    }
+
+    /// Number of calibrated models.
+    pub fn calibrated_count(&self) -> usize {
+        DeviceModel::ALL
+            .iter()
+            .filter(|m| self.is_calibrated(**m))
+            .count()
+    }
+
+    /// De-biases a measurement from a model (identity for uncalibrated
+    /// models).
+    pub fn correct(&self, model: DeviceModel, measured: SoundLevel) -> SoundLevel {
+        match self.models.get(&model) {
+            Some(acc) if acc.n >= 10 => measured - acc.mean,
+            _ => measured,
+        }
+    }
+
+    /// Observation-error standard deviation to use for a model in the
+    /// assimilation: the residual std when calibrated (floored at 1 dB),
+    /// the default otherwise.
+    pub fn observation_sigma(&self, model: DeviceModel) -> f64 {
+        match self.calibration(model) {
+            Some(c) if c.samples >= 10 => c.residual_std_db.max(1.0),
+            _ => self.default_sigma_db,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(db: &mut CalibrationDatabase, model: DeviceModel, bias: f64, noise: &[f64]) {
+        for (i, n) in noise.iter().enumerate() {
+            let reference = 55.0 + (i % 7) as f64;
+            db.record(
+                model,
+                SoundLevel::new(reference),
+                SoundLevel::new(reference + bias + n),
+            );
+        }
+    }
+
+    #[test]
+    fn bias_estimate_converges() {
+        let mut db = CalibrationDatabase::new();
+        let noise: Vec<f64> = (0..200).map(|i| ((i as f64) * 0.7).sin()).collect();
+        feed(&mut db, DeviceModel::SonyD6603, 3.5, &noise);
+        let cal = db.calibration(DeviceModel::SonyD6603).unwrap();
+        assert_eq!(cal.samples, 200);
+        assert!((cal.bias_db - 3.5).abs() < 0.1, "bias {}", cal.bias_db);
+        assert!(cal.residual_std_db > 0.3 && cal.residual_std_db < 1.2);
+    }
+
+    #[test]
+    fn correct_removes_bias() {
+        let mut db = CalibrationDatabase::new();
+        feed(&mut db, DeviceModel::LgeNexus4, -2.0, &[0.0; 20]);
+        let corrected = db.correct(DeviceModel::LgeNexus4, SoundLevel::new(50.0));
+        assert!((corrected.db() - 52.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncalibrated_model_is_untouched() {
+        let db = CalibrationDatabase::new();
+        let level = SoundLevel::new(61.0);
+        assert_eq!(db.correct(DeviceModel::HtcOneM8, level), level);
+        assert_eq!(db.calibration(DeviceModel::HtcOneM8), None);
+        assert!(!db.is_calibrated(DeviceModel::HtcOneM8));
+        assert_eq!(db.observation_sigma(DeviceModel::HtcOneM8), 6.0);
+    }
+
+    #[test]
+    fn few_samples_do_not_count_as_calibrated() {
+        let mut db = CalibrationDatabase::new();
+        feed(&mut db, DeviceModel::SonyD2303, 5.0, &[0.0; 5]);
+        assert!(!db.is_calibrated(DeviceModel::SonyD2303));
+        // correct() refuses to apply an unreliable estimate.
+        let level = SoundLevel::new(40.0);
+        assert_eq!(db.correct(DeviceModel::SonyD2303, level), level);
+    }
+
+    #[test]
+    fn observation_sigma_tracks_residuals() {
+        let mut db = CalibrationDatabase::new().with_default_sigma(7.0);
+        let noise: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 2.0 } else { -2.0 }).collect();
+        feed(&mut db, DeviceModel::SamsungSmG800f, 1.0, &noise);
+        let sigma = db.observation_sigma(DeviceModel::SamsungSmG800f);
+        assert!((sigma - 2.0).abs() < 0.1, "sigma {sigma}");
+        assert_eq!(db.observation_sigma(DeviceModel::SonyD5803), 7.0);
+    }
+
+    #[test]
+    fn sigma_is_floored() {
+        let mut db = CalibrationDatabase::new();
+        feed(&mut db, DeviceModel::LgeLgD802, 0.0, &vec![0.0; 50]);
+        assert_eq!(db.observation_sigma(DeviceModel::LgeLgD802), 1.0);
+    }
+
+    #[test]
+    fn calibrated_count_tracks_models() {
+        let mut db = CalibrationDatabase::new();
+        assert_eq!(db.calibrated_count(), 0);
+        feed(&mut db, DeviceModel::SamsungGtI9505, 1.0, &[0.0; 20]);
+        feed(&mut db, DeviceModel::SamsungGtI9300, -1.0, &[0.0; 20]);
+        assert_eq!(db.calibrated_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn rejects_bad_default_sigma() {
+        let _ = CalibrationDatabase::new().with_default_sigma(0.0);
+    }
+}

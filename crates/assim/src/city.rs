@@ -1,0 +1,243 @@
+//! Synthetic city model: roads and venues as noise sources.
+//!
+//! The paper's motivating noise maps (Figure 4) aggregate "noise due to
+//! traffic and places that are subject to noise (bars, restaurants, ...)".
+//! [`CityModel`] carries exactly those two source kinds and can generate a
+//! plausible synthetic city (an avenue grid plus clustered venues) from a
+//! seed.
+
+use mps_simcore::SimRng;
+use mps_types::{GeoBounds, GeoPoint};
+
+/// A road segment emitting traffic noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Road {
+    /// One endpoint.
+    pub a: GeoPoint,
+    /// The other endpoint.
+    pub b: GeoPoint,
+    /// Emission level at the reference distance (10 m), dB(A). Busy
+    /// avenues run 70–80, side streets 55–65.
+    pub emission_db: f64,
+}
+
+impl Road {
+    /// Distance from `p` to the closest point of the segment, metres.
+    pub fn distance_m(&self, p: GeoPoint) -> f64 {
+        // Work in the local planar frame of endpoint `a`.
+        let (bx, by) = self.b.to_local_xy(self.a);
+        let (px, py) = p.to_local_xy(self.a);
+        let len2 = bx * bx + by * by;
+        let t = if len2 == 0.0 {
+            0.0
+        } else {
+            ((px * bx + py * by) / len2).clamp(0.0, 1.0)
+        };
+        let (cx, cy) = (bx * t, by * t);
+        ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
+    }
+}
+
+/// A fixed noisy venue (bar, restaurant, concert hall...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Venue {
+    /// Venue location.
+    pub at: GeoPoint,
+    /// Emission level at the reference distance (10 m), dB(A).
+    pub emission_db: f64,
+}
+
+/// A city: bounds, roads and venues.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CityModel {
+    bounds: GeoBounds,
+    roads: Vec<Road>,
+    venues: Vec<Venue>,
+}
+
+impl CityModel {
+    /// Creates a city from explicit sources.
+    pub fn new(bounds: GeoBounds, roads: Vec<Road>, venues: Vec<Venue>) -> Self {
+        Self {
+            bounds,
+            roads,
+            venues,
+        }
+    }
+
+    /// Generates a synthetic city: an `n_avenues × n_avenues` grid of
+    /// avenues (louder) with side streets between them (quieter), and
+    /// `n_venues` venues clustered around a few nightlife centres.
+    pub fn synthetic(bounds: GeoBounds, n_avenues: usize, n_venues: usize, rng: &mut SimRng) -> Self {
+        let mut roads = Vec::new();
+        // Avenues: straight across the bounds in both directions.
+        for i in 0..n_avenues {
+            let f = (i as f64 + 0.5) / n_avenues as f64;
+            let emission = rng.uniform_in(70.0, 80.0);
+            roads.push(Road {
+                a: bounds.lerp(0.0, f),
+                b: bounds.lerp(1.0, f),
+                emission_db: emission,
+            });
+            let emission = rng.uniform_in(70.0, 80.0);
+            roads.push(Road {
+                a: bounds.lerp(f, 0.0),
+                b: bounds.lerp(f, 1.0),
+                emission_db: emission,
+            });
+        }
+        // Side streets: shorter random segments, quieter.
+        for _ in 0..n_avenues * 3 {
+            let u = rng.uniform();
+            let v = rng.uniform();
+            let du = rng.uniform_in(-0.15, 0.15);
+            let dv = rng.uniform_in(-0.15, 0.15);
+            roads.push(Road {
+                a: bounds.lerp(u, v),
+                b: bounds.lerp((u + du).clamp(0.0, 1.0), (v + dv).clamp(0.0, 1.0)),
+                emission_db: rng.uniform_in(55.0, 65.0),
+            });
+        }
+        // Venues: clustered around nightlife centres.
+        let n_centres = 3.max(n_venues / 20);
+        let centres: Vec<(f64, f64)> = (0..n_centres)
+            .map(|_| (rng.uniform_in(0.15, 0.85), rng.uniform_in(0.15, 0.85)))
+            .collect();
+        let venues = (0..n_venues)
+            .map(|_| {
+                let (cu, cv) = *rng.pick(&centres);
+                let u = (cu + rng.normal(0.0, 0.04)).clamp(0.0, 1.0);
+                let v = (cv + rng.normal(0.0, 0.04)).clamp(0.0, 1.0);
+                Venue {
+                    at: bounds.lerp(u, v),
+                    emission_db: rng.uniform_in(62.0, 75.0),
+                }
+            })
+            .collect();
+        Self {
+            bounds,
+            roads,
+            venues,
+        }
+    }
+
+    /// The city bounds.
+    pub fn bounds(&self) -> GeoBounds {
+        self.bounds
+    }
+
+    /// The roads.
+    pub fn roads(&self) -> &[Road] {
+        &self.roads
+    }
+
+    /// The venues.
+    pub fn venues(&self) -> &[Venue] {
+        &self.venues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> GeoBounds {
+        GeoBounds::paris()
+    }
+
+    #[test]
+    fn road_distance_to_endpoint_and_midpoint() {
+        let road = Road {
+            a: GeoPoint::new(48.85, 2.30),
+            b: GeoPoint::new(48.85, 2.40),
+            emission_db: 75.0,
+        };
+        // A point on the segment has ~zero distance.
+        let mid = GeoPoint::new(48.85, 2.35);
+        assert!(road.distance_m(mid) < 5.0);
+        // A point north of the midpoint is at its perpendicular distance.
+        let north = GeoPoint::new(48.86, 2.35);
+        let d = road.distance_m(north);
+        assert!((d - 1_112.0).abs() < 20.0, "{d}");
+        // Beyond the endpoint, distance is to the endpoint.
+        let past = GeoPoint::new(48.85, 2.45);
+        let to_b = past.distance_m(road.b);
+        assert!((road.distance_m(past) - to_b).abs() < 1.0);
+    }
+
+    #[test]
+    fn degenerate_road_is_a_point() {
+        let p = GeoPoint::new(48.85, 2.35);
+        let road = Road {
+            a: p,
+            b: p,
+            emission_db: 60.0,
+        };
+        let q = GeoPoint::new(48.86, 2.35);
+        assert!((road.distance_m(q) - p.distance_m(q)).abs() < 1.0);
+    }
+
+    #[test]
+    fn synthetic_city_has_requested_sources() {
+        let mut rng = SimRng::new(11);
+        let city = CityModel::synthetic(bounds(), 5, 60, &mut rng);
+        assert_eq!(city.roads().len(), 5 * 2 + 5 * 3);
+        assert_eq!(city.venues().len(), 60);
+        assert_eq!(city.bounds(), bounds());
+    }
+
+    #[test]
+    fn synthetic_sources_are_inside_bounds() {
+        let mut rng = SimRng::new(12);
+        let city = CityModel::synthetic(bounds(), 4, 40, &mut rng);
+        for road in city.roads() {
+            assert!(bounds().contains(road.a), "{:?}", road.a);
+            assert!(bounds().contains(road.b));
+        }
+        for venue in city.venues() {
+            assert!(bounds().contains(venue.at));
+        }
+    }
+
+    #[test]
+    fn avenues_are_louder_than_side_streets() {
+        let mut rng = SimRng::new(13);
+        let city = CityModel::synthetic(bounds(), 4, 10, &mut rng);
+        let avenues = &city.roads()[..8];
+        let side = &city.roads()[8..];
+        let min_avenue = avenues.iter().map(|r| r.emission_db).fold(f64::INFINITY, f64::min);
+        let max_side = side.iter().map(|r| r.emission_db).fold(f64::NEG_INFINITY, f64::max);
+        assert!(min_avenue > max_side, "{min_avenue} vs {max_side}");
+    }
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let a = CityModel::synthetic(bounds(), 3, 20, &mut SimRng::new(5));
+        let b = CityModel::synthetic(bounds(), 3, 20, &mut SimRng::new(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn venues_cluster() {
+        // Venues concentrate around few centres: mean pairwise distance is
+        // much smaller than the city diagonal.
+        let mut rng = SimRng::new(14);
+        let city = CityModel::synthetic(bounds(), 3, 50, &mut rng);
+        let venues = city.venues();
+        let mut within_1km = 0usize;
+        let mut total = 0usize;
+        for i in 0..venues.len() {
+            for j in (i + 1)..venues.len() {
+                total += 1;
+                if venues[i].at.distance_m(venues[j].at) < 1_000.0 {
+                    within_1km += 1;
+                }
+            }
+        }
+        // With 3 clusters, ~1/3 of pairs are same-cluster; a same-cluster
+        // pair is usually within ~1 km. Uniform venues over Paris would
+        // land near 0.02.
+        let frac = within_1km as f64 / total as f64;
+        assert!(frac > 0.1, "venue clustering too weak: {frac}");
+    }
+}

@@ -1,0 +1,291 @@
+//! Crowd-calibration: calibrating devices against each other.
+//!
+//! The paper's future work (Section 8): "We expect crowd-sensing to be
+//! accompanied with crowd-calibration which calibrates individual devices
+//! based on each other's devices." This module implements that idea: with
+//! no reference sound-level meter at all, alternate between (a) building
+//! a consensus field from bias-corrected observations via BLUE and
+//! (b) re-estimating each device's bias as its mean residual against the
+//! consensus. Biases are identifiable only up to a global constant, so
+//! the crowd mean is anchored at zero (or at the mean of a trusted
+//! subset, when one exists).
+
+use crate::blue::{Blue, PointObservation};
+use crate::grid::Grid;
+use crate::AssimError;
+use mps_types::{DeviceId, GeoPoint};
+use std::collections::BTreeMap;
+
+/// One crowd observation for calibration: who measured what, where.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrowdObservation {
+    /// The measuring device.
+    pub device: DeviceId,
+    /// Where the measurement was taken.
+    pub at: GeoPoint,
+    /// Raw measured level, dB(A).
+    pub measured_db: f64,
+}
+
+/// Result of a crowd-calibration run.
+#[derive(Debug, Clone)]
+pub struct CrowdCalibration {
+    /// Estimated per-device biases (zero-mean over the crowd), dB.
+    pub device_bias_db: BTreeMap<DeviceId, f64>,
+    /// The final consensus field.
+    pub consensus: Grid,
+    /// RMS residual of corrected observations against the consensus
+    /// after each iteration (diagnostic; should be non-increasing).
+    pub residual_rms_db: Vec<f64>,
+}
+
+impl CrowdCalibration {
+    /// The estimated bias of one device, if it contributed.
+    pub fn bias_of(&self, device: DeviceId) -> Option<f64> {
+        self.device_bias_db.get(&device).copied()
+    }
+}
+
+/// The crowd-calibration solver.
+#[derive(Debug, Clone, Copy)]
+pub struct CrowdCalibrator {
+    /// Alternating iterations (2–4 suffice in practice).
+    pub iterations: usize,
+    /// Background-error std of the consensus BLUE step, dB.
+    pub sigma_b_db: f64,
+    /// Balgovind correlation radius of the consensus step, metres.
+    pub radius_m: f64,
+    /// Observation-error std assumed during consensus building, dB.
+    pub sigma_o_db: f64,
+}
+
+impl Default for CrowdCalibrator {
+    fn default() -> Self {
+        Self {
+            iterations: 3,
+            sigma_b_db: 4.0,
+            radius_m: 1_000.0,
+            sigma_o_db: 3.0,
+        }
+    }
+}
+
+impl CrowdCalibrator {
+    /// Runs the alternating estimation against a prior `background` field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssimError::NoObservations`] for an empty input, and
+    /// propagates BLUE errors (observations outside the grid, singular
+    /// covariance).
+    pub fn calibrate(
+        &self,
+        background: &Grid,
+        observations: &[CrowdObservation],
+    ) -> Result<CrowdCalibration, AssimError> {
+        if observations.is_empty() {
+            return Err(AssimError::NoObservations);
+        }
+        let blue = Blue::new(self.sigma_b_db, self.radius_m);
+        let mut bias: BTreeMap<DeviceId, f64> = BTreeMap::new();
+        for obs in observations {
+            bias.entry(obs.device).or_insert(0.0);
+        }
+        let mut consensus = background.clone();
+        let mut residual_rms = Vec::with_capacity(self.iterations);
+
+        for _ in 0..self.iterations {
+            // (a) consensus from corrected observations.
+            let corrected: Vec<PointObservation> = observations
+                .iter()
+                .map(|o| {
+                    PointObservation::new(o.at, o.measured_db - bias[&o.device], self.sigma_o_db)
+                })
+                .collect();
+            consensus = blue.analyse(background, &corrected)?;
+
+            // (b) per-device bias = mean residual against the consensus.
+            let mut sums: BTreeMap<DeviceId, (f64, usize)> = BTreeMap::new();
+            for o in observations {
+                if let Some(level) = consensus.sample(o.at) {
+                    let entry = sums.entry(o.device).or_insert((0.0, 0));
+                    entry.0 += o.measured_db - level;
+                    entry.1 += 1;
+                }
+            }
+            for (device, (sum, n)) in &sums {
+                if *n > 0 {
+                    bias.insert(*device, sum / *n as f64);
+                }
+            }
+            // Anchor: zero-mean biases over the crowd (the absolute level
+            // is not identifiable without a reference sensor).
+            let mean: f64 = bias.values().sum::<f64>() / bias.len() as f64;
+            for b in bias.values_mut() {
+                *b -= mean;
+            }
+
+            // Diagnostic residual RMS.
+            let mut rms = 0.0;
+            let mut count = 0usize;
+            for o in observations {
+                if let Some(level) = consensus.sample(o.at) {
+                    let r = o.measured_db - bias[&o.device] - level;
+                    rms += r * r;
+                    count += 1;
+                }
+            }
+            residual_rms.push(if count > 0 {
+                (rms / count as f64).sqrt()
+            } else {
+                0.0
+            });
+        }
+
+        Ok(CrowdCalibration {
+            device_bias_db: bias,
+            consensus,
+            residual_rms_db: residual_rms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_simcore::SimRng;
+    use mps_types::GeoBounds;
+
+    fn bounds() -> GeoBounds {
+        GeoBounds::paris()
+    }
+
+    /// Synthesize a crowd measuring a known truth field with known
+    /// per-device biases.
+    fn synthesize(
+        true_biases: &[f64],
+        obs_per_device: usize,
+        seed: u64,
+    ) -> (Grid, Vec<CrowdObservation>) {
+        let truth = Grid::from_fn(bounds(), 20, 20, |p| {
+            52.0 + 60.0 * (p.lon - 2.347) + 40.0 * (p.lat - 48.858)
+        });
+        let mut rng = SimRng::new(seed);
+        let mut observations = Vec::new();
+        for (d, bias) in true_biases.iter().enumerate() {
+            for _ in 0..obs_per_device {
+                let at = bounds().lerp(rng.uniform_in(0.05, 0.95), rng.uniform_in(0.05, 0.95));
+                let level = truth.sample(at).unwrap() + bias + rng.normal(0.0, 1.0);
+                observations.push(CrowdObservation {
+                    device: DeviceId::new(d as u64),
+                    at,
+                    measured_db: level,
+                });
+            }
+        }
+        (truth, observations)
+    }
+
+    #[test]
+    fn recovers_relative_biases_without_reference() {
+        let true_biases = [4.0, -3.0, 0.5, -1.5]; // zero-mean
+        let (truth, observations) = synthesize(&true_biases, 60, 3);
+        let background = Grid::constant(bounds(), 20, 20, truth.mean());
+        let result = CrowdCalibrator::default()
+            .calibrate(&background, &observations)
+            .unwrap();
+        for (d, expected) in true_biases.iter().enumerate() {
+            let estimated = result.bias_of(DeviceId::new(d as u64)).unwrap();
+            assert!(
+                (estimated - expected).abs() < 0.8,
+                "device {d}: estimated {estimated}, true {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_mean_biases_recover_up_to_constant() {
+        // All biases shifted by +5: the crowd cannot see the shift, but
+        // relative structure must survive.
+        let true_biases = [9.0, 2.0, 5.5, 3.5]; // mean 5
+        let (truth, observations) = synthesize(&true_biases, 60, 7);
+        let background = Grid::constant(bounds(), 20, 20, truth.mean());
+        let result = CrowdCalibrator::default()
+            .calibrate(&background, &observations)
+            .unwrap();
+        for (d, expected) in true_biases.iter().enumerate() {
+            let estimated = result.bias_of(DeviceId::new(d as u64)).unwrap();
+            assert!(
+                (estimated - (expected - 5.0)).abs() < 0.8,
+                "device {d}: estimated {estimated}, true-centred {}",
+                expected - 5.0
+            );
+        }
+    }
+
+    #[test]
+    fn residuals_shrink_across_iterations() {
+        let (truth, observations) = synthesize(&[6.0, -6.0, 2.0, -2.0], 50, 11);
+        let background = Grid::constant(bounds(), 20, 20, truth.mean());
+        let result = CrowdCalibrator {
+            iterations: 4,
+            ..CrowdCalibrator::default()
+        }
+        .calibrate(&background, &observations)
+        .unwrap();
+        assert_eq!(result.residual_rms_db.len(), 4);
+        let first = result.residual_rms_db[0];
+        let last = *result.residual_rms_db.last().unwrap();
+        assert!(last <= first + 1e-9, "residuals {first} -> {last}");
+    }
+
+    #[test]
+    fn consensus_beats_background() {
+        let (truth, observations) = synthesize(&[3.0, -3.0], 80, 13);
+        let background = Grid::constant(bounds(), 20, 20, truth.mean());
+        let result = CrowdCalibrator::default()
+            .calibrate(&background, &observations)
+            .unwrap();
+        assert!(
+            result.consensus.rmse(&truth) < background.rmse(&truth),
+            "consensus {} vs background {}",
+            result.consensus.rmse(&truth),
+            background.rmse(&truth)
+        );
+    }
+
+    #[test]
+    fn unbiased_crowd_estimates_near_zero() {
+        let (truth, observations) = synthesize(&[0.0, 0.0, 0.0], 40, 17);
+        let background = Grid::constant(bounds(), 20, 20, truth.mean());
+        let result = CrowdCalibrator::default()
+            .calibrate(&background, &observations)
+            .unwrap();
+        for bias in result.device_bias_db.values() {
+            assert!(bias.abs() < 0.6, "spurious bias {bias}");
+        }
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        let background = Grid::constant(bounds(), 4, 4, 50.0);
+        assert_eq!(
+            CrowdCalibrator::default()
+                .calibrate(&background, &[])
+                .unwrap_err(),
+            AssimError::NoObservations
+        );
+    }
+
+    #[test]
+    fn biases_are_zero_mean() {
+        let (truth, observations) = synthesize(&[2.0, -5.0, 7.0], 50, 19);
+        let background = Grid::constant(bounds(), 20, 20, truth.mean());
+        let result = CrowdCalibrator::default()
+            .calibrate(&background, &observations)
+            .unwrap();
+        let mean: f64 =
+            result.device_bias_db.values().sum::<f64>() / result.device_bias_db.len() as f64;
+        assert!(mean.abs() < 1e-9, "anchor violated: mean {mean}");
+    }
+}

@@ -1,0 +1,67 @@
+//! # mps-assim — urban noise modelling and data assimilation
+//!
+//! The SoundCity system adds a *Data Assimilation Engine* to the
+//! crowd-sensing pipeline (Figure 5 of the paper): a numerical model
+//! simulates the urban noise field, and heterogeneous mobile observations
+//! correct it. The paper's engine builds on the Verdandi library and
+//! BLUE-based assimilation at urban scale [Tilloy et al. 2013]; this crate
+//! implements that algorithm stack from scratch:
+//!
+//! * [`Grid`] — a regular lat/lon field over a bounding box with bilinear
+//!   sampling (the state vector).
+//! * [`CityModel`] / [`NoiseSimulator`] — a synthetic city (roads with
+//!   traffic intensities, noisy venues) and the forward model computing
+//!   its noise map by energy summation with geometric attenuation.
+//! * [`Blue`] — the Best Linear Unbiased Estimator analysis with a
+//!   Balgovind background covariance and per-observation error variances:
+//!   `x_a = x_b + B Hᵀ (H B Hᵀ + R)⁻¹ (y − H x_b)`.
+//! * [`CalibrationDatabase`] — the per-model calibration store fed by
+//!   "calibration parties" (co-located phone vs reference measurements,
+//!   Section 5.2), used to de-bias observations and set their error
+//!   variances before assimilation.
+//! * [`ComplaintProcess`] — the noise-complaint point process behind the
+//!   Figure 4 motivation (complaints correlate with simulated noise).
+//!
+//! # Examples
+//!
+//! ```
+//! use mps_assim::{Blue, Grid, PointObservation};
+//! use mps_types::{GeoBounds, GeoPoint};
+//!
+//! let background = Grid::constant(GeoBounds::paris(), 24, 24, 50.0);
+//! let obs = vec![PointObservation::new(GeoPoint::PARIS, 62.0, 2.0)];
+//! let blue = Blue::new(4.0, 800.0); // sigma_b 4 dB, correlation radius 800 m
+//! let analysis = blue.analyse(&background, &obs)?;
+//! let at_obs = analysis.sample(GeoPoint::PARIS).unwrap();
+//! assert!(at_obs > 52.0, "analysis moved toward the observation");
+//! # Ok::<(), mps_assim::AssimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blue;
+mod calib;
+mod city;
+mod complaints;
+mod crowdcal;
+mod error;
+mod grid;
+mod hourly;
+mod matrix;
+mod noise;
+mod planning;
+#[cfg(test)]
+mod proptests;
+
+pub use blue::{Blue, PointObservation};
+pub use calib::{CalibrationDatabase, ModelCalibration};
+pub use city::{CityModel, Road, Venue};
+pub use complaints::ComplaintProcess;
+pub use crowdcal::{CrowdCalibration, CrowdCalibrator, CrowdObservation};
+pub use error::AssimError;
+pub use grid::Grid;
+pub use hourly::{DiurnalAnalysis, DiurnalField, HourlyObservation};
+pub use matrix::Matrix;
+pub use noise::NoiseSimulator;
+pub use planning::{infer_exposure, PosteriorVariance, SensingPlanner};

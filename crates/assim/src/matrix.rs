@@ -1,0 +1,220 @@
+//! Minimal dense linear algebra: symmetric solves for the BLUE analysis.
+
+use crate::AssimError;
+
+/// A dense row-major matrix.
+///
+/// Just enough linear algebra for the analysis step: construction,
+/// element access, and a Cholesky solve for symmetric positive-definite
+/// systems (the innovation covariance `H B Hᵀ + R`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.data[i * cols + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .zip(v)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Solves `self · x = b` for a symmetric positive-definite matrix via
+    /// Cholesky decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssimError::SingularCovariance`] when the matrix is not
+    /// positive definite (within a small tolerance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len() != self.rows()`.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>, AssimError> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs dimension mismatch");
+        let n = self.rows;
+        // Cholesky: self = L Lᵀ, L lower triangular.
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 1e-12 {
+                        return Err(AssimError::SingularCovariance);
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0f64; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[i * n + k] * y[k];
+            }
+            y[i] = sum / l[i * n + i];
+        }
+        // Back substitution: Lᵀ x = y.
+        let mut x = vec![0.0f64; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= l[k * n + i] * x[k];
+            }
+            x[i] = sum / l[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let eye = Matrix::from_fn(3, 3, |i, j| if i == j { 1.0 } else { 0.0 });
+        let b = vec![1.0, -2.0, 3.0];
+        assert_eq!(eye.solve_spd(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // A = [[4, 2], [2, 3]], b = [10, 9] -> x = [1.5, 2].
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 4.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 3.0);
+        let x = a.solve_spd(&[10.0, 9.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_round_trips_with_mul() {
+        // Build an SPD matrix A = M Mᵀ + I, solve A x = b, check A·x = b.
+        let m = Matrix::from_fn(5, 5, |i, j| ((i * 7 + j * 3) % 11) as f64 / 11.0);
+        let a = Matrix::from_fn(5, 5, |i, j| {
+            let dot: f64 = (0..5).map(|k| m.get(i, k) * m.get(j, k)).sum();
+            dot + if i == j { 1.0 } else { 0.0 }
+        });
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let x = a.solve_spd(&b).unwrap();
+        let back = a.mul_vec(&x);
+        for (u, v) in back.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, -1.0);
+        assert_eq!(
+            a.solve_spd(&[1.0, 1.0]).unwrap_err(),
+            AssimError::SingularCovariance
+        );
+        let zero = Matrix::zeros(2, 2);
+        assert!(zero.solve_spd(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_known() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        // [[0,1,2],[3,4,5]] * [1,1,1] = [3, 12].
+        assert_eq!(a.mul_vec(&[1.0, 1.0, 1.0]), vec![3.0, 12.0]);
+        assert_eq!((a.rows(), a.cols()), (2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_vec_checks_dims() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a.mul_vec(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_checks_range() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a.get(2, 0);
+    }
+}

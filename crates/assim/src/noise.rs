@@ -1,0 +1,203 @@
+//! The forward noise model: city sources → noise map.
+//!
+//! Sources emit at a reference level (dB(A) at 10 m) and attenuate
+//! geometrically with distance: point sources (venues) lose
+//! `20·log10(d/d₀)` dB, line sources (roads, approximately cylindrical
+//! spreading) lose `10·log10(d/d₀)`. Contributions combine by energy
+//! summation over a quiet ambient floor. Hourly modulation follows the
+//! urban activity cycle (traffic and nightlife quiet down overnight).
+
+use crate::city::CityModel;
+use crate::grid::Grid;
+use mps_types::{GeoPoint, SoundLevel};
+
+/// Reference distance of source emission levels, metres.
+const REF_DISTANCE_M: f64 = 10.0;
+/// Sources closer than this are clamped (a listener is never *inside*
+/// the source).
+const MIN_DISTANCE_M: f64 = 3.0;
+/// Quiet ambient floor far from every source, dB(A).
+const AMBIENT_DB: f64 = 30.0;
+
+/// Computes noise levels for a [`CityModel`].
+#[derive(Debug, Clone)]
+pub struct NoiseSimulator {
+    city: CityModel,
+}
+
+impl NoiseSimulator {
+    /// Creates a simulator over a city.
+    pub fn new(city: CityModel) -> Self {
+        Self { city }
+    }
+
+    /// The simulated city.
+    pub fn city(&self) -> &CityModel {
+        &self.city
+    }
+
+    /// Hourly source-activity modulation in dB (0 at the day reference,
+    /// strongly negative at night for traffic).
+    pub fn hourly_modulation_db(hour: u32) -> f64 {
+        match hour {
+            0..=4 => -12.0,
+            5 => -8.0,
+            6 => -4.0,
+            7..=9 => 0.0,
+            10..=17 => -1.0,
+            18..=21 => 0.0,
+            22 => -4.0,
+            _ => -8.0,
+        }
+    }
+
+    /// The noise level at a point for the day-reference hour (8:00).
+    pub fn level_at(&self, p: GeoPoint) -> SoundLevel {
+        self.level_at_hour(p, 8)
+    }
+
+    /// The noise level at a point at a given hour of day.
+    pub fn level_at_hour(&self, p: GeoPoint, hour: u32) -> SoundLevel {
+        let modulation = Self::hourly_modulation_db(hour);
+        let mut contributions = vec![SoundLevel::new(AMBIENT_DB)];
+        for road in self.city.roads() {
+            let d = road.distance_m(p).max(MIN_DISTANCE_M);
+            // Cylindrical spreading for line sources.
+            let level = road.emission_db + modulation - 10.0 * (d / REF_DISTANCE_M).log10();
+            if level > 0.0 {
+                contributions.push(SoundLevel::new(level));
+            }
+        }
+        for venue in self.city.venues() {
+            let d = venue.at.distance_m(p).max(MIN_DISTANCE_M);
+            // Spherical spreading for point sources.
+            let level = venue.emission_db + modulation - 20.0 * (d / REF_DISTANCE_M).log10();
+            if level > 0.0 {
+                contributions.push(SoundLevel::new(level));
+            }
+        }
+        SoundLevel::combine(contributions)
+    }
+
+    /// Computes the full noise map on an `nx × ny` grid at the
+    /// day-reference hour.
+    pub fn simulate(&self, nx: usize, ny: usize) -> Grid {
+        self.simulate_at_hour(nx, ny, 8)
+    }
+
+    /// Computes the full noise map at a given hour.
+    pub fn simulate_at_hour(&self, nx: usize, ny: usize, hour: u32) -> Grid {
+        Grid::from_fn(self.city.bounds(), nx, ny, |p| {
+            self.level_at_hour(p, hour).db()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{Road, Venue};
+    use mps_simcore::SimRng;
+    use mps_types::GeoBounds;
+
+    fn bounds() -> GeoBounds {
+        GeoBounds::new(48.80, 48.90, 2.30, 2.40)
+    }
+
+    fn one_venue_city() -> CityModel {
+        CityModel::new(
+            bounds(),
+            vec![],
+            vec![Venue {
+                at: GeoPoint::new(48.85, 2.35),
+                emission_db: 80.0,
+            }],
+        )
+    }
+
+    #[test]
+    fn noise_decays_with_distance() {
+        let sim = NoiseSimulator::new(one_venue_city());
+        let near = sim.level_at(GeoPoint::new(48.8502, 2.35)); // ~22 m
+        let far = sim.level_at(GeoPoint::new(48.86, 2.35)); // ~1.1 km
+        assert!(near.db() > far.db() + 20.0, "near {near}, far {far}");
+    }
+
+    #[test]
+    fn point_source_follows_inverse_square_law() {
+        let sim = NoiseSimulator::new(one_venue_city());
+        // At 100 m, an 80 dB @ 10 m source gives 80 - 20 = 60 dB
+        // (ambient adds a negligible fraction).
+        let p = GeoPoint::from_local_xy(GeoPoint::new(48.85, 2.35), 100.0, 0.0);
+        let level = sim.level_at(p).db();
+        assert!((level - 60.0).abs() < 0.5, "{level}");
+    }
+
+    #[test]
+    fn line_source_decays_slower() {
+        let road_city = CityModel::new(
+            bounds(),
+            vec![Road {
+                a: GeoPoint::new(48.85, 2.30),
+                b: GeoPoint::new(48.85, 2.40),
+                emission_db: 80.0,
+            }],
+            vec![],
+        );
+        let sim = NoiseSimulator::new(road_city);
+        let origin = GeoPoint::new(48.85, 2.35);
+        let at_100 = sim.level_at(GeoPoint::from_local_xy(origin, 0.0, 100.0)).db();
+        let at_1000 = sim.level_at(GeoPoint::from_local_xy(origin, 0.0, 1000.0)).db();
+        // Cylindrical: 10 dB per decade (plus a whisker of ambient).
+        assert!((at_100 - at_1000 - 10.0).abs() < 1.0, "{at_100} vs {at_1000}");
+    }
+
+    #[test]
+    fn far_field_approaches_ambient() {
+        let sim = NoiseSimulator::new(CityModel::new(bounds(), vec![], vec![]));
+        let level = sim.level_at(GeoPoint::new(48.85, 2.35));
+        assert!((level.db() - AMBIENT_DB).abs() < 1e-9);
+    }
+
+    #[test]
+    fn night_is_quieter_than_day() {
+        let mut rng = SimRng::new(3);
+        let city = CityModel::synthetic(bounds(), 4, 30, &mut rng);
+        let sim = NoiseSimulator::new(city);
+        let p = GeoPoint::new(48.85, 2.35);
+        let day = sim.level_at_hour(p, 18).db();
+        let night = sim.level_at_hour(p, 3).db();
+        assert!(day > night + 6.0, "day {day}, night {night}");
+    }
+
+    #[test]
+    fn map_is_louder_near_sources() {
+        let sim = NoiseSimulator::new(one_venue_city());
+        let map = sim.simulate(20, 20);
+        // The loudest cell should be the one containing the venue.
+        let venue = GeoPoint::new(48.85, 2.35);
+        let at_venue = map.sample(venue).unwrap();
+        let corner = map.at(0, 0);
+        assert!(at_venue > corner + 15.0, "venue {at_venue}, corner {corner}");
+    }
+
+    #[test]
+    fn synthetic_map_has_dynamic_range() {
+        let mut rng = SimRng::new(4);
+        let city = CityModel::synthetic(GeoBounds::paris(), 5, 50, &mut rng);
+        let map = NoiseSimulator::new(city).simulate(32, 32);
+        let min = map.values().iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = map.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 10.0, "range {min}..{max} too flat");
+        assert!(min >= AMBIENT_DB - 1e-9);
+        assert!(max < 100.0, "urban outdoor levels stay under 100 dB");
+    }
+
+    #[test]
+    fn modulation_covers_every_hour() {
+        for hour in 0..24 {
+            let m = NoiseSimulator::hourly_modulation_db(hour);
+            assert!((-15.0..=0.0).contains(&m), "hour {hour}: {m}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! In-crate property tests over assimilation invariants.
+
+use crate::{Blue, Grid, PointObservation};
+use mps_types::{GeoBounds, GeoPoint};
+use proptest::prelude::*;
+
+fn bounds() -> GeoBounds {
+    GeoBounds::paris()
+}
+
+proptest! {
+    #[test]
+    fn covariance_is_bounded_by_variance(sigma in 0.5f64..10.0, radius in 100.0f64..5_000.0,
+                                         u in 0.0f64..1.0, v in 0.0f64..1.0) {
+        let blue = Blue::new(sigma, radius);
+        let a = bounds().center();
+        let b = bounds().lerp(u, v);
+        let c = blue.covariance(a, b);
+        prop_assert!(c >= 0.0);
+        prop_assert!(c <= sigma * sigma + 1e-9);
+    }
+
+    #[test]
+    fn interp_weights_are_convex(nx in 2usize..12, ny in 2usize..12,
+                                 u in 0.0f64..=1.0, v in 0.0f64..=1.0) {
+        let grid = Grid::constant(bounds(), nx, ny, 0.0);
+        let p = bounds().lerp(u.min(0.999), v.min(0.999));
+        let weights = grid.interp_weights(p).unwrap();
+        let total: f64 = weights.iter().map(|(_, w)| *w).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(weights.iter().all(|(i, w)| *i < grid.len() && *w >= 0.0));
+    }
+
+    #[test]
+    fn bilinear_sample_within_cell_value_range(nx in 2usize..10, ny in 2usize..10,
+                                               u in 0.0f64..1.0, v in 0.0f64..1.0,
+                                               seed in any::<u64>()) {
+        // Fill the grid with deterministic pseudo-random values.
+        let mut x = seed | 1;
+        let grid = Grid::from_fn(bounds(), nx, ny, |_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((x >> 33) % 1000) as f64 / 10.0
+        });
+        let p = bounds().lerp(u.min(0.999), v.min(0.999));
+        if let Some(s) = grid.sample(p) {
+            let min = grid.values().iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = grid.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(s >= min - 1e-9 && s <= max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn analysis_interpolates_between_background_and_observation(
+        background_db in 30.0f64..70.0,
+        obs_db in 30.0f64..70.0,
+        sigma_o in 0.5f64..8.0,
+    ) {
+        let grid = Grid::constant(bounds(), 12, 12, background_db);
+        let blue = Blue::new(4.0, 1_000.0);
+        let obs = vec![PointObservation::new(GeoPoint::PARIS, obs_db, sigma_o)];
+        let analysis = blue.analyse(&grid, &obs).unwrap();
+        let at = analysis.sample(GeoPoint::PARIS).unwrap();
+        let (lo, hi) = if background_db <= obs_db {
+            (background_db, obs_db)
+        } else {
+            (obs_db, background_db)
+        };
+        prop_assert!(at >= lo - 1e-6 && at <= hi + 1e-6,
+                     "analysis {} outside [{}, {}]", at, lo, hi);
+    }
+
+    #[test]
+    fn stronger_observation_error_weakens_the_pull(sigma1 in 0.5f64..3.0, extra in 1.0f64..8.0) {
+        let grid = Grid::constant(bounds(), 10, 10, 50.0);
+        let blue = Blue::new(4.0, 1_000.0);
+        let pull = |sigma: f64| {
+            let obs = vec![PointObservation::new(GeoPoint::PARIS, 60.0, sigma)];
+            blue.analyse(&grid, &obs).unwrap().sample(GeoPoint::PARIS).unwrap()
+        };
+        prop_assert!(pull(sigma1) >= pull(sigma1 + extra) - 1e-9);
+    }
+}

@@ -1,0 +1,77 @@
+//! Assimilation benchmarks: the forward noise model and the BLUE
+//! analysis, swept over grid size and observation count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mps_assim::{Blue, CityModel, Grid, NoiseSimulator, PointObservation};
+use mps_simcore::SimRng;
+use mps_types::GeoBounds;
+
+fn observations(n: usize, truth: &Grid, seed: u64) -> Vec<PointObservation> {
+    let mut rng = SimRng::new(seed);
+    let bounds = truth.bounds();
+    (0..n)
+        .map(|_| {
+            let at = bounds.lerp(rng.uniform_in(0.05, 0.95), rng.uniform_in(0.05, 0.95));
+            PointObservation::new(at, truth.sample(at).unwrap() + rng.normal(0.0, 2.0), 2.0)
+        })
+        .collect()
+}
+
+fn bench_forward_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise_simulation");
+    let mut rng = SimRng::new(1);
+    let city = CityModel::synthetic(GeoBounds::paris(), 5, 50, &mut rng);
+    let sim = NoiseSimulator::new(city);
+    for n in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n * n), &n, |b, &n| {
+            b.iter(|| sim.simulate(n, n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_blue_vs_observation_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blue_analysis_obs");
+    group.sample_size(20);
+    let mut rng = SimRng::new(2);
+    let city = CityModel::synthetic(GeoBounds::paris(), 5, 40, &mut rng);
+    let truth = NoiseSimulator::new(city).simulate(24, 24);
+    let background = Grid::constant(GeoBounds::paris(), 24, 24, truth.mean());
+    let blue = Blue::new(4.0, 1_000.0);
+    for m in [10usize, 50, 150] {
+        let obs = observations(m, &truth, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| blue.analyse(&background, &obs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_blue_vs_grid_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blue_analysis_grid");
+    group.sample_size(20);
+    let mut rng = SimRng::new(4);
+    let city = CityModel::synthetic(GeoBounds::paris(), 5, 40, &mut rng);
+    let blue = Blue::new(4.0, 1_000.0);
+    for n in [16usize, 32, 48] {
+        let truth = NoiseSimulator::new(
+            CityModel::synthetic(GeoBounds::paris(), 5, 40, &mut rng),
+        )
+        .simulate(n, n);
+        let background = Grid::constant(GeoBounds::paris(), n, n, truth.mean());
+        let obs = observations(50, &truth, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n * n), &n, |b, _| {
+            b.iter(|| blue.analyse(&background, &obs).unwrap())
+        });
+    }
+    group.finish();
+    let _ = city;
+}
+
+criterion_group!(
+    benches,
+    bench_forward_model,
+    bench_blue_vs_observation_count,
+    bench_blue_vs_grid_size
+);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Broker benchmarks: topic matching, publish throughput, fanout width,
+//! and the Figure 3 topology ablation (direct publish vs chained
+//! client-exchange topology).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mps_broker::{topic_matches, Broker, ExchangeType};
+
+fn bench_topic_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topic_matching");
+    let cases = [
+        ("literal", "a.b.c.d.e", "a.b.c.d.e"),
+        ("stars", "*.b.*.d.*", "a.b.c.d.e"),
+        ("hash_prefix", "#.e", "a.b.c.d.e"),
+        ("hash_middle", "a.#.e", "a.b.c.d.e"),
+        ("pathological", "#.#.#.#", "a.b.c.d.e.f.g.h"),
+    ];
+    for (name, pattern, key) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| topic_matches(black_box(pattern), black_box(key)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_publish_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("publish");
+    // One topic binding.
+    let broker = Broker::new();
+    broker.declare_exchange("e", ExchangeType::Topic).unwrap();
+    broker.declare_queue("q").unwrap();
+    broker.bind_queue("e", "q", "obs.#").unwrap();
+    group.bench_function("topic_single_binding", |b| {
+        b.iter(|| {
+            broker
+                .publish("e", black_box("obs.FR75013.noise"), &b"payload"[..])
+                .unwrap()
+        })
+    });
+    // Periodically drain so the queue doesn't grow unboundedly.
+    broker.purge_queue("q").unwrap();
+
+    // Many bindings to filter through.
+    let broker = Broker::new();
+    broker.declare_exchange("e", ExchangeType::Topic).unwrap();
+    broker.declare_queue("q").unwrap();
+    for i in 0..100 {
+        broker.bind_queue("e", "q", &format!("obs.zone{i}.#")).unwrap();
+    }
+    group.bench_function("topic_100_bindings", |b| {
+        b.iter(|| {
+            broker
+                .publish("e", black_box("obs.zone50.noise"), &b"payload"[..])
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fanout_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout_width");
+    for width in [1usize, 10, 100] {
+        let broker = Broker::new();
+        broker.declare_exchange("f", ExchangeType::Fanout).unwrap();
+        for i in 0..width {
+            let q = format!("q{i}");
+            broker.declare_queue(&q).unwrap();
+            broker.bind_queue("f", &q, "#").unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| broker.publish("f", "k", &b"m"[..]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// The Figure 3 topology ablation: publishing straight to the app
+/// exchange vs through the per-client exchange chain (client exchange →
+/// app exchange → GF exchange → GF queue).
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_topology");
+
+    let direct = Broker::new();
+    direct.declare_exchange("app", ExchangeType::Topic).unwrap();
+    direct.declare_queue("gf").unwrap();
+    direct.bind_queue("app", "gf", "#").unwrap();
+    group.bench_function("direct_to_app_exchange", |b| {
+        b.iter(|| direct.publish("app", "c1.obs.noise.FR75013", &b"m"[..]).unwrap())
+    });
+
+    let chained = Broker::new();
+    chained.declare_exchange("client", ExchangeType::Topic).unwrap();
+    chained.declare_exchange("app", ExchangeType::Topic).unwrap();
+    chained.declare_exchange("gfx", ExchangeType::Topic).unwrap();
+    chained.declare_queue("gf").unwrap();
+    chained.bind_exchange("client", "app", "c1.#").unwrap();
+    chained.bind_exchange("app", "gfx", "#").unwrap();
+    chained.bind_queue("gfx", "gf", "#").unwrap();
+    group.bench_function("chained_client_exchange", |b| {
+        b.iter(|| chained.publish("client", "c1.obs.noise.FR75013", &b"m"[..]).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_consume_ack(c: &mut Criterion) {
+    let broker = Broker::new();
+    broker.declare_exchange("e", ExchangeType::Fanout).unwrap();
+    broker.declare_queue("q").unwrap();
+    broker.bind_queue("e", "q", "#").unwrap();
+    c.bench_function("publish_consume_ack", |b| {
+        b.iter(|| {
+            broker.publish("e", "k", &b"m"[..]).unwrap();
+            let d = broker.consume("q", 1).unwrap().remove(0);
+            broker.ack("q", d.tag).unwrap();
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_topic_matching,
+    bench_publish_throughput,
+    bench_fanout_width,
+    bench_topology,
+    bench_consume_ack
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! The buffering ablation (the paper's central energy-delay tradeoff):
+//! sweep the client buffering factor and report both the middleware cost
+//! (transfers, time per shipped observation) and the implied energy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mps_broker::{Broker, ExchangeType};
+use mps_mobile::{BatteryModel, BatteryParams, GoFlowClient, RadioKind};
+use mps_types::{AppVersion, DeviceModel, Observation, SimDuration, SimTime, SoundLevel};
+
+fn obs(i: i64) -> Observation {
+    Observation::builder()
+        .device(1.into())
+        .user(1.into())
+        .model(DeviceModel::OneplusA0001)
+        .captured_at(SimTime::EPOCH + SimDuration::from_mins(i))
+        .spl(SoundLevel::new(52.0))
+        .build()
+}
+
+/// Messaging cost per observation as the buffer factor grows: v1.1/v1.2.9
+/// behaviour at N = 1, the paper's v1.3 at N = 10.
+fn bench_buffer_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ship_100_observations");
+    group.throughput(Throughput::Elements(100));
+    for buffer in [1usize, 2, 5, 10, 20, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(buffer), &buffer, |b, &n| {
+            let broker = Broker::new();
+            broker.declare_exchange("e", ExchangeType::Topic).unwrap();
+            broker.declare_queue("q").unwrap();
+            broker.bind_queue("e", "q", "#").unwrap();
+            let version = if n == 1 {
+                AppVersion::V1_2_9
+            } else {
+                AppVersion::V1_3
+            };
+            b.iter(|| {
+                // A fresh client per iteration; v1.3's buffer size is
+                // emulated by calling flush every n records.
+                let mut client = GoFlowClient::new("e", "c1.obs.noise.z", version);
+                for i in 0..100i64 {
+                    client.record(obs(i));
+                    if client.pending() >= n {
+                        client.flush(&broker).unwrap();
+                    }
+                }
+                client.flush(&broker).unwrap();
+                // Drain so the queue stays flat across iterations.
+                let deliveries = broker.consume("q", 200).unwrap();
+                for d in deliveries {
+                    broker.ack("q", d.tag).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Non-Criterion side-channel: print the modelled energy per observation
+/// for the same sweep, so the bench output shows the tradeoff curve the
+/// ablation is about.
+fn print_energy_table() {
+    println!("\nmodelled energy per observation (Wi-Fi / 3G), by buffer factor:");
+    println!("{:>6} {:>12} {:>12} {:>14}", "N", "wifi (J)", "3g (J)", "mean delay");
+    let params = BatteryParams::default();
+    for n in [1usize, 2, 5, 10, 20, 50] {
+        let per_obs = |radio: RadioKind| {
+            let mut battery = BatteryModel::new(params, 1.0);
+            let start = 1.0;
+            for i in 0..600usize {
+                battery.drain_measurement(true);
+                if (i + 1) % n == 0 {
+                    battery.drain_transfer(radio, n);
+                }
+            }
+            (start - battery.soc()) * params.capacity_j / 600.0
+        };
+        println!(
+            "{n:>6} {:>12.2} {:>12.2} {:>11.1}min",
+            per_obs(RadioKind::Wifi),
+            per_obs(RadioKind::ThreeG),
+            (n as f64 - 1.0) / 2.0 * 5.0
+        );
+    }
+}
+
+fn bench_with_table(c: &mut Criterion) {
+    print_energy_table();
+    bench_buffer_sweep(c);
+}
+
+criterion_group!(benches, bench_with_table);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Document-store benchmarks: inserts, scan vs indexed queries (the
+//! index ablation), sorting and aggregation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mps_docstore::{
+    aggregate, Accumulator, Collection, Filter, FindOptions, GroupSpec, SortOrder, Stage,
+};
+use serde_json::json;
+
+fn seeded_collection(n: usize) -> Collection {
+    let c = Collection::new();
+    for i in 0..n {
+        c.insert_one(json!({
+            "model": format!("MODEL-{}", i % 20),
+            "spl": 30.0 + (i % 70) as f64,
+            "hour": i % 24,
+            "localized": i % 5 != 0,
+        }))
+        .unwrap();
+    }
+    c
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert");
+    group.bench_function("plain", |b| {
+        let collection = Collection::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            collection
+                .insert_one(json!({"i": i, "spl": 50.0}))
+                .unwrap();
+            i += 1;
+        })
+    });
+    group.bench_function("with_two_indexes", |b| {
+        let collection = Collection::new();
+        collection.create_index("i");
+        collection.create_index("spl");
+        let mut i = 0u64;
+        b.iter(|| {
+            collection
+                .insert_one(json!({"i": i, "spl": (i % 70) as f64}))
+                .unwrap();
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+/// The index-vs-scan ablation from DESIGN.md.
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equality_query");
+    for n in [1_000usize, 10_000] {
+        let scan = seeded_collection(n);
+        let filter = Filter::eq("model", "MODEL-7");
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| scan.count(black_box(&filter)).unwrap())
+        });
+        let indexed = seeded_collection(n);
+        indexed.create_index("model");
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| indexed.count(black_box(&filter)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("range_query");
+    let n = 10_000;
+    let scan = seeded_collection(n);
+    let filter = Filter::range("spl", 40.0, 45.0);
+    group.bench_function("scan", |b| b.iter(|| scan.count(black_box(&filter)).unwrap()));
+    let indexed = seeded_collection(n);
+    indexed.create_index("spl");
+    group.bench_function("indexed", |b| {
+        b.iter(|| indexed.count(black_box(&filter)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_sort_and_page(c: &mut Criterion) {
+    let collection = seeded_collection(10_000);
+    let options = FindOptions::new()
+        .sort("spl", SortOrder::Descending)
+        .limit(50);
+    c.bench_function("sorted_top50_of_10k", |b| {
+        b.iter(|| {
+            collection
+                .find_with_options(black_box(&Filter::True), &options)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let docs = seeded_collection(10_000).all();
+    let pipeline = vec![
+        Stage::Match(Filter::eq("localized", true)),
+        Stage::Group(
+            GroupSpec::by("hour")
+                .accumulate("n", Accumulator::Count)
+                .accumulate("mean_spl", Accumulator::Avg("spl".into())),
+        ),
+        Stage::Sort("_id".into(), SortOrder::Ascending),
+    ];
+    c.bench_function("hourly_group_of_10k", |b| {
+        b.iter(|| aggregate(black_box(&docs), &pipeline).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_query,
+    bench_sort_and_page,
+    bench_aggregation
+);
+criterion_main!(benches);

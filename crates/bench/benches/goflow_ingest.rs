@@ -1,0 +1,117 @@
+//! End-to-end middleware benchmarks: client publish → broker routing →
+//! GoFlow ingest → storage, for single observations and v1.3 batches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mps_broker::Broker;
+use mps_docstore::Store;
+use mps_goflow::{GoFlowServer, Role};
+use mps_mobile::GoFlowClient;
+use mps_types::{
+    AppId, AppVersion, DeviceModel, GeoPoint, LocationFix, LocationProvider, Observation,
+    SimDuration, SimTime, SoundLevel,
+};
+use std::sync::Arc;
+
+struct Rig {
+    broker: Arc<Broker>,
+    server: GoFlowServer,
+    app: AppId,
+    client: GoFlowClient,
+}
+
+fn rig(version: AppVersion) -> Rig {
+    let broker = Arc::new(Broker::new());
+    let server = GoFlowServer::new(Arc::clone(&broker), Store::new());
+    let app = AppId::soundcity();
+    server.register_app(&app).unwrap();
+    let token = server.register_user(&app, 1.into(), Role::Contributor).unwrap();
+    let session = server.login(&token).unwrap();
+    let client = GoFlowClient::new(
+        session.exchange(),
+        session.observation_key("noise", "FR75013"),
+        version,
+    );
+    Rig {
+        broker,
+        server,
+        app,
+        client,
+    }
+}
+
+fn obs(i: i64) -> Observation {
+    Observation::builder()
+        .device(1.into())
+        .user(1.into())
+        .model(DeviceModel::LgeNexus5)
+        .captured_at(SimTime::EPOCH + SimDuration::from_mins(5 * i))
+        .spl(SoundLevel::new(55.0))
+        .location(LocationFix::new(
+            GeoPoint::PARIS,
+            25.0,
+            LocationProvider::Network,
+        ))
+        .build()
+}
+
+fn bench_single_observation_pipeline(c: &mut Criterion) {
+    let mut r = rig(AppVersion::V1_2_9);
+    let mut i = 0i64;
+    c.bench_function("publish_ingest_store_single", |b| {
+        b.iter(|| {
+            r.client.record(obs(i));
+            r.client.on_cycle(&r.broker, true).unwrap();
+            let out = r
+                .server
+                .ingest_pending(&r.app, SimTime::EPOCH + SimDuration::from_mins(5 * i + 1), 1)
+                .unwrap();
+            assert_eq!(out.stored, 1);
+            i += 1;
+        })
+    });
+}
+
+fn bench_batched_pipeline(c: &mut Criterion) {
+    let mut r = rig(AppVersion::V1_3);
+    let mut i = 0i64;
+    c.bench_function("publish_ingest_store_batch10", |b| {
+        b.iter(|| {
+            for _ in 0..10 {
+                r.client.record(obs(i));
+                i += 1;
+            }
+            r.client.on_cycle(&r.broker, true).unwrap();
+            let out = r
+                .server
+                .ingest_pending(&r.app, SimTime::EPOCH + SimDuration::from_mins(5 * i + 1), 1)
+                .unwrap();
+            assert_eq!(out.stored, 10);
+        })
+    });
+}
+
+fn bench_query_after_ingest(c: &mut Criterion) {
+    let mut r = rig(AppVersion::V1_2_9);
+    for i in 0..5_000 {
+        r.client.record(obs(i));
+    }
+    r.client.flush(&r.broker).unwrap();
+    r.server
+        .ingest_pending(&r.app, SimTime::EPOCH + SimDuration::from_days(30), 10_000)
+        .unwrap();
+    let query = mps_goflow::ObservationQuery::new()
+        .provider(LocationProvider::Network)
+        .max_accuracy_m(50.0)
+        .limit(100);
+    c.bench_function("filtered_query_over_5k", |b| {
+        b.iter(|| r.server.query(&r.app, &query).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_observation_pipeline,
+    bench_batched_pipeline,
+    bench_query_after_ingest
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Simulation-kernel benchmarks: event queue, per-device capture
+//! throughput, and a full replayed deployment day.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mps_core::{Deployment, ExperimentConfig};
+use mps_mobile::{Device, DeviceConfig};
+use mps_simcore::{EventQueue, SimRng};
+use mps_types::{DeviceModel, SensingMode, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1_000);
+            let mut x: u64 = 99;
+            for i in 0..1_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                q.push(SimTime::from_millis((x >> 40) as i64), i);
+            }
+            while q.pop().is_some() {}
+        })
+    });
+    group.finish();
+}
+
+fn bench_device_capture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device");
+    let root = SimRng::new(7);
+    let mut device = Device::new(DeviceConfig::new(1, DeviceModel::SamsungGtI9505), &root);
+    let mut i = 0i64;
+    group.bench_function("capture", |b| {
+        b.iter(|| {
+            i += 1;
+            device.capture(SimTime::from_millis(i * 300_000), SensingMode::Opportunistic)
+        })
+    });
+    let mut device = Device::new(DeviceConfig::new(2, DeviceModel::SamsungGtI9505), &root);
+    group.bench_function("maybe_capture_slot", |b| {
+        b.iter(|| {
+            i += 1;
+            device.maybe_capture(SimTime::from_millis(i * 300_000))
+        })
+    });
+    group.finish();
+}
+
+fn bench_deployment_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deployment");
+    group.sample_size(10);
+    group.bench_function("one_day_20_devices", |b| {
+        b.iter_with_setup(
+            || {
+                Deployment::new(ExperimentConfig::quick().with_months(1))
+            },
+            |mut deployment| {
+                deployment.run_day(0);
+                deployment
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_device_capture, bench_deployment_day);
+criterion_main!(benches);

@@ -1,0 +1,330 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! # everything, light two-month replay:
+//! cargo run --release -p mps-bench --bin figures -- all --quick
+//! # one exhibit, the 10-month 1/100-scale replay:
+//! cargo run --release -p mps-bench --bin figures -- fig17
+//! ```
+//!
+//! Exhibits: `fig4 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
+//! fig17 fig18 fig19 fig20 fig21 calib hourly all`.
+
+use mps_analytics::{
+    AccuracyReport, ActivityReport, DelayReport, DiurnalReport, GrowthReport, ModelTable,
+    ProviderByModeReport, ProviderFilter, SplReport,
+};
+use mps_bench::{figure_dataset, longitudinal_dataset};
+use mps_core::{BatteryLab, CalibrationStrategy, CalibrationStudy, Dataset};
+use mps_types::{Activity, AppVersion, DeviceModel, LocationProvider, SensingMode};
+use std::collections::BTreeSet;
+
+fn header(title: &str) {
+    println!("\n==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+}
+
+fn fig4() {
+    header("Figure 4 — noise map vs complaint locations (San Francisco motivation)");
+    let study = CalibrationStudy::new(42);
+    let r = study.fig4_correlation();
+    println!("noise/complaint per-cell correlation: r = {r:.2}");
+    println!("paper: 'strong correlation' between simulated noise and 311 complaints");
+}
+
+fn fig8(dataset: &Dataset) {
+    header("Figure 8 — contributed observations over the deployment");
+    let growth = GrowthReport::build(&dataset.observations);
+    print!("{growth}");
+    let (total, localized) = growth.final_totals();
+    println!(
+        "final: {total} observations, {:.1}% localized  (paper: 45M total over 10 months, ~40% localized; scaled replay)",
+        localized as f64 / total.max(1) as f64 * 100.0
+    );
+    println!("accelerating growth: {}", growth.accelerated());
+}
+
+fn fig9(dataset: &Dataset) {
+    header("Figure 9 — top 20 models (devices / measurements / localized)");
+    let table = ModelTable::build(&dataset.observations);
+    print!("{table}");
+    println!("\npaper totals: 2 091 devices, 23 108 136 measurements, 9 556 174 localized (41.4%)");
+    println!("paper per-model localized%: I9505 43.2, D5803 71.0, HTCONE_M8 20.8, GT-P5210 21.7 ...");
+}
+
+fn accuracy_figure(dataset: &Dataset, filter: ProviderFilter, title: &str, paper_note: &str) {
+    header(title);
+    let report = AccuracyReport::build(&dataset.observations, filter);
+    print!("{report}");
+    println!("{paper_note}");
+}
+
+fn fig14(dataset: &Dataset) {
+    header("Figure 14 — raw SPL distribution (‰) per model");
+    let report = SplReport::by_model(&dataset.observations);
+    println!("{:<18} {:>8} {:>10} {:>12}", "model", "n", "peak dB", "active bump");
+    for (label, hist) in &report.groups {
+        println!(
+            "{:<18} {:>8} {:>10.1} {:>11.1}%",
+            label,
+            hist.total(),
+            hist.peak_center().unwrap_or(f64::NAN),
+            bump_share(&report, label) * 100.0
+        );
+    }
+    println!(
+        "\ncross-model peak spread: {:.1} dB  (paper: peak position 'varies significantly across device models')",
+        report.peak_spread_db()
+    );
+}
+
+fn bump_share(report: &SplReport, label: &str) -> f64 {
+    let hist = &report.groups[label];
+    let edges = hist.edges();
+    let above: u64 = hist
+        .counts()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| edges[*i] >= 55.0)
+        .map(|(_, c)| *c)
+        .sum();
+    (above + hist.overflow()) as f64 / hist.total().max(1) as f64
+}
+
+fn fig15(longitudinal: &Dataset) {
+    header("Figure 15 — raw SPL distribution (‰) for top users of SAMSUNG SM-G901F");
+    let report =
+        SplReport::by_user_of_model(&longitudinal.observations, DeviceModel::SamsungSmG901f, 20);
+    println!("{:<12} {:>8} {:>10}", "user", "n", "peak dB");
+    for (label, hist) in &report.groups {
+        println!(
+            "{:<12} {:>8} {:>10.1}",
+            label,
+            hist.total(),
+            hist.peak_center().unwrap_or(f64::NAN)
+        );
+    }
+    println!(
+        "\nsame-model user peak spread: {:.1} dB  (paper: same-model measurements 'follow much similar patterns')",
+        report.peak_spread_db()
+    );
+}
+
+fn fig16() {
+    header("Figure 16 — battery depletion per client version / radio");
+    let report = BatteryLab::new().run();
+    print!("{report}");
+    println!("\npaper: unbuffered+WiFi ≈ 2x no-app; 3G +50% over WiFi; buffered < +50% over no-app");
+}
+
+fn fig17(longitudinal: &Dataset) {
+    header("Figure 17 — transmission delay vs energy efficiency (CDF per version)");
+    let report = DelayReport::build(&longitudinal.observations);
+    print!("{report}");
+    println!(
+        "\npaper (v1.2.9): ~30% within 10 s, ~35% beyond 2 h; (v1.3): most of the rest within 1 h, ~45% beyond 2 h"
+    );
+    for v in report.versions() {
+        if let Some(m) = report.median_s(v) {
+            println!("median delay {v}: {m:.0} s");
+        }
+    }
+}
+
+fn fig18(dataset: &Dataset) {
+    header("Figure 18 — daily distribution (%) of measurements, top-20 models");
+    let report = DiurnalReport::by_model(&dataset.observations);
+    print!("{report}");
+    println!(
+        "10:00-21:00 share: {:.1}%  (paper: 'highest participation from 10AM to 9PM')",
+        report.fraction_between(10, 21) * 100.0
+    );
+    println!("all 24 hours covered: {}", report.covers_all_hours());
+}
+
+fn fig19(longitudinal: &Dataset) {
+    header("Figure 19 — daily distributions of individual One Plus One users");
+    let report =
+        DiurnalReport::by_user_of_model(&longitudinal.observations, DeviceModel::OneplusA0001, 10);
+    println!("{:<12} {:>8} {:>10}", "user", "n", "peak hour");
+    let peaks = report.peak_hours();
+    for (label, counts) in &report.groups {
+        println!(
+            "{:<12} {:>8} {:>10}",
+            label,
+            counts.iter().sum::<u64>(),
+            peaks.get(label).copied().unwrap_or(0)
+        );
+    }
+    let distinct: BTreeSet<u32> = peaks.into_values().collect();
+    println!(
+        "\ndistinct peak hours across users: {}  (paper: 'quite large diversity' across users)",
+        distinct.len()
+    );
+}
+
+fn fig20(dataset: &Dataset, longitudinal: &Dataset) {
+    header("Figure 20 — location providers by sensing mode");
+    let report = ProviderByModeReport::build(&dataset.observations);
+    print!("{report}");
+    println!(
+        "\nmanual GPS gain: {:+.1} pts  (paper: > +20 pts)",
+        report.gps_gain_pts(SensingMode::Manual)
+    );
+    let journey = ProviderByModeReport::build(&longitudinal.observations);
+    if journey.total(SensingMode::Journey) > 0 {
+        println!(
+            "journey GPS gain (longitudinal replay): {:+.1} pts  (paper: ~+40 pts)",
+            journey.gps_gain_pts(SensingMode::Journey)
+        );
+    }
+}
+
+fn fig21(dataset: &Dataset) {
+    header("Figure 21 — distribution of user activities");
+    let report = ActivityReport::build(&dataset.observations);
+    print!("{report}");
+    println!(
+        "\nstill {:.0}% / moving {:.1}% / unqualified {:.0}%  (paper: ~70% / <10% / ~20%)",
+        report.share(Activity::Still) * 100.0,
+        report.moving_share() * 100.0,
+        report.unqualified_share() * 100.0
+    );
+}
+
+fn hourly() {
+    header("Hourly assimilation (Section 8 research direction)");
+    use mps_assim::{Blue, CityModel, DiurnalAnalysis, HourlyObservation, NoiseSimulator, Road};
+    use mps_simcore::SimRng;
+    use mps_types::GeoBounds;
+    let mut rng = SimRng::new(42);
+    let city = CityModel::synthetic(GeoBounds::paris(), 4, 30, &mut rng);
+    let truth_sim = NoiseSimulator::new(city.clone());
+    let degraded: Vec<Road> = city
+        .roads()
+        .iter()
+        .map(|r| Road { a: r.a, b: r.b, emission_db: r.emission_db - 4.0 })
+        .collect();
+    let model_sim = NoiseSimulator::new(CityModel::new(GeoBounds::paris(), degraded, vec![]));
+    let truth: Vec<_> = (0..24).map(|h| truth_sim.simulate_at_hour(16, 16, h)).collect();
+    let mut observations = Vec::new();
+    for hour in 0..24u32 {
+        for _ in 0..12 {
+            let at = GeoBounds::paris().lerp(rng.uniform_in(0.05, 0.95), rng.uniform_in(0.05, 0.95));
+            observations.push(HourlyObservation {
+                at,
+                value_db: truth[hour as usize].sample(at).expect("inside") + rng.normal(0.0, 1.0),
+                sigma_db: 1.5,
+                hour,
+            });
+        }
+    }
+    let analysis = DiurnalAnalysis::new(Blue::new(4.0, 1_500.0), 16, 16);
+    let hourly = analysis.run(&model_sim, &observations).expect("analysis");
+    let static_field = analysis.run_static(&model_sim, &observations).expect("analysis");
+    println!("RMSE vs hour-varying truth over 24 hourly maps:");
+    println!("  static all-day analysis : {:.2} dB", static_field.rmse_against(&truth));
+    println!("  hourly analyses         : {:.2} dB", hourly.rmse_against(&truth));
+    println!("\npaper (§8): time-varying urban phenomena call for adapted assimilation;");
+    println!("hour-resolved analyses track the diurnal cycle a static map cannot.");
+}
+
+fn calib() {
+    header("Calibration-granularity ablation (Section 5.2 claim)");
+    let study = CalibrationStudy::new(42);
+    for strategy in CalibrationStrategy::ALL {
+        println!("{:<22} {}", strategy.label(), study.run(strategy));
+    }
+    println!("\npaper: 'calibration may be achieved per model rather than per device'");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let wanted: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
+        vec![
+            "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "calib",
+        ]
+    } else {
+        wanted
+    };
+
+    let needs_main = wanted.iter().any(|w| {
+        matches!(
+            *w,
+            "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13" | "fig14" | "fig18" | "fig20" | "fig21"
+        )
+    });
+    let needs_long = wanted
+        .iter()
+        .any(|w| matches!(*w, "fig15" | "fig17" | "fig19" | "fig20"));
+
+    let dataset = if needs_main {
+        eprintln!("running the {} deployment replay...", if quick { "quick" } else { "paper-scaled" });
+        Some(figure_dataset(quick))
+    } else {
+        None
+    };
+    let longitudinal = if needs_long {
+        eprintln!("running the longitudinal (10-month, 2-model) replay...");
+        Some(longitudinal_dataset())
+    } else {
+        None
+    };
+
+    for figure in wanted {
+        match figure {
+            "fig4" => fig4(),
+            "fig8" => fig8(dataset.as_ref().expect("main replay")),
+            "fig9" => fig9(dataset.as_ref().expect("main replay")),
+            "fig10" => accuracy_figure(
+                dataset.as_ref().expect("main replay"),
+                ProviderFilter::All,
+                "Figure 10 — location accuracy distribution (all providers)",
+                "paper: most observations in the 20-50 m range, peak just below 100 m",
+            ),
+            "fig11" => accuracy_figure(
+                dataset.as_ref().expect("main replay"),
+                ProviderFilter::Only(LocationProvider::Gps),
+                "Figure 11 — location accuracy distribution (GPS)",
+                "paper: most GPS fixes in the 6-20 m range; GPS ≈ 7% of localized",
+            ),
+            "fig12" => accuracy_figure(
+                dataset.as_ref().expect("main replay"),
+                ProviderFilter::Only(LocationProvider::Network),
+                "Figure 12 — location accuracy distribution (network)",
+                "paper: network ≈ 86% of localized; 20-50 m range dominates",
+            ),
+            "fig13" => accuracy_figure(
+                dataset.as_ref().expect("main replay"),
+                ProviderFilter::Only(LocationProvider::Fused),
+                "Figure 13 — location accuracy distribution (fused)",
+                "paper: fused ≈ 7% of localized; few models provide it; accuracy rather low",
+            ),
+            "fig14" => fig14(dataset.as_ref().expect("main replay")),
+            "fig15" => fig15(longitudinal.as_ref().expect("longitudinal replay")),
+            "fig16" => fig16(),
+            "fig17" => fig17(longitudinal.as_ref().expect("longitudinal replay")),
+            "fig18" => fig18(dataset.as_ref().expect("main replay")),
+            "fig19" => fig19(longitudinal.as_ref().expect("longitudinal replay")),
+            "fig20" => fig20(
+                dataset.as_ref().expect("main replay"),
+                longitudinal.as_ref().expect("longitudinal replay"),
+            ),
+            "fig21" => fig21(dataset.as_ref().expect("main replay")),
+            "calib" => calib(),
+            "hourly" => hourly(),
+            other => eprintln!("unknown exhibit: {other} (try fig4..fig21, calib, hourly, all)"),
+        }
+    }
+
+    // Version stamp for EXPERIMENTS.md bookkeeping.
+    let _ = AppVersion::ALL;
+}

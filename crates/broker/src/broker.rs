@@ -1,0 +1,864 @@
+//! The broker: exchanges, queues, bindings, publish/consume.
+
+use crate::metrics::MetricsSnapshot;
+use crate::{BindingPattern, BrokerError, BrokerMetrics, Delivery, Message, RoutingKey};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// The kind of an exchange, determining its routing rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExchangeType {
+    /// Routes to bindings whose key equals the message routing key.
+    Direct,
+    /// Routes to every binding, ignoring the routing key.
+    Fanout,
+    /// Routes to bindings whose pattern matches the routing key
+    /// (`*` = one word, `#` = zero or more words).
+    Topic,
+}
+
+impl fmt::Display for ExchangeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExchangeType::Direct => "direct",
+            ExchangeType::Fanout => "fanout",
+            ExchangeType::Topic => "topic",
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Target {
+    Queue(String),
+    Exchange(String),
+}
+
+#[derive(Debug, Clone)]
+struct Binding {
+    pattern: BindingPattern,
+    target: Target,
+}
+
+#[derive(Debug)]
+struct ExchangeState {
+    kind: ExchangeType,
+    bindings: Vec<Binding>,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    ready: VecDeque<(Arc<Message>, bool)>,
+    unacked: HashMap<u64, Arc<Message>>,
+    next_tag: u64,
+    capacity: Option<usize>,
+    enqueued_total: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    exchanges: BTreeMap<String, ExchangeState>,
+    queues: BTreeMap<String, QueueState>,
+}
+
+/// Management view of an exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangeInfo {
+    /// Exchange name.
+    pub name: String,
+    /// Exchange type.
+    pub kind: ExchangeType,
+    /// Number of bindings out of this exchange.
+    pub bindings: usize,
+}
+
+/// Management view of a queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueInfo {
+    /// Queue name.
+    pub name: String,
+    /// Messages ready for delivery.
+    pub ready: usize,
+    /// Messages delivered but not yet acknowledged.
+    pub unacked: usize,
+    /// Total messages ever enqueued.
+    pub enqueued_total: u64,
+    /// Capacity limit, if bounded.
+    pub capacity: Option<usize>,
+}
+
+/// An in-process AMQP-style message broker.
+///
+/// See the [crate documentation](crate) for the model and an example. All
+/// methods take `&self`; the broker is internally synchronised and can be
+/// shared across threads behind an [`Arc`].
+#[derive(Debug, Default)]
+pub struct Broker {
+    state: Mutex<State>,
+    metrics: BrokerMetrics,
+}
+
+impl Broker {
+    /// Creates an empty broker (no exchanges, no queues).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ----- management -----------------------------------------------------
+
+    /// Declares an exchange. Redeclaring with the same type is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::ExchangeTypeMismatch`] if the exchange exists
+    /// with a different type.
+    pub fn declare_exchange(&self, name: &str, kind: ExchangeType) -> Result<(), BrokerError> {
+        let mut state = self.state.lock();
+        match state.exchanges.get(name) {
+            Some(existing) if existing.kind != kind => {
+                Err(BrokerError::ExchangeTypeMismatch { name: name.into() })
+            }
+            Some(_) => Ok(()),
+            None => {
+                state.exchanges.insert(
+                    name.to_owned(),
+                    ExchangeState {
+                        kind,
+                        bindings: Vec::new(),
+                    },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Declares an unbounded queue. Redeclaring is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for forward compatibility
+    /// with declaration arguments.
+    pub fn declare_queue(&self, name: &str) -> Result<(), BrokerError> {
+        self.declare_queue_inner(name, None)
+    }
+
+    /// Declares a queue that holds at most `capacity` ready messages;
+    /// further publishes to it are dropped (and counted in the metrics).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for forward compatibility.
+    pub fn declare_queue_with_capacity(
+        &self,
+        name: &str,
+        capacity: usize,
+    ) -> Result<(), BrokerError> {
+        self.declare_queue_inner(name, Some(capacity))
+    }
+
+    fn declare_queue_inner(&self, name: &str, capacity: Option<usize>) -> Result<(), BrokerError> {
+        let mut state = self.state.lock();
+        state
+            .queues
+            .entry(name.to_owned())
+            .or_insert_with(|| QueueState {
+                capacity,
+                ..QueueState::default()
+            });
+        Ok(())
+    }
+
+    /// Whether an exchange with this name exists.
+    pub fn exchange_exists(&self, name: &str) -> bool {
+        self.state.lock().exchanges.contains_key(name)
+    }
+
+    /// Whether a queue with this name exists.
+    pub fn queue_exists(&self, name: &str) -> bool {
+        self.state.lock().queues.contains_key(name)
+    }
+
+    /// Binds `queue` to `exchange` with a topic `pattern`. Duplicate
+    /// bindings are idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a not-found error if either endpoint is missing, or
+    /// [`BrokerError::InvalidKey`] for a malformed pattern.
+    pub fn bind_queue(&self, exchange: &str, queue: &str, pattern: &str) -> Result<(), BrokerError> {
+        let pattern = BindingPattern::new(pattern)?;
+        let mut state = self.state.lock();
+        if !state.queues.contains_key(queue) {
+            return Err(BrokerError::QueueNotFound(queue.into()));
+        }
+        let ex = state
+            .exchanges
+            .get_mut(exchange)
+            .ok_or_else(|| BrokerError::ExchangeNotFound(exchange.into()))?;
+        let binding = Binding {
+            pattern,
+            target: Target::Queue(queue.to_owned()),
+        };
+        if !ex
+            .bindings
+            .iter()
+            .any(|b| b.pattern == binding.pattern && b.target == binding.target)
+        {
+            ex.bindings.push(binding);
+        }
+        Ok(())
+    }
+
+    /// Binds exchange `destination` to exchange `source`: messages routed
+    /// by `source` whose key matches `pattern` are re-routed through
+    /// `destination` (AMQP exchange-to-exchange binding, used by GoFlow to
+    /// chain client exchanges into the application exchange).
+    ///
+    /// # Errors
+    ///
+    /// Returns a not-found error if either exchange is missing, or
+    /// [`BrokerError::InvalidKey`] for a malformed pattern.
+    pub fn bind_exchange(
+        &self,
+        source: &str,
+        destination: &str,
+        pattern: &str,
+    ) -> Result<(), BrokerError> {
+        let pattern = BindingPattern::new(pattern)?;
+        let mut state = self.state.lock();
+        if !state.exchanges.contains_key(destination) {
+            return Err(BrokerError::ExchangeNotFound(destination.into()));
+        }
+        let ex = state
+            .exchanges
+            .get_mut(source)
+            .ok_or_else(|| BrokerError::ExchangeNotFound(source.into()))?;
+        let binding = Binding {
+            pattern,
+            target: Target::Exchange(destination.to_owned()),
+        };
+        if !ex
+            .bindings
+            .iter()
+            .any(|b| b.pattern == binding.pattern && b.target == binding.target)
+        {
+            ex.bindings.push(binding);
+        }
+        Ok(())
+    }
+
+    /// Removes a queue binding. Removing a non-existent binding is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::ExchangeNotFound`] if the exchange is missing.
+    pub fn unbind_queue(
+        &self,
+        exchange: &str,
+        queue: &str,
+        pattern: &str,
+    ) -> Result<(), BrokerError> {
+        let pattern = BindingPattern::new(pattern)?;
+        let mut state = self.state.lock();
+        let ex = state
+            .exchanges
+            .get_mut(exchange)
+            .ok_or_else(|| BrokerError::ExchangeNotFound(exchange.into()))?;
+        ex.bindings
+            .retain(|b| !(b.pattern == pattern && b.target == Target::Queue(queue.to_owned())));
+        Ok(())
+    }
+
+    /// Deletes an exchange and every binding pointing at it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::ExchangeNotFound`] if it does not exist.
+    pub fn delete_exchange(&self, name: &str) -> Result<(), BrokerError> {
+        let mut state = self.state.lock();
+        if state.exchanges.remove(name).is_none() {
+            return Err(BrokerError::ExchangeNotFound(name.into()));
+        }
+        for ex in state.exchanges.values_mut() {
+            ex.bindings
+                .retain(|b| b.target != Target::Exchange(name.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Deletes a queue (with its messages) and every binding pointing at it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::QueueNotFound`] if it does not exist.
+    pub fn delete_queue(&self, name: &str) -> Result<(), BrokerError> {
+        let mut state = self.state.lock();
+        if state.queues.remove(name).is_none() {
+            return Err(BrokerError::QueueNotFound(name.into()));
+        }
+        for ex in state.exchanges.values_mut() {
+            ex.bindings
+                .retain(|b| b.target != Target::Queue(name.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Discards all ready messages in a queue, returning how many were
+    /// dropped (unacked deliveries are unaffected, as in AMQP `purge`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::QueueNotFound`] if the queue does not exist.
+    pub fn purge_queue(&self, name: &str) -> Result<usize, BrokerError> {
+        let mut state = self.state.lock();
+        let q = state
+            .queues
+            .get_mut(name)
+            .ok_or_else(|| BrokerError::QueueNotFound(name.into()))?;
+        let n = q.ready.len();
+        q.ready.clear();
+        Ok(n)
+    }
+
+    /// Lists all exchanges in name order.
+    pub fn exchanges(&self) -> Vec<ExchangeInfo> {
+        let state = self.state.lock();
+        state
+            .exchanges
+            .iter()
+            .map(|(name, ex)| ExchangeInfo {
+                name: name.clone(),
+                kind: ex.kind,
+                bindings: ex.bindings.len(),
+            })
+            .collect()
+    }
+
+    /// Lists all queues in name order.
+    pub fn queues(&self) -> Vec<QueueInfo> {
+        let state = self.state.lock();
+        state
+            .queues
+            .iter()
+            .map(|(name, q)| QueueInfo {
+                name: name.clone(),
+                ready: q.ready.len(),
+                unacked: q.unacked.len(),
+                enqueued_total: q.enqueued_total,
+                capacity: q.capacity,
+            })
+            .collect()
+    }
+
+    /// Number of ready messages in a queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::QueueNotFound`] if the queue does not exist.
+    pub fn queue_depth(&self, name: &str) -> Result<usize, BrokerError> {
+        let state = self.state.lock();
+        state
+            .queues
+            .get(name)
+            .map(|q| q.ready.len())
+            .ok_or_else(|| BrokerError::QueueNotFound(name.into()))
+    }
+
+    // ----- publish / consume ----------------------------------------------
+
+    /// Publishes a payload to `exchange` with routing key `key`. Returns
+    /// the number of queues the message was enqueued on (0 means the
+    /// message was unroutable and dropped, as with an unset AMQP
+    /// `mandatory` flag).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::ExchangeNotFound`] for an unknown exchange or
+    /// [`BrokerError::InvalidKey`] for a malformed routing key.
+    pub fn publish(
+        &self,
+        exchange: &str,
+        key: &str,
+        payload: impl Into<Bytes>,
+    ) -> Result<usize, BrokerError> {
+        let key = RoutingKey::new(key)?;
+        self.publish_message(exchange, Message::new(key, payload))
+    }
+
+    /// Publishes a prepared [`Message`] to `exchange`. See
+    /// [`Broker::publish`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::ExchangeNotFound`] for an unknown exchange.
+    pub fn publish_message(&self, exchange: &str, message: Message) -> Result<usize, BrokerError> {
+        let mut state = self.state.lock();
+        if !state.exchanges.contains_key(exchange) {
+            return Err(BrokerError::ExchangeNotFound(exchange.into()));
+        }
+        self.metrics.on_publish();
+
+        // Breadth-first traversal across exchange-to-exchange bindings,
+        // with a visited set for cycle safety; dedup target queues so a
+        // message lands at most once per queue (AMQP semantics).
+        let mut visited: BTreeSet<String> = BTreeSet::new();
+        let mut frontier: VecDeque<String> = VecDeque::new();
+        let mut targets: BTreeSet<String> = BTreeSet::new();
+        visited.insert(exchange.to_owned());
+        frontier.push_back(exchange.to_owned());
+        let key = message.routing_key().clone();
+
+        while let Some(name) = frontier.pop_front() {
+            let Some(ex) = state.exchanges.get(&name) else {
+                continue;
+            };
+            for binding in &ex.bindings {
+                let matched = match ex.kind {
+                    ExchangeType::Fanout => true,
+                    ExchangeType::Direct => binding.pattern.as_str() == key.as_str(),
+                    ExchangeType::Topic => binding.pattern.matches(&key),
+                };
+                if !matched {
+                    continue;
+                }
+                match &binding.target {
+                    Target::Queue(q) => {
+                        targets.insert(q.clone());
+                    }
+                    Target::Exchange(e) => {
+                        if visited.insert(e.clone()) {
+                            frontier.push_back(e.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        let shared = Arc::new(message);
+        let mut enqueued = 0usize;
+        for queue_name in &targets {
+            if let Some(q) = state.queues.get_mut(queue_name) {
+                if q.capacity.is_some_and(|cap| q.ready.len() >= cap) {
+                    self.metrics.on_dropped();
+                    continue;
+                }
+                q.ready.push_back((Arc::clone(&shared), false));
+                q.enqueued_total += 1;
+                enqueued += 1;
+            }
+        }
+        self.metrics.on_routed(enqueued as u64);
+        Ok(enqueued)
+    }
+
+    /// Takes up to `max` ready messages from a queue. Delivered messages
+    /// move to the unacked set until [`Broker::ack`]ed or
+    /// [`Broker::nack`]ed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::QueueNotFound`] if the queue does not exist.
+    pub fn consume(&self, queue: &str, max: usize) -> Result<Vec<Delivery>, BrokerError> {
+        let mut state = self.state.lock();
+        let q = state
+            .queues
+            .get_mut(queue)
+            .ok_or_else(|| BrokerError::QueueNotFound(queue.into()))?;
+        let n = max.min(q.ready.len());
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (message, redelivered) = q.ready.pop_front().expect("len checked");
+            let tag = q.next_tag;
+            q.next_tag += 1;
+            q.unacked.insert(tag, Arc::clone(&message));
+            out.push(Delivery {
+                tag,
+                message,
+                redelivered,
+            });
+        }
+        self.metrics.on_delivered(out.len() as u64);
+        Ok(out)
+    }
+
+    /// Acknowledges a delivery, removing it from the unacked set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownDeliveryTag`] for an unknown tag and
+    /// [`BrokerError::QueueNotFound`] for an unknown queue.
+    pub fn ack(&self, queue: &str, tag: u64) -> Result<(), BrokerError> {
+        let mut state = self.state.lock();
+        let q = state
+            .queues
+            .get_mut(queue)
+            .ok_or_else(|| BrokerError::QueueNotFound(queue.into()))?;
+        q.unacked
+            .remove(&tag)
+            .ok_or(BrokerError::UnknownDeliveryTag {
+                queue: queue.into(),
+                tag,
+            })?;
+        self.metrics.on_acked();
+        Ok(())
+    }
+
+    /// Negatively acknowledges a delivery. With `requeue`, the message
+    /// returns to the **front** of the queue flagged as redelivered;
+    /// otherwise it is discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownDeliveryTag`] for an unknown tag and
+    /// [`BrokerError::QueueNotFound`] for an unknown queue.
+    pub fn nack(&self, queue: &str, tag: u64, requeue: bool) -> Result<(), BrokerError> {
+        let mut state = self.state.lock();
+        let q = state
+            .queues
+            .get_mut(queue)
+            .ok_or_else(|| BrokerError::QueueNotFound(queue.into()))?;
+        let message = q
+            .unacked
+            .remove(&tag)
+            .ok_or(BrokerError::UnknownDeliveryTag {
+                queue: queue.into(),
+                tag,
+            })?;
+        if requeue {
+            q.ready.push_front((message, true));
+            self.metrics.on_requeued();
+        } else {
+            self.metrics.on_dropped();
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the broker counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn broker_with_topic_setup() -> Broker {
+        let b = Broker::new();
+        b.declare_exchange("app", ExchangeType::Topic).unwrap();
+        b.declare_queue("q1").unwrap();
+        b.declare_queue("q2").unwrap();
+        b
+    }
+
+    #[test]
+    fn declare_exchange_idempotent_same_type() {
+        let b = Broker::new();
+        b.declare_exchange("e", ExchangeType::Topic).unwrap();
+        b.declare_exchange("e", ExchangeType::Topic).unwrap();
+        assert_eq!(
+            b.declare_exchange("e", ExchangeType::Direct).unwrap_err(),
+            BrokerError::ExchangeTypeMismatch { name: "e".into() }
+        );
+    }
+
+    #[test]
+    fn topic_routing_filters_by_pattern() {
+        let b = broker_with_topic_setup();
+        b.bind_queue("app", "q1", "obs.paris.#").unwrap();
+        b.bind_queue("app", "q2", "obs.*.noise").unwrap();
+        let routed = b.publish("app", "obs.paris.noise", &b"x"[..]).unwrap();
+        assert_eq!(routed, 2);
+        let routed = b.publish("app", "obs.lyon.noise", &b"x"[..]).unwrap();
+        assert_eq!(routed, 1);
+        assert_eq!(b.queue_depth("q1").unwrap(), 1);
+        assert_eq!(b.queue_depth("q2").unwrap(), 2);
+    }
+
+    #[test]
+    fn direct_exchange_requires_exact_match() {
+        let b = Broker::new();
+        b.declare_exchange("d", ExchangeType::Direct).unwrap();
+        b.declare_queue("q").unwrap();
+        b.bind_queue("d", "q", "exact.key").unwrap();
+        assert_eq!(b.publish("d", "exact.key", &b""[..]).unwrap(), 1);
+        assert_eq!(b.publish("d", "exact.other", &b""[..]).unwrap(), 0);
+    }
+
+    #[test]
+    fn direct_exchange_treats_star_literally() {
+        let b = Broker::new();
+        b.declare_exchange("d", ExchangeType::Direct).unwrap();
+        b.declare_queue("q").unwrap();
+        b.bind_queue("d", "q", "a.*").unwrap();
+        // Direct exchanges compare keys literally, so "a.b" must not match.
+        assert_eq!(b.publish("d", "a.b", &b""[..]).unwrap(), 0);
+    }
+
+    #[test]
+    fn fanout_ignores_key() {
+        let b = Broker::new();
+        b.declare_exchange("f", ExchangeType::Fanout).unwrap();
+        b.declare_queue("q1").unwrap();
+        b.declare_queue("q2").unwrap();
+        b.bind_queue("f", "q1", "ignored").unwrap();
+        b.bind_queue("f", "q2", "also-ignored").unwrap();
+        assert_eq!(b.publish("f", "whatever.key", &b""[..]).unwrap(), 2);
+    }
+
+    #[test]
+    fn duplicate_bindings_deliver_once() {
+        let b = broker_with_topic_setup();
+        b.bind_queue("app", "q1", "obs.#").unwrap();
+        b.bind_queue("app", "q1", "obs.#").unwrap(); // idempotent
+        b.bind_queue("app", "q1", "obs.paris.*").unwrap(); // overlapping
+        assert_eq!(b.publish("app", "obs.paris.noise", &b""[..]).unwrap(), 1);
+        assert_eq!(b.queue_depth("q1").unwrap(), 1);
+    }
+
+    #[test]
+    fn exchange_to_exchange_chain_routes() {
+        // Reproduces the paper's Figure 3: client exchange -> app exchange
+        // -> GF queue.
+        let b = Broker::new();
+        b.declare_exchange("E1", ExchangeType::Topic).unwrap();
+        b.declare_exchange("SC", ExchangeType::Topic).unwrap();
+        b.declare_queue("GF").unwrap();
+        b.bind_exchange("E1", "SC", "#").unwrap();
+        b.bind_queue("SC", "GF", "#").unwrap();
+        assert_eq!(b.publish("E1", "obs.FR75013.noise", &b"m"[..]).unwrap(), 1);
+        assert_eq!(b.queue_depth("GF").unwrap(), 1);
+    }
+
+    #[test]
+    fn exchange_cycles_terminate() {
+        let b = Broker::new();
+        b.declare_exchange("a", ExchangeType::Fanout).unwrap();
+        b.declare_exchange("x", ExchangeType::Fanout).unwrap();
+        b.declare_queue("q").unwrap();
+        b.bind_exchange("a", "x", "#").unwrap();
+        b.bind_exchange("x", "a", "#").unwrap(); // cycle
+        b.bind_queue("x", "q", "#").unwrap();
+        assert_eq!(b.publish("a", "k", &b""[..]).unwrap(), 1);
+    }
+
+    #[test]
+    fn consume_moves_to_unacked_and_ack_clears() {
+        let b = broker_with_topic_setup();
+        b.bind_queue("app", "q1", "#").unwrap();
+        b.publish("app", "k", &b"1"[..]).unwrap();
+        b.publish("app", "k", &b"2"[..]).unwrap();
+        let deliveries = b.consume("q1", 10).unwrap();
+        assert_eq!(deliveries.len(), 2);
+        assert_eq!(deliveries[0].payload().as_ref(), b"1");
+        assert!(!deliveries[0].redelivered);
+        assert_eq!(b.queue_depth("q1").unwrap(), 0);
+        let info = &b.queues()[0]; // queues list sorts by name: q1, q2
+        assert_eq!(info.name, "q1");
+        assert_eq!(info.unacked, 2);
+        b.ack("q1", deliveries[0].tag).unwrap();
+        b.ack("q1", deliveries[1].tag).unwrap();
+        assert_eq!(b.queues()[0].unacked, 0);
+        // Double-ack is an error.
+        assert!(matches!(
+            b.ack("q1", deliveries[0].tag),
+            Err(BrokerError::UnknownDeliveryTag { .. })
+        ));
+    }
+
+    #[test]
+    fn nack_requeues_at_front_with_redelivered_flag() {
+        let b = broker_with_topic_setup();
+        b.bind_queue("app", "q1", "#").unwrap();
+        b.publish("app", "k", &b"first"[..]).unwrap();
+        b.publish("app", "k", &b"second"[..]).unwrap();
+        let d = b.consume("q1", 1).unwrap().remove(0);
+        b.nack("q1", d.tag, true).unwrap();
+        let redelivered = b.consume("q1", 1).unwrap().remove(0);
+        assert_eq!(redelivered.payload().as_ref(), b"first");
+        assert!(redelivered.redelivered);
+    }
+
+    #[test]
+    fn nack_without_requeue_discards() {
+        let b = broker_with_topic_setup();
+        b.bind_queue("app", "q1", "#").unwrap();
+        b.publish("app", "k", &b"x"[..]).unwrap();
+        let d = b.consume("q1", 1).unwrap().remove(0);
+        b.nack("q1", d.tag, false).unwrap();
+        assert_eq!(b.queue_depth("q1").unwrap(), 0);
+        assert_eq!(b.consume("q1", 1).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn bounded_queue_drops_overflow() {
+        let b = Broker::new();
+        b.declare_exchange("e", ExchangeType::Fanout).unwrap();
+        b.declare_queue_with_capacity("q", 2).unwrap();
+        b.bind_queue("e", "q", "#").unwrap();
+        assert_eq!(b.publish("e", "k", &b"1"[..]).unwrap(), 1);
+        assert_eq!(b.publish("e", "k", &b"2"[..]).unwrap(), 1);
+        assert_eq!(b.publish("e", "k", &b"3"[..]).unwrap(), 0);
+        assert_eq!(b.queue_depth("q").unwrap(), 2);
+        assert_eq!(b.metrics().dropped, 1);
+    }
+
+    #[test]
+    fn unroutable_counts_in_metrics() {
+        let b = broker_with_topic_setup();
+        b.publish("app", "no.binding", &b""[..]).unwrap();
+        let m = b.metrics();
+        assert_eq!(m.published, 1);
+        assert_eq!(m.unroutable, 1);
+        assert_eq!(m.routed, 0);
+    }
+
+    #[test]
+    fn publish_to_unknown_exchange_fails() {
+        let b = Broker::new();
+        assert_eq!(
+            b.publish("ghost", "k", &b""[..]).unwrap_err(),
+            BrokerError::ExchangeNotFound("ghost".into())
+        );
+    }
+
+    #[test]
+    fn bind_validations() {
+        let b = broker_with_topic_setup();
+        assert!(matches!(
+            b.bind_queue("ghost", "q1", "#"),
+            Err(BrokerError::ExchangeNotFound(_))
+        ));
+        assert!(matches!(
+            b.bind_queue("app", "ghost", "#"),
+            Err(BrokerError::QueueNotFound(_))
+        ));
+        assert!(matches!(
+            b.bind_queue("app", "q1", "bad..pattern"),
+            Err(BrokerError::InvalidKey(_))
+        ));
+        assert!(matches!(
+            b.bind_exchange("app", "ghost", "#"),
+            Err(BrokerError::ExchangeNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn unbind_stops_routing() {
+        let b = broker_with_topic_setup();
+        b.bind_queue("app", "q1", "obs.#").unwrap();
+        b.unbind_queue("app", "q1", "obs.#").unwrap();
+        assert_eq!(b.publish("app", "obs.x", &b""[..]).unwrap(), 0);
+        // Unbinding a non-existent binding is a no-op.
+        b.unbind_queue("app", "q1", "other.#").unwrap();
+    }
+
+    #[test]
+    fn delete_queue_removes_bindings() {
+        let b = broker_with_topic_setup();
+        b.bind_queue("app", "q1", "#").unwrap();
+        b.delete_queue("q1").unwrap();
+        assert!(!b.queue_exists("q1"));
+        assert_eq!(b.publish("app", "k", &b""[..]).unwrap(), 0);
+        assert!(b.delete_queue("q1").is_err());
+        assert_eq!(b.exchanges()[0].bindings, 0);
+    }
+
+    #[test]
+    fn delete_exchange_removes_e2e_bindings() {
+        let b = Broker::new();
+        b.declare_exchange("src", ExchangeType::Fanout).unwrap();
+        b.declare_exchange("dst", ExchangeType::Fanout).unwrap();
+        b.bind_exchange("src", "dst", "#").unwrap();
+        b.delete_exchange("dst").unwrap();
+        assert!(!b.exchange_exists("dst"));
+        assert_eq!(b.exchanges()[0].bindings, 0);
+        assert!(b.delete_exchange("dst").is_err());
+    }
+
+    #[test]
+    fn purge_clears_ready_only() {
+        let b = broker_with_topic_setup();
+        b.bind_queue("app", "q1", "#").unwrap();
+        b.publish("app", "k", &b"1"[..]).unwrap();
+        b.publish("app", "k", &b"2"[..]).unwrap();
+        let d = b.consume("q1", 1).unwrap().remove(0);
+        assert_eq!(b.purge_queue("q1").unwrap(), 1);
+        assert_eq!(b.queue_depth("q1").unwrap(), 0);
+        // The unacked delivery survives purge and can still be nacked back.
+        b.nack("q1", d.tag, true).unwrap();
+        assert_eq!(b.queue_depth("q1").unwrap(), 1);
+    }
+
+    #[test]
+    fn queue_info_reports_totals() {
+        let b = Broker::new();
+        b.declare_exchange("e", ExchangeType::Fanout).unwrap();
+        b.declare_queue_with_capacity("q", 10).unwrap();
+        b.bind_queue("e", "q", "#").unwrap();
+        b.publish("e", "k", &b""[..]).unwrap();
+        b.publish("e", "k", &b""[..]).unwrap();
+        b.consume("q", 1).unwrap();
+        let info = &b.queues()[0];
+        assert_eq!(info.ready, 1);
+        assert_eq!(info.unacked, 1);
+        assert_eq!(info.enqueued_total, 2);
+        assert_eq!(info.capacity, Some(10));
+    }
+
+    #[test]
+    fn exchange_info_lists_sorted() {
+        let b = Broker::new();
+        b.declare_exchange("zeta", ExchangeType::Direct).unwrap();
+        b.declare_exchange("alpha", ExchangeType::Topic).unwrap();
+        let infos = b.exchanges();
+        assert_eq!(infos[0].name, "alpha");
+        assert_eq!(infos[0].kind, ExchangeType::Topic);
+        assert_eq!(infos[1].name, "zeta");
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let b = broker_with_topic_setup();
+        b.bind_queue("app", "q1", "#").unwrap();
+        for i in 0..50u8 {
+            b.publish("app", "k", vec![i]).unwrap();
+        }
+        let all = b.consume("q1", 100).unwrap();
+        let order: Vec<u8> = all.iter().map(|d| d.payload()[0]).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_publishers_lose_nothing() {
+        use std::sync::Arc;
+        let b = Arc::new(Broker::new());
+        b.declare_exchange("e", ExchangeType::Fanout).unwrap();
+        b.declare_queue("q").unwrap();
+        b.bind_queue("e", "q", "#").unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        b.publish("e", "k", &b"m"[..]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(b.queue_depth("q").unwrap(), 8000);
+        assert_eq!(b.metrics().published, 8000);
+    }
+
+    #[test]
+    fn exchange_type_display() {
+        assert_eq!(ExchangeType::Direct.to_string(), "direct");
+        assert_eq!(ExchangeType::Fanout.to_string(), "fanout");
+        assert_eq!(ExchangeType::Topic.to_string(), "topic");
+    }
+}

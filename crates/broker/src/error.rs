@@ -1,0 +1,85 @@
+//! Broker error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`Broker`](crate::Broker) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// No exchange with the given name exists.
+    ExchangeNotFound(String),
+    /// No queue with the given name exists.
+    QueueNotFound(String),
+    /// An exchange with this name already exists with a different type
+    /// (AMQP calls this a *precondition failure*).
+    ExchangeTypeMismatch {
+        /// Name of the conflicting exchange.
+        name: String,
+    },
+    /// A routing key or binding pattern was syntactically invalid.
+    InvalidKey(String),
+    /// The delivery tag is unknown for this queue (already acked, or never
+    /// delivered).
+    UnknownDeliveryTag {
+        /// The queue on which the ack/nack was attempted.
+        queue: String,
+        /// The unrecognised tag.
+        tag: u64,
+    },
+    /// The queue's capacity is exhausted and the message was rejected.
+    QueueFull(String),
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrokerError::ExchangeNotFound(name) => write!(f, "exchange not found: {name}"),
+            BrokerError::QueueNotFound(name) => write!(f, "queue not found: {name}"),
+            BrokerError::ExchangeTypeMismatch { name } => {
+                write!(f, "exchange {name} already exists with a different type")
+            }
+            BrokerError::InvalidKey(key) => write!(f, "invalid routing key or pattern: {key:?}"),
+            BrokerError::UnknownDeliveryTag { queue, tag } => {
+                write!(f, "unknown delivery tag {tag} on queue {queue}")
+            }
+            BrokerError::QueueFull(name) => write!(f, "queue full: {name}"),
+        }
+    }
+}
+
+impl Error for BrokerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(BrokerError, &str)> = vec![
+            (BrokerError::ExchangeNotFound("e1".into()), "e1"),
+            (BrokerError::QueueNotFound("q1".into()), "q1"),
+            (
+                BrokerError::ExchangeTypeMismatch { name: "sc".into() },
+                "sc",
+            ),
+            (BrokerError::InvalidKey("a..b".into()), "a..b"),
+            (
+                BrokerError::UnknownDeliveryTag {
+                    queue: "q".into(),
+                    tag: 42,
+                },
+                "42",
+            ),
+            (BrokerError::QueueFull("gf".into()), "gf"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BrokerError>();
+    }
+}

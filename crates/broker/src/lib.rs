@@ -1,0 +1,56 @@
+//! # mps-broker — an AMQP-style message broker
+//!
+//! In the paper's deployment, messaging between the SoundCity app and the
+//! GoFlow crowd-sensing server is routed through RabbitMQ using the AMQP
+//! model: *exchanges* forward messages to *queues* (or to other exchanges)
+//! according to *bindings*, and topic exchanges filter on routing-key
+//! patterns. This crate is a faithful in-process substitute implementing
+//! the subset GoFlow relies on (Section 3.2, Figure 3 of the paper):
+//!
+//! * direct, fanout and topic exchanges;
+//! * queue and **exchange-to-exchange** bindings (GoFlow chains a
+//!   per-client exchange into the application exchange into the GF queue);
+//! * AMQP topic patterns (`*` matches exactly one word, `#` matches zero or
+//!   more words);
+//! * durable queues that retain messages while a mobile consumer is
+//!   disconnected, with ack/nack redelivery;
+//! * a management API (declare / bind / purge / delete) and broker-wide
+//!   metrics.
+//!
+//! The broker is thread-safe and deliberately unclocked: delivery is
+//! immediate, and the *simulated* network delays of the experiment are
+//! modelled where they belong, in the mobile client's connectivity model.
+//!
+//! # Examples
+//!
+//! ```
+//! use mps_broker::{Broker, ExchangeType};
+//!
+//! let broker = Broker::new();
+//! broker.declare_exchange("app", ExchangeType::Topic)?;
+//! broker.declare_queue("inbox")?;
+//! broker.bind_queue("app", "inbox", "obs.paris.*")?;
+//!
+//! broker.publish("app", "obs.paris.noise", br#"{"spl": 61.5}"#.as_ref())?;
+//! let deliveries = broker.consume("inbox", 10)?;
+//! assert_eq!(deliveries.len(), 1);
+//! broker.ack("inbox", deliveries[0].tag)?;
+//! # Ok::<(), mps_broker::BrokerError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broker;
+mod error;
+mod message;
+mod metrics;
+#[cfg(test)]
+mod proptests;
+mod topic;
+
+pub use broker::{Broker, ExchangeInfo, ExchangeType, QueueInfo};
+pub use error::BrokerError;
+pub use message::{Delivery, Message};
+pub use metrics::{BrokerMetrics, MetricsSnapshot};
+pub use topic::{topic_matches, BindingPattern, RoutingKey};

@@ -1,0 +1,114 @@
+//! Broker-wide counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing broker activity since start-up.
+///
+/// Updated lock-free on the publish/consume paths; read with
+/// [`BrokerMetrics::snapshot`].
+#[derive(Debug, Default)]
+pub struct BrokerMetrics {
+    published: AtomicU64,
+    routed: AtomicU64,
+    unroutable: AtomicU64,
+    delivered: AtomicU64,
+    acked: AtomicU64,
+    requeued: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// A point-in-time copy of [`BrokerMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Messages accepted by `publish`.
+    pub published: u64,
+    /// Queue enqueues resulting from routing (one publish may route to
+    /// several queues, or to none).
+    pub routed: u64,
+    /// Publishes that matched no queue at all.
+    pub unroutable: u64,
+    /// Messages handed to consumers.
+    pub delivered: u64,
+    /// Deliveries acknowledged.
+    pub acked: u64,
+    /// Deliveries negatively acknowledged and requeued.
+    pub requeued: u64,
+    /// Messages rejected because a queue was full.
+    pub dropped: u64,
+}
+
+impl BrokerMetrics {
+    pub(crate) fn on_publish(&self) {
+        self.published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_routed(&self, queues: u64) {
+        if queues == 0 {
+            self.unroutable.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.routed.fetch_add(queues, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn on_delivered(&self, n: u64) {
+        self.delivered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_acked(&self) {
+        self.acked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_requeued(&self) {
+        self.requeued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters (each counter is
+    /// read atomically; the set is not a transaction).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            published: self.published.load(Ordering::Relaxed),
+            routed: self.routed.load(Ordering::Relaxed),
+            unroutable: self.unroutable.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            acked: self.acked.load(Ordering::Relaxed),
+            requeued: self.requeued.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = BrokerMetrics::default();
+        m.on_publish();
+        m.on_publish();
+        m.on_routed(3);
+        m.on_routed(0);
+        m.on_delivered(2);
+        m.on_acked();
+        m.on_requeued();
+        m.on_dropped();
+        let s = m.snapshot();
+        assert_eq!(s.published, 2);
+        assert_eq!(s.routed, 3);
+        assert_eq!(s.unroutable, 1);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.acked, 1);
+        assert_eq!(s.requeued, 1);
+        assert_eq!(s.dropped, 1);
+    }
+
+    #[test]
+    fn snapshot_default_is_zero() {
+        let s = BrokerMetrics::default().snapshot();
+        assert_eq!(s, MetricsSnapshot::default());
+    }
+}

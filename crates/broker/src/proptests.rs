@@ -1,0 +1,95 @@
+//! In-crate property tests over broker invariants.
+
+use crate::{Broker, ExchangeType, RoutingKey};
+use proptest::prelude::*;
+
+fn key_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-zA-Z0-9_-]{1,6}", 1..5).prop_map(|w| w.join("."))
+}
+
+proptest! {
+    #[test]
+    fn valid_keys_parse_and_roundtrip(key in key_strategy()) {
+        let parsed = RoutingKey::new(key.clone()).unwrap();
+        prop_assert_eq!(parsed.as_str(), key.as_str());
+        prop_assert_eq!(parsed.words().count(), key.split('.').count());
+    }
+
+    #[test]
+    fn arbitrary_strings_never_panic_validation(s in ".{0,40}") {
+        // Validation may accept or reject, but must never panic.
+        let _ = RoutingKey::new(s.clone());
+        let _ = crate::BindingPattern::new(s);
+    }
+
+    #[test]
+    fn publish_consume_ack_conserves(keys in prop::collection::vec(key_strategy(), 1..25)) {
+        let broker = Broker::new();
+        broker.declare_exchange("e", ExchangeType::Topic).unwrap();
+        broker.declare_queue("q").unwrap();
+        broker.bind_queue("e", "q", "#").unwrap();
+        for k in &keys {
+            broker.publish("e", k, k.as_bytes().to_vec()).unwrap();
+        }
+        // Interleave partial consumes and acks.
+        let mut seen = 0usize;
+        while seen < keys.len() {
+            let batch = broker.consume("q", 3).unwrap();
+            prop_assert!(!batch.is_empty());
+            for d in batch {
+                prop_assert_eq!(d.payload().as_ref(), keys[seen].as_bytes());
+                broker.ack("q", d.tag).unwrap();
+                seen += 1;
+            }
+        }
+        let m = broker.metrics();
+        prop_assert_eq!(m.acked, keys.len() as u64);
+        prop_assert_eq!(broker.queue_depth("q").unwrap(), 0);
+    }
+
+    #[test]
+    fn nack_requeue_never_loses(n in 1usize..20, requeue_mask in any::<u32>()) {
+        let broker = Broker::new();
+        broker.declare_exchange("e", ExchangeType::Fanout).unwrap();
+        broker.declare_queue("q").unwrap();
+        broker.bind_queue("e", "q", "#").unwrap();
+        for i in 0..n {
+            broker.publish("e", "k", vec![i as u8]).unwrap();
+        }
+        // Consume all; nack some back, ack the rest.
+        let batch = broker.consume("q", n).unwrap();
+        let mut requeued = 0usize;
+        for (i, d) in batch.iter().enumerate() {
+            if requeue_mask & (1 << (i % 32)) != 0 {
+                broker.nack("q", d.tag, true).unwrap();
+                requeued += 1;
+            } else {
+                broker.ack("q", d.tag).unwrap();
+            }
+        }
+        prop_assert_eq!(broker.queue_depth("q").unwrap(), requeued);
+        // Redelivered flags are set on the survivors.
+        for d in broker.consume("q", n).unwrap() {
+            prop_assert!(d.redelivered);
+            broker.ack("q", d.tag).unwrap();
+        }
+    }
+
+    #[test]
+    fn bounded_queue_never_exceeds_capacity(cap in 1usize..10, publishes in 1usize..40) {
+        let broker = Broker::new();
+        broker.declare_exchange("e", ExchangeType::Fanout).unwrap();
+        broker.declare_queue_with_capacity("q", cap).unwrap();
+        broker.bind_queue("e", "q", "#").unwrap();
+        for _ in 0..publishes {
+            broker.publish("e", "k", &b"m"[..]).unwrap();
+        }
+        prop_assert!(broker.queue_depth("q").unwrap() <= cap);
+        let m = broker.metrics();
+        prop_assert_eq!(
+            m.routed + m.dropped,
+            publishes as u64,
+            "every publish either routed or dropped"
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! The battery-depletion lab (Figure 16).
+//!
+//! The paper's protocol (Section 5.3): phones charged to 80 % (the first
+//! 20 % of battery is non-linear), running from 10:00 to 17:00 with the
+//! screen periodically activated, measurements every minute (10× the
+//! default app frequency), and transfers after every measurement
+//! (unbuffered) or every 10 measurements (buffered). Scenarios: no MPS
+//! app, unbuffered on Wi-Fi, unbuffered on 3G, buffered on Wi-Fi.
+
+use mps_mobile::{BatteryModel, BatteryParams, RadioKind};
+use mps_types::SimDuration;
+use std::fmt;
+
+/// One measured scenario of the lab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatteryScenario {
+    /// Baseline: phone idling with periodic activations, no MPS app.
+    NoApp,
+    /// Unbuffered client transferring over Wi-Fi.
+    UnbufferedWifi,
+    /// Unbuffered client transferring over 3G.
+    Unbuffered3g,
+    /// Buffered client (10 measurements per transfer) over Wi-Fi.
+    BufferedWifi,
+}
+
+impl BatteryScenario {
+    /// All scenarios, in the paper's comparison order.
+    pub const ALL: [BatteryScenario; 4] = [
+        BatteryScenario::NoApp,
+        BatteryScenario::UnbufferedWifi,
+        BatteryScenario::Unbuffered3g,
+        BatteryScenario::BufferedWifi,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BatteryScenario::NoApp => "no MPS app",
+            BatteryScenario::UnbufferedWifi => "unbuffered, WiFi",
+            BatteryScenario::Unbuffered3g => "unbuffered, 3G",
+            BatteryScenario::BufferedWifi => "buffered x10, WiFi",
+        }
+    }
+}
+
+/// The lab: runs the protocol for each scenario.
+#[derive(Debug, Clone)]
+pub struct BatteryLab {
+    params: BatteryParams,
+    /// Experiment length in hours (paper: 10:00–17:00 = 7).
+    pub hours: i64,
+    /// Starting state of charge (paper: 80 %).
+    pub initial_soc: f64,
+    /// Measurement period in minutes (paper's intensive mode: 1).
+    pub measurement_period_min: i64,
+}
+
+/// Results: per-scenario depletion and per-timestep SOC traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatteryLabReport {
+    /// `(scenario, depletion in SOC percentage points, hourly SOC trace)`.
+    pub rows: Vec<(BatteryScenario, f64, Vec<f64>)>,
+}
+
+impl BatteryLab {
+    /// Creates the paper-protocol lab.
+    pub fn new() -> Self {
+        Self {
+            params: BatteryParams::default(),
+            hours: 7,
+            initial_soc: 0.8,
+            measurement_period_min: 1,
+        }
+    }
+
+    /// Overrides the energy-model parameters.
+    pub fn with_params(mut self, params: BatteryParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Runs one scenario; returns `(depletion_points, hourly SOC trace)`.
+    pub fn run_scenario(&self, scenario: BatteryScenario) -> (f64, Vec<f64>) {
+        let (radio, buffer): (Option<RadioKind>, usize) = match scenario {
+            BatteryScenario::NoApp => (None, 1),
+            BatteryScenario::UnbufferedWifi => (Some(RadioKind::Wifi), 1),
+            BatteryScenario::Unbuffered3g => (Some(RadioKind::ThreeG), 1),
+            BatteryScenario::BufferedWifi => (Some(RadioKind::Wifi), 10),
+        };
+        let mut battery = BatteryModel::new(self.params, self.initial_soc);
+        let start = battery.soc();
+        let mut trace = vec![start * 100.0];
+        let minutes = self.hours * 60;
+        let mut since_transfer = 0usize;
+        for minute in 1..=minutes {
+            battery.drain_idle(SimDuration::from_mins(1));
+            if minute % self.measurement_period_min == 0 {
+                if let Some(radio) = radio {
+                    battery.drain_measurement(true);
+                    since_transfer += 1;
+                    if since_transfer >= buffer {
+                        battery.drain_transfer(radio, since_transfer);
+                        since_transfer = 0;
+                    }
+                }
+            }
+            if minute % 60 == 0 {
+                trace.push(battery.soc() * 100.0);
+            }
+        }
+        ((start - battery.soc()) * 100.0, trace)
+    }
+
+    /// Runs all four scenarios.
+    pub fn run(&self) -> BatteryLabReport {
+        BatteryLabReport {
+            rows: BatteryScenario::ALL
+                .iter()
+                .map(|s| {
+                    let (depletion, trace) = self.run_scenario(*s);
+                    (*s, depletion, trace)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for BatteryLab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatteryLabReport {
+    /// Depletion (SOC points) of one scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is missing from the report.
+    pub fn depletion(&self, scenario: BatteryScenario) -> f64 {
+        self.rows
+            .iter()
+            .find(|(s, _, _)| *s == scenario)
+            .map(|(_, d, _)| *d)
+            .expect("scenario in report")
+    }
+
+    /// Ratio of a scenario's depletion to the no-app baseline.
+    pub fn ratio_to_baseline(&self, scenario: BatteryScenario) -> f64 {
+        self.depletion(scenario) / self.depletion(BatteryScenario::NoApp)
+    }
+}
+
+impl fmt::Display for BatteryLabReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<20} {:>12} {:>12}",
+            "scenario", "depletion", "vs no-app"
+        )?;
+        for (scenario, depletion, _) in &self.rows {
+            writeln!(
+                f,
+                "{:<20} {:>10.1}pp {:>11.2}x",
+                scenario.label(),
+                depletion,
+                self.ratio_to_baseline(*scenario)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_orderings_reproduce() {
+        let report = BatteryLab::new().run();
+        let no_app = report.depletion(BatteryScenario::NoApp);
+        let wifi = report.depletion(BatteryScenario::UnbufferedWifi);
+        let threeg = report.depletion(BatteryScenario::Unbuffered3g);
+        let buffered = report.depletion(BatteryScenario::BufferedWifi);
+
+        assert!(no_app < buffered && buffered < wifi && wifi < threeg);
+        // Unbuffered Wi-Fi ≈ 2× no-app.
+        let r = report.ratio_to_baseline(BatteryScenario::UnbufferedWifi);
+        assert!((1.7..2.3).contains(&r), "wifi ratio {r}");
+        // 3G ≈ +50 % over unbuffered Wi-Fi.
+        let r = threeg / wifi;
+        assert!((1.35..1.65).contains(&r), "3g ratio {r}");
+        // Buffered < +50 % over no-app.
+        let r = report.ratio_to_baseline(BatteryScenario::BufferedWifi);
+        assert!(r < 1.5, "buffered ratio {r}");
+    }
+
+    #[test]
+    fn traces_are_monotone_decreasing() {
+        let report = BatteryLab::new().run();
+        for (scenario, _, trace) in &report.rows {
+            assert_eq!(trace.len() as i64, 7 + 1, "{scenario:?}");
+            for pair in trace.windows(2) {
+                assert!(pair[1] <= pair[0], "{scenario:?}: SOC must not rise");
+            }
+            assert!((trace[0] - 80.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn intensive_mode_depletes_more_than_default() {
+        let intensive = BatteryLab::new();
+        let default_rate = BatteryLab {
+            measurement_period_min: 5,
+            ..BatteryLab::new()
+        };
+        let a = intensive.run_scenario(BatteryScenario::UnbufferedWifi).0;
+        let b = default_rate.run_scenario(BatteryScenario::UnbufferedWifi).0;
+        assert!(a > b * 1.3, "intensive {a} vs default {b}");
+    }
+
+    #[test]
+    fn display_lists_scenarios() {
+        let s = BatteryLab::new().run().to_string();
+        for scenario in BatteryScenario::ALL {
+            assert!(s.contains(scenario.label()), "{s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario in report")]
+    fn missing_scenario_panics() {
+        let report = BatteryLabReport { rows: vec![] };
+        let _ = report.depletion(BatteryScenario::NoApp);
+    }
+}

@@ -1,0 +1,348 @@
+//! Calibration + assimilation workflows (Section 5.2, Figures 4–5).
+//!
+//! The study builds a synthetic city, simulates its *true* noise map,
+//! generates biased phone measurements of that truth (per-model sensor
+//! offsets + per-device jitter + noise, as in `mps-mobile`), calibrates,
+//! and assimilates. It quantifies two of the paper's claims:
+//!
+//! * **per-model calibration suffices** — de-biasing with a model-level
+//!   estimate recovers nearly all of the accuracy of (oracle) per-device
+//!   calibration, and both beat no calibration;
+//! * **complaints correlate with noise** (Figure 4) — via the complaint
+//!   point process.
+
+use mps_assim::{
+    Blue, CalibrationDatabase, CityModel, ComplaintProcess, Grid, NoiseSimulator,
+    PointObservation,
+};
+use mps_mobile::{Microphone, ModelProfile};
+use mps_simcore::SimRng;
+use mps_types::{DeviceModel, GeoBounds, GeoPoint, SoundLevel};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How observations are de-biased before assimilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CalibrationStrategy {
+    /// Raw measurements, default (large) observation error.
+    None,
+    /// Per-model bias from the calibration database (the paper's choice).
+    PerModel,
+    /// Oracle per-device bias (upper bound on what calibration can do).
+    PerDevice,
+}
+
+impl CalibrationStrategy {
+    /// All strategies, weakest first.
+    pub const ALL: [CalibrationStrategy; 3] = [
+        CalibrationStrategy::None,
+        CalibrationStrategy::PerModel,
+        CalibrationStrategy::PerDevice,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CalibrationStrategy::None => "uncalibrated",
+            CalibrationStrategy::PerModel => "per-model",
+            CalibrationStrategy::PerDevice => "per-device (oracle)",
+        }
+    }
+}
+
+/// Result of one assimilation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssimilationOutcome {
+    /// RMSE of the background (the imperfect forward model) vs truth, dB.
+    pub rmse_background: f64,
+    /// RMSE of the analysis vs truth, dB.
+    pub rmse_analysis: f64,
+    /// Mean innovation (observation bias signal) before correction, dB.
+    pub innovation_bias: f64,
+}
+
+impl fmt::Display for AssimilationOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "background RMSE {:.2} dB -> analysis RMSE {:.2} dB (innovation bias {:+.2} dB)",
+            self.rmse_background, self.rmse_analysis, self.innovation_bias
+        )
+    }
+}
+
+struct SyntheticObservation {
+    at: GeoPoint,
+    model: DeviceModel,
+    device_bias_db: f64,
+    measured_db: f64,
+}
+
+/// The calibration/assimilation study harness.
+pub struct CalibrationStudy {
+    seed: u64,
+    grid_n: usize,
+    n_devices_per_model: usize,
+    n_obs_per_device: usize,
+    n_party_samples: usize,
+    models: Vec<DeviceModel>,
+    bounds: GeoBounds,
+}
+
+impl CalibrationStudy {
+    /// Creates the study with laptop-scale defaults.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            grid_n: 24,
+            n_devices_per_model: 4,
+            n_obs_per_device: 30,
+            n_party_samples: 40,
+            models: vec![
+                DeviceModel::SamsungGtI9505,
+                DeviceModel::SonyD5803,
+                DeviceModel::LgeNexus5,
+                DeviceModel::OneplusA0001,
+                DeviceModel::SamsungGtI9300,
+            ],
+            bounds: GeoBounds::paris(),
+        }
+    }
+
+    /// Restricts/expands the participating models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn with_models(mut self, models: Vec<DeviceModel>) -> Self {
+        assert!(!models.is_empty(), "need at least one model");
+        self.models = models;
+        self
+    }
+
+    fn truth_and_background(&self, rng: &mut SimRng) -> (Grid, Grid) {
+        let city = CityModel::synthetic(self.bounds, 5, 40, rng);
+        let truth = NoiseSimulator::new(city.clone()).simulate(self.grid_n, self.grid_n);
+        // The imperfect forward model: its traffic inventory underestimates
+        // emissions (uncertain input data, as the paper notes) and it does
+        // not know the venues at all.
+        let misjudged_roads = city
+            .roads()
+            .iter()
+            .map(|r| mps_assim::Road {
+                a: r.a,
+                b: r.b,
+                emission_db: r.emission_db - 5.0,
+            })
+            .collect();
+        let roads_only = CityModel::new(self.bounds, misjudged_roads, vec![]);
+        let background = NoiseSimulator::new(roads_only).simulate(self.grid_n, self.grid_n);
+        (truth, background)
+    }
+
+    fn synthesize_observations(&self, truth: &Grid, rng: &mut SimRng) -> Vec<SyntheticObservation> {
+        let mut observations = Vec::new();
+        for model in &self.models {
+            let profile = ModelProfile::for_model(*model);
+            for d in 0..self.n_devices_per_model {
+                let mut dev_rng = rng.split("study-device", (model.index() * 100 + d) as u64);
+                let mic = Microphone::for_device(&profile, &mut dev_rng);
+                for _ in 0..self.n_obs_per_device {
+                    let at = self
+                        .bounds
+                        .lerp(dev_rng.uniform_in(0.05, 0.95), dev_rng.uniform_in(0.05, 0.95));
+                    let true_db = truth.sample(at).expect("inside bounds");
+                    let measured = mic.measure(SoundLevel::new(true_db), &mut dev_rng);
+                    observations.push(SyntheticObservation {
+                        at,
+                        model: *model,
+                        device_bias_db: mic.bias_db(),
+                        measured_db: measured.db(),
+                    });
+                }
+            }
+        }
+        observations
+    }
+
+    fn calibration_parties(&self, truth: &Grid, rng: &mut SimRng) -> CalibrationDatabase {
+        let mut db = CalibrationDatabase::new();
+        for model in &self.models {
+            let profile = ModelProfile::for_model(*model);
+            // Several users of the model attend; each brings their phone
+            // next to the reference sound-level meter.
+            for d in 0..self.n_devices_per_model {
+                let mut dev_rng = rng.split("party-device", (model.index() * 100 + d) as u64);
+                let mic = Microphone::for_device(&profile, &mut dev_rng);
+                for _ in 0..self.n_party_samples / self.n_devices_per_model {
+                    let at = self
+                        .bounds
+                        .lerp(dev_rng.uniform_in(0.2, 0.8), dev_rng.uniform_in(0.2, 0.8));
+                    let reference = truth.sample(at).expect("inside bounds");
+                    let measured = mic.measure(SoundLevel::new(reference), &mut dev_rng);
+                    db.record(*model, SoundLevel::new(reference), measured);
+                }
+            }
+        }
+        db
+    }
+
+    /// Runs the full workflow under one calibration strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal invariant violations (observations are
+    /// generated inside the grid by construction).
+    pub fn run(&self, strategy: CalibrationStrategy) -> AssimilationOutcome {
+        let mut rng = SimRng::new(self.seed);
+        let (truth, background) = self.truth_and_background(&mut rng);
+        let raw = self.synthesize_observations(&truth, &mut rng);
+        let db = self.calibration_parties(&truth, &mut rng);
+
+        let point_obs: Vec<PointObservation> = raw
+            .iter()
+            .map(|o| {
+                let (value, sigma) = match strategy {
+                    CalibrationStrategy::None => (o.measured_db, 8.0),
+                    CalibrationStrategy::PerModel => (
+                        db.correct(o.model, SoundLevel::new(o.measured_db)).db(),
+                        db.observation_sigma(o.model).max(2.0),
+                    ),
+                    CalibrationStrategy::PerDevice => (o.measured_db - o.device_bias_db, 2.0),
+                };
+                PointObservation::new(o.at, value, sigma)
+            })
+            .collect();
+
+        let (bias, _) = Blue::innovation_stats(&background, &point_obs);
+        let blue = Blue::new(4.0, 1_200.0);
+        let analysis = blue
+            .analyse(&background, &point_obs)
+            .expect("observations lie inside the grid");
+        AssimilationOutcome {
+            rmse_background: background.rmse(&truth),
+            rmse_analysis: analysis.rmse(&truth),
+            innovation_bias: bias,
+        }
+    }
+
+    /// Runs all three strategies (the ablation table).
+    pub fn run_all(&self) -> BTreeMap<&'static str, AssimilationOutcome> {
+        CalibrationStrategy::ALL
+            .iter()
+            .map(|s| (s.label(), self.run(*s)))
+            .collect()
+    }
+
+    /// The per-model bias estimates the calibration parties produce —
+    /// checked against the true model offsets in tests.
+    pub fn estimated_biases(&self) -> BTreeMap<DeviceModel, f64> {
+        let mut rng = SimRng::new(self.seed);
+        let (truth, _) = self.truth_and_background(&mut rng);
+        let _ = self.synthesize_observations(&truth, &mut rng);
+        let db = self.calibration_parties(&truth, &mut rng);
+        self.models
+            .iter()
+            .filter_map(|m| db.calibration(*m).map(|c| (*m, c.bias_db)))
+            .collect()
+    }
+
+    /// The Figure 4 workflow: simulate a noise map, generate complaints
+    /// from it, return the per-cell noise/complaint correlation.
+    pub fn fig4_correlation(&self) -> f64 {
+        let mut rng = SimRng::new(self.seed);
+        let city = CityModel::synthetic(self.bounds, 5, 40, &mut rng);
+        let map = NoiseSimulator::new(city).simulate(self.grid_n, self.grid_n);
+        let process = ComplaintProcess::new(52.0, 0.5);
+        let complaints = process.sample(&map, &mut rng);
+        ComplaintProcess::correlation(&map, &complaints).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assimilation_improves_on_background() {
+        let study = CalibrationStudy::new(7);
+        for strategy in [CalibrationStrategy::PerModel, CalibrationStrategy::PerDevice] {
+            let outcome = study.run(strategy);
+            assert!(
+                outcome.rmse_analysis < outcome.rmse_background,
+                "{strategy:?}: {outcome}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_model_calibration_nearly_matches_oracle() {
+        let study = CalibrationStudy::new(7);
+        let none = study.run(CalibrationStrategy::None);
+        let per_model = study.run(CalibrationStrategy::PerModel);
+        let oracle = study.run(CalibrationStrategy::PerDevice);
+        // The paper's claim: model-level calibration tames heterogeneity.
+        assert!(
+            per_model.rmse_analysis < none.rmse_analysis,
+            "per-model {per_model} vs none {none}"
+        );
+        assert!(
+            per_model.rmse_analysis < oracle.rmse_analysis + 0.5,
+            "per-model {per_model} vs oracle {oracle}"
+        );
+    }
+
+    #[test]
+    fn calibration_shrinks_innovation_bias() {
+        let study = CalibrationStudy::new(11);
+        let none = study.run(CalibrationStrategy::None);
+        let per_model = study.run(CalibrationStrategy::PerModel);
+        assert!(
+            per_model.innovation_bias.abs() <= none.innovation_bias.abs() + 0.3,
+            "bias {} -> {}",
+            none.innovation_bias,
+            per_model.innovation_bias
+        );
+    }
+
+    #[test]
+    fn estimated_biases_track_true_offsets() {
+        let study = CalibrationStudy::new(13);
+        let estimates = study.estimated_biases();
+        assert!(!estimates.is_empty());
+        for (model, bias) in estimates {
+            let truth = ModelProfile::for_model(model).spl_offset_db;
+            assert!(
+                (bias - truth).abs() < 1.5,
+                "{model}: estimated {bias}, true {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig4_complaints_correlate_with_noise() {
+        let r = CalibrationStudy::new(17).fig4_correlation();
+        assert!(r > 0.4, "correlation {r}");
+    }
+
+    #[test]
+    fn run_all_returns_three_rows() {
+        let rows = CalibrationStudy::new(19).run_all();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.contains_key("per-model"));
+    }
+
+    #[test]
+    fn outcome_display_is_readable() {
+        let s = CalibrationStudy::new(7)
+            .run(CalibrationStrategy::PerModel)
+            .to_string();
+        assert!(s.contains("RMSE"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn rejects_empty_models() {
+        let _ = CalibrationStudy::new(1).with_models(vec![]);
+    }
+}

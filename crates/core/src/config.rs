@@ -1,0 +1,222 @@
+//! Experiment configuration.
+
+use mps_types::DeviceModel;
+
+/// Configuration of a deployment replay.
+///
+/// The replay scales the paper's crowd by `scale`: each model contributes
+/// `max(1, round(devices × scale))` simulated devices. Users arrive over
+/// the first `arrival_window` fraction of the deployment (the user base
+/// grows, as in Figure 8), and per-device rates are inflated to keep the
+/// *expected total volume* at `scale ×` the paper's 23.1 M observations.
+///
+/// # Examples
+///
+/// ```
+/// use mps_core::ExperimentConfig;
+///
+/// let config = ExperimentConfig::quick().with_seed(7);
+/// assert_eq!(config.seed, 7);
+/// assert!(config.months <= 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Root seed; everything derives from it deterministically.
+    pub seed: u64,
+    /// Deployment length in 30-day months (the paper ran 10).
+    pub months: i64,
+    /// Crowd scale relative to the paper's 2 091 devices.
+    pub scale: f64,
+    /// Models to simulate (defaults to the full top-20).
+    pub models: Vec<DeviceModel>,
+    /// Fraction of the deployment during which new users keep arriving.
+    pub arrival_window: f64,
+}
+
+impl ExperimentConfig {
+    /// The paper-shaped configuration: all 20 models, 10 months, crowd
+    /// scaled 1/100 (≈ 231 k expected observations). Heavy — use from
+    /// benches and the `figures` harness, not unit tests.
+    pub fn paper_scaled() -> Self {
+        Self {
+            seed: 2016,
+            months: 10,
+            scale: 0.01,
+            models: DeviceModel::ALL.to_vec(),
+            arrival_window: 0.9,
+        }
+    }
+
+    /// A light configuration for examples and integration tests: all 20
+    /// models (one device each may be forced by the min-1 rule), 2
+    /// months.
+    pub fn quick() -> Self {
+        Self {
+            seed: 2016,
+            months: 2,
+            scale: 0.0005,
+            models: DeviceModel::ALL.to_vec(),
+            arrival_window: 0.5,
+        }
+    }
+
+    /// A minimal configuration for unit tests: 3 models, 15 days.
+    pub fn tiny() -> Self {
+        Self {
+            seed: 2016,
+            months: 1,
+            scale: 0.0005,
+            models: vec![
+                DeviceModel::SamsungGtI9505,
+                DeviceModel::OneplusA0001,
+                DeviceModel::LgeNexus5,
+            ],
+            arrival_window: 0.3,
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the deployment length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `months < 1`.
+    pub fn with_months(mut self, months: i64) -> Self {
+        assert!(months >= 1, "deployment needs at least one month");
+        self.months = months;
+        self
+    }
+
+    /// Replaces the crowd scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < scale <= 1`.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        self.scale = scale;
+        self
+    }
+
+    /// Restricts the simulated models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn with_models(mut self, models: Vec<DeviceModel>) -> Self {
+        assert!(!models.is_empty(), "need at least one model");
+        self.models = models;
+        self
+    }
+
+    /// Deployment length in days.
+    pub fn days(&self) -> i64 {
+        self.months * 30
+    }
+
+    /// Number of devices simulated for one model under this scale.
+    pub fn devices_for(&self, model: DeviceModel) -> u64 {
+        let scaled = model.paper_stats().devices as f64 * self.scale;
+        (scaled.round() as u64).max(1)
+    }
+
+    /// Total simulated devices.
+    pub fn total_devices(&self) -> u64 {
+        self.models.iter().map(|m| self.devices_for(*m)).sum()
+    }
+
+    /// Rate-inflation factor compensating for late arrivals: a user
+    /// arriving uniformly in the arrival window is active for
+    /// `1 − window/2` of the deployment on average.
+    pub fn rate_inflation(&self) -> f64 {
+        1.0 / (1.0 - self.arrival_window / 2.0)
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::paper_scaled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scaled_covers_all_models() {
+        let c = ExperimentConfig::paper_scaled();
+        assert_eq!(c.models.len(), 20);
+        assert_eq!(c.days(), 300);
+        // 1/100 of 2 091 with per-model min-1 rounding: close to 21.
+        let total = c.total_devices();
+        assert!((18..=30).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn devices_for_has_min_one() {
+        let c = ExperimentConfig::tiny();
+        for m in &c.models {
+            assert!(c.devices_for(*m) >= 1);
+        }
+    }
+
+    #[test]
+    fn devices_scale_proportionally() {
+        let c = ExperimentConfig::paper_scaled().with_scale(0.1);
+        // SAMSUNG GT-I9505 has 253 devices -> 25.
+        assert_eq!(c.devices_for(DeviceModel::SamsungGtI9505), 25);
+    }
+
+    #[test]
+    fn rate_inflation_compensates_window() {
+        let c = ExperimentConfig::paper_scaled();
+        assert!((c.rate_inflation() - 1.0 / 0.55).abs() < 1e-12);
+        let no_window = ExperimentConfig {
+            arrival_window: 0.0,
+            ..ExperimentConfig::paper_scaled()
+        };
+        assert_eq!(no_window.rate_inflation(), 1.0);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = ExperimentConfig::quick()
+            .with_seed(1)
+            .with_months(3)
+            .with_scale(0.02)
+            .with_models(vec![DeviceModel::LgeNexus4]);
+        assert_eq!(c.seed, 1);
+        assert_eq!(c.months, 3);
+        assert_eq!(c.scale, 0.02);
+        assert_eq!(c.models, vec![DeviceModel::LgeNexus4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one month")]
+    fn rejects_zero_months() {
+        let _ = ExperimentConfig::quick().with_months(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn rejects_bad_scale() {
+        let _ = ExperimentConfig::quick().with_scale(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn rejects_empty_models() {
+        let _ = ExperimentConfig::quick().with_models(vec![]);
+    }
+
+    #[test]
+    fn default_is_paper_scaled() {
+        assert_eq!(ExperimentConfig::default(), ExperimentConfig::paper_scaled());
+    }
+}

@@ -1,0 +1,333 @@
+//! The deployment replay: crowd → client → broker → GoFlow → storage.
+
+use crate::config::ExperimentConfig;
+use crate::dataset::Dataset;
+use mps_broker::Broker;
+use mps_docstore::Store;
+use mps_goflow::{GoFlowServer, ObservationQuery, Role};
+use mps_mobile::{transmission_latency, Device, DeviceConfig, GoFlowClient};
+use mps_simcore::SimRng;
+use mps_types::{AppId, AppVersion, GeoBounds, GeoPoint, SimTime};
+use std::sync::Arc;
+
+/// Seconds per 5-minute sensing slot.
+const SLOT_SECS: i64 = 300;
+/// Sensing slots per day.
+const SLOTS_PER_DAY: i64 = 288;
+
+struct Unit {
+    device: Device,
+    client: GoFlowClient,
+    arrival_day: i64,
+}
+
+/// A runnable deployment: the full SoundCity system wired together with a
+/// simulated crowd.
+///
+/// Construction registers the app and every user with the GoFlow server
+/// (obtaining real sessions and routing keys); [`Deployment::run`] replays
+/// the deployment day by day, 5-minute slot by slot:
+///
+/// 1. devices advance their activity/position models and capture
+///    observations per their owner's diurnal participation profile;
+/// 2. the versioned client sends (or buffers, or defers while
+///    disconnected) through the broker topology of Figure 3;
+/// 3. the server ingests each transfer after a sampled transport latency,
+///    stamping arrival times — the delays of Figure 17;
+/// 4. app versions roll out at the paper's schedule (v1.1 → v1.2.9 at
+///    month 4 → v1.3 at month 9).
+pub struct Deployment {
+    config: ExperimentConfig,
+    broker: Arc<Broker>,
+    server: GoFlowServer,
+    app: AppId,
+    units: Vec<Unit>,
+    latency_rng: SimRng,
+    captured: u64,
+}
+
+/// Routing-key zone id for a home location: a 10×10 grid over Paris
+/// (stand-in for the paper's `FR75013`-style country+zip codes).
+fn zone_of(home: GeoPoint) -> String {
+    let b = GeoBounds::paris();
+    let u = ((home.lon - b.lon_min) / (b.lon_max - b.lon_min)).clamp(0.0, 0.999);
+    let v = ((home.lat - b.lat_min) / (b.lat_max - b.lat_min)).clamp(0.0, 0.999);
+    let ix = (u * 10.0) as usize;
+    let iy = (v * 10.0) as usize;
+    format!("FR75{:02}", iy * 10 + ix)
+}
+
+impl Deployment {
+    /// Builds the deployment: broker, server, registered app, and one
+    /// device + client + session per simulated user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (fresh, in-process) server rejects registration —
+    /// that would be a bug, not an environmental failure.
+    pub fn new(config: ExperimentConfig) -> Self {
+        let root = SimRng::new(config.seed);
+        let broker = Arc::new(Broker::new());
+        let server = GoFlowServer::new(Arc::clone(&broker), Store::new());
+        let app = AppId::soundcity();
+        server.register_app(&app).expect("fresh server accepts app");
+
+        let mut units = Vec::new();
+        let mut arrival_rng = root.split("arrivals", 0);
+        let mut next_id: u64 = 1;
+        for model in &config.models {
+            let profile_rate_inflation = config.rate_inflation();
+            // Inflate the per-device rate to compensate for the arrival
+            // ramp, keeping total volume on target.
+            let rate = mps_mobile::ModelProfile::for_model(*model).measurements_per_device_day
+                * profile_rate_inflation;
+            for _ in 0..config.devices_for(*model) {
+                let id = next_id;
+                next_id += 1;
+                let device = Device::new(
+                    DeviceConfig::new(id, *model).with_rate(rate),
+                    &root,
+                );
+                let token = server
+                    .register_user(&app, id.into(), Role::Contributor)
+                    .expect("fresh user registers");
+                let session = server.login(&token).expect("valid token logs in");
+                let key = session.observation_key("noise", &zone_of(device.home()));
+                let client = GoFlowClient::new(session.exchange(), key, AppVersion::V1_1);
+                let arrival_day = if config.arrival_window <= 0.0 {
+                    0
+                } else {
+                    arrival_rng
+                        .uniform_in(0.0, config.arrival_window * config.days() as f64)
+                        .floor() as i64
+                };
+                units.push(Unit {
+                    device,
+                    client,
+                    arrival_day,
+                });
+            }
+        }
+
+        Self {
+            latency_rng: root.split("latency", 0),
+            config,
+            broker,
+            server,
+            app,
+            units,
+            captured: 0,
+        }
+    }
+
+    /// The configuration this deployment was built with.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The GoFlow server (for queries, jobs, analytics).
+    pub fn server(&self) -> &GoFlowServer {
+        &self.server
+    }
+
+    /// The message broker.
+    pub fn broker(&self) -> &Arc<Broker> {
+        &self.broker
+    }
+
+    /// The application id of the replayed app.
+    pub fn app(&self) -> &AppId {
+        &self.app
+    }
+
+    /// Number of simulated devices.
+    pub fn device_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Replays the full deployment and returns the stored dataset.
+    pub fn run(&mut self) -> Dataset {
+        let days = self.config.days();
+        for day in 0..days {
+            self.run_day(day);
+        }
+        self.collect()
+    }
+
+    /// Replays a single day (exposed for incremental harnesses).
+    pub fn run_day(&mut self, day: i64) {
+        let month = day / 30;
+        let target_version = AppVersion::active_in_month(month);
+        for unit in &mut self.units {
+            if unit.device.version() != target_version {
+                unit.device.set_version(target_version);
+                unit.client.upgrade(target_version);
+            }
+        }
+        for slot in 0..SLOTS_PER_DAY {
+            let t = SimTime::from_millis((day * SLOTS_PER_DAY + slot) * SLOT_SECS * 1000);
+            for unit in &mut self.units {
+                if unit.arrival_day > day {
+                    continue;
+                }
+                if let Some(obs) = unit.device.maybe_capture(t) {
+                    self.captured += 1;
+                    unit.client.record(obs);
+                }
+                if unit.device.is_connected(t) && unit.client.wants_to_send() {
+                    let version = unit.client.version();
+                    let sent = unit
+                        .client
+                        .on_cycle(&self.broker, true)
+                        .expect("session exchange exists");
+                    if sent.transfers > 0 {
+                        let latency = transmission_latency(version, &mut self.latency_rng);
+                        self.server
+                            .ingest_pending(&self.app, t + latency, sent.transfers)
+                            .expect("registered app ingests");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Gathers the dataset from server storage (callable after [`run`] or
+    /// a partial sequence of [`run_day`] calls).
+    ///
+    /// [`run`]: Deployment::run
+    /// [`run_day`]: Deployment::run_day
+    pub fn collect(&self) -> Dataset {
+        let docs = self
+            .server
+            .query(&self.app, &ObservationQuery::new())
+            .expect("registered app queries");
+        let undelivered: u64 = self.units.iter().map(|u| u.client.pending() as u64).sum();
+        Dataset::from_documents(
+            &docs,
+            self.units.len() as u64,
+            self.captured,
+            undelivered,
+            self.broker.metrics(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_types::DeviceModel;
+
+    #[test]
+    fn zone_ids_are_routing_safe() {
+        let b = GeoBounds::paris();
+        for (u, v) in [(0.0, 0.0), (0.5, 0.5), (1.0, 1.0)] {
+            let zone = zone_of(b.lerp(u, v));
+            assert!(zone.starts_with("FR75"));
+            assert!(zone.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+        assert_eq!(zone_of(b.lerp(0.0, 0.0)), "FR7500");
+        assert_eq!(zone_of(b.lerp(0.99, 0.99)), "FR7599");
+    }
+
+    #[test]
+    fn tiny_deployment_runs_end_to_end() {
+        let mut deployment = Deployment::new(ExperimentConfig::tiny());
+        assert_eq!(deployment.device_count(), 3);
+        let dataset = deployment.run();
+        assert!(dataset.stored() > 100, "stored {}", dataset.stored());
+        // Everything stored went through the broker.
+        assert!(dataset.broker_metrics.published > 0);
+        assert_eq!(
+            dataset.stored() + dataset.undelivered,
+            dataset.captured,
+            "conservation: captured = stored + pending"
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let a = Deployment::new(ExperimentConfig::tiny()).run();
+        let b = Deployment::new(ExperimentConfig::tiny()).run();
+        assert_eq!(a.stored(), b.stored());
+        assert_eq!(a.observations, b.observations);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Deployment::new(ExperimentConfig::tiny()).run();
+        let b = Deployment::new(ExperimentConfig::tiny().with_seed(999)).run();
+        assert_ne!(a.observations, b.observations);
+    }
+
+    #[test]
+    fn localized_fraction_is_plausible() {
+        let dataset = Deployment::new(ExperimentConfig::tiny()).run();
+        let frac = dataset.localized_fraction();
+        // The three tiny models have paper fractions 0.43 / 0.56 / 0.63;
+        // allow wide sampling slack.
+        assert!((0.3..0.75).contains(&frac), "localized {frac}");
+    }
+
+    #[test]
+    fn versions_roll_out_on_schedule() {
+        let config = ExperimentConfig::tiny()
+            .with_months(10)
+            .with_models(vec![DeviceModel::LgeNexus5]);
+        let mut deployment = Deployment::new(config);
+        let dataset = deployment.run();
+        let versions: std::collections::BTreeSet<AppVersion> = dataset
+            .observations
+            .iter()
+            .map(|o| o.app_version)
+            .collect();
+        assert!(versions.contains(&AppVersion::V1_1));
+        assert!(versions.contains(&AppVersion::V1_2_9));
+        assert!(versions.contains(&AppVersion::V1_3));
+        // Capture months must respect the rollout boundaries.
+        for obs in &dataset.observations {
+            let month = obs.captured_at.month();
+            assert_eq!(obs.app_version, AppVersion::active_in_month(month));
+        }
+    }
+
+    #[test]
+    fn arrivals_stagger_first_contributions() {
+        let config = ExperimentConfig::tiny().with_months(2);
+        let mut deployment = Deployment::new(config);
+        let dataset = deployment.run();
+        let first_day = dataset
+            .observations
+            .iter()
+            .map(|o| o.captured_at.day())
+            .min()
+            .unwrap();
+        assert!(first_day <= 10, "someone starts early, got {first_day}");
+    }
+
+    #[test]
+    fn pseudonyms_hide_raw_ids() {
+        let dataset = Deployment::new(ExperimentConfig::tiny()).run();
+        // Raw device ids are 1..=3; stored ids are pseudonyms.
+        assert!(dataset
+            .observations
+            .iter()
+            .all(|o| o.device.raw() > 1_000));
+    }
+
+    #[test]
+    fn partial_replay_collects_prefix() {
+        let config = ExperimentConfig {
+            arrival_window: 0.0, // everyone active from day 0
+            ..ExperimentConfig::tiny()
+        };
+        let mut deployment = Deployment::new(config);
+        deployment.run_day(0);
+        deployment.run_day(1);
+        let partial = deployment.collect();
+        assert!(partial.stored() > 0);
+        assert!(partial
+            .observations
+            .iter()
+            .all(|o| o.captured_at.day() <= 1));
+    }
+}

@@ -1,0 +1,42 @@
+//! # mps-core — SoundCity experiment orchestration
+//!
+//! This crate replays the paper's 10-month Paris deployment end-to-end on
+//! the simulated substrate, and hosts the controlled lab harnesses:
+//!
+//! * [`ExperimentConfig`] / [`Deployment`] — wires a scaled crowd of
+//!   simulated devices ([`mps_mobile`]) to the GoFlow server
+//!   ([`mps_goflow`]) over the broker ([`mps_broker`]), replays the
+//!   deployment (user arrivals, app-version rollouts, sensing cycles,
+//!   disconnections, ingest) and returns the stored [`Dataset`] —
+//!   the input of every figure builder in [`mps_analytics`].
+//! * [`BatteryLab`] — the Figure 16 battery-depletion protocol
+//!   (no-app / unbuffered Wi-Fi / unbuffered 3G / buffered).
+//! * [`CalibrationStudy`] — the Section 5.2 / Figure 4 workflows:
+//!   per-model calibration from calibration parties, BLUE assimilation of
+//!   crowd observations against a simulated noise map, and the
+//!   calibration-granularity ablation (none vs per-model vs per-device).
+//!
+//! # Examples
+//!
+//! ```
+//! use mps_core::{Deployment, ExperimentConfig};
+//!
+//! let mut deployment = Deployment::new(ExperimentConfig::tiny());
+//! let dataset = deployment.run();
+//! assert!(!dataset.observations.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod battery_lab;
+mod calibration_study;
+mod config;
+mod dataset;
+mod deployment;
+
+pub use battery_lab::{BatteryLab, BatteryLabReport, BatteryScenario};
+pub use calibration_study::{AssimilationOutcome, CalibrationStudy, CalibrationStrategy};
+pub use config::ExperimentConfig;
+pub use dataset::Dataset;
+pub use deployment::Deployment;

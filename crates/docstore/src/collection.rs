@@ -1,0 +1,668 @@
+//! Collections: insert / find / update / delete with indexes.
+
+use crate::filter::Filter;
+use crate::index::PathIndex;
+use crate::update::Update;
+use crate::value::{compare_values, get_path, set_path, DocId};
+use crate::StoreError;
+use parking_lot::Mutex;
+use serde_json::Value;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Sort direction for [`FindOptions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortOrder {
+    /// Smallest values first.
+    #[default]
+    Ascending,
+    /// Largest values first.
+    Descending,
+}
+
+/// Options controlling a [`Collection::find_with_options`] query.
+///
+/// # Examples
+///
+/// ```
+/// use mps_docstore::{FindOptions, SortOrder};
+///
+/// let options = FindOptions::new()
+///     .sort("spl", SortOrder::Descending)
+///     .skip(10)
+///     .limit(5);
+/// assert_eq!(options.limit, Some(5));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FindOptions {
+    /// Sort by this dotted path, if set.
+    pub sort: Option<(String, SortOrder)>,
+    /// Skip this many documents after sorting.
+    pub skip: usize,
+    /// Return at most this many documents.
+    pub limit: Option<usize>,
+    /// Keep only these dotted paths (plus `_id`), if set.
+    pub projection: Option<Vec<String>>,
+}
+
+impl FindOptions {
+    /// Creates default options: no sort, no skip, no limit, no projection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sorts results by `path`.
+    pub fn sort(mut self, path: impl Into<String>, order: SortOrder) -> Self {
+        self.sort = Some((path.into(), order));
+        self
+    }
+
+    /// Skips the first `n` results.
+    pub fn skip(mut self, n: usize) -> Self {
+        self.skip = n;
+        self
+    }
+
+    /// Limits the result count to `n`.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Projects results onto the given dotted paths (plus `_id`).
+    pub fn project(mut self, paths: Vec<String>) -> Self {
+        self.projection = Some(paths);
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct CollectionInner {
+    docs: BTreeMap<DocId, Value>,
+    next_id: u64,
+    indexes: HashMap<String, PathIndex>,
+}
+
+impl CollectionInner {
+    fn index_doc(&mut self, id: DocId, doc: &Value) {
+        for (path, index) in &mut self.indexes {
+            if let Some(value) = get_path(doc, path) {
+                index.insert(value, id);
+            }
+        }
+    }
+
+    fn unindex_doc(&mut self, id: DocId, doc: &Value) {
+        for (path, index) in &mut self.indexes {
+            if let Some(value) = get_path(doc, path) {
+                index.remove(value, id);
+            }
+        }
+    }
+
+    /// Ids of candidate documents for `filter`, using an index when one
+    /// covers an equality or range predicate; `None` means "scan all".
+    fn plan(&self, filter: &Filter) -> Option<Vec<DocId>> {
+        if let Some((path, value)) = filter.as_indexable_eq() {
+            // `eq null` also matches missing fields, which the index cannot
+            // enumerate — fall back to a scan for correctness.
+            if !value.is_null() {
+                if let Some(index) = self.indexes.get(path) {
+                    return Some(index.lookup_eq(value));
+                }
+            }
+        }
+        if let Some((path, lo, hi)) = filter.as_indexable_range() {
+            if let Some(index) = self.indexes.get(path) {
+                return Some(index.lookup_range(lo, hi));
+            }
+        }
+        None
+    }
+}
+
+/// A named collection of JSON documents.
+///
+/// `Collection` is a cheaply-cloneable handle; clones share the same
+/// underlying data (as handles from
+/// [`Store::collection`](crate::Store::collection) do). All methods take
+/// `&self` and are thread-safe.
+#[derive(Debug, Clone, Default)]
+pub struct Collection {
+    inner: Arc<Mutex<CollectionInner>>,
+}
+
+impl Collection {
+    /// Creates an empty, unnamed collection (use
+    /// [`Store::collection`](crate::Store::collection) for named ones).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a document, assigning and returning its [`DocId`]. The id
+    /// is also written into the document's `_id` field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NotAnObject`] if `doc` is not a JSON object.
+    pub fn insert_one(&self, mut doc: Value) -> Result<DocId, StoreError> {
+        if !doc.is_object() {
+            return Err(StoreError::NotAnObject);
+        }
+        let mut inner = self.inner.lock();
+        let id = DocId(inner.next_id);
+        inner.next_id += 1;
+        doc.as_object_mut()
+            .expect("checked above")
+            .insert("_id".to_owned(), Value::from(id.0));
+        inner.index_doc(id, &doc);
+        inner.docs.insert(id, doc);
+        Ok(id)
+    }
+
+    /// Inserts many documents; stops at the first error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NotAnObject`] on the first non-object
+    /// document; earlier documents remain inserted.
+    pub fn insert_many(
+        &self,
+        docs: impl IntoIterator<Item = Value>,
+    ) -> Result<Vec<DocId>, StoreError> {
+        docs.into_iter().map(|d| self.insert_one(d)).collect()
+    }
+
+    /// Fetches a document by id.
+    pub fn get(&self, id: DocId) -> Option<Value> {
+        self.inner.lock().docs.get(&id).cloned()
+    }
+
+    /// Number of documents in the collection.
+    pub fn len(&self) -> usize {
+        self.inner.lock().docs.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().docs.is_empty()
+    }
+
+    /// Returns all documents matching `filter`, in `_id` order.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (the filter is already parsed); returns
+    /// `Result` for parity with the fallible query paths.
+    pub fn find(&self, filter: &Filter) -> Result<Vec<Value>, StoreError> {
+        self.find_with_options(filter, &FindOptions::new())
+    }
+
+    /// Returns documents matching `filter` with sorting, paging and
+    /// projection applied (in that order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Unorderable`] when sorting on a path that
+    /// holds arrays or objects.
+    pub fn find_with_options(
+        &self,
+        filter: &Filter,
+        options: &FindOptions,
+    ) -> Result<Vec<Value>, StoreError> {
+        let inner = self.inner.lock();
+        let mut results: Vec<Value> = match inner.plan(filter) {
+            Some(candidates) => candidates
+                .into_iter()
+                .filter_map(|id| inner.docs.get(&id))
+                .filter(|doc| filter.matches(doc))
+                .cloned()
+                .collect(),
+            None => inner
+                .docs
+                .values()
+                .filter(|doc| filter.matches(doc))
+                .cloned()
+                .collect(),
+        };
+        drop(inner);
+
+        if let Some((path, order)) = &options.sort {
+            let mut sort_error = None;
+            results.sort_by(|a, b| {
+                let va = get_path(a, path).unwrap_or(&Value::Null);
+                let vb = get_path(b, path).unwrap_or(&Value::Null);
+                match compare_values(va, vb) {
+                    Some(ord) => {
+                        if *order == SortOrder::Descending {
+                            ord.reverse()
+                        } else {
+                            ord
+                        }
+                    }
+                    None => {
+                        sort_error.get_or_insert_with(|| path.clone());
+                        Ordering::Equal
+                    }
+                }
+            });
+            if let Some(path) = sort_error {
+                return Err(StoreError::Unorderable(path));
+            }
+        }
+
+        let skipped = results.into_iter().skip(options.skip);
+        let mut limited: Vec<Value> = match options.limit {
+            Some(n) => skipped.take(n).collect(),
+            None => skipped.collect(),
+        };
+
+        if let Some(paths) = &options.projection {
+            for doc in &mut limited {
+                let mut projected = Value::Object(serde_json::Map::new());
+                if let Some(id) = get_path(doc, "_id") {
+                    set_path(&mut projected, "_id", id.clone());
+                }
+                for path in paths {
+                    if let Some(value) = get_path(doc, path) {
+                        set_path(&mut projected, path, value.clone());
+                    }
+                }
+                *doc = projected;
+            }
+        }
+        Ok(limited)
+    }
+
+    /// Counts documents matching `filter`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for parity with `find`.
+    pub fn count(&self, filter: &Filter) -> Result<usize, StoreError> {
+        let inner = self.inner.lock();
+        Ok(match inner.plan(filter) {
+            Some(candidates) => candidates
+                .into_iter()
+                .filter_map(|id| inner.docs.get(&id))
+                .filter(|doc| filter.matches(doc))
+                .count(),
+            None => inner.docs.values().filter(|doc| filter.matches(doc)).count(),
+        })
+    }
+
+    /// Applies `update` to every document matching `filter`; returns the
+    /// number of documents updated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StoreError::BadUpdate`] from applying the update; any
+    /// documents updated before the failure stay updated.
+    pub fn update_many(&self, filter: &Filter, update: &Update) -> Result<usize, StoreError> {
+        let mut inner = self.inner.lock();
+        let ids: Vec<DocId> = match inner.plan(filter) {
+            Some(candidates) => candidates
+                .into_iter()
+                .filter(|id| inner.docs.get(id).is_some_and(|d| filter.matches(d)))
+                .collect(),
+            None => inner
+                .docs
+                .iter()
+                .filter(|(_, doc)| filter.matches(doc))
+                .map(|(id, _)| *id)
+                .collect(),
+        };
+        for id in &ids {
+            let mut doc = inner.docs.get(id).expect("id from scan").clone();
+            inner.unindex_doc(*id, &doc);
+            let result = update.apply(&mut doc);
+            // Re-index whatever state the document is in, then propagate
+            // any error.
+            inner.index_doc(*id, &doc);
+            inner.docs.insert(*id, doc);
+            result?;
+        }
+        Ok(ids.len())
+    }
+
+    /// Deletes every document matching `filter`; returns how many were
+    /// removed.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for parity with `update`.
+    pub fn delete_many(&self, filter: &Filter) -> Result<usize, StoreError> {
+        let mut inner = self.inner.lock();
+        let ids: Vec<DocId> = inner
+            .docs
+            .iter()
+            .filter(|(_, doc)| filter.matches(doc))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &ids {
+            if let Some(doc) = inner.docs.remove(id) {
+                inner.unindex_doc(*id, &doc);
+            }
+        }
+        Ok(ids.len())
+    }
+
+    /// Creates a secondary index on `path`, indexing existing documents.
+    /// Creating an existing index is a no-op.
+    pub fn create_index(&self, path: &str) {
+        let mut inner = self.inner.lock();
+        if inner.indexes.contains_key(path) {
+            return;
+        }
+        let mut index = PathIndex::new();
+        for (id, doc) in &inner.docs {
+            if let Some(value) = get_path(doc, path) {
+                index.insert(value, *id);
+            }
+        }
+        inner.indexes.insert(path.to_owned(), index);
+    }
+
+    /// Drops the index on `path`, if present.
+    pub fn drop_index(&self, path: &str) {
+        self.inner.lock().indexes.remove(path);
+    }
+
+    /// Whether an index exists on `path`.
+    pub fn has_index(&self, path: &str) -> bool {
+        self.inner.lock().indexes.contains_key(path)
+    }
+
+    /// Distinct indexed values on `path`, if an index exists there.
+    pub fn index_cardinality(&self, path: &str) -> Option<usize> {
+        self.inner.lock().indexes.get(path).map(|i| i.cardinality())
+    }
+
+    /// Distinct scalar values at `path` among documents matching
+    /// `filter`, in ascending order (arrays/objects at the path are
+    /// skipped; MongoDB's `distinct` with our scalar ordering).
+    pub fn distinct(&self, path: &str, filter: &Filter) -> Vec<serde_json::Value> {
+        let inner = self.inner.lock();
+        let mut values: Vec<serde_json::Value> = Vec::new();
+        for doc in inner.docs.values().filter(|d| filter.matches(d)) {
+            if let Some(v) = get_path(doc, path) {
+                if matches!(v, serde_json::Value::Array(_) | serde_json::Value::Object(_)) {
+                    continue;
+                }
+                if !values
+                    .iter()
+                    .any(|seen| compare_values(seen, v) == Some(Ordering::Equal))
+                {
+                    values.push(v.clone());
+                }
+            }
+        }
+        values.sort_by(|a, b| compare_values(a, b).unwrap_or(Ordering::Equal));
+        values
+    }
+
+    /// Removes every document (indexes stay defined, but empty).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        let ids: Vec<DocId> = inner.docs.keys().copied().collect();
+        for id in ids {
+            if let Some(doc) = inner.docs.remove(&id) {
+                inner.unindex_doc(id, &doc);
+            }
+        }
+    }
+
+    /// Snapshot of all documents, in `_id` order.
+    pub fn all(&self) -> Vec<Value> {
+        self.inner.lock().docs.values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn seeded() -> Collection {
+        let c = Collection::new();
+        c.insert_many([
+            json!({"model": "A", "spl": 40.0, "loc": {"acc": 10.0}}),
+            json!({"model": "B", "spl": 55.0, "loc": {"acc": 30.0}}),
+            json!({"model": "A", "spl": 70.0}),
+            json!({"model": "C", "spl": 62.0, "loc": {"acc": 90.0}}),
+        ])
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let c = Collection::new();
+        let id1 = c.insert_one(json!({"a": 1})).unwrap();
+        let id2 = c.insert_one(json!({"a": 2})).unwrap();
+        assert_eq!(id1, DocId(0));
+        assert_eq!(id2, DocId(1));
+        assert_eq!(c.get(id2).unwrap()["_id"], json!(1));
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn insert_rejects_non_objects() {
+        let c = Collection::new();
+        assert_eq!(c.insert_one(json!(5)).unwrap_err(), StoreError::NotAnObject);
+        assert_eq!(
+            c.insert_one(json!([1, 2])).unwrap_err(),
+            StoreError::NotAnObject
+        );
+    }
+
+    #[test]
+    fn find_filters() {
+        let c = seeded();
+        let r = c.find(&Filter::eq("model", "A")).unwrap();
+        assert_eq!(r.len(), 2);
+        let r = c.find(&Filter::gt("spl", 60.0)).unwrap();
+        assert_eq!(r.len(), 2);
+        let r = c.find(&Filter::exists("loc", false)).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(c.count(&Filter::True).unwrap(), 4);
+    }
+
+    #[test]
+    fn find_sorted_and_paged() {
+        let c = seeded();
+        let opts = FindOptions::new().sort("spl", SortOrder::Descending).limit(2);
+        let r = c.find_with_options(&Filter::True, &opts).unwrap();
+        assert_eq!(r[0]["spl"], json!(70.0));
+        assert_eq!(r[1]["spl"], json!(62.0));
+
+        let opts = FindOptions::new().sort("spl", SortOrder::Ascending).skip(1).limit(2);
+        let r = c.find_with_options(&Filter::True, &opts).unwrap();
+        assert_eq!(r[0]["spl"], json!(55.0));
+        assert_eq!(r[1]["spl"], json!(62.0));
+    }
+
+    #[test]
+    fn sort_on_missing_path_puts_missing_first() {
+        let c = seeded();
+        let opts = FindOptions::new().sort("loc.acc", SortOrder::Ascending);
+        let r = c.find_with_options(&Filter::True, &opts).unwrap();
+        assert_eq!(r[0]["model"], json!("A")); // doc without loc sorts as null
+        assert_eq!(r[0]["spl"], json!(70.0));
+    }
+
+    #[test]
+    fn sort_on_compound_errors() {
+        let c = Collection::new();
+        c.insert_one(json!({"v": [1]})).unwrap();
+        c.insert_one(json!({"v": [2]})).unwrap();
+        let opts = FindOptions::new().sort("v", SortOrder::Ascending);
+        assert!(matches!(
+            c.find_with_options(&Filter::True, &opts),
+            Err(StoreError::Unorderable(_))
+        ));
+    }
+
+    #[test]
+    fn projection_keeps_id_and_paths() {
+        let c = seeded();
+        let opts = FindOptions::new().project(vec!["loc.acc".into()]);
+        let r = c
+            .find_with_options(&Filter::eq("model", "B"), &opts)
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0], json!({"_id": 1, "loc": {"acc": 30.0}}));
+    }
+
+    #[test]
+    fn update_many_applies_and_counts() {
+        let c = seeded();
+        let n = c
+            .update_many(&Filter::eq("model", "A"), &Update::set("flagged", true))
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(c.count(&Filter::eq("flagged", true)).unwrap(), 2);
+    }
+
+    #[test]
+    fn delete_many_removes() {
+        let c = seeded();
+        let n = c.delete_many(&Filter::lt("spl", 60.0)).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn indexed_equality_matches_scan() {
+        let c = seeded();
+        let scan = c.find(&Filter::eq("model", "A")).unwrap();
+        c.create_index("model");
+        assert!(c.has_index("model"));
+        let indexed = c.find(&Filter::eq("model", "A")).unwrap();
+        assert_eq!(scan, indexed);
+        assert_eq!(c.index_cardinality("model"), Some(3));
+    }
+
+    #[test]
+    fn indexed_range_matches_scan() {
+        let c = seeded();
+        let filter = Filter::range("spl", 50.0, 65.0);
+        let scan = c.find(&filter).unwrap();
+        c.create_index("spl");
+        let indexed = c.find(&filter).unwrap();
+        assert_eq!(scan.len(), 2);
+        assert_eq!(scan, indexed);
+    }
+
+    #[test]
+    fn index_stays_correct_across_updates_and_deletes() {
+        let c = seeded();
+        c.create_index("model");
+        c.update_many(&Filter::eq("model", "C"), &Update::set("model", "A"))
+            .unwrap();
+        assert_eq!(c.count(&Filter::eq("model", "A")).unwrap(), 3);
+        assert_eq!(c.count(&Filter::eq("model", "C")).unwrap(), 0);
+        c.delete_many(&Filter::eq("model", "A")).unwrap();
+        assert_eq!(c.count(&Filter::eq("model", "A")).unwrap(), 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eq_null_does_not_use_index() {
+        // `eq null` matches docs missing the path; the planner must scan.
+        let c = seeded();
+        c.create_index("loc.acc");
+        let r = c.find(&Filter::eq("loc.acc", Value::Null)).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0]["spl"], json!(70.0));
+    }
+
+    #[test]
+    fn drop_index_falls_back_to_scan() {
+        let c = seeded();
+        c.create_index("model");
+        c.drop_index("model");
+        assert!(!c.has_index("model"));
+        assert_eq!(c.find(&Filter::eq("model", "A")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_index_definitions() {
+        let c = seeded();
+        c.create_index("model");
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.has_index("model"));
+        assert_eq!(c.index_cardinality("model"), Some(0));
+        c.insert_one(json!({"model": "Z"})).unwrap();
+        assert_eq!(c.count(&Filter::eq("model", "Z")).unwrap(), 1);
+    }
+
+    #[test]
+    fn clones_share_data() {
+        let c = seeded();
+        let c2 = c.clone();
+        c2.insert_one(json!({"model": "D"})).unwrap();
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn all_returns_in_id_order() {
+        let c = seeded();
+        let all = c.all();
+        let ids: Vec<u64> = all.iter().map(|d| d["_id"].as_u64().unwrap()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn distinct_values_sorted_and_deduped() {
+        let c = seeded();
+        let models = c.distinct("model", &Filter::True);
+        assert_eq!(models, vec![json!("A"), json!("B"), json!("C")]);
+        // With a filter.
+        let models = c.distinct("model", &Filter::gt("spl", 50.0));
+        assert_eq!(models, vec![json!("A"), json!("B"), json!("C")]);
+        let models = c.distinct("model", &Filter::lt("spl", 50.0));
+        assert_eq!(models, vec![json!("A")]);
+        // Missing path and compound values yield nothing.
+        assert!(c.distinct("ghost", &Filter::True).is_empty());
+        c.insert_one(json!({"model": ["array"]})).unwrap();
+        let models = c.distinct("model", &Filter::True);
+        assert_eq!(models.len(), 3, "compound values skipped");
+    }
+
+    #[test]
+    fn distinct_dedupes_numerically() {
+        let c = Collection::new();
+        c.insert_one(json!({"v": 1})).unwrap();
+        c.insert_one(json!({"v": 1.0})).unwrap();
+        c.insert_one(json!({"v": 2})).unwrap();
+        assert_eq!(c.distinct("v", &Filter::True).len(), 2);
+    }
+
+    #[test]
+    fn concurrent_inserts_count() {
+        let c = Collection::new();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        c.insert_one(json!({"t": t, "i": i})).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.len(), 2000);
+        // Ids are unique.
+        let mut ids: Vec<u64> = c.all().iter().map(|d| d["_id"].as_u64().unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 2000);
+    }
+}

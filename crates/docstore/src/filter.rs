@@ -1,0 +1,638 @@
+//! Mongo-style filter documents.
+
+use crate::value::{compare_values, get_path};
+use crate::StoreError;
+use serde_json::Value;
+use std::cmp::Ordering;
+
+/// Inclusive/exclusive range bound used by the query planner:
+/// `(value, inclusive)`.
+pub(crate) type RangeBound<'a> = (&'a Value, bool);
+/// Planner view of a range predicate: `(path, lower, upper)`.
+pub(crate) type RangePredicate<'a> = (&'a str, Option<RangeBound<'a>>, Option<RangeBound<'a>>);
+
+/// A comparison operator on a document path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[doc(hidden)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Gt,
+    Gte,
+    Lt,
+    Lte,
+}
+
+/// A parsed query filter.
+///
+/// Filters are usually written as Mongo-style JSON documents and parsed
+/// with [`Filter::parse`]; a typed builder API ([`Filter::eq`],
+/// [`Filter::range`], [`Filter::and`], …) is provided for programmatic
+/// construction.
+///
+/// Supported operators: implicit equality, `$eq`, `$ne`, `$gt`, `$gte`,
+/// `$lt`, `$lte`, `$in`, `$nin`, `$exists`, `$contains` (substring test on
+/// strings), and the combinators `$and`, `$or`, `$not`.
+///
+/// Semantics follow MongoDB where GoFlow depends on them: an equality
+/// against `null` matches missing fields, ordered comparisons never match
+/// missing fields, and `$ne` is the negation of equality.
+///
+/// # Examples
+///
+/// ```
+/// use mps_docstore::Filter;
+/// use serde_json::json;
+///
+/// let filter = Filter::parse(&json!({
+///     "model": "LGE NEXUS 5",
+///     "location.accuracy": {"$lte": 50},
+/// }))?;
+/// assert!(filter.matches(&json!({
+///     "model": "LGE NEXUS 5",
+///     "location": {"accuracy": 35.0},
+/// })));
+/// # Ok::<(), mps_docstore::StoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Matches every document (the empty filter `{}`).
+    True,
+    /// All sub-filters must match.
+    And(Vec<Filter>),
+    /// At least one sub-filter must match.
+    Or(Vec<Filter>),
+    /// The sub-filter must not match.
+    Not(Box<Filter>),
+    /// Comparison of the value at `path` against a constant.
+    #[doc(hidden)]
+    Cmp {
+        /// Dotted document path.
+        path: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand constant.
+        value: Value,
+    },
+    /// The value at `path` equals one of `values`.
+    #[doc(hidden)]
+    In {
+        /// Dotted document path.
+        path: String,
+        /// Accepted values.
+        values: Vec<Value>,
+        /// True for `$nin` (negated membership).
+        negated: bool,
+    },
+    /// The path is present (or absent, when `expected` is false).
+    #[doc(hidden)]
+    Exists {
+        /// Dotted document path.
+        path: String,
+        /// Expected presence.
+        expected: bool,
+    },
+    /// The string at `path` contains `needle` as a substring.
+    #[doc(hidden)]
+    Contains {
+        /// Dotted document path.
+        path: String,
+        /// Substring to search for.
+        needle: String,
+    },
+}
+
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match compare_values(a, b) {
+        Some(ord) => ord == Ordering::Equal,
+        None => a == b, // deep equality for arrays/objects
+    }
+}
+
+impl Filter {
+    // ----- builders --------------------------------------------------------
+
+    /// Equality on a path.
+    pub fn eq(path: impl Into<String>, value: impl Into<Value>) -> Filter {
+        Filter::Cmp {
+            path: path.into(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// Inequality on a path.
+    pub fn ne(path: impl Into<String>, value: impl Into<Value>) -> Filter {
+        Filter::Cmp {
+            path: path.into(),
+            op: CmpOp::Ne,
+            value: value.into(),
+        }
+    }
+
+    /// Strictly-greater comparison on a path.
+    pub fn gt(path: impl Into<String>, value: impl Into<Value>) -> Filter {
+        Filter::Cmp {
+            path: path.into(),
+            op: CmpOp::Gt,
+            value: value.into(),
+        }
+    }
+
+    /// Greater-or-equal comparison on a path.
+    pub fn gte(path: impl Into<String>, value: impl Into<Value>) -> Filter {
+        Filter::Cmp {
+            path: path.into(),
+            op: CmpOp::Gte,
+            value: value.into(),
+        }
+    }
+
+    /// Strictly-less comparison on a path.
+    pub fn lt(path: impl Into<String>, value: impl Into<Value>) -> Filter {
+        Filter::Cmp {
+            path: path.into(),
+            op: CmpOp::Lt,
+            value: value.into(),
+        }
+    }
+
+    /// Less-or-equal comparison on a path.
+    pub fn lte(path: impl Into<String>, value: impl Into<Value>) -> Filter {
+        Filter::Cmp {
+            path: path.into(),
+            op: CmpOp::Lte,
+            value: value.into(),
+        }
+    }
+
+    /// Inclusive range `lo <= path <= hi`.
+    pub fn range(
+        path: impl Into<String>,
+        lo: impl Into<Value>,
+        hi: impl Into<Value>,
+    ) -> Filter {
+        let path = path.into();
+        Filter::And(vec![
+            Filter::gte(path.clone(), lo),
+            Filter::lte(path, hi),
+        ])
+    }
+
+    /// Membership test on a path.
+    pub fn is_in(path: impl Into<String>, values: Vec<Value>) -> Filter {
+        Filter::In {
+            path: path.into(),
+            values,
+            negated: false,
+        }
+    }
+
+    /// Presence test on a path.
+    pub fn exists(path: impl Into<String>, expected: bool) -> Filter {
+        Filter::Exists {
+            path: path.into(),
+            expected,
+        }
+    }
+
+    /// Conjunction of filters.
+    pub fn and(filters: Vec<Filter>) -> Filter {
+        Filter::And(filters)
+    }
+
+    /// Disjunction of filters.
+    pub fn or(filters: Vec<Filter>) -> Filter {
+        Filter::Or(filters)
+    }
+
+    // ----- parsing ----------------------------------------------------------
+
+    /// Parses a Mongo-style filter document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::BadFilter`] when the document is not an
+    /// object, uses an unknown operator, or gives an operator a malformed
+    /// argument.
+    pub fn parse(doc: &Value) -> Result<Filter, StoreError> {
+        let map = doc
+            .as_object()
+            .ok_or_else(|| StoreError::BadFilter("filter must be an object".into()))?;
+        if map.is_empty() {
+            return Ok(Filter::True);
+        }
+        let mut clauses = Vec::with_capacity(map.len());
+        for (key, value) in map {
+            if let Some(op) = key.strip_prefix('$') {
+                clauses.push(Self::parse_logical(op, value)?);
+            } else {
+                clauses.push(Self::parse_path_clause(key, value)?);
+            }
+        }
+        Ok(if clauses.len() == 1 {
+            clauses.pop().expect("one clause")
+        } else {
+            Filter::And(clauses)
+        })
+    }
+
+    fn parse_logical(op: &str, value: &Value) -> Result<Filter, StoreError> {
+        match op {
+            "and" | "or" => {
+                let items = value.as_array().ok_or_else(|| {
+                    StoreError::BadFilter(format!("${op} expects an array"))
+                })?;
+                let parsed: Result<Vec<Filter>, StoreError> = items.iter().map(Self::parse).collect();
+                let parsed = parsed?;
+                Ok(if op == "and" {
+                    Filter::And(parsed)
+                } else {
+                    Filter::Or(parsed)
+                })
+            }
+            "not" => Ok(Filter::Not(Box::new(Self::parse(value)?))),
+            other => Err(StoreError::BadFilter(format!("unknown operator ${other}"))),
+        }
+    }
+
+    fn parse_path_clause(path: &str, value: &Value) -> Result<Filter, StoreError> {
+        let Some(obj) = value.as_object() else {
+            return Ok(Filter::eq(path, value.clone()));
+        };
+        // An object that contains no $-operators is an implicit deep
+        // equality against that object.
+        if !obj.keys().any(|k| k.starts_with('$')) {
+            return Ok(Filter::eq(path, value.clone()));
+        }
+        let mut clauses = Vec::with_capacity(obj.len());
+        for (op, arg) in obj {
+            let filter = match op.as_str() {
+                "$eq" => Filter::eq(path, arg.clone()),
+                "$ne" => Filter::ne(path, arg.clone()),
+                "$gt" => Filter::gt(path, arg.clone()),
+                "$gte" => Filter::gte(path, arg.clone()),
+                "$lt" => Filter::lt(path, arg.clone()),
+                "$lte" => Filter::lte(path, arg.clone()),
+                "$in" | "$nin" => {
+                    let values = arg
+                        .as_array()
+                        .ok_or_else(|| StoreError::BadFilter(format!("{op} expects an array")))?
+                        .clone();
+                    Filter::In {
+                        path: path.to_owned(),
+                        values,
+                        negated: op == "$nin",
+                    }
+                }
+                "$exists" => {
+                    let expected = arg.as_bool().ok_or_else(|| {
+                        StoreError::BadFilter("$exists expects a boolean".into())
+                    })?;
+                    Filter::exists(path, expected)
+                }
+                "$contains" => {
+                    let needle = arg
+                        .as_str()
+                        .ok_or_else(|| StoreError::BadFilter("$contains expects a string".into()))?
+                        .to_owned();
+                    Filter::Contains {
+                        path: path.to_owned(),
+                        needle,
+                    }
+                }
+                other => {
+                    return Err(StoreError::BadFilter(format!(
+                        "unknown operator {other} on path {path}"
+                    )))
+                }
+            };
+            clauses.push(filter);
+        }
+        Ok(if clauses.len() == 1 {
+            clauses.pop().expect("one clause")
+        } else {
+            Filter::And(clauses)
+        })
+    }
+
+    // ----- evaluation -------------------------------------------------------
+
+    /// Whether this filter matches `doc`.
+    pub fn matches(&self, doc: &Value) -> bool {
+        match self {
+            Filter::True => true,
+            Filter::And(filters) => filters.iter().all(|f| f.matches(doc)),
+            Filter::Or(filters) => filters.iter().any(|f| f.matches(doc)),
+            Filter::Not(inner) => !inner.matches(doc),
+            Filter::Cmp { path, op, value } => {
+                let found = get_path(doc, path);
+                match op {
+                    CmpOp::Eq => match found {
+                        Some(v) => values_equal(v, value),
+                        // Equality with null matches a missing field.
+                        None => value.is_null(),
+                    },
+                    CmpOp::Ne => match found {
+                        Some(v) => !values_equal(v, value),
+                        None => !value.is_null(),
+                    },
+                    CmpOp::Gt | CmpOp::Gte | CmpOp::Lt | CmpOp::Lte => {
+                        // Ordered comparisons only match same-type scalars
+                        // (Mongo semantics: cross-type never matches a
+                        // range predicate).
+                        let Some(v) = found else { return false };
+                        match compare_values(v, value) {
+                            Some(ord)
+                                if std::mem::discriminant(v)
+                                    == std::mem::discriminant(value) =>
+                            {
+                                match op {
+                                    CmpOp::Gt => ord == Ordering::Greater,
+                                    CmpOp::Gte => ord != Ordering::Less,
+                                    CmpOp::Lt => ord == Ordering::Less,
+                                    CmpOp::Lte => ord != Ordering::Greater,
+                                    _ => unreachable!(),
+                                }
+                            }
+                            _ => false,
+                        }
+                    }
+                }
+            }
+            Filter::In {
+                path,
+                values,
+                negated,
+            } => {
+                let hit = match get_path(doc, path) {
+                    Some(v) => values.iter().any(|candidate| values_equal(v, candidate)),
+                    None => values.iter().any(Value::is_null),
+                };
+                hit != *negated
+            }
+            Filter::Exists { path, expected } => get_path(doc, path).is_some() == *expected,
+            Filter::Contains { path, needle } => get_path(doc, path)
+                .and_then(Value::as_str)
+                .is_some_and(|s| s.contains(needle.as_str())),
+        }
+    }
+
+    /// If the filter constrains a single path with an equality, returns
+    /// `(path, value)` — used by the query planner to consult an index.
+    pub(crate) fn as_indexable_eq(&self) -> Option<(&str, &Value)> {
+        match self {
+            Filter::Cmp {
+                path,
+                op: CmpOp::Eq,
+                value,
+            } => Some((path.as_str(), value)),
+            Filter::And(filters) => filters.iter().find_map(Filter::as_indexable_eq),
+            _ => None,
+        }
+    }
+
+    /// If the filter constrains a single path with a range, returns
+    /// `(path, lo, hi)` bounds (either bound optional, inclusive flags) —
+    /// used by the query planner.
+    pub(crate) fn as_indexable_range(&self) -> Option<RangePredicate<'_>> {
+        fn bounds_of(f: &Filter) -> Option<RangePredicate<'_>> {
+            match f {
+                Filter::Cmp { path, op, value } => match op {
+                    CmpOp::Gt => Some((path, Some((value, false)), None)),
+                    CmpOp::Gte => Some((path, Some((value, true)), None)),
+                    CmpOp::Lt => Some((path, None, Some((value, false)))),
+                    CmpOp::Lte => Some((path, None, Some((value, true)))),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        match self {
+            Filter::Cmp { .. } => bounds_of(self),
+            Filter::And(filters) => {
+                // Merge bounds that refer to the same path.
+                let mut merged: Option<RangePredicate<'_>> = None;
+                for f in filters {
+                    if let Some((path, lo, hi)) = bounds_of(f) {
+                        match &mut merged {
+                            None => merged = Some((path, lo, hi)),
+                            Some((p, mlo, mhi)) if *p == path => {
+                                if lo.is_some() {
+                                    *mlo = lo;
+                                }
+                                if hi.is_some() {
+                                    *mhi = hi;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                merged
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn doc() -> Value {
+        json!({
+            "model": "SONY D5803",
+            "spl": 61.5,
+            "location": {"provider": "gps", "accuracy": 12.0},
+            "tags": ["noise", "paris"],
+            "shared": true,
+        })
+    }
+
+    #[test]
+    fn empty_filter_matches_everything() {
+        let f = Filter::parse(&json!({})).unwrap();
+        assert_eq!(f, Filter::True);
+        assert!(f.matches(&doc()));
+    }
+
+    #[test]
+    fn implicit_equality() {
+        let f = Filter::parse(&json!({"model": "SONY D5803"})).unwrap();
+        assert!(f.matches(&doc()));
+        let f = Filter::parse(&json!({"model": "OTHER"})).unwrap();
+        assert!(!f.matches(&doc()));
+    }
+
+    #[test]
+    fn nested_path_equality() {
+        let f = Filter::parse(&json!({"location.provider": "gps"})).unwrap();
+        assert!(f.matches(&doc()));
+    }
+
+    #[test]
+    fn numeric_equality_is_value_based() {
+        let f = Filter::parse(&json!({"spl": 61.5})).unwrap();
+        assert!(f.matches(&doc()));
+        // Integer vs float representing the same number must be equal.
+        let f = Filter::parse(&json!({"n": 1})).unwrap();
+        assert!(f.matches(&json!({"n": 1.0})));
+    }
+
+    #[test]
+    fn range_operators() {
+        let d = doc();
+        assert!(Filter::parse(&json!({"spl": {"$gt": 60}})).unwrap().matches(&d));
+        assert!(Filter::parse(&json!({"spl": {"$gte": 61.5}})).unwrap().matches(&d));
+        assert!(!Filter::parse(&json!({"spl": {"$gt": 61.5}})).unwrap().matches(&d));
+        assert!(Filter::parse(&json!({"spl": {"$lt": 62}})).unwrap().matches(&d));
+        assert!(Filter::parse(&json!({"spl": {"$lte": 61.5}})).unwrap().matches(&d));
+        assert!(Filter::parse(&json!({"spl": {"$gt": 60, "$lt": 62}}))
+            .unwrap()
+            .matches(&d));
+        assert!(!Filter::parse(&json!({"spl": {"$gt": 60, "$lt": 61}}))
+            .unwrap()
+            .matches(&d));
+    }
+
+    #[test]
+    fn range_on_missing_or_cross_type_never_matches() {
+        let d = doc();
+        assert!(!Filter::parse(&json!({"missing": {"$gt": 0}})).unwrap().matches(&d));
+        assert!(!Filter::parse(&json!({"model": {"$gt": 0}})).unwrap().matches(&d));
+    }
+
+    #[test]
+    fn ne_semantics() {
+        let d = doc();
+        assert!(Filter::parse(&json!({"model": {"$ne": "X"}})).unwrap().matches(&d));
+        assert!(!Filter::parse(&json!({"model": {"$ne": "SONY D5803"}}))
+            .unwrap()
+            .matches(&d));
+        // Missing field is "not equal" to any non-null value.
+        assert!(Filter::parse(&json!({"missing": {"$ne": 1}})).unwrap().matches(&d));
+        assert!(!Filter::parse(&json!({"missing": {"$ne": null}})).unwrap().matches(&d));
+    }
+
+    #[test]
+    fn null_equality_matches_missing() {
+        let d = doc();
+        assert!(Filter::parse(&json!({"missing": null})).unwrap().matches(&d));
+        assert!(!Filter::parse(&json!({"model": null})).unwrap().matches(&d));
+    }
+
+    #[test]
+    fn in_and_nin() {
+        let d = doc();
+        let f = Filter::parse(&json!({"model": {"$in": ["A", "SONY D5803"]}})).unwrap();
+        assert!(f.matches(&d));
+        let f = Filter::parse(&json!({"model": {"$nin": ["A", "B"]}})).unwrap();
+        assert!(f.matches(&d));
+        let f = Filter::parse(&json!({"model": {"$in": ["A", "B"]}})).unwrap();
+        assert!(!f.matches(&d));
+        // Missing path: $in matches only if the list contains null.
+        let f = Filter::parse(&json!({"missing": {"$in": [null]}})).unwrap();
+        assert!(f.matches(&d));
+    }
+
+    #[test]
+    fn exists() {
+        let d = doc();
+        assert!(Filter::parse(&json!({"location": {"$exists": true}})).unwrap().matches(&d));
+        assert!(Filter::parse(&json!({"ghost": {"$exists": false}})).unwrap().matches(&d));
+        assert!(!Filter::parse(&json!({"ghost": {"$exists": true}})).unwrap().matches(&d));
+    }
+
+    #[test]
+    fn contains() {
+        let d = doc();
+        assert!(Filter::parse(&json!({"model": {"$contains": "SONY"}})).unwrap().matches(&d));
+        assert!(!Filter::parse(&json!({"model": {"$contains": "HTC"}})).unwrap().matches(&d));
+        // Non-string values never $contains.
+        assert!(!Filter::parse(&json!({"spl": {"$contains": "6"}})).unwrap().matches(&d));
+    }
+
+    #[test]
+    fn logical_combinators() {
+        let d = doc();
+        let f = Filter::parse(&json!({
+            "$or": [
+                {"model": "X"},
+                {"spl": {"$gt": 60}},
+            ]
+        }))
+        .unwrap();
+        assert!(f.matches(&d));
+        let f = Filter::parse(&json!({
+            "$and": [{"shared": true}, {"spl": {"$lt": 60}}]
+        }))
+        .unwrap();
+        assert!(!f.matches(&d));
+        let f = Filter::parse(&json!({"$not": {"model": "X"}})).unwrap();
+        assert!(f.matches(&d));
+    }
+
+    #[test]
+    fn multiple_top_level_keys_are_anded() {
+        let d = doc();
+        let f = Filter::parse(&json!({"shared": true, "spl": {"$gt": 60}})).unwrap();
+        assert!(f.matches(&d));
+        let f = Filter::parse(&json!({"shared": true, "spl": {"$gt": 70}})).unwrap();
+        assert!(!f.matches(&d));
+    }
+
+    #[test]
+    fn deep_equality_of_objects_and_arrays() {
+        let d = doc();
+        let f = Filter::parse(&json!({"tags": ["noise", "paris"]})).unwrap();
+        assert!(f.matches(&d));
+        let f =
+            Filter::parse(&json!({"location": {"provider": "gps", "accuracy": 12.0}})).unwrap();
+        assert!(f.matches(&d));
+        let f = Filter::parse(&json!({"tags": ["paris", "noise"]})).unwrap();
+        assert!(!f.matches(&d), "array equality is ordered");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Filter::parse(&json!("not an object")).is_err());
+        assert!(Filter::parse(&json!({"$bogus": []})).is_err());
+        assert!(Filter::parse(&json!({"a": {"$bogus": 1}})).is_err());
+        assert!(Filter::parse(&json!({"$and": "not array"})).is_err());
+        assert!(Filter::parse(&json!({"a": {"$in": 5}})).is_err());
+        assert!(Filter::parse(&json!({"a": {"$exists": "yes"}})).is_err());
+        assert!(Filter::parse(&json!({"a": {"$contains": 5}})).is_err());
+    }
+
+    #[test]
+    fn builder_equivalence() {
+        let parsed = Filter::parse(&json!({"spl": {"$gte": 10, "$lte": 20}})).unwrap();
+        let built = Filter::range("spl", 10, 20);
+        let probe = json!({"spl": 15});
+        assert_eq!(parsed.matches(&probe), built.matches(&probe));
+        let probe = json!({"spl": 25});
+        assert_eq!(parsed.matches(&probe), built.matches(&probe));
+    }
+
+    #[test]
+    fn indexable_eq_extraction() {
+        let f = Filter::parse(&json!({"model": "X", "spl": {"$gt": 3}})).unwrap();
+        let (path, value) = f.as_indexable_eq().unwrap();
+        assert_eq!(path, "model");
+        assert_eq!(value, &json!("X"));
+        let f = Filter::parse(&json!({"$or": [{"a": 1}]})).unwrap();
+        assert!(f.as_indexable_eq().is_none());
+    }
+
+    #[test]
+    fn indexable_range_extraction() {
+        let f = Filter::parse(&json!({"spl": {"$gte": 10, "$lt": 20}})).unwrap();
+        let (path, lo, hi) = f.as_indexable_range().unwrap();
+        assert_eq!(path, "spl");
+        assert_eq!(lo, Some((&json!(10), true)));
+        assert_eq!(hi, Some((&json!(20), false)));
+    }
+}

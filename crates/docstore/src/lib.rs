@@ -1,0 +1,51 @@
+//! # mps-docstore — an in-memory document store
+//!
+//! The GoFlow middleware stores crowd-sensed contributions in MongoDB
+//! ("Data storage … builds upon MongoDB", Section 3.1 of the paper). This
+//! crate is an in-process substitute covering the access patterns GoFlow
+//! makes: JSON documents in named collections, Mongo-style filter queries
+//! with dotted-path addressing, update operators, secondary indexes with a
+//! small query planner, sorted/paged cursors and an aggregation-pipeline
+//! subset.
+//!
+//! Documents are [`serde_json::Value`] objects; every stored document gets
+//! a numeric `_id`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mps_docstore::{Filter, Store};
+//! use serde_json::json;
+//!
+//! let store = Store::new();
+//! let obs = store.collection("observations");
+//! obs.insert_one(json!({"model": "LGE NEXUS 5", "spl": 61.5}))?;
+//! obs.insert_one(json!({"model": "SONY D5803", "spl": 44.0}))?;
+//!
+//! let loud = obs.find(&Filter::parse(&json!({"spl": {"$gt": 50}}))?)?;
+//! assert_eq!(loud.len(), 1);
+//! # Ok::<(), mps_docstore::StoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod collection;
+mod error;
+mod filter;
+mod index;
+#[cfg(test)]
+mod proptests;
+mod store;
+mod update;
+mod value;
+
+pub use aggregate::{aggregate, Accumulator, GroupSpec, Stage};
+pub use collection::{Collection, FindOptions, SortOrder};
+pub use error::StoreError;
+pub use filter::Filter;
+pub use index::IndexKey;
+pub use store::Store;
+pub use update::Update;
+pub use value::{compare_values, get_path, set_path, unset_path, DocId};

@@ -1,0 +1,112 @@
+//! In-crate property tests over store invariants.
+
+use crate::value::compare_values;
+use crate::{Collection, Filter, FindOptions, SortOrder, Update};
+use proptest::prelude::*;
+use serde_json::{json, Value};
+use std::cmp::Ordering;
+
+fn scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::from),
+        (-1000i64..1000).prop_map(Value::from),
+        (-100.0f64..100.0).prop_map(Value::from),
+        "[a-z]{0,5}".prop_map(Value::from),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn compare_is_reflexive_and_antisymmetric(a in scalar(), b in scalar()) {
+        prop_assert_eq!(compare_values(&a, &a), Some(Ordering::Equal));
+        let ab = compare_values(&a, &b).unwrap();
+        let ba = compare_values(&b, &a).unwrap();
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    #[test]
+    fn compare_is_transitive(a in scalar(), b in scalar(), c in scalar()) {
+        let ab = compare_values(&a, &b).unwrap();
+        let bc = compare_values(&b, &c).unwrap();
+        if ab != Ordering::Greater && bc != Ordering::Greater {
+            prop_assert_ne!(compare_values(&a, &c).unwrap(), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn sort_produces_ordered_output(values in prop::collection::vec(-1000i64..1000, 0..40)) {
+        let c = Collection::new();
+        for v in &values {
+            c.insert_one(json!({"v": v})).unwrap();
+        }
+        let sorted = c
+            .find_with_options(
+                &Filter::True,
+                &FindOptions::new().sort("v", SortOrder::Ascending),
+            )
+            .unwrap();
+        let out: Vec<i64> = sorted.iter().map(|d| d["v"].as_i64().unwrap()).collect();
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn skip_limit_partition(values in prop::collection::vec(-100i64..100, 0..30),
+                            skip in 0usize..35, limit in 0usize..35) {
+        let c = Collection::new();
+        for v in &values {
+            c.insert_one(json!({"v": v})).unwrap();
+        }
+        let opts = FindOptions::new().skip(skip).limit(limit);
+        let page = c.find_with_options(&Filter::True, &opts).unwrap();
+        let expected = values.len().saturating_sub(skip).min(limit);
+        prop_assert_eq!(page.len(), expected);
+    }
+
+    #[test]
+    fn delete_plus_remaining_equals_total(values in prop::collection::vec(-50i64..50, 0..40),
+                                          threshold in -60i64..60) {
+        let c = Collection::new();
+        for v in &values {
+            c.insert_one(json!({"v": v})).unwrap();
+        }
+        let total = c.len();
+        let deleted = c.delete_many(&Filter::lt("v", threshold)).unwrap();
+        prop_assert_eq!(deleted + c.len(), total);
+        prop_assert_eq!(c.count(&Filter::lt("v", threshold)).unwrap(), 0);
+    }
+
+    #[test]
+    fn inc_accumulates(deltas in prop::collection::vec(-100.0f64..100.0, 1..15)) {
+        let c = Collection::new();
+        let id = c.insert_one(json!({"acc": 0.0})).unwrap();
+        for d in &deltas {
+            c.update_many(&Filter::True, &Update::inc("acc", *d)).unwrap();
+        }
+        let doc = c.get(id).unwrap();
+        let expected: f64 = deltas.iter().sum();
+        prop_assert!((doc["acc"].as_f64().unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indexed_and_scan_agree_on_random_filters(
+        values in prop::collection::vec(scalar(), 0..40),
+        probe in scalar(),
+    ) {
+        let scan = Collection::new();
+        let indexed = Collection::new();
+        indexed.create_index("v");
+        for v in &values {
+            scan.insert_one(json!({"v": v})).unwrap();
+            indexed.insert_one(json!({"v": v})).unwrap();
+        }
+        let filter = Filter::eq("v", probe.clone());
+        prop_assert_eq!(
+            scan.count(&filter).unwrap(),
+            indexed.count(&filter).unwrap(),
+            "probe {:?}", probe
+        );
+    }
+}

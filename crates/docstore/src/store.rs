@@ -1,0 +1,128 @@
+//! The store: a namespace of collections.
+
+use crate::Collection;
+use crate::StoreError;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A thread-safe namespace of named [`Collection`]s — the substitute for
+/// the MongoDB database instance backing the GoFlow server.
+///
+/// `Store` is a cheaply-cloneable handle; clones share the same data.
+///
+/// # Examples
+///
+/// ```
+/// use mps_docstore::Store;
+/// use serde_json::json;
+///
+/// let store = Store::new();
+/// store.collection("obs").insert_one(json!({"spl": 50.0}))?;
+/// assert_eq!(store.collection_names(), vec!["obs".to_string()]);
+/// # Ok::<(), mps_docstore::StoreError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    collections: Arc<Mutex<BTreeMap<String, Collection>>>,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the collection named `name`, creating it if absent. The
+    /// returned handle shares data with every other handle to the same
+    /// name.
+    pub fn collection(&self, name: &str) -> Collection {
+        self.collections
+            .lock()
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Whether a collection named `name` exists.
+    pub fn has_collection(&self, name: &str) -> bool {
+        self.collections.lock().contains_key(name)
+    }
+
+    /// Names of all collections, sorted.
+    pub fn collection_names(&self) -> Vec<String> {
+        self.collections.lock().keys().cloned().collect()
+    }
+
+    /// Drops a collection and its documents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::CollectionNotFound`] if no collection has
+    /// this name.
+    pub fn drop_collection(&self, name: &str) -> Result<(), StoreError> {
+        self.collections
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StoreError::CollectionNotFound(name.to_owned()))
+    }
+
+    /// Total number of documents across all collections.
+    pub fn total_documents(&self) -> usize {
+        self.collections.lock().values().map(Collection::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn collection_auto_creates_and_shares() {
+        let store = Store::new();
+        let a1 = store.collection("a");
+        let a2 = store.collection("a");
+        a1.insert_one(json!({"x": 1})).unwrap();
+        assert_eq!(a2.len(), 1);
+        assert!(store.has_collection("a"));
+        assert!(!store.has_collection("b"));
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let store = Store::new();
+        store.collection("zeta");
+        store.collection("alpha");
+        assert_eq!(store.collection_names(), vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn drop_collection_removes() {
+        let store = Store::new();
+        store.collection("tmp").insert_one(json!({})).unwrap();
+        store.drop_collection("tmp").unwrap();
+        assert!(!store.has_collection("tmp"));
+        assert!(matches!(
+            store.drop_collection("tmp"),
+            Err(StoreError::CollectionNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn total_documents_sums() {
+        let store = Store::new();
+        store.collection("a").insert_one(json!({})).unwrap();
+        store.collection("b").insert_many([json!({}), json!({})]).unwrap();
+        assert_eq!(store.total_documents(), 3);
+    }
+
+    #[test]
+    fn clones_share_namespace() {
+        let store = Store::new();
+        let clone = store.clone();
+        clone.collection("shared");
+        assert!(store.has_collection("shared"));
+    }
+}

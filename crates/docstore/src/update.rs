@@ -1,0 +1,252 @@
+//! Mongo-style update documents.
+
+use crate::value::{get_path, set_path, unset_path};
+use crate::StoreError;
+use serde_json::Value;
+
+/// One update operation on a document path.
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    /// `$set`: write a value at the path.
+    Set(String, Value),
+    /// `$inc`: add a number to the (numeric or missing) value at the path.
+    Inc(String, f64),
+    /// `$unset`: remove the path.
+    Unset(String),
+    /// `$push`: append a value to the (array or missing) value at the path.
+    Push(String, Value),
+}
+
+/// A parsed update document: an ordered list of `$set` / `$inc` / `$unset`
+/// / `$push` operations.
+///
+/// # Examples
+///
+/// ```
+/// use mps_docstore::Update;
+/// use serde_json::json;
+///
+/// let update = Update::parse(&json!({
+///     "$set": {"status": "processed"},
+///     "$inc": {"retries": 1},
+/// }))?;
+/// let mut doc = json!({"retries": 2});
+/// update.apply(&mut doc)?;
+/// assert_eq!(doc, json!({"retries": 3.0, "status": "processed"}));
+/// # Ok::<(), mps_docstore::StoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Update {
+    ops: Vec<Op>,
+}
+
+impl Update {
+    /// Parses an update document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::BadUpdate`] if the document is not an object,
+    /// uses an unknown operator, or gives `$inc` a non-numeric argument.
+    pub fn parse(doc: &Value) -> Result<Update, StoreError> {
+        let map = doc
+            .as_object()
+            .ok_or_else(|| StoreError::BadUpdate("update must be an object".into()))?;
+        let mut ops = Vec::new();
+        for (op, args) in map {
+            let args = args.as_object().ok_or_else(|| {
+                StoreError::BadUpdate(format!("{op} expects an object of paths"))
+            })?;
+            for (path, arg) in args {
+                let parsed = match op.as_str() {
+                    "$set" => Op::Set(path.clone(), arg.clone()),
+                    "$inc" => {
+                        let delta = arg.as_f64().ok_or_else(|| {
+                            StoreError::BadUpdate(format!("$inc on {path} expects a number"))
+                        })?;
+                        Op::Inc(path.clone(), delta)
+                    }
+                    "$unset" => Op::Unset(path.clone()),
+                    "$push" => Op::Push(path.clone(), arg.clone()),
+                    other => {
+                        return Err(StoreError::BadUpdate(format!("unknown operator {other}")))
+                    }
+                };
+                ops.push(parsed);
+            }
+        }
+        if ops.is_empty() {
+            return Err(StoreError::BadUpdate("update has no operations".into()));
+        }
+        Ok(Update { ops })
+    }
+
+    /// Builds a single-field `$set` update.
+    pub fn set(path: impl Into<String>, value: impl Into<Value>) -> Update {
+        Update {
+            ops: vec![Op::Set(path.into(), value.into())],
+        }
+    }
+
+    /// Builds a single-field `$inc` update.
+    pub fn inc(path: impl Into<String>, delta: f64) -> Update {
+        Update {
+            ops: vec![Op::Inc(path.into(), delta)],
+        }
+    }
+
+    /// Applies the update to `doc` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::BadUpdate`] if `$inc` targets a non-numeric
+    /// value or `$push` targets a non-array value; earlier operations in
+    /// the update may already have been applied.
+    pub fn apply(&self, doc: &mut Value) -> Result<(), StoreError> {
+        for op in &self.ops {
+            match op {
+                Op::Set(path, value) => {
+                    if !set_path(doc, path, value.clone()) {
+                        return Err(StoreError::BadUpdate(format!(
+                            "$set cannot traverse non-object at {path}"
+                        )));
+                    }
+                }
+                Op::Inc(path, delta) => {
+                    let current = match get_path(doc, path) {
+                        None => 0.0,
+                        Some(v) => v.as_f64().ok_or_else(|| {
+                            StoreError::BadUpdate(format!("$inc target {path} is not a number"))
+                        })?,
+                    };
+                    if !set_path(doc, path, Value::from(current + delta)) {
+                        return Err(StoreError::BadUpdate(format!(
+                            "$inc cannot traverse non-object at {path}"
+                        )));
+                    }
+                }
+                Op::Unset(path) => {
+                    let _ = unset_path(doc, path);
+                }
+                Op::Push(path, value) => {
+                    match get_path(doc, path) {
+                        None => {
+                            if !set_path(doc, path, Value::Array(vec![value.clone()])) {
+                                return Err(StoreError::BadUpdate(format!(
+                                    "$push cannot traverse non-object at {path}"
+                                )));
+                            }
+                        }
+                        Some(Value::Array(_)) => {
+                            // Re-borrow mutably to push.
+                            let mut current = &mut *doc;
+                            for segment in path.split('.') {
+                                current = current
+                                    .as_object_mut()
+                                    .and_then(|m| m.get_mut(segment))
+                                    .expect("path verified above");
+                            }
+                            current
+                                .as_array_mut()
+                                .expect("array verified above")
+                                .push(value.clone());
+                        }
+                        Some(_) => {
+                            return Err(StoreError::BadUpdate(format!(
+                                "$push target {path} is not an array"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn set_creates_and_overwrites() {
+        let u = Update::parse(&json!({"$set": {"a.b": 1, "c": "x"}})).unwrap();
+        let mut doc = json!({"c": "old"});
+        u.apply(&mut doc).unwrap();
+        assert_eq!(doc, json!({"a": {"b": 1}, "c": "x"}));
+    }
+
+    #[test]
+    fn inc_from_missing_and_existing() {
+        let u = Update::inc("n", 2.5);
+        let mut doc = json!({});
+        u.apply(&mut doc).unwrap();
+        u.apply(&mut doc).unwrap();
+        assert_eq!(doc, json!({"n": 5.0}));
+    }
+
+    #[test]
+    fn inc_non_number_fails() {
+        let u = Update::inc("s", 1.0);
+        let mut doc = json!({"s": "text"});
+        assert!(matches!(u.apply(&mut doc), Err(StoreError::BadUpdate(_))));
+    }
+
+    #[test]
+    fn unset_removes_and_tolerates_missing() {
+        let u = Update::parse(&json!({"$unset": {"a.b": 1, "ghost": 1}})).unwrap();
+        let mut doc = json!({"a": {"b": 2, "keep": 3}});
+        u.apply(&mut doc).unwrap();
+        assert_eq!(doc, json!({"a": {"keep": 3}}));
+    }
+
+    #[test]
+    fn push_appends_or_creates() {
+        let u = Update::parse(&json!({"$push": {"tags": "new"}})).unwrap();
+        let mut doc = json!({"tags": ["old"]});
+        u.apply(&mut doc).unwrap();
+        assert_eq!(doc, json!({"tags": ["old", "new"]}));
+
+        let mut empty = json!({});
+        u.apply(&mut empty).unwrap();
+        assert_eq!(empty, json!({"tags": ["new"]}));
+    }
+
+    #[test]
+    fn push_non_array_fails() {
+        let u = Update::parse(&json!({"$push": {"n": 1}})).unwrap();
+        let mut doc = json!({"n": 5});
+        assert!(u.apply(&mut doc).is_err());
+    }
+
+    #[test]
+    fn push_into_nested_array() {
+        let u = Update::parse(&json!({"$push": {"a.b": 2}})).unwrap();
+        let mut doc = json!({"a": {"b": [1]}});
+        u.apply(&mut doc).unwrap();
+        assert_eq!(doc, json!({"a": {"b": [1, 2]}}));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Update::parse(&json!(5)).is_err());
+        assert!(Update::parse(&json!({"$set": 5})).is_err());
+        assert!(Update::parse(&json!({"$bogus": {"a": 1}})).is_err());
+        assert!(Update::parse(&json!({"$inc": {"a": "one"}})).is_err());
+        assert!(Update::parse(&json!({})).is_err(), "empty update rejected");
+    }
+
+    #[test]
+    fn set_builder() {
+        let mut doc = json!({});
+        Update::set("k", 7).apply(&mut doc).unwrap();
+        assert_eq!(doc, json!({"k": 7}));
+    }
+
+    #[test]
+    fn set_through_scalar_fails() {
+        let u = Update::set("a.b", 1);
+        let mut doc = json!({"a": 3});
+        assert!(u.apply(&mut doc).is_err());
+    }
+}

@@ -1,0 +1,358 @@
+//! Account and access management (Figure 2 of the paper).
+
+use crate::GoFlowError;
+use mps_types::{AppId, UserId};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Role of a user within an application.
+///
+/// GoFlow manages "users with different roles for the registered apps";
+/// the roles gate the administrative API surface.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Role {
+    /// Contributes observations; may read their own data.
+    Contributor,
+    /// Manages an app: submits background jobs, reads app-wide data.
+    Manager,
+    /// Full administrative access, including account management.
+    Admin,
+}
+
+impl Role {
+    /// Whether this role includes the capabilities of `other`.
+    pub fn includes(self, other: Role) -> bool {
+        self >= other
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Role::Contributor => "contributor",
+            Role::Manager => "manager",
+            Role::Admin => "admin",
+        })
+    }
+}
+
+/// An opaque authentication token handed out at registration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Token(String);
+
+impl Token {
+    /// Wraps a raw token string (e.g. one persisted by a client between
+    /// sessions). Wrapping does not validate; authentication does.
+    pub fn from_raw(token: impl Into<String>) -> Self {
+        Self(token.into())
+    }
+
+    /// The token string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Account {
+    app: AppId,
+    user: UserId,
+    role: Role,
+    revoked: bool,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    apps: Vec<AppId>,
+    by_token: HashMap<String, Account>,
+    registered: HashMap<(AppId, UserId), String>,
+    next_serial: u64,
+}
+
+/// Registry of applications and user accounts with token authentication.
+///
+/// Tokens are deterministic (derived from a serial counter), anonymous
+/// (they embed no user identifier in the clear) and revocable.
+#[derive(Debug, Default)]
+pub struct AccountManager {
+    inner: Mutex<Inner>,
+}
+
+fn token_string(serial: u64) -> String {
+    // FNV-1a over the serial, printed in hex: opaque but reproducible.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in serial.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    format!("tok-{h:016x}-{serial}")
+}
+
+impl AccountManager {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an application. Re-registering is a no-op.
+    pub fn register_app(&self, app: &AppId) {
+        let mut inner = self.inner.lock();
+        if !inner.apps.contains(app) {
+            inner.apps.push(app.clone());
+        }
+    }
+
+    /// Whether the application is registered.
+    pub fn has_app(&self, app: &AppId) -> bool {
+        self.inner.lock().apps.contains(app)
+    }
+
+    /// Registered applications, in registration order.
+    pub fn apps(&self) -> Vec<AppId> {
+        self.inner.lock().apps.clone()
+    }
+
+    /// Registers a user for an app with a role, returning their token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoFlowError::UnknownApp`] for an unregistered app and
+    /// [`GoFlowError::UserExists`] if the user already has an account for
+    /// this app.
+    pub fn register_user(
+        &self,
+        app: &AppId,
+        user: UserId,
+        role: Role,
+    ) -> Result<Token, GoFlowError> {
+        let mut inner = self.inner.lock();
+        if !inner.apps.contains(app) {
+            return Err(GoFlowError::UnknownApp(app.to_string()));
+        }
+        if inner.registered.contains_key(&(app.clone(), user)) {
+            return Err(GoFlowError::UserExists);
+        }
+        let serial = inner.next_serial;
+        inner.next_serial += 1;
+        let token = token_string(serial);
+        inner.registered.insert((app.clone(), user), token.clone());
+        inner.by_token.insert(
+            token.clone(),
+            Account {
+                app: app.clone(),
+                user,
+                role,
+                revoked: false,
+            },
+        );
+        Ok(Token(token))
+    }
+
+    /// Authenticates a token, returning `(app, user, role)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoFlowError::InvalidToken`] for unknown or revoked tokens.
+    pub fn authenticate(&self, token: &Token) -> Result<(AppId, UserId, Role), GoFlowError> {
+        let inner = self.inner.lock();
+        match inner.by_token.get(token.as_str()) {
+            Some(account) if !account.revoked => {
+                Ok((account.app.clone(), account.user, account.role))
+            }
+            _ => Err(GoFlowError::InvalidToken),
+        }
+    }
+
+    /// Requires that `token` authenticates with at least `role`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoFlowError::InvalidToken`] or
+    /// [`GoFlowError::PermissionDenied`].
+    pub fn require_role(
+        &self,
+        token: &Token,
+        role: Role,
+        action: &str,
+    ) -> Result<(AppId, UserId), GoFlowError> {
+        let (app, user, actual) = self.authenticate(token)?;
+        if !actual.includes(role) {
+            return Err(GoFlowError::PermissionDenied {
+                action: action.to_owned(),
+            });
+        }
+        Ok((app, user))
+    }
+
+    /// Revokes a token; subsequent authentications fail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoFlowError::InvalidToken`] for an unknown token.
+    pub fn revoke(&self, token: &Token) -> Result<(), GoFlowError> {
+        let mut inner = self.inner.lock();
+        match inner.by_token.get_mut(token.as_str()) {
+            Some(account) => {
+                account.revoked = true;
+                Ok(())
+            }
+            None => Err(GoFlowError::InvalidToken),
+        }
+    }
+
+    /// Revokes every token of a user for an app (account erasure).
+    /// Returns how many tokens were revoked.
+    pub fn revoke_user(&self, app: &AppId, user: UserId) -> usize {
+        let mut inner = self.inner.lock();
+        let mut revoked = 0;
+        for account in inner.by_token.values_mut() {
+            if &account.app == app && account.user == user && !account.revoked {
+                account.revoked = true;
+                revoked += 1;
+            }
+        }
+        revoked
+    }
+
+    /// Number of (non-revoked) accounts for an app.
+    pub fn user_count(&self, app: &AppId) -> usize {
+        self.inner
+            .lock()
+            .by_token
+            .values()
+            .filter(|a| &a.app == app && !a.revoked)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc() -> AppId {
+        AppId::soundcity()
+    }
+
+    fn manager_with_app() -> AccountManager {
+        let m = AccountManager::new();
+        m.register_app(&sc());
+        m
+    }
+
+    #[test]
+    fn register_and_authenticate() {
+        let m = manager_with_app();
+        let token = m.register_user(&sc(), 1.into(), Role::Contributor).unwrap();
+        let (app, user, role) = m.authenticate(&token).unwrap();
+        assert_eq!(app, sc());
+        assert_eq!(user, UserId::new(1));
+        assert_eq!(role, Role::Contributor);
+    }
+
+    #[test]
+    fn tokens_are_opaque_and_unique() {
+        let m = manager_with_app();
+        let t1 = m.register_user(&sc(), 1.into(), Role::Contributor).unwrap();
+        let t2 = m.register_user(&sc(), 2.into(), Role::Contributor).unwrap();
+        assert_ne!(t1, t2);
+        assert!(t1.as_str().starts_with("tok-"));
+    }
+
+    #[test]
+    fn unknown_app_rejected() {
+        let m = AccountManager::new();
+        assert!(matches!(
+            m.register_user(&sc(), 1.into(), Role::Contributor),
+            Err(GoFlowError::UnknownApp(_))
+        ));
+        assert!(!m.has_app(&sc()));
+    }
+
+    #[test]
+    fn duplicate_user_rejected() {
+        let m = manager_with_app();
+        m.register_user(&sc(), 1.into(), Role::Contributor).unwrap();
+        assert_eq!(
+            m.register_user(&sc(), 1.into(), Role::Manager).unwrap_err(),
+            GoFlowError::UserExists
+        );
+    }
+
+    #[test]
+    fn same_user_different_apps_ok() {
+        let m = manager_with_app();
+        let other = AppId::new("OTHER");
+        m.register_app(&other);
+        m.register_user(&sc(), 1.into(), Role::Contributor).unwrap();
+        assert!(m.register_user(&other, 1.into(), Role::Contributor).is_ok());
+        assert_eq!(m.apps().len(), 2);
+    }
+
+    #[test]
+    fn role_hierarchy() {
+        assert!(Role::Admin.includes(Role::Manager));
+        assert!(Role::Admin.includes(Role::Contributor));
+        assert!(Role::Manager.includes(Role::Contributor));
+        assert!(!Role::Contributor.includes(Role::Manager));
+        assert!(Role::Manager.includes(Role::Manager));
+    }
+
+    #[test]
+    fn require_role_gates() {
+        let m = manager_with_app();
+        let contrib = m.register_user(&sc(), 1.into(), Role::Contributor).unwrap();
+        let admin = m.register_user(&sc(), 2.into(), Role::Admin).unwrap();
+        assert!(m.require_role(&contrib, Role::Manager, "submit job").is_err());
+        assert!(m.require_role(&admin, Role::Manager, "submit job").is_ok());
+    }
+
+    #[test]
+    fn revoked_token_fails() {
+        let m = manager_with_app();
+        let token = m.register_user(&sc(), 1.into(), Role::Contributor).unwrap();
+        m.revoke(&token).unwrap();
+        assert_eq!(m.authenticate(&token).unwrap_err(), GoFlowError::InvalidToken);
+        assert_eq!(m.user_count(&sc()), 0);
+        assert!(m.revoke(&Token("ghost".into())).is_err());
+    }
+
+    #[test]
+    fn user_count_per_app() {
+        let m = manager_with_app();
+        m.register_user(&sc(), 1.into(), Role::Contributor).unwrap();
+        m.register_user(&sc(), 2.into(), Role::Manager).unwrap();
+        assert_eq!(m.user_count(&sc()), 2);
+        assert_eq!(m.user_count(&AppId::new("GHOST")), 0);
+    }
+
+    #[test]
+    fn revoke_user_revokes_all_their_tokens() {
+        let m = manager_with_app();
+        let token = m.register_user(&sc(), 1.into(), Role::Contributor).unwrap();
+        let other = m.register_user(&sc(), 2.into(), Role::Contributor).unwrap();
+        assert_eq!(m.revoke_user(&sc(), 1.into()), 1);
+        assert!(m.authenticate(&token).is_err());
+        assert!(m.authenticate(&other).is_ok());
+        // Idempotent.
+        assert_eq!(m.revoke_user(&sc(), 1.into()), 0);
+        // Scoped to the app.
+        assert_eq!(m.revoke_user(&AppId::new("OTHER"), 2.into()), 0);
+    }
+
+    #[test]
+    fn role_display() {
+        assert_eq!(Role::Contributor.to_string(), "contributor");
+        assert_eq!(Role::Admin.to_string(), "admin");
+    }
+}

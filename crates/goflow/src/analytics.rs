@@ -1,0 +1,146 @@
+//! Crowd-sensing usage analytics (Figure 2: "Crowd-sensing analytics").
+//!
+//! Lightweight counters over the ingest path: per-app, per-day totals of
+//! stored and localized observations. These are the numbers behind the
+//! paper's Figure 8 (cumulative contributed observations and the ~40 %
+//! localized share).
+
+use mps_types::{AppId, SimTime};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct DayCounts {
+    total: u64,
+    localized: u64,
+}
+
+/// Per-app, per-day contribution counters.
+#[derive(Debug, Default)]
+pub struct UsageAnalytics {
+    days: Mutex<BTreeMap<(AppId, i64), DayCounts>>,
+}
+
+impl UsageAnalytics {
+    /// Creates empty analytics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one stored observation for `app` at time `now`.
+    pub fn record(&self, app: &AppId, now: SimTime, localized: bool) {
+        let mut days = self.days.lock();
+        let entry = days.entry((app.clone(), now.day())).or_default();
+        entry.total += 1;
+        if localized {
+            entry.localized += 1;
+        }
+    }
+
+    /// Total observations recorded for `app`.
+    pub fn total(&self, app: &AppId) -> u64 {
+        self.days
+            .lock()
+            .iter()
+            .filter(|((a, _), _)| a == app)
+            .map(|(_, c)| c.total)
+            .sum()
+    }
+
+    /// Total localized observations recorded for `app`.
+    pub fn total_localized(&self, app: &AppId) -> u64 {
+        self.days
+            .lock()
+            .iter()
+            .filter(|((a, _), _)| a == app)
+            .map(|(_, c)| c.localized)
+            .sum()
+    }
+
+    /// Daily series `(day, total, localized)` for `app`, in day order —
+    /// the data behind Figure 8.
+    pub fn daily_series(&self, app: &AppId) -> Vec<(i64, u64, u64)> {
+        self.days
+            .lock()
+            .iter()
+            .filter(|((a, _), _)| a == app)
+            .map(|((_, day), c)| (*day, c.total, c.localized))
+            .collect()
+    }
+
+    /// Cumulative series `(day, cumulative_total, cumulative_localized)`.
+    pub fn cumulative_series(&self, app: &AppId) -> Vec<(i64, u64, u64)> {
+        let mut out = Vec::new();
+        let mut total = 0;
+        let mut localized = 0;
+        for (day, t, l) in self.daily_series(app) {
+            total += t;
+            localized += l;
+            out.push((day, total, localized));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(day: i64) -> SimTime {
+        SimTime::from_hms(day, 12, 0, 0)
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let a = UsageAnalytics::new();
+        let app = AppId::soundcity();
+        a.record(&app, t(0), true);
+        a.record(&app, t(0), false);
+        a.record(&app, t(2), true);
+        assert_eq!(a.total(&app), 3);
+        assert_eq!(a.total_localized(&app), 2);
+    }
+
+    #[test]
+    fn apps_are_separate() {
+        let a = UsageAnalytics::new();
+        let sc = AppId::soundcity();
+        let other = AppId::new("OTHER");
+        a.record(&sc, t(0), false);
+        a.record(&other, t(0), false);
+        assert_eq!(a.total(&sc), 1);
+        assert_eq!(a.total(&other), 1);
+        assert_eq!(a.total(&AppId::new("GHOST")), 0);
+    }
+
+    #[test]
+    fn daily_series_in_order() {
+        let a = UsageAnalytics::new();
+        let app = AppId::soundcity();
+        a.record(&app, t(5), false);
+        a.record(&app, t(1), true);
+        a.record(&app, t(5), true);
+        assert_eq!(
+            a.daily_series(&app),
+            vec![(1, 1, 1), (5, 2, 1)]
+        );
+    }
+
+    #[test]
+    fn cumulative_series_monotone() {
+        let a = UsageAnalytics::new();
+        let app = AppId::soundcity();
+        for day in 0..10 {
+            for _ in 0..=day {
+                a.record(&app, t(day), day % 2 == 0);
+            }
+        }
+        let series = a.cumulative_series(&app);
+        assert_eq!(series.len(), 10);
+        for pair in series.windows(2) {
+            assert!(pair[1].1 > pair[0].1, "strictly growing totals");
+            assert!(pair[1].2 >= pair[0].2);
+        }
+        assert_eq!(series.last().unwrap().1, 55);
+    }
+}

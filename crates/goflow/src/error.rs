@@ -1,0 +1,100 @@
+//! GoFlow error types.
+
+use mps_broker::BrokerError;
+use mps_docstore::StoreError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the GoFlow server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoFlowError {
+    /// The application is not registered with the server.
+    UnknownApp(String),
+    /// The authentication token is unknown or revoked.
+    InvalidToken,
+    /// The user exists but lacks the role required for the operation.
+    PermissionDenied {
+        /// What was attempted.
+        action: String,
+    },
+    /// A user with this id is already registered for the app.
+    UserExists,
+    /// The referenced background job does not exist.
+    JobNotFound(u64),
+    /// An ingested payload could not be decoded as an observation.
+    MalformedObservation(String),
+    /// A request was structurally invalid.
+    BadRequest(String),
+    /// An underlying broker operation failed.
+    Broker(BrokerError),
+    /// An underlying storage operation failed.
+    Store(StoreError),
+}
+
+impl fmt::Display for GoFlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoFlowError::UnknownApp(app) => write!(f, "unknown application: {app}"),
+            GoFlowError::InvalidToken => write!(f, "invalid or revoked token"),
+            GoFlowError::PermissionDenied { action } => {
+                write!(f, "permission denied: {action}")
+            }
+            GoFlowError::UserExists => write!(f, "user already registered"),
+            GoFlowError::JobNotFound(id) => write!(f, "job not found: {id}"),
+            GoFlowError::MalformedObservation(msg) => {
+                write!(f, "malformed observation: {msg}")
+            }
+            GoFlowError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            GoFlowError::Broker(err) => write!(f, "broker error: {err}"),
+            GoFlowError::Store(err) => write!(f, "storage error: {err}"),
+        }
+    }
+}
+
+impl Error for GoFlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GoFlowError::Broker(err) => Some(err),
+            GoFlowError::Store(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<BrokerError> for GoFlowError {
+    fn from(err: BrokerError) -> Self {
+        GoFlowError::Broker(err)
+    }
+}
+
+impl From<StoreError> for GoFlowError {
+    fn from(err: StoreError) -> Self {
+        GoFlowError::Store(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GoFlowError::UnknownApp("X".into()).to_string().contains('X'));
+        assert!(!GoFlowError::InvalidToken.to_string().is_empty());
+        assert!(GoFlowError::PermissionDenied {
+            action: "drop".into()
+        }
+        .to_string()
+        .contains("drop"));
+        assert!(GoFlowError::JobNotFound(9).to_string().contains('9'));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let err = GoFlowError::from(BrokerError::QueueNotFound("q".into()));
+        assert!(err.source().is_some());
+        let err = GoFlowError::from(StoreError::NotAnObject);
+        assert!(err.source().is_some());
+        assert!(GoFlowError::InvalidToken.source().is_none());
+    }
+}

@@ -1,0 +1,210 @@
+//! Ingest: from the GF queue to storage.
+//!
+//! The ingest component drains the application's GF collection queue,
+//! decodes the JSON payloads (a payload may carry a single observation or
+//! a buffered batch, as sent by app v1.3), stamps the server arrival time,
+//! pseudonymises contributor identifiers per the privacy policy, derives
+//! the query fields the analyses need, and stores the result as one
+//! document per observation.
+
+use crate::channels::gf_queue;
+use crate::{PrivacyPolicy, UsageAnalytics};
+use mps_broker::Broker;
+use mps_docstore::Collection;
+use mps_types::{AppId, Observation, SimTime};
+use serde_json::{json, Value};
+use std::sync::Arc;
+
+/// Result of one ingest pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestOutcome {
+    /// Observations decoded and stored.
+    pub stored: usize,
+    /// Messages that could not be decoded (dropped, not requeued).
+    pub malformed: usize,
+}
+
+/// Conversion of wire observations into stored documents.
+///
+/// The stored document keeps everything the empirical analyses (Figures
+/// 9–21) need — including derived buckets (`hour`, `day`, `month`,
+/// `delay_ms`) — while replacing the raw device/user identifiers with
+/// pseudonyms.
+#[derive(Debug, Clone, Copy)]
+pub struct ObservationRecord;
+
+impl ObservationRecord {
+    /// Builds the stored document for an observation that arrived at
+    /// `arrived_at`.
+    pub fn to_document(
+        obs: &Observation,
+        arrived_at: SimTime,
+        policy: &PrivacyPolicy,
+    ) -> Value {
+        let delay_ms = arrived_at.since(obs.captured_at).as_millis();
+        let location = obs.location.as_ref();
+        json!({
+            "device": policy.pseudonymize(obs.device.raw()).raw(),
+            "user": policy.pseudonymize(obs.user.raw()).raw(),
+            "model": obs.model.label(),
+            "captured_ms": obs.captured_at.as_millis(),
+            "arrived_ms": arrived_at.as_millis(),
+            "delay_ms": delay_ms,
+            "hour": obs.captured_at.hour_of_day(),
+            "day": obs.captured_at.day(),
+            "month": obs.captured_at.month(),
+            "spl": obs.spl.db(),
+            "localized": location.is_some(),
+            "provider": location.map(|l| l.provider.name()),
+            "accuracy": location.map(|l| l.accuracy_m),
+            "lat": location.map(|l| l.point.lat),
+            "lon": location.map(|l| l.point.lon),
+            "activity": obs.activity.name(),
+            "mode": obs.mode.name(),
+            "app_version": obs.app_version.name(),
+        })
+    }
+}
+
+/// Drains GF queues into storage.
+#[derive(Debug)]
+pub(crate) struct Ingestor {
+    broker: Arc<Broker>,
+    policy: PrivacyPolicy,
+}
+
+impl Ingestor {
+    pub(crate) fn new(broker: Arc<Broker>, policy: PrivacyPolicy) -> Self {
+        Self { broker, policy }
+    }
+
+    /// Decodes a payload into one or more observations (v1.3 clients send
+    /// buffered batches as JSON arrays).
+    fn decode(payload: &[u8]) -> Result<Vec<Observation>, serde_json::Error> {
+        let value: Value = serde_json::from_slice(payload)?;
+        if value.is_array() {
+            serde_json::from_value(value)
+        } else {
+            serde_json::from_value::<Observation>(value).map(|obs| vec![obs])
+        }
+    }
+
+    /// Drains up to `max_messages` from the app's GF queue into
+    /// `collection`, stamping `now` as the arrival time and recording
+    /// per-day counts in `analytics`.
+    pub(crate) fn drain(
+        &self,
+        app: &AppId,
+        collection: &Collection,
+        analytics: &UsageAnalytics,
+        now: SimTime,
+        max_messages: usize,
+    ) -> IngestOutcome {
+        let queue = gf_queue(app);
+        let mut outcome = IngestOutcome::default();
+        let Ok(deliveries) = self.broker.consume(&queue, max_messages) else {
+            return outcome;
+        };
+        for delivery in deliveries {
+            match Self::decode(delivery.payload()) {
+                Ok(observations) => {
+                    for obs in &observations {
+                        let doc = ObservationRecord::to_document(obs, now, &self.policy);
+                        if collection.insert_one(doc).is_ok() {
+                            outcome.stored += 1;
+                            analytics.record(app, now, obs.is_localized());
+                        }
+                    }
+                    let _ = self.broker.ack(&queue, delivery.tag);
+                }
+                Err(err) => {
+                    outcome.malformed += 1;
+                    let _ = self.broker.nack(&queue, delivery.tag, false);
+                    let _ = err; // decode errors are counted, not propagated
+                }
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_types::{
+        Activity, AppVersion, DeviceModel, GeoPoint, LocationFix, LocationProvider, SensingMode,
+        SimDuration, SoundLevel,
+    };
+
+    fn sample_obs() -> Observation {
+        Observation::builder()
+            .device(7.into())
+            .user(3.into())
+            .model(DeviceModel::OneplusA0001)
+            .captured_at(SimTime::from_hms(40, 14, 5, 0))
+            .spl(SoundLevel::new(63.0))
+            .location(LocationFix::new(
+                GeoPoint::PARIS,
+                28.0,
+                LocationProvider::Network,
+            ))
+            .activity(Activity::Foot)
+            .mode(SensingMode::Journey)
+            .app_version(AppVersion::V1_2_9)
+            .build()
+    }
+
+    #[test]
+    fn document_has_derived_fields() {
+        let obs = sample_obs();
+        let arrived = obs.captured_at + SimDuration::from_secs(9);
+        let doc = ObservationRecord::to_document(&obs, arrived, &PrivacyPolicy::default());
+        assert_eq!(doc["model"], "ONEPLUS A0001");
+        assert_eq!(doc["hour"], 14);
+        assert_eq!(doc["day"], 40);
+        assert_eq!(doc["month"], 1);
+        assert_eq!(doc["delay_ms"], 9_000);
+        assert_eq!(doc["localized"], true);
+        assert_eq!(doc["provider"], "network");
+        assert_eq!(doc["accuracy"], 28.0);
+        assert_eq!(doc["activity"], "foot");
+        assert_eq!(doc["mode"], "journey");
+        assert_eq!(doc["app_version"], "1.2.9");
+    }
+
+    #[test]
+    fn document_pseudonymises_ids() {
+        let obs = sample_obs();
+        let doc =
+            ObservationRecord::to_document(&obs, obs.captured_at, &PrivacyPolicy::default());
+        assert_ne!(doc["device"], 7);
+        assert_ne!(doc["user"], 3);
+        // Stable across calls.
+        let doc2 =
+            ObservationRecord::to_document(&obs, obs.captured_at, &PrivacyPolicy::default());
+        assert_eq!(doc["device"], doc2["device"]);
+    }
+
+    #[test]
+    fn unlocalized_observation_has_null_location_fields() {
+        let mut obs = sample_obs();
+        obs.location = None;
+        let doc =
+            ObservationRecord::to_document(&obs, obs.captured_at, &PrivacyPolicy::default());
+        assert_eq!(doc["localized"], false);
+        assert!(doc["provider"].is_null());
+        assert!(doc["accuracy"].is_null());
+        assert!(doc["lat"].is_null());
+    }
+
+    #[test]
+    fn decode_single_and_batch() {
+        let obs = sample_obs();
+        let single = serde_json::to_vec(&obs).unwrap();
+        assert_eq!(Ingestor::decode(&single).unwrap().len(), 1);
+        let batch = serde_json::to_vec(&vec![obs.clone(), obs]).unwrap();
+        assert_eq!(Ingestor::decode(&batch).unwrap().len(), 2);
+        assert!(Ingestor::decode(b"not json").is_err());
+        assert!(Ingestor::decode(b"{\"bogus\": 1}").is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! CNIL-style privacy: pseudonymisation and private-field policies.
+//!
+//! The GoFlow server "maintains data about the contributing users in an
+//! anonymized way" and "implements the privacy policy set by the French
+//! CNIL" (Sections 3, 3.1). Two mechanisms realise that here:
+//!
+//! * [`Pseudonym`] — contributor identifiers are replaced by keyed-hash
+//!   pseudonyms before storage. The mapping is stable (so longitudinal,
+//!   per-contributor analyses like Figures 15 and 19 remain possible) but
+//!   not reversible without the server key.
+//! * [`PrivacyPolicy`] — "contributing applications specify the data that
+//!   they want to keep private and those that they agree to share": a
+//!   per-app list of private document paths stripped when data is read by
+//!   anyone other than the owning app.
+
+use mps_docstore::unset_path;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::fmt;
+
+/// A stable, keyed pseudonym for a contributor identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Pseudonym(u64);
+
+impl Pseudonym {
+    /// The raw pseudonym value (safe to expose; it is the pseudonym).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Pseudonym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "anon-{:016x}", self.0)
+    }
+}
+
+/// Per-application privacy policy.
+///
+/// # Examples
+///
+/// ```
+/// use mps_goflow::PrivacyPolicy;
+/// use serde_json::json;
+///
+/// let policy = PrivacyPolicy::new(0xC011)
+///     .with_private_path("location");
+/// let p1 = policy.pseudonymize(42);
+/// assert_eq!(p1, policy.pseudonymize(42), "stable mapping");
+///
+/// let mut doc = json!({"spl": 60.0, "location": {"lat": 48.85}});
+/// policy.redact(&mut doc);
+/// assert_eq!(doc, json!({"spl": 60.0}));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrivacyPolicy {
+    key: u64,
+    private_paths: Vec<String>,
+}
+
+impl PrivacyPolicy {
+    /// Creates a policy with a server-side pseudonymisation key and no
+    /// private paths.
+    pub fn new(key: u64) -> Self {
+        Self {
+            key,
+            private_paths: Vec::new(),
+        }
+    }
+
+    /// Marks a dotted document path as private: it is stripped by
+    /// [`PrivacyPolicy::redact`].
+    pub fn with_private_path(mut self, path: impl Into<String>) -> Self {
+        self.private_paths.push(path.into());
+        self
+    }
+
+    /// The private paths of this policy.
+    pub fn private_paths(&self) -> &[String] {
+        &self.private_paths
+    }
+
+    /// Maps a raw contributor identifier to its pseudonym (keyed
+    /// SplitMix64-style mix; stable for a given policy key).
+    pub fn pseudonymize(&self, raw_id: u64) -> Pseudonym {
+        let mut x = raw_id ^ self.key.rotate_left(17);
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        Pseudonym(x ^ (x >> 31))
+    }
+
+    /// Strips every private path from `doc` (for sharing data outside the
+    /// owning application — "open data in mind").
+    pub fn redact(&self, doc: &mut Value) {
+        for path in &self.private_paths {
+            let _ = unset_path(doc, path);
+        }
+    }
+}
+
+impl Default for PrivacyPolicy {
+    /// A policy with a fixed default key and no private paths. Production
+    /// deployments should pick their own key with [`PrivacyPolicy::new`].
+    fn default() -> Self {
+        Self::new(0x5048_4f4e_4559_4d45)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn pseudonyms_are_stable() {
+        let policy = PrivacyPolicy::new(7);
+        assert_eq!(policy.pseudonymize(1), policy.pseudonymize(1));
+    }
+
+    #[test]
+    fn pseudonyms_differ_per_id() {
+        let policy = PrivacyPolicy::new(7);
+        assert_ne!(policy.pseudonymize(1), policy.pseudonymize(2));
+    }
+
+    #[test]
+    fn pseudonyms_differ_per_key() {
+        let a = PrivacyPolicy::new(1);
+        let b = PrivacyPolicy::new(2);
+        assert_ne!(a.pseudonymize(42), b.pseudonymize(42));
+    }
+
+    #[test]
+    fn pseudonym_does_not_leak_id() {
+        // The pseudonym of small ids must not be the id itself.
+        let policy = PrivacyPolicy::default();
+        for id in 0..100 {
+            assert_ne!(policy.pseudonymize(id).raw(), id);
+        }
+    }
+
+    #[test]
+    fn no_collisions_on_small_range() {
+        let policy = PrivacyPolicy::default();
+        let mut seen: Vec<u64> = (0..10_000).map(|i| policy.pseudonymize(i).raw()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn redact_strips_private_paths() {
+        let policy = PrivacyPolicy::default()
+            .with_private_path("user_email")
+            .with_private_path("location.exact");
+        let mut doc = json!({
+            "spl": 61.0,
+            "user_email": "x@example.org",
+            "location": {"exact": [48.85, 2.35], "zone": "FR75013"},
+        });
+        policy.redact(&mut doc);
+        assert_eq!(
+            doc,
+            json!({"spl": 61.0, "location": {"zone": "FR75013"}})
+        );
+        assert_eq!(policy.private_paths().len(), 2);
+    }
+
+    #[test]
+    fn redact_tolerates_missing_paths() {
+        let policy = PrivacyPolicy::default().with_private_path("ghost.path");
+        let mut doc = json!({"a": 1});
+        policy.redact(&mut doc);
+        assert_eq!(doc, json!({"a": 1}));
+    }
+
+    #[test]
+    fn display_is_prefixed_hex() {
+        let p = PrivacyPolicy::default().pseudonymize(5);
+        assert!(p.to_string().starts_with("anon-"));
+    }
+}

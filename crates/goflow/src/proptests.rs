@@ -1,0 +1,73 @@
+//! In-crate property tests over middleware invariants.
+
+use crate::{AccountManager, PrivacyPolicy, Role};
+use mps_types::AppId;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pseudonyms_are_injective_on_samples(key in any::<u64>(),
+                                           ids in prop::collection::btree_set(any::<u64>(), 2..40)) {
+        let policy = PrivacyPolicy::new(key);
+        let pseudonyms: std::collections::BTreeSet<u64> =
+            ids.iter().map(|id| policy.pseudonymize(*id).raw()).collect();
+        prop_assert_eq!(pseudonyms.len(), ids.len(), "collision under key {}", key);
+    }
+
+    #[test]
+    fn pseudonyms_depend_on_key(id in any::<u64>(), k1 in any::<u64>(), k2 in any::<u64>()) {
+        prop_assume!(k1 != k2);
+        let a = PrivacyPolicy::new(k1).pseudonymize(id);
+        let b = PrivacyPolicy::new(k2).pseudonymize(id);
+        // Not a strict guarantee for every pair, but collisions are
+        // 2^-64; treat one as a failure worth investigating.
+        prop_assert_ne!(a, b);
+    }
+
+    #[test]
+    fn redaction_removes_exactly_the_private_paths(
+        keep in "[a-m]{1,6}",
+        private in "[n-z]{1,6}",
+    ) {
+        let policy = PrivacyPolicy::default().with_private_path(private.clone());
+        let mut doc = serde_json::json!({
+            keep.clone(): 1,
+            private.clone(): 2,
+        });
+        policy.redact(&mut doc);
+        prop_assert!(doc.get(&keep).is_some());
+        prop_assert!(doc.get(&private).is_none());
+    }
+
+    #[test]
+    fn tokens_are_unique_across_users(n in 1u64..40) {
+        let m = AccountManager::new();
+        let app = AppId::soundcity();
+        m.register_app(&app);
+        let mut tokens = std::collections::BTreeSet::new();
+        for user in 0..n {
+            let t = m.register_user(&app, user.into(), Role::Contributor).unwrap();
+            prop_assert!(tokens.insert(t.as_str().to_owned()), "duplicate token");
+        }
+        prop_assert_eq!(m.user_count(&app), n as usize);
+    }
+
+    #[test]
+    fn authentication_partitions_tokens(n in 1u64..20, revoke_mask in any::<u32>()) {
+        let m = AccountManager::new();
+        let app = AppId::soundcity();
+        m.register_app(&app);
+        let tokens: Vec<_> = (0..n)
+            .map(|u| m.register_user(&app, u.into(), Role::Contributor).unwrap())
+            .collect();
+        for (i, t) in tokens.iter().enumerate() {
+            if revoke_mask & (1 << (i % 32)) != 0 {
+                m.revoke(t).unwrap();
+            }
+        }
+        for (i, t) in tokens.iter().enumerate() {
+            let revoked = revoke_mask & (1 << (i % 32)) != 0;
+            prop_assert_eq!(m.authenticate(t).is_err(), revoked);
+        }
+    }
+}

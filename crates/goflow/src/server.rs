@@ -1,0 +1,595 @@
+//! The GoFlow server facade.
+
+use crate::accounts::{AccountManager, Role, Token};
+use crate::analytics::UsageAnalytics;
+use crate::channels::{ChannelManager, ClientSession};
+use crate::data::{ObservationQuery, Packaging};
+use crate::ingest::{IngestOutcome, Ingestor};
+use crate::jobs::{JobId, JobRegistry, JobStatus};
+use crate::privacy::PrivacyPolicy;
+use crate::GoFlowError;
+use mps_broker::Broker;
+use mps_docstore::{Collection, FindOptions, Store};
+use mps_types::{AppId, SimTime, UserId};
+use serde_json::Value;
+use std::sync::Arc;
+
+/// The GoFlow crowd-sensing server (Figure 2 of the paper): one object
+/// wiring accounts, privacy, channel management, ingest, data management,
+/// background jobs and usage analytics over a shared broker and store.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct GoFlowServer {
+    broker: Arc<Broker>,
+    store: Store,
+    accounts: AccountManager,
+    channels: ChannelManager,
+    privacy: PrivacyPolicy,
+    jobs: JobRegistry,
+    analytics: UsageAnalytics,
+    ingestor: Ingestor,
+}
+
+fn collection_name(app: &AppId) -> String {
+    format!("obs-{app}")
+}
+
+impl GoFlowServer {
+    /// Creates a server over a broker and a store, with the default
+    /// privacy policy (pseudonymisation on, no private paths).
+    pub fn new(broker: Arc<Broker>, store: Store) -> Self {
+        Self::with_policy(broker, store, PrivacyPolicy::default())
+    }
+
+    /// Creates a server with an explicit privacy policy.
+    pub fn with_policy(broker: Arc<Broker>, store: Store, policy: PrivacyPolicy) -> Self {
+        Self {
+            channels: ChannelManager::new(Arc::clone(&broker)),
+            ingestor: Ingestor::new(Arc::clone(&broker), policy.clone()),
+            broker,
+            store,
+            accounts: AccountManager::new(),
+            privacy: policy,
+            jobs: JobRegistry::new(),
+            analytics: UsageAnalytics::new(),
+        }
+    }
+
+    /// The shared broker.
+    pub fn broker(&self) -> &Arc<Broker> {
+        &self.broker
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The active privacy policy.
+    pub fn privacy(&self) -> &PrivacyPolicy {
+        &self.privacy
+    }
+
+    /// Usage analytics counters.
+    pub fn analytics(&self) -> &UsageAnalytics {
+        &self.analytics
+    }
+
+    // ----- application lifecycle -------------------------------------------
+
+    /// Registers an application: account namespace, messaging topology
+    /// (Figure 3) and storage collection with the standard indexes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates broker errors from the topology declarations.
+    pub fn register_app(&self, app: &AppId) -> Result<(), GoFlowError> {
+        self.accounts.register_app(app);
+        self.channels.setup_app(app)?;
+        let collection = self.store.collection(&collection_name(app));
+        collection.create_index("model");
+        collection.create_index("provider");
+        collection.create_index("captured_ms");
+        Ok(())
+    }
+
+    /// The observation collection of an app.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoFlowError::UnknownApp`] for an unregistered app.
+    pub fn collection(&self, app: &AppId) -> Result<Collection, GoFlowError> {
+        if !self.accounts.has_app(app) {
+            return Err(GoFlowError::UnknownApp(app.to_string()));
+        }
+        Ok(self.store.collection(&collection_name(app)))
+    }
+
+    // ----- accounts ---------------------------------------------------------
+
+    /// Registers a user for an app, returning their authentication token.
+    ///
+    /// # Errors
+    ///
+    /// See [`AccountManager::register_user`].
+    pub fn register_user(
+        &self,
+        app: &AppId,
+        user: UserId,
+        role: Role,
+    ) -> Result<Token, GoFlowError> {
+        self.accounts.register_user(app, user, role)
+    }
+
+    /// Revokes a token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoFlowError::InvalidToken`] for an unknown token.
+    pub fn revoke(&self, token: &Token) -> Result<(), GoFlowError> {
+        self.accounts.revoke(token)
+    }
+
+    /// Number of active accounts for an app.
+    pub fn user_count(&self, app: &AppId) -> usize {
+        self.accounts.user_count(app)
+    }
+
+    /// CNIL right to erasure: revokes the user's credentials and deletes
+    /// every observation they contributed to the app (located via their
+    /// stable pseudonym). Returns how many documents were deleted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoFlowError::UnknownApp`] for an unregistered app.
+    pub fn erase_user(&self, app: &AppId, user: UserId) -> Result<usize, GoFlowError> {
+        let collection = self.collection(app)?;
+        self.accounts.revoke_user(app, user);
+        let pseudonym = self.privacy.pseudonymize(user.raw()).raw();
+        Ok(collection.delete_many(&mps_docstore::Filter::eq("user", pseudonym))?)
+    }
+
+    // ----- sessions -----------------------------------------------------------
+
+    /// Authenticates a token and opens a client session: the per-client
+    /// exchange/queue of Figure 3 are created and returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoFlowError::InvalidToken`] or broker errors.
+    pub fn login(&self, token: &Token) -> Result<ClientSession, GoFlowError> {
+        let (app, user, _) = self.accounts.authenticate(token)?;
+        self.channels.open_client(&app, user)
+    }
+
+    /// Closes a client session, removing its broker endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates broker errors.
+    pub fn logout(&self, session: &ClientSession) -> Result<(), GoFlowError> {
+        self.channels.close_client(session)
+    }
+
+    /// Subscribes the session to `datatype` messages at `location`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates broker errors.
+    pub fn subscribe(
+        &self,
+        session: &ClientSession,
+        datatype: &str,
+        location: &str,
+    ) -> Result<(), GoFlowError> {
+        self.channels.subscribe(session, datatype, location)
+    }
+
+    // ----- ingest -------------------------------------------------------------
+
+    /// Drains up to `max_messages` pending messages from the app's GF
+    /// queue into storage, stamping `now` as the arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoFlowError::UnknownApp`] for an unregistered app.
+    pub fn ingest_pending(
+        &self,
+        app: &AppId,
+        now: SimTime,
+        max_messages: usize,
+    ) -> Result<IngestOutcome, GoFlowError> {
+        let collection = self.collection(app)?;
+        Ok(self
+            .ingestor
+            .drain(app, &collection, &self.analytics, now, max_messages))
+    }
+
+    // ----- data management ------------------------------------------------------
+
+    /// Runs a typed query over an app's observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoFlowError::UnknownApp`] or storage errors.
+    pub fn query(
+        &self,
+        app: &AppId,
+        query: &ObservationQuery,
+    ) -> Result<Vec<Value>, GoFlowError> {
+        let collection = self.collection(app)?;
+        let mut options = FindOptions::new();
+        if let Some(limit) = query.limit_value() {
+            options = options.limit(limit);
+        }
+        Ok(collection.find_with_options(&query.to_filter(), &options)?)
+    }
+
+    /// Runs a query and encodes the result for download.
+    ///
+    /// # Errors
+    ///
+    /// See [`GoFlowServer::query`].
+    pub fn export(
+        &self,
+        app: &AppId,
+        query: &ObservationQuery,
+        packaging: Packaging,
+    ) -> Result<String, GoFlowError> {
+        Ok(packaging.encode(&self.query(app, query)?))
+    }
+
+    /// Runs a query on behalf of *another* application ("open data"):
+    /// private paths of the owning app's policy are stripped from each
+    /// document.
+    ///
+    /// # Errors
+    ///
+    /// See [`GoFlowServer::query`].
+    pub fn query_shared(
+        &self,
+        owner: &AppId,
+        query: &ObservationQuery,
+    ) -> Result<Vec<Value>, GoFlowError> {
+        let mut docs = self.query(owner, query)?;
+        for doc in &mut docs {
+            self.privacy.redact(doc);
+        }
+        Ok(docs)
+    }
+
+    // ----- background jobs ---------------------------------------------------------
+
+    /// Submits a background job (requires a Manager token for the app).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoFlowError::PermissionDenied`] for insufficient role or
+    /// [`GoFlowError::InvalidToken`].
+    pub fn submit_job(
+        &self,
+        token: &Token,
+        name: impl Into<String>,
+        script: impl Fn(&Collection) -> Result<Value, String> + Send + Sync + 'static,
+    ) -> Result<JobId, GoFlowError> {
+        self.accounts.require_role(token, Role::Manager, "submit job")?;
+        Ok(self.jobs.submit(name, script))
+    }
+
+    /// Runs pending jobs against an app's collection; returns how many ran.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoFlowError::UnknownApp`] for an unregistered app.
+    pub fn run_jobs(&self, app: &AppId) -> Result<usize, GoFlowError> {
+        let collection = self.collection(app)?;
+        Ok(self.jobs.run_pending(&collection))
+    }
+
+    /// Status of a job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoFlowError::JobNotFound`] for an unknown id.
+    pub fn job_status(&self, id: JobId) -> Result<JobStatus, GoFlowError> {
+        self.jobs.status(id)
+    }
+
+    // ----- analytics ------------------------------------------------------------------
+
+    /// Total observations stored for an app.
+    pub fn observation_total(&self, app: &AppId) -> u64 {
+        self.analytics.total(app)
+    }
+
+    /// Total localized observations stored for an app.
+    pub fn observation_total_localized(&self, app: &AppId) -> u64 {
+        self.analytics.total_localized(app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_types::{DeviceModel, Observation, SoundLevel};
+    use serde_json::json;
+
+    fn server() -> (Arc<Broker>, GoFlowServer, AppId) {
+        let broker = Arc::new(Broker::new());
+        let server = GoFlowServer::new(Arc::clone(&broker), Store::new());
+        let app = AppId::soundcity();
+        server.register_app(&app).unwrap();
+        (broker, server, app)
+    }
+
+    fn obs(user: u64, spl: f64, at: SimTime) -> Observation {
+        Observation::builder()
+            .device(user.into())
+            .user(user.into())
+            .model(DeviceModel::LgeNexus5)
+            .captured_at(at)
+            .spl(SoundLevel::new(spl))
+            .build()
+    }
+
+    #[test]
+    fn end_to_end_publish_ingest_query() {
+        let (broker, server, app) = server();
+        let token = server
+            .register_user(&app, 1.into(), Role::Contributor)
+            .unwrap();
+        let session = server.login(&token).unwrap();
+
+        let o = obs(1, 61.0, SimTime::from_hms(0, 10, 0, 0));
+        let payload = serde_json::to_vec(&o).unwrap();
+        let key = session.observation_key("noise", "FR75013");
+        broker.publish(session.exchange(), &key, payload).unwrap();
+
+        let now = SimTime::from_hms(0, 10, 0, 20);
+        let outcome = server.ingest_pending(&app, now, 100).unwrap();
+        assert_eq!(outcome.stored, 1);
+        assert_eq!(outcome.malformed, 0);
+
+        let docs = server.query(&app, &ObservationQuery::new()).unwrap();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0]["spl"], json!(61.0));
+        assert_eq!(docs[0]["delay_ms"], json!(20_000));
+        assert_eq!(server.observation_total(&app), 1);
+    }
+
+    #[test]
+    fn malformed_payloads_are_counted_not_stored() {
+        let (broker, server, app) = server();
+        let token = server
+            .register_user(&app, 1.into(), Role::Contributor)
+            .unwrap();
+        let session = server.login(&token).unwrap();
+        broker
+            .publish(
+                session.exchange(),
+                &session.observation_key("noise", "FR75013"),
+                &b"garbage"[..],
+            )
+            .unwrap();
+        let outcome = server.ingest_pending(&app, SimTime::EPOCH, 10).unwrap();
+        assert_eq!(outcome.stored, 0);
+        assert_eq!(outcome.malformed, 1);
+        assert_eq!(server.observation_total(&app), 0);
+    }
+
+    #[test]
+    fn batched_payload_stores_each_observation() {
+        let (broker, server, app) = server();
+        let token = server
+            .register_user(&app, 1.into(), Role::Contributor)
+            .unwrap();
+        let session = server.login(&token).unwrap();
+        let batch: Vec<Observation> = (0..10)
+            .map(|i| obs(1, 50.0 + i as f64, SimTime::from_hms(0, 9, i as u32, 0)))
+            .collect();
+        broker
+            .publish(
+                session.exchange(),
+                &session.observation_key("noise", "FR75013"),
+                serde_json::to_vec(&batch).unwrap(),
+            )
+            .unwrap();
+        let outcome = server.ingest_pending(&app, SimTime::from_hms(0, 11, 0, 0), 10).unwrap();
+        assert_eq!(outcome.stored, 10);
+    }
+
+    #[test]
+    fn query_filters_apply() {
+        let (broker, server, app) = server();
+        let token = server
+            .register_user(&app, 1.into(), Role::Contributor)
+            .unwrap();
+        let session = server.login(&token).unwrap();
+        for i in 0..5 {
+            let o = obs(1, 40.0 + 10.0 * i as f64, SimTime::from_hms(i, 12, 0, 0));
+            broker
+                .publish(
+                    session.exchange(),
+                    &session.observation_key("noise", "FR75013"),
+                    serde_json::to_vec(&o).unwrap(),
+                )
+                .unwrap();
+        }
+        server
+            .ingest_pending(&app, SimTime::from_hms(5, 0, 0, 0), 100)
+            .unwrap();
+        let q = ObservationQuery::new().captured_between(
+            SimTime::from_hms(1, 0, 0, 0),
+            SimTime::from_hms(3, 0, 0, 0),
+        );
+        assert_eq!(server.query(&app, &q).unwrap().len(), 2);
+        let q = ObservationQuery::new().limit(3);
+        assert_eq!(server.query(&app, &q).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn export_packages_json() {
+        let (broker, server, app) = server();
+        let token = server
+            .register_user(&app, 1.into(), Role::Contributor)
+            .unwrap();
+        let session = server.login(&token).unwrap();
+        let o = obs(1, 55.0, SimTime::EPOCH);
+        broker
+            .publish(
+                session.exchange(),
+                &session.observation_key("noise", "FR75013"),
+                serde_json::to_vec(&o).unwrap(),
+            )
+            .unwrap();
+        server.ingest_pending(&app, SimTime::EPOCH, 10).unwrap();
+        let lines = server
+            .export(&app, &ObservationQuery::new(), Packaging::JsonLines)
+            .unwrap();
+        assert_eq!(lines.lines().count(), 1);
+        let array = server
+            .export(&app, &ObservationQuery::new(), Packaging::JsonArray)
+            .unwrap();
+        assert!(array.starts_with('['));
+    }
+
+    #[test]
+    fn query_shared_redacts_private_paths() {
+        let broker = Arc::new(Broker::new());
+        let policy = PrivacyPolicy::default()
+            .with_private_path("lat")
+            .with_private_path("lon");
+        let server = GoFlowServer::with_policy(Arc::clone(&broker), Store::new(), policy);
+        let app = AppId::soundcity();
+        server.register_app(&app).unwrap();
+        server
+            .collection(&app)
+            .unwrap()
+            .insert_one(json!({"spl": 60.0, "lat": 48.85, "lon": 2.35}))
+            .unwrap();
+        let own = server.query(&app, &ObservationQuery::new()).unwrap();
+        assert!(own[0].get("lat").is_some());
+        let shared = server.query_shared(&app, &ObservationQuery::new()).unwrap();
+        assert!(shared[0].get("lat").is_none());
+        assert!(shared[0].get("spl").is_some());
+    }
+
+    #[test]
+    fn jobs_require_manager_role() {
+        let (_, server, app) = server();
+        let contrib = server
+            .register_user(&app, 1.into(), Role::Contributor)
+            .unwrap();
+        let manager = server.register_user(&app, 2.into(), Role::Manager).unwrap();
+        assert!(matches!(
+            server.submit_job(&contrib, "x", |_| Ok(Value::Null)),
+            Err(GoFlowError::PermissionDenied { .. })
+        ));
+        let id = server
+            .submit_job(&manager, "count", |c| Ok(json!(c.len())))
+            .unwrap();
+        assert_eq!(server.run_jobs(&app).unwrap(), 1);
+        assert_eq!(server.job_status(id).unwrap(), JobStatus::Done(json!(0)));
+    }
+
+    #[test]
+    fn unknown_app_is_rejected_everywhere() {
+        let (_, server, _) = server();
+        let ghost = AppId::new("GHOST");
+        assert!(server.collection(&ghost).is_err());
+        assert!(server.ingest_pending(&ghost, SimTime::EPOCH, 1).is_err());
+        assert!(server.query(&ghost, &ObservationQuery::new()).is_err());
+        assert!(server.run_jobs(&ghost).is_err());
+    }
+
+    #[test]
+    fn erase_user_removes_data_and_credentials() {
+        let (broker, server, app) = server();
+        let t1 = server.register_user(&app, 1.into(), Role::Contributor).unwrap();
+        let t2 = server.register_user(&app, 2.into(), Role::Contributor).unwrap();
+        for (token, user) in [(&t1, 1u64), (&t2, 2u64)] {
+            let session = server.login(token).unwrap();
+            for i in 0..3 {
+                let o = obs(user, 50.0 + i as f64, SimTime::from_hms(i, 10, 0, 0));
+                broker
+                    .publish(
+                        session.exchange(),
+                        &session.observation_key("noise", "FR75001"),
+                        serde_json::to_vec(&o).unwrap(),
+                    )
+                    .unwrap();
+            }
+        }
+        server
+            .ingest_pending(&app, SimTime::from_hms(3, 0, 0, 0), 100)
+            .unwrap();
+        assert_eq!(server.query(&app, &ObservationQuery::new()).unwrap().len(), 6);
+
+        // Erase user 1: their 3 documents go, user 2's stay.
+        let deleted = server.erase_user(&app, 1.into()).unwrap();
+        assert_eq!(deleted, 3);
+        assert_eq!(server.query(&app, &ObservationQuery::new()).unwrap().len(), 3);
+        // Credentials are gone too.
+        assert!(matches!(server.login(&t1), Err(GoFlowError::InvalidToken)));
+        assert!(server.login(&t2).is_ok());
+        // Idempotent: nothing left to erase.
+        assert_eq!(server.erase_user(&app, 1.into()).unwrap(), 0);
+        // Unknown app is rejected.
+        assert!(server.erase_user(&AppId::new("GHOST"), 1.into()).is_err());
+    }
+
+    #[test]
+    fn login_requires_valid_token() {
+        let (_, server, app) = server();
+        let token = server
+            .register_user(&app, 1.into(), Role::Contributor)
+            .unwrap();
+        server.revoke(&token).unwrap();
+        assert!(matches!(
+            server.login(&token),
+            Err(GoFlowError::InvalidToken)
+        ));
+        assert_eq!(server.user_count(&app), 0);
+    }
+
+    #[test]
+    fn logout_removes_session_endpoints() {
+        let (broker, server, app) = server();
+        let token = server
+            .register_user(&app, 1.into(), Role::Contributor)
+            .unwrap();
+        let session = server.login(&token).unwrap();
+        server.logout(&session).unwrap();
+        assert!(!broker.queue_exists(session.queue()));
+    }
+
+    #[test]
+    fn collections_are_indexed() {
+        let (_, server, app) = server();
+        let c = server.collection(&app).unwrap();
+        assert!(c.has_index("model"));
+        assert!(c.has_index("provider"));
+        assert!(c.has_index("captured_ms"));
+    }
+
+    #[test]
+    fn subscriptions_route_between_clients() {
+        let (broker, server, app) = server();
+        let t1 = server.register_user(&app, 1.into(), Role::Contributor).unwrap();
+        let t2 = server.register_user(&app, 2.into(), Role::Contributor).unwrap();
+        let publisher = server.login(&t1).unwrap();
+        let subscriber = server.login(&t2).unwrap();
+        server.subscribe(&subscriber, "Feedback", "FR75013").unwrap();
+        broker
+            .publish(
+                publisher.exchange(),
+                &publisher.observation_key("Feedback", "FR75013"),
+                &b"hello"[..],
+            )
+            .unwrap();
+        let deliveries = broker.consume(subscriber.queue(), 10).unwrap();
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].payload().as_ref(), b"hello");
+    }
+}

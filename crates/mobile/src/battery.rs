@@ -1,0 +1,258 @@
+//! Battery / energy model (behind the depletion lab of Figure 16).
+//!
+//! Figure 16 compares day-long battery depletion for: no MPS app; the
+//! unbuffered client on Wi-Fi; the unbuffered client on 3G; and the
+//! buffered client. The published ordering is:
+//!
+//! * unbuffered on Wi-Fi consumes about **twice** the no-app baseline;
+//! * switching to 3G increases depletion by **about 50 %** more (the 3G
+//!   radio pays a ramp + tail energy per transfer);
+//! * buffering brings the app under **+50 %** over the baseline.
+//!
+//! The model charges a base (idle) power, a per-measurement sensing cost
+//! (microphone + CPU + location), and a per-transfer radio cost with a
+//! fixed wake/tail component — the component buffering amortises.
+
+use mps_types::SimDuration;
+
+/// The radio used for transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RadioKind {
+    /// Wi-Fi: cheap wake, no tail.
+    Wifi,
+    /// Cellular 3G: expensive ramp + tail per transfer.
+    ThreeG,
+}
+
+/// Energy-model parameters. The defaults reproduce Figure 16's ratios for
+/// a typical 2015 flagship (≈10 Wh battery).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatteryParams {
+    /// Full battery capacity in joules.
+    pub capacity_j: f64,
+    /// Baseline (idle, screen-off with periodic activations) power, watts.
+    pub base_power_w: f64,
+    /// Energy per microphone measurement (sampling + CPU), joules.
+    pub sense_energy_j: f64,
+    /// Energy per location fix attempt, joules.
+    pub location_energy_j: f64,
+    /// Fixed energy per Wi-Fi transfer (radio wake), joules.
+    pub wifi_transfer_j: f64,
+    /// Fixed energy per 3G transfer (ramp + tail), joules.
+    pub threeg_transfer_j: f64,
+    /// Marginal energy per message inside a transfer, joules.
+    pub per_message_j: f64,
+}
+
+impl Default for BatteryParams {
+    fn default() -> Self {
+        Self {
+            capacity_j: 36_000.0, // ≈ 2 700 mAh at 3.7 V
+            base_power_w: 0.143,
+            sense_energy_j: 2.0,
+            location_energy_j: 1.5,
+            wifi_transfer_j: 4.0,
+            threeg_transfer_j: 12.0,
+            per_message_j: 0.1,
+        }
+    }
+}
+
+impl BatteryParams {
+    /// Fixed transfer cost of a radio.
+    pub fn transfer_fixed_j(&self, radio: RadioKind) -> f64 {
+        match radio {
+            RadioKind::Wifi => self.wifi_transfer_j,
+            RadioKind::ThreeG => self.threeg_transfer_j,
+        }
+    }
+}
+
+/// The battery state of one simulated device.
+///
+/// # Examples
+///
+/// ```
+/// use mps_mobile::{BatteryModel, BatteryParams, RadioKind};
+/// use mps_types::SimDuration;
+///
+/// let mut battery = BatteryModel::new(BatteryParams::default(), 0.8);
+/// battery.drain_idle(SimDuration::from_hours(1));
+/// battery.drain_measurement(true);
+/// battery.drain_transfer(RadioKind::Wifi, 1);
+/// assert!(battery.soc() < 0.8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatteryModel {
+    params: BatteryParams,
+    charge_j: f64,
+}
+
+impl BatteryModel {
+    /// Creates a battery at `initial_soc` (state of charge, `0..=1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_soc` is outside `[0, 1]`.
+    pub fn new(params: BatteryParams, initial_soc: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&initial_soc),
+            "state of charge {initial_soc} outside [0, 1]"
+        );
+        Self {
+            charge_j: params.capacity_j * initial_soc,
+            params,
+        }
+    }
+
+    /// Current state of charge in `[0, 1]`.
+    pub fn soc(&self) -> f64 {
+        (self.charge_j / self.params.capacity_j).max(0.0)
+    }
+
+    /// Whether the battery is empty.
+    pub fn is_empty(&self) -> bool {
+        self.charge_j <= 0.0
+    }
+
+    fn drain_j(&mut self, joules: f64) {
+        self.charge_j = (self.charge_j - joules).max(0.0);
+    }
+
+    /// Drains baseline power over a duration.
+    pub fn drain_idle(&mut self, duration: SimDuration) {
+        let secs = duration.as_secs_f64().max(0.0);
+        self.drain_j(self.params.base_power_w * secs);
+    }
+
+    /// Drains the cost of one measurement; `with_location` adds the
+    /// location-fix cost.
+    pub fn drain_measurement(&mut self, with_location: bool) {
+        let mut e = self.params.sense_energy_j;
+        if with_location {
+            e += self.params.location_energy_j;
+        }
+        self.drain_j(e);
+    }
+
+    /// Drains the cost of one transfer of `messages` buffered messages.
+    pub fn drain_transfer(&mut self, radio: RadioKind, messages: usize) {
+        let e = self.params.transfer_fixed_j(radio) + self.params.per_message_j * messages as f64;
+        self.drain_j(e);
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &BatteryParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs the paper's lab protocol: `hours` of operation, one
+    /// measurement per minute, transfers every `buffer` measurements.
+    /// Returns the depletion in SOC percentage points. `radio = None`
+    /// means "no MPS app" (baseline only).
+    fn lab_run(radio: Option<RadioKind>, buffer: usize, hours: i64) -> f64 {
+        let mut battery = BatteryModel::new(BatteryParams::default(), 0.8);
+        let start = battery.soc();
+        let minutes = hours * 60;
+        for minute in 0..minutes {
+            battery.drain_idle(SimDuration::from_mins(1));
+            if let Some(radio) = radio {
+                battery.drain_measurement(true);
+                if (minute + 1) % buffer as i64 == 0 {
+                    battery.drain_transfer(radio, buffer);
+                }
+            }
+        }
+        (start - battery.soc()) * 100.0
+    }
+
+    #[test]
+    fn figure_16_orderings_hold() {
+        let no_app = lab_run(None, 1, 7);
+        let wifi_unbuffered = lab_run(Some(RadioKind::Wifi), 1, 7);
+        let threeg_unbuffered = lab_run(Some(RadioKind::ThreeG), 1, 7);
+        let wifi_buffered = lab_run(Some(RadioKind::Wifi), 10, 7);
+
+        // Unbuffered Wi-Fi ≈ 2× the no-app baseline.
+        let ratio = wifi_unbuffered / no_app;
+        assert!((1.7..2.3).contains(&ratio), "wifi/no-app {ratio}");
+
+        // 3G ≈ +50 % over unbuffered Wi-Fi.
+        let ratio = threeg_unbuffered / wifi_unbuffered;
+        assert!((1.35..1.65).contains(&ratio), "3g/wifi {ratio}");
+
+        // Buffered stays under +50 % over the baseline.
+        let ratio = wifi_buffered / no_app;
+        assert!(ratio < 1.5, "buffered/no-app {ratio}");
+        assert!(ratio > 1.1, "the app is not free");
+
+        // Full ordering.
+        assert!(no_app < wifi_buffered);
+        assert!(wifi_buffered < wifi_unbuffered);
+        assert!(wifi_unbuffered < threeg_unbuffered);
+    }
+
+    #[test]
+    fn depletion_magnitudes_are_plausible() {
+        // A 2015 phone idles through a 7-hour window on roughly 5–15 %.
+        let no_app = lab_run(None, 1, 7);
+        assert!((5.0..15.0).contains(&no_app), "baseline depletion {no_app}%");
+        let worst = lab_run(Some(RadioKind::ThreeG), 1, 7);
+        assert!(worst < 45.0, "3G depletion {worst}% too extreme");
+    }
+
+    #[test]
+    fn buffering_amortises_fixed_cost_only() {
+        // Total per-message energy is unchanged; only the fixed wake cost
+        // divides by the buffer factor.
+        let p = BatteryParams::default();
+        let unbuffered_radio = 60.0 * (p.wifi_transfer_j + p.per_message_j);
+        let buffered_radio = 6.0 * (p.wifi_transfer_j + 10.0 * p.per_message_j);
+        assert!(buffered_radio < unbuffered_radio / 3.0);
+    }
+
+    #[test]
+    fn soc_never_negative() {
+        let mut battery = BatteryModel::new(BatteryParams::default(), 0.01);
+        battery.drain_idle(SimDuration::from_hours(100));
+        assert_eq!(battery.soc(), 0.0);
+        assert!(battery.is_empty());
+        battery.drain_measurement(true);
+        assert_eq!(battery.soc(), 0.0);
+    }
+
+    #[test]
+    fn new_battery_reports_initial_soc() {
+        let battery = BatteryModel::new(BatteryParams::default(), 0.8);
+        assert!((battery.soc() - 0.8).abs() < 1e-12);
+        assert!(!battery.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rejects_bad_soc() {
+        let _ = BatteryModel::new(BatteryParams::default(), 1.2);
+    }
+
+    #[test]
+    fn negative_duration_drains_nothing() {
+        let mut battery = BatteryModel::new(BatteryParams::default(), 0.5);
+        battery.drain_idle(SimDuration::from_secs(-100));
+        assert!((battery.soc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_cost_scales_with_messages() {
+        let p = BatteryParams::default();
+        let mut a = BatteryModel::new(p, 1.0);
+        let mut b = BatteryModel::new(p, 1.0);
+        a.drain_transfer(RadioKind::Wifi, 1);
+        b.drain_transfer(RadioKind::Wifi, 100);
+        assert!(b.soc() < a.soc());
+    }
+}

@@ -1,0 +1,287 @@
+//! Per-user participation behaviour (Figures 18–19).
+//!
+//! Population-level, contributions peak between 10:00 and 21:00
+//! (Figure 18), but individual users differ widely (Figure 19) — and the
+//! paper concludes that this heterogeneity is an asset: together the crowd
+//! covers all 24 hours. [`UserBehavior`] models one user's diurnal
+//! participation curve (a population day-shape, phase-shifted and
+//! amplitude-distorted per user), their expected contribution volume, and
+//! their choice of sensing mode.
+
+use mps_simcore::SimRng;
+use mps_types::SensingMode;
+
+/// Opportunistic sampling period: one measurement slot every 5 minutes
+/// (the app default).
+pub const SLOTS_PER_HOUR: f64 = 12.0;
+
+/// Deployment month in which the Journey mode shipped ("released only
+/// recently", Section 6.2 — with app v1.3 near the end of the study).
+pub const JOURNEY_RELEASE_MONTH: i64 = 9;
+
+/// Population-average hourly participation weights (relative): quiet
+/// overnight, high 10:00–21:00.
+const POPULATION_DAY_SHAPE: [f64; 24] = [
+    0.10, 0.07, 0.05, 0.05, 0.05, 0.08, // 00–05
+    0.18, 0.35, 0.55, 0.75, 0.95, 1.00, // 06–11
+    1.00, 0.95, 0.90, 0.90, 0.95, 1.00, // 12–17
+    1.00, 1.00, 0.95, 0.85, 0.55, 0.25, // 18–23
+];
+
+/// One user's participation behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use mps_mobile::UserBehavior;
+/// use mps_simcore::SimRng;
+///
+/// let mut rng = SimRng::new(3);
+/// let user = UserBehavior::new(30.0, &mut rng);
+/// let noon = user.slot_probability(12);
+/// let night = user.slot_probability(3);
+/// assert!(noon >= 0.0 && noon <= 1.0);
+/// # let _ = night;
+/// ```
+#[derive(Debug, Clone)]
+pub struct UserBehavior {
+    /// Per-hour probability that a 5-minute slot produces a measurement.
+    slot_prob: [f64; 24],
+    /// Per-slot probability of a manual "sense now" measurement.
+    manual_rate: f64,
+    /// Per-slot probability of a journey measurement (after release).
+    journey_rate: f64,
+}
+
+impl UserBehavior {
+    /// Creates a user who contributes `measurements_per_day` on average,
+    /// with an individual phase-shifted, amplitude-distorted day shape.
+    pub fn new(measurements_per_day: f64, rng: &mut SimRng) -> Self {
+        assert!(
+            measurements_per_day >= 0.0 && measurements_per_day.is_finite(),
+            "bad daily rate {measurements_per_day}"
+        );
+        // Individual diversity: a circular phase shift of the day shape
+        // (night workers, late risers) plus multiplicative noise per hour.
+        let phase = rng.normal(0.0, 2.2).round() as i64;
+        let mut weights = [0.0f64; 24];
+        for (h, w) in weights.iter_mut().enumerate() {
+            let src = (h as i64 - phase).rem_euclid(24) as usize;
+            let noise = rng.log_normal(0.0, 0.45);
+            *w = POPULATION_DAY_SHAPE[src] * noise;
+        }
+        let total: f64 = weights.iter().sum();
+        // Scale so that the expected daily count hits the target:
+        // sum_h slot_prob[h] * 12 slots = measurements_per_day.
+        let mut slot_prob = [0.0f64; 24];
+        for (p, w) in slot_prob.iter_mut().zip(&weights) {
+            *p = (measurements_per_day * w / total / SLOTS_PER_HOUR).clamp(0.0, 1.0);
+        }
+        Self {
+            slot_prob,
+            // Participatory events are rare relative to background
+            // sensing: a couple of manual measurements a week, journeys
+            // rarer still.
+            manual_rate: (0.0003 + rng.exponential(0.0009)).min(0.02),
+            journey_rate: (0.0001 + rng.exponential(0.0004)).min(0.01),
+        }
+    }
+
+    /// Probability that a 5-minute slot in hour `hour` produces an
+    /// opportunistic measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn slot_probability(&self, hour: u32) -> f64 {
+        self.slot_prob[hour as usize]
+    }
+
+    /// Expected measurements per day for this user.
+    pub fn expected_daily(&self) -> f64 {
+        self.slot_prob.iter().sum::<f64>() * SLOTS_PER_HOUR
+    }
+
+    /// The user's hourly contribution weights, normalised to sum to 1 —
+    /// the per-user daily distribution of Figure 19.
+    pub fn hourly_distribution(&self) -> [f64; 24] {
+        let total: f64 = self.slot_prob.iter().sum();
+        let mut out = [0.0f64; 24];
+        if total > 0.0 {
+            for (o, p) in out.iter_mut().zip(&self.slot_prob) {
+                *o = p / total;
+            }
+        }
+        out
+    }
+
+    /// Samples the sensing mode of a measurement slot (participatory
+    /// events replace the background measurement when they fire). Journey
+    /// mode only exists from its release month on.
+    pub fn sample_mode(&self, month: i64, rng: &mut SimRng) -> SensingMode {
+        if month >= JOURNEY_RELEASE_MONTH && rng.chance(self.journey_rate / self.slot_prob_mean()) {
+            SensingMode::Journey
+        } else if rng.chance(self.manual_rate / self.slot_prob_mean()) {
+            SensingMode::Manual
+        } else {
+            SensingMode::Opportunistic
+        }
+    }
+
+    fn slot_prob_mean(&self) -> f64 {
+        (self.slot_prob.iter().sum::<f64>() / 24.0).max(1e-6)
+    }
+
+    /// The population-average day shape (relative weights per hour).
+    pub fn population_day_shape() -> [f64; 24] {
+        POPULATION_DAY_SHAPE
+    }
+
+    /// Mean length of an app-usage session, in 5-minute slots (≈ 1.5 h).
+    ///
+    /// Sensing is *sessioned*: while the app is active it measures every
+    /// slot (the 5-minute default), and sessions start at a rate that
+    /// keeps the marginal per-slot capture probability equal to
+    /// [`UserBehavior::slot_probability`]. This matches the paper's
+    /// buffering arithmetic — a v1.3 buffer of 10 fills in ~50 minutes of
+    /// continuous sensing ("the 1-hour delay is due to the default
+    /// buffering value").
+    pub const MEAN_SESSION_SLOTS: f64 = 18.0;
+
+    /// Probability that a new sensing session starts in a slot of `hour`,
+    /// given no session is running. Chosen so the stationary in-session
+    /// fraction equals `slot_probability(hour)`: with mean session length
+    /// `L` and idle geometric mean `1/q`, the fraction is
+    /// `L / (L + 1/q)`, so `q = p / (L (1 - p))`.
+    pub fn session_start_probability(&self, hour: u32) -> f64 {
+        let p = self.slot_probability(hour).min(0.99);
+        (p / (Self::MEAN_SESSION_SLOTS * (1.0 - p))).min(1.0)
+    }
+
+    /// Samples a session length in slots (geometric, mean
+    /// [`UserBehavior::MEAN_SESSION_SLOTS`], at least 1).
+    pub fn sample_session_length(&self, rng: &mut SimRng) -> u32 {
+        let u = 1.0 - rng.uniform(); // (0, 1]
+        let p = 1.0 / Self::MEAN_SESSION_SLOTS;
+        ((u.ln() / (1.0 - p).ln()).ceil() as u32).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_daily_hits_target() {
+        let mut rng = SimRng::new(1);
+        for target in [10.0, 30.0, 60.0] {
+            let user = UserBehavior::new(target, &mut rng);
+            assert!(
+                (user.expected_daily() - target).abs() < 1e-6,
+                "target {target}: {}",
+                user.expected_daily()
+            );
+        }
+    }
+
+    #[test]
+    fn slot_probabilities_are_probabilities() {
+        let mut rng = SimRng::new(2);
+        let user = UserBehavior::new(100.0, &mut rng);
+        for hour in 0..24 {
+            let p = user.slot_probability(hour);
+            assert!((0.0..=1.0).contains(&p), "hour {hour}: {p}");
+        }
+    }
+
+    #[test]
+    fn population_peaks_in_daytime() {
+        // Averaging many users must recover the population day shape:
+        // 10:00–21:00 well above the overnight hours.
+        let rng = SimRng::new(3);
+        let mut sums = [0.0f64; 24];
+        for i in 0..400 {
+            let user = UserBehavior::new(30.0, &mut rng.split("user", i));
+            let dist = user.hourly_distribution();
+            for (s, d) in sums.iter_mut().zip(&dist) {
+                *s += d;
+            }
+        }
+        let day: f64 = (10..=21).map(|h| sums[h]).sum::<f64>();
+        let night: f64 = (0..=5).map(|h| sums[h]).sum::<f64>();
+        assert!(day > 4.0 * night, "day {day} vs night {night}");
+        // But heterogeneity keeps every hour covered (Section 6.1).
+        assert!(sums.iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    fn users_are_diverse() {
+        // Phase shifts must move individual peak hours around.
+        let rng = SimRng::new(4);
+        let mut peak_hours = std::collections::BTreeSet::new();
+        for i in 0..60 {
+            let user = UserBehavior::new(30.0, &mut rng.split("user", i));
+            let dist = user.hourly_distribution();
+            let peak = dist
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(h, _)| h)
+                .unwrap();
+            peak_hours.insert(peak);
+        }
+        assert!(peak_hours.len() >= 5, "only {} distinct peak hours", peak_hours.len());
+    }
+
+    #[test]
+    fn hourly_distribution_sums_to_one() {
+        let mut rng = SimRng::new(5);
+        let user = UserBehavior::new(25.0, &mut rng);
+        let total: f64 = user.hourly_distribution().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_user_never_contributes() {
+        let mut rng = SimRng::new(6);
+        let user = UserBehavior::new(0.0, &mut rng);
+        assert_eq!(user.expected_daily(), 0.0);
+        assert!(user.hourly_distribution().iter().all(|p| *p == 0.0));
+    }
+
+    #[test]
+    fn modes_are_mostly_opportunistic() {
+        let mut rng = SimRng::new(7);
+        let user = UserBehavior::new(30.0, &mut rng);
+        let n = 20_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            match user.sample_mode(9, &mut rng) {
+                SensingMode::Opportunistic => counts[0] += 1,
+                SensingMode::Manual => counts[1] += 1,
+                SensingMode::Journey => counts[2] += 1,
+            }
+        }
+        assert!(counts[0] as f64 / n as f64 > 0.9, "opportunistic {counts:?}");
+        assert!(counts[1] > 0 || counts[2] > 0, "some participatory events");
+    }
+
+    #[test]
+    fn journey_mode_gated_by_release() {
+        let mut rng = SimRng::new(8);
+        let user = UserBehavior::new(30.0, &mut rng);
+        for _ in 0..20_000 {
+            assert_ne!(
+                user.sample_mode(JOURNEY_RELEASE_MONTH - 1, &mut rng),
+                SensingMode::Journey
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad daily rate")]
+    fn rejects_negative_rate() {
+        let mut rng = SimRng::new(9);
+        let _ = UserBehavior::new(-1.0, &mut rng);
+    }
+}

@@ -1,0 +1,251 @@
+//! Per-model calibration profiles.
+//!
+//! The simulated crowd must reproduce the per-model statistics of
+//! Figure 9 (device counts, contribution volumes, localized fractions) and
+//! the model-level sensor heterogeneity of Figures 10–14. Each
+//! [`ModelProfile`] packages those targets for one of the top-20 models.
+
+use mps_types::{DeviceModel, LocationProvider};
+
+/// Days of deployment the Figure 9 volumes accumulate over (July 2015 to
+/// May 2016 ≈ ten 30-day months).
+pub(crate) const DEPLOYMENT_DAYS: f64 = 300.0;
+
+/// Deterministic per-model scatter in `[-1, 1]` derived from the model's
+/// table index (SplitMix64 finaliser) — used to spread sensor biases
+/// across models without an external RNG.
+fn scatter(index: usize, salt: u64) -> f64 {
+    let mut x = (index as u64).wrapping_add(salt.wrapping_mul(0x9E3779B97F4A7C15));
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 31;
+    (x as f64 / u64::MAX as f64) * 2.0 - 1.0
+}
+
+/// Calibration profile of one device model.
+///
+/// # Examples
+///
+/// ```
+/// use mps_mobile::ModelProfile;
+/// use mps_types::DeviceModel;
+///
+/// let profile = ModelProfile::for_model(DeviceModel::SamsungGtI9505);
+/// assert_eq!(profile.devices, 253);
+/// assert!(profile.localized_fraction > 0.3 && profile.localized_fraction < 0.6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProfile {
+    /// The model this profile describes.
+    pub model: DeviceModel,
+    /// Devices of this model in the paper's study (Figure 9).
+    pub devices: u64,
+    /// Mean measurements contributed per device per day (from Figure 9
+    /// volumes over the 10-month deployment).
+    pub measurements_per_device_day: f64,
+    /// Fraction of this model's observations that carry a location fix
+    /// (Figure 9, localized / measurements).
+    pub localized_fraction: f64,
+    /// Microphone response bias of the model in dB — the per-model shift
+    /// visible in Figure 14.
+    pub spl_offset_db: f64,
+    /// Centre of the quiet-environment SPL peak for this model, dB(A).
+    pub quiet_center_db: f64,
+    /// Centre of the active-environment SPL bump for this model, dB(A).
+    pub active_center_db: f64,
+    /// Probability that a localized opportunistic observation uses
+    /// [GPS, network, fused] (sums to 1; Figures 11–13 shares).
+    pub provider_mix: [f64; 3],
+    /// Whether the model's Android build exposes the fused provider at
+    /// all ("few models provide fused data", Section 5.1).
+    pub fused_supported: bool,
+}
+
+impl ModelProfile {
+    /// Builds the profile for a model from the paper's Figure 9 statistics
+    /// plus deterministic model-specific sensor characteristics.
+    pub fn for_model(model: DeviceModel) -> Self {
+        let stats = model.paper_stats();
+        let index = model.index();
+        // Microphone bias: models spread over roughly ±6 dB (Figure 14
+        // shows quiet-peak positions varying by about a dozen dB across
+        // models).
+        let spl_offset_db = 6.0 * scatter(index, 1);
+        // Population provider mix: 7 % GPS / 86 % network / 7 % fused.
+        // Only some models expose fused; their absent fused share folds
+        // into network so that the *population* average stays on target.
+        let fused_supported = index % 3 != 1;
+        let provider_mix = if fused_supported {
+            // Slight per-model variation around the population shares.
+            let gps = (0.07 + 0.02 * scatter(index, 2)).max(0.01);
+            let fused = (0.105 + 0.03 * scatter(index, 3)).max(0.02);
+            [gps, 1.0 - gps - fused, fused]
+        } else {
+            let gps = (0.07 + 0.02 * scatter(index, 2)).max(0.01);
+            [gps, 1.0 - gps, 0.0]
+        };
+        Self {
+            model,
+            devices: stats.devices,
+            measurements_per_device_day: stats.measurements as f64
+                / stats.devices as f64
+                / DEPLOYMENT_DAYS,
+            localized_fraction: stats.localized_fraction(),
+            spl_offset_db,
+            quiet_center_db: 32.0 + spl_offset_db,
+            active_center_db: 65.0 + spl_offset_db,
+            provider_mix,
+            fused_supported,
+        }
+    }
+
+    /// Profiles for all top-20 models, in the paper's row order.
+    pub fn all() -> Vec<ModelProfile> {
+        DeviceModel::ALL.iter().map(|m| Self::for_model(*m)).collect()
+    }
+
+    /// Samples a location provider from the profile's mix using a uniform
+    /// draw in `[0, 1)`.
+    pub fn provider_for(&self, u: f64) -> LocationProvider {
+        let [gps, network, _fused] = self.provider_mix;
+        if u < gps {
+            LocationProvider::Gps
+        } else if u < gps + network {
+            LocationProvider::Network
+        } else {
+            LocationProvider::Fused
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_cover_all_models() {
+        let all = ModelProfile::all();
+        assert_eq!(all.len(), 20);
+        let total_devices: u64 = all.iter().map(|p| p.devices).sum();
+        assert_eq!(total_devices, 2_091);
+    }
+
+    #[test]
+    fn rates_reproduce_paper_volumes() {
+        // Per-device-day rate times devices times deployment days must
+        // recover the Figure 9 measurement volume.
+        for profile in ModelProfile::all() {
+            let reconstructed =
+                profile.measurements_per_device_day * profile.devices as f64 * DEPLOYMENT_DAYS;
+            let expected = profile.model.paper_stats().measurements as f64;
+            assert!(
+                (reconstructed - expected).abs() / expected < 1e-9,
+                "{}: {reconstructed} vs {expected}",
+                profile.model
+            );
+        }
+    }
+
+    #[test]
+    fn rates_are_plausible_for_5_minute_sampling() {
+        // Opportunistic sensing fires every 5 minutes; even the heaviest
+        // contributors cannot exceed 288 measurements/day on average.
+        for profile in ModelProfile::all() {
+            assert!(
+                profile.measurements_per_device_day > 5.0
+                    && profile.measurements_per_device_day < 288.0,
+                "{}: {}",
+                profile.model,
+                profile.measurements_per_device_day
+            );
+        }
+    }
+
+    #[test]
+    fn localized_fractions_match_figure_9() {
+        let profile = ModelProfile::for_model(DeviceModel::SonyD5803);
+        // 778 732 / 1 097 018 ≈ 0.71.
+        assert!((profile.localized_fraction - 0.7099).abs() < 0.001);
+        let profile = ModelProfile::for_model(DeviceModel::HtcOneM8);
+        // 177 342 / 854 593 ≈ 0.2075.
+        assert!((profile.localized_fraction - 0.2075).abs() < 0.001);
+    }
+
+    #[test]
+    fn spl_offsets_vary_across_models() {
+        let offsets: Vec<f64> = ModelProfile::all().iter().map(|p| p.spl_offset_db).collect();
+        let min = offsets.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = offsets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 5.0, "spread {min}..{max} too narrow");
+        assert!(offsets.iter().all(|o| o.abs() <= 6.0));
+    }
+
+    #[test]
+    fn quiet_and_active_centers_follow_offset() {
+        for p in ModelProfile::all() {
+            assert!((p.quiet_center_db - (32.0 + p.spl_offset_db)).abs() < 1e-12);
+            assert!(p.active_center_db > p.quiet_center_db + 20.0);
+        }
+    }
+
+    #[test]
+    fn provider_mix_sums_to_one() {
+        for p in ModelProfile::all() {
+            let sum: f64 = p.provider_mix.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", p.model);
+            assert!(p.provider_mix.iter().all(|w| *w >= 0.0));
+            if !p.fused_supported {
+                assert_eq!(p.provider_mix[2], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn some_models_lack_fused() {
+        let all = ModelProfile::all();
+        let without: usize = all.iter().filter(|p| !p.fused_supported).count();
+        assert!(without >= 4, "expected several models without fused, got {without}");
+        assert!(without <= 10);
+    }
+
+    #[test]
+    fn population_provider_mix_near_paper_shares() {
+        // Weight per model by localized volume; the population averages
+        // must come out near 7 / 86 / 7.
+        let all = ModelProfile::all();
+        let mut weighted = [0.0f64; 3];
+        let mut total = 0.0;
+        for p in &all {
+            let w = p.model.paper_stats().localized as f64;
+            for (acc, share) in weighted.iter_mut().zip(&p.provider_mix) {
+                *acc += w * share;
+            }
+            total += w;
+        }
+        for w in &mut weighted {
+            *w /= total;
+        }
+        assert!((weighted[0] - 0.07).abs() < 0.02, "gps {}", weighted[0]);
+        assert!((weighted[1] - 0.86).abs() < 0.04, "network {}", weighted[1]);
+        assert!((weighted[2] - 0.07).abs() < 0.03, "fused {}", weighted[2]);
+    }
+
+    #[test]
+    fn provider_for_maps_uniform_draws() {
+        let p = ModelProfile::for_model(DeviceModel::SamsungGtI9505);
+        assert_eq!(p.provider_for(0.0), LocationProvider::Gps);
+        assert_eq!(p.provider_for(0.5), LocationProvider::Network);
+        assert_eq!(p.provider_for(0.999), if p.fused_supported {
+            LocationProvider::Fused
+        } else {
+            LocationProvider::Network
+        });
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let a = ModelProfile::for_model(DeviceModel::LgeNexus4);
+        let b = ModelProfile::for_model(DeviceModel::LgeNexus4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,314 @@
+//! The GoFlow mobile client (Section 5.3 of the paper).
+//!
+//! Two client strategies were deployed: one "sends the measurements after
+//! each observation (every 5 min by default)", the other "buffers a series
+//! of 10 measurements before sending them". "In both cases, if there is no
+//! network connection at the time of emission, the measurements are sent
+//! at the next cycle." [`GoFlowClient`] implements both, selected by the
+//! [`AppVersion`]:
+//!
+//! * v1.1 / v1.2.9 — unbuffered: every pending observation is sent as its
+//!   own message (one radio transfer each);
+//! * v1.3 — buffered: observations accumulate until the buffer holds 10,
+//!   then ship as a single batch message (one radio transfer).
+
+use mps_broker::{Broker, BrokerError};
+use mps_types::{AppVersion, Observation};
+
+/// What a send cycle did — the numbers the energy model charges for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SendOutcome {
+    /// Radio transfers performed (broker messages published).
+    pub transfers: usize,
+    /// Observations shipped across those transfers.
+    pub observations: usize,
+}
+
+/// A mobile GoFlow client bound to one broker exchange.
+///
+/// # Examples
+///
+/// ```
+/// use mps_broker::{Broker, ExchangeType};
+/// use mps_mobile::GoFlowClient;
+/// use mps_types::{AppVersion, DeviceModel, Observation, SimTime, SoundLevel};
+///
+/// let broker = Broker::new();
+/// broker.declare_exchange("ex", ExchangeType::Topic)?;
+/// broker.declare_queue("q")?;
+/// broker.bind_queue("ex", "q", "#")?;
+///
+/// let mut client = GoFlowClient::new("ex", "c1.obs.noise.paris", AppVersion::V1_2_9);
+/// let obs = Observation::builder()
+///     .device(1.into()).user(1.into())
+///     .model(DeviceModel::LgeNexus5)
+///     .captured_at(SimTime::EPOCH)
+///     .spl(SoundLevel::new(50.0))
+///     .build();
+/// client.record(obs);
+/// let sent = client.on_cycle(&broker, true)?;
+/// assert_eq!(sent.observations, 1);
+/// # Ok::<(), mps_broker::BrokerError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GoFlowClient {
+    exchange: String,
+    routing_key: String,
+    version: AppVersion,
+    buffer: Vec<Observation>,
+    total_sent: u64,
+    total_transfers: u64,
+}
+
+impl GoFlowClient {
+    /// Creates a client publishing to `exchange` with `routing_key`.
+    pub fn new(
+        exchange: impl Into<String>,
+        routing_key: impl Into<String>,
+        version: AppVersion,
+    ) -> Self {
+        Self {
+            exchange: exchange.into(),
+            routing_key: routing_key.into(),
+            version,
+            buffer: Vec::new(),
+            total_sent: 0,
+            total_transfers: 0,
+        }
+    }
+
+    /// The client's app version.
+    pub fn version(&self) -> AppVersion {
+        self.version
+    }
+
+    /// Upgrades the client to a newer app version (rollouts keep pending
+    /// observations).
+    pub fn upgrade(&mut self, version: AppVersion) {
+        self.version = version;
+    }
+
+    /// Records a freshly captured observation into the send buffer.
+    pub fn record(&mut self, observation: Observation) {
+        self.buffer.push(observation);
+    }
+
+    /// Observations waiting to be sent.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Total observations successfully handed to the broker.
+    pub fn total_sent(&self) -> u64 {
+        self.total_sent
+    }
+
+    /// Total radio transfers performed.
+    pub fn total_transfers(&self) -> u64 {
+        self.total_transfers
+    }
+
+    /// Whether the client would transmit on this cycle if connected.
+    pub fn wants_to_send(&self) -> bool {
+        !self.buffer.is_empty() && self.buffer.len() >= self.version.buffer_size()
+    }
+
+    /// Runs the emission step of a measurement cycle: transmits pending
+    /// observations if connected and due. Disconnected clients keep
+    /// everything for the next cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates broker errors (unknown exchange); the buffer is kept so
+    /// the observations are retried on the next cycle.
+    pub fn on_cycle(&mut self, broker: &Broker, connected: bool) -> Result<SendOutcome, BrokerError> {
+        if !connected || !self.wants_to_send() {
+            return Ok(SendOutcome::default());
+        }
+        self.flush(broker)
+    }
+
+    /// Unconditionally transmits everything pending (used at journey end
+    /// and app shutdown). Call only while connected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates broker errors; the buffer is kept on failure.
+    pub fn flush(&mut self, broker: &Broker) -> Result<SendOutcome, BrokerError> {
+        if self.buffer.is_empty() {
+            return Ok(SendOutcome::default());
+        }
+        let outcome = if self.version.is_buffering() {
+            // One batch message carrying the whole buffer.
+            let payload = serde_json::to_vec(&self.buffer).expect("observations serialize");
+            broker.publish(&self.exchange, &self.routing_key, payload)?;
+            SendOutcome {
+                transfers: 1,
+                observations: self.buffer.len(),
+            }
+        } else {
+            // One message — one transfer — per observation.
+            let mut sent = 0;
+            for obs in &self.buffer {
+                let payload = serde_json::to_vec(obs).expect("observation serializes");
+                broker.publish(&self.exchange, &self.routing_key, payload)?;
+                sent += 1;
+            }
+            SendOutcome {
+                transfers: sent,
+                observations: sent,
+            }
+        };
+        self.total_sent += outcome.observations as u64;
+        self.total_transfers += outcome.transfers as u64;
+        self.buffer.clear();
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_broker::ExchangeType;
+    use mps_types::{DeviceModel, SimTime, SoundLevel};
+
+    fn broker() -> Broker {
+        let b = Broker::new();
+        b.declare_exchange("ex", ExchangeType::Topic).unwrap();
+        b.declare_queue("q").unwrap();
+        b.bind_queue("ex", "q", "#").unwrap();
+        b
+    }
+
+    fn obs(i: i64) -> Observation {
+        Observation::builder()
+            .device(1.into())
+            .user(1.into())
+            .model(DeviceModel::SonyD5803)
+            .captured_at(SimTime::from_millis(i * 300_000))
+            .spl(SoundLevel::new(45.0))
+            .build()
+    }
+
+    fn client(version: AppVersion) -> GoFlowClient {
+        GoFlowClient::new("ex", "c1.obs.noise.FR75013", version)
+    }
+
+    #[test]
+    fn unbuffered_sends_each_cycle() {
+        let b = broker();
+        let mut c = client(AppVersion::V1_2_9);
+        for i in 0..3 {
+            c.record(obs(i));
+            let sent = c.on_cycle(&b, true).unwrap();
+            assert_eq!(sent.transfers, 1);
+            assert_eq!(sent.observations, 1);
+        }
+        assert_eq!(b.queue_depth("q").unwrap(), 3);
+        assert_eq!(c.total_sent(), 3);
+        assert_eq!(c.total_transfers(), 3);
+    }
+
+    #[test]
+    fn buffered_waits_for_ten() {
+        let b = broker();
+        let mut c = client(AppVersion::V1_3);
+        for i in 0..9 {
+            c.record(obs(i));
+            let sent = c.on_cycle(&b, true).unwrap();
+            assert_eq!(sent.transfers, 0, "cycle {i} must hold");
+        }
+        assert_eq!(c.pending(), 9);
+        c.record(obs(9));
+        let sent = c.on_cycle(&b, true).unwrap();
+        assert_eq!(sent.transfers, 1);
+        assert_eq!(sent.observations, 10);
+        assert_eq!(c.pending(), 0);
+        // One broker message carrying ten observations.
+        assert_eq!(b.queue_depth("q").unwrap(), 1);
+        let d = b.consume("q", 1).unwrap().remove(0);
+        let batch: Vec<Observation> = serde_json::from_slice(d.payload()).unwrap();
+        assert_eq!(batch.len(), 10);
+    }
+
+    #[test]
+    fn disconnection_defers_to_next_cycle() {
+        let b = broker();
+        let mut c = client(AppVersion::V1_2_9);
+        c.record(obs(0));
+        let sent = c.on_cycle(&b, false).unwrap();
+        assert_eq!(sent.transfers, 0);
+        assert_eq!(c.pending(), 1);
+        c.record(obs(1));
+        // Reconnected: both go out, as two messages (unbuffered).
+        let sent = c.on_cycle(&b, true).unwrap();
+        assert_eq!(sent.transfers, 2);
+        assert_eq!(sent.observations, 2);
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn buffered_reconnect_ships_one_batch() {
+        let b = broker();
+        let mut c = client(AppVersion::V1_3);
+        for i in 0..25 {
+            c.record(obs(i));
+            c.on_cycle(&b, false).unwrap();
+        }
+        let sent = c.on_cycle(&b, true).unwrap();
+        assert_eq!(sent.transfers, 1, "all pending in one transfer");
+        assert_eq!(sent.observations, 25);
+    }
+
+    #[test]
+    fn flush_sends_partial_buffer() {
+        let b = broker();
+        let mut c = client(AppVersion::V1_3);
+        for i in 0..4 {
+            c.record(obs(i));
+        }
+        assert!(!c.wants_to_send());
+        let sent = c.flush(&b).unwrap();
+        assert_eq!(sent.observations, 4);
+        assert_eq!(sent.transfers, 1);
+        // Flushing an empty buffer is a no-op.
+        assert_eq!(c.flush(&b).unwrap(), SendOutcome::default());
+    }
+
+    #[test]
+    fn upgrade_keeps_pending() {
+        let b = broker();
+        let mut c = client(AppVersion::V1_1);
+        c.record(obs(0));
+        c.on_cycle(&b, false).unwrap();
+        c.upgrade(AppVersion::V1_3);
+        assert_eq!(c.version(), AppVersion::V1_3);
+        assert_eq!(c.pending(), 1);
+    }
+
+    #[test]
+    fn failed_publish_keeps_buffer() {
+        let b = Broker::new(); // exchange missing
+        let mut c = client(AppVersion::V1_2_9);
+        c.record(obs(0));
+        assert!(c.on_cycle(&b, true).is_err());
+        assert_eq!(c.pending(), 1);
+        assert_eq!(c.total_sent(), 0);
+    }
+
+    #[test]
+    fn transfer_accounting_favors_buffering() {
+        let b = broker();
+        let mut unbuffered = client(AppVersion::V1_2_9);
+        let mut buffered = client(AppVersion::V1_3);
+        for i in 0..100 {
+            unbuffered.record(obs(i));
+            unbuffered.on_cycle(&b, true).unwrap();
+            buffered.record(obs(i));
+            buffered.on_cycle(&b, true).unwrap();
+        }
+        assert_eq!(unbuffered.total_transfers(), 100);
+        assert_eq!(buffered.total_transfers(), 10);
+        assert_eq!(unbuffered.total_sent(), buffered.total_sent());
+    }
+}

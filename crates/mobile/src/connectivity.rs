@@ -1,0 +1,265 @@
+//! Connectivity model (behind the transmission-delay CDF of Figure 17).
+//!
+//! The paper observes long disconnection periods: with the unbuffered
+//! v1.2.9 client, ~30 % of measurements reach the server within 10 s but
+//! ~35 % take more than 2 hours. The dominant real-world cause is
+//! *Wi-Fi-only* devices (no mobile data): they sense all day and upload
+//! when back on home Wi-Fi. The model therefore assigns each device a
+//! connectivity class:
+//!
+//! * [`ConnectivityClass::Cellular`] — data plan; connected essentially
+//!   always, with brief random outages;
+//! * [`ConnectivityClass::WifiOnly`] — connected only during a per-user
+//!   home window (evening to morning);
+//! * [`ConnectivityClass::RarelyConnected`] — connected in occasional
+//!   bursts only.
+//!
+//! Connectivity is a *deterministic* function of time for a given device
+//! (hash-based), so replays are reproducible and a client retrying "at the
+//! next cycle" observes a consistent network state.
+
+use mps_simcore::SimRng;
+use mps_types::{AppVersion, SimDuration, SimTime};
+
+/// Population shares of the three classes, tuned to Figure 17's delay mix
+/// (≈30 % of v1.2.9 deliveries within 10 s, ≈35 % beyond 2 h).
+pub const CLASS_SHARES: [f64; 3] = [0.43, 0.50, 0.07];
+
+/// A device's network situation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConnectivityClass {
+    /// Mobile-data plan: almost always connected.
+    Cellular,
+    /// No data plan: connected only on home Wi-Fi (evening/night window).
+    WifiOnly,
+    /// Connected only in occasional short bursts.
+    RarelyConnected,
+}
+
+impl ConnectivityClass {
+    /// Samples a class with the population shares of [`CLASS_SHARES`].
+    pub fn sample(rng: &mut SimRng) -> Self {
+        match rng.weighted_index(&CLASS_SHARES) {
+            0 => ConnectivityClass::Cellular,
+            1 => ConnectivityClass::WifiOnly,
+            _ => ConnectivityClass::RarelyConnected,
+        }
+    }
+}
+
+/// Deterministic per-device connectivity over time.
+#[derive(Debug, Clone)]
+pub struct ConnectivityModel {
+    class: ConnectivityClass,
+    seed: u64,
+    /// Wi-Fi home window start hour (inclusive, fractional).
+    home_start: f64,
+    /// Wi-Fi home window end hour (exclusive, fractional; < start, the
+    /// window wraps midnight).
+    home_end: f64,
+}
+
+fn slot_hash(seed: u64, slot: i64) -> f64 {
+    let mut x = seed ^ (slot as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    (x ^ (x >> 31)) as f64 / u64::MAX as f64
+}
+
+impl ConnectivityModel {
+    /// Creates the connectivity process of one device; per-device
+    /// parameters (home window, hash seed) are drawn once from `rng`.
+    pub fn new(class: ConnectivityClass, rng: &mut SimRng) -> Self {
+        use rand::RngCore;
+        Self {
+            class,
+            seed: rng.next_u64(),
+            home_start: rng.normal(18.5, 1.2).clamp(16.0, 22.0),
+            home_end: rng.normal(8.5, 1.0).clamp(6.0, 11.0),
+        }
+    }
+
+    /// The device's class.
+    pub fn class(&self) -> ConnectivityClass {
+        self.class
+    }
+
+    /// Whether the device has network connectivity at `at`.
+    pub fn is_connected(&self, at: SimTime) -> bool {
+        match self.class {
+            ConnectivityClass::Cellular => {
+                // Brief outages: ~4 % of 15-minute slots.
+                let slot = at.as_millis().div_euclid(15 * 60 * 1000);
+                slot_hash(self.seed, slot) >= 0.04
+            }
+            ConnectivityClass::WifiOnly => {
+                let h = at.fractional_hour();
+                h >= self.home_start || h < self.home_end
+            }
+            ConnectivityClass::RarelyConnected => {
+                // Connected in ~18 % of 6-hour blocks.
+                let block = at.as_millis().div_euclid(6 * 3600 * 1000);
+                slot_hash(self.seed, block) < 0.18
+            }
+        }
+    }
+
+    /// First instant at or after `from` (searched on the client's 5-minute
+    /// retry grid, up to `horizon`) at which the device is connected.
+    pub fn next_connected(&self, from: SimTime, horizon: SimDuration) -> Option<SimTime> {
+        let step = SimDuration::from_mins(5);
+        let mut t = from;
+        let end = from + horizon;
+        while t <= end {
+            if self.is_connected(t) {
+                return Some(t);
+            }
+            t += step;
+        }
+        None
+    }
+}
+
+/// Transport latency of one (connected) transfer for an app version.
+///
+/// v1.1 opened a fresh channel per send (slow); v1.2.9 optimised its
+/// RabbitMQ usage (Section 5.3), bringing the median under 10 s; v1.3
+/// shares v1.2.9's transport.
+pub fn transmission_latency(version: AppVersion, rng: &mut SimRng) -> SimDuration {
+    let (median_s, sigma): (f64, f64) = match version {
+        AppVersion::V1_1 => (22.0, 0.8),
+        AppVersion::V1_2_9 | AppVersion::V1_3 => (8.5, 0.9),
+    };
+    let secs = rng.log_normal(median_s.ln(), sigma).clamp(0.3, 600.0);
+    SimDuration::from_secs_f64(secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(class: ConnectivityClass, seed: u64) -> ConnectivityModel {
+        let mut rng = SimRng::new(seed);
+        ConnectivityModel::new(class, &mut rng)
+    }
+
+    #[test]
+    fn class_shares_sum_to_one() {
+        assert!((CLASS_SHARES.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_classes_match_shares() {
+        let mut rng = SimRng::new(1);
+        let n = 50_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            match ConnectivityClass::sample(&mut rng) {
+                ConnectivityClass::Cellular => counts[0] += 1,
+                ConnectivityClass::WifiOnly => counts[1] += 1,
+                ConnectivityClass::RarelyConnected => counts[2] += 1,
+            }
+        }
+        for (i, share) in CLASS_SHARES.iter().enumerate() {
+            let freq = counts[i] as f64 / n as f64;
+            assert!((freq - share).abs() < 0.01, "class {i}: {freq}");
+        }
+    }
+
+    #[test]
+    fn connectivity_is_deterministic() {
+        let m = model(ConnectivityClass::Cellular, 2);
+        let t = SimTime::from_hms(3, 14, 7, 0);
+        assert_eq!(m.is_connected(t), m.is_connected(t));
+    }
+
+    #[test]
+    fn cellular_is_mostly_connected() {
+        let m = model(ConnectivityClass::Cellular, 3);
+        let connected = (0..10_000)
+            .filter(|i| m.is_connected(SimTime::from_millis(i * 17 * 60 * 1000)))
+            .count() as f64
+            / 10_000.0;
+        assert!(connected > 0.92, "cellular uptime {connected}");
+        assert!(connected < 1.0, "outages must exist");
+    }
+
+    #[test]
+    fn wifi_only_follows_home_window() {
+        let m = model(ConnectivityClass::WifiOnly, 4);
+        // Midday: out of the home window.
+        assert!(!m.is_connected(SimTime::from_hms(1, 13, 0, 0)));
+        // Deep night: inside the home window.
+        assert!(m.is_connected(SimTime::from_hms(1, 2, 0, 0)));
+        assert!(m.is_connected(SimTime::from_hms(1, 23, 0, 0)));
+    }
+
+    #[test]
+    fn wifi_only_daytime_gap_is_hours_long() {
+        let m = model(ConnectivityClass::WifiOnly, 5);
+        let from = SimTime::from_hms(2, 10, 0, 0);
+        let reconnect = m
+            .next_connected(from, SimDuration::from_hours(24))
+            .expect("reconnects within a day");
+        let wait = reconnect.since(from);
+        assert!(
+            wait.as_hours_f64() > 5.0 && wait.as_hours_f64() < 13.0,
+            "wait {wait}"
+        );
+    }
+
+    #[test]
+    fn rarely_connected_is_mostly_offline() {
+        let m = model(ConnectivityClass::RarelyConnected, 6);
+        let connected = (0..5_000)
+            .filter(|i| m.is_connected(SimTime::from_millis(i * 3600 * 1000)))
+            .count() as f64
+            / 5_000.0;
+        assert!(connected < 0.3, "rare uptime {connected}");
+        assert!(connected > 0.05);
+    }
+
+    #[test]
+    fn next_connected_immediate_when_online() {
+        let m = model(ConnectivityClass::WifiOnly, 7);
+        let at_home = SimTime::from_hms(0, 23, 30, 0);
+        assert_eq!(
+            m.next_connected(at_home, SimDuration::from_hours(1)),
+            Some(at_home)
+        );
+    }
+
+    #[test]
+    fn next_connected_none_within_short_horizon() {
+        let m = model(ConnectivityClass::WifiOnly, 8);
+        let midday = SimTime::from_hms(0, 11, 0, 0);
+        assert_eq!(m.next_connected(midday, SimDuration::from_mins(30)), None);
+    }
+
+    #[test]
+    fn latency_improved_in_v1_2_9() {
+        let mut rng = SimRng::new(9);
+        let n = 20_000;
+        let within_10s = |version, rng: &mut SimRng| {
+            (0..n)
+                .filter(|_| transmission_latency(version, rng).as_secs_f64() <= 10.0)
+                .count() as f64
+                / n as f64
+        };
+        let v11 = within_10s(AppVersion::V1_1, &mut rng);
+        let v129 = within_10s(AppVersion::V1_2_9, &mut rng);
+        assert!(v129 > v11 + 0.2, "v1.2.9 {v129} vs v1.1 {v11}");
+        assert!((0.45..0.70).contains(&v129), "v1.2.9 ≤10 s share {v129}");
+    }
+
+    #[test]
+    fn latency_is_bounded() {
+        let mut rng = SimRng::new(10);
+        for version in AppVersion::ALL {
+            for _ in 0..2_000 {
+                let l = transmission_latency(version, &mut rng).as_secs_f64();
+                assert!((0.3..=600.0).contains(&l), "{version}: {l}");
+            }
+        }
+    }
+}

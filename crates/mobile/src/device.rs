@@ -1,0 +1,377 @@
+//! One simulated phone: sensors + behaviour + connectivity + battery.
+
+use crate::activity::ActivityModel;
+use crate::battery::{BatteryModel, BatteryParams};
+use crate::behavior::UserBehavior;
+use crate::catalog::ModelProfile;
+use crate::connectivity::{ConnectivityClass, ConnectivityModel};
+use crate::location::LocationSampler;
+use crate::microphone::{Microphone, SoundEnvironment};
+use mps_simcore::SimRng;
+use mps_types::{
+    AppVersion, DeviceId, DeviceModel, GeoBounds, GeoPoint, Observation, SensingMode, SimTime,
+    UserId,
+};
+
+/// Static configuration of a simulated device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Device identifier.
+    pub device: DeviceId,
+    /// Owning user (one device per user in the study's accounting).
+    pub user: UserId,
+    /// Phone model.
+    pub model: DeviceModel,
+    /// Home location; `None` samples one inside Paris at construction.
+    pub home: Option<GeoPoint>,
+    /// Daily contribution target; `None` uses the model's Figure 9 rate.
+    pub measurements_per_day: Option<f64>,
+}
+
+impl DeviceConfig {
+    /// Creates a config for device/user `id` with the given model and
+    /// defaults for everything else.
+    pub fn new(id: u64, model: DeviceModel) -> Self {
+        Self {
+            device: DeviceId::new(id),
+            user: UserId::new(id),
+            model,
+            home: None,
+            measurements_per_day: None,
+        }
+    }
+
+    /// Pins the home location.
+    pub fn with_home(mut self, home: GeoPoint) -> Self {
+        self.home = Some(home);
+        self
+    }
+
+    /// Pins the daily contribution target.
+    pub fn with_rate(mut self, measurements_per_day: f64) -> Self {
+        self.measurements_per_day = Some(measurements_per_day);
+        self
+    }
+}
+
+/// A simulated phone. Construction derives every stochastic component
+/// from a per-device RNG stream split off the experiment root, so the
+/// device's behaviour depends only on `(root seed, device id)`.
+#[derive(Debug, Clone)]
+pub struct Device {
+    config: DeviceConfig,
+    profile: ModelProfile,
+    microphone: Microphone,
+    environment: SoundEnvironment,
+    location: LocationSampler,
+    activity: ActivityModel,
+    behavior: UserBehavior,
+    connectivity: ConnectivityModel,
+    battery: BatteryModel,
+    version: AppVersion,
+    home: GeoPoint,
+    wander_xy: (f64, f64),
+    session_slots_left: u32,
+    rng: SimRng,
+}
+
+impl Device {
+    /// Maximum wander distance from home, metres.
+    const MAX_WANDER_M: f64 = 4_000.0;
+
+    /// Creates a device from its config, splitting a per-device stream
+    /// off `root`.
+    pub fn new(config: DeviceConfig, root: &SimRng) -> Self {
+        let mut rng = root.split("device", config.device.raw());
+        let profile = ModelProfile::for_model(config.model);
+        let microphone = Microphone::for_device(&profile, &mut rng);
+        let location = LocationSampler::for_profile(&profile);
+        let activity = ActivityModel::new(&mut rng);
+        let rate = config
+            .measurements_per_day
+            .unwrap_or(profile.measurements_per_device_day);
+        let behavior = UserBehavior::new(rate, &mut rng);
+        let class = ConnectivityClass::sample(&mut rng);
+        let connectivity = ConnectivityModel::new(class, &mut rng);
+        let battery = BatteryModel::new(BatteryParams::default(), 1.0);
+        let home = config.home.unwrap_or_else(|| {
+            let b = GeoBounds::paris();
+            b.lerp(rng.uniform(), rng.uniform())
+        });
+        Self {
+            config,
+            profile,
+            microphone,
+            environment: SoundEnvironment::new(),
+            location,
+            activity,
+            behavior,
+            connectivity,
+            battery,
+            version: AppVersion::V1_1,
+            home,
+            wander_xy: (0.0, 0.0),
+            session_slots_left: 0,
+            rng,
+        }
+    }
+
+    /// The device identifier.
+    pub fn id(&self) -> DeviceId {
+        self.config.device
+    }
+
+    /// The owning user.
+    pub fn user(&self) -> UserId {
+        self.config.user
+    }
+
+    /// The model profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// The behaviour model.
+    pub fn behavior(&self) -> &UserBehavior {
+        &self.behavior
+    }
+
+    /// The connectivity model.
+    pub fn connectivity(&self) -> &ConnectivityModel {
+        &self.connectivity
+    }
+
+    /// Mutable battery access (the deployment charges idle/radio costs).
+    pub fn battery_mut(&mut self) -> &mut BatteryModel {
+        &mut self.battery
+    }
+
+    /// The battery state.
+    pub fn battery(&self) -> &BatteryModel {
+        &self.battery
+    }
+
+    /// The installed app version.
+    pub fn version(&self) -> AppVersion {
+        self.version
+    }
+
+    /// Installs an app update.
+    pub fn set_version(&mut self, version: AppVersion) {
+        self.version = version;
+    }
+
+    /// The device's home location.
+    pub fn home(&self) -> GeoPoint {
+        self.home
+    }
+
+    /// The device's current position (home + wander).
+    pub fn position(&self) -> GeoPoint {
+        GeoPoint::from_local_xy(self.home, self.wander_xy.0, self.wander_xy.1)
+    }
+
+    /// Whether the device is connected at `at`.
+    pub fn is_connected(&self, at: SimTime) -> bool {
+        self.connectivity.is_connected(at)
+    }
+
+    /// Runs one 5-minute measurement slot: advances activity and
+    /// position, then captures an observation if an app-usage session is
+    /// active (sessions start per the user's diurnal profile and sense
+    /// every 5 minutes while they last — the app's opportunistic
+    /// default).
+    pub fn maybe_capture(&mut self, at: SimTime) -> Option<Observation> {
+        let activity = self.activity.step(&mut self.rng);
+        self.step_position(activity.is_moving());
+        if self.session_slots_left == 0 {
+            let start = self
+                .behavior
+                .session_start_probability(at.hour_of_day());
+            if !self.rng.chance(start) {
+                return None;
+            }
+            self.session_slots_left = self.behavior.sample_session_length(&mut self.rng);
+        }
+        self.session_slots_left -= 1;
+        let mode = self.behavior.sample_mode(at.month(), &mut self.rng);
+        Some(self.capture_with_activity(at, mode, activity))
+    }
+
+    /// Captures one observation right now in the given mode (used by the
+    /// lab harnesses and the journey flow).
+    pub fn capture(&mut self, at: SimTime, mode: SensingMode) -> Observation {
+        let activity = self.activity.step(&mut self.rng);
+        self.step_position(activity.is_moving());
+        self.capture_with_activity(at, mode, activity)
+    }
+
+    /// Captures one observation at an externally-supplied true position —
+    /// the journey flow moves the device along its path rather than via
+    /// the wander model. The device's wander state is re-anchored so
+    /// subsequent opportunistic captures continue from the journey's end.
+    pub fn capture_at_position(
+        &mut self,
+        at: SimTime,
+        mode: SensingMode,
+        position: GeoPoint,
+    ) -> Observation {
+        // Exact placement (journeys may leave the usual wander radius);
+        // subsequent wander steps clamp back toward home as usual.
+        self.wander_xy = position.to_local_xy(self.home);
+        let activity = self.activity.step(&mut self.rng);
+        self.capture_with_activity(at, mode, activity)
+    }
+
+    fn step_position(&mut self, moving: bool) {
+        let (x, y) = self.wander_xy;
+        if moving {
+            let nx = (x + self.rng.normal(0.0, 180.0)).clamp(-Self::MAX_WANDER_M, Self::MAX_WANDER_M);
+            let ny = (y + self.rng.normal(0.0, 180.0)).clamp(-Self::MAX_WANDER_M, Self::MAX_WANDER_M);
+            self.wander_xy = (nx, ny);
+        } else {
+            // Drift back toward home (people return).
+            self.wander_xy = (x * 0.97, y * 0.97);
+        }
+    }
+
+    fn capture_with_activity(
+        &mut self,
+        at: SimTime,
+        mode: SensingMode,
+        activity: mps_types::Activity,
+    ) -> Observation {
+        let truth = self.environment.sample(at, activity, &mut self.rng);
+        let spl = self.microphone.measure(truth, &mut self.rng);
+        let position = self.position();
+        let fix = self.location.sample_fix(mode, position, &mut self.rng);
+        let mut builder = Observation::builder()
+            .device(self.config.device)
+            .user(self.config.user)
+            .model(self.config.model)
+            .captured_at(at)
+            .spl(spl)
+            .activity(activity)
+            .mode(mode)
+            .app_version(self.version);
+        if let Some(fix) = fix {
+            builder = builder.location(fix);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device(seed: u64, model: DeviceModel) -> Device {
+        Device::new(DeviceConfig::new(seed, model), &SimRng::new(42))
+    }
+
+    #[test]
+    fn capture_produces_well_formed_observation() {
+        let mut d = device(1, DeviceModel::SamsungGtI9505);
+        let at = SimTime::from_hms(2, 15, 0, 0);
+        let obs = d.capture(at, SensingMode::Manual);
+        assert_eq!(obs.device, DeviceId::new(1));
+        assert_eq!(obs.model, DeviceModel::SamsungGtI9505);
+        assert_eq!(obs.captured_at, at);
+        assert_eq!(obs.mode, SensingMode::Manual);
+        assert!(obs.spl.db() > 10.0 && obs.spl.db() <= 100.0);
+    }
+
+    #[test]
+    fn devices_are_deterministic_given_seed_and_id() {
+        let mut a = device(7, DeviceModel::LgeNexus5);
+        let mut b = device(7, DeviceModel::LgeNexus5);
+        let at = SimTime::from_hms(0, 12, 0, 0);
+        assert_eq!(a.capture(at, SensingMode::Journey), b.capture(at, SensingMode::Journey));
+    }
+
+    #[test]
+    fn different_devices_differ() {
+        let mut a = device(1, DeviceModel::LgeNexus5);
+        let mut b = device(2, DeviceModel::LgeNexus5);
+        let at = SimTime::from_hms(0, 12, 0, 0);
+        assert_ne!(a.capture(at, SensingMode::Manual), b.capture(at, SensingMode::Manual));
+    }
+
+    #[test]
+    fn maybe_capture_rate_tracks_behavior() {
+        let mut d = Device::new(
+            DeviceConfig::new(3, DeviceModel::SonyD6603).with_rate(144.0),
+            &SimRng::new(9),
+        );
+        // Simulate twenty days of 5-minute slots (sessions make single
+        // days very bursty; average over many).
+        let days = 20;
+        let mut captured = 0;
+        for slot in 0..(288 * days) {
+            let at = SimTime::from_millis(slot * 300_000);
+            if d.maybe_capture(at).is_some() {
+                captured += 1;
+            }
+        }
+        let per_day = captured as f64 / days as f64;
+        // 144/day expectation; generous band for session burstiness.
+        assert!((90.0..200.0).contains(&per_day), "captured {per_day}/day");
+    }
+
+    #[test]
+    fn localized_fraction_tracks_profile() {
+        let mut d = device(5, DeviceModel::SonyD5803); // 71 % localized
+        let mut localized = 0;
+        let n = 3_000;
+        for i in 0..n {
+            let at = SimTime::from_millis(i * 300_000);
+            if d.capture(at, SensingMode::Opportunistic).is_localized() {
+                localized += 1;
+            }
+        }
+        let frac = f64::from(localized) / f64::from(n as u32);
+        assert!((frac - 0.71).abs() < 0.05, "localized {frac}");
+    }
+
+    #[test]
+    fn position_stays_within_wander_bounds() {
+        let mut d = device(6, DeviceModel::OneplusA0001);
+        for i in 0..2_000 {
+            let _ = d.capture(SimTime::from_millis(i * 300_000), SensingMode::Journey);
+            let dist = d.home().distance_m(d.position());
+            assert!(dist <= 6_000.0, "wandered {dist} m");
+        }
+    }
+
+    #[test]
+    fn homes_are_inside_paris() {
+        for id in 0..50 {
+            let d = device(id, DeviceModel::LgeLgD855);
+            assert!(GeoBounds::paris().contains(d.home()), "device {id}");
+        }
+    }
+
+    #[test]
+    fn version_upgrades_apply_to_new_captures() {
+        let mut d = device(8, DeviceModel::SamsungGtP5210);
+        assert_eq!(d.version(), AppVersion::V1_1);
+        d.set_version(AppVersion::V1_3);
+        let obs = d.capture(SimTime::from_hms(0, 10, 0, 0), SensingMode::Opportunistic);
+        assert_eq!(obs.app_version, AppVersion::V1_3);
+    }
+
+    #[test]
+    fn battery_is_accessible_and_full_initially() {
+        let mut d = device(9, DeviceModel::HtcOneM8);
+        assert!((d.battery().soc() - 1.0).abs() < 1e-12);
+        d.battery_mut().drain_measurement(true);
+        assert!(d.battery().soc() < 1.0);
+    }
+
+    #[test]
+    fn connectivity_class_is_deterministic_per_device() {
+        let a = device(10, DeviceModel::SonyD2303);
+        let b = device(10, DeviceModel::SonyD2303);
+        assert_eq!(a.connectivity().class(), b.connectivity().class());
+    }
+}

@@ -1,0 +1,270 @@
+//! Location availability, provider choice and accuracy (Figures 10–13, 20).
+//!
+//! Calibration targets from the paper:
+//!
+//! * ~40 % of observations are localized overall, with the per-model
+//!   fractions of Figure 9;
+//! * of localized opportunistic observations, ~86 % are network fixes,
+//!   ~7 % GPS and ~7 % fused (Figures 11–13);
+//! * participatory sensing raises the GPS share by more than 20 points in
+//!   manual mode and by ~40 points in journey mode (Figure 20) — the
+//!   screen is on and the user consciously senses, so Android serves GPS;
+//! * GPS accuracy concentrates in 6–20 m, network in 20–50 m with a
+//!   secondary bump just below 100 m (snapped Wi-Fi/cell accuracies), and
+//!   fused fixes are "rather low" accuracy (broad, large radii).
+
+use crate::catalog::ModelProfile;
+use mps_simcore::SimRng;
+use mps_types::{GeoPoint, LocationFix, LocationProvider, SensingMode};
+
+/// GPS-share boost of manual participatory sensing (Figure 20, middle).
+pub const MANUAL_GPS_BOOST: f64 = 0.22;
+/// GPS-share boost of journey participatory sensing (Figure 20, right).
+pub const JOURNEY_GPS_BOOST: f64 = 0.40;
+
+/// Samples location fixes for one device model.
+#[derive(Debug, Clone)]
+pub struct LocationSampler {
+    localized_fraction: f64,
+    provider_mix: [f64; 3],
+    fused_supported: bool,
+}
+
+impl LocationSampler {
+    /// Creates the sampler for a model profile.
+    pub fn for_profile(profile: &ModelProfile) -> Self {
+        Self {
+            localized_fraction: profile.localized_fraction,
+            provider_mix: profile.provider_mix,
+            fused_supported: profile.fused_supported,
+        }
+    }
+
+    /// Probability that an observation in `mode` is localized at all.
+    /// Participatory modes are much more often localized — the user is
+    /// consciously sensing with the screen on.
+    pub fn localized_probability(&self, mode: SensingMode) -> f64 {
+        match mode {
+            SensingMode::Opportunistic => self.localized_fraction,
+            SensingMode::Manual => (self.localized_fraction * 1.4).min(0.95),
+            SensingMode::Journey => (self.localized_fraction * 1.8).min(0.98),
+        }
+    }
+
+    /// The provider mix effective in `mode`: participatory modes shift
+    /// share from network to GPS (Figure 20).
+    pub fn provider_mix(&self, mode: SensingMode) -> [f64; 3] {
+        let [gps, network, fused] = self.provider_mix;
+        let boost = match mode {
+            SensingMode::Opportunistic => 0.0,
+            SensingMode::Manual => MANUAL_GPS_BOOST,
+            SensingMode::Journey => JOURNEY_GPS_BOOST,
+        };
+        let boost = boost.min(network); // cannot take more than network has
+        [gps + boost, network - boost, fused]
+    }
+
+    /// Samples the accuracy estimate (metres) a provider would report.
+    pub fn sample_accuracy(provider: LocationProvider, rng: &mut SimRng) -> f64 {
+        match provider {
+            // Median ≈ 11 m; the 6–20 m band holds the bulk of the mass.
+            LocationProvider::Gps => rng.log_normal(11.0f64.ln(), 0.40).clamp(3.0, 150.0),
+            // Main 20–50 m lobe plus a snapped bump just below 100 m.
+            LocationProvider::Network => {
+                if rng.chance(0.22) {
+                    rng.normal(93.0, 5.0).clamp(60.0, 120.0)
+                } else {
+                    rng.log_normal(31.0f64.ln(), 0.32).clamp(8.0, 400.0)
+                }
+            }
+            // Broad and rather inaccurate in the paper's data.
+            LocationProvider::Fused => rng.log_normal(110.0f64.ln(), 0.75).clamp(15.0, 3000.0),
+        }
+    }
+
+    /// Samples a fix for an observation in `mode` taken at the true
+    /// position `truth`, or `None` when no location was available.
+    ///
+    /// The reported point is the truth displaced by a Gaussian error with
+    /// standard deviation proportional to the reported accuracy, so the
+    /// accuracy estimate is honest (≈68 % of fixes within the radius).
+    pub fn sample_fix(
+        &self,
+        mode: SensingMode,
+        truth: GeoPoint,
+        rng: &mut SimRng,
+    ) -> Option<LocationFix> {
+        if !rng.chance(self.localized_probability(mode)) {
+            return None;
+        }
+        let mix = self.provider_mix(mode);
+        let provider = match rng.weighted_index(&mix) {
+            0 => LocationProvider::Gps,
+            1 => LocationProvider::Network,
+            _ if self.fused_supported => LocationProvider::Fused,
+            _ => LocationProvider::Network,
+        };
+        let accuracy = Self::sample_accuracy(provider, rng);
+        // Displace: with sigma = accuracy / 1.515, ~68 % of 2-D errors
+        // fall inside the accuracy radius.
+        let sigma = accuracy / 1.515;
+        let dx = rng.normal(0.0, sigma);
+        let dy = rng.normal(0.0, sigma);
+        let point = GeoPoint::from_local_xy(truth, dx, dy);
+        Some(LocationFix::new(point, accuracy, provider))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_types::DeviceModel;
+
+    fn sampler() -> LocationSampler {
+        LocationSampler::for_profile(&ModelProfile::for_model(DeviceModel::SamsungGtI9505))
+    }
+
+    #[test]
+    fn gps_accuracy_mostly_6_to_20_m() {
+        let mut rng = SimRng::new(1);
+        let n = 20_000;
+        let inside = (0..n)
+            .filter(|_| {
+                let a = LocationSampler::sample_accuracy(LocationProvider::Gps, &mut rng);
+                (6.0..=20.0).contains(&a)
+            })
+            .count() as f64
+            / n as f64;
+        assert!(inside > 0.6, "6–20 m share {inside}");
+    }
+
+    #[test]
+    fn network_accuracy_mostly_20_to_50_with_100m_bump() {
+        let mut rng = SimRng::new(2);
+        let n = 30_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| LocationSampler::sample_accuracy(LocationProvider::Network, &mut rng))
+            .collect();
+        let core = samples.iter().filter(|a| (20.0..=50.0).contains(*a)).count() as f64 / n as f64;
+        let bump = samples.iter().filter(|a| (80.0..=110.0).contains(*a)).count() as f64 / n as f64;
+        assert!(core > 0.45, "20–50 m share {core}");
+        assert!(bump > 0.12 && bump < 0.35, "~100 m bump share {bump}");
+    }
+
+    #[test]
+    fn fused_accuracy_is_low() {
+        let mut rng = SimRng::new(3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| LocationSampler::sample_accuracy(LocationProvider::Fused, &mut rng))
+            .collect();
+        let median = {
+            let mut s = samples.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[n / 2]
+        };
+        assert!(median > 60.0, "fused median {median} should be coarse");
+    }
+
+    #[test]
+    fn gps_is_most_accurate_provider() {
+        let mut rng = SimRng::new(4);
+        let mean = |p: LocationProvider, rng: &mut SimRng| {
+            (0..5_000)
+                .map(|_| LocationSampler::sample_accuracy(p, rng))
+                .sum::<f64>()
+                / 5_000.0
+        };
+        let gps = mean(LocationProvider::Gps, &mut rng);
+        let network = mean(LocationProvider::Network, &mut rng);
+        let fused = mean(LocationProvider::Fused, &mut rng);
+        assert!(gps < network && network < fused, "{gps} < {network} < {fused}");
+    }
+
+    #[test]
+    fn opportunistic_mix_matches_profile() {
+        let s = sampler();
+        let mix = s.provider_mix(SensingMode::Opportunistic);
+        assert!((mix.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(mix[1] > 0.75, "network dominates opportunistic sensing");
+    }
+
+    #[test]
+    fn participatory_modes_boost_gps() {
+        let s = sampler();
+        let opp = s.provider_mix(SensingMode::Opportunistic);
+        let manual = s.provider_mix(SensingMode::Manual);
+        let journey = s.provider_mix(SensingMode::Journey);
+        assert!((manual[0] - opp[0] - MANUAL_GPS_BOOST).abs() < 1e-9);
+        assert!((journey[0] - opp[0] - JOURNEY_GPS_BOOST).abs() < 1e-9);
+        // Shares remain distributions.
+        for mix in [manual, journey] {
+            assert!((mix.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(mix.iter().all(|w| *w >= 0.0));
+        }
+    }
+
+    #[test]
+    fn localized_probability_ordering() {
+        let s = sampler();
+        let opp = s.localized_probability(SensingMode::Opportunistic);
+        let manual = s.localized_probability(SensingMode::Manual);
+        let journey = s.localized_probability(SensingMode::Journey);
+        assert!(opp < manual && manual < journey);
+        assert!(journey <= 0.98);
+    }
+
+    #[test]
+    fn sample_fix_rate_matches_fraction() {
+        let s = sampler();
+        let mut rng = SimRng::new(5);
+        let n = 20_000;
+        let localized = (0..n)
+            .filter(|_| {
+                s.sample_fix(SensingMode::Opportunistic, GeoPoint::PARIS, &mut rng)
+                    .is_some()
+            })
+            .count() as f64
+            / n as f64;
+        let expected = ModelProfile::for_model(DeviceModel::SamsungGtI9505).localized_fraction;
+        assert!((localized - expected).abs() < 0.02, "{localized} vs {expected}");
+    }
+
+    #[test]
+    fn accuracy_estimate_is_honest() {
+        // About 68 % of reported points should fall within the reported
+        // accuracy radius of the truth.
+        let s = sampler();
+        let mut rng = SimRng::new(6);
+        let truth = GeoPoint::PARIS;
+        let mut within = 0;
+        let mut total = 0;
+        while total < 10_000 {
+            if let Some(fix) = s.sample_fix(SensingMode::Journey, truth, &mut rng) {
+                total += 1;
+                if truth.distance_m(fix.point) <= fix.accuracy_m {
+                    within += 1;
+                }
+            }
+        }
+        let rate = within as f64 / total as f64;
+        assert!((rate - 0.68).abs() < 0.05, "coverage {rate}");
+    }
+
+    #[test]
+    fn unsupported_fused_falls_back_to_network() {
+        // Find a model without fused support.
+        let profile = ModelProfile::all()
+            .into_iter()
+            .find(|p| !p.fused_supported)
+            .expect("some model lacks fused");
+        let s = LocationSampler::for_profile(&profile);
+        let mut rng = SimRng::new(7);
+        for _ in 0..5_000 {
+            if let Some(fix) = s.sample_fix(SensingMode::Opportunistic, GeoPoint::PARIS, &mut rng)
+            {
+                assert_ne!(fix.provider, LocationProvider::Fused);
+            }
+        }
+    }
+}

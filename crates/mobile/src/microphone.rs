@@ -1,0 +1,226 @@
+//! Microphone and sound-environment models (Figures 14–15).
+//!
+//! The published per-model SPL distributions share one shape: a dominant
+//! peak at low levels (the phone sitting in a quiet room, a pocket or a
+//! bag) and a smaller bump at active-environment levels (streets,
+//! transport, conversation), with the peak position shifted per model —
+//! sensor heterogeneity that calibration can tame *at the model level*.
+//!
+//! [`SoundEnvironment`] generates the true ambient level as a two-regime
+//! mixture whose active-regime weight follows the time of day;
+//! [`Microphone`] applies the model bias, a small per-device jitter
+//! (Figure 15: devices of one model behave much alike), measurement noise,
+//! and the sensor's floor/saturation clamp.
+
+use crate::catalog::ModelProfile;
+use mps_simcore::SimRng;
+use mps_types::{Activity, SimTime, SoundLevel};
+
+/// Generator of true ambient sound levels around a simulated user.
+#[derive(Debug, Clone)]
+pub struct SoundEnvironment {
+    quiet_center_db: f64,
+    active_center_db: f64,
+}
+
+impl SoundEnvironment {
+    /// Reference quiet-environment level (dB(A)) before model bias.
+    pub const QUIET_DB: f64 = 32.0;
+    /// Reference active-environment level (dB(A)) before model bias.
+    pub const ACTIVE_DB: f64 = 65.0;
+
+    /// Creates the reference environment (no model bias — biases belong to
+    /// the microphone, but tests may build shifted environments).
+    pub fn new() -> Self {
+        Self {
+            quiet_center_db: Self::QUIET_DB,
+            active_center_db: Self::ACTIVE_DB,
+        }
+    }
+
+    /// Probability that the user is in an active (noisy) environment at
+    /// this hour: low overnight, elevated through the day and the evening.
+    pub fn active_weight(at: SimTime, activity: Activity) -> f64 {
+        let h = at.fractional_hour();
+        // Smooth day curve: near 0.05 at 4 am, near 0.35 around 6 pm.
+        let diurnal = 0.2 + 0.15 * ((h - 18.0) * std::f64::consts::PI / 12.0).cos();
+        let base = diurnal.clamp(0.05, 0.4);
+        // Moving users are far more likely to be in active environments.
+        if activity.is_moving() {
+            (base + 0.45).min(0.9)
+        } else {
+            base
+        }
+    }
+
+    /// Samples the true ambient level at `at` for a user doing `activity`.
+    pub fn sample(&self, at: SimTime, activity: Activity, rng: &mut SimRng) -> SoundLevel {
+        if rng.chance(Self::active_weight(at, activity)) {
+            SoundLevel::new(rng.normal(self.active_center_db, 8.0))
+        } else {
+            SoundLevel::new(rng.normal(self.quiet_center_db, 4.0))
+        }
+    }
+}
+
+impl Default for SoundEnvironment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A phone microphone: model bias + per-device jitter + noise, clamped to
+/// the sensor's floor and saturation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Microphone {
+    model_offset_db: f64,
+    device_jitter_db: f64,
+    noise_db: f64,
+    floor_db: f64,
+    saturation_db: f64,
+}
+
+impl Microphone {
+    /// Standard deviation of the per-device jitter around the model bias
+    /// (small: Figure 15 shows devices of one model closely aligned).
+    pub const DEVICE_JITTER_STD_DB: f64 = 0.8;
+
+    /// Creates the microphone of one physical device of `profile`'s model;
+    /// the per-device jitter is drawn once from `rng` at construction.
+    pub fn for_device(profile: &ModelProfile, rng: &mut SimRng) -> Self {
+        Self {
+            model_offset_db: profile.spl_offset_db,
+            device_jitter_db: rng.normal(0.0, Self::DEVICE_JITTER_STD_DB),
+            noise_db: 1.5,
+            floor_db: 18.0 + profile.spl_offset_db,
+            saturation_db: 100.0,
+        }
+    }
+
+    /// The fixed bias of this physical device (model offset + unit
+    /// jitter) — what per-model calibration estimates.
+    pub fn bias_db(&self) -> f64 {
+        self.model_offset_db + self.device_jitter_db
+    }
+
+    /// Measures a true ambient level: raw SPL as the app would report it.
+    pub fn measure(&self, truth: SoundLevel, rng: &mut SimRng) -> SoundLevel {
+        let raw = truth.db() + self.bias_db() + rng.normal(0.0, self.noise_db);
+        SoundLevel::new(raw).clamp(self.floor_db, self.saturation_db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mps_types::DeviceModel;
+
+    fn rng() -> SimRng {
+        SimRng::new(1234)
+    }
+
+    #[test]
+    fn active_weight_bounds() {
+        for hour in 0..24 {
+            let t = SimTime::from_hms(0, hour, 0, 0);
+            let w = SoundEnvironment::active_weight(t, Activity::Still);
+            assert!((0.0..=1.0).contains(&w), "hour {hour}: {w}");
+        }
+    }
+
+    #[test]
+    fn evening_is_noisier_than_night() {
+        let night = SoundEnvironment::active_weight(SimTime::from_hms(0, 4, 0, 0), Activity::Still);
+        let evening =
+            SoundEnvironment::active_weight(SimTime::from_hms(0, 18, 0, 0), Activity::Still);
+        assert!(evening > night + 0.15, "evening {evening} vs night {night}");
+    }
+
+    #[test]
+    fn moving_users_hear_more_noise() {
+        let t = SimTime::from_hms(0, 12, 0, 0);
+        let still = SoundEnvironment::active_weight(t, Activity::Still);
+        let vehicle = SoundEnvironment::active_weight(t, Activity::Vehicle);
+        assert!(vehicle > still + 0.3);
+    }
+
+    #[test]
+    fn environment_is_bimodal() {
+        let env = SoundEnvironment::new();
+        let mut rng = rng();
+        let t = SimTime::from_hms(0, 15, 0, 0);
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| env.sample(t, Activity::Still, &mut rng).db())
+            .collect();
+        let quiet = samples.iter().filter(|s| **s < 45.0).count() as f64 / samples.len() as f64;
+        let active = samples.iter().filter(|s| **s > 55.0).count() as f64 / samples.len() as f64;
+        assert!(quiet > 0.55, "quiet mass {quiet}");
+        assert!(active > 0.1, "active mass {active}");
+        // Few samples in the valley between the modes.
+        let valley =
+            samples.iter().filter(|s| (45.0..=55.0).contains(*s)).count() as f64 / samples.len() as f64;
+        assert!(valley < 0.15, "valley mass {valley}");
+    }
+
+    #[test]
+    fn microphone_bias_shifts_measurements() {
+        let profile = ModelProfile::for_model(DeviceModel::SamsungGtI9505);
+        let mut r = rng();
+        let mic = Microphone::for_device(&profile, &mut r);
+        let truth = SoundLevel::new(60.0);
+        let n = 5_000;
+        let mean: f64 = (0..n).map(|_| mic.measure(truth, &mut r).db()).sum::<f64>() / n as f64;
+        assert!(
+            (mean - 60.0 - mic.bias_db()).abs() < 0.2,
+            "mean {mean}, bias {}",
+            mic.bias_db()
+        );
+    }
+
+    #[test]
+    fn devices_of_one_model_are_similar() {
+        let profile = ModelProfile::for_model(DeviceModel::SamsungSmG901f);
+        let mut r = rng();
+        let mics: Vec<Microphone> = (0..50).map(|_| Microphone::for_device(&profile, &mut r)).collect();
+        let biases: Vec<f64> = mics.iter().map(Microphone::bias_db).collect();
+        let mean = biases.iter().sum::<f64>() / biases.len() as f64;
+        let spread = biases
+            .iter()
+            .map(|b| (b - mean).abs())
+            .fold(0.0f64, f64::max);
+        assert!(spread < 3.0, "per-device spread {spread} too wide");
+        assert!((mean - profile.spl_offset_db).abs() < 0.5);
+    }
+
+    #[test]
+    fn models_differ_more_than_devices() {
+        let mut r = rng();
+        let p1 = ModelProfile::all()
+            .into_iter()
+            .map(|p| p.spl_offset_db)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let p2 = ModelProfile::all()
+            .into_iter()
+            .map(|p| p.spl_offset_db)
+            .fold(f64::INFINITY, f64::min);
+        let model_spread = p1 - p2;
+        let profile = ModelProfile::for_model(DeviceModel::SonyD6603);
+        let device_biases: Vec<f64> = (0..50)
+            .map(|_| Microphone::for_device(&profile, &mut r).bias_db())
+            .collect();
+        let dmin = device_biases.iter().cloned().fold(f64::INFINITY, f64::min);
+        let dmax = device_biases.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(model_spread > (dmax - dmin), "models must dominate heterogeneity");
+    }
+
+    #[test]
+    fn floor_and_saturation_clamp() {
+        let profile = ModelProfile::for_model(DeviceModel::LgeNexus5);
+        let mut r = rng();
+        let mic = Microphone::for_device(&profile, &mut r);
+        let silent = mic.measure(SoundLevel::new(0.0), &mut r);
+        assert!(silent.db() >= 18.0 + profile.spl_offset_db - 1e-9);
+        let blast = mic.measure(SoundLevel::new(140.0), &mut r);
+        assert!(blast.db() <= 100.0);
+    }
+}

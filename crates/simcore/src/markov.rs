@@ -1,0 +1,235 @@
+//! Finite-state Markov chains.
+
+use crate::SimRng;
+use std::fmt;
+
+/// A finite-state discrete-time Markov chain over states of type `T`.
+///
+/// Drives the user-activity model (Figure 21 of the paper): states are
+/// activity classes, and the stationary distribution of the chain is tuned
+/// to the published shares (still ≈ 70 %, moving < 10 %, …).
+///
+/// # Examples
+///
+/// ```
+/// use mps_simcore::{MarkovChain, SimRng};
+///
+/// let chain = MarkovChain::new(
+///     vec!["sunny", "rainy"],
+///     vec![vec![0.9, 0.1], vec![0.5, 0.5]],
+/// ).unwrap();
+/// let mut rng = SimRng::new(1);
+/// let mut state = 0;
+/// for _ in 0..10 {
+///     state = chain.step(state, &mut rng);
+/// }
+/// assert!(state < 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MarkovChain<T> {
+    states: Vec<T>,
+    /// Row-stochastic transition matrix.
+    transitions: Vec<Vec<f64>>,
+}
+
+/// Error constructing a [`MarkovChain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MarkovChainError {
+    /// The state list was empty.
+    NoStates,
+    /// The transition matrix is not `n x n`.
+    BadShape,
+    /// A row's probabilities do not sum to 1 (within 1e-6) or contain a
+    /// negative/non-finite entry; carries the row index.
+    BadRow(usize),
+}
+
+impl fmt::Display for MarkovChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovChainError::NoStates => write!(f, "markov chain needs at least one state"),
+            MarkovChainError::BadShape => write!(f, "transition matrix is not square"),
+            MarkovChainError::BadRow(i) => {
+                write!(f, "transition row {i} is not a probability distribution")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MarkovChainError {}
+
+impl<T> MarkovChain<T> {
+    /// Creates a chain from states and a row-stochastic transition matrix
+    /// (`transitions[i][j]` is the probability of moving from state `i` to
+    /// state `j`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix is not square, a row does not sum to
+    /// one, or any entry is negative or non-finite.
+    pub fn new(states: Vec<T>, transitions: Vec<Vec<f64>>) -> Result<Self, MarkovChainError> {
+        let n = states.len();
+        if n == 0 {
+            return Err(MarkovChainError::NoStates);
+        }
+        if transitions.len() != n {
+            return Err(MarkovChainError::BadShape);
+        }
+        for (i, row) in transitions.iter().enumerate() {
+            if row.len() != n {
+                return Err(MarkovChainError::BadShape);
+            }
+            let mut total = 0.0;
+            for p in row {
+                if !p.is_finite() || *p < 0.0 {
+                    return Err(MarkovChainError::BadRow(i));
+                }
+                total += p;
+            }
+            if (total - 1.0).abs() > 1e-6 {
+                return Err(MarkovChainError::BadRow(i));
+            }
+        }
+        Ok(Self {
+            states,
+            transitions,
+        })
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the chain has no states (never true for a constructed chain).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The states, in index order.
+    pub fn states(&self) -> &[T] {
+        &self.states
+    }
+
+    /// The state at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn state(&self, index: usize) -> &T {
+        &self.states[index]
+    }
+
+    /// Samples the successor of state `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= self.len()`.
+    pub fn step(&self, from: usize, rng: &mut SimRng) -> usize {
+        rng.weighted_index(&self.transitions[from])
+    }
+
+    /// Estimates the stationary distribution by power iteration from the
+    /// uniform distribution (`iters` matrix-vector products).
+    pub fn stationary(&self, iters: usize) -> Vec<f64> {
+        let n = self.len();
+        let mut dist = vec![1.0 / n as f64; n];
+        for _ in 0..iters {
+            let mut next = vec![0.0; n];
+            for (i, p) in dist.iter().enumerate() {
+                for (j, q) in self.transitions[i].iter().enumerate() {
+                    next[j] += p * q;
+                }
+            }
+            dist = next;
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> MarkovChain<&'static str> {
+        MarkovChain::new(
+            vec!["a", "b"],
+            vec![vec![0.9, 0.1], vec![0.3, 0.7]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            MarkovChain::<u8>::new(vec![], vec![]).unwrap_err(),
+            MarkovChainError::NoStates
+        );
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let err = MarkovChain::new(vec!["a", "b"], vec![vec![1.0, 0.0]]).unwrap_err();
+        assert_eq!(err, MarkovChainError::BadShape);
+        let err = MarkovChain::new(vec!["a"], vec![vec![0.5, 0.5]]).unwrap_err();
+        assert_eq!(err, MarkovChainError::BadShape);
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        let err = MarkovChain::new(vec!["a", "b"], vec![vec![0.6, 0.6], vec![0.5, 0.5]])
+            .unwrap_err();
+        assert_eq!(err, MarkovChainError::BadRow(0));
+        let err = MarkovChain::new(vec!["a", "b"], vec![vec![0.5, 0.5], vec![1.5, -0.5]])
+            .unwrap_err();
+        assert_eq!(err, MarkovChainError::BadRow(1));
+    }
+
+    #[test]
+    fn step_stays_in_range() {
+        let chain = two_state();
+        let mut rng = SimRng::new(3);
+        let mut s = 0;
+        for _ in 0..1000 {
+            s = chain.step(s, &mut rng);
+            assert!(s < 2);
+        }
+    }
+
+    #[test]
+    fn empirical_distribution_matches_stationary() {
+        let chain = two_state();
+        // Stationary: pi_a * 0.1 = pi_b * 0.3 => pi_a = 0.75, pi_b = 0.25.
+        let pi = chain.stationary(200);
+        assert!((pi[0] - 0.75).abs() < 1e-9, "{pi:?}");
+
+        let mut rng = SimRng::new(9);
+        let mut s = 0;
+        let n = 200_000;
+        let mut count_a = 0;
+        for _ in 0..n {
+            s = chain.step(s, &mut rng);
+            if s == 0 {
+                count_a += 1;
+            }
+        }
+        let freq = count_a as f64 / n as f64;
+        assert!((freq - 0.75).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn accessors() {
+        let chain = two_state();
+        assert_eq!(chain.len(), 2);
+        assert!(!chain.is_empty());
+        assert_eq!(chain.states(), &["a", "b"]);
+        assert_eq!(*chain.state(1), "b");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(MarkovChainError::BadRow(3).to_string().contains('3'));
+        assert!(!MarkovChainError::NoStates.to_string().is_empty());
+        assert!(!MarkovChainError::BadShape.to_string().is_empty());
+    }
+}

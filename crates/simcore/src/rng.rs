@@ -1,0 +1,383 @@
+//! Seeded, splittable random-number generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random-number generator for simulations.
+///
+/// `SimRng` wraps a seeded [`StdRng`] and adds two things the models need:
+///
+/// * **Splitting** — [`SimRng::split`] derives an independent child stream
+///   from a label, so each simulated entity (device, user, sensor) gets its
+///   own deterministic stream regardless of the order in which other
+///   entities consume randomness. This is what makes the deployment replay
+///   reproducible under refactoring.
+/// * **Distribution samplers** — normal, log-normal, exponential, bounded
+///   Pareto and weighted choice, implemented directly (inverse-CDF /
+///   Box-Muller) so their behaviour is pinned by this crate's tests rather
+///   than by an external distribution library.
+///
+/// # Examples
+///
+/// ```
+/// use mps_simcore::SimRng;
+/// use rand::RngCore;
+///
+/// let mut root = SimRng::new(42);
+/// let mut device_7 = root.split("device", 7);
+/// let spl = 30.0 + device_7.normal(0.0, 2.0);
+/// assert!(spl.is_finite());
+///
+/// // Splitting is deterministic: same label, same stream.
+/// let mut again = SimRng::new(42).split("device", 7);
+/// assert_eq!(again.next_u64(), SimRng::new(42).split("device", 7).next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    inner: StdRng,
+}
+
+/// SplitMix64 finaliser — used to derive child seeds with good avalanche
+/// behaviour from (seed, label, index) triples.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a hash of a label string, for seed derivation.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl SimRng {
+    /// Creates a generator from an experiment seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            inner: StdRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator for entity `index` of the
+    /// stream named `label`.
+    ///
+    /// The child depends only on `(self.seed, label, index)` — not on how
+    /// much randomness has been consumed from `self` — so per-entity streams
+    /// stay stable when unrelated code draws more or fewer samples.
+    pub fn split(&self, label: &str, index: u64) -> SimRng {
+        let child_seed = splitmix64(self.seed ^ fnv1a(label)).wrapping_add(splitmix64(index));
+        SimRng::new(child_seed)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Normal sample with the given mean and standard deviation
+    /// (Box-Muller transform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative std dev {std_dev}");
+        // Box-Muller; avoid ln(0) by sampling u1 from (0, 1].
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Log-normal sample: `exp(N(mu, sigma))`, i.e. `mu`/`sigma` are the
+    /// mean/std-dev of the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Exponential sample with the given mean (inverse-CDF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive, got {mean}");
+        let u = 1.0 - self.uniform(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Bounded Pareto sample on `[lo, hi]` with tail exponent `alpha` —
+    /// used for heavy-tailed disconnection periods (Figure 17).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `alpha > 0`.
+    pub fn pareto_bounded(&mut self, lo: f64, hi: f64, alpha: f64) -> f64 {
+        assert!(lo > 0.0 && hi > lo && alpha > 0.0, "bad pareto params");
+        let u = self.uniform();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        // Inverse CDF of the bounded Pareto distribution.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+
+    /// Picks an index with probability proportional to `weights[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f64 = weights
+            .iter()
+            .map(|w| {
+                assert!(w.is_finite() && *w >= 0.0, "bad weight {w}");
+                *w
+            })
+            .sum();
+        assert!(total > 0.0, "weights sum to zero");
+        let mut x = self.uniform() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1 // floating-point slack: last positive weight wins
+    }
+
+    /// Picks a reference from `items` uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Fisher-Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(8);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn split_is_independent_of_consumption() {
+        let mut root = SimRng::new(99);
+        let _ = root.next_u64(); // consume some randomness
+        let mut child_after = root.split("dev", 3);
+        let mut child_fresh = SimRng::new(99).split("dev", 3);
+        assert_eq!(child_after.next_u64(), child_fresh.next_u64());
+    }
+
+    #[test]
+    fn split_streams_differ_by_label_and_index() {
+        let root = SimRng::new(1);
+        let a = root.split("device", 0).next_u64();
+        let b = root.split("device", 1).next_u64();
+        let c = root.split("user", 0).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_stays_in_unit_interval() {
+        let mut rng = SimRng::new(5);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = SimRng::new(5);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::new(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SimRng::new(13);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = SimRng::new(17);
+        for _ in 0..10_000 {
+            assert!(rng.log_normal(1.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_bounds() {
+        let mut rng = SimRng::new(19);
+        for _ in 0..10_000 {
+            let x = rng.pareto_bounded(1.0, 100.0, 1.2);
+            assert!((1.0..=100.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        // Median far below mean for small alpha.
+        let mut rng = SimRng::new(23);
+        let n = 50_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| rng.pareto_bounded(1.0, 1000.0, 0.8)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!(mean > 3.0 * median, "mean {mean}, median {median}");
+    }
+
+    #[test]
+    fn weighted_index_matches_weights() {
+        let mut rng = SimRng::new(29);
+        let weights = [0.7, 0.2, 0.1];
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        for (i, w) in weights.iter().enumerate() {
+            let freq = counts[i] as f64 / n as f64;
+            assert!((freq - w).abs() < 0.01, "weight {i}: {freq} vs {w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weights sum to zero")]
+    fn weighted_index_rejects_zero_total() {
+        let _ = SimRng::new(1).weighted_index(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn index_rejects_empty_range() {
+        let _ = SimRng::new(1).index(0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(31);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(rng.chance(2.0)); // clamped
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::new(37);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left input sorted (astronomically unlikely)");
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut rng = SimRng::new(41);
+        let items = ["a", "b", "c"];
+        for _ in 0..100 {
+            assert!(items.contains(rng.pick(&items)));
+        }
+    }
+}

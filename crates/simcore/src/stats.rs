@@ -1,0 +1,321 @@
+//! Online statistics and quantile helpers.
+//!
+//! The empirical analyses aggregate millions of simulated observations;
+//! [`Running`] accumulates moments in O(1) memory (Welford's algorithm),
+//! and [`percentile`] computes quantiles from sorted samples for the CDF
+//! analyses (Figure 17).
+
+/// Online accumulator of count, mean, variance, min and max.
+///
+/// # Examples
+///
+/// ```
+/// use mps_simcore::stats::Running;
+///
+/// let mut acc = Running::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.count(), 8);
+/// assert_eq!(acc.mean(), 5.0);
+/// assert_eq!(acc.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`), or 0 for fewer than 1 sample.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n - 1`), or 0 for fewer than 2 samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Running) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for Running {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Running {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Running::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+/// Linear-interpolation percentile of a **sorted** slice; `q` in `[0, 1]`.
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use mps_simcore::stats::percentile;
+///
+/// let sorted = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&sorted, 0.0), Some(1.0));
+/// assert_eq!(percentile(&sorted, 0.5), Some(2.5));
+/// assert_eq!(percentile(&sorted, 1.0), Some(4.0));
+/// ```
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if sorted.is_empty() {
+        return None;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Fraction of a **sorted** slice at or below `threshold` — one point of an
+/// empirical CDF. Returns 0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use mps_simcore::stats::cdf_at;
+///
+/// let sorted = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(cdf_at(&sorted, 2.5), 0.5);
+/// ```
+pub fn cdf_at(sorted: &[f64], threshold: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let count = sorted.partition_point(|x| *x <= threshold);
+    count as f64 / sorted.len() as f64
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `None` if the slices differ in length, have fewer than two
+/// points, or either has zero variance.
+///
+/// # Examples
+///
+/// ```
+/// use mps_simcore::stats::pearson;
+///
+/// let x = [1.0, 2.0, 3.0];
+/// let y = [2.0, 4.0, 6.0];
+/// assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx).powi(2);
+        vy += (b - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_moments() {
+        let acc: Running = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(acc.count(), 8);
+        assert_eq!(acc.mean(), 5.0);
+        assert_eq!(acc.population_variance(), 4.0);
+        assert_eq!(acc.std_dev(), 2.0);
+        assert!((acc.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(acc.min(), Some(2.0));
+        assert_eq!(acc.max(), Some(9.0));
+    }
+
+    #[test]
+    fn running_empty() {
+        let acc = Running::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.population_variance(), 0.0);
+        assert_eq!(acc.sample_variance(), 0.0);
+        assert_eq!(acc.min(), None);
+        assert_eq!(acc.max(), None);
+    }
+
+    #[test]
+    fn running_single_sample() {
+        let mut acc = Running::new();
+        acc.push(3.5);
+        assert_eq!(acc.mean(), 3.5);
+        assert_eq!(acc.sample_variance(), 0.0);
+        assert_eq!(acc.min(), Some(3.5));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let all: Running = data.iter().copied().collect();
+        let mut left: Running = data[..37].iter().copied().collect();
+        let right: Running = data[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-12);
+        assert!((left.population_variance() - all.population_variance()).abs() < 1e-10);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut acc: Running = [1.0, 2.0].into_iter().collect();
+        let before = acc.clone();
+        acc.merge(&Running::new());
+        assert_eq!(acc, before);
+
+        let mut empty = Running::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&sorted, 0.25), Some(20.0));
+        assert_eq!(percentile(&sorted, 0.5), Some(30.0));
+        assert_eq!(percentile(&sorted, 0.9), Some(46.0));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn percentile_rejects_bad_quantile() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn cdf_at_boundaries() {
+        let sorted = [1.0, 2.0, 2.0, 3.0];
+        assert_eq!(cdf_at(&sorted, 0.5), 0.0);
+        assert_eq!(cdf_at(&sorted, 2.0), 0.75);
+        assert_eq!(cdf_at(&sorted, 10.0), 1.0);
+        assert_eq!(cdf_at(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn pearson_signs() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up = [1.0, 2.0, 3.0, 4.0];
+        let down = [4.0, 3.0, 2.0, 1.0];
+        assert!((pearson(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None); // zero variance
+    }
+}

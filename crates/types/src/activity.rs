@@ -1,0 +1,144 @@
+//! User activity classes.
+//!
+//! SoundCity records the Android activity-recognition class alongside each
+//! measurement. The paper's Figure 21 analyses the distribution of these
+//! classes: the crowd is *still* about 70 % of the time, moving less than
+//! 10 %, and unqualified (confidence below 80 %) about 20 % of the time.
+
+use crate::error::ParseEnumError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Activity class attached to an observation, mirroring the categories in
+/// Figure 21 of the paper (`undefined`, `unknown`, `tilting`, `still`,
+/// `foot`, `bicycle`, `vehicle`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(rename_all = "lowercase")]
+pub enum Activity {
+    /// No recognition result was available at capture time.
+    Undefined,
+    /// The recogniser ran but its confidence was below the 80 % threshold.
+    Unknown,
+    /// The device orientation changed significantly (picked up, rotated).
+    Tilting,
+    /// The device is at rest.
+    Still,
+    /// The user is walking or running.
+    Foot,
+    /// The user is riding a bicycle.
+    Bicycle,
+    /// The user is in a road vehicle.
+    Vehicle,
+}
+
+impl Activity {
+    /// All classes, in the paper's reporting order (Figure 21).
+    pub const ALL: [Activity; 7] = [
+        Activity::Undefined,
+        Activity::Unknown,
+        Activity::Tilting,
+        Activity::Still,
+        Activity::Foot,
+        Activity::Bicycle,
+        Activity::Vehicle,
+    ];
+
+    /// Lower-case class name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activity::Undefined => "undefined",
+            Activity::Unknown => "unknown",
+            Activity::Tilting => "tilting",
+            Activity::Still => "still",
+            Activity::Foot => "foot",
+            Activity::Bicycle => "bicycle",
+            Activity::Vehicle => "vehicle",
+        }
+    }
+
+    /// Whether the class indicates the user is in motion (`foot`, `bicycle`
+    /// or `vehicle`).
+    pub fn is_moving(self) -> bool {
+        matches!(self, Activity::Foot | Activity::Bicycle | Activity::Vehicle)
+    }
+
+    /// Whether the class could not be qualified (`undefined` or `unknown`) —
+    /// the paper groups these as "the activity cannot be characterized".
+    pub fn is_unqualified(self) -> bool {
+        matches!(self, Activity::Undefined | Activity::Unknown)
+    }
+}
+
+impl fmt::Display for Activity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Activity {
+    type Err = ParseEnumError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Activity::ALL
+            .iter()
+            .find(|a| a.name() == s)
+            .copied()
+            .ok_or_else(|| ParseEnumError::new("Activity", s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_seven_classes() {
+        assert_eq!(Activity::ALL.len(), 7);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for a in Activity::ALL {
+            assert_eq!(a.name().parse::<Activity>().unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_name() {
+        assert!("swimming".parse::<Activity>().is_err());
+    }
+
+    #[test]
+    fn moving_classes() {
+        let moving: Vec<_> = Activity::ALL.iter().filter(|a| a.is_moving()).collect();
+        assert_eq!(
+            moving,
+            vec![&Activity::Foot, &Activity::Bicycle, &Activity::Vehicle]
+        );
+    }
+
+    #[test]
+    fn unqualified_classes() {
+        assert!(Activity::Undefined.is_unqualified());
+        assert!(Activity::Unknown.is_unqualified());
+        assert!(!Activity::Still.is_unqualified());
+        assert!(!Activity::Tilting.is_unqualified());
+    }
+
+    #[test]
+    fn moving_and_unqualified_are_disjoint() {
+        for a in Activity::ALL {
+            assert!(!(a.is_moving() && a.is_unqualified()), "{a}");
+        }
+    }
+
+    #[test]
+    fn serde_uses_lowercase() {
+        assert_eq!(serde_json::to_string(&Activity::Still).unwrap(), "\"still\"");
+        let back: Activity = serde_json::from_str("\"vehicle\"").unwrap();
+        assert_eq!(back, Activity::Vehicle);
+    }
+}

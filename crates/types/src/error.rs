@@ -1,0 +1,81 @@
+//! Error types for parsing the crate's enumerations from strings.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing one of this crate's enumerations from a
+/// string fails.
+///
+/// Carries the name of the target type and the rejected input so error
+/// messages are actionable.
+///
+/// # Examples
+///
+/// ```
+/// use mps_types::LocationProvider;
+///
+/// let err = "teleport".parse::<LocationProvider>().unwrap_err();
+/// assert!(err.to_string().contains("teleport"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEnumError {
+    type_name: &'static str,
+    input: String,
+}
+
+impl ParseEnumError {
+    pub(crate) fn new(type_name: &'static str, input: &str) -> Self {
+        Self {
+            type_name,
+            input: input.to_owned(),
+        }
+    }
+
+    /// Name of the enumeration that failed to parse.
+    pub fn type_name(&self) -> &'static str {
+        self.type_name
+    }
+
+    /// The input string that was rejected.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseEnumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown {} value: {:?}",
+            self.type_name, self.input
+        )
+    }
+}
+
+impl Error for ParseEnumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_type_and_input() {
+        let err = ParseEnumError::new("Activity", "warp");
+        let msg = err.to_string();
+        assert!(msg.contains("Activity"));
+        assert!(msg.contains("warp"));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let err = ParseEnumError::new("DeviceModel", "IPHONE");
+        assert_eq!(err.type_name(), "DeviceModel");
+        assert_eq!(err.input(), "IPHONE");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseEnumError>();
+    }
+}

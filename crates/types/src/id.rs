@@ -1,0 +1,215 @@
+//! Strongly-typed identifiers.
+//!
+//! Newtypes keep device, user and client identifiers from being confused
+//! with one another (C-NEWTYPE): a [`DeviceId`] can never be passed where a
+//! [`UserId`] is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! numeric_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates an identifier from its raw numeric value.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw numeric value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+numeric_id!(
+    /// Identifier of a physical device (a phone) contributing observations.
+    DeviceId,
+    "dev-"
+);
+
+numeric_id!(
+    /// Identifier of a participating user. A user owns exactly one device in
+    /// the simulated deployment, mirroring the paper's per-device accounting.
+    UserId,
+    "user-"
+);
+
+/// Identifier of a mobile client session as known to the GoFlow server.
+///
+/// In the real system this is a shared secret between client and server,
+/// used as a filtering parameter on the client exchange binding (Section
+/// 3.2 of the paper). We model it as an opaque string token.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ClientId(String);
+
+impl ClientId {
+    /// Creates a client identifier from a token string.
+    pub fn new(token: impl Into<String>) -> Self {
+        Self(token.into())
+    }
+
+    /// Returns the token as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ClientId {
+    fn from(token: &str) -> Self {
+        Self(token.to_owned())
+    }
+}
+
+impl From<String> for ClientId {
+    fn from(token: String) -> Self {
+        Self(token)
+    }
+}
+
+impl AsRef<str> for ClientId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Identifier of an application registered with the GoFlow server.
+///
+/// The GoFlow server may host contributions from multiple MPS applications;
+/// each gets its own exchange and storage collection. The paper's instance
+/// is the `SC` (SoundCity) application.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct AppId(String);
+
+impl AppId {
+    /// Creates an application identifier.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// The application id used throughout the paper's experiment.
+    pub fn soundcity() -> Self {
+        Self("SC".to_owned())
+    }
+
+    /// Returns the identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for AppId {
+    fn from(name: &str) -> Self {
+        Self(name.to_owned())
+    }
+}
+
+impl From<String> for AppId {
+    fn from(name: String) -> Self {
+        Self(name)
+    }
+}
+
+impl AsRef<str> for AppId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_ids_round_trip_raw() {
+        let id = DeviceId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(DeviceId::from(42u64), id);
+    }
+
+    #[test]
+    fn numeric_ids_display_with_prefix() {
+        assert_eq!(DeviceId::new(7).to_string(), "dev-7");
+        assert_eq!(UserId::new(7).to_string(), "user-7");
+    }
+
+    #[test]
+    fn numeric_ids_are_distinct_types() {
+        // This is a compile-time property; here we only check values.
+        assert_eq!(DeviceId::new(1).raw(), UserId::new(1).raw());
+    }
+
+    #[test]
+    fn client_id_conversions() {
+        let id = ClientId::from("secret-token");
+        assert_eq!(id.as_str(), "secret-token");
+        assert_eq!(id.as_ref(), "secret-token");
+        assert_eq!(id.to_string(), "secret-token");
+        assert_eq!(ClientId::new(String::from("secret-token")), id);
+    }
+
+    #[test]
+    fn app_id_soundcity_is_sc() {
+        assert_eq!(AppId::soundcity().as_str(), "SC");
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let id = DeviceId::new(9);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "9");
+        let back: DeviceId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+
+        let app = AppId::soundcity();
+        assert_eq!(serde_json::to_string(&app).unwrap(), "\"SC\"");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(DeviceId::new(1) < DeviceId::new(2));
+        assert!(ClientId::from("a") < ClientId::from("b"));
+    }
+}

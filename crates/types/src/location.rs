@@ -1,0 +1,179 @@
+//! Location fixes and providers.
+//!
+//! Android offers three location sources (Section 5.1 of the paper): GPS,
+//! network (cell/Wi-Fi), and *fused*, which blends both while optimising
+//! energy. Each fix comes with an accuracy estimate in metres; the paper's
+//! Figures 10–13 analyse the distribution of those estimates per provider.
+
+use crate::error::ParseEnumError;
+use crate::geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The Android location source that produced a fix.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(rename_all = "lowercase")]
+pub enum LocationProvider {
+    /// Satellite positioning: highest accuracy (most fixes in 6–20 m), but
+    /// energy-hungry and only ~7 % of the paper's localized observations.
+    Gps,
+    /// Cell-tower / Wi-Fi positioning: 86 % of localized observations,
+    /// typically 20–50 m accuracy.
+    Network,
+    /// Android fused provider: blends GPS and network; ~7 % of localized
+    /// observations with rather low accuracy in the paper's data.
+    Fused,
+}
+
+impl LocationProvider {
+    /// All providers, in the paper's reporting order.
+    pub const ALL: [LocationProvider; 3] = [
+        LocationProvider::Gps,
+        LocationProvider::Network,
+        LocationProvider::Fused,
+    ];
+
+    /// Lower-case name as reported by Android (`"gps"`, `"network"`,
+    /// `"fused"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            LocationProvider::Gps => "gps",
+            LocationProvider::Network => "network",
+            LocationProvider::Fused => "fused",
+        }
+    }
+}
+
+impl fmt::Display for LocationProvider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for LocationProvider {
+    type Err = ParseEnumError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "gps" => Ok(LocationProvider::Gps),
+            "network" => Ok(LocationProvider::Network),
+            "fused" => Ok(LocationProvider::Fused),
+            _ => Err(ParseEnumError::new("LocationProvider", s)),
+        }
+    }
+}
+
+/// A location fix attached to an observation: a position, the provider that
+/// produced it, and Android's accuracy estimate (the radius, in metres,
+/// within which the true position lies with 68 % confidence).
+///
+/// # Examples
+///
+/// ```
+/// use mps_types::{GeoPoint, LocationFix, LocationProvider};
+///
+/// let fix = LocationFix::new(GeoPoint::PARIS, 35.0, LocationProvider::Network);
+/// assert!(fix.accuracy_m < 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocationFix {
+    /// Estimated position.
+    pub point: GeoPoint,
+    /// Accuracy estimate in metres.
+    pub accuracy_m: f64,
+    /// Source that produced the fix.
+    pub provider: LocationProvider,
+}
+
+impl LocationFix {
+    /// Creates a fix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accuracy_m` is negative or not finite.
+    pub fn new(point: GeoPoint, accuracy_m: f64, provider: LocationProvider) -> Self {
+        assert!(
+            accuracy_m.is_finite() && accuracy_m >= 0.0,
+            "accuracy must be finite and non-negative, got {accuracy_m}"
+        );
+        Self {
+            point,
+            accuracy_m,
+            provider,
+        }
+    }
+
+    /// Whether the fix meets a minimum accuracy requirement (i.e. its
+    /// accuracy radius is at most `max_radius_m`).
+    pub fn is_at_least_as_accurate_as(&self, max_radius_m: f64) -> bool {
+        self.accuracy_m <= max_radius_m
+    }
+}
+
+impl fmt::Display for LocationFix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ±{:.0}m [{}]", self.point, self.accuracy_m, self.provider)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provider_names_round_trip() {
+        for p in LocationProvider::ALL {
+            assert_eq!(p.name().parse::<LocationProvider>().unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn provider_rejects_unknown() {
+        assert!("wifi".parse::<LocationProvider>().is_err());
+    }
+
+    #[test]
+    fn provider_serde_is_lowercase() {
+        let json = serde_json::to_string(&LocationProvider::Gps).unwrap();
+        assert_eq!(json, "\"gps\"");
+    }
+
+    #[test]
+    fn fix_construction_and_accuracy_test() {
+        let fix = LocationFix::new(GeoPoint::PARIS, 30.0, LocationProvider::Network);
+        assert!(fix.is_at_least_as_accurate_as(50.0));
+        assert!(!fix.is_at_least_as_accurate_as(20.0));
+        assert!(fix.is_at_least_as_accurate_as(30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy must be finite")]
+    fn fix_rejects_negative_accuracy() {
+        let _ = LocationFix::new(GeoPoint::PARIS, -1.0, LocationProvider::Gps);
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy must be finite")]
+    fn fix_rejects_nan_accuracy() {
+        let _ = LocationFix::new(GeoPoint::PARIS, f64::NAN, LocationProvider::Gps);
+    }
+
+    #[test]
+    fn fix_display_is_informative() {
+        let fix = LocationFix::new(GeoPoint::new(48.85, 2.35), 25.0, LocationProvider::Gps);
+        let s = fix.to_string();
+        assert!(s.contains("gps"));
+        assert!(s.contains("25"));
+    }
+
+    #[test]
+    fn fix_serde_round_trip() {
+        let fix = LocationFix::new(GeoPoint::PARIS, 42.0, LocationProvider::Fused);
+        let json = serde_json::to_string(&fix).unwrap();
+        let back: LocationFix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fix);
+    }
+}

@@ -1,0 +1,355 @@
+//! The observation record.
+//!
+//! [`Observation`] is the unit of crowd-sensed data: one SPL measurement
+//! captured on a phone, optionally localized, tagged with the user's
+//! activity and the sensing mode, and carrying both the capture time and
+//! (once delivered) the server arrival time — the difference is the
+//! transmission delay analysed in Figure 17.
+
+use crate::{
+    Activity, AppVersion, DeviceId, DeviceModel, LocationFix, ParseEnumError, SimDuration,
+    SimTime, SoundLevel, UserId,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// How an observation was initiated (Section 6.2 of the paper).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(rename_all = "lowercase")]
+pub enum SensingMode {
+    /// Periodic background measurement (default: every 5 minutes).
+    Opportunistic,
+    /// The user pressed "sense now" on the home page.
+    Manual,
+    /// The user engaged in a Journey: participatory sensing along a path
+    /// with a user-chosen frequency.
+    Journey,
+}
+
+impl SensingMode {
+    /// All modes, in the paper's reporting order (Figure 20).
+    pub const ALL: [SensingMode; 3] = [
+        SensingMode::Opportunistic,
+        SensingMode::Manual,
+        SensingMode::Journey,
+    ];
+
+    /// Lower-case mode name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SensingMode::Opportunistic => "opportunistic",
+            SensingMode::Manual => "manual",
+            SensingMode::Journey => "journey",
+        }
+    }
+
+    /// Whether the user is consciously participating (manual or journey).
+    pub fn is_participatory(self) -> bool {
+        !matches!(self, SensingMode::Opportunistic)
+    }
+}
+
+impl fmt::Display for SensingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SensingMode {
+    type Err = ParseEnumError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SensingMode::ALL
+            .iter()
+            .find(|m| m.name() == s)
+            .copied()
+            .ok_or_else(|| ParseEnumError::new("SensingMode", s))
+    }
+}
+
+/// One crowd-sensed measurement.
+///
+/// Build observations with [`Observation::builder`]; the builder enforces
+/// the record's invariants (finite SPL, valid fix) while leaving optional
+/// context absent by default.
+///
+/// # Examples
+///
+/// ```
+/// use mps_types::{Activity, DeviceModel, Observation, SensingMode, SimTime, SoundLevel};
+///
+/// let obs = Observation::builder()
+///     .device(1.into())
+///     .user(1.into())
+///     .model(DeviceModel::LgeNexus5)
+///     .captured_at(SimTime::from_hms(10, 18, 0, 0))
+///     .spl(SoundLevel::new(62.5))
+///     .activity(Activity::Foot)
+///     .mode(SensingMode::Journey)
+///     .build();
+/// assert!(obs.mode.is_participatory());
+/// assert!(obs.delay().is_none()); // not delivered yet
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Contributing device.
+    pub device: DeviceId,
+    /// Contributing user.
+    pub user: UserId,
+    /// The device's model (one of the top-20).
+    pub model: DeviceModel,
+    /// Instant the measurement was captured on the phone.
+    pub captured_at: SimTime,
+    /// Instant the measurement reached the GoFlow server, if delivered.
+    pub arrived_at: Option<SimTime>,
+    /// The measured A-weighted sound pressure level.
+    pub spl: SoundLevel,
+    /// Location fix, when one was available (~40 % of observations).
+    pub location: Option<LocationFix>,
+    /// Recognised user activity at capture time.
+    pub activity: Activity,
+    /// How the measurement was initiated.
+    pub mode: SensingMode,
+    /// App version that captured the measurement.
+    pub app_version: AppVersion,
+}
+
+impl Observation {
+    /// Starts building an observation.
+    pub fn builder() -> ObservationBuilder {
+        ObservationBuilder::default()
+    }
+
+    /// Whether the observation carries a location fix.
+    pub fn is_localized(&self) -> bool {
+        self.location.is_some()
+    }
+
+    /// Transmission delay (arrival − capture), if the observation has been
+    /// delivered to the server.
+    pub fn delay(&self) -> Option<SimDuration> {
+        self.arrived_at.map(|a| a.since(self.captured_at))
+    }
+
+    /// Marks the observation as arrived at the server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the capture time — arrival cannot predate
+    /// capture.
+    pub fn mark_arrived(&mut self, at: SimTime) {
+        assert!(
+            at >= self.captured_at,
+            "arrival {at} precedes capture {}",
+            self.captured_at
+        );
+        self.arrived_at = Some(at);
+    }
+}
+
+/// Builder for [`Observation`] (see [`Observation::builder`]).
+#[derive(Debug, Clone, Default)]
+pub struct ObservationBuilder {
+    device: Option<DeviceId>,
+    user: Option<UserId>,
+    model: Option<DeviceModel>,
+    captured_at: Option<SimTime>,
+    arrived_at: Option<SimTime>,
+    spl: Option<SoundLevel>,
+    location: Option<LocationFix>,
+    activity: Option<Activity>,
+    mode: Option<SensingMode>,
+    app_version: Option<AppVersion>,
+}
+
+impl ObservationBuilder {
+    /// Sets the contributing device (required).
+    pub fn device(mut self, device: DeviceId) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Sets the contributing user (required).
+    pub fn user(mut self, user: UserId) -> Self {
+        self.user = Some(user);
+        self
+    }
+
+    /// Sets the device model (required).
+    pub fn model(mut self, model: DeviceModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Sets the capture instant (required).
+    pub fn captured_at(mut self, at: SimTime) -> Self {
+        self.captured_at = Some(at);
+        self
+    }
+
+    /// Sets the server arrival instant (optional; normally stamped by the
+    /// server via [`Observation::mark_arrived`]).
+    pub fn arrived_at(mut self, at: SimTime) -> Self {
+        self.arrived_at = Some(at);
+        self
+    }
+
+    /// Sets the measured sound level (required).
+    pub fn spl(mut self, spl: SoundLevel) -> Self {
+        self.spl = Some(spl);
+        self
+    }
+
+    /// Attaches a location fix (optional).
+    pub fn location(mut self, fix: LocationFix) -> Self {
+        self.location = Some(fix);
+        self
+    }
+
+    /// Sets the recognised activity (defaults to [`Activity::Undefined`]).
+    pub fn activity(mut self, activity: Activity) -> Self {
+        self.activity = Some(activity);
+        self
+    }
+
+    /// Sets the sensing mode (defaults to [`SensingMode::Opportunistic`]).
+    pub fn mode(mut self, mode: SensingMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Sets the capturing app version (defaults to [`AppVersion::V1_1`]).
+    pub fn app_version(mut self, version: AppVersion) -> Self {
+        self.app_version = Some(version);
+        self
+    }
+
+    /// Builds the observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a required field (device, user, model, capture time, SPL)
+    /// is missing, or if an arrival time precedes the capture time.
+    pub fn build(self) -> Observation {
+        let captured_at = self.captured_at.expect("captured_at is required");
+        if let Some(arrived) = self.arrived_at {
+            assert!(
+                arrived >= captured_at,
+                "arrival {arrived} precedes capture {captured_at}"
+            );
+        }
+        Observation {
+            device: self.device.expect("device is required"),
+            user: self.user.expect("user is required"),
+            model: self.model.expect("model is required"),
+            captured_at,
+            arrived_at: self.arrived_at,
+            spl: self.spl.expect("spl is required"),
+            location: self.location,
+            activity: self.activity.unwrap_or(Activity::Undefined),
+            mode: self.mode.unwrap_or(SensingMode::Opportunistic),
+            app_version: self.app_version.unwrap_or(AppVersion::V1_1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GeoPoint, LocationProvider};
+
+    fn base() -> ObservationBuilder {
+        Observation::builder()
+            .device(1.into())
+            .user(2.into())
+            .model(DeviceModel::SamsungGtI9505)
+            .captured_at(SimTime::from_hms(0, 12, 0, 0))
+            .spl(SoundLevel::new(58.0))
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let obs = base().build();
+        assert_eq!(obs.activity, Activity::Undefined);
+        assert_eq!(obs.mode, SensingMode::Opportunistic);
+        assert_eq!(obs.app_version, AppVersion::V1_1);
+        assert!(!obs.is_localized());
+        assert!(obs.delay().is_none());
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let fix = LocationFix::new(GeoPoint::PARIS, 20.0, LocationProvider::Gps);
+        let obs = base()
+            .location(fix)
+            .activity(Activity::Vehicle)
+            .mode(SensingMode::Manual)
+            .app_version(AppVersion::V1_3)
+            .build();
+        assert!(obs.is_localized());
+        assert_eq!(obs.location.unwrap().provider, LocationProvider::Gps);
+        assert_eq!(obs.activity, Activity::Vehicle);
+        assert_eq!(obs.mode, SensingMode::Manual);
+        assert_eq!(obs.app_version, AppVersion::V1_3);
+    }
+
+    #[test]
+    #[should_panic(expected = "spl is required")]
+    fn builder_requires_spl() {
+        let _ = Observation::builder()
+            .device(1.into())
+            .user(1.into())
+            .model(DeviceModel::LgeNexus4)
+            .captured_at(SimTime::EPOCH)
+            .build();
+    }
+
+    #[test]
+    fn delay_is_arrival_minus_capture() {
+        let mut obs = base().build();
+        obs.mark_arrived(obs.captured_at + SimDuration::from_secs(8));
+        assert_eq!(obs.delay().unwrap(), SimDuration::from_secs(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes capture")]
+    fn arrival_cannot_predate_capture() {
+        let mut obs = base().build();
+        obs.mark_arrived(obs.captured_at - SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes capture")]
+    fn builder_rejects_arrival_before_capture() {
+        let _ = base().arrived_at(SimTime::EPOCH).build();
+    }
+
+    #[test]
+    fn sensing_mode_participatory() {
+        assert!(!SensingMode::Opportunistic.is_participatory());
+        assert!(SensingMode::Manual.is_participatory());
+        assert!(SensingMode::Journey.is_participatory());
+    }
+
+    #[test]
+    fn sensing_mode_parse_round_trip() {
+        for m in SensingMode::ALL {
+            assert_eq!(m.name().parse::<SensingMode>().unwrap(), m);
+        }
+        assert!("passive".parse::<SensingMode>().is_err());
+    }
+
+    #[test]
+    fn observation_serde_round_trip() {
+        let fix = LocationFix::new(GeoPoint::PARIS, 35.0, LocationProvider::Network);
+        let mut obs = base().location(fix).mode(SensingMode::Journey).build();
+        obs.mark_arrived(obs.captured_at + SimDuration::from_mins(50));
+        let json = serde_json::to_string(&obs).unwrap();
+        let back: Observation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, obs);
+        assert_eq!(back.delay(), Some(SimDuration::from_mins(50)));
+    }
+}

@@ -1,0 +1,70 @@
+//! In-crate property tests over the domain types' invariants.
+
+use crate::{GeoBounds, GeoPoint, SimDuration, SimTime, SoundLevel};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bounds_lerp_always_inside(u in 0.0f64..=1.0, v in 0.0f64..=1.0) {
+        let b = GeoBounds::paris();
+        prop_assert!(b.contains(b.lerp(u, v)));
+    }
+
+    #[test]
+    fn distance_is_nonnegative_and_symmetric(
+        lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
+        lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
+    ) {
+        let a = GeoPoint::new(lat1, lon1);
+        let b = GeoPoint::new(lat2, lon2);
+        let d = a.distance_m(b);
+        prop_assert!(d >= 0.0);
+        prop_assert!((d - b.distance_m(a)).abs() < 1e-6);
+        prop_assert!(d < 2.1e7, "no distance exceeds half the circumference: {}", d);
+    }
+
+    #[test]
+    fn sound_combine_is_permutation_invariant(levels in prop::collection::vec(0.0f64..110.0, 1..8)) {
+        let forward = SoundLevel::combine(levels.iter().map(|l| SoundLevel::new(*l)));
+        let backward = SoundLevel::combine(levels.iter().rev().map(|l| SoundLevel::new(*l)));
+        prop_assert!((forward.db() - backward.db()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sound_combine_is_monotone_in_each_source(base in 30.0f64..90.0, extra in 0.0f64..90.0) {
+        let one = SoundLevel::combine([SoundLevel::new(base)]);
+        let two = SoundLevel::combine([SoundLevel::new(base), SoundLevel::new(extra)]);
+        prop_assert!(two.db() >= one.db() - 1e-9);
+    }
+
+    #[test]
+    fn leq_of_duplicated_samples_is_unchanged(db in 0.0f64..100.0, n in 1usize..20) {
+        let samples = vec![SoundLevel::new(db); n];
+        prop_assert!((SoundLevel::leq(&samples).db() - db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_day_hour_decomposition(day in -500i64..500, hour in 0u32..24, min in 0u32..60) {
+        let t = SimTime::from_hms(day, hour, min, 0);
+        prop_assert_eq!(t.day(), day);
+        prop_assert_eq!(t.hour_of_day(), hour);
+        prop_assert_eq!(t.minute_of_hour(), min);
+    }
+
+    #[test]
+    fn duration_scaling_distributes(ms in -1_000_000i64..1_000_000, k in 1i64..50) {
+        let d = SimDuration::from_millis(ms);
+        prop_assert_eq!((d * k).as_millis(), ms * k);
+        prop_assert_eq!(((d * k) / k).as_millis(), ms);
+    }
+
+    #[test]
+    fn local_xy_magnitude_matches_haversine(dx in -10_000.0f64..10_000.0, dy in -10_000.0f64..10_000.0) {
+        let origin = GeoPoint::PARIS;
+        let p = GeoPoint::from_local_xy(origin, dx, dy);
+        let planar = (dx * dx + dy * dy).sqrt();
+        let sphere = origin.distance_m(p);
+        // At city scale the equirectangular projection is metre-accurate.
+        prop_assert!((planar - sphere).abs() < 0.5 + planar * 1e-3);
+    }
+}

@@ -1,0 +1,209 @@
+//! Sound pressure levels.
+//!
+//! SoundCity measures A-weighted sound pressure levels (SPL, in dB(A)) with
+//! the phone microphone. Levels are logarithmic: combining two sources adds
+//! their *energies*, not their decibel values, so [`SoundLevel`] provides
+//! energy-domain combination helpers used by the noise model and the
+//! assimilation engine.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// An A-weighted sound pressure level in dB(A).
+///
+/// # Examples
+///
+/// Two equal sources are 3 dB louder than one:
+///
+/// ```
+/// use mps_types::SoundLevel;
+///
+/// let one = SoundLevel::new(60.0);
+/// let two = SoundLevel::combine([one, one]);
+/// assert!((two.db() - 63.0103).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SoundLevel(f64);
+
+impl SoundLevel {
+    /// The practical silence floor used by the models (quietest anechoic
+    /// environments; phone microphones bottom out well above this).
+    pub const SILENCE: SoundLevel = SoundLevel(0.0);
+
+    /// Creates a level from a dB(A) value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `db` is not finite.
+    pub fn new(db: f64) -> Self {
+        assert!(db.is_finite(), "sound level must be finite, got {db}");
+        Self(db)
+    }
+
+    /// The level in dB(A).
+    pub const fn db(self) -> f64 {
+        self.0
+    }
+
+    /// The relative acoustic energy `10^(dB/10)` of the level.
+    pub fn energy(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Creates a level from a relative acoustic energy.
+    ///
+    /// Energies at or below zero map to [`SoundLevel::SILENCE`] (0 dB) to
+    /// keep the function total.
+    pub fn from_energy(energy: f64) -> Self {
+        if energy <= 0.0 || !energy.is_finite() {
+            SoundLevel::SILENCE
+        } else {
+            SoundLevel(10.0 * energy.log10())
+        }
+    }
+
+    /// Combines several sources by energy summation (the physically correct
+    /// way to add incoherent noise sources).
+    pub fn combine(levels: impl IntoIterator<Item = SoundLevel>) -> Self {
+        let total: f64 = levels.into_iter().map(SoundLevel::energy).sum();
+        SoundLevel::from_energy(total)
+    }
+
+    /// Energy-weighted equivalent continuous level (`Leq`) of a set of
+    /// samples — the paper's quantified-self statistics report daily `Leq`.
+    ///
+    /// Returns [`SoundLevel::SILENCE`] for an empty input.
+    pub fn leq(levels: &[SoundLevel]) -> Self {
+        if levels.is_empty() {
+            return SoundLevel::SILENCE;
+        }
+        let mean_energy = levels.iter().map(|l| l.energy()).sum::<f64>() / levels.len() as f64;
+        SoundLevel::from_energy(mean_energy)
+    }
+
+    /// Clamps the level into `[min, max]` dB(A) — used to model microphone
+    /// saturation and noise floors.
+    pub fn clamp(self, min: f64, max: f64) -> Self {
+        SoundLevel(self.0.clamp(min, max))
+    }
+}
+
+impl From<f64> for SoundLevel {
+    fn from(db: f64) -> Self {
+        SoundLevel::new(db)
+    }
+}
+
+impl From<SoundLevel> for f64 {
+    fn from(level: SoundLevel) -> f64 {
+        level.0
+    }
+}
+
+/// Shifts the level by a dB offset (calibration bias, attenuation).
+impl Add<f64> for SoundLevel {
+    type Output = SoundLevel;
+    fn add(self, offset_db: f64) -> SoundLevel {
+        SoundLevel(self.0 + offset_db)
+    }
+}
+
+/// Shifts the level down by a dB offset.
+impl Sub<f64> for SoundLevel {
+    type Output = SoundLevel;
+    fn sub(self, offset_db: f64) -> SoundLevel {
+        SoundLevel(self.0 - offset_db)
+    }
+}
+
+impl fmt::Display for SoundLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dB(A)", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_round_trips() {
+        for db in [0.0, 30.0, 55.5, 90.0] {
+            let level = SoundLevel::new(db);
+            let back = SoundLevel::from_energy(level.energy());
+            assert!((back.db() - db).abs() < 1e-9, "{db}");
+        }
+    }
+
+    #[test]
+    fn doubling_adds_three_db() {
+        let one = SoundLevel::new(70.0);
+        let two = SoundLevel::combine([one, one]);
+        assert!((two.db() - 73.0103).abs() < 1e-3);
+    }
+
+    #[test]
+    fn combine_is_dominated_by_loudest() {
+        let loud = SoundLevel::new(80.0);
+        let quiet = SoundLevel::new(40.0);
+        let both = SoundLevel::combine([loud, quiet]);
+        assert!((both.db() - 80.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn combine_empty_is_silence() {
+        assert_eq!(SoundLevel::combine([]), SoundLevel::SILENCE);
+    }
+
+    #[test]
+    fn leq_of_constant_signal_is_that_level() {
+        let samples = vec![SoundLevel::new(65.0); 10];
+        assert!((SoundLevel::leq(&samples).db() - 65.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leq_is_above_arithmetic_mean_for_varying_signal() {
+        let samples = vec![SoundLevel::new(40.0), SoundLevel::new(80.0)];
+        let leq = SoundLevel::leq(&samples).db();
+        assert!(leq > 60.0, "Leq {leq} should exceed the dB mean");
+        assert!((leq - 77.0).abs() < 0.2, "Leq {leq} ≈ 77");
+    }
+
+    #[test]
+    fn leq_empty_is_silence() {
+        assert_eq!(SoundLevel::leq(&[]), SoundLevel::SILENCE);
+    }
+
+    #[test]
+    fn from_energy_handles_degenerate_inputs() {
+        assert_eq!(SoundLevel::from_energy(0.0), SoundLevel::SILENCE);
+        assert_eq!(SoundLevel::from_energy(-5.0), SoundLevel::SILENCE);
+        assert_eq!(SoundLevel::from_energy(f64::INFINITY), SoundLevel::SILENCE);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn new_rejects_nan() {
+        let _ = SoundLevel::new(f64::NAN);
+    }
+
+    #[test]
+    fn offsets_shift_db() {
+        let l = SoundLevel::new(50.0);
+        assert_eq!((l + 4.5).db(), 54.5);
+        assert_eq!((l - 10.0).db(), 40.0);
+    }
+
+    #[test]
+    fn clamp_models_saturation() {
+        assert_eq!(SoundLevel::new(120.0).clamp(20.0, 100.0).db(), 100.0);
+        assert_eq!(SoundLevel::new(5.0).clamp(20.0, 100.0).db(), 20.0);
+    }
+
+    #[test]
+    fn display_one_decimal() {
+        assert_eq!(SoundLevel::new(55.04).to_string(), "55.0 dB(A)");
+    }
+}

@@ -1,0 +1,389 @@
+//! Simulated time.
+//!
+//! The deployment replay runs on a virtual clock. [`SimTime`] is an instant
+//! measured in milliseconds since the experiment epoch (the launch of the
+//! app, July 2015 in the paper); [`SimDuration`] is a span between instants.
+//!
+//! Calendar arithmetic intentionally uses idealised 24-hour days and 30-day
+//! months: the paper's analyses (daily distributions, monthly growth) only
+//! need day/hour bucketing, not a civil calendar.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+const MILLIS_PER_SECOND: i64 = 1_000;
+const MILLIS_PER_MINUTE: i64 = 60 * MILLIS_PER_SECOND;
+const MILLIS_PER_HOUR: i64 = 60 * MILLIS_PER_MINUTE;
+const MILLIS_PER_DAY: i64 = 24 * MILLIS_PER_HOUR;
+/// Days per idealised reporting month.
+pub(crate) const DAYS_PER_MONTH: i64 = 30;
+
+/// An instant on the simulation clock, in milliseconds since the experiment
+/// epoch.
+///
+/// # Examples
+///
+/// ```
+/// use mps_types::{SimDuration, SimTime};
+///
+/// let t = SimTime::from_hms(2, 10, 30, 0); // day 2, 10:30:00
+/// assert_eq!(t.day(), 2);
+/// assert_eq!(t.hour_of_day(), 10);
+/// let later = t + SimDuration::from_mins(45);
+/// assert_eq!(later.hour_of_day(), 11);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(i64);
+
+impl SimTime {
+    /// The experiment epoch (instant zero).
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Creates an instant from raw milliseconds since the epoch.
+    pub const fn from_millis(millis: i64) -> Self {
+        Self(millis)
+    }
+
+    /// Creates an instant from a day index and an hour/minute/second of day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`, `min >= 60` or `sec >= 60`.
+    pub fn from_hms(day: i64, hour: u32, min: u32, sec: u32) -> Self {
+        assert!(hour < 24, "hour out of range: {hour}");
+        assert!(min < 60, "minute out of range: {min}");
+        assert!(sec < 60, "second out of range: {sec}");
+        Self(
+            day * MILLIS_PER_DAY
+                + i64::from(hour) * MILLIS_PER_HOUR
+                + i64::from(min) * MILLIS_PER_MINUTE
+                + i64::from(sec) * MILLIS_PER_SECOND,
+        )
+    }
+
+    /// Milliseconds since the epoch.
+    pub const fn as_millis(self) -> i64 {
+        self.0
+    }
+
+    /// Whole seconds since the epoch.
+    pub const fn as_secs(self) -> i64 {
+        self.0 / MILLIS_PER_SECOND
+    }
+
+    /// Day index since the epoch (day 0 is the launch day).
+    pub const fn day(self) -> i64 {
+        self.0.div_euclid(MILLIS_PER_DAY)
+    }
+
+    /// Idealised month index since the epoch (30-day months).
+    pub const fn month(self) -> i64 {
+        self.day().div_euclid(DAYS_PER_MONTH)
+    }
+
+    /// Hour of the day, `0..24`.
+    pub const fn hour_of_day(self) -> u32 {
+        (self.0.rem_euclid(MILLIS_PER_DAY) / MILLIS_PER_HOUR) as u32
+    }
+
+    /// Minute of the hour, `0..60`.
+    pub const fn minute_of_hour(self) -> u32 {
+        (self.0.rem_euclid(MILLIS_PER_HOUR) / MILLIS_PER_MINUTE) as u32
+    }
+
+    /// Fractional hour of day, `0.0..24.0` — convenient for diurnal models.
+    pub fn fractional_hour(self) -> f64 {
+        self.0.rem_euclid(MILLIS_PER_DAY) as f64 / MILLIS_PER_HOUR as f64
+    }
+
+    /// Duration elapsed since `earlier`; negative if `earlier` is later.
+    pub const fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating duration since `earlier`, clamped at zero.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration((self.0 - earlier.0).max(0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "d{}+{:02}:{:02}:{:02}",
+            self.day(),
+            self.hour_of_day(),
+            self.minute_of_hour(),
+            (self.0.rem_euclid(MILLIS_PER_MINUTE) / MILLIS_PER_SECOND)
+        )
+    }
+}
+
+/// A span of simulated time, in milliseconds. May be negative when produced
+/// by [`SimTime::since`].
+///
+/// # Examples
+///
+/// ```
+/// use mps_types::SimDuration;
+///
+/// let d = SimDuration::from_mins(5);
+/// assert_eq!(d.as_secs(), 300);
+/// assert_eq!((d * 10).as_mins(), 50);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(i64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: i64) -> Self {
+        Self(millis)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: i64) -> Self {
+        Self(secs * MILLIS_PER_SECOND)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(mins: i64) -> Self {
+        Self(mins * MILLIS_PER_MINUTE)
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(hours: i64) -> Self {
+        Self(hours * MILLIS_PER_HOUR)
+    }
+
+    /// Creates a duration from whole days.
+    pub const fn from_days(days: i64) -> Self {
+        Self(days * MILLIS_PER_DAY)
+    }
+
+    /// Creates a duration from fractional seconds.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Self((secs * MILLIS_PER_SECOND as f64).round() as i64)
+    }
+
+    /// The duration in milliseconds.
+    pub const fn as_millis(self) -> i64 {
+        self.0
+    }
+
+    /// The duration in whole seconds (truncated toward zero).
+    pub const fn as_secs(self) -> i64 {
+        self.0 / MILLIS_PER_SECOND
+    }
+
+    /// The duration in whole minutes (truncated toward zero).
+    pub const fn as_mins(self) -> i64 {
+        self.0 / MILLIS_PER_MINUTE
+    }
+
+    /// The duration in whole hours (truncated toward zero).
+    pub const fn as_hours(self) -> i64 {
+        self.0 / MILLIS_PER_HOUR
+    }
+
+    /// The duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_SECOND as f64
+    }
+
+    /// The duration in fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_HOUR as f64
+    }
+
+    /// Whether the duration is negative.
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.abs();
+        if abs >= MILLIS_PER_HOUR {
+            write!(f, "{sign}{:.2}h", abs as f64 / MILLIS_PER_HOUR as f64)
+        } else if abs >= MILLIS_PER_MINUTE {
+            write!(f, "{sign}{:.1}min", abs as f64 / MILLIS_PER_MINUTE as f64)
+        } else {
+            write!(f, "{sign}{:.1}s", abs as f64 / MILLIS_PER_SECOND as f64)
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<SimDuration> for SimTime {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Mul<i64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: i64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl std::ops::Div<i64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: i64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_hms_buckets() {
+        let t = SimTime::from_hms(3, 14, 45, 30);
+        assert_eq!(t.day(), 3);
+        assert_eq!(t.hour_of_day(), 14);
+        assert_eq!(t.minute_of_hour(), 45);
+        assert_eq!(t.as_secs() % 60, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "hour out of range")]
+    fn from_hms_rejects_bad_hour() {
+        let _ = SimTime::from_hms(0, 24, 0, 0);
+    }
+
+    #[test]
+    fn month_index_uses_30_day_months() {
+        assert_eq!(SimTime::from_hms(29, 23, 59, 59).month(), 0);
+        assert_eq!(SimTime::from_hms(30, 0, 0, 0).month(), 1);
+        assert_eq!(SimTime::from_hms(299, 0, 0, 0).month(), 9);
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = SimTime::from_hms(1, 0, 0, 0);
+        let d = SimDuration::from_mins(90);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+        let mut u = t;
+        u += d;
+        u -= d;
+        assert_eq!(u, t);
+    }
+
+    #[test]
+    fn since_is_signed() {
+        let a = SimTime::from_millis(1_000);
+        let b = SimTime::from_millis(4_000);
+        assert_eq!(b.since(a), SimDuration::from_secs(3));
+        assert!(a.since(b).is_negative());
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_conversions() {
+        let d = SimDuration::from_hours(2);
+        assert_eq!(d.as_mins(), 120);
+        assert_eq!(d.as_hours(), 2);
+        assert_eq!(d.as_hours_f64(), 2.0);
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_millis(), 1_500);
+        assert_eq!(SimDuration::from_days(2).as_hours(), 48);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_mins(5);
+        assert_eq!((d * 10).as_mins(), 50);
+        assert_eq!((d / 5).as_secs(), 60);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_hms(2, 9, 5, 7).to_string(), "d2+09:05:07");
+        assert_eq!(SimDuration::from_secs(12).to_string(), "12.0s");
+        assert_eq!(SimDuration::from_mins(5).to_string(), "5.0min");
+        assert_eq!(SimDuration::from_hours(3).to_string(), "3.00h");
+        assert_eq!((SimDuration::ZERO - SimDuration::from_secs(1)).to_string(), "-1.0s");
+    }
+
+    #[test]
+    fn fractional_hour_in_range() {
+        let t = SimTime::from_hms(0, 10, 30, 0);
+        assert!((t.fractional_hour() - 10.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_times_bucket_correctly() {
+        let t = SimTime::from_millis(-1);
+        assert_eq!(t.day(), -1);
+        assert_eq!(t.hour_of_day(), 23);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = SimTime::from_hms(5, 12, 0, 0);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: SimTime = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,140 @@
+//! Application release versions.
+//!
+//! Over the 10-month experiment three versions of the MPS app were released
+//! (Section 5.3): v1.1 (July 2015, no buffering), v1.2.9 (November 2015, no
+//! buffering but optimised RabbitMQ usage), and v1.3 (April 2016, buffering
+//! of 10 measurements per transfer). Figure 17 compares their
+//! transmission-delay distributions.
+
+use crate::error::ParseEnumError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A released version of the SoundCity app.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum AppVersion {
+    /// v1.1 (July 2015): sends each observation as soon as it is captured;
+    /// opens a fresh broker channel per send.
+    V1_1,
+    /// v1.2.9 (November 2015): still unbuffered, but with optimised use of
+    /// RabbitMQ (persistent channel, cheaper publishes).
+    V1_2_9,
+    /// v1.3 (April 2016): buffers a series of 10 measurements before
+    /// sending them in one transfer (energy-delay tradeoff).
+    V1_3,
+}
+
+impl AppVersion {
+    /// All released versions, oldest first.
+    pub const ALL: [AppVersion; 3] = [AppVersion::V1_1, AppVersion::V1_2_9, AppVersion::V1_3];
+
+    /// The version string as released (`"1.1"`, `"1.2.9"`, `"1.3"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AppVersion::V1_1 => "1.1",
+            AppVersion::V1_2_9 => "1.2.9",
+            AppVersion::V1_3 => "1.3",
+        }
+    }
+
+    /// Number of measurements buffered before a transfer: 1 for the
+    /// unbuffered versions, 10 for v1.3 (the paper's default).
+    pub fn buffer_size(self) -> usize {
+        match self {
+            AppVersion::V1_1 | AppVersion::V1_2_9 => 1,
+            AppVersion::V1_3 => 10,
+        }
+    }
+
+    /// Whether this version buffers observations before sending.
+    pub fn is_buffering(self) -> bool {
+        self.buffer_size() > 1
+    }
+
+    /// Month index (30-day months since launch) at which the version was
+    /// rolled out: v1.1 at launch, v1.2.9 in month 4 (November 2015),
+    /// v1.3 in month 9 (April 2016).
+    pub fn rollout_month(self) -> i64 {
+        match self {
+            AppVersion::V1_1 => 0,
+            AppVersion::V1_2_9 => 4,
+            AppVersion::V1_3 => 9,
+        }
+    }
+
+    /// The version active during a given deployment month.
+    pub fn active_in_month(month: i64) -> AppVersion {
+        let mut active = AppVersion::V1_1;
+        for v in AppVersion::ALL {
+            if v.rollout_month() <= month {
+                active = v;
+            }
+        }
+        active
+    }
+}
+
+impl fmt::Display for AppVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.name())
+    }
+}
+
+impl FromStr for AppVersion {
+    type Err = ParseEnumError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim_start_matches('v') {
+            "1.1" => Ok(AppVersion::V1_1),
+            "1.2.9" => Ok(AppVersion::V1_2_9),
+            "1.3" => Ok(AppVersion::V1_3),
+            _ => Err(ParseEnumError::new("AppVersion", s)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffering_matches_paper() {
+        assert!(!AppVersion::V1_1.is_buffering());
+        assert!(!AppVersion::V1_2_9.is_buffering());
+        assert!(AppVersion::V1_3.is_buffering());
+        assert_eq!(AppVersion::V1_3.buffer_size(), 10);
+    }
+
+    #[test]
+    fn rollout_schedule() {
+        assert_eq!(AppVersion::active_in_month(0), AppVersion::V1_1);
+        assert_eq!(AppVersion::active_in_month(3), AppVersion::V1_1);
+        assert_eq!(AppVersion::active_in_month(4), AppVersion::V1_2_9);
+        assert_eq!(AppVersion::active_in_month(8), AppVersion::V1_2_9);
+        assert_eq!(AppVersion::active_in_month(9), AppVersion::V1_3);
+        assert_eq!(AppVersion::active_in_month(20), AppVersion::V1_3);
+    }
+
+    #[test]
+    fn versions_are_ordered_oldest_first() {
+        assert!(AppVersion::V1_1 < AppVersion::V1_2_9);
+        assert!(AppVersion::V1_2_9 < AppVersion::V1_3);
+    }
+
+    #[test]
+    fn parse_accepts_with_and_without_v() {
+        assert_eq!("1.2.9".parse::<AppVersion>().unwrap(), AppVersion::V1_2_9);
+        assert_eq!("v1.3".parse::<AppVersion>().unwrap(), AppVersion::V1_3);
+        assert!("2.0".parse::<AppVersion>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for v in AppVersion::ALL {
+            assert_eq!(v.to_string().parse::<AppVersion>().unwrap(), v);
+        }
+    }
+}

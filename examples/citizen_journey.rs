@@ -1,0 +1,125 @@
+//! Citizen science with journeys: participatory sensing along a path,
+//! sharing through the middleware, quantified-self exposure, and
+//! crowd-calibration — the paper's Journey mode (§4.2) plus its
+//! future-work directions (§8) working together.
+//!
+//! ```sh
+//! cargo run --release --example citizen_journey
+//! ```
+
+use soundcity::analytics::ExposureReport;
+use soundcity::assim::{CrowdCalibrator, CrowdObservation, Grid};
+use soundcity::broker::Broker;
+use soundcity::docstore::Store;
+use soundcity::goflow::{GoFlowServer, ObservationQuery, Role};
+use soundcity::mobile::{Device, DeviceConfig, Journey, JourneyVisibility};
+use soundcity::simcore::SimRng;
+use soundcity::types::{AppId, DeviceModel, GeoBounds, GeoPoint, SimDuration, SimTime};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rng = SimRng::new(2024);
+    let broker = Arc::new(Broker::new());
+    let server = GoFlowServer::new(Arc::clone(&broker), Store::new());
+    let app = AppId::soundcity();
+    server.register_app(&app)?;
+
+    // A small community of walkers with different phone models.
+    let models = [
+        DeviceModel::SonyD5803,
+        DeviceModel::LgeNexus5,
+        DeviceModel::OneplusA0001,
+        DeviceModel::SamsungGtI9505,
+    ];
+    println!("=== Journey mode: four citizens map their evening walk ===\n");
+    let mut crowd_observations = Vec::new();
+    let mut all_observations = Vec::new();
+
+    for (i, model) in models.iter().enumerate() {
+        let id = i as u64 + 1;
+        let mut device = Device::new(DeviceConfig::new(id, *model), &rng);
+        let token = server.register_user(&app, id.into(), Role::Contributor)?;
+        let session = server.login(&token)?;
+
+        // Plan a walk: a few hundred metres per leg, one measurement per
+        // minute — the user-chosen Journey frequency.
+        let mut walk_rng = rng.split("walk", id);
+        let journey = Journey::random_walk(&device, 10, &mut walk_rng)
+            .with_visibility(JourneyVisibility::Public);
+        let start = SimTime::from_hms(0, 18, 0, 0) + SimDuration::from_mins(3 * i as i64);
+        let trace = journey.run(&mut device, start, 80);
+        println!(
+            "{model}: walked {:.0} m, {} measurements, {:.0}% localized",
+            trace.path_length_m,
+            trace.observations.len(),
+            trace.localized_fraction() * 100.0
+        );
+
+        // Ship the trace through the middleware as one shared batch.
+        let payload = serde_json::to_vec(&trace.observations)?;
+        broker.publish(
+            session.exchange(),
+            &session.observation_key("Journey", "FR75013"),
+            payload,
+        )?;
+
+        for obs in &trace.observations {
+            if let Some(fix) = &obs.location {
+                if !GeoBounds::paris().contains(fix.point) {
+                    continue; // walks may stray outside the analysis grid
+                }
+                crowd_observations.push(CrowdObservation {
+                    device: obs.device,
+                    at: fix.point,
+                    measured_db: obs.spl.db(),
+                });
+            }
+        }
+        all_observations.extend(trace.observations);
+    }
+
+    let stored = server
+        .ingest_pending(&app, SimTime::from_hms(0, 21, 0, 0), 100)?
+        .stored;
+    println!("\nGoFlow stored {stored} journey observations");
+    println!(
+        "server-side count check: {}",
+        server.query(&app, &ObservationQuery::new())?.len()
+    );
+
+    // Quantified self: the first walker's exposure screen.
+    println!("\n=== Quantified self (Sense2Health screen) ===\n");
+    let report = ExposureReport::build(&all_observations, 1.into());
+    print!("{report}");
+
+    // Crowd calibration: estimate per-device microphone biases from the
+    // overlapping walks, with no reference sound-level meter.
+    println!("\n=== Crowd-calibration (paper §8 future work) ===\n");
+    let background = Grid::constant(GeoBounds::paris(), 20, 20, 50.0);
+    match CrowdCalibrator::default().calibrate(&background, &crowd_observations) {
+        Ok(result) => {
+            println!("estimated per-device biases (relative, zero-mean):");
+            for (device, bias) in &result.device_bias_db {
+                println!("  {device}: {bias:+.2} dB");
+            }
+            println!(
+                "consensus residual RMS per iteration: {:?}",
+                result
+                    .residual_rms_db
+                    .iter()
+                    .map(|r| format!("{r:.2}"))
+                    .collect::<Vec<_>>()
+            );
+            let near = result
+                .consensus
+                .sample(GeoPoint::PARIS)
+                .unwrap_or(f64::NAN);
+            println!("consensus level at city hall: {near:.1} dB(A)");
+            println!(
+                "(ambient variance dominates a single evening's walks; the\n crowd-calibration tests recover ±0.8 dB biases on denser data)"
+            );
+        }
+        Err(err) => println!("calibration failed: {err}"),
+    }
+    Ok(())
+}

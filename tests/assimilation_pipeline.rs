@@ -1,0 +1,118 @@
+//! From crowd-sensed observations to corrected noise maps: the
+//! data-assimilation pipeline of Figure 5, fed by a real deployment
+//! replay.
+
+use soundcity::assim::{
+    Blue, CalibrationDatabase, CityModel, Grid, NoiseSimulator, PointObservation,
+};
+use soundcity::core::{CalibrationStudy, Deployment, ExperimentConfig};
+use soundcity::simcore::SimRng;
+use soundcity::types::{GeoBounds, SoundLevel};
+
+/// Deployment observations (localized, accurate ones) can be assimilated
+/// directly: the full crowd-sensing → assimilation chain holds together.
+#[test]
+fn deployment_observations_feed_assimilation() {
+    let dataset = Deployment::new(ExperimentConfig::tiny()).run();
+    let bounds = GeoBounds::paris();
+
+    // Select accurately-localized observations as assimilation input
+    // ("when location matters, about 40 % of the collected observations
+    // remain relevant").
+    let point_obs: Vec<PointObservation> = dataset
+        .observations
+        .iter()
+        .filter_map(|o| {
+            let fix = o.location.as_ref()?;
+            if fix.accuracy_m > 50.0 || !bounds.contains(fix.point) {
+                return None;
+            }
+            Some(PointObservation::new(fix.point, o.spl.db(), 6.0))
+        })
+        .take(200)
+        .collect();
+    assert!(point_obs.len() >= 50, "usable observations: {}", point_obs.len());
+
+    let background = Grid::constant(bounds, 20, 20, 45.0);
+    let blue = Blue::new(4.0, 1_000.0);
+    let analysis = blue.analyse(&background, &point_obs).expect("analysis runs");
+
+    // The analysis responded to the data: innovation RMS shrinks.
+    let (_, rms_before) = Blue::innovation_stats(&background, &point_obs);
+    let (_, rms_after) = Blue::innovation_stats(&analysis, &point_obs);
+    assert!(
+        rms_after < rms_before,
+        "innovation RMS {rms_before} -> {rms_after}"
+    );
+}
+
+/// The calibration ablation: per-model calibration beats none and is
+/// close to the per-device oracle — the paper's Section 5.2 conclusion.
+#[test]
+fn calibration_granularity_ablation() {
+    let study = CalibrationStudy::new(23);
+    let rows = study.run_all();
+    let none = rows["uncalibrated"];
+    let per_model = rows["per-model"];
+    let oracle = rows["per-device (oracle)"];
+    assert!(per_model.rmse_analysis <= none.rmse_analysis + 1e-9);
+    assert!(per_model.rmse_analysis <= oracle.rmse_analysis + 0.5);
+    // All strategies improve on the raw background.
+    for outcome in [none, per_model, oracle] {
+        assert!(outcome.rmse_analysis < outcome.rmse_background);
+    }
+}
+
+/// Denser crowds correct the map better — the "number of contributed
+/// measures needs to be high enough" takeaway, measured.
+#[test]
+fn more_observations_help() {
+    let bounds = GeoBounds::paris();
+    let mut rng = SimRng::new(31);
+    let city = CityModel::synthetic(bounds, 5, 40, &mut rng);
+    let truth = NoiseSimulator::new(city).simulate(20, 20);
+    let background = Grid::constant(bounds, 20, 20, truth.mean());
+    let blue = Blue::new(4.0, 1_200.0);
+
+    let mut rmse_at = Vec::new();
+    for n in [5usize, 40, 160] {
+        let obs: Vec<PointObservation> = (0..n)
+            .map(|_| {
+                let at = bounds.lerp(rng.uniform_in(0.05, 0.95), rng.uniform_in(0.05, 0.95));
+                PointObservation::new(at, truth.sample(at).unwrap(), 2.0)
+            })
+            .collect();
+        let analysis = blue.analyse(&background, &obs).unwrap();
+        rmse_at.push(analysis.rmse(&truth));
+    }
+    assert!(
+        rmse_at[2] < rmse_at[0],
+        "160 obs ({}) must beat 5 obs ({})",
+        rmse_at[2],
+        rmse_at[0]
+    );
+}
+
+/// Calibration-party maths: recorded phone-vs-reference pairs recover a
+/// known injected bias through the public API.
+#[test]
+fn calibration_database_recovers_injected_bias() {
+    use soundcity::types::DeviceModel;
+    let mut db = CalibrationDatabase::new();
+    let mut rng = SimRng::new(37);
+    let injected = -3.7;
+    for _ in 0..200 {
+        let reference = rng.uniform_in(40.0, 80.0);
+        let measured = reference + injected + rng.normal(0.0, 1.5);
+        db.record(
+            DeviceModel::HtcOneM8,
+            SoundLevel::new(reference),
+            SoundLevel::new(measured),
+        );
+    }
+    let cal = db.calibration(DeviceModel::HtcOneM8).unwrap();
+    assert!((cal.bias_db - injected).abs() < 0.3, "estimated {}", cal.bias_db);
+    let corrected = db.correct(DeviceModel::HtcOneM8, SoundLevel::new(50.0));
+    assert!((corrected.db() - (50.0 - injected)).abs() < 0.3);
+    assert!(db.observation_sigma(DeviceModel::HtcOneM8) < 2.5);
+}

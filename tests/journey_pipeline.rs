@@ -1,0 +1,163 @@
+//! Journey mode through the full stack: plan → sense along a path →
+//! share through the middleware → subscribers notified → stored → used
+//! for exposure reports and crowd-calibration.
+
+use soundcity::analytics::{ExposureReport, HealthBand};
+use soundcity::assim::{CrowdCalibrator, CrowdObservation, Grid};
+use soundcity::broker::Broker;
+use soundcity::docstore::Store;
+use soundcity::goflow::{GoFlowServer, ObservationQuery, Role};
+use soundcity::mobile::{Device, DeviceConfig, Journey, JourneyVisibility};
+use soundcity::simcore::SimRng;
+use soundcity::types::{
+    AppId, DeviceModel, GeoBounds, GeoPoint, SensingMode, SimDuration, SimTime,
+};
+use std::sync::Arc;
+
+fn city_path() -> Vec<GeoPoint> {
+    vec![
+        GeoPoint::new(48.850, 2.340),
+        GeoPoint::new(48.855, 2.350),
+        GeoPoint::new(48.860, 2.355),
+    ]
+}
+
+#[test]
+fn shared_journey_reaches_subscribers_and_storage() {
+    let broker = Arc::new(Broker::new());
+    let server = GoFlowServer::new(Arc::clone(&broker), Store::new());
+    let app = AppId::soundcity();
+    server.register_app(&app).unwrap();
+
+    // Walker and a neighbour subscribed to public journeys in the area.
+    let walker_token = server.register_user(&app, 1.into(), Role::Contributor).unwrap();
+    let neighbour_token = server.register_user(&app, 2.into(), Role::Contributor).unwrap();
+    let walker = server.login(&walker_token).unwrap();
+    let neighbour = server.login(&neighbour_token).unwrap();
+    server.subscribe(&neighbour, "Journey", "FR75004").unwrap();
+
+    // Run the journey on a simulated phone.
+    let rng = SimRng::new(11);
+    let mut device = Device::new(DeviceConfig::new(1, DeviceModel::SonyD5803), &rng);
+    let journey = Journey::new(city_path(), SimDuration::from_secs(120))
+        .with_visibility(JourneyVisibility::Public);
+    let trace = journey.run(&mut device, SimTime::from_hms(2, 17, 0, 0), 15);
+    assert_eq!(trace.observations.len(), 15);
+    assert!(trace
+        .observations
+        .iter()
+        .all(|o| o.mode == SensingMode::Journey));
+
+    // Publish the trace as one batch with the Journey datatype.
+    broker
+        .publish(
+            walker.exchange(),
+            &walker.observation_key("Journey", "FR75004"),
+            serde_json::to_vec(&trace.observations).unwrap(),
+        )
+        .unwrap();
+
+    // The neighbour's queue received the shared journey notification.
+    let deliveries = broker.consume(neighbour.queue(), 10).unwrap();
+    assert_eq!(deliveries.len(), 1);
+    assert!(deliveries[0].routing_key().as_str().contains("Journey"));
+
+    // The server stored each observation of the batch.
+    let outcome = server
+        .ingest_pending(&app, SimTime::from_hms(2, 17, 35, 0), 10)
+        .unwrap();
+    assert_eq!(outcome.stored, 15);
+    let stored = server
+        .query(&app, &ObservationQuery::new().mode(SensingMode::Journey))
+        .unwrap();
+    assert_eq!(stored.len(), 15);
+}
+
+#[test]
+fn journey_traces_drive_exposure_reports() {
+    let rng = SimRng::new(13);
+    let mut device = Device::new(DeviceConfig::new(5, DeviceModel::LgeNexus5), &rng);
+    let journey = Journey::new(city_path(), SimDuration::from_secs(60));
+    let mut observations = Vec::new();
+    for day in 0..3 {
+        let trace = journey.run(&mut device, SimTime::from_hms(day, 18, 0, 0), 30);
+        observations.extend(trace.observations);
+    }
+    let report = ExposureReport::build(&observations, 5.into());
+    assert_eq!(report.daily.len(), 3);
+    for (_, leq, n) in &report.daily {
+        assert_eq!(*n, 30);
+        assert!(leq.db() > 15.0 && leq.db() < 100.0);
+        let _ = HealthBand::of(*leq);
+    }
+    let (m, l, h) = report.band_days();
+    assert_eq!(m + l + h, 3);
+}
+
+#[test]
+fn journeys_feed_crowd_calibration() {
+    // Several walkers on overlapping paths: their traces alone support
+    // relative bias estimation.
+    let rng = SimRng::new(17);
+    let mut crowd = Vec::new();
+    for id in 0..4u64 {
+        let mut device = Device::new(
+            DeviceConfig::new(id + 1, DeviceModel::ALL[(id as usize) % 20]),
+            &rng,
+        );
+        let journey = Journey::new(city_path(), SimDuration::from_secs(60));
+        for round in 0..4 {
+            let trace = journey.run(
+                &mut device,
+                SimTime::from_hms(round, 15, 0, 0),
+                40,
+            );
+            for obs in &trace.observations {
+                if let Some(fix) = &obs.location {
+                    if GeoBounds::paris().contains(fix.point) {
+                        crowd.push(CrowdObservation {
+                            device: obs.device,
+                            at: fix.point,
+                            measured_db: obs.spl.db(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    assert!(crowd.len() > 300, "crowd observations: {}", crowd.len());
+    let background = Grid::constant(GeoBounds::paris(), 16, 16, 45.0);
+    let result = CrowdCalibrator::default()
+        .calibrate(&background, &crowd)
+        .unwrap();
+    assert_eq!(result.device_bias_db.len(), 4);
+    // Anchored at zero mean; residuals tracked per iteration.
+    let mean: f64 =
+        result.device_bias_db.values().sum::<f64>() / result.device_bias_db.len() as f64;
+    assert!(mean.abs() < 1e-9);
+    assert_eq!(result.residual_rms_db.len(), 3);
+}
+
+use std::collections::BTreeSet;
+
+#[test]
+fn deployment_includes_journey_mode_after_release() {
+    use soundcity::core::{Deployment, ExperimentConfig};
+    let config = ExperimentConfig::tiny().with_months(10);
+    let dataset = Deployment::new(config).run();
+    let modes: BTreeSet<SensingMode> =
+        dataset.observations.iter().map(|o| o.mode).collect();
+    assert!(modes.contains(&SensingMode::Opportunistic));
+    assert!(modes.contains(&SensingMode::Manual));
+    assert!(modes.contains(&SensingMode::Journey));
+    // No journey observations before the release month.
+    for obs in &dataset.observations {
+        if obs.mode == SensingMode::Journey {
+            assert!(
+                obs.captured_at.month() >= 9,
+                "journey observation before release: {}",
+                obs.captured_at
+            );
+        }
+    }
+}
