@@ -6,8 +6,7 @@ use std::fmt;
 
 /// The paper's accuracy buckets (metres): the figures read off the
 /// `[6, 20)`, `[20, 50)` and just-below-100 ranges.
-pub const ACCURACY_EDGES_M: [f64; 9] =
-    [0.0, 6.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0];
+pub const ACCURACY_EDGES_M: [f64; 9] = [0.0, 6.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0];
 
 /// Which observations an accuracy report covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -71,7 +71,10 @@ impl ExposureReport {
         let mut per_day: BTreeMap<i64, Vec<SoundLevel>> = BTreeMap::new();
         let mut per_month: BTreeMap<i64, Vec<SoundLevel>> = BTreeMap::new();
         for obs in observations.iter().filter(|o| o.user == user) {
-            per_day.entry(obs.captured_at.day()).or_default().push(obs.spl);
+            per_day
+                .entry(obs.captured_at.day())
+                .or_default()
+                .push(obs.spl);
             per_month
                 .entry(obs.captured_at.month())
                 .or_default()

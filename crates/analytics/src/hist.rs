@@ -84,8 +84,8 @@ impl Histogram {
             .edges
             .binary_search_by(|e| e.partial_cmp(&value).expect("finite edges"))
         {
-            Ok(i) => i,                 // exactly on edge i -> bin i
-            Err(i) => i - 1,            // between edges i-1 and i
+            Ok(i) => i,      // exactly on edge i -> bin i
+            Err(i) => i - 1, // between edges i-1 and i
         };
         let idx = idx.min(self.counts.len() - 1);
         self.counts[idx] += 1;

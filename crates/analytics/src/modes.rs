@@ -33,13 +33,19 @@ impl ProviderByModeReport {
 
     /// Localized observations in a mode.
     pub fn total(&self, mode: SensingMode) -> u64 {
-        let m = SensingMode::ALL.iter().position(|x| *x == mode).expect("mode");
+        let m = SensingMode::ALL
+            .iter()
+            .position(|x| *x == mode)
+            .expect("mode");
         self.counts[m].iter().sum()
     }
 
     /// Share of a provider within a mode (0 for an empty mode).
     pub fn share(&self, mode: SensingMode, provider: LocationProvider) -> f64 {
-        let m = SensingMode::ALL.iter().position(|x| *x == mode).expect("mode");
+        let m = SensingMode::ALL
+            .iter()
+            .position(|x| *x == mode)
+            .expect("mode");
         let p = LocationProvider::ALL
             .iter()
             .position(|x| *x == provider)
@@ -64,7 +70,11 @@ impl ProviderByModeReport {
 
 impl fmt::Display for ProviderByModeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<14} {:>8} {:>8} {:>8} {:>10}", "mode", "gps", "network", "fused", "n")?;
+        writeln!(
+            f,
+            "{:<14} {:>8} {:>8} {:>8} {:>10}",
+            "mode", "gps", "network", "fused", "n"
+        )?;
         for mode in SensingMode::ALL {
             writeln!(
                 f,
@@ -159,7 +169,11 @@ mod tests {
     use super::*;
     use mps_types::{DeviceModel, GeoPoint, LocationFix, SimTime, SoundLevel};
 
-    fn obs(mode: SensingMode, provider: Option<LocationProvider>, activity: Activity) -> Observation {
+    fn obs(
+        mode: SensingMode,
+        provider: Option<LocationProvider>,
+        activity: Activity,
+    ) -> Observation {
         let mut b = Observation::builder()
             .device(1.into())
             .user(1.into())
@@ -177,18 +191,40 @@ mod tests {
     #[test]
     fn provider_shares_per_mode() {
         let set = vec![
-            obs(SensingMode::Opportunistic, Some(LocationProvider::Network), Activity::Still),
-            obs(SensingMode::Opportunistic, Some(LocationProvider::Network), Activity::Still),
-            obs(SensingMode::Opportunistic, Some(LocationProvider::Gps), Activity::Still),
+            obs(
+                SensingMode::Opportunistic,
+                Some(LocationProvider::Network),
+                Activity::Still,
+            ),
+            obs(
+                SensingMode::Opportunistic,
+                Some(LocationProvider::Network),
+                Activity::Still,
+            ),
+            obs(
+                SensingMode::Opportunistic,
+                Some(LocationProvider::Gps),
+                Activity::Still,
+            ),
             obs(SensingMode::Opportunistic, None, Activity::Still), // not localized
-            obs(SensingMode::Journey, Some(LocationProvider::Gps), Activity::Foot),
-            obs(SensingMode::Journey, Some(LocationProvider::Network), Activity::Foot),
+            obs(
+                SensingMode::Journey,
+                Some(LocationProvider::Gps),
+                Activity::Foot,
+            ),
+            obs(
+                SensingMode::Journey,
+                Some(LocationProvider::Network),
+                Activity::Foot,
+            ),
         ];
         let r = ProviderByModeReport::build(&set);
         assert_eq!(r.total(SensingMode::Opportunistic), 3);
         assert_eq!(r.total(SensingMode::Journey), 2);
         assert_eq!(r.total(SensingMode::Manual), 0);
-        assert!((r.share(SensingMode::Opportunistic, LocationProvider::Gps) - 1.0 / 3.0).abs() < 1e-12);
+        assert!(
+            (r.share(SensingMode::Opportunistic, LocationProvider::Gps) - 1.0 / 3.0).abs() < 1e-12
+        );
         assert!((r.share(SensingMode::Journey, LocationProvider::Gps) - 0.5).abs() < 1e-12);
         let gain = r.gps_gain_pts(SensingMode::Journey);
         assert!((gain - (50.0 - 100.0 / 3.0)).abs() < 1e-9);

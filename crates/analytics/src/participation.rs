@@ -18,7 +18,9 @@ impl DiurnalReport {
         let mut groups: BTreeMap<String, [u64; 24]> = BTreeMap::new();
         for obs in observations {
             let hour = obs.captured_at.hour_of_day() as usize;
-            groups.entry(obs.model.label().to_owned()).or_insert([0; 24])[hour] += 1;
+            groups
+                .entry(obs.model.label().to_owned())
+                .or_insert([0; 24])[hour] += 1;
         }
         Self { groups }
     }
@@ -172,9 +174,7 @@ mod tests {
 
     #[test]
     fn covers_all_hours_detects_gaps() {
-        let full: Vec<Observation> = (0..24)
-            .map(|h| obs(1, DeviceModel::LgeNexus5, h))
-            .collect();
+        let full: Vec<Observation> = (0..24).map(|h| obs(1, DeviceModel::LgeNexus5, h)).collect();
         assert!(DiurnalReport::by_model(&full).covers_all_hours());
         let partial = vec![obs(1, DeviceModel::LgeNexus5, 5)];
         assert!(!DiurnalReport::by_model(&partial).covers_all_hours());

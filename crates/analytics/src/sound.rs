@@ -105,11 +105,7 @@ impl fmt::Display for SplReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (label, h) in &self.groups {
             let peak = h.peak_center().unwrap_or(f64::NAN);
-            writeln!(
-                f,
-                "{label}: n={}, peak at {peak:.1} dB(A)",
-                h.total()
-            )?;
+            writeln!(f, "{label}: n={}, peak at {peak:.1} dB(A)", h.total())?;
         }
         Ok(())
     }

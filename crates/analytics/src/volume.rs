@@ -162,7 +162,9 @@ impl GrowthReport {
 
     /// Whether cumulative growth is monotone non-decreasing (sanity).
     pub fn is_monotone(&self) -> bool {
-        self.monthly.windows(2).all(|w| w[1].1 >= w[0].1 && w[1].2 >= w[0].2)
+        self.monthly
+            .windows(2)
+            .all(|w| w[1].1 >= w[0].1 && w[1].2 >= w[0].2)
     }
 
     /// Whether contributions accelerated over the deployment: the second
@@ -183,7 +185,11 @@ impl GrowthReport {
 
 impl fmt::Display for GrowthReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<6} {:>13} {:>13} {:>7}", "month", "cumulative", "localized", "loc%")?;
+        writeln!(
+            f,
+            "{:<6} {:>13} {:>13} {:>7}",
+            "month", "cumulative", "localized", "loc%"
+        )?;
         for (month, total, localized) in &self.monthly {
             let frac = if *total > 0 {
                 *localized as f64 / *total as f64 * 100.0

@@ -16,7 +16,9 @@
 
 use crate::grid::Grid;
 use crate::matrix::Matrix;
+use crate::telemetry::telemetry;
 use crate::AssimError;
+use mps_telemetry::SpanTimer;
 use mps_types::GeoPoint;
 
 /// One point observation to assimilate: a location, a measured value (dB)
@@ -99,6 +101,8 @@ impl Blue {
         if observations.is_empty() {
             return Err(AssimError::NoObservations);
         }
+        let metrics = telemetry();
+        let _timer = SpanTimer::start(&metrics.blue_pass_seconds);
         let m = observations.len();
 
         // Innovations d = y − H x_b (also validates the locations).
@@ -139,6 +143,8 @@ impl Blue {
                 analysis.set(ix, iy, analysis.at(ix, iy) + increment);
             }
         }
+        metrics.blue_passes.inc();
+        metrics.blue_observations_merged.add(m as u64);
         Ok(analysis)
     }
 
@@ -222,12 +228,18 @@ mod tests {
     fn trusted_observation_pulls_harder() {
         let blue = Blue::new(4.0, 800.0);
         let precise = blue
-            .analyse(&background(), &[PointObservation::new(GeoPoint::PARIS, 62.0, 0.5)])
+            .analyse(
+                &background(),
+                &[PointObservation::new(GeoPoint::PARIS, 62.0, 0.5)],
+            )
             .unwrap()
             .sample(GeoPoint::PARIS)
             .unwrap();
         let noisy = blue
-            .analyse(&background(), &[PointObservation::new(GeoPoint::PARIS, 62.0, 8.0)])
+            .analyse(
+                &background(),
+                &[PointObservation::new(GeoPoint::PARIS, 62.0, 8.0)],
+            )
             .unwrap()
             .sample(GeoPoint::PARIS)
             .unwrap();

@@ -187,7 +187,9 @@ mod tests {
     #[test]
     fn observation_sigma_tracks_residuals() {
         let mut db = CalibrationDatabase::new().with_default_sigma(7.0);
-        let noise: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 2.0 } else { -2.0 }).collect();
+        let noise: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 2.0 } else { -2.0 })
+            .collect();
         feed(&mut db, DeviceModel::SamsungSmG800f, 1.0, &noise);
         let sigma = db.observation_sigma(DeviceModel::SamsungSmG800f);
         assert!((sigma - 2.0).abs() < 0.1, "sigma {sigma}");

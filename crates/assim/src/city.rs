@@ -68,7 +68,12 @@ impl CityModel {
     /// Generates a synthetic city: an `n_avenues × n_avenues` grid of
     /// avenues (louder) with side streets between them (quieter), and
     /// `n_venues` venues clustered around a few nightlife centres.
-    pub fn synthetic(bounds: GeoBounds, n_avenues: usize, n_venues: usize, rng: &mut SimRng) -> Self {
+    pub fn synthetic(
+        bounds: GeoBounds,
+        n_avenues: usize,
+        n_venues: usize,
+        rng: &mut SimRng,
+    ) -> Self {
         let mut roads = Vec::new();
         // Avenues: straight across the bounds in both directions.
         for i in 0..n_avenues {
@@ -205,8 +210,14 @@ mod tests {
         let city = CityModel::synthetic(bounds(), 4, 10, &mut rng);
         let avenues = &city.roads()[..8];
         let side = &city.roads()[8..];
-        let min_avenue = avenues.iter().map(|r| r.emission_db).fold(f64::INFINITY, f64::min);
-        let max_side = side.iter().map(|r| r.emission_db).fold(f64::NEG_INFINITY, f64::max);
+        let min_avenue = avenues
+            .iter()
+            .map(|r| r.emission_db)
+            .fold(f64::INFINITY, f64::min);
+        let max_side = side
+            .iter()
+            .map(|r| r.emission_db)
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(min_avenue > max_side, "{min_avenue} vs {max_side}");
     }
 

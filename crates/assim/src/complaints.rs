@@ -174,8 +174,10 @@ mod tests {
     fn poisson_sampler_mean() {
         let mut rng = SimRng::new(24);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_poisson(2.5, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_poisson(2.5, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 2.5).abs() < 0.06, "mean {mean}");
         assert_eq!(sample_poisson(0.0, &mut rng), 0);
     }

@@ -45,10 +45,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = AssimError::ObservationOutsideGrid {
-            lat: 1.0,
-            lon: 2.0,
-        };
+        let e = AssimError::ObservationOutsideGrid { lat: 1.0, lon: 2.0 };
         assert!(e.to_string().contains('1'));
         assert!(!AssimError::SingularCovariance.to_string().is_empty());
         assert!(!AssimError::NoObservations.to_string().is_empty());

@@ -92,7 +92,10 @@ impl Grid {
     ///
     /// Panics if the indices are out of range.
     pub fn at(&self, ix: usize, iy: usize) -> f64 {
-        assert!(ix < self.nx && iy < self.ny, "cell ({ix},{iy}) out of range");
+        assert!(
+            ix < self.nx && iy < self.ny,
+            "cell ({ix},{iy}) out of range"
+        );
         self.values[iy * self.nx + ix]
     }
 
@@ -102,7 +105,10 @@ impl Grid {
     ///
     /// Panics if the indices are out of range.
     pub fn set(&mut self, ix: usize, iy: usize, value: f64) {
-        assert!(ix < self.nx && iy < self.ny, "cell ({ix},{iy}) out of range");
+        assert!(
+            ix < self.nx && iy < self.ny,
+            "cell ({ix},{iy}) out of range"
+        );
         self.values[iy * self.nx + ix] = value;
     }
 
@@ -140,7 +146,12 @@ impl Grid {
         let v10 = self.at(ix1, iy);
         let v01 = self.at(ix, iy1);
         let v11 = self.at(ix1, iy1);
-        Some(v00 * (1.0 - tx) * (1.0 - ty) + v10 * tx * (1.0 - ty) + v01 * (1.0 - tx) * ty + v11 * tx * ty)
+        Some(
+            v00 * (1.0 - tx) * (1.0 - ty)
+                + v10 * tx * (1.0 - ty)
+                + v01 * (1.0 - tx) * ty
+                + v11 * tx * ty,
+        )
     }
 
     /// The bilinear interpolation weights of `point` as `(cell_index,

@@ -16,7 +16,9 @@
 use crate::blue::{Blue, PointObservation};
 use crate::grid::Grid;
 use crate::noise::NoiseSimulator;
+use crate::telemetry::telemetry;
 use crate::AssimError;
+use mps_telemetry::SpanTimer;
 use mps_types::GeoPoint;
 
 /// A timestamped observation for time-varying assimilation.
@@ -107,6 +109,9 @@ impl DiurnalAnalysis {
         model: &NoiseSimulator,
         observations: &[HourlyObservation],
     ) -> Result<DiurnalField, AssimError> {
+        let metrics = telemetry();
+        metrics.hourly_runs.inc();
+        let _timer = SpanTimer::start(&metrics.hourly_run_seconds);
         let mut maps = Vec::with_capacity(24);
         for hour in 0..24u32 {
             let background = model.simulate_at_hour(self.nx, self.ny, hour);
@@ -137,6 +142,9 @@ impl DiurnalAnalysis {
         model: &NoiseSimulator,
         observations: &[HourlyObservation],
     ) -> Result<DiurnalField, AssimError> {
+        let metrics = telemetry();
+        metrics.hourly_runs.inc();
+        let _timer = SpanTimer::start(&metrics.hourly_run_seconds);
         let background = model.simulate(self.nx, self.ny);
         let pooled: Vec<PointObservation> = observations
             .iter()
@@ -175,9 +183,10 @@ mod tests {
                 emission_db: r.emission_db - 4.0,
             })
             .collect();
-        let model_sim =
-            NoiseSimulator::new(CityModel::new(GeoBounds::paris(), degraded, vec![]));
-        let truth: Vec<Grid> = (0..24).map(|h| truth_sim.simulate_at_hour(16, 16, h)).collect();
+        let model_sim = NoiseSimulator::new(CityModel::new(GeoBounds::paris(), degraded, vec![]));
+        let truth: Vec<Grid> = (0..24)
+            .map(|h| truth_sim.simulate_at_hour(16, 16, h))
+            .collect();
         (truth_sim, model_sim, truth)
     }
 

@@ -53,6 +53,7 @@ mod noise;
 mod planning;
 #[cfg(test)]
 mod proptests;
+mod telemetry;
 
 pub use blue::{Blue, PointObservation};
 pub use calib::{CalibrationDatabase, ModelCalibration};

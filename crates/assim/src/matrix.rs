@@ -56,7 +56,10 @@ impl Matrix {
     ///
     /// Panics on out-of-range indices.
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         self.data[i * self.cols + j]
     }
 
@@ -66,7 +69,10 @@ impl Matrix {
     ///
     /// Panics on out-of-range indices.
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         self.data[i * self.cols + j] = value;
     }
 

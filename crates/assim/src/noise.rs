@@ -146,10 +146,17 @@ mod tests {
         );
         let sim = NoiseSimulator::new(road_city);
         let origin = GeoPoint::new(48.85, 2.35);
-        let at_100 = sim.level_at(GeoPoint::from_local_xy(origin, 0.0, 100.0)).db();
-        let at_1000 = sim.level_at(GeoPoint::from_local_xy(origin, 0.0, 1000.0)).db();
+        let at_100 = sim
+            .level_at(GeoPoint::from_local_xy(origin, 0.0, 100.0))
+            .db();
+        let at_1000 = sim
+            .level_at(GeoPoint::from_local_xy(origin, 0.0, 1000.0))
+            .db();
         // Cylindrical: 10 dB per decade (plus a whisker of ambient).
-        assert!((at_100 - at_1000 - 10.0).abs() < 1.0, "{at_100} vs {at_1000}");
+        assert!(
+            (at_100 - at_1000 - 10.0).abs() < 1.0,
+            "{at_100} vs {at_1000}"
+        );
     }
 
     #[test]
@@ -178,7 +185,10 @@ mod tests {
         let venue = GeoPoint::new(48.85, 2.35);
         let at_venue = map.sample(venue).unwrap();
         let corner = map.at(0, 0);
-        assert!(at_venue > corner + 15.0, "venue {at_venue}, corner {corner}");
+        assert!(
+            at_venue > corner + 15.0,
+            "venue {at_venue}, corner {corner}"
+        );
     }
 
     #[test]
@@ -187,7 +197,11 @@ mod tests {
         let city = CityModel::synthetic(GeoBounds::paris(), 5, 50, &mut rng);
         let map = NoiseSimulator::new(city).simulate(32, 32);
         let min = map.values().iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = map.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = map
+            .values()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(max - min > 10.0, "range {min}..{max} too flat");
         assert!(min >= AMBIENT_DB - 1e-9);
         assert!(max < 100.0, "urban outdoor levels stay under 100 dB");

@@ -204,18 +204,14 @@ mod tests {
 
     #[test]
     fn trusted_observations_reduce_variance_more() {
-        let precise = PosteriorVariance::new(
-            blue(),
-            &[PointObservation::new(GeoPoint::PARIS, 55.0, 0.5)],
-        )
-        .unwrap()
-        .variance_at(GeoPoint::PARIS);
-        let noisy = PosteriorVariance::new(
-            blue(),
-            &[PointObservation::new(GeoPoint::PARIS, 55.0, 6.0)],
-        )
-        .unwrap()
-        .variance_at(GeoPoint::PARIS);
+        let precise =
+            PosteriorVariance::new(blue(), &[PointObservation::new(GeoPoint::PARIS, 55.0, 0.5)])
+                .unwrap()
+                .variance_at(GeoPoint::PARIS);
+        let noisy =
+            PosteriorVariance::new(blue(), &[PointObservation::new(GeoPoint::PARIS, 55.0, 6.0)])
+                .unwrap()
+                .variance_at(GeoPoint::PARIS);
         assert!(precise < noisy);
     }
 
@@ -224,8 +220,9 @@ mod tests {
         // Candidates on a line; one existing observation at the west end.
         let west = bounds().lerp(0.1, 0.5);
         let existing = vec![PointObservation::new(west, 50.0, 1.0)];
-        let candidates: Vec<GeoPoint> =
-            (0..10).map(|i| bounds().lerp(0.05 + 0.09 * i as f64, 0.5)).collect();
+        let candidates: Vec<GeoPoint> = (0..10)
+            .map(|i| bounds().lerp(0.05 + 0.09 * i as f64, 0.5))
+            .collect();
         let picks = SensingPlanner::new(blue(), 2.0)
             .plan(&existing, &candidates, 3)
             .unwrap();
@@ -247,7 +244,12 @@ mod tests {
     fn planned_points_reduce_total_uncertainty_more_than_clustered_ones() {
         let existing = vec![PointObservation::new(bounds().lerp(0.5, 0.5), 50.0, 1.0)];
         let candidates: Vec<GeoPoint> = (0..25)
-            .map(|i| bounds().lerp(0.1 + 0.8 * (i % 5) as f64 / 4.0, 0.1 + 0.8 * (i / 5) as f64 / 4.0))
+            .map(|i| {
+                bounds().lerp(
+                    0.1 + 0.8 * (i % 5) as f64 / 4.0,
+                    0.1 + 0.8 * (i / 5) as f64 / 4.0,
+                )
+            })
             .collect();
         let planner = SensingPlanner::new(blue(), 2.0);
         let picks = planner.plan(&existing, &candidates, 4).unwrap();
@@ -258,7 +260,10 @@ mod tests {
                 obs.push(PointObservation::new(*p, 0.0, 2.0));
             }
             let posterior = PosteriorVariance::new(blue(), &obs).unwrap();
-            candidates.iter().map(|c| posterior.variance_at(*c)).sum::<f64>()
+            candidates
+                .iter()
+                .map(|c| posterior.variance_at(*c))
+                .sum::<f64>()
         };
         // Clustered baseline: all four measurements at the same candidate.
         // Compare the *reduction* in summed variance each strategy buys
@@ -313,7 +318,10 @@ mod tests {
         let city = CityModel::synthetic(bounds(), 3, 10, &mut rng);
         let sim = NoiseSimulator::new(city);
         let field = DiurnalAnalysis::new(blue(), 8, 8).run(&sim, &[]).unwrap();
-        assert_eq!(infer_exposure(&field, &[(GeoPoint::new(0.0, 0.0), 12)]), None);
+        assert_eq!(
+            infer_exposure(&field, &[(GeoPoint::new(0.0, 0.0), 12)]),
+            None
+        );
         assert_eq!(infer_exposure(&field, &[]), None);
     }
 
@@ -323,7 +331,9 @@ mod tests {
         let city = CityModel::synthetic(bounds(), 4, 30, &mut rng);
         let sim = NoiseSimulator::new(city);
         let field = DiurnalAnalysis::new(blue(), 12, 12).run(&sim, &[]).unwrap();
-        let path: Vec<GeoPoint> = (0..5).map(|i| bounds().lerp(0.3 + 0.1 * i as f64, 0.5)).collect();
+        let path: Vec<GeoPoint> = (0..5)
+            .map(|i| bounds().lerp(0.3 + 0.1 * i as f64, 0.5))
+            .collect();
         let day: Vec<(GeoPoint, u32)> = path.iter().map(|p| (*p, 18)).collect();
         let night: Vec<(GeoPoint, u32)> = path.iter().map(|p| (*p, 3)).collect();
         let day_leq = infer_exposure(&field, &day).unwrap();

@@ -1,0 +1,76 @@
+//! Assimilation-engine handles into the process-wide telemetry registry.
+//!
+//! Series follow the workspace convention `<crate>_<subsystem>_<metric>`
+//! and register lazily in [`Registry::global`] so the analysis passes
+//! appear in the pipeline-wide health report next to messaging, ingest
+//! and storage.
+
+use mps_telemetry::{Counter, Histogram, Registry};
+use std::sync::OnceLock;
+
+/// Shared assimilation metric handles.
+pub(crate) struct AssimTelemetry {
+    /// BLUE analysis passes that produced a corrected field.
+    pub(crate) blue_passes: Counter,
+    /// Observations merged into analyses across all BLUE passes.
+    pub(crate) blue_observations_merged: Counter,
+    /// Wall-clock duration of one BLUE pass, in seconds.
+    pub(crate) blue_pass_seconds: Histogram,
+    /// Diurnal (hourly or static) assimilation runs.
+    pub(crate) hourly_runs: Counter,
+    /// Wall-clock duration of one diurnal run, in seconds.
+    pub(crate) hourly_run_seconds: Histogram,
+}
+
+/// The lazily-registered assimilation metric set.
+pub(crate) fn telemetry() -> &'static AssimTelemetry {
+    static TELEMETRY: OnceLock<AssimTelemetry> = OnceLock::new();
+    TELEMETRY.get_or_init(|| {
+        let registry = Registry::global();
+        AssimTelemetry {
+            blue_passes: registry.counter(
+                "assim_blue_passes_total",
+                "BLUE analysis passes that produced a corrected field",
+            ),
+            blue_observations_merged: registry.counter(
+                "assim_blue_observations_merged_total",
+                "Observations merged into analyses across all BLUE passes",
+            ),
+            blue_pass_seconds: registry.histogram(
+                "assim_blue_pass_seconds",
+                "Wall-clock duration of one BLUE analysis pass (s)",
+                &Histogram::exponential_buckets(1e-5, 10.0, 8),
+            ),
+            hourly_runs: registry.counter(
+                "assim_hourly_runs_total",
+                "Diurnal (hourly or static) assimilation runs",
+            ),
+            hourly_run_seconds: registry.histogram(
+                "assim_hourly_run_seconds",
+                "Wall-clock duration of one diurnal assimilation run (s)",
+                &Histogram::exponential_buckets(1e-4, 10.0, 8),
+            ),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_all_series_under_assim_names() {
+        let t = telemetry();
+        t.blue_passes.add(0);
+        let names = Registry::global().names();
+        for name in [
+            "assim_blue_passes_total",
+            "assim_blue_observations_merged_total",
+            "assim_blue_pass_seconds",
+            "assim_hourly_runs_total",
+            "assim_hourly_run_seconds",
+        ] {
+            assert!(names.iter().any(|n| n == name), "missing {name}");
+        }
+    }
+}

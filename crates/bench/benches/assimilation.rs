@@ -54,10 +54,8 @@ fn bench_blue_vs_grid_size(c: &mut Criterion) {
     let city = CityModel::synthetic(GeoBounds::paris(), 5, 40, &mut rng);
     let blue = Blue::new(4.0, 1_000.0);
     for n in [16usize, 32, 48] {
-        let truth = NoiseSimulator::new(
-            CityModel::synthetic(GeoBounds::paris(), 5, 40, &mut rng),
-        )
-        .simulate(n, n);
+        let truth = NoiseSimulator::new(CityModel::synthetic(GeoBounds::paris(), 5, 40, &mut rng))
+            .simulate(n, n);
         let background = Grid::constant(GeoBounds::paris(), n, n, truth.mean());
         let obs = observations(50, &truth, 5);
         group.bench_with_input(BenchmarkId::from_parameter(n * n), &n, |b, _| {

@@ -44,7 +44,9 @@ fn bench_publish_throughput(c: &mut Criterion) {
     broker.declare_exchange("e", ExchangeType::Topic).unwrap();
     broker.declare_queue("q").unwrap();
     for i in 0..100 {
-        broker.bind_queue("e", "q", &format!("obs.zone{i}.#")).unwrap();
+        broker
+            .bind_queue("e", "q", &format!("obs.zone{i}.#"))
+            .unwrap();
     }
     group.bench_function("topic_100_bindings", |b| {
         b.iter(|| {
@@ -84,19 +86,33 @@ fn bench_topology(c: &mut Criterion) {
     direct.declare_queue("gf").unwrap();
     direct.bind_queue("app", "gf", "#").unwrap();
     group.bench_function("direct_to_app_exchange", |b| {
-        b.iter(|| direct.publish("app", "c1.obs.noise.FR75013", &b"m"[..]).unwrap())
+        b.iter(|| {
+            direct
+                .publish("app", "c1.obs.noise.FR75013", &b"m"[..])
+                .unwrap()
+        })
     });
 
     let chained = Broker::new();
-    chained.declare_exchange("client", ExchangeType::Topic).unwrap();
-    chained.declare_exchange("app", ExchangeType::Topic).unwrap();
-    chained.declare_exchange("gfx", ExchangeType::Topic).unwrap();
+    chained
+        .declare_exchange("client", ExchangeType::Topic)
+        .unwrap();
+    chained
+        .declare_exchange("app", ExchangeType::Topic)
+        .unwrap();
+    chained
+        .declare_exchange("gfx", ExchangeType::Topic)
+        .unwrap();
     chained.declare_queue("gf").unwrap();
     chained.bind_exchange("client", "app", "c1.#").unwrap();
     chained.bind_exchange("app", "gfx", "#").unwrap();
     chained.bind_queue("gfx", "gf", "#").unwrap();
     group.bench_function("chained_client_exchange", |b| {
-        b.iter(|| chained.publish("client", "c1.obs.noise.FR75013", &b"m"[..]).unwrap())
+        b.iter(|| {
+            chained
+                .publish("client", "c1.obs.noise.FR75013", &b"m"[..])
+                .unwrap()
+        })
     });
     group.finish();
 }

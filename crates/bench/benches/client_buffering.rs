@@ -60,7 +60,10 @@ fn bench_buffer_sweep(c: &mut Criterion) {
 /// ablation is about.
 fn print_energy_table() {
     println!("\nmodelled energy per observation (Wi-Fi / 3G), by buffer factor:");
-    println!("{:>6} {:>12} {:>12} {:>14}", "N", "wifi (J)", "3g (J)", "mean delay");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14}",
+        "N", "wifi (J)", "3g (J)", "mean delay"
+    );
     let params = BatteryParams::default();
     for n in [1usize, 2, 5, 10, 20, 50] {
         let per_obs = |radio: RadioKind| {

@@ -27,9 +27,7 @@ fn bench_insert(c: &mut Criterion) {
         let collection = Collection::new();
         let mut i = 0u64;
         b.iter(|| {
-            collection
-                .insert_one(json!({"i": i, "spl": 50.0}))
-                .unwrap();
+            collection.insert_one(json!({"i": i, "spl": 50.0})).unwrap();
             i += 1;
         })
     });
@@ -69,7 +67,9 @@ fn bench_query(c: &mut Criterion) {
     let n = 10_000;
     let scan = seeded_collection(n);
     let filter = Filter::range("spl", 40.0, 45.0);
-    group.bench_function("scan", |b| b.iter(|| scan.count(black_box(&filter)).unwrap()));
+    group.bench_function("scan", |b| {
+        b.iter(|| scan.count(black_box(&filter)).unwrap())
+    });
     let indexed = seeded_collection(n);
     indexed.create_index("spl");
     group.bench_function("indexed", |b| {

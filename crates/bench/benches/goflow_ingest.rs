@@ -24,7 +24,9 @@ fn rig(version: AppVersion) -> Rig {
     let server = GoFlowServer::new(Arc::clone(&broker), Store::new());
     let app = AppId::soundcity();
     server.register_app(&app).unwrap();
-    let token = server.register_user(&app, 1.into(), Role::Contributor).unwrap();
+    let token = server
+        .register_user(&app, 1.into(), Role::Contributor)
+        .unwrap();
     let session = server.login(&token).unwrap();
     let client = GoFlowClient::new(
         session.exchange(),
@@ -63,7 +65,11 @@ fn bench_single_observation_pipeline(c: &mut Criterion) {
             r.client.on_cycle(&r.broker, true).unwrap();
             let out = r
                 .server
-                .ingest_pending(&r.app, SimTime::EPOCH + SimDuration::from_mins(5 * i + 1), 1)
+                .ingest_pending(
+                    &r.app,
+                    SimTime::EPOCH + SimDuration::from_mins(5 * i + 1),
+                    1,
+                )
                 .unwrap();
             assert_eq!(out.stored, 1);
             i += 1;
@@ -83,7 +89,11 @@ fn bench_batched_pipeline(c: &mut Criterion) {
             r.client.on_cycle(&r.broker, true).unwrap();
             let out = r
                 .server
-                .ingest_pending(&r.app, SimTime::EPOCH + SimDuration::from_mins(5 * i + 1), 1)
+                .ingest_pending(
+                    &r.app,
+                    SimTime::EPOCH + SimDuration::from_mins(5 * i + 1),
+                    1,
+                )
                 .unwrap();
             assert_eq!(out.stored, 10);
         })

@@ -32,7 +32,10 @@ fn bench_device_capture(c: &mut Criterion) {
     group.bench_function("capture", |b| {
         b.iter(|| {
             i += 1;
-            device.capture(SimTime::from_millis(i * 300_000), SensingMode::Opportunistic)
+            device.capture(
+                SimTime::from_millis(i * 300_000),
+                SensingMode::Opportunistic,
+            )
         })
     });
     let mut device = Device::new(DeviceConfig::new(2, DeviceModel::SamsungGtI9505), &root);
@@ -50,9 +53,7 @@ fn bench_deployment_day(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("one_day_20_devices", |b| {
         b.iter_with_setup(
-            || {
-                Deployment::new(ExperimentConfig::quick().with_months(1))
-            },
+            || Deployment::new(ExperimentConfig::quick().with_months(1)),
             |mut deployment| {
                 deployment.run_day(0);
                 deployment
@@ -62,5 +63,10 @@ fn bench_deployment_day(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_device_capture, bench_deployment_day);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_device_capture,
+    bench_deployment_day
+);
 criterion_main!(benches);

@@ -50,7 +50,9 @@ fn fig9(dataset: &Dataset) {
     let table = ModelTable::build(&dataset.observations);
     print!("{table}");
     println!("\npaper totals: 2 091 devices, 23 108 136 measurements, 9 556 174 localized (41.4%)");
-    println!("paper per-model localized%: I9505 43.2, D5803 71.0, HTCONE_M8 20.8, GT-P5210 21.7 ...");
+    println!(
+        "paper per-model localized%: I9505 43.2, D5803 71.0, HTCONE_M8 20.8, GT-P5210 21.7 ..."
+    );
 }
 
 fn accuracy_figure(dataset: &Dataset, filter: ProviderFilter, title: &str, paper_note: &str) {
@@ -63,7 +65,10 @@ fn accuracy_figure(dataset: &Dataset, filter: ProviderFilter, title: &str, paper
 fn fig14(dataset: &Dataset) {
     header("Figure 14 — raw SPL distribution (‰) per model");
     let report = SplReport::by_model(&dataset.observations);
-    println!("{:<18} {:>8} {:>10} {:>12}", "model", "n", "peak dB", "active bump");
+    println!(
+        "{:<18} {:>8} {:>10} {:>12}",
+        "model", "n", "peak dB", "active bump"
+    );
     for (label, hist) in &report.groups {
         println!(
             "{:<18} {:>8} {:>10.1} {:>11.1}%",
@@ -115,7 +120,9 @@ fn fig16() {
     header("Figure 16 — battery depletion per client version / radio");
     let report = BatteryLab::new().run();
     print!("{report}");
-    println!("\npaper: unbuffered+WiFi ≈ 2x no-app; 3G +50% over WiFi; buffered < +50% over no-app");
+    println!(
+        "\npaper: unbuffered+WiFi ≈ 2x no-app; 3G +50% over WiFi; buffered < +50% over no-app"
+    );
 }
 
 fn fig17(longitudinal: &Dataset) {
@@ -204,14 +211,21 @@ fn hourly() {
     let degraded: Vec<Road> = city
         .roads()
         .iter()
-        .map(|r| Road { a: r.a, b: r.b, emission_db: r.emission_db - 4.0 })
+        .map(|r| Road {
+            a: r.a,
+            b: r.b,
+            emission_db: r.emission_db - 4.0,
+        })
         .collect();
     let model_sim = NoiseSimulator::new(CityModel::new(GeoBounds::paris(), degraded, vec![]));
-    let truth: Vec<_> = (0..24).map(|h| truth_sim.simulate_at_hour(16, 16, h)).collect();
+    let truth: Vec<_> = (0..24)
+        .map(|h| truth_sim.simulate_at_hour(16, 16, h))
+        .collect();
     let mut observations = Vec::new();
     for hour in 0..24u32 {
         for _ in 0..12 {
-            let at = GeoBounds::paris().lerp(rng.uniform_in(0.05, 0.95), rng.uniform_in(0.05, 0.95));
+            let at =
+                GeoBounds::paris().lerp(rng.uniform_in(0.05, 0.95), rng.uniform_in(0.05, 0.95));
             observations.push(HourlyObservation {
                 at,
                 value_db: truth[hour as usize].sample(at).expect("inside") + rng.normal(0.0, 1.0),
@@ -222,10 +236,18 @@ fn hourly() {
     }
     let analysis = DiurnalAnalysis::new(Blue::new(4.0, 1_500.0), 16, 16);
     let hourly = analysis.run(&model_sim, &observations).expect("analysis");
-    let static_field = analysis.run_static(&model_sim, &observations).expect("analysis");
+    let static_field = analysis
+        .run_static(&model_sim, &observations)
+        .expect("analysis");
     println!("RMSE vs hour-varying truth over 24 hourly maps:");
-    println!("  static all-day analysis : {:.2} dB", static_field.rmse_against(&truth));
-    println!("  hourly analyses         : {:.2} dB", hourly.rmse_against(&truth));
+    println!(
+        "  static all-day analysis : {:.2} dB",
+        static_field.rmse_against(&truth)
+    );
+    println!(
+        "  hourly analyses         : {:.2} dB",
+        hourly.rmse_against(&truth)
+    );
     println!("\npaper (§8): time-varying urban phenomena call for adapted assimilation;");
     println!("hour-resolved analyses track the diurnal cycle a static map cannot.");
 }
@@ -239,6 +261,16 @@ fn calib() {
     println!("\npaper: 'calibration may be achieved per model rather than per device'");
 }
 
+fn pipeline_health() {
+    header("Pipeline health — aggregate telemetry from this run");
+    let registry = mps_telemetry::Registry::global();
+    if registry.names().is_empty() {
+        println!("no metrics recorded (no exhibit exercised the pipeline)");
+        return;
+    }
+    print!("{}", registry.render_text());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -249,8 +281,8 @@ fn main() {
         .collect();
     let wanted: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
         vec![
-            "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-            "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "calib",
+            "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "fig17", "fig18", "fig19", "fig20", "fig21", "calib",
         ]
     } else {
         wanted
@@ -259,7 +291,16 @@ fn main() {
     let needs_main = wanted.iter().any(|w| {
         matches!(
             *w,
-            "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "fig13" | "fig14" | "fig18" | "fig20" | "fig21"
+            "fig8"
+                | "fig9"
+                | "fig10"
+                | "fig11"
+                | "fig12"
+                | "fig13"
+                | "fig14"
+                | "fig18"
+                | "fig20"
+                | "fig21"
         )
     });
     let needs_long = wanted
@@ -267,7 +308,10 @@ fn main() {
         .any(|w| matches!(*w, "fig15" | "fig17" | "fig19" | "fig20"));
 
     let dataset = if needs_main {
-        eprintln!("running the {} deployment replay...", if quick { "quick" } else { "paper-scaled" });
+        eprintln!(
+            "running the {} deployment replay...",
+            if quick { "quick" } else { "paper-scaled" }
+        );
         Some(figure_dataset(quick))
     } else {
         None
@@ -324,6 +368,8 @@ fn main() {
             other => eprintln!("unknown exhibit: {other} (try fig4..fig21, calib, hourly, all)"),
         }
     }
+
+    pipeline_health();
 
     // Version stamp for EXPERIMENTS.md bookkeeping.
     let _ = AppVersion::ALL;

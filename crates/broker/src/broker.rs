@@ -187,7 +187,12 @@ impl Broker {
     ///
     /// Returns a not-found error if either endpoint is missing, or
     /// [`BrokerError::InvalidKey`] for a malformed pattern.
-    pub fn bind_queue(&self, exchange: &str, queue: &str, pattern: &str) -> Result<(), BrokerError> {
+    pub fn bind_queue(
+        &self,
+        exchange: &str,
+        queue: &str,
+        pattern: &str,
+    ) -> Result<(), BrokerError> {
         let pattern = BindingPattern::new(pattern)?;
         let mut state = self.state.lock();
         if !state.queues.contains_key(queue) {

@@ -78,7 +78,12 @@ impl Message {
 
 impl fmt::Display for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Message[{}, {} bytes]", self.routing_key, self.payload.len())
+        write!(
+            f,
+            "Message[{}, {} bytes]",
+            self.routing_key,
+            self.payload.len()
+        )
     }
 }
 

@@ -1,20 +1,73 @@
 //! Broker-wide counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mps_telemetry::{Counter, Registry};
+use std::sync::OnceLock;
+
+/// Mirrors of the per-broker counters in the process-wide telemetry
+/// registry ([`Registry::global`]), under the workspace naming
+/// convention `broker_core_<metric>`. Every broker instance reports into
+/// the same shared series; per-instance accounting stays exact through
+/// [`BrokerMetrics::snapshot`].
+struct SharedCounters {
+    published: Counter,
+    routed: Counter,
+    unroutable: Counter,
+    delivered: Counter,
+    acked: Counter,
+    requeued: Counter,
+    dropped: Counter,
+}
+
+fn shared() -> &'static SharedCounters {
+    static SHARED: OnceLock<SharedCounters> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let registry = Registry::global();
+        SharedCounters {
+            published: registry.counter(
+                "broker_core_published_total",
+                "Messages accepted by publish",
+            ),
+            routed: registry.counter(
+                "broker_core_routed_total",
+                "Queue enqueues resulting from routing",
+            ),
+            unroutable: registry.counter(
+                "broker_core_unroutable_total",
+                "Publishes that matched no queue at all",
+            ),
+            delivered: registry.counter(
+                "broker_core_delivered_total",
+                "Messages handed to consumers",
+            ),
+            acked: registry.counter("broker_core_acked_total", "Deliveries acknowledged"),
+            requeued: registry.counter(
+                "broker_core_requeued_total",
+                "Deliveries negatively acknowledged and requeued",
+            ),
+            dropped: registry.counter(
+                "broker_core_dropped_total",
+                "Messages rejected because a queue was full",
+            ),
+        }
+    })
+}
 
 /// Monotonic counters describing broker activity since start-up.
 ///
 /// Updated lock-free on the publish/consume paths; read with
-/// [`BrokerMetrics::snapshot`].
+/// [`BrokerMetrics::snapshot`]. Each update also feeds the shared
+/// `broker_core_*` series of the global [`Registry`], so the broker
+/// shows up in the pipeline-wide health report alongside ingest,
+/// storage and assimilation.
 #[derive(Debug, Default)]
 pub struct BrokerMetrics {
-    published: AtomicU64,
-    routed: AtomicU64,
-    unroutable: AtomicU64,
-    delivered: AtomicU64,
-    acked: AtomicU64,
-    requeued: AtomicU64,
-    dropped: AtomicU64,
+    published: Counter,
+    routed: Counter,
+    unroutable: Counter,
+    delivered: Counter,
+    acked: Counter,
+    requeued: Counter,
+    dropped: Counter,
 }
 
 /// A point-in-time copy of [`BrokerMetrics`].
@@ -39,44 +92,51 @@ pub struct MetricsSnapshot {
 
 impl BrokerMetrics {
     pub(crate) fn on_publish(&self) {
-        self.published.fetch_add(1, Ordering::Relaxed);
+        self.published.inc();
+        shared().published.inc();
     }
 
     pub(crate) fn on_routed(&self, queues: u64) {
         if queues == 0 {
-            self.unroutable.fetch_add(1, Ordering::Relaxed);
+            self.unroutable.inc();
+            shared().unroutable.inc();
         } else {
-            self.routed.fetch_add(queues, Ordering::Relaxed);
+            self.routed.add(queues);
+            shared().routed.add(queues);
         }
     }
 
     pub(crate) fn on_delivered(&self, n: u64) {
-        self.delivered.fetch_add(n, Ordering::Relaxed);
+        self.delivered.add(n);
+        shared().delivered.add(n);
     }
 
     pub(crate) fn on_acked(&self) {
-        self.acked.fetch_add(1, Ordering::Relaxed);
+        self.acked.inc();
+        shared().acked.inc();
     }
 
     pub(crate) fn on_requeued(&self) {
-        self.requeued.fetch_add(1, Ordering::Relaxed);
+        self.requeued.inc();
+        shared().requeued.inc();
     }
 
     pub(crate) fn on_dropped(&self) {
-        self.dropped.fetch_add(1, Ordering::Relaxed);
+        self.dropped.inc();
+        shared().dropped.inc();
     }
 
     /// Takes a consistent-enough snapshot of all counters (each counter is
     /// read atomically; the set is not a transaction).
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            published: self.published.load(Ordering::Relaxed),
-            routed: self.routed.load(Ordering::Relaxed),
-            unroutable: self.unroutable.load(Ordering::Relaxed),
-            delivered: self.delivered.load(Ordering::Relaxed),
-            acked: self.acked.load(Ordering::Relaxed),
-            requeued: self.requeued.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
+            published: self.published.get(),
+            routed: self.routed.get(),
+            unroutable: self.unroutable.get(),
+            delivered: self.delivered.get(),
+            acked: self.acked.get(),
+            requeued: self.requeued.get(),
+            dropped: self.dropped.get(),
         }
     }
 }
@@ -110,5 +170,18 @@ mod tests {
     fn snapshot_default_is_zero() {
         let s = BrokerMetrics::default().snapshot();
         assert_eq!(s, MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn shared_registry_sees_broker_activity() {
+        let before = Registry::global()
+            .counter_value("broker_core_published_total")
+            .unwrap_or(0);
+        let m = BrokerMetrics::default();
+        m.on_publish();
+        let after = Registry::global()
+            .counter_value("broker_core_published_total")
+            .expect("registered");
+        assert!(after >= before + 1);
     }
 }

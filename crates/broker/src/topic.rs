@@ -274,7 +274,10 @@ mod tests {
         assert!(RoutingKey::new("a-b_c.d1").is_ok());
         assert!(RoutingKey::new("").is_err());
         assert!(RoutingKey::new("a..b").is_err());
-        assert!(RoutingKey::new("a.*").is_err(), "wildcards not allowed in keys");
+        assert!(
+            RoutingKey::new("a.*").is_err(),
+            "wildcards not allowed in keys"
+        );
         assert!(RoutingKey::new("a.#").is_err());
         assert!(RoutingKey::new("a b").is_err());
         assert!(RoutingKey::new("x".repeat(256)).is_err());

@@ -12,8 +12,7 @@
 //!   point process.
 
 use mps_assim::{
-    Blue, CalibrationDatabase, CityModel, ComplaintProcess, Grid, NoiseSimulator,
-    PointObservation,
+    Blue, CalibrationDatabase, CityModel, ComplaintProcess, Grid, NoiseSimulator, PointObservation,
 };
 use mps_mobile::{Microphone, ModelProfile};
 use mps_simcore::SimRng;
@@ -148,9 +147,10 @@ impl CalibrationStudy {
                 let mut dev_rng = rng.split("study-device", (model.index() * 100 + d) as u64);
                 let mic = Microphone::for_device(&profile, &mut dev_rng);
                 for _ in 0..self.n_obs_per_device {
-                    let at = self
-                        .bounds
-                        .lerp(dev_rng.uniform_in(0.05, 0.95), dev_rng.uniform_in(0.05, 0.95));
+                    let at = self.bounds.lerp(
+                        dev_rng.uniform_in(0.05, 0.95),
+                        dev_rng.uniform_in(0.05, 0.95),
+                    );
                     let true_db = truth.sample(at).expect("inside bounds");
                     let measured = mic.measure(SoundLevel::new(true_db), &mut dev_rng);
                     observations.push(SyntheticObservation {
@@ -266,7 +266,10 @@ mod tests {
     #[test]
     fn assimilation_improves_on_background() {
         let study = CalibrationStudy::new(7);
-        for strategy in [CalibrationStrategy::PerModel, CalibrationStrategy::PerDevice] {
+        for strategy in [
+            CalibrationStrategy::PerModel,
+            CalibrationStrategy::PerDevice,
+        ] {
             let outcome = study.run(strategy);
             assert!(
                 outcome.rmse_analysis < outcome.rmse_background,

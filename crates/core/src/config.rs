@@ -217,6 +217,9 @@ mod tests {
 
     #[test]
     fn default_is_paper_scaled() {
-        assert_eq!(ExperimentConfig::default(), ExperimentConfig::paper_scaled());
+        assert_eq!(
+            ExperimentConfig::default(),
+            ExperimentConfig::paper_scaled()
+        );
     }
 }

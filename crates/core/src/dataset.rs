@@ -57,7 +57,11 @@ fn parse_observation(doc: &Value) -> Option<Observation> {
         let accuracy = doc.get("accuracy")?.as_f64()?;
         let lat = doc.get("lat")?.as_f64()?;
         let lon = doc.get("lon")?.as_f64()?;
-        builder = builder.location(LocationFix::new(GeoPoint::new(lat, lon), accuracy, provider));
+        builder = builder.location(LocationFix::new(
+            GeoPoint::new(lat, lon),
+            accuracy,
+            provider,
+        ));
     }
     Some(builder.build())
 }
@@ -125,13 +129,7 @@ mod tests {
 
     #[test]
     fn parses_localized_document() {
-        let ds = Dataset::from_documents(
-            &[doc(true)],
-            1,
-            1,
-            0,
-            MetricsSnapshot::default(),
-        );
+        let ds = Dataset::from_documents(&[doc(true)], 1, 1, 0, MetricsSnapshot::default());
         assert_eq!(ds.stored(), 1);
         let obs = &ds.observations[0];
         assert_eq!(obs.model, DeviceModel::LgeNexus5);

@@ -84,10 +84,7 @@ impl Deployment {
             for _ in 0..config.devices_for(*model) {
                 let id = next_id;
                 next_id += 1;
-                let device = Device::new(
-                    DeviceConfig::new(id, *model).with_rate(rate),
-                    &root,
-                );
+                let device = Device::new(DeviceConfig::new(id, *model).with_rate(rate), &root);
                 let token = server
                     .register_user(&app, id.into(), Role::Contributor)
                     .expect("fresh user registers");
@@ -275,11 +272,8 @@ mod tests {
             .with_models(vec![DeviceModel::LgeNexus5]);
         let mut deployment = Deployment::new(config);
         let dataset = deployment.run();
-        let versions: std::collections::BTreeSet<AppVersion> = dataset
-            .observations
-            .iter()
-            .map(|o| o.app_version)
-            .collect();
+        let versions: std::collections::BTreeSet<AppVersion> =
+            dataset.observations.iter().map(|o| o.app_version).collect();
         assert!(versions.contains(&AppVersion::V1_1));
         assert!(versions.contains(&AppVersion::V1_2_9));
         assert!(versions.contains(&AppVersion::V1_3));
@@ -308,10 +302,7 @@ mod tests {
     fn pseudonyms_hide_raw_ids() {
         let dataset = Deployment::new(ExperimentConfig::tiny()).run();
         // Raw device ids are 1..=3; stored ids are pseudonyms.
-        assert!(dataset
-            .observations
-            .iter()
-            .all(|o| o.device.raw() > 1_000));
+        assert!(dataset.observations.iter().all(|o| o.device.raw() > 1_000));
     }
 
     #[test]

@@ -36,7 +36,7 @@ mod dataset;
 mod deployment;
 
 pub use battery_lab::{BatteryLab, BatteryLabReport, BatteryScenario};
-pub use calibration_study::{AssimilationOutcome, CalibrationStudy, CalibrationStrategy};
+pub use calibration_study::{AssimilationOutcome, CalibrationStrategy, CalibrationStudy};
 pub use config::ExperimentConfig;
 pub use dataset::Dataset;
 pub use deployment::Deployment;

@@ -183,9 +183,7 @@ fn group(docs: Vec<Value>, spec: &GroupSpec) -> Result<Vec<Value>, StoreError> {
             None => Value::Null,
         };
         if key_value.is_array() || key_value.is_object() {
-            return Err(StoreError::BadPipeline(
-                "group key must be a scalar".into(),
-            ));
+            return Err(StoreError::BadPipeline("group key must be a scalar".into()));
         }
         let map_key = key_value.to_string();
         let entry = groups.entry(map_key).or_insert_with(|| {
@@ -216,9 +214,7 @@ fn group(docs: Vec<Value>, spec: &GroupSpec) -> Result<Vec<Value>, StoreError> {
                     if let Some(v) = get_path(doc, path) {
                         let better = match &acc.mins[i] {
                             None => true,
-                            Some(cur) => {
-                                compare_values(v, cur) == Some(Ordering::Less)
-                            }
+                            Some(cur) => compare_values(v, cur) == Some(Ordering::Less),
                         };
                         if better {
                             acc.mins[i] = Some(v.clone());
@@ -229,9 +225,7 @@ fn group(docs: Vec<Value>, spec: &GroupSpec) -> Result<Vec<Value>, StoreError> {
                     if let Some(v) = get_path(doc, path) {
                         let better = match &acc.maxs[i] {
                             None => true,
-                            Some(cur) => {
-                                compare_values(v, cur) == Some(Ordering::Greater)
-                            }
+                            Some(cur) => compare_values(v, cur) == Some(Ordering::Greater),
                         };
                         if better {
                             acc.maxs[i] = Some(v.clone());

@@ -2,9 +2,11 @@
 
 use crate::filter::Filter;
 use crate::index::PathIndex;
+use crate::telemetry::telemetry;
 use crate::update::Update;
 use crate::value::{compare_values, get_path, set_path, DocId};
 use crate::StoreError;
+use mps_telemetry::SpanTimer;
 use parking_lot::Mutex;
 use serde_json::Value;
 use std::cmp::Ordering;
@@ -150,6 +152,9 @@ impl Collection {
         if !doc.is_object() {
             return Err(StoreError::NotAnObject);
         }
+        let metrics = telemetry();
+        metrics.collection_insert.inc();
+        let _timer = SpanTimer::start(&metrics.collection_insert_seconds);
         let mut inner = self.inner.lock();
         let id = DocId(inner.next_id);
         inner.next_id += 1;
@@ -211,6 +216,9 @@ impl Collection {
         filter: &Filter,
         options: &FindOptions,
     ) -> Result<Vec<Value>, StoreError> {
+        let metrics = telemetry();
+        metrics.collection_find.inc();
+        let _timer = SpanTimer::start(&metrics.collection_find_seconds);
         let inner = self.inner.lock();
         let mut results: Vec<Value> = match inner.plan(filter) {
             Some(candidates) => candidates
@@ -288,7 +296,11 @@ impl Collection {
                 .filter_map(|id| inner.docs.get(&id))
                 .filter(|doc| filter.matches(doc))
                 .count(),
-            None => inner.docs.values().filter(|doc| filter.matches(doc)).count(),
+            None => inner
+                .docs
+                .values()
+                .filter(|doc| filter.matches(doc))
+                .count(),
         })
     }
 
@@ -300,6 +312,9 @@ impl Collection {
     /// Propagates [`StoreError::BadUpdate`] from applying the update; any
     /// documents updated before the failure stay updated.
     pub fn update_many(&self, filter: &Filter, update: &Update) -> Result<usize, StoreError> {
+        let metrics = telemetry();
+        metrics.collection_update.inc();
+        let _timer = SpanTimer::start(&metrics.collection_update_seconds);
         let mut inner = self.inner.lock();
         let ids: Vec<DocId> = match inner.plan(filter) {
             Some(candidates) => candidates
@@ -333,6 +348,7 @@ impl Collection {
     ///
     /// Currently infallible; returns `Result` for parity with `update`.
     pub fn delete_many(&self, filter: &Filter) -> Result<usize, StoreError> {
+        telemetry().collection_delete.inc();
         let mut inner = self.inner.lock();
         let ids: Vec<DocId> = inner
             .docs
@@ -387,7 +403,10 @@ impl Collection {
         let mut values: Vec<serde_json::Value> = Vec::new();
         for doc in inner.docs.values().filter(|d| filter.matches(d)) {
             if let Some(v) = get_path(doc, path) {
-                if matches!(v, serde_json::Value::Array(_) | serde_json::Value::Object(_)) {
+                if matches!(
+                    v,
+                    serde_json::Value::Array(_) | serde_json::Value::Object(_)
+                ) {
                     continue;
                 }
                 if !values
@@ -473,12 +492,17 @@ mod tests {
     #[test]
     fn find_sorted_and_paged() {
         let c = seeded();
-        let opts = FindOptions::new().sort("spl", SortOrder::Descending).limit(2);
+        let opts = FindOptions::new()
+            .sort("spl", SortOrder::Descending)
+            .limit(2);
         let r = c.find_with_options(&Filter::True, &opts).unwrap();
         assert_eq!(r[0]["spl"], json!(70.0));
         assert_eq!(r[1]["spl"], json!(62.0));
 
-        let opts = FindOptions::new().sort("spl", SortOrder::Ascending).skip(1).limit(2);
+        let opts = FindOptions::new()
+            .sort("spl", SortOrder::Ascending)
+            .skip(1)
+            .limit(2);
         let r = c.find_with_options(&Filter::True, &opts).unwrap();
         assert_eq!(r[0]["spl"], json!(55.0));
         assert_eq!(r[1]["spl"], json!(62.0));

@@ -47,11 +47,15 @@ mod tests {
         assert!(StoreError::NotAnObject.to_string().contains("object"));
         assert!(StoreError::BadFilter("x".into()).to_string().contains('x'));
         assert!(StoreError::BadUpdate("y".into()).to_string().contains('y'));
-        assert!(StoreError::BadPipeline("z".into()).to_string().contains('z'));
+        assert!(StoreError::BadPipeline("z".into())
+            .to_string()
+            .contains('z'));
         assert!(StoreError::CollectionNotFound("c".into())
             .to_string()
             .contains('c'));
-        assert!(StoreError::Unorderable("a.b".into()).to_string().contains("a.b"));
+        assert!(StoreError::Unorderable("a.b".into())
+            .to_string()
+            .contains("a.b"));
     }
 
     #[test]

@@ -168,16 +168,9 @@ impl Filter {
     }
 
     /// Inclusive range `lo <= path <= hi`.
-    pub fn range(
-        path: impl Into<String>,
-        lo: impl Into<Value>,
-        hi: impl Into<Value>,
-    ) -> Filter {
+    pub fn range(path: impl Into<String>, lo: impl Into<Value>, hi: impl Into<Value>) -> Filter {
         let path = path.into();
-        Filter::And(vec![
-            Filter::gte(path.clone(), lo),
-            Filter::lte(path, hi),
-        ])
+        Filter::And(vec![Filter::gte(path.clone(), lo), Filter::lte(path, hi)])
     }
 
     /// Membership test on a path.
@@ -241,10 +234,11 @@ impl Filter {
     fn parse_logical(op: &str, value: &Value) -> Result<Filter, StoreError> {
         match op {
             "and" | "or" => {
-                let items = value.as_array().ok_or_else(|| {
-                    StoreError::BadFilter(format!("${op} expects an array"))
-                })?;
-                let parsed: Result<Vec<Filter>, StoreError> = items.iter().map(Self::parse).collect();
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| StoreError::BadFilter(format!("${op} expects an array")))?;
+                let parsed: Result<Vec<Filter>, StoreError> =
+                    items.iter().map(Self::parse).collect();
                 let parsed = parsed?;
                 Ok(if op == "and" {
                     Filter::And(parsed)
@@ -287,9 +281,9 @@ impl Filter {
                     }
                 }
                 "$exists" => {
-                    let expected = arg.as_bool().ok_or_else(|| {
-                        StoreError::BadFilter("$exists expects a boolean".into())
-                    })?;
+                    let expected = arg
+                        .as_bool()
+                        .ok_or_else(|| StoreError::BadFilter("$exists expects a boolean".into()))?;
                     Filter::exists(path, expected)
                 }
                 "$contains" => {
@@ -345,8 +339,7 @@ impl Filter {
                         let Some(v) = found else { return false };
                         match compare_values(v, value) {
                             Some(ord)
-                                if std::mem::discriminant(v)
-                                    == std::mem::discriminant(value) =>
+                                if std::mem::discriminant(v) == std::mem::discriminant(value) =>
                             {
                                 match op {
                                     CmpOp::Gt => ord == Ordering::Greater,
@@ -485,11 +478,21 @@ mod tests {
     #[test]
     fn range_operators() {
         let d = doc();
-        assert!(Filter::parse(&json!({"spl": {"$gt": 60}})).unwrap().matches(&d));
-        assert!(Filter::parse(&json!({"spl": {"$gte": 61.5}})).unwrap().matches(&d));
-        assert!(!Filter::parse(&json!({"spl": {"$gt": 61.5}})).unwrap().matches(&d));
-        assert!(Filter::parse(&json!({"spl": {"$lt": 62}})).unwrap().matches(&d));
-        assert!(Filter::parse(&json!({"spl": {"$lte": 61.5}})).unwrap().matches(&d));
+        assert!(Filter::parse(&json!({"spl": {"$gt": 60}}))
+            .unwrap()
+            .matches(&d));
+        assert!(Filter::parse(&json!({"spl": {"$gte": 61.5}}))
+            .unwrap()
+            .matches(&d));
+        assert!(!Filter::parse(&json!({"spl": {"$gt": 61.5}}))
+            .unwrap()
+            .matches(&d));
+        assert!(Filter::parse(&json!({"spl": {"$lt": 62}}))
+            .unwrap()
+            .matches(&d));
+        assert!(Filter::parse(&json!({"spl": {"$lte": 61.5}}))
+            .unwrap()
+            .matches(&d));
         assert!(Filter::parse(&json!({"spl": {"$gt": 60, "$lt": 62}}))
             .unwrap()
             .matches(&d));
@@ -501,26 +504,38 @@ mod tests {
     #[test]
     fn range_on_missing_or_cross_type_never_matches() {
         let d = doc();
-        assert!(!Filter::parse(&json!({"missing": {"$gt": 0}})).unwrap().matches(&d));
-        assert!(!Filter::parse(&json!({"model": {"$gt": 0}})).unwrap().matches(&d));
+        assert!(!Filter::parse(&json!({"missing": {"$gt": 0}}))
+            .unwrap()
+            .matches(&d));
+        assert!(!Filter::parse(&json!({"model": {"$gt": 0}}))
+            .unwrap()
+            .matches(&d));
     }
 
     #[test]
     fn ne_semantics() {
         let d = doc();
-        assert!(Filter::parse(&json!({"model": {"$ne": "X"}})).unwrap().matches(&d));
+        assert!(Filter::parse(&json!({"model": {"$ne": "X"}}))
+            .unwrap()
+            .matches(&d));
         assert!(!Filter::parse(&json!({"model": {"$ne": "SONY D5803"}}))
             .unwrap()
             .matches(&d));
         // Missing field is "not equal" to any non-null value.
-        assert!(Filter::parse(&json!({"missing": {"$ne": 1}})).unwrap().matches(&d));
-        assert!(!Filter::parse(&json!({"missing": {"$ne": null}})).unwrap().matches(&d));
+        assert!(Filter::parse(&json!({"missing": {"$ne": 1}}))
+            .unwrap()
+            .matches(&d));
+        assert!(!Filter::parse(&json!({"missing": {"$ne": null}}))
+            .unwrap()
+            .matches(&d));
     }
 
     #[test]
     fn null_equality_matches_missing() {
         let d = doc();
-        assert!(Filter::parse(&json!({"missing": null})).unwrap().matches(&d));
+        assert!(Filter::parse(&json!({"missing": null}))
+            .unwrap()
+            .matches(&d));
         assert!(!Filter::parse(&json!({"model": null})).unwrap().matches(&d));
     }
 
@@ -541,18 +556,30 @@ mod tests {
     #[test]
     fn exists() {
         let d = doc();
-        assert!(Filter::parse(&json!({"location": {"$exists": true}})).unwrap().matches(&d));
-        assert!(Filter::parse(&json!({"ghost": {"$exists": false}})).unwrap().matches(&d));
-        assert!(!Filter::parse(&json!({"ghost": {"$exists": true}})).unwrap().matches(&d));
+        assert!(Filter::parse(&json!({"location": {"$exists": true}}))
+            .unwrap()
+            .matches(&d));
+        assert!(Filter::parse(&json!({"ghost": {"$exists": false}}))
+            .unwrap()
+            .matches(&d));
+        assert!(!Filter::parse(&json!({"ghost": {"$exists": true}}))
+            .unwrap()
+            .matches(&d));
     }
 
     #[test]
     fn contains() {
         let d = doc();
-        assert!(Filter::parse(&json!({"model": {"$contains": "SONY"}})).unwrap().matches(&d));
-        assert!(!Filter::parse(&json!({"model": {"$contains": "HTC"}})).unwrap().matches(&d));
+        assert!(Filter::parse(&json!({"model": {"$contains": "SONY"}}))
+            .unwrap()
+            .matches(&d));
+        assert!(!Filter::parse(&json!({"model": {"$contains": "HTC"}}))
+            .unwrap()
+            .matches(&d));
         // Non-string values never $contains.
-        assert!(!Filter::parse(&json!({"spl": {"$contains": "6"}})).unwrap().matches(&d));
+        assert!(!Filter::parse(&json!({"spl": {"$contains": "6"}}))
+            .unwrap()
+            .matches(&d));
     }
 
     #[test]
@@ -589,8 +616,7 @@ mod tests {
         let d = doc();
         let f = Filter::parse(&json!({"tags": ["noise", "paris"]})).unwrap();
         assert!(f.matches(&d));
-        let f =
-            Filter::parse(&json!({"location": {"provider": "gps", "accuracy": 12.0}})).unwrap();
+        let f = Filter::parse(&json!({"location": {"provider": "gps", "accuracy": 12.0}})).unwrap();
         assert!(f.matches(&d));
         let f = Filter::parse(&json!({"tags": ["paris", "noise"]})).unwrap();
         assert!(!f.matches(&d), "array equality is ordered");

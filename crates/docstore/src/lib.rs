@@ -38,6 +38,7 @@ mod index;
 #[cfg(test)]
 mod proptests;
 mod store;
+mod telemetry;
 mod update;
 mod value;
 

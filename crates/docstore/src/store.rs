@@ -1,5 +1,6 @@
 //! The store: a namespace of collections.
 
+use crate::telemetry::telemetry;
 use crate::Collection;
 use crate::StoreError;
 use parking_lot::Mutex;
@@ -37,11 +38,12 @@ impl Store {
     /// returned handle shares data with every other handle to the same
     /// name.
     pub fn collection(&self, name: &str) -> Collection {
-        self.collections
-            .lock()
-            .entry(name.to_owned())
-            .or_default()
-            .clone()
+        let mut collections = self.collections.lock();
+        if let Some(existing) = collections.get(name) {
+            return existing.clone();
+        }
+        telemetry().store_collections.inc();
+        collections.entry(name.to_owned()).or_default().clone()
     }
 
     /// Whether a collection named `name` exists.
@@ -61,11 +63,13 @@ impl Store {
     /// Returns [`StoreError::CollectionNotFound`] if no collection has
     /// this name.
     pub fn drop_collection(&self, name: &str) -> Result<(), StoreError> {
-        self.collections
-            .lock()
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| StoreError::CollectionNotFound(name.to_owned()))
+        match self.collections.lock().remove(name) {
+            Some(_) => {
+                telemetry().store_collections.dec();
+                Ok(())
+            }
+            None => Err(StoreError::CollectionNotFound(name.to_owned())),
+        }
     }
 
     /// Total number of documents across all collections.
@@ -114,7 +118,10 @@ mod tests {
     fn total_documents_sums() {
         let store = Store::new();
         store.collection("a").insert_one(json!({})).unwrap();
-        store.collection("b").insert_many([json!({}), json!({})]).unwrap();
+        store
+            .collection("b")
+            .insert_many([json!({}), json!({})])
+            .unwrap();
         assert_eq!(store.total_documents(), 3);
     }
 

@@ -1,0 +1,99 @@
+//! The store's handles into the process-wide telemetry registry.
+//!
+//! Series follow the workspace convention `<crate>_<subsystem>_<metric>`
+//! and register lazily in [`Registry::global`], so any embedding process
+//! (the GoFlow server, the bench harness, a test) sees combined storage
+//! health without plumbing handles through constructors.
+
+use mps_telemetry::{Counter, Gauge, Histogram, Registry};
+use std::sync::OnceLock;
+
+/// Shared docstore metric handles.
+pub(crate) struct StoreTelemetry {
+    /// Documents inserted across all collections.
+    pub(crate) collection_insert: Counter,
+    /// Find queries executed across all collections.
+    pub(crate) collection_find: Counter,
+    /// Update-many operations executed across all collections.
+    pub(crate) collection_update: Counter,
+    /// Delete-many operations executed across all collections.
+    pub(crate) collection_delete: Counter,
+    /// Latency of one insert, in seconds.
+    pub(crate) collection_insert_seconds: Histogram,
+    /// Latency of one find, in seconds.
+    pub(crate) collection_find_seconds: Histogram,
+    /// Latency of one update-many, in seconds.
+    pub(crate) collection_update_seconds: Histogram,
+    /// Live collections per store, with a high watermark.
+    pub(crate) store_collections: Gauge,
+}
+
+/// The lazily-registered docstore metric set.
+pub(crate) fn telemetry() -> &'static StoreTelemetry {
+    static TELEMETRY: OnceLock<StoreTelemetry> = OnceLock::new();
+    TELEMETRY.get_or_init(|| {
+        let registry = Registry::global();
+        let latency = Histogram::exponential_buckets(1e-7, 10.0, 9);
+        StoreTelemetry {
+            collection_insert: registry.counter(
+                "docstore_collection_insert_total",
+                "Documents inserted across all collections",
+            ),
+            collection_find: registry.counter(
+                "docstore_collection_find_total",
+                "Find queries executed across all collections",
+            ),
+            collection_update: registry.counter(
+                "docstore_collection_update_total",
+                "Update-many operations across all collections",
+            ),
+            collection_delete: registry.counter(
+                "docstore_collection_delete_total",
+                "Delete-many operations across all collections",
+            ),
+            collection_insert_seconds: registry.histogram(
+                "docstore_collection_insert_seconds",
+                "Latency of one document insert (s)",
+                &latency,
+            ),
+            collection_find_seconds: registry.histogram(
+                "docstore_collection_find_seconds",
+                "Latency of one find query (s)",
+                &latency,
+            ),
+            collection_update_seconds: registry.histogram(
+                "docstore_collection_update_seconds",
+                "Latency of one update-many operation (s)",
+                &latency,
+            ),
+            store_collections: registry.gauge(
+                "docstore_store_collections",
+                "Live collections across all stores",
+            ),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_all_series_under_docstore_names() {
+        let t = telemetry();
+        t.collection_insert.add(0);
+        let names = Registry::global().names();
+        for name in [
+            "docstore_collection_insert_total",
+            "docstore_collection_find_total",
+            "docstore_collection_update_total",
+            "docstore_collection_delete_total",
+            "docstore_collection_insert_seconds",
+            "docstore_collection_find_seconds",
+            "docstore_collection_update_seconds",
+            "docstore_store_collections",
+        ] {
+            assert!(names.iter().any(|n| n == name), "missing {name}");
+        }
+    }
+}

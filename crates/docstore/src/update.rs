@@ -53,9 +53,9 @@ impl Update {
             .ok_or_else(|| StoreError::BadUpdate("update must be an object".into()))?;
         let mut ops = Vec::new();
         for (op, args) in map {
-            let args = args.as_object().ok_or_else(|| {
-                StoreError::BadUpdate(format!("{op} expects an object of paths"))
-            })?;
+            let args = args
+                .as_object()
+                .ok_or_else(|| StoreError::BadUpdate(format!("{op} expects an object of paths")))?;
             for (path, arg) in args {
                 let parsed = match op.as_str() {
                     "$set" => Op::Set(path.clone(), arg.clone()),

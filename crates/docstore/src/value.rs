@@ -208,16 +208,19 @@ mod tests {
             compare_values(&json!(true), &json!(false)),
             Some(Ordering::Greater)
         );
-        assert_eq!(compare_values(&json!(null), &json!(null)), Some(Ordering::Equal));
+        assert_eq!(
+            compare_values(&json!(null), &json!(null)),
+            Some(Ordering::Equal)
+        );
     }
 
     #[test]
     fn compare_cross_types_by_rank() {
-        assert_eq!(compare_values(&json!(null), &json!(5)), Some(Ordering::Less));
         assert_eq!(
-            compare_values(&json!(5), &json!("5")),
+            compare_values(&json!(null), &json!(5)),
             Some(Ordering::Less)
         );
+        assert_eq!(compare_values(&json!(5), &json!("5")), Some(Ordering::Less));
         assert_eq!(
             compare_values(&json!("x"), &json!(true)),
             Some(Ordering::Less)

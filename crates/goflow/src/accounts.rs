@@ -11,9 +11,7 @@ use std::fmt;
 ///
 /// GoFlow manages "users with different roles for the registered apps";
 /// the roles gate the administrative API surface.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Role {
     /// Contributes observations; may read their own data.
     Contributor,
@@ -313,7 +311,9 @@ mod tests {
         let m = manager_with_app();
         let contrib = m.register_user(&sc(), 1.into(), Role::Contributor).unwrap();
         let admin = m.register_user(&sc(), 2.into(), Role::Admin).unwrap();
-        assert!(m.require_role(&contrib, Role::Manager, "submit job").is_err());
+        assert!(m
+            .require_role(&contrib, Role::Manager, "submit job")
+            .is_err());
         assert!(m.require_role(&admin, Role::Manager, "submit job").is_ok());
     }
 
@@ -322,7 +322,10 @@ mod tests {
         let m = manager_with_app();
         let token = m.register_user(&sc(), 1.into(), Role::Contributor).unwrap();
         m.revoke(&token).unwrap();
-        assert_eq!(m.authenticate(&token).unwrap_err(), GoFlowError::InvalidToken);
+        assert_eq!(
+            m.authenticate(&token).unwrap_err(),
+            GoFlowError::InvalidToken
+        );
         assert_eq!(m.user_count(&sc()), 0);
         assert!(m.revoke(&Token("ghost".into())).is_err());
     }

@@ -120,10 +120,7 @@ mod tests {
         a.record(&app, t(5), false);
         a.record(&app, t(1), true);
         a.record(&app, t(5), true);
-        assert_eq!(
-            a.daily_series(&app),
-            vec![(1, 1, 1), (5, 2, 1)]
-        );
+        assert_eq!(a.daily_series(&app), vec![(1, 1, 1), (5, 2, 1)]);
     }
 
     #[test]

@@ -143,7 +143,9 @@ pub fn handle(server: &GoFlowServer, request: ApiRequest) -> Result<ApiResponse,
             app,
             query,
             packaging,
-        } => Ok(ApiResponse::Package(server.export(&app, &query, packaging)?)),
+        } => Ok(ApiResponse::Package(
+            server.export(&app, &query, packaging)?,
+        )),
         ApiRequest::Ingest {
             app,
             now,
@@ -198,7 +200,11 @@ mod tests {
         };
         let response = handle(&server, ApiRequest::Login { token }).unwrap();
         match response {
-            ApiResponse::Session { exchange, queue, client_id } => {
+            ApiResponse::Session {
+                exchange,
+                queue,
+                client_id,
+            } => {
                 assert!(exchange.contains(&client_id));
                 assert!(server.broker().queue_exists(&queue));
             }
@@ -212,7 +218,11 @@ mod tests {
         let app = AppId::soundcity();
         handle(&server, ApiRequest::RegisterApp { app: app.clone() }).unwrap();
         match handle(&server, ApiRequest::Stats { app: app.clone() }).unwrap() {
-            ApiResponse::Stats { total, localized, users } => {
+            ApiResponse::Stats {
+                total,
+                localized,
+                users,
+            } => {
                 assert_eq!((total, localized, users), (0, 0, 0));
             }
             other => panic!("expected stats, got {other:?}"),
@@ -236,11 +246,7 @@ mod tests {
     fn errors_propagate() {
         let server = server();
         let ghost = AppId::new("GHOST");
-        assert!(handle(
-            &server,
-            ApiRequest::Stats { app: ghost.clone() }
-        )
-        .is_ok()); // stats on unknown app reports zeros
+        assert!(handle(&server, ApiRequest::Stats { app: ghost.clone() }).is_ok()); // stats on unknown app reports zeros
         assert!(handle(
             &server,
             ApiRequest::Ingest {

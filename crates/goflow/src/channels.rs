@@ -142,7 +142,8 @@ impl ChannelManager {
         let client_id = ClientId::new(format!("c{serial:08x}"));
         let exchange = format!("client-{client_id}-ex");
         let queue = format!("client-{client_id}-q");
-        self.broker.declare_exchange(&exchange, ExchangeType::Topic)?;
+        self.broker
+            .declare_exchange(&exchange, ExchangeType::Topic)?;
         self.broker.declare_queue(&queue)?;
         // Security: only keys prefixed with the shared-secret client id
         // cross from the client exchange into the application exchange.
@@ -225,7 +226,9 @@ mod tests {
         let (broker, manager, app) = setup();
         let session = manager.open_client(&app, 1.into()).unwrap();
         let key = session.observation_key("noise", "FR75013");
-        let routed = broker.publish(session.exchange(), &key, &b"obs"[..]).unwrap();
+        let routed = broker
+            .publish(session.exchange(), &key, &b"obs"[..])
+            .unwrap();
         assert_eq!(routed, 1);
         assert_eq!(broker.queue_depth("gf-SC-queue").unwrap(), 1);
     }
@@ -238,7 +241,9 @@ mod tests {
         // A message with s2's id published on s1's exchange must not pass
         // s1's binding filter.
         let forged = s2.observation_key("noise", "FR75013");
-        let routed = broker.publish(s1.exchange(), &forged, &b"forged"[..]).unwrap();
+        let routed = broker
+            .publish(s1.exchange(), &forged, &b"forged"[..])
+            .unwrap();
         assert_eq!(routed, 0);
         assert_eq!(broker.queue_depth("gf-SC-queue").unwrap(), 0);
     }
@@ -248,23 +253,31 @@ mod tests {
         let (broker, manager, app) = setup();
         let publisher = manager.open_client(&app, 1.into()).unwrap();
         let subscriber = manager.open_client(&app, 2.into()).unwrap();
-        manager.subscribe(&subscriber, "Feedback", "FR75013").unwrap();
+        manager
+            .subscribe(&subscriber, "Feedback", "FR75013")
+            .unwrap();
 
         // Matching message: reaches GF and the subscriber queue.
         let key = publisher.observation_key("Feedback", "FR75013");
-        let routed = broker.publish(publisher.exchange(), &key, &b"fb"[..]).unwrap();
+        let routed = broker
+            .publish(publisher.exchange(), &key, &b"fb"[..])
+            .unwrap();
         assert_eq!(routed, 2);
         assert_eq!(broker.queue_depth(subscriber.queue()).unwrap(), 1);
 
         // Wrong location: GF only.
         let key = publisher.observation_key("Feedback", "FR92120");
-        let routed = broker.publish(publisher.exchange(), &key, &b"fb"[..]).unwrap();
+        let routed = broker
+            .publish(publisher.exchange(), &key, &b"fb"[..])
+            .unwrap();
         assert_eq!(routed, 1);
         assert_eq!(broker.queue_depth(subscriber.queue()).unwrap(), 1);
 
         // Wrong datatype: GF only.
         let key = publisher.observation_key("Journey", "FR75013");
-        let routed = broker.publish(publisher.exchange(), &key, &b"j"[..]).unwrap();
+        let routed = broker
+            .publish(publisher.exchange(), &key, &b"j"[..])
+            .unwrap();
         assert_eq!(routed, 1);
     }
 
@@ -277,7 +290,9 @@ mod tests {
         manager.subscribe(&s2, "Feedback", "FR75013").unwrap();
         manager.subscribe(&s3, "Feedback", "FR75013").unwrap();
         let key = publisher.observation_key("Feedback", "FR75013");
-        let routed = broker.publish(publisher.exchange(), &key, &b"fb"[..]).unwrap();
+        let routed = broker
+            .publish(publisher.exchange(), &key, &b"fb"[..])
+            .unwrap();
         assert_eq!(routed, 3, "GF + two subscribers");
     }
 

@@ -216,7 +216,9 @@ mod tests {
 
     #[test]
     fn bbox_filters_coordinates() {
-        let f = ObservationQuery::new().within(GeoBounds::paris()).to_filter();
+        let f = ObservationQuery::new()
+            .within(GeoBounds::paris())
+            .to_filter();
         assert!(f.matches(&doc("gps", 10.0, 0)));
         let mut outside = doc("gps", 10.0, 0);
         outside["lat"] = json!(45.0);

@@ -79,7 +79,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(GoFlowError::UnknownApp("X".into()).to_string().contains('X'));
+        assert!(GoFlowError::UnknownApp("X".into())
+            .to_string()
+            .contains('X'));
         assert!(!GoFlowError::InvalidToken.to_string().is_empty());
         assert!(GoFlowError::PermissionDenied {
             action: "drop".into()

@@ -8,9 +8,11 @@
 //! document per observation.
 
 use crate::channels::gf_queue;
+use crate::telemetry::telemetry;
 use crate::{PrivacyPolicy, UsageAnalytics};
 use mps_broker::Broker;
 use mps_docstore::Collection;
+use mps_telemetry::SpanTimer;
 use mps_types::{AppId, Observation, SimTime};
 use serde_json::{json, Value};
 use std::sync::Arc;
@@ -36,11 +38,7 @@ pub struct ObservationRecord;
 impl ObservationRecord {
     /// Builds the stored document for an observation that arrived at
     /// `arrived_at`.
-    pub fn to_document(
-        obs: &Observation,
-        arrived_at: SimTime,
-        policy: &PrivacyPolicy,
-    ) -> Value {
+    pub fn to_document(obs: &Observation, arrived_at: SimTime, policy: &PrivacyPolicy) -> Value {
         let delay_ms = arrived_at.since(obs.captured_at).as_millis();
         let location = obs.location.as_ref();
         json!({
@@ -101,6 +99,8 @@ impl Ingestor {
         max_messages: usize,
     ) -> IngestOutcome {
         let queue = gf_queue(app);
+        let metrics = telemetry();
+        let _drain_timer = SpanTimer::start(&metrics.ingest_drain_seconds);
         let mut outcome = IngestOutcome::default();
         let Ok(deliveries) = self.broker.consume(&queue, max_messages) else {
             return outcome;
@@ -112,6 +112,10 @@ impl Ingestor {
                         let doc = ObservationRecord::to_document(obs, now, &self.policy);
                         if collection.insert_one(doc).is_ok() {
                             outcome.stored += 1;
+                            metrics.ingest_stored.inc();
+                            metrics
+                                .ingest_delivery_delay_ms
+                                .observe(now.since(obs.captured_at).as_millis() as f64);
                             analytics.record(app, now, obs.is_localized());
                         }
                     }
@@ -119,6 +123,7 @@ impl Ingestor {
                 }
                 Err(err) => {
                     outcome.malformed += 1;
+                    metrics.ingest_malformed.inc();
                     let _ = self.broker.nack(&queue, delivery.tag, false);
                     let _ = err; // decode errors are counted, not propagated
                 }
@@ -175,13 +180,11 @@ mod tests {
     #[test]
     fn document_pseudonymises_ids() {
         let obs = sample_obs();
-        let doc =
-            ObservationRecord::to_document(&obs, obs.captured_at, &PrivacyPolicy::default());
+        let doc = ObservationRecord::to_document(&obs, obs.captured_at, &PrivacyPolicy::default());
         assert_ne!(doc["device"], 7);
         assert_ne!(doc["user"], 3);
         // Stable across calls.
-        let doc2 =
-            ObservationRecord::to_document(&obs, obs.captured_at, &PrivacyPolicy::default());
+        let doc2 = ObservationRecord::to_document(&obs, obs.captured_at, &PrivacyPolicy::default());
         assert_eq!(doc["device"], doc2["device"]);
     }
 
@@ -189,8 +192,7 @@ mod tests {
     fn unlocalized_observation_has_null_location_fields() {
         let mut obs = sample_obs();
         obs.location = None;
-        let doc =
-            ObservationRecord::to_document(&obs, obs.captured_at, &PrivacyPolicy::default());
+        let doc = ObservationRecord::to_document(&obs, obs.captured_at, &PrivacyPolicy::default());
         assert_eq!(doc["localized"], false);
         assert!(doc["provider"].is_null());
         assert!(doc["accuracy"].is_null());

@@ -5,8 +5,10 @@
 //! application". Here a script is a closure over the app's collection; the
 //! registry tracks submission and completion status.
 
+use crate::telemetry::telemetry;
 use crate::GoFlowError;
 use mps_docstore::Collection;
+use mps_telemetry::SpanTimer;
 use parking_lot::Mutex;
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -128,11 +130,20 @@ impl JobRegistry {
             .map(|(id, j)| (*id, Arc::clone(&j.script)))
             .collect();
         let n = pending.len();
+        let metrics = telemetry();
         for (id, script) in pending {
+            let timer = SpanTimer::start(&metrics.jobs_run_seconds);
             let status = match script(collection) {
-                Ok(value) => JobStatus::Done(value),
-                Err(msg) => JobStatus::Failed(msg),
+                Ok(value) => {
+                    metrics.jobs_completed.inc();
+                    JobStatus::Done(value)
+                }
+                Err(msg) => {
+                    metrics.jobs_failed.inc();
+                    JobStatus::Failed(msg)
+                }
             };
+            timer.stop();
             if let Some(job) = self.jobs.lock().get_mut(&id) {
                 job.status = status;
             }
@@ -172,7 +183,10 @@ mod tests {
         assert_eq!(registry.name(id).unwrap(), "count");
 
         assert_eq!(registry.run_pending(&collection), 1);
-        assert_eq!(registry.status(id).unwrap(), JobStatus::Done(json!({"n": 2})));
+        assert_eq!(
+            registry.status(id).unwrap(),
+            JobStatus::Done(json!({"n": 2}))
+        );
         // Done jobs do not re-run.
         assert_eq!(registry.run_pending(&collection), 0);
     }

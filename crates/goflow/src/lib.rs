@@ -45,9 +45,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod api;
 mod accounts;
 mod analytics;
+pub mod api;
 mod channels;
 mod data;
 mod error;
@@ -57,6 +57,7 @@ mod privacy;
 #[cfg(test)]
 mod proptests;
 mod server;
+mod telemetry;
 
 pub use accounts::{AccountManager, Role, Token};
 pub use analytics::UsageAnalytics;
@@ -65,5 +66,5 @@ pub use data::{ObservationQuery, Packaging};
 pub use error::GoFlowError;
 pub use ingest::{IngestOutcome, ObservationRecord};
 pub use jobs::{JobId, JobRegistry, JobStatus};
-pub use privacy::{Pseudonym, PrivacyPolicy};
+pub use privacy::{PrivacyPolicy, Pseudonym};
 pub use server::GoFlowServer;

@@ -19,9 +19,7 @@ use serde_json::Value;
 use std::fmt;
 
 /// A stable, keyed pseudonym for a contributor identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Pseudonym(u64);
 
@@ -163,10 +161,7 @@ mod tests {
             "location": {"exact": [48.85, 2.35], "zone": "FR75013"},
         });
         policy.redact(&mut doc);
-        assert_eq!(
-            doc,
-            json!({"spl": 61.0, "location": {"zone": "FR75013"}})
-        );
+        assert_eq!(doc, json!({"spl": 61.0, "location": {"zone": "FR75013"}}));
         assert_eq!(policy.private_paths().len(), 2);
     }
 

@@ -7,6 +7,7 @@ use crate::data::{ObservationQuery, Packaging};
 use crate::ingest::{IngestOutcome, Ingestor};
 use crate::jobs::{JobId, JobRegistry, JobStatus};
 use crate::privacy::PrivacyPolicy;
+use crate::telemetry::telemetry;
 use crate::GoFlowError;
 use mps_broker::Broker;
 use mps_docstore::{Collection, FindOptions, Store};
@@ -201,6 +202,7 @@ impl GoFlowServer {
         max_messages: usize,
     ) -> Result<IngestOutcome, GoFlowError> {
         let collection = self.collection(app)?;
+        telemetry().server_ingest_passes.inc();
         Ok(self
             .ingestor
             .drain(app, &collection, &self.analytics, now, max_messages))
@@ -213,12 +215,9 @@ impl GoFlowServer {
     /// # Errors
     ///
     /// Returns [`GoFlowError::UnknownApp`] or storage errors.
-    pub fn query(
-        &self,
-        app: &AppId,
-        query: &ObservationQuery,
-    ) -> Result<Vec<Value>, GoFlowError> {
+    pub fn query(&self, app: &AppId, query: &ObservationQuery) -> Result<Vec<Value>, GoFlowError> {
         let collection = self.collection(app)?;
+        telemetry().server_queries.inc();
         let mut options = FindOptions::new();
         if let Some(limit) = query.limit_value() {
             options = options.limit(limit);
@@ -273,7 +272,8 @@ impl GoFlowServer {
         name: impl Into<String>,
         script: impl Fn(&Collection) -> Result<Value, String> + Send + Sync + 'static,
     ) -> Result<JobId, GoFlowError> {
-        self.accounts.require_role(token, Role::Manager, "submit job")?;
+        self.accounts
+            .require_role(token, Role::Manager, "submit job")?;
         Ok(self.jobs.submit(name, script))
     }
 
@@ -395,7 +395,9 @@ mod tests {
                 serde_json::to_vec(&batch).unwrap(),
             )
             .unwrap();
-        let outcome = server.ingest_pending(&app, SimTime::from_hms(0, 11, 0, 0), 10).unwrap();
+        let outcome = server
+            .ingest_pending(&app, SimTime::from_hms(0, 11, 0, 0), 10)
+            .unwrap();
         assert_eq!(outcome.stored, 10);
     }
 
@@ -419,10 +421,8 @@ mod tests {
         server
             .ingest_pending(&app, SimTime::from_hms(5, 0, 0, 0), 100)
             .unwrap();
-        let q = ObservationQuery::new().captured_between(
-            SimTime::from_hms(1, 0, 0, 0),
-            SimTime::from_hms(3, 0, 0, 0),
-        );
+        let q = ObservationQuery::new()
+            .captured_between(SimTime::from_hms(1, 0, 0, 0), SimTime::from_hms(3, 0, 0, 0));
         assert_eq!(server.query(&app, &q).unwrap().len(), 2);
         let q = ObservationQuery::new().limit(3);
         assert_eq!(server.query(&app, &q).unwrap().len(), 3);
@@ -506,8 +506,12 @@ mod tests {
     #[test]
     fn erase_user_removes_data_and_credentials() {
         let (broker, server, app) = server();
-        let t1 = server.register_user(&app, 1.into(), Role::Contributor).unwrap();
-        let t2 = server.register_user(&app, 2.into(), Role::Contributor).unwrap();
+        let t1 = server
+            .register_user(&app, 1.into(), Role::Contributor)
+            .unwrap();
+        let t2 = server
+            .register_user(&app, 2.into(), Role::Contributor)
+            .unwrap();
         for (token, user) in [(&t1, 1u64), (&t2, 2u64)] {
             let session = server.login(token).unwrap();
             for i in 0..3 {
@@ -524,12 +528,18 @@ mod tests {
         server
             .ingest_pending(&app, SimTime::from_hms(3, 0, 0, 0), 100)
             .unwrap();
-        assert_eq!(server.query(&app, &ObservationQuery::new()).unwrap().len(), 6);
+        assert_eq!(
+            server.query(&app, &ObservationQuery::new()).unwrap().len(),
+            6
+        );
 
         // Erase user 1: their 3 documents go, user 2's stay.
         let deleted = server.erase_user(&app, 1.into()).unwrap();
         assert_eq!(deleted, 3);
-        assert_eq!(server.query(&app, &ObservationQuery::new()).unwrap().len(), 3);
+        assert_eq!(
+            server.query(&app, &ObservationQuery::new()).unwrap().len(),
+            3
+        );
         // Credentials are gone too.
         assert!(matches!(server.login(&t1), Err(GoFlowError::InvalidToken)));
         assert!(server.login(&t2).is_ok());
@@ -576,11 +586,17 @@ mod tests {
     #[test]
     fn subscriptions_route_between_clients() {
         let (broker, server, app) = server();
-        let t1 = server.register_user(&app, 1.into(), Role::Contributor).unwrap();
-        let t2 = server.register_user(&app, 2.into(), Role::Contributor).unwrap();
+        let t1 = server
+            .register_user(&app, 1.into(), Role::Contributor)
+            .unwrap();
+        let t2 = server
+            .register_user(&app, 2.into(), Role::Contributor)
+            .unwrap();
         let publisher = server.login(&t1).unwrap();
         let subscriber = server.login(&t2).unwrap();
-        server.subscribe(&subscriber, "Feedback", "FR75013").unwrap();
+        server
+            .subscribe(&subscriber, "Feedback", "FR75013")
+            .unwrap();
         broker
             .publish(
                 publisher.exchange(),

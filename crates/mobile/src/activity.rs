@@ -90,7 +90,11 @@ mod tests {
     fn stationary_matches_targets() {
         let pi = activity_chain().stationary(500);
         for (i, target) in TARGET_ACTIVITY_SHARES.iter().enumerate() {
-            assert!((pi[i] - target).abs() < 1e-9, "state {i}: {} vs {target}", pi[i]);
+            assert!(
+                (pi[i] - target).abs() < 1e-9,
+                "state {i}: {} vs {target}",
+                pi[i]
+            );
         }
     }
 

@@ -201,7 +201,10 @@ mod tests {
     fn depletion_magnitudes_are_plausible() {
         // A 2015 phone idles through a 7-hour window on roughly 5–15 %.
         let no_app = lab_run(None, 1, 7);
-        assert!((5.0..15.0).contains(&no_app), "baseline depletion {no_app}%");
+        assert!(
+            (5.0..15.0).contains(&no_app),
+            "baseline depletion {no_app}%"
+        );
         let worst = lab_run(Some(RadioKind::ThreeG), 1, 7);
         assert!(worst < 45.0, "3G depletion {worst}% too extreme");
     }

@@ -230,7 +230,11 @@ mod tests {
                 .unwrap();
             peak_hours.insert(peak);
         }
-        assert!(peak_hours.len() >= 5, "only {} distinct peak hours", peak_hours.len());
+        assert!(
+            peak_hours.len() >= 5,
+            "only {} distinct peak hours",
+            peak_hours.len()
+        );
     }
 
     #[test]
@@ -262,7 +266,10 @@ mod tests {
                 SensingMode::Journey => counts[2] += 1,
             }
         }
-        assert!(counts[0] as f64 / n as f64 > 0.9, "opportunistic {counts:?}");
+        assert!(
+            counts[0] as f64 / n as f64 > 0.9,
+            "opportunistic {counts:?}"
+        );
         assert!(counts[1] > 0 || counts[2] > 0, "some participatory events");
     }
 

@@ -101,7 +101,10 @@ impl ModelProfile {
 
     /// Profiles for all top-20 models, in the paper's row order.
     pub fn all() -> Vec<ModelProfile> {
-        DeviceModel::ALL.iter().map(|m| Self::for_model(*m)).collect()
+        DeviceModel::ALL
+            .iter()
+            .map(|m| Self::for_model(*m))
+            .collect()
     }
 
     /// Samples a location provider from the profile's mix using a uniform
@@ -173,7 +176,10 @@ mod tests {
 
     #[test]
     fn spl_offsets_vary_across_models() {
-        let offsets: Vec<f64> = ModelProfile::all().iter().map(|p| p.spl_offset_db).collect();
+        let offsets: Vec<f64> = ModelProfile::all()
+            .iter()
+            .map(|p| p.spl_offset_db)
+            .collect();
         let min = offsets.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = offsets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(max - min > 5.0, "spread {min}..{max} too narrow");
@@ -204,7 +210,10 @@ mod tests {
     fn some_models_lack_fused() {
         let all = ModelProfile::all();
         let without: usize = all.iter().filter(|p| !p.fused_supported).count();
-        assert!(without >= 4, "expected several models without fused, got {without}");
+        assert!(
+            without >= 4,
+            "expected several models without fused, got {without}"
+        );
         assert!(without <= 10);
     }
 
@@ -235,11 +244,14 @@ mod tests {
         let p = ModelProfile::for_model(DeviceModel::SamsungGtI9505);
         assert_eq!(p.provider_for(0.0), LocationProvider::Gps);
         assert_eq!(p.provider_for(0.5), LocationProvider::Network);
-        assert_eq!(p.provider_for(0.999), if p.fused_supported {
-            LocationProvider::Fused
-        } else {
-            LocationProvider::Network
-        });
+        assert_eq!(
+            p.provider_for(0.999),
+            if p.fused_supported {
+                LocationProvider::Fused
+            } else {
+                LocationProvider::Network
+            }
+        );
     }
 
     #[test]

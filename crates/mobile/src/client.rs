@@ -121,7 +121,11 @@ impl GoFlowClient {
     ///
     /// Propagates broker errors (unknown exchange); the buffer is kept so
     /// the observations are retried on the next cycle.
-    pub fn on_cycle(&mut self, broker: &Broker, connected: bool) -> Result<SendOutcome, BrokerError> {
+    pub fn on_cycle(
+        &mut self,
+        broker: &Broker,
+        connected: bool,
+    ) -> Result<SendOutcome, BrokerError> {
         if !connected || !self.wants_to_send() {
             return Ok(SendOutcome::default());
         }

@@ -185,9 +185,7 @@ impl Device {
         let activity = self.activity.step(&mut self.rng);
         self.step_position(activity.is_moving());
         if self.session_slots_left == 0 {
-            let start = self
-                .behavior
-                .session_start_probability(at.hour_of_day());
+            let start = self.behavior.session_start_probability(at.hour_of_day());
             if !self.rng.chance(start) {
                 return None;
             }
@@ -226,8 +224,10 @@ impl Device {
     fn step_position(&mut self, moving: bool) {
         let (x, y) = self.wander_xy;
         if moving {
-            let nx = (x + self.rng.normal(0.0, 180.0)).clamp(-Self::MAX_WANDER_M, Self::MAX_WANDER_M);
-            let ny = (y + self.rng.normal(0.0, 180.0)).clamp(-Self::MAX_WANDER_M, Self::MAX_WANDER_M);
+            let nx =
+                (x + self.rng.normal(0.0, 180.0)).clamp(-Self::MAX_WANDER_M, Self::MAX_WANDER_M);
+            let ny =
+                (y + self.rng.normal(0.0, 180.0)).clamp(-Self::MAX_WANDER_M, Self::MAX_WANDER_M);
             self.wander_xy = (nx, ny);
         } else {
             // Drift back toward home (people return).
@@ -286,7 +286,10 @@ mod tests {
         let mut a = device(7, DeviceModel::LgeNexus5);
         let mut b = device(7, DeviceModel::LgeNexus5);
         let at = SimTime::from_hms(0, 12, 0, 0);
-        assert_eq!(a.capture(at, SensingMode::Journey), b.capture(at, SensingMode::Journey));
+        assert_eq!(
+            a.capture(at, SensingMode::Journey),
+            b.capture(at, SensingMode::Journey)
+        );
     }
 
     #[test]
@@ -294,7 +297,10 @@ mod tests {
         let mut a = device(1, DeviceModel::LgeNexus5);
         let mut b = device(2, DeviceModel::LgeNexus5);
         let at = SimTime::from_hms(0, 12, 0, 0);
-        assert_ne!(a.capture(at, SensingMode::Manual), b.capture(at, SensingMode::Manual));
+        assert_ne!(
+            a.capture(at, SensingMode::Manual),
+            b.capture(at, SensingMode::Manual)
+        );
     }
 
     #[test]

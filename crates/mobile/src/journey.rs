@@ -71,8 +71,14 @@ impl Journey {
     /// Panics if fewer than two waypoints are given or the period is not
     /// positive.
     pub fn new(waypoints: Vec<GeoPoint>, period: SimDuration) -> Self {
-        assert!(waypoints.len() >= 2, "a journey needs at least two waypoints");
-        assert!(period > SimDuration::ZERO, "sensing period must be positive");
+        assert!(
+            waypoints.len() >= 2,
+            "a journey needs at least two waypoints"
+        );
+        assert!(
+            period > SimDuration::ZERO,
+            "sensing period must be positive"
+        );
         Self {
             waypoints,
             period,
@@ -223,11 +229,7 @@ mod tests {
         let mut gps = 0usize;
         let mut total = 0usize;
         for run in 0..30 {
-            let trace = straight_journey().run(
-                &mut d,
-                SimTime::from_hms(run, 10, 0, 0),
-                20,
-            );
+            let trace = straight_journey().run(&mut d, SimTime::from_hms(run, 10, 0, 0), 20);
             for obs in &trace.observations {
                 total += 1;
                 if let Some(fix) = &obs.location {

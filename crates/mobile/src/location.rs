@@ -145,8 +145,16 @@ mod tests {
         let samples: Vec<f64> = (0..n)
             .map(|_| LocationSampler::sample_accuracy(LocationProvider::Network, &mut rng))
             .collect();
-        let core = samples.iter().filter(|a| (20.0..=50.0).contains(*a)).count() as f64 / n as f64;
-        let bump = samples.iter().filter(|a| (80.0..=110.0).contains(*a)).count() as f64 / n as f64;
+        let core = samples
+            .iter()
+            .filter(|a| (20.0..=50.0).contains(*a))
+            .count() as f64
+            / n as f64;
+        let bump = samples
+            .iter()
+            .filter(|a| (80.0..=110.0).contains(*a))
+            .count() as f64
+            / n as f64;
         assert!(core > 0.45, "20–50 m share {core}");
         assert!(bump > 0.12 && bump < 0.35, "~100 m bump share {bump}");
     }
@@ -178,7 +186,10 @@ mod tests {
         let gps = mean(LocationProvider::Gps, &mut rng);
         let network = mean(LocationProvider::Network, &mut rng);
         let fused = mean(LocationProvider::Fused, &mut rng);
-        assert!(gps < network && network < fused, "{gps} < {network} < {fused}");
+        assert!(
+            gps < network && network < fused,
+            "{gps} < {network} < {fused}"
+        );
     }
 
     #[test]
@@ -227,7 +238,10 @@ mod tests {
             .count() as f64
             / n as f64;
         let expected = ModelProfile::for_model(DeviceModel::SamsungGtI9505).localized_fraction;
-        assert!((localized - expected).abs() < 0.02, "{localized} vs {expected}");
+        assert!(
+            (localized - expected).abs() < 0.02,
+            "{localized} vs {expected}"
+        );
     }
 
     #[test]
@@ -261,8 +275,7 @@ mod tests {
         let s = LocationSampler::for_profile(&profile);
         let mut rng = SimRng::new(7);
         for _ in 0..5_000 {
-            if let Some(fix) = s.sample_fix(SensingMode::Opportunistic, GeoPoint::PARIS, &mut rng)
-            {
+            if let Some(fix) = s.sample_fix(SensingMode::Opportunistic, GeoPoint::PARIS, &mut rng) {
                 assert_ne!(fix.provider, LocationProvider::Fused);
             }
         }

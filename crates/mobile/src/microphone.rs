@@ -157,8 +157,11 @@ mod tests {
         assert!(quiet > 0.55, "quiet mass {quiet}");
         assert!(active > 0.1, "active mass {active}");
         // Few samples in the valley between the modes.
-        let valley =
-            samples.iter().filter(|s| (45.0..=55.0).contains(*s)).count() as f64 / samples.len() as f64;
+        let valley = samples
+            .iter()
+            .filter(|s| (45.0..=55.0).contains(*s))
+            .count() as f64
+            / samples.len() as f64;
         assert!(valley < 0.15, "valley mass {valley}");
     }
 
@@ -181,7 +184,9 @@ mod tests {
     fn devices_of_one_model_are_similar() {
         let profile = ModelProfile::for_model(DeviceModel::SamsungSmG901f);
         let mut r = rng();
-        let mics: Vec<Microphone> = (0..50).map(|_| Microphone::for_device(&profile, &mut r)).collect();
+        let mics: Vec<Microphone> = (0..50)
+            .map(|_| Microphone::for_device(&profile, &mut r))
+            .collect();
         let biases: Vec<f64> = mics.iter().map(Microphone::bias_db).collect();
         let mean = biases.iter().sum::<f64>() / biases.len() as f64;
         let spread = biases
@@ -209,8 +214,14 @@ mod tests {
             .map(|_| Microphone::for_device(&profile, &mut r).bias_db())
             .collect();
         let dmin = device_biases.iter().cloned().fold(f64::INFINITY, f64::min);
-        let dmax = device_biases.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(model_spread > (dmax - dmin), "models must dominate heterogeneity");
+        let dmax = device_biases
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            model_spread > (dmax - dmin),
+            "models must dominate heterogeneity"
+        );
     }
 
     #[test]

@@ -152,11 +152,7 @@ mod tests {
     use super::*;
 
     fn two_state() -> MarkovChain<&'static str> {
-        MarkovChain::new(
-            vec!["a", "b"],
-            vec![vec![0.9, 0.1], vec![0.3, 0.7]],
-        )
-        .unwrap()
+        MarkovChain::new(vec!["a", "b"], vec![vec![0.9, 0.1], vec![0.3, 0.7]]).unwrap()
     }
 
     #[test]
@@ -177,11 +173,11 @@ mod tests {
 
     #[test]
     fn rejects_bad_rows() {
-        let err = MarkovChain::new(vec!["a", "b"], vec![vec![0.6, 0.6], vec![0.5, 0.5]])
-            .unwrap_err();
+        let err =
+            MarkovChain::new(vec!["a", "b"], vec![vec![0.6, 0.6], vec![0.5, 0.5]]).unwrap_err();
         assert_eq!(err, MarkovChainError::BadRow(0));
-        let err = MarkovChain::new(vec!["a", "b"], vec![vec![0.5, 0.5], vec![1.5, -0.5]])
-            .unwrap_err();
+        let err =
+            MarkovChain::new(vec!["a", "b"], vec![vec![0.5, 0.5], vec![1.5, -0.5]]).unwrap_err();
         assert_eq!(err, MarkovChainError::BadRow(1));
     }
 

@@ -188,7 +188,9 @@ mod tests {
         let mut x: u64 = 12345;
         let mut times = Vec::new();
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let ms = (x >> 33) as i64;
             times.push(ms);
             q.push(t(ms), ms);

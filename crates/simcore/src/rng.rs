@@ -93,7 +93,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.uniform()
     }
 
@@ -319,7 +322,9 @@ mod tests {
         // Median far below mean for small alpha.
         let mut rng = SimRng::new(23);
         let n = 50_000;
-        let mut samples: Vec<f64> = (0..n).map(|_| rng.pareto_bounded(1.0, 1000.0, 0.8)).collect();
+        let mut samples: Vec<f64> = (0..n)
+            .map(|_| rng.pareto_bounded(1.0, 1000.0, 0.8))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[n / 2];
         let mean = samples.iter().sum::<f64>() / n as f64;
@@ -369,7 +374,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "shuffle left input sorted (astronomically unlikely)");
+        assert_ne!(
+            v, sorted,
+            "shuffle left input sorted (astronomically unlikely)"
+        );
     }
 
     #[test]

@@ -223,7 +223,9 @@ mod tests {
 
     #[test]
     fn running_moments() {
-        let acc: Running = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let acc: Running = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(acc.count(), 8);
         assert_eq!(acc.mean(), 5.0);
         assert_eq!(acc.population_variance(), 4.0);

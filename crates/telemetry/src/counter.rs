@@ -1,0 +1,91 @@
+//! Lock-free monotonic counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A lock-free, monotonically increasing event counter.
+///
+/// `Counter` is a cheaply-cloneable handle; clones share the same value,
+/// as do repeated [`Registry::counter`](crate::Registry::counter) calls
+/// with the same name. Updates are single relaxed atomic adds, cheap
+/// enough for per-message hot paths.
+///
+/// # Examples
+///
+/// ```
+/// use mps_telemetry::Counter;
+///
+/// let c = Counter::new();
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn clones_share_the_value() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(2);
+        assert_eq!(c.get(), 3);
+        assert_eq!(c2.get(), 3);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let c = Counter::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+}

@@ -1,0 +1,118 @@
+//! Gauges: level-style values with a high watermark.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct GaugeInner {
+    value: AtomicI64,
+    high: AtomicI64,
+}
+
+/// A gauge: a value that can go up and down (queue depths, open
+/// sessions, live collections), remembering the highest level it ever
+/// reached.
+///
+/// `Gauge` is a cheaply-cloneable handle; clones share the same value.
+/// The high watermark starts at zero, so it reflects the peak of a
+/// non-negative level; gauges driven negative still read back exactly.
+///
+/// # Examples
+///
+/// ```
+/// use mps_telemetry::Gauge;
+///
+/// let g = Gauge::new();
+/// g.add(5);
+/// g.sub(3);
+/// assert_eq!(g.get(), 2);
+/// assert_eq!(g.high_watermark(), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    inner: Arc<GaugeInner>,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.inner.value.store(v, Ordering::Relaxed);
+        self.inner.high.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: i64) {
+        let new = self.inner.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.inner.high.fetch_max(new, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.inner.value.load(Ordering::Relaxed)
+    }
+
+    /// The highest value the gauge ever reached (at least zero).
+    pub fn high_watermark(&self) -> i64 {
+        self.inner.high.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_level_and_watermark() {
+        let g = Gauge::new();
+        g.inc();
+        g.add(9);
+        g.sub(4);
+        g.dec();
+        assert_eq!(g.get(), 5);
+        assert_eq!(g.high_watermark(), 10);
+    }
+
+    #[test]
+    fn set_updates_watermark() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_watermark(), 7);
+    }
+
+    #[test]
+    fn can_go_negative_but_watermark_stays_at_zero() {
+        let g = Gauge::new();
+        g.sub(3);
+        assert_eq!(g.get(), -3);
+        assert_eq!(g.high_watermark(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_value() {
+        let g = Gauge::new();
+        g.clone().add(4);
+        assert_eq!(g.get(), 4);
+    }
+}

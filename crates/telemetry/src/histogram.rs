@@ -1,0 +1,346 @@
+//! Fixed-bucket latency histograms with quantile estimates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Strictly increasing, finite upper bounds. An implicit `+Inf`
+    /// bucket catches everything beyond the last bound.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the overflow bucket
+    /// (`counts.len() == bounds.len() + 1`).
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values, stored as `f64` bits and updated with a
+    /// CAS loop so observation stays lock-free.
+    sum_bits: AtomicU64,
+    /// Total number of observations.
+    total: AtomicU64,
+}
+
+/// A histogram over fixed buckets — the workspace's latency and delay
+/// measurement primitive.
+///
+/// Buckets are defined once by their upper bounds (typically log-spaced,
+/// see [`Histogram::exponential_buckets`]) and observation is lock-free:
+/// a binary search plus two relaxed atomic updates. Quantiles
+/// ([`Histogram::quantile`], [`Histogram::p50`]/[`p95`](Histogram::p95)/
+/// [`p99`](Histogram::p99)) are estimated by linear interpolation inside
+/// the target bucket, the standard fixed-bucket estimator.
+///
+/// `Histogram` is a cheaply-cloneable handle; clones share the same
+/// buckets. Values are expected non-negative (latencies, delays, sizes);
+/// `NaN` observations are ignored.
+///
+/// # Examples
+///
+/// ```
+/// use mps_telemetry::Histogram;
+///
+/// let h = Histogram::new(vec![1.0, 10.0, 100.0]);
+/// h.observe(0.5);
+/// h.observe(40.0);
+/// h.observe(40.0);
+/// h.observe(5_000.0); // overflow bucket
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bucket_counts(), vec![1, 0, 2, 1]);
+/// assert!(h.p50() > 10.0 && h.p50() <= 100.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// Creates a histogram over the given finite upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, not strictly increasing, or contains
+    /// a non-finite bound (the `+Inf` bucket is implicit).
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        for pair in bounds.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "bucket bounds must be strictly increasing: {} then {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "bucket bounds must be finite (+Inf is implicit)"
+        );
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            inner: Arc::new(HistogramInner {
+                bounds,
+                counts,
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                total: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Log-spaced bucket bounds: `start, start*factor, …`, `count` of
+    /// them — the right shape for latencies spanning orders of
+    /// magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start > 0`, `factor > 1` and `count >= 1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let b = mps_telemetry::Histogram::exponential_buckets(1.0, 10.0, 4);
+    /// assert_eq!(b, vec![1.0, 10.0, 100.0, 1000.0]);
+    /// ```
+    pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+        assert!(start > 0.0, "start must be positive");
+        assert!(factor > 1.0, "factor must exceed 1");
+        assert!(count >= 1, "need at least one bucket");
+        let mut bounds = Vec::with_capacity(count);
+        let mut bound = start;
+        for _ in 0..count {
+            bounds.push(bound);
+            bound *= factor;
+        }
+        bounds
+    }
+
+    /// Records one observation (`NaN` is ignored).
+    pub fn observe(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = self.inner.bounds.partition_point(|bound| v > *bound);
+        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.total.fetch_add(1, Ordering::Relaxed);
+        let mut old = self.inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(old) + v).to_bits();
+            match self.inner.sum_bits.compare_exchange_weak(
+                old,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(current) => old = current,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The configured finite upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.inner.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the implicit `+Inf`
+    /// (overflow) bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.inner
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) by linear
+    /// interpolation inside the bucket holding the target rank. The
+    /// first bucket interpolates from zero; ranks landing in the
+    /// overflow bucket report the last finite bound (a lower bound on
+    /// the true quantile). Returns `0.0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let counts = self.bucket_counts();
+        let mut cumulative = 0u64;
+        for (idx, count) in counts.iter().enumerate() {
+            let before = cumulative;
+            cumulative += count;
+            if (cumulative as f64) >= target && *count > 0 {
+                let Some(&hi) = self.inner.bounds.get(idx) else {
+                    // Overflow bucket: no finite upper edge to
+                    // interpolate toward.
+                    return *self.inner.bounds.last().expect("non-empty bounds");
+                };
+                let lo = if idx == 0 {
+                    0.0
+                } else {
+                    self.inner.bounds[idx - 1]
+                };
+                let fraction = (target - before as f64) / *count as f64;
+                return lo + (hi - lo) * fraction.clamp(0.0, 1.0);
+            }
+        }
+        *self.inner.bounds.last().expect("non-empty bounds")
+    }
+
+    /// The estimated median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// The estimated 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// The estimated 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper() {
+        let h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        h.observe(1.0); // exactly on a bound -> that bucket
+        h.observe(1.0000001); // just past -> next bucket
+        h.observe(10.0);
+        h.observe(100.0);
+        h.observe(100.0000001); // past the last bound -> overflow
+        assert_eq!(h.bucket_counts(), vec![1, 2, 1, 1]);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn zero_and_tiny_values_land_in_the_first_bucket() {
+        let h = Histogram::new(vec![0.5, 5.0]);
+        h.observe(0.0);
+        h.observe(0.49);
+        assert_eq!(h.bucket_counts(), vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let h = Histogram::new(vec![1.0]);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let h = Histogram::new(vec![10.0]);
+        h.observe(0.25);
+        h.observe(1.5);
+        h.observe(100.0);
+        assert_eq!(h.sum(), 101.75);
+    }
+
+    #[test]
+    fn exponential_buckets_are_log_spaced() {
+        let b = Histogram::exponential_buckets(10.0, 4.0, 5);
+        assert_eq!(b, vec![10.0, 40.0, 160.0, 640.0, 2560.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_bounds() {
+        let _ = Histogram::new(vec![10.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn rejects_empty_bounds() {
+        let _ = Histogram::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_infinite_bounds() {
+        let _ = Histogram::new(vec![1.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 100 observations spread uniformly through (0, 100]: quantile
+        // estimates track the exact quantiles to within a bucket step.
+        let h = Histogram::new(vec![10.0, 20.0, 40.0, 80.0, 160.0]);
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        // Rank 50 sits 10 deep in the 40-wide bucket [40, 80): 40 + 40/4.
+        assert_eq!(h.p50(), 50.0);
+        // Ranks 95 and 99 land in [80, 160): the estimate interpolates
+        // within the holding bucket (resolution = bucket width).
+        assert_eq!(h.p95(), 80.0 + 80.0 * 0.75);
+        assert_eq!(h.p99(), 80.0 + 80.0 * 0.95);
+        // Monotone in q.
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+    }
+
+    #[test]
+    fn quantile_of_single_bucket_interpolates_from_zero() {
+        let h = Histogram::new(vec![8.0]);
+        h.observe(1.0);
+        h.observe(2.0);
+        // Median rank is 1 of 2 -> midpoint of [0, 8).
+        assert_eq!(h.p50(), 4.0);
+    }
+
+    #[test]
+    fn overflow_quantile_reports_last_finite_bound() {
+        let h = Histogram::new(vec![1.0, 2.0]);
+        for _ in 0..10 {
+            h.observe(1_000.0);
+        }
+        assert_eq!(h.p50(), 2.0);
+        assert_eq!(h.p99(), 2.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::new(vec![1.0]);
+        assert_eq!(h.p50(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_observations_are_exact() {
+        let h = Histogram::new(Histogram::exponential_buckets(1.0, 2.0, 10));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.observe((i % 700) as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 40_000);
+        // The CAS-looped sum loses nothing: every thread contributed the
+        // same residue cycle, so the expected total is exact.
+        let expected: f64 = 8.0 * (0..5_000).map(|i| (i % 700) as f64).sum::<f64>();
+        // f64 addition is order-sensitive; allow a relative epsilon.
+        assert!((h.sum() - expected).abs() < 1e-6 * expected.abs());
+    }
+}

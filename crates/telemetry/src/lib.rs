@@ -1,0 +1,70 @@
+//! # mps-telemetry — pipeline observability for the SoundCity workspace
+//!
+//! The paper's central operational lesson is that a 10-month urban-scale
+//! deployment lives or dies by visibility into its pipeline: delivery
+//! delays, malformed payloads and per-stage throughput (Figures 9–21 are
+//! all derived from such telemetry). This crate is the measurement
+//! substrate every server-side layer shares:
+//!
+//! * [`Counter`] — lock-free monotonic event counts.
+//! * [`Gauge`] — level-style values with a high watermark.
+//! * [`Histogram`] — fixed log-spaced buckets with p50/p95/p99 quantile
+//!   estimates; lock-free observation.
+//! * [`Registry`] — a named-metric namespace with a process-wide default
+//!   ([`Registry::global`]) and a Prometheus-style text exposition
+//!   ([`Registry::render_text`]).
+//! * [`SpanTimer`] — an RAII guard timing a pipeline stage into a
+//!   histogram.
+//!
+//! Metric handles are cheaply cloneable (an `Arc` inside) and all
+//! operations take `&self`, so hot paths hold a handle and update it
+//! without locks. The naming convention across the workspace is
+//! `<crate>_<subsystem>_<metric>` (e.g. `broker_core_published_total`,
+//! `goflow_ingest_delivery_delay_ms`).
+//!
+//! This crate is dependency-free (std only) so every layer can afford it.
+//!
+//! # Examples
+//!
+//! ```
+//! use mps_telemetry::{Histogram, Registry, SpanTimer};
+//!
+//! let registry = Registry::new();
+//! let stored = registry.counter("goflow_ingest_stored_total", "Observations stored");
+//! stored.add(3);
+//!
+//! let delays = registry.histogram(
+//!     "goflow_ingest_delivery_delay_ms",
+//!     "End-to-end delivery delay (ms)",
+//!     &Histogram::exponential_buckets(10.0, 4.0, 8),
+//! );
+//! delays.observe(120.0);
+//! delays.observe(90_000.0);
+//!
+//! let text = registry.render_text();
+//! assert!(text.contains("goflow_ingest_stored_total 3"));
+//! assert!(text.contains("goflow_ingest_delivery_delay_ms_count 2"));
+//!
+//! // RAII stage timing:
+//! let pass = registry.histogram("assim_blue_pass_seconds", "BLUE pass", &[0.01, 0.1, 1.0]);
+//! {
+//!     let _timer = SpanTimer::start(&pass);
+//!     // ... the timed stage ...
+//! }
+//! assert_eq!(pass.count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod gauge;
+mod histogram;
+mod registry;
+mod timer;
+
+pub use counter::Counter;
+pub use gauge::Gauge;
+pub use histogram::Histogram;
+pub use registry::Registry;
+pub use timer::SpanTimer;

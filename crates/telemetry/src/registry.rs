@@ -1,0 +1,311 @@
+//! The named-metric registry and its text exposition.
+
+use crate::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, PoisonError};
+
+/// A registered metric of any kind.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    help: String,
+    metric: Metric,
+}
+
+/// A namespace of named metrics with a Prometheus-style text exposition.
+///
+/// Components obtain metric handles with [`Registry::counter`],
+/// [`Registry::gauge`] and [`Registry::histogram`]; repeated calls with
+/// the same name return handles to the same underlying metric, so
+/// independent layers converge on shared series. The process-wide
+/// default lives at [`Registry::global`] — the one the broker, GoFlow
+/// server, document store and assimilation engine all report into.
+///
+/// Names follow `<crate>_<subsystem>_<metric>` (letters, digits and
+/// underscores; counters end in `_total`, histograms name their unit).
+///
+/// # Examples
+///
+/// ```
+/// use mps_telemetry::Registry;
+///
+/// let registry = Registry::new();
+/// registry.counter("broker_core_published_total", "Messages published").add(2);
+/// let text = registry.render_text();
+/// assert!(text.starts_with("# HELP broker_core_published_total Messages published\n"));
+/// assert!(text.contains("broker_core_published_total 2\n"));
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub const fn new() -> Self {
+        Self {
+            entries: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The process-wide registry every pipeline layer reports into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: Registry = Registry::new();
+        &GLOBAL
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Entry>> {
+        // Metric updates never run user code under this lock, so a
+        // poisoned registry is still structurally sound.
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn validate_name(name: &str) {
+        let valid = !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+        assert!(
+            valid,
+            "invalid metric name `{name}` (want [a-zA-Z_][a-zA-Z0-9_]*)"
+        );
+    }
+
+    fn get_or_insert(&self, name: &str, help: &str, make: impl FnOnce() -> Metric) -> Metric {
+        Self::validate_name(name);
+        let mut entries = self.lock();
+        let entry = entries.entry(name.to_owned()).or_insert_with(|| Entry {
+            help: help.to_owned(),
+            metric: make(),
+        });
+        entry.metric.clone()
+    }
+
+    /// Returns the counter registered under `name`, creating it if
+    /// absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is invalid or already registered as a different
+    /// metric kind.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        match self.get_or_insert(name, help, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is invalid or already registered as a different
+    /// metric kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        match self.get_or_insert(name, help, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it with
+    /// the given bucket `bounds` if absent (an existing histogram keeps
+    /// its original buckets; `bounds` is then ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is invalid, already registered as a different
+    /// metric kind, or `bounds` is invalid for a fresh histogram (see
+    /// [`Histogram::new`]).
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Histogram {
+        match self.get_or_insert(name, help, || {
+            Metric::Histogram(Histogram::new(bounds.to_vec()))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Names of all registered metrics, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// The current value of the counter named `name`, if one is
+    /// registered — convenient for tests and health checks.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.lock().get(name).map(|e| e.metric.clone()) {
+            Some(Metric::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// The observation count of the histogram named `name`, if one is
+    /// registered.
+    pub fn histogram_count(&self, name: &str) -> Option<u64> {
+        match self.lock().get(name).map(|e| e.metric.clone()) {
+            Some(Metric::Histogram(h)) => Some(h.count()),
+            _ => None,
+        }
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (`# HELP` / `# TYPE` preambles; histograms expose cumulative
+    /// `_bucket{le="…"}` series plus `_sum` and `_count`).
+    pub fn render_text(&self) -> String {
+        // Clone the handles out so rendering never holds the registry
+        // lock while formatting.
+        let metrics: Vec<(String, String, Metric)> = self
+            .lock()
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.help.clone(), entry.metric.clone()))
+            .collect();
+        let mut out = String::new();
+        for (name, help, metric) in metrics {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", g.get());
+                    let _ = writeln!(out, "{name}_high_watermark {}", g.high_watermark());
+                }
+                Metric::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (bound, count) in h.bounds().iter().zip(&counts) {
+                        cumulative += count;
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                    }
+                    cumulative += counts.last().expect("overflow bucket");
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_the_same_metric() {
+        let r = Registry::new();
+        r.counter("a_b_total", "first").inc();
+        r.counter("a_b_total", "ignored on re-registration").add(2);
+        assert_eq!(r.counter_value("a_b_total"), Some(3));
+    }
+
+    #[test]
+    fn histogram_reregistration_keeps_buckets() {
+        let r = Registry::new();
+        let h1 = r.histogram("h_ms", "h", &[1.0, 2.0]);
+        let h2 = r.histogram("h_ms", "h", &[99.0]);
+        assert_eq!(h2.bounds(), &[1.0, 2.0]);
+        h1.observe(1.5);
+        assert_eq!(h2.count(), 1);
+        assert_eq!(r.histogram_count("h_ms"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x_total", "x");
+        r.gauge("x_total", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_panics() {
+        Registry::new().counter("bad-name", "x");
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let r = Registry::new();
+        r.counter("zeta_total", "z");
+        r.counter("alpha_total", "a");
+        assert_eq!(r.names(), vec!["alpha_total", "zeta_total"]);
+    }
+
+    #[test]
+    fn lookup_helpers_distinguish_kinds() {
+        let r = Registry::new();
+        r.counter("c_total", "c");
+        r.histogram("h_s", "h", &[1.0]);
+        assert_eq!(r.counter_value("c_total"), Some(0));
+        assert_eq!(r.counter_value("h_s"), None);
+        assert_eq!(r.histogram_count("h_s"), Some(0));
+        assert_eq!(r.histogram_count("missing"), None);
+    }
+
+    #[test]
+    fn golden_render_text() {
+        let r = Registry::new();
+        r.counter(
+            "broker_core_published_total",
+            "Messages accepted by publish",
+        )
+        .add(7);
+        let g = r.gauge("docstore_store_collections", "Live collections");
+        g.add(3);
+        g.dec();
+        let h = r.histogram(
+            "goflow_ingest_delivery_delay_ms",
+            "End-to-end delivery delay (ms)",
+            &[0.25, 0.5, 1.0],
+        );
+        h.observe(0.25);
+        h.observe(0.75);
+        h.observe(9.0);
+        let expected = "\
+# HELP broker_core_published_total Messages accepted by publish
+# TYPE broker_core_published_total counter
+broker_core_published_total 7
+# HELP docstore_store_collections Live collections
+# TYPE docstore_store_collections gauge
+docstore_store_collections 2
+docstore_store_collections_high_watermark 3
+# HELP goflow_ingest_delivery_delay_ms End-to-end delivery delay (ms)
+# TYPE goflow_ingest_delivery_delay_ms histogram
+goflow_ingest_delivery_delay_ms_bucket{le=\"0.25\"} 1
+goflow_ingest_delivery_delay_ms_bucket{le=\"0.5\"} 1
+goflow_ingest_delivery_delay_ms_bucket{le=\"1\"} 2
+goflow_ingest_delivery_delay_ms_bucket{le=\"+Inf\"} 3
+goflow_ingest_delivery_delay_ms_sum 10
+goflow_ingest_delivery_delay_ms_count 3
+";
+        assert_eq!(r.render_text(), expected);
+    }
+
+    #[test]
+    fn global_is_shared() {
+        let name = "telemetry_registry_selftest_total";
+        Registry::global().counter(name, "self test").inc();
+        assert!(Registry::global().counter_value(name).unwrap_or(0) >= 1);
+        assert!(Registry::global().render_text().contains(name));
+    }
+}

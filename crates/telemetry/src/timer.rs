@@ -1,0 +1,106 @@
+//! RAII stage timing.
+
+use crate::Histogram;
+use std::time::Instant;
+
+/// An RAII guard timing a pipeline stage into a [`Histogram`] of
+/// seconds.
+///
+/// Start it at the top of a stage; when the guard drops (or
+/// [`SpanTimer::stop`] is called explicitly) the elapsed wall-clock time
+/// is recorded. Dropping on an early return or a panic still records the
+/// span, so stage-duration histograms see every pass.
+///
+/// # Examples
+///
+/// ```
+/// use mps_telemetry::{Histogram, SpanTimer};
+///
+/// let pass = Histogram::new(Histogram::exponential_buckets(1e-6, 10.0, 8));
+/// {
+///     let _timer = SpanTimer::start(&pass);
+///     // ... the timed stage ...
+/// }
+/// let elapsed = SpanTimer::start(&pass).stop();
+/// assert_eq!(pass.count(), 2);
+/// assert!(elapsed >= 0.0);
+/// ```
+#[derive(Debug)]
+pub struct SpanTimer {
+    histogram: Option<Histogram>,
+    started: Instant,
+}
+
+impl SpanTimer {
+    /// Starts timing into `histogram` (units: seconds).
+    pub fn start(histogram: &Histogram) -> Self {
+        Self {
+            histogram: Some(histogram.clone()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Stops the timer early, recording and returning the elapsed
+    /// seconds.
+    pub fn stop(mut self) -> f64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> f64 {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        if let Some(histogram) = self.histogram.take() {
+            histogram.observe(elapsed);
+        }
+        elapsed
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_on_drop() {
+        let h = Histogram::new(vec![1.0]);
+        {
+            let _t = SpanTimer::start(&h);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stop_records_exactly_once() {
+        let h = Histogram::new(vec![1.0]);
+        let elapsed = SpanTimer::start(&h).stop();
+        assert!(elapsed >= 0.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn records_even_on_panic() {
+        let h = Histogram::new(vec![1.0]);
+        let h2 = h.clone();
+        let result = std::panic::catch_unwind(move || {
+            let _t = SpanTimer::start(&h2);
+            panic!("stage failed");
+        });
+        assert!(result.is_err());
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn elapsed_is_plausible() {
+        let h = Histogram::new(vec![60.0]);
+        let t = SpanTimer::start(&h);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let elapsed = t.stop();
+        assert!(elapsed >= 0.005, "elapsed {elapsed}");
+        assert!(h.sum() >= 0.005);
+    }
+}

@@ -13,9 +13,7 @@ use std::str::FromStr;
 /// Activity class attached to an observation, mirroring the categories in
 /// Figure 21 of the paper (`undefined`, `unknown`, `tilting`, `still`,
 /// `foot`, `bicycle`, `vehicle`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(rename_all = "lowercase")]
 pub enum Activity {
     /// No recognition result was available at capture time.
@@ -137,7 +135,10 @@ mod tests {
 
     #[test]
     fn serde_uses_lowercase() {
-        assert_eq!(serde_json::to_string(&Activity::Still).unwrap(), "\"still\"");
+        assert_eq!(
+            serde_json::to_string(&Activity::Still).unwrap(),
+            "\"still\""
+        );
         let back: Activity = serde_json::from_str("\"vehicle\"").unwrap();
         assert_eq!(back, Activity::Vehicle);
     }

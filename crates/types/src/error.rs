@@ -44,11 +44,7 @@ impl ParseEnumError {
 
 impl fmt::Display for ParseEnumError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unknown {} value: {:?}",
-            self.type_name, self.input
-        )
+        write!(f, "unknown {} value: {:?}", self.type_name, self.input)
     }
 }
 

@@ -12,9 +12,7 @@ use std::fmt;
 use std::str::FromStr;
 
 /// The Android location source that produced a fix.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(rename_all = "lowercase")]
 pub enum LocationProvider {
     /// Satellite positioning: highest accuracy (most fixes in 6–20 m), but
@@ -115,7 +113,11 @@ impl LocationFix {
 
 impl fmt::Display for LocationFix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ±{:.0}m [{}]", self.point, self.accuracy_m, self.provider)
+        write!(
+            f,
+            "{} ±{:.0}m [{}]",
+            self.point, self.accuracy_m, self.provider
+        )
     }
 }
 

@@ -93,26 +93,103 @@ macro_rules! device_models {
 }
 
 device_models![
-    (SamsungGtI9505, "SAMSUNG GT-I9505", "SAMSUNG", 253, 2_346_755, 1_014_261),
-    (SamsungSmG900f, "SAMSUNG SM-G900F", "SAMSUNG", 211, 2_048_523, 847_591),
+    (
+        SamsungGtI9505,
+        "SAMSUNG GT-I9505",
+        "SAMSUNG",
+        253,
+        2_346_755,
+        1_014_261
+    ),
+    (
+        SamsungSmG900f,
+        "SAMSUNG SM-G900F",
+        "SAMSUNG",
+        211,
+        2_048_523,
+        847_591
+    ),
     (SonyD5803, "SONY D5803", "SONY", 112, 1_097_018, 778_732),
     (LgeLgD855, "LGE LG-D855", "LGE", 87, 1_098_479, 669_446),
-    (OneplusA0001, "ONEPLUS A0001", "ONEPLUS", 84, 1_177_343, 657_992),
+    (
+        OneplusA0001,
+        "ONEPLUS A0001",
+        "ONEPLUS",
+        84,
+        1_177_343,
+        657_992
+    ),
     (LgeNexus5, "LGE NEXUS 5", "LGE", 129, 843_472, 530_597),
-    (SamsungGtI9300, "SAMSUNG GT-I9300", "SAMSUNG", 185, 1_432_594, 528_950),
-    (SamsungSmG901f, "SAMSUNG SM-G901F", "SAMSUNG", 73, 1_113_082, 524_761),
+    (
+        SamsungGtI9300,
+        "SAMSUNG GT-I9300",
+        "SAMSUNG",
+        185,
+        1_432_594,
+        528_950
+    ),
+    (
+        SamsungSmG901f,
+        "SAMSUNG SM-G901F",
+        "SAMSUNG",
+        73,
+        1_113_082,
+        524_761
+    ),
     (SonyD6603, "SONY D6603", "SONY", 51, 815_239, 524_287),
-    (SamsungSmN9005, "SAMSUNG SM-N9005", "SAMSUNG", 134, 1_448_701, 503_379),
-    (SamsungGtI9195, "SAMSUNG GT-I9195", "SAMSUNG", 174, 2_192_925, 464_916),
-    (SamsungSmG800f, "SAMSUNG SM-G800F", "SAMSUNG", 66, 989_210, 393_045),
+    (
+        SamsungSmN9005,
+        "SAMSUNG SM-N9005",
+        "SAMSUNG",
+        134,
+        1_448_701,
+        503_379
+    ),
+    (
+        SamsungGtI9195,
+        "SAMSUNG GT-I9195",
+        "SAMSUNG",
+        174,
+        2_192_925,
+        464_916
+    ),
+    (
+        SamsungSmG800f,
+        "SAMSUNG SM-G800F",
+        "SAMSUNG",
+        66,
+        989_210,
+        393_045
+    ),
     (HtcOneM8, "HTC HTCONE_M8", "HTC", 76, 854_593, 177_342),
     (LgeNexus4, "LGE NEXUS 4", "LGE", 67, 702_895, 380_751),
     (SonyD6503, "SONY D6503", "SONY", 52, 716_627, 200_360),
-    (SamsungSmN910f, "SAMSUNG SM-N910F", "SAMSUNG", 116, 812_207, 344_337),
-    (SamsungGtI9305, "SAMSUNG GT-I9305", "SAMSUNG", 39, 692_420, 209_917),
+    (
+        SamsungSmN910f,
+        "SAMSUNG SM-N910F",
+        "SAMSUNG",
+        116,
+        812_207,
+        344_337
+    ),
+    (
+        SamsungGtI9305,
+        "SAMSUNG GT-I9305",
+        "SAMSUNG",
+        39,
+        692_420,
+        209_917
+    ),
     (LgeLgD802, "LGE LG-D802", "LGE", 46, 728_469, 278_089),
     (SonyD2303, "SONY D2303", "SONY", 40, 585_396, 221_686),
-    (SamsungGtP5210, "SAMSUNG GT-P5210", "SAMSUNG", 96, 1_412_188, 305_735),
+    (
+        SamsungGtP5210,
+        "SAMSUNG GT-P5210",
+        "SAMSUNG",
+        96,
+        1_412_188,
+        305_735
+    ),
 ];
 
 impl DeviceModel {
@@ -133,7 +210,10 @@ impl DeviceModel {
 
     /// Stable index of the model in the paper's row order, `0..20`.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&m| m == self).expect("model in ALL")
+        Self::ALL
+            .iter()
+            .position(|&m| m == self)
+            .expect("model in ALL")
     }
 }
 

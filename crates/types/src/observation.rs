@@ -7,17 +7,15 @@
 //! transmission delay analysed in Figure 17.
 
 use crate::{
-    Activity, AppVersion, DeviceId, DeviceModel, LocationFix, ParseEnumError, SimDuration,
-    SimTime, SoundLevel, UserId,
+    Activity, AppVersion, DeviceId, DeviceModel, LocationFix, ParseEnumError, SimDuration, SimTime,
+    SoundLevel, UserId,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// How an observation was initiated (Section 6.2 of the paper).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(rename_all = "lowercase")]
 pub enum SensingMode {
     /// Periodic background measurement (default: every 5 minutes).

@@ -363,7 +363,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs(12).to_string(), "12.0s");
         assert_eq!(SimDuration::from_mins(5).to_string(), "5.0min");
         assert_eq!(SimDuration::from_hours(3).to_string(), "3.00h");
-        assert_eq!((SimDuration::ZERO - SimDuration::from_secs(1)).to_string(), "-1.0s");
+        assert_eq!(
+            (SimDuration::ZERO - SimDuration::from_secs(1)).to_string(),
+            "-1.0s"
+        );
     }
 
     #[test]

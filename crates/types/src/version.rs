@@ -12,9 +12,7 @@ use std::fmt;
 use std::str::FromStr;
 
 /// A released version of the SoundCity app.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum AppVersion {
     /// v1.1 (July 2015): sends each observation as soon as it is captured;
     /// opens a fresh broker channel per send.

@@ -110,10 +110,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .map(|r| format!("{r:.2}"))
                     .collect::<Vec<_>>()
             );
-            let near = result
-                .consensus
-                .sample(GeoPoint::PARIS)
-                .unwrap_or(f64::NAN);
+            let near = result.consensus.sample(GeoPoint::PARIS).unwrap_or(f64::NAN);
             println!("consensus level at city hall: {near:.1} dB(A)");
             println!(
                 "(ambient variance dominates a single evening's walks; the\n crowd-calibration tests recover ±0.8 dB biases on denser data)"

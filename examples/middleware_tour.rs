@@ -79,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let deliveries = broker.consume(bob_session.queue(), 10)?;
     println!("\nbob's notifications: {} message(s)", deliveries.len());
     for d in &deliveries {
-        println!("  [{}] {}", d.routing_key(), String::from_utf8_lossy(d.payload()));
+        println!(
+            "  [{}] {}",
+            d.routing_key(),
+            String::from_utf8_lossy(d.payload())
+        );
         broker.ack(bob_session.queue(), d.tag)?;
     }
 
@@ -114,7 +118,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let own = server.export(&app, &ObservationQuery::new(), Packaging::JsonLines)?;
     let shared = server.query_shared(&app, &ObservationQuery::new())?;
     println!("\nown view has coordinates : {}", own.contains("\"lat\""));
-    println!("shared view has coordinates: {}", shared[0].get("lat").is_some());
+    println!(
+        "shared view has coordinates: {}",
+        shared[0].get("lat").is_some()
+    );
 
     println!("\nbroker counters: {:?}", broker.metrics());
     Ok(())

@@ -9,9 +9,7 @@
 //! cargo run --release --example noise_map
 //! ```
 
-use soundcity::assim::{
-    Blue, CityModel, ComplaintProcess, Grid, NoiseSimulator, PointObservation,
-};
+use soundcity::assim::{Blue, CityModel, ComplaintProcess, Grid, NoiseSimulator, PointObservation};
 use soundcity::core::{CalibrationStrategy, CalibrationStudy};
 use soundcity::simcore::SimRng;
 use soundcity::types::GeoBounds;
@@ -19,13 +17,21 @@ use soundcity::types::GeoBounds;
 /// Renders a field as ASCII art (quiet `.` to loud `#`).
 fn render(map: &Grid) -> String {
     let min = map.values().iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = map.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max = map
+        .values()
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     let ramp = [' ', '.', ':', '-', '=', '+', '*', '%', '#'];
     let mut out = String::new();
     for iy in (0..map.ny()).rev() {
         for ix in 0..map.nx() {
             let v = map.at(ix, iy);
-            let t = if max > min { (v - min) / (max - min) } else { 0.0 };
+            let t = if max > min {
+                (v - min) / (max - min)
+            } else {
+                0.0
+            };
             let idx = ((t * (ramp.len() - 1) as f64).round() as usize).min(ramp.len() - 1);
             out.push(ramp[idx]);
         }
@@ -47,9 +53,19 @@ fn main() {
     );
     let simulator = NoiseSimulator::new(city);
     let day_map = simulator.simulate(40, 20);
-    println!("\nSimulated noise map (day, {:.1}–{:.1} dB(A)):",
-        day_map.values().iter().cloned().fold(f64::INFINITY, f64::min),
-        day_map.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    println!(
+        "\nSimulated noise map (day, {:.1}–{:.1} dB(A)):",
+        day_map
+            .values()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min),
+        day_map
+            .values()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+    );
     print!("{}", render(&day_map));
 
     let night_map = simulator.simulate_at_hour(40, 20, 3);

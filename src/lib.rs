@@ -15,6 +15,8 @@
 //! * [`assim`] — urban noise model, BLUE data assimilation, calibration.
 //! * [`analytics`] — the empirical-analysis toolkit (figures/tables).
 //! * [`core`] — experiment orchestration (deployment replay, lab harnesses).
+//! * [`telemetry`] — workspace-wide counters, latency histograms and the
+//!   shared metric registry (see the README's Observability section).
 //!
 //! Start with the runnable examples: `quickstart` (a full deployment
 //! replay), `middleware_tour` (the GoFlow API), `noise_map` (simulation +
@@ -42,20 +44,19 @@ pub use mps_docstore as docstore;
 pub use mps_goflow as goflow;
 pub use mps_mobile as mobile;
 pub use mps_simcore as simcore;
+pub use mps_telemetry as telemetry;
 pub use mps_types as types;
 
 /// The most commonly used items across the workspace, importable in one
 /// line (`use soundcity::prelude::*`).
 pub mod prelude {
     pub use mps_analytics::{
-        AccuracyReport, ActivityReport, DelayReport, DiurnalReport, ExposureReport,
-        GrowthReport, ModelTable, ProviderByModeReport, ProviderFilter, SplReport,
+        AccuracyReport, ActivityReport, DelayReport, DiurnalReport, ExposureReport, GrowthReport,
+        ModelTable, ProviderByModeReport, ProviderFilter, SplReport,
     };
     pub use mps_assim::{Blue, CityModel, Grid, NoiseSimulator, PointObservation};
     pub use mps_broker::{Broker, ExchangeType};
-    pub use mps_core::{
-        BatteryLab, CalibrationStudy, Dataset, Deployment, ExperimentConfig,
-    };
+    pub use mps_core::{BatteryLab, CalibrationStudy, Dataset, Deployment, ExperimentConfig};
     pub use mps_docstore::{Filter, Store};
     pub use mps_goflow::{GoFlowServer, ObservationQuery, Role};
     pub use mps_mobile::{Device, DeviceConfig, GoFlowClient, Journey};

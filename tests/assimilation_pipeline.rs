@@ -31,11 +31,17 @@ fn deployment_observations_feed_assimilation() {
         })
         .take(200)
         .collect();
-    assert!(point_obs.len() >= 50, "usable observations: {}", point_obs.len());
+    assert!(
+        point_obs.len() >= 50,
+        "usable observations: {}",
+        point_obs.len()
+    );
 
     let background = Grid::constant(bounds, 20, 20, 45.0);
     let blue = Blue::new(4.0, 1_000.0);
-    let analysis = blue.analyse(&background, &point_obs).expect("analysis runs");
+    let analysis = blue
+        .analyse(&background, &point_obs)
+        .expect("analysis runs");
 
     // The analysis responded to the data: innovation RMS shrinks.
     let (_, rms_before) = Blue::innovation_stats(&background, &point_obs);
@@ -111,7 +117,11 @@ fn calibration_database_recovers_injected_bias() {
         );
     }
     let cal = db.calibration(DeviceModel::HtcOneM8).unwrap();
-    assert!((cal.bias_db - injected).abs() < 0.3, "estimated {}", cal.bias_db);
+    assert!(
+        (cal.bias_db - injected).abs() < 0.3,
+        "estimated {}",
+        cal.bias_db
+    );
     let corrected = db.correct(DeviceModel::HtcOneM8, SoundLevel::new(50.0));
     assert!((corrected.db() - (50.0 - injected)).abs() < 0.3);
     assert!(db.observation_sigma(DeviceModel::HtcOneM8) < 2.5);

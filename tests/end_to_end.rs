@@ -8,9 +8,7 @@ use soundcity::analytics::{
     ProviderByModeReport, ProviderFilter, SplReport,
 };
 use soundcity::core::{Dataset, Deployment, ExperimentConfig};
-use soundcity::types::{
-    Activity, AppVersion, DeviceModel, LocationProvider, SensingMode,
-};
+use soundcity::types::{Activity, AppVersion, DeviceModel, LocationProvider, SensingMode};
 use std::sync::OnceLock;
 
 /// The main replay: full top-20 mix, two months (app v1.1 era).
@@ -34,6 +32,48 @@ fn longitudinal_dataset() -> &'static Dataset {
 }
 
 // ----- pipeline sanity ------------------------------------------------------
+
+#[test]
+fn pipeline_telemetry_is_live() {
+    use soundcity::assim::{Blue, Grid, PointObservation};
+    use soundcity::telemetry::Registry;
+    use soundcity::types::{GeoBounds, GeoPoint};
+
+    // Drive the full broker -> goflow -> docstore stack...
+    let ds = crowd_dataset();
+    assert!(ds.stored() > 0);
+    // ...and one assimilation pass.
+    let background = Grid::constant(GeoBounds::paris(), 8, 8, 50.0);
+    let obs = vec![PointObservation::new(GeoPoint::PARIS, 62.0, 2.0)];
+    Blue::new(4.0, 800.0).analyse(&background, &obs).unwrap();
+
+    // Every layer reported into the shared registry.
+    let registry = Registry::global();
+    for counter in [
+        "broker_core_published_total",
+        "goflow_ingest_stored_total",
+        "docstore_collection_insert_total",
+        "assim_blue_passes_total",
+    ] {
+        assert!(
+            registry.counter_value(counter).expect("registered") > 0,
+            "{counter} should be live"
+        );
+    }
+    for histogram in [
+        "goflow_ingest_delivery_delay_ms",
+        "docstore_collection_insert_seconds",
+    ] {
+        assert!(
+            registry.histogram_count(histogram).expect("registered") > 0,
+            "{histogram} should be live"
+        );
+    }
+    // The text exposition carries all of it.
+    let text = registry.render_text();
+    assert!(text.contains("broker_core_published_total"));
+    assert!(text.contains("goflow_ingest_delivery_delay_ms_bucket"));
+}
 
 #[test]
 fn pipeline_conserves_observations() {
@@ -149,7 +189,10 @@ fn providers_order_by_accuracy() {
     let gps = median(LocationProvider::Gps);
     let network = median(LocationProvider::Network);
     let fused = median(LocationProvider::Fused);
-    assert!(gps < network && network < fused, "{gps} < {network} < {fused}");
+    assert!(
+        gps < network && network < fused,
+        "{gps} < {network} < {fused}"
+    );
 }
 
 // ----- Figures 14-15: SPL heterogeneity ----------------------------------------
@@ -179,7 +222,10 @@ fn fig14_models_share_shape_but_shift_peaks() {
 fn fig15_same_model_users_align() {
     let obs = &longitudinal_dataset().observations;
     let per_user = SplReport::by_user_of_model(obs, DeviceModel::SamsungSmG901f, 20);
-    assert!(per_user.groups.len() >= 2, "need several users of the model");
+    assert!(
+        per_user.groups.len() >= 2,
+        "need several users of the model"
+    );
     // Same-model users peak within a few dB of each other, far tighter
     // than the cross-model spread.
     assert!(
@@ -284,9 +330,16 @@ fn fig21_activity_shares() {
     let report = ActivityReport::build(&crowd_dataset().observations);
     let still = report.share(Activity::Still);
     assert!((0.65..0.75).contains(&still), "still {still}");
-    assert!(report.moving_share() < 0.10, "moving {}", report.moving_share());
+    assert!(
+        report.moving_share() < 0.10,
+        "moving {}",
+        report.moving_share()
+    );
     let unqualified = report.unqualified_share();
-    assert!((0.15..0.25).contains(&unqualified), "unqualified {unqualified}");
+    assert!(
+        (0.15..0.25).contains(&unqualified),
+        "unqualified {unqualified}"
+    );
 }
 
 // ----- Determinism ----------------------------------------------------------------

@@ -7,9 +7,7 @@ use serde_json::json;
 use soundcity::broker::{Broker, BrokerError, ExchangeType};
 use soundcity::docstore::Store;
 use soundcity::goflow::{GoFlowError, GoFlowServer, ObservationQuery, Role};
-use soundcity::types::{
-    AppId, DeviceModel, Observation, SimDuration, SimTime, SoundLevel,
-};
+use soundcity::types::{AppId, DeviceModel, Observation, SimDuration, SimTime, SoundLevel};
 use std::sync::Arc;
 
 fn obs(i: i64) -> Observation {
@@ -31,7 +29,9 @@ fn malformed_traffic_is_quarantined() {
     let server = GoFlowServer::new(Arc::clone(&broker), Store::new());
     let app = AppId::soundcity();
     server.register_app(&app).unwrap();
-    let token = server.register_user(&app, 1.into(), Role::Contributor).unwrap();
+    let token = server
+        .register_user(&app, 1.into(), Role::Contributor)
+        .unwrap();
     let session = server.login(&token).unwrap();
     let key = session.observation_key("noise", "FR75001");
 
@@ -40,13 +40,17 @@ fn malformed_traffic_is_quarantined() {
             // Inject hostile payloads: truncated JSON, wrong schema, binary.
             let garbage: &[u8] = match i % 9 {
                 0 => b"{\"model\": \"LGE NEX", // truncated
-                3 => b"[1, 2, 3]",            // wrong schema
-                _ => &[0xFF, 0xFE, 0x00],     // not UTF-8
+                3 => b"[1, 2, 3]",             // wrong schema
+                _ => &[0xFF, 0xFE, 0x00],      // not UTF-8
             };
             broker.publish(session.exchange(), &key, garbage).unwrap();
         } else {
             broker
-                .publish(session.exchange(), &key, serde_json::to_vec(&obs(i)).unwrap())
+                .publish(
+                    session.exchange(),
+                    &key,
+                    serde_json::to_vec(&obs(i)).unwrap(),
+                )
                 .unwrap();
         }
     }
@@ -61,7 +65,10 @@ fn malformed_traffic_is_quarantined() {
         .ingest_pending(&app, SimTime::from_hms(0, 9, 5, 0), 100)
         .unwrap();
     assert_eq!(outcome.stored + outcome.malformed, 0);
-    assert_eq!(server.query(&app, &ObservationQuery::new()).unwrap().len(), 6);
+    assert_eq!(
+        server.query(&app, &ObservationQuery::new()).unwrap().len(),
+        6
+    );
 }
 
 /// A bounded queue under overload drops (and counts) the excess; the
@@ -127,7 +134,9 @@ fn revocation_blocks_sessions_not_history() {
     let server = GoFlowServer::new(Arc::clone(&broker), Store::new());
     let app = AppId::soundcity();
     server.register_app(&app).unwrap();
-    let token = server.register_user(&app, 1.into(), Role::Contributor).unwrap();
+    let token = server
+        .register_user(&app, 1.into(), Role::Contributor)
+        .unwrap();
     let session = server.login(&token).unwrap();
     broker
         .publish(
@@ -141,8 +150,14 @@ fn revocation_blocks_sessions_not_history() {
         .unwrap();
 
     server.revoke(&token).unwrap();
-    assert!(matches!(server.login(&token), Err(GoFlowError::InvalidToken)));
-    assert_eq!(server.query(&app, &ObservationQuery::new()).unwrap().len(), 1);
+    assert!(matches!(
+        server.login(&token),
+        Err(GoFlowError::InvalidToken)
+    ));
+    assert_eq!(
+        server.query(&app, &ObservationQuery::new()).unwrap().len(),
+        1
+    );
 }
 
 /// Logging out mid-stream deletes the client's endpoints; publishes to
@@ -153,7 +168,9 @@ fn publishing_after_logout_fails_loudly() {
     let server = GoFlowServer::new(Arc::clone(&broker), Store::new());
     let app = AppId::soundcity();
     server.register_app(&app).unwrap();
-    let token = server.register_user(&app, 1.into(), Role::Contributor).unwrap();
+    let token = server
+        .register_user(&app, 1.into(), Role::Contributor)
+        .unwrap();
     let session = server.login(&token).unwrap();
     server.logout(&session).unwrap();
     let result = broker.publish(
@@ -198,12 +215,18 @@ fn incremental_ingest_drains_completely() {
     let server = GoFlowServer::new(Arc::clone(&broker), Store::new());
     let app = AppId::soundcity();
     server.register_app(&app).unwrap();
-    let token = server.register_user(&app, 1.into(), Role::Contributor).unwrap();
+    let token = server
+        .register_user(&app, 1.into(), Role::Contributor)
+        .unwrap();
     let session = server.login(&token).unwrap();
     let key = session.observation_key("noise", "FR75001");
     for i in 0..17 {
         broker
-            .publish(session.exchange(), &key, serde_json::to_vec(&obs(i)).unwrap())
+            .publish(
+                session.exchange(),
+                &key,
+                serde_json::to_vec(&obs(i)).unwrap(),
+            )
             .unwrap();
     }
     let mut total = 0;

@@ -30,8 +30,12 @@ fn shared_journey_reaches_subscribers_and_storage() {
     server.register_app(&app).unwrap();
 
     // Walker and a neighbour subscribed to public journeys in the area.
-    let walker_token = server.register_user(&app, 1.into(), Role::Contributor).unwrap();
-    let neighbour_token = server.register_user(&app, 2.into(), Role::Contributor).unwrap();
+    let walker_token = server
+        .register_user(&app, 1.into(), Role::Contributor)
+        .unwrap();
+    let neighbour_token = server
+        .register_user(&app, 2.into(), Role::Contributor)
+        .unwrap();
     let walker = server.login(&walker_token).unwrap();
     let neighbour = server.login(&neighbour_token).unwrap();
     server.subscribe(&neighbour, "Journey", "FR75004").unwrap();
@@ -107,11 +111,7 @@ fn journeys_feed_crowd_calibration() {
         );
         let journey = Journey::new(city_path(), SimDuration::from_secs(60));
         for round in 0..4 {
-            let trace = journey.run(
-                &mut device,
-                SimTime::from_hms(round, 15, 0, 0),
-                40,
-            );
+            let trace = journey.run(&mut device, SimTime::from_hms(round, 15, 0, 0), 40);
             for obs in &trace.observations {
                 if let Some(fix) = &obs.location {
                     if GeoBounds::paris().contains(fix.point) {
@@ -145,8 +145,7 @@ fn deployment_includes_journey_mode_after_release() {
     use soundcity::core::{Deployment, ExperimentConfig};
     let config = ExperimentConfig::tiny().with_months(10);
     let dataset = Deployment::new(config).run();
-    let modes: BTreeSet<SensingMode> =
-        dataset.observations.iter().map(|o| o.mode).collect();
+    let modes: BTreeSet<SensingMode> = dataset.observations.iter().map(|o| o.mode).collect();
     assert!(modes.contains(&SensingMode::Opportunistic));
     assert!(modes.contains(&SensingMode::Manual));
     assert!(modes.contains(&SensingMode::Journey));

@@ -41,7 +41,9 @@ fn buffered_client_through_server_roundtrip() {
     let server = GoFlowServer::new(Arc::clone(&broker), Store::new());
     let app = AppId::soundcity();
     server.register_app(&app).unwrap();
-    let token = server.register_user(&app, 9.into(), Role::Contributor).unwrap();
+    let token = server
+        .register_user(&app, 9.into(), Role::Contributor)
+        .unwrap();
     let session = server.login(&token).unwrap();
 
     let mut client = GoFlowClient::new(
@@ -62,7 +64,10 @@ fn buffered_client_through_server_roundtrip() {
     // Delays: capture times spread over 45 min before the single arrival.
     let docs = server.query(&app, &ObservationQuery::new()).unwrap();
     assert_eq!(docs.len(), 10);
-    let delays: Vec<i64> = docs.iter().map(|d| d["delay_ms"].as_i64().unwrap()).collect();
+    let delays: Vec<i64> = docs
+        .iter()
+        .map(|d| d["delay_ms"].as_i64().unwrap())
+        .collect();
     assert_eq!(delays.iter().max(), Some(&(3_600_000)));
     assert_eq!(delays.iter().min(), Some(&(3_600_000 - 45 * 60_000)));
 
@@ -81,7 +86,9 @@ fn disconnection_retry_through_stack() {
     let server = GoFlowServer::new(Arc::clone(&broker), Store::new());
     let app = AppId::soundcity();
     server.register_app(&app).unwrap();
-    let token = server.register_user(&app, 9.into(), Role::Contributor).unwrap();
+    let token = server
+        .register_user(&app, 9.into(), Role::Contributor)
+        .unwrap();
     let session = server.login(&token).unwrap();
     let mut client = GoFlowClient::new(
         session.exchange(),
@@ -111,7 +118,9 @@ fn stored_documents_are_queryable_with_docstore_primitives() {
     let server = GoFlowServer::new(Arc::clone(&broker), Store::new());
     let app = AppId::soundcity();
     server.register_app(&app).unwrap();
-    let token = server.register_user(&app, 9.into(), Role::Contributor).unwrap();
+    let token = server
+        .register_user(&app, 9.into(), Role::Contributor)
+        .unwrap();
     let session = server.login(&token).unwrap();
     let mut client = GoFlowClient::new(
         session.exchange(),
@@ -131,13 +140,18 @@ fn stored_documents_are_queryable_with_docstore_primitives() {
     let loudest = collection
         .find_with_options(
             &Filter::True,
-            &FindOptions::new().sort("spl", SortOrder::Descending).limit(1),
+            &FindOptions::new()
+                .sort("spl", SortOrder::Descending)
+                .limit(1),
         )
         .unwrap();
     assert_eq!(loudest[0]["spl"], json!(45.0));
     // Range count via the indexed path.
     let recent = collection
-        .count(&Filter::gte("captured_ms", SimTime::from_hms(0, 9, 20, 0).as_millis()))
+        .count(&Filter::gte(
+            "captured_ms",
+            SimTime::from_hms(0, 9, 20, 0).as_millis(),
+        ))
         .unwrap();
     assert_eq!(recent, 2);
 }
@@ -153,8 +167,12 @@ fn applications_are_isolated() {
     server.register_app(&sc).unwrap();
     server.register_app(&other).unwrap();
 
-    let sc_token = server.register_user(&sc, 1.into(), Role::Contributor).unwrap();
-    let other_token = server.register_user(&other, 2.into(), Role::Contributor).unwrap();
+    let sc_token = server
+        .register_user(&sc, 1.into(), Role::Contributor)
+        .unwrap();
+    let other_token = server
+        .register_user(&other, 2.into(), Role::Contributor)
+        .unwrap();
     let sc_session = server.login(&sc_token).unwrap();
     let other_session = server.login(&other_token).unwrap();
 
@@ -177,9 +195,15 @@ fn applications_are_isolated() {
     let now = SimTime::from_hms(0, 10, 0, 0);
     assert_eq!(server.ingest_pending(&sc, now, 10).unwrap().stored, 1);
     assert_eq!(server.ingest_pending(&other, now, 10).unwrap().stored, 1);
-    assert_eq!(server.query(&sc, &ObservationQuery::new()).unwrap().len(), 1);
     assert_eq!(
-        server.query(&other, &ObservationQuery::new()).unwrap().len(),
+        server.query(&sc, &ObservationQuery::new()).unwrap().len(),
+        1
+    );
+    assert_eq!(
+        server
+            .query(&other, &ObservationQuery::new())
+            .unwrap()
+            .len(),
         1
     );
     // Storage namespaces differ.
@@ -193,13 +217,21 @@ fn applications_are_isolated() {
 #[test]
 fn diy_pipeline_with_broker_and_store() {
     let broker = Broker::new();
-    broker.declare_exchange("feed", ExchangeType::Topic).unwrap();
+    broker
+        .declare_exchange("feed", ExchangeType::Topic)
+        .unwrap();
     broker.declare_queue("loud-events").unwrap();
-    broker.bind_queue("feed", "loud-events", "obs.*.loud").unwrap();
+    broker
+        .bind_queue("feed", "loud-events", "obs.*.loud")
+        .unwrap();
 
     for (zone, kind) in [("a", "loud"), ("b", "quiet"), ("c", "loud")] {
         broker
-            .publish("feed", &format!("obs.{zone}.{kind}"), json!({"zone": zone}).to_string())
+            .publish(
+                "feed",
+                &format!("obs.{zone}.{kind}"),
+                json!({"zone": zone}).to_string(),
+            )
             .unwrap();
     }
 
