@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Exhibits: `fig4 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
-//! fig17 fig18 fig19 fig20 fig21 calib hourly all`.
+//! fig17 fig18 fig19 fig20 fig21 calib hourly resilience all`.
 
 use mps_analytics::{
     AccuracyReport, ActivityReport, DelayReport, DiurnalReport, GrowthReport, ModelTable,
@@ -261,6 +261,75 @@ fn calib() {
     println!("\npaper: 'calibration may be achieved per model rather than per device'");
 }
 
+fn resilience() {
+    header("Resilience — message conservation under seeded fault plans (Section 6 'don'ts')");
+    use mps_faults::{FaultPlan, FaultSpec, FaultyLink, Link, LinkError};
+    use mps_types::SimTime;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct Sink(AtomicU64);
+    impl Link for Sink {
+        fn send(&self, _route: &str, _payload: &[u8]) -> Result<usize, LinkError> {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            Ok(1)
+        }
+    }
+
+    const SENT: u64 = 10_000;
+    println!(
+        "{:<16} {:>7} {:>8} {:>8} {:>10} {:>7} {:>6} {:>9} {:>12}",
+        "plan",
+        "sent",
+        "arrived",
+        "dropped",
+        "blackholed",
+        "dup",
+        "delay",
+        "reordered",
+        "conserved"
+    );
+    for (label, spec) in [
+        ("none", FaultSpec::none()),
+        ("flaky-cellular", FaultSpec::flaky_cellular()),
+        (
+            "stress+blackhole",
+            FaultSpec::stress().with_blackhole(
+                "obs.paris",
+                SimTime::from_millis(2_000_000),
+                SimTime::from_millis(4_000_000),
+            ),
+        ),
+    ] {
+        let link = FaultyLink::new(Sink::default(), FaultPlan::new(42, spec));
+        for i in 0..SENT {
+            let now = SimTime::from_millis(i as i64 * 1_000);
+            link.advance_to(now).expect("sink never fails");
+            link.send_at("obs.paris.noise", b"{}", now)
+                .expect("sink never fails");
+        }
+        link.drain_pending().expect("sink never fails");
+        let stats = link.stats();
+        let arrived = link.inner().0.load(Ordering::Relaxed);
+        let conserved = arrived + stats.dropped + stats.blackholed == SENT + stats.duplicated;
+        println!(
+            "{:<16} {:>7} {:>8} {:>8} {:>10} {:>7} {:>6} {:>9} {:>12}",
+            label,
+            SENT,
+            arrived,
+            stats.dropped,
+            stats.blackholed,
+            stats.duplicated,
+            stats.delayed,
+            stats.reordered,
+            if conserved { "yes" } else { "NO — BUG" }
+        );
+    }
+    println!("\nevery loss is injected and counted: arrived + dropped + blackholed");
+    println!("== sent + duplicated, for any seed (see broker proptests and");
+    println!("tests/resilience_pipeline.rs for the machine-checked versions).");
+}
+
 fn pipeline_health() {
     header("Pipeline health — aggregate telemetry from this run");
     let registry = mps_telemetry::Registry::global();
@@ -281,8 +350,23 @@ fn main() {
         .collect();
     let wanted: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
         vec![
-            "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "fig17", "fig18", "fig19", "fig20", "fig21", "calib",
+            "fig4",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "fig20",
+            "fig21",
+            "calib",
+            "resilience",
         ]
     } else {
         wanted
@@ -365,7 +449,10 @@ fn main() {
             "fig21" => fig21(dataset.as_ref().expect("main replay")),
             "calib" => calib(),
             "hourly" => hourly(),
-            other => eprintln!("unknown exhibit: {other} (try fig4..fig21, calib, hourly, all)"),
+            "resilience" => resilience(),
+            other => eprintln!(
+                "unknown exhibit: {other} (try fig4..fig21, calib, hourly, resilience, all)"
+            ),
         }
     }
 

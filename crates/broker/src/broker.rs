@@ -48,13 +48,31 @@ struct ExchangeState {
     bindings: Vec<Binding>,
 }
 
+/// A queue's dead-letter policy: after a message has been delivered
+/// `max_delivery_attempts` times and nacked back each time, the next nack
+/// moves it to the `target` queue instead of requeueing it — the AMQP
+/// dead-letter-exchange pattern, which keeps poison messages from cycling
+/// through a consumer forever while never losing them silently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadLetterPolicy {
+    /// Deliveries a message may consume before it is dead-lettered.
+    pub max_delivery_attempts: u32,
+    /// Queue that receives exhausted messages.
+    pub target: String,
+}
+
 #[derive(Debug, Default)]
 struct QueueState {
-    ready: VecDeque<(Arc<Message>, bool)>,
-    unacked: HashMap<u64, Arc<Message>>,
+    /// Ready messages, each with the number of times it was already
+    /// delivered (0 = fresh, > 0 = redelivery).
+    ready: VecDeque<(Arc<Message>, u32)>,
+    /// Unacked deliveries, keyed by tag, with the delivery count
+    /// *including* the in-flight one.
+    unacked: HashMap<u64, (Arc<Message>, u32)>,
     next_tag: u64,
     capacity: Option<usize>,
     enqueued_total: u64,
+    dead_letter: Option<DeadLetterPolicy>,
 }
 
 #[derive(Debug, Default)]
@@ -87,6 +105,8 @@ pub struct QueueInfo {
     pub enqueued_total: u64,
     /// Capacity limit, if bounded.
     pub capacity: Option<usize>,
+    /// Dead-letter target, if the queue has a dead-letter policy.
+    pub dead_letter_to: Option<String>,
 }
 
 /// An in-process AMQP-style message broker.
@@ -353,8 +373,65 @@ impl Broker {
                 unacked: q.unacked.len(),
                 enqueued_total: q.enqueued_total,
                 capacity: q.capacity,
+                dead_letter_to: q.dead_letter.as_ref().map(|p| p.target.clone()),
             })
             .collect()
+    }
+
+    /// Attaches a [`DeadLetterPolicy`] to `queue`: once a message has been
+    /// delivered `max_delivery_attempts` times and nacked back with
+    /// `requeue` each time, the next nack moves it to `target` instead of
+    /// requeueing it. Both queues must already exist; reconfiguring
+    /// replaces the previous policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::QueueNotFound`] if either queue is missing
+    /// and [`BrokerError::InvalidDeadLetter`] if the policy is ill-formed
+    /// (zero attempts, or a queue dead-lettering to itself).
+    pub fn configure_dead_letter(
+        &self,
+        queue: &str,
+        max_delivery_attempts: u32,
+        target: &str,
+    ) -> Result<(), BrokerError> {
+        if max_delivery_attempts == 0 {
+            return Err(BrokerError::InvalidDeadLetter(
+                "max_delivery_attempts must be at least 1".into(),
+            ));
+        }
+        if queue == target {
+            return Err(BrokerError::InvalidDeadLetter(format!(
+                "queue {queue:?} cannot dead-letter to itself"
+            )));
+        }
+        let mut state = self.state.lock();
+        if !state.queues.contains_key(target) {
+            return Err(BrokerError::QueueNotFound(target.into()));
+        }
+        let q = state
+            .queues
+            .get_mut(queue)
+            .ok_or_else(|| BrokerError::QueueNotFound(queue.into()))?;
+        q.dead_letter = Some(DeadLetterPolicy {
+            max_delivery_attempts,
+            target: target.to_owned(),
+        });
+        Ok(())
+    }
+
+    /// The dead-letter policy of a queue, if one is configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::QueueNotFound`] if the queue does not exist.
+    pub fn dead_letter_policy(&self, queue: &str) -> Result<Option<DeadLetterPolicy>, BrokerError> {
+        let state = self.state.lock();
+        state
+            .queues
+            .get(queue)
+            .map(|q| q.dead_letter.clone())
+            .ok_or_else(|| BrokerError::QueueNotFound(queue.into()))
     }
 
     /// Number of ready messages in a queue.
@@ -449,7 +526,7 @@ impl Broker {
                     self.metrics.on_dropped();
                     continue;
                 }
-                q.ready.push_back((Arc::clone(&shared), false));
+                q.ready.push_back((Arc::clone(&shared), 0));
                 q.enqueued_total += 1;
                 enqueued += 1;
             }
@@ -474,14 +551,15 @@ impl Broker {
         let n = max.min(q.ready.len());
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            let (message, redelivered) = q.ready.pop_front().expect("len checked");
+            let (message, prior_deliveries) = q.ready.pop_front().expect("len checked");
             let tag = q.next_tag;
             q.next_tag += 1;
-            q.unacked.insert(tag, Arc::clone(&message));
+            q.unacked
+                .insert(tag, (Arc::clone(&message), prior_deliveries + 1));
             out.push(Delivery {
                 tag,
                 message,
-                redelivered,
+                redelivered: prior_deliveries > 0,
             });
         }
         self.metrics.on_delivered(out.len() as u64);
@@ -511,8 +589,11 @@ impl Broker {
     }
 
     /// Negatively acknowledges a delivery. With `requeue`, the message
-    /// returns to the **front** of the queue flagged as redelivered;
-    /// otherwise it is discarded.
+    /// returns to the **front** of the queue flagged as redelivered —
+    /// unless the queue's [`DeadLetterPolicy`] is exhausted, in which case
+    /// the message moves to the dead-letter queue instead. Without
+    /// `requeue` it is discarded. Every nack counts as a delivery failure
+    /// in the metrics.
     ///
     /// # Errors
     ///
@@ -520,22 +601,47 @@ impl Broker {
     /// [`BrokerError::QueueNotFound`] for an unknown queue.
     pub fn nack(&self, queue: &str, tag: u64, requeue: bool) -> Result<(), BrokerError> {
         let mut state = self.state.lock();
-        let q = state
-            .queues
-            .get_mut(queue)
-            .ok_or_else(|| BrokerError::QueueNotFound(queue.into()))?;
-        let message = q
-            .unacked
-            .remove(&tag)
-            .ok_or(BrokerError::UnknownDeliveryTag {
-                queue: queue.into(),
-                tag,
-            })?;
-        if requeue {
-            q.ready.push_front((message, true));
-            self.metrics.on_requeued();
-        } else {
+        let (message, attempts, dead_letter_to) = {
+            let q = state
+                .queues
+                .get_mut(queue)
+                .ok_or_else(|| BrokerError::QueueNotFound(queue.into()))?;
+            let (message, attempts) =
+                q.unacked
+                    .remove(&tag)
+                    .ok_or(BrokerError::UnknownDeliveryTag {
+                        queue: queue.into(),
+                        tag,
+                    })?;
+            let dead_letter_to = q
+                .dead_letter
+                .as_ref()
+                .filter(|policy| attempts >= policy.max_delivery_attempts)
+                .map(|policy| policy.target.clone());
+            (message, attempts, dead_letter_to)
+        };
+        self.metrics.on_delivery_failed();
+        if !requeue {
             self.metrics.on_dropped();
+            return Ok(());
+        }
+        match dead_letter_to {
+            None => {
+                let q = state.queues.get_mut(queue).expect("queue looked up above");
+                q.ready.push_front((message, attempts));
+                self.metrics.on_requeued();
+            }
+            // Delivery attempts are exhausted: the message leaves its home
+            // queue for good. A full or deleted dead-letter queue degrades
+            // to a counted drop — never a silent loss.
+            Some(target) => match state.queues.get_mut(&target) {
+                Some(dlq) if !dlq.capacity.is_some_and(|cap| dlq.ready.len() >= cap) => {
+                    dlq.ready.push_back((message, 0));
+                    dlq.enqueued_total += 1;
+                    self.metrics.on_dead_lettered();
+                }
+                _ => self.metrics.on_dropped(),
+            },
         }
         Ok(())
     }
@@ -695,6 +801,104 @@ mod tests {
         b.nack("q1", d.tag, false).unwrap();
         assert_eq!(b.queue_depth("q1").unwrap(), 0);
         assert_eq!(b.consume("q1", 1).unwrap().len(), 0);
+        // Both failure modes of a nack are counted.
+        assert_eq!(b.metrics().delivery_failed, 1);
+        assert_eq!(b.metrics().dropped, 1);
+    }
+
+    fn broker_with_dead_letter(max_attempts: u32) -> Broker {
+        let b = Broker::new();
+        b.declare_exchange("e", ExchangeType::Fanout).unwrap();
+        b.declare_queue("work").unwrap();
+        b.declare_queue("graveyard").unwrap();
+        b.bind_queue("e", "work", "#").unwrap();
+        b.configure_dead_letter("work", max_attempts, "graveyard")
+            .unwrap();
+        b
+    }
+
+    #[test]
+    fn dead_letter_moves_message_after_exhausted_attempts() {
+        let b = broker_with_dead_letter(2);
+        b.publish("e", "k", &b"poison"[..]).unwrap();
+
+        // First delivery: one attempt used, still below the limit.
+        let d = b.consume("work", 1).unwrap().remove(0);
+        b.nack("work", d.tag, true).unwrap();
+        assert_eq!(b.queue_depth("work").unwrap(), 1);
+        assert_eq!(b.queue_depth("graveyard").unwrap(), 0);
+
+        // Second delivery exhausts the policy: the nack dead-letters.
+        let d = b.consume("work", 1).unwrap().remove(0);
+        assert!(d.redelivered);
+        b.nack("work", d.tag, true).unwrap();
+        assert_eq!(b.queue_depth("work").unwrap(), 0);
+        assert_eq!(b.queue_depth("graveyard").unwrap(), 1);
+
+        let m = b.metrics();
+        assert_eq!(m.delivery_failed, 2);
+        assert_eq!(m.requeued, 1);
+        assert_eq!(m.dead_lettered, 1);
+        assert_eq!(m.dropped, 0);
+
+        // The dead-lettered message is a fresh delivery on its new queue
+        // and still carries the original payload.
+        let d = b.consume("graveyard", 1).unwrap().remove(0);
+        assert!(!d.redelivered);
+        assert_eq!(d.payload().as_ref(), b"poison");
+    }
+
+    #[test]
+    fn dead_letter_to_full_queue_degrades_to_counted_drop() {
+        let b = Broker::new();
+        b.declare_exchange("e", ExchangeType::Fanout).unwrap();
+        b.declare_queue("work").unwrap();
+        b.declare_queue_with_capacity("graveyard", 0).unwrap();
+        b.bind_queue("e", "work", "#").unwrap();
+        b.configure_dead_letter("work", 1, "graveyard").unwrap();
+        b.publish("e", "k", &b"x"[..]).unwrap();
+        let d = b.consume("work", 1).unwrap().remove(0);
+        b.nack("work", d.tag, true).unwrap();
+        assert_eq!(b.queue_depth("work").unwrap(), 0);
+        assert_eq!(b.queue_depth("graveyard").unwrap(), 0);
+        assert_eq!(b.metrics().dead_lettered, 0);
+        assert_eq!(b.metrics().dropped, 1);
+    }
+
+    #[test]
+    fn configure_dead_letter_validations() {
+        let b = Broker::new();
+        b.declare_queue("work").unwrap();
+        b.declare_queue("graveyard").unwrap();
+        assert_eq!(
+            b.configure_dead_letter("work", 0, "graveyard").unwrap_err(),
+            BrokerError::InvalidDeadLetter("max_delivery_attempts must be at least 1".into())
+        );
+        assert!(matches!(
+            b.configure_dead_letter("work", 3, "work"),
+            Err(BrokerError::InvalidDeadLetter(_))
+        ));
+        assert_eq!(
+            b.configure_dead_letter("work", 3, "ghost").unwrap_err(),
+            BrokerError::QueueNotFound("ghost".into())
+        );
+        assert_eq!(
+            b.configure_dead_letter("ghost", 3, "graveyard")
+                .unwrap_err(),
+            BrokerError::QueueNotFound("ghost".into())
+        );
+
+        assert_eq!(b.dead_letter_policy("work").unwrap(), None);
+        b.configure_dead_letter("work", 3, "graveyard").unwrap();
+        assert_eq!(
+            b.dead_letter_policy("work").unwrap(),
+            Some(DeadLetterPolicy {
+                max_delivery_attempts: 3,
+                target: "graveyard".into(),
+            })
+        );
+        let work = b.queues().iter().find(|q| q.name == "work").cloned();
+        assert_eq!(work.unwrap().dead_letter_to.as_deref(), Some("graveyard"));
     }
 
     #[test]

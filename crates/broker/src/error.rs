@@ -28,6 +28,9 @@ pub enum BrokerError {
     },
     /// The queue's capacity is exhausted and the message was rejected.
     QueueFull(String),
+    /// A dead-letter configuration was rejected (zero attempts, or a queue
+    /// targeting itself).
+    InvalidDeadLetter(String),
 }
 
 impl fmt::Display for BrokerError {
@@ -43,6 +46,9 @@ impl fmt::Display for BrokerError {
                 write!(f, "unknown delivery tag {tag} on queue {queue}")
             }
             BrokerError::QueueFull(name) => write!(f, "queue full: {name}"),
+            BrokerError::InvalidDeadLetter(reason) => {
+                write!(f, "invalid dead-letter configuration: {reason}")
+            }
         }
     }
 }
@@ -71,6 +77,10 @@ mod tests {
                 "42",
             ),
             (BrokerError::QueueFull("gf".into()), "gf"),
+            (
+                BrokerError::InvalidDeadLetter("self target".into()),
+                "self target",
+            ),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

@@ -14,8 +14,12 @@
 //!   more words);
 //! * durable queues that retain messages while a mobile consumer is
 //!   disconnected, with ack/nack redelivery;
+//! * per-queue **dead-letter policies**
+//!   ([`Broker::configure_dead_letter`]): a message nacked back after
+//!   exhausting its delivery attempts moves to a dead-letter queue instead
+//!   of cycling forever — nothing is ever lost silently;
 //! * a management API (declare / bind / purge / delete) and broker-wide
-//!   metrics.
+//!   metrics, including delivery-failure and dead-letter counters.
 //!
 //! The broker is thread-safe and deliberately unclocked: delivery is
 //! immediate, and the *simulated* network delays of the experiment are
@@ -49,7 +53,7 @@ mod metrics;
 mod proptests;
 mod topic;
 
-pub use broker::{Broker, ExchangeInfo, ExchangeType, QueueInfo};
+pub use broker::{Broker, DeadLetterPolicy, ExchangeInfo, ExchangeType, QueueInfo};
 pub use error::BrokerError;
 pub use message::{Delivery, Message};
 pub use metrics::{BrokerMetrics, MetricsSnapshot};

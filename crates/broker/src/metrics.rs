@@ -16,6 +16,8 @@ struct SharedCounters {
     acked: Counter,
     requeued: Counter,
     dropped: Counter,
+    delivery_failed: Counter,
+    dead_lettered: Counter,
 }
 
 fn shared() -> &'static SharedCounters {
@@ -48,6 +50,14 @@ fn shared() -> &'static SharedCounters {
                 "broker_core_dropped_total",
                 "Messages rejected because a queue was full",
             ),
+            delivery_failed: registry.counter(
+                "broker_core_delivery_failures_total",
+                "Deliveries negatively acknowledged by a consumer",
+            ),
+            dead_lettered: registry.counter(
+                "broker_core_dead_lettered_total",
+                "Messages moved to a dead-letter queue after exhausting redelivery",
+            ),
         }
     })
 }
@@ -68,6 +78,8 @@ pub struct BrokerMetrics {
     acked: Counter,
     requeued: Counter,
     dropped: Counter,
+    delivery_failed: Counter,
+    dead_lettered: Counter,
 }
 
 /// A point-in-time copy of [`BrokerMetrics`].
@@ -88,6 +100,11 @@ pub struct MetricsSnapshot {
     pub requeued: u64,
     /// Messages rejected because a queue was full.
     pub dropped: u64,
+    /// Deliveries negatively acknowledged by a consumer (with or without
+    /// requeue — every nack is a failed delivery attempt).
+    pub delivery_failed: u64,
+    /// Messages moved to a dead-letter queue after exhausting redelivery.
+    pub dead_lettered: u64,
 }
 
 impl BrokerMetrics {
@@ -126,6 +143,16 @@ impl BrokerMetrics {
         shared().dropped.inc();
     }
 
+    pub(crate) fn on_delivery_failed(&self) {
+        self.delivery_failed.inc();
+        shared().delivery_failed.inc();
+    }
+
+    pub(crate) fn on_dead_lettered(&self) {
+        self.dead_lettered.inc();
+        shared().dead_lettered.inc();
+    }
+
     /// Takes a consistent-enough snapshot of all counters (each counter is
     /// read atomically; the set is not a transaction).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -137,6 +164,8 @@ impl BrokerMetrics {
             acked: self.acked.get(),
             requeued: self.requeued.get(),
             dropped: self.dropped.get(),
+            delivery_failed: self.delivery_failed.get(),
+            dead_lettered: self.dead_lettered.get(),
         }
     }
 }
@@ -156,6 +185,9 @@ mod tests {
         m.on_acked();
         m.on_requeued();
         m.on_dropped();
+        m.on_delivery_failed();
+        m.on_delivery_failed();
+        m.on_dead_lettered();
         let s = m.snapshot();
         assert_eq!(s.published, 2);
         assert_eq!(s.routed, 3);
@@ -164,6 +196,8 @@ mod tests {
         assert_eq!(s.acked, 1);
         assert_eq!(s.requeued, 1);
         assert_eq!(s.dropped, 1);
+        assert_eq!(s.delivery_failed, 2);
+        assert_eq!(s.dead_lettered, 1);
     }
 
     #[test]

@@ -1,10 +1,61 @@
 //! In-crate property tests over broker invariants.
 
 use crate::{Broker, ExchangeType, RoutingKey};
+use mps_faults::{FaultPlan, FaultSpec, FaultyLink, Link, LinkError};
+use mps_types::{SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn key_strategy() -> impl Strategy<Value = String> {
     prop::collection::vec("[a-zA-Z0-9_-]{1,6}", 1..5).prop_map(|w| w.join("."))
+}
+
+/// A broker publish boundary as a fault-injectable link.
+struct BrokerProbe<'a> {
+    broker: &'a Broker,
+    exchange: &'a str,
+}
+
+impl Link for BrokerProbe<'_> {
+    fn send(&self, route: &str, payload: &[u8]) -> Result<usize, LinkError> {
+        self.broker
+            .publish(self.exchange, route, payload.to_vec())
+            .map_err(|err| LinkError::Unavailable(err.to_string()))
+    }
+}
+
+/// An arbitrary (but sane) fault mix, exercising every fault class.
+fn spec_strategy() -> impl Strategy<Value = FaultSpec> {
+    (
+        0.0..0.5f64,
+        0.0..0.5f64,
+        1i64..600,
+        0.0..0.3f64,
+        1u32..4,
+        0.0..0.3f64,
+        prop::option::of((0i64..100, 1i64..100)),
+    )
+        .prop_map(
+            |(drop_prob, delay_prob, delay_s, duplicate_prob, max_duplicates, reorder_prob, bh)| {
+                let mut spec = FaultSpec {
+                    drop_prob,
+                    delay_prob,
+                    mean_delay: SimDuration::from_secs(delay_s),
+                    duplicate_prob,
+                    max_duplicates,
+                    reorder_prob,
+                    reorder_window: SimDuration::from_secs(30),
+                    ..FaultSpec::none()
+                };
+                if let Some((from_s, len_s)) = bh {
+                    spec = spec.with_blackhole(
+                        "obs",
+                        SimTime::from_millis(from_s * 1_000),
+                        SimTime::from_millis((from_s + len_s) * 1_000),
+                    );
+                }
+                spec
+            },
+        )
 }
 
 proptest! {
@@ -73,6 +124,77 @@ proptest! {
             prop_assert!(d.redelivered);
             broker.ack("q", d.tag).unwrap();
         }
+    }
+
+    #[test]
+    fn fault_plan_conserves_messages_for_any_seed(
+        seed in any::<u64>(),
+        spec in spec_strategy(),
+        sends in 50usize..200,
+    ) {
+        let broker = Broker::new();
+        broker.declare_exchange("e", ExchangeType::Topic).unwrap();
+        broker.declare_queue("q").unwrap();
+        broker.bind_queue("e", "q", "#").unwrap();
+        let link = FaultyLink::new(
+            BrokerProbe { broker: &broker, exchange: "e" },
+            FaultPlan::new(seed, spec),
+        );
+        for i in 0..sends {
+            let now = SimTime::from_millis(i as i64 * 1_000);
+            link.advance_to(now).unwrap();
+            link.send_at("obs.paris.noise", b"{}", now).unwrap();
+        }
+        link.drain_pending().unwrap();
+        let stats = link.stats();
+        let arrived = broker.queue_depth("q").unwrap() as u64;
+        prop_assert_eq!(link.pending(), 0);
+        // Zero silent loss: every send is delivered into the queue,
+        // duplicated, or counted as dropped / black-holed.
+        prop_assert_eq!(
+            arrived + stats.dropped + stats.blackholed,
+            sends as u64 + stats.duplicated
+        );
+    }
+
+    #[test]
+    fn dead_letter_policy_conserves_messages(
+        n in 1usize..15,
+        max_attempts in 1u32..6,
+        ack_mask in any::<u16>(),
+    ) {
+        let broker = Broker::new();
+        broker.declare_exchange("e", ExchangeType::Fanout).unwrap();
+        broker.declare_queue("q").unwrap();
+        broker.declare_queue("dlq").unwrap();
+        broker.bind_queue("e", "q", "#").unwrap();
+        broker.configure_dead_letter("q", max_attempts, "dlq").unwrap();
+        for i in 0..n {
+            broker.publish("e", "k", vec![i as u8]).unwrap();
+        }
+        // Ack a subset; nack the rest until every survivor dead-letters.
+        let mut acked = 0usize;
+        loop {
+            let batch = broker.consume("q", n).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            for d in batch {
+                if ack_mask & (1 << (d.payload()[0] % 16)) != 0 {
+                    broker.ack("q", d.tag).unwrap();
+                    acked += 1;
+                } else {
+                    broker.nack("q", d.tag, true).unwrap();
+                }
+            }
+        }
+        let dead_lettered = broker.queue_depth("dlq").unwrap();
+        prop_assert_eq!(acked + dead_lettered, n, "every message acked or dead-lettered");
+        let m = broker.metrics();
+        prop_assert_eq!(m.dead_lettered, dead_lettered as u64);
+        prop_assert_eq!(m.dropped, 0);
+        // A nacked delivery is a failed delivery, every time.
+        prop_assert!(m.delivery_failed >= m.dead_lettered);
     }
 
     #[test]

@@ -1,0 +1,476 @@
+//! The transmission boundary: the [`Link`] trait and the fault-applying
+//! [`FaultyLink`] wrapper.
+
+use crate::plan::{DropReason, FaultAction, FaultPlan, FaultStats};
+use crate::telemetry::telemetry;
+use mps_types::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Mutex;
+
+/// A visible transmission failure: the sender *knows* the send did not
+/// happen (unlike an injected drop, which is silent in-flight loss).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// The far side refused or is unreachable; the message should be
+    /// retried by the sender's resilience layer.
+    Unavailable(String),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Unavailable(why) => write!(f, "link unavailable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Anything a message can be sent over: the mobile upload path publishes
+/// observations through it, and the broker publish boundary implements it
+/// so server-side hops can be fault-injected too.
+///
+/// `send` returns the number of destinations the message reached (broker
+/// adapters report the routed-queue count; plain transports report 1).
+/// A returned [`LinkError`] is a *visible* failure — the caller's
+/// retry/backoff machinery reacts to it. Silent in-flight loss is the
+/// business of [`FaultyLink`], never of `Link` implementations.
+pub trait Link {
+    /// Transmits `payload` along `route`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::Unavailable`] when the far side cannot accept
+    /// the message (the sender should retry later).
+    fn send(&self, route: &str, payload: &[u8]) -> Result<usize, LinkError>;
+}
+
+impl<T: Link + ?Sized> Link for &T {
+    fn send(&self, route: &str, payload: &[u8]) -> Result<usize, LinkError> {
+        (**self).send(route, payload)
+    }
+}
+
+/// What a faulty send did, from the *omniscient* test harness view (the
+/// sender in the simulation only sees `Ok`/`Err`; the receipt exists so
+/// conservation tests can account for every message).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkReceipt {
+    /// The message (and `copies - 1` extra duplicates) reached the inner
+    /// link now, reaching `routed` destinations in total.
+    Delivered {
+        /// Total destinations reached across all copies.
+        routed: usize,
+        /// Copies sent (1 = no duplication).
+        copies: u32,
+    },
+    /// The message was lost in flight — counted in [`FaultStats`].
+    Dropped(DropReason),
+    /// The message sits in the delay line until `due`.
+    Delayed {
+        /// When [`FaultyLink::advance_to`] will release it.
+        due: SimTime,
+    },
+}
+
+/// A message held in the delay line.
+#[derive(Debug)]
+struct Held {
+    due_ms: i64,
+    seq: u64,
+    route: String,
+    payload: Vec<u8>,
+}
+
+impl PartialEq for Held {
+    fn eq(&self, other: &Self) -> bool {
+        self.due_ms == other.due_ms && self.seq == other.seq
+    }
+}
+impl Eq for Held {}
+impl PartialOrd for Held {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Held {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-due first,
+        // FIFO among equals.
+        (other.due_ms, other.seq).cmp(&(self.due_ms, self.seq))
+    }
+}
+
+/// A [`Link`] wrapped with a [`FaultPlan`]: every send is first judged by
+/// the plan, then delivered, dropped (counted), duplicated, or parked in
+/// a delay line until [`FaultyLink::advance_to`] reaches its due time.
+///
+/// Thread-safe: the plan and delay line sit behind mutexes so a crowd of
+/// simulated devices can share one uplink.
+///
+/// See the [crate documentation](crate) for a conservation example.
+#[derive(Debug)]
+pub struct FaultyLink<L> {
+    inner: L,
+    plan: Mutex<FaultPlan>,
+    held: Mutex<BinaryHeap<Held>>,
+    seq: Mutex<u64>,
+}
+
+impl<L: Link> FaultyLink<L> {
+    /// Wraps `inner` with `plan`.
+    pub fn new(inner: L, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan: Mutex::new(plan),
+            held: Mutex::new(BinaryHeap::new()),
+            seq: Mutex::new(0),
+        }
+    }
+
+    /// The wrapped link.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    /// The plan's conservation counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.plan.lock().expect("plan lock").stats()
+    }
+
+    /// Messages currently parked in the delay line.
+    pub fn pending(&self) -> usize {
+        self.held.lock().expect("held lock").len()
+    }
+
+    /// Whether device `device` is online at `now` (delegates to
+    /// [`FaultPlan::device_online`], recording denials in the stats).
+    pub fn device_online(&self, device: u64, now: SimTime) -> bool {
+        let mut plan = self.plan.lock().expect("plan lock");
+        let online = plan.device_online(device, now);
+        if !online {
+            plan.note_outage_denial();
+        }
+        online
+    }
+
+    /// Sends `payload` along `route` at simulated time `now`, applying
+    /// the fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinkError`] from the inner link (a *visible* failure;
+    /// the plan's decision is not consumed twice — a failed delivery
+    /// attempt still counts as decided, and the caller retries through a
+    /// fresh decision).
+    pub fn send_at(
+        &self,
+        route: &str,
+        payload: &[u8],
+        now: SimTime,
+    ) -> Result<LinkReceipt, LinkError> {
+        let action = self.plan.lock().expect("plan lock").decide(route, now);
+        match action {
+            FaultAction::Deliver => {
+                let routed = self.inner.send(route, payload)?;
+                Ok(LinkReceipt::Delivered { routed, copies: 1 })
+            }
+            FaultAction::Drop(reason) => Ok(LinkReceipt::Dropped(reason)),
+            FaultAction::Duplicate(extra) => {
+                let mut routed = 0;
+                for _ in 0..=extra {
+                    routed += self.inner.send(route, payload)?;
+                }
+                Ok(LinkReceipt::Delivered {
+                    routed,
+                    copies: extra + 1,
+                })
+            }
+            FaultAction::Delay(by) => {
+                let due = now + by;
+                let mut seq = self.seq.lock().expect("seq lock");
+                *seq += 1;
+                self.held.lock().expect("held lock").push(Held {
+                    due_ms: due.as_millis(),
+                    seq: *seq,
+                    route: route.to_owned(),
+                    payload: payload.to_vec(),
+                });
+                Ok(LinkReceipt::Delayed { due })
+            }
+        }
+    }
+
+    /// Releases every held message whose due time is `<= now` into the
+    /// inner link, in due order, returning how many were released.
+    ///
+    /// # Errors
+    ///
+    /// If the inner link fails mid-release the failed message is put back
+    /// and the error propagates; already-released messages stay released.
+    pub fn advance_to(&self, now: SimTime) -> Result<usize, LinkError> {
+        let now_ms = now.as_millis();
+        let mut released = 0;
+        loop {
+            let next = {
+                let mut held = self.held.lock().expect("held lock");
+                match held.peek() {
+                    Some(h) if h.due_ms <= now_ms => held.pop(),
+                    _ => None,
+                }
+            };
+            let Some(msg) = next else {
+                return Ok(released);
+            };
+            if let Err(err) = self.inner.send(&msg.route, &msg.payload) {
+                self.held.lock().expect("held lock").push(msg);
+                return Err(err);
+            }
+            released += 1;
+            telemetry().released.inc();
+        }
+    }
+
+    /// Releases *everything* still parked, regardless of due time (test
+    /// teardown: quiesce the pipeline so conservation can be asserted).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FaultyLink::advance_to`].
+    pub fn drain_pending(&self) -> Result<usize, LinkError> {
+        self.advance_to(SimTime::from_millis(i64::MAX))
+    }
+
+    /// A view of this faulty link pinned to the simulated instant `now`,
+    /// usable wherever a plain [`Link`] is expected (the mobile client's
+    /// upload path, for instance).
+    pub fn at(&self, now: SimTime) -> FaultyLinkAt<'_, L> {
+        FaultyLinkAt { link: self, now }
+    }
+}
+
+/// A [`FaultyLink`] pinned to one simulated instant — see
+/// [`FaultyLink::at`].
+///
+/// Injected drops and delays report `Ok` to the sender: in-flight loss is
+/// *silent* from the sending side, which is precisely the failure mode the
+/// resilience layer must survive. Only inner-link refusals surface as
+/// [`LinkError`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultyLinkAt<'a, L> {
+    link: &'a FaultyLink<L>,
+    now: SimTime,
+}
+
+impl<L: Link> Link for FaultyLinkAt<'_, L> {
+    fn send(&self, route: &str, payload: &[u8]) -> Result<usize, LinkError> {
+        match self.link.send_at(route, payload, self.now)? {
+            LinkReceipt::Delivered { routed, .. } => Ok(routed),
+            // The sender cannot distinguish a drop or delay from a routed
+            // send — it already paid the radio transfer.
+            LinkReceipt::Dropped(_) | LinkReceipt::Delayed { .. } => Ok(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FaultSpec;
+    use mps_types::SimDuration;
+    use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+    use std::sync::Mutex as StdMutex;
+
+    /// Records every arrival, optionally failing on demand.
+    #[derive(Default)]
+    struct Probe {
+        arrivals: StdMutex<Vec<(String, Vec<u8>)>>,
+        fail: AtomicUsize, // fail the next N sends
+    }
+
+    impl Probe {
+        fn count(&self) -> usize {
+            self.arrivals.lock().unwrap().len()
+        }
+    }
+
+    impl Link for Probe {
+        fn send(&self, route: &str, payload: &[u8]) -> Result<usize, LinkError> {
+            if self
+                .fail
+                .fetch_update(AtomicOrdering::SeqCst, AtomicOrdering::SeqCst, |n| {
+                    n.checked_sub(1)
+                })
+                .is_ok()
+            {
+                return Err(LinkError::Unavailable("probe says no".into()));
+            }
+            self.arrivals
+                .lock()
+                .unwrap()
+                .push((route.to_owned(), payload.to_vec()));
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn clean_plan_passes_everything_through() {
+        let link = FaultyLink::new(Probe::default(), FaultPlan::new(1, FaultSpec::none()));
+        for i in 0..20 {
+            let receipt = link
+                .send_at("r.k", b"payload", SimTime::from_millis(i))
+                .unwrap();
+            assert_eq!(
+                receipt,
+                LinkReceipt::Delivered {
+                    routed: 1,
+                    copies: 1
+                }
+            );
+        }
+        assert_eq!(link.inner().count(), 20);
+        assert_eq!(link.pending(), 0);
+    }
+
+    #[test]
+    fn delays_hold_until_advance() {
+        let spec = FaultSpec {
+            delay_prob: 1.0,
+            mean_delay: SimDuration::from_secs(10),
+            ..FaultSpec::none()
+        };
+        let link = FaultyLink::new(Probe::default(), FaultPlan::new(2, spec));
+        let receipt = link.send_at("r.k", b"x", SimTime::EPOCH).unwrap();
+        let LinkReceipt::Delayed { due } = receipt else {
+            panic!("expected delay, got {receipt:?}");
+        };
+        assert_eq!(link.pending(), 1);
+        assert_eq!(link.inner().count(), 0);
+        // Not due yet.
+        assert_eq!(
+            link.advance_to(due - SimDuration::from_millis(1)).unwrap(),
+            0
+        );
+        assert_eq!(link.inner().count(), 0);
+        // Due now.
+        assert_eq!(link.advance_to(due).unwrap(), 1);
+        assert_eq!(link.inner().count(), 1);
+        assert_eq!(link.pending(), 0);
+    }
+
+    #[test]
+    fn release_order_is_due_order_fifo_on_ties() {
+        let spec = FaultSpec {
+            delay_prob: 1.0,
+            mean_delay: SimDuration::from_mins(5),
+            ..FaultSpec::none()
+        };
+        let link = FaultyLink::new(Probe::default(), FaultPlan::new(3, spec));
+        for i in 0..30u8 {
+            link.send_at("r.k", &[i], SimTime::EPOCH).unwrap();
+        }
+        link.drain_pending().unwrap();
+        let arrivals = link.inner().arrivals.lock().unwrap();
+        assert_eq!(arrivals.len(), 30);
+        // Every payload arrives exactly once.
+        let mut seen: Vec<u8> = arrivals.iter().map(|(_, p)| p[0]).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicates_multiply_arrivals() {
+        let spec = FaultSpec {
+            duplicate_prob: 1.0,
+            max_duplicates: 2,
+            ..FaultSpec::none()
+        };
+        let link = FaultyLink::new(Probe::default(), FaultPlan::new(4, spec));
+        let mut copies_total = 0u32;
+        for i in 0..10 {
+            match link.send_at("r.k", b"d", SimTime::from_millis(i)).unwrap() {
+                LinkReceipt::Delivered { copies, .. } => {
+                    assert!(copies >= 2);
+                    copies_total += copies;
+                }
+                other => panic!("expected duplicated delivery, got {other:?}"),
+            }
+        }
+        assert_eq!(link.inner().count() as u32, copies_total);
+        assert_eq!(link.stats().duplicated, u64::from(copies_total) - 10);
+    }
+
+    #[test]
+    fn drops_are_counted_not_delivered() {
+        let spec = FaultSpec {
+            drop_prob: 1.0,
+            ..FaultSpec::none()
+        };
+        let link = FaultyLink::new(Probe::default(), FaultPlan::new(5, spec));
+        for i in 0..7 {
+            assert_eq!(
+                link.send_at("r.k", b"gone", SimTime::from_millis(i))
+                    .unwrap(),
+                LinkReceipt::Dropped(DropReason::Random)
+            );
+        }
+        assert_eq!(link.inner().count(), 0);
+        assert_eq!(link.stats().dropped, 7);
+    }
+
+    #[test]
+    fn inner_failure_propagates_and_preserves_held_messages() {
+        let spec = FaultSpec {
+            delay_prob: 1.0,
+            mean_delay: SimDuration::from_secs(1),
+            ..FaultSpec::none()
+        };
+        let link = FaultyLink::new(Probe::default(), FaultPlan::new(6, spec));
+        link.send_at("r.k", b"held", SimTime::EPOCH).unwrap();
+        link.inner().fail.store(1, AtomicOrdering::SeqCst);
+        assert!(link.drain_pending().is_err());
+        assert_eq!(link.pending(), 1, "failed release is put back");
+        assert_eq!(link.drain_pending().unwrap(), 1);
+        assert_eq!(link.inner().count(), 1);
+    }
+
+    #[test]
+    fn at_view_hides_silent_loss_but_surfaces_refusals() {
+        let spec = FaultSpec {
+            drop_prob: 1.0,
+            ..FaultSpec::none()
+        };
+        let dropping = FaultyLink::new(Probe::default(), FaultPlan::new(8, spec));
+        // An injected drop looks like a successful send to the sender.
+        assert_eq!(dropping.at(SimTime::EPOCH).send("r.k", b"x"), Ok(0));
+        assert_eq!(dropping.stats().dropped, 1);
+
+        // An inner-link refusal stays a visible error.
+        let clean = FaultyLink::new(Probe::default(), FaultPlan::new(9, FaultSpec::none()));
+        clean.inner().fail.store(1, AtomicOrdering::SeqCst);
+        assert!(clean.at(SimTime::EPOCH).send("r.k", b"x").is_err());
+        assert_eq!(clean.at(SimTime::EPOCH).send("r.k", b"x"), Ok(1));
+    }
+
+    #[test]
+    fn conservation_under_stress() {
+        let link = FaultyLink::new(Probe::default(), FaultPlan::new(7, FaultSpec::stress()));
+        let sent = 1_000u64;
+        for i in 0..sent {
+            let now = SimTime::from_millis(i as i64 * 250);
+            link.advance_to(now).unwrap();
+            link.send_at("obs.k", b"m", now).unwrap();
+        }
+        link.drain_pending().unwrap();
+        let stats = link.stats();
+        let arrived = link.inner().count() as u64;
+        assert_eq!(
+            arrived + stats.dropped + stats.blackholed,
+            sent + stats.duplicated,
+            "zero silent loss: {stats:?}"
+        );
+        assert_eq!(link.pending(), 0);
+    }
+}

@@ -1,0 +1,372 @@
+//! The seeded decision stream over a fault spec.
+
+use crate::spec::FaultSpec;
+use crate::telemetry::telemetry;
+use mps_simcore::SimRng;
+use mps_types::{SimDuration, SimTime};
+
+/// Why a message was swallowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random in-flight loss (the `drop_prob` dice).
+    Random,
+    /// The route fell into an active black-hole window.
+    Blackhole,
+}
+
+/// What the plan decided to do with one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Pass the message through unmodified.
+    Deliver,
+    /// Lose the message (counted — the conservation invariant includes it).
+    Drop(DropReason),
+    /// Hold the message back for this long, then deliver it.
+    Delay(SimDuration),
+    /// Deliver the message now, plus this many extra copies.
+    Duplicate(u32),
+}
+
+/// Monotonic conservation counters of one [`FaultPlan`].
+///
+/// `decisions == delivered + dropped + blackholed + delayed + reordered +
+/// duplicated_messages`, where `duplicated` below counts *extra copies*
+/// (so a duplicated message contributes 1 decision and ≥ 1 extra copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Messages the plan decided on.
+    pub decisions: u64,
+    /// Messages passed through unmodified.
+    pub delivered: u64,
+    /// Messages lost to the `drop_prob` dice.
+    pub dropped: u64,
+    /// Messages swallowed by a black-hole window.
+    pub blackholed: u64,
+    /// Messages held back by the delay dice.
+    pub delayed: u64,
+    /// Messages nudged by the reorder dice (a small delay).
+    pub reordered: u64,
+    /// Extra copies produced by the duplicate dice.
+    pub duplicated: u64,
+    /// Connectivity checks answered "down" because of an outage window.
+    pub outage_denials: u64,
+}
+
+/// A deterministic fault plan: a [`FaultSpec`] plus a seeded decision
+/// stream.
+///
+/// Two plans built from the same `(seed, spec)` produce the same decision
+/// sequence; the per-device outage schedule depends only on
+/// `(seed, device)`, not on how many messages were decided, so churn is
+/// stable under refactoring (the same property [`SimRng::split`] gives
+/// the simulator).
+///
+/// # Examples
+///
+/// ```
+/// use mps_faults::{FaultPlan, FaultSpec};
+/// use mps_types::SimTime;
+///
+/// let mut a = FaultPlan::new(7, FaultSpec::stress());
+/// let mut b = FaultPlan::new(7, FaultSpec::stress());
+/// for i in 0..50 {
+///     let now = SimTime::from_millis(i);
+///     assert_eq!(a.decide("obs.x", now), b.decide("obs.x", now));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    spec: FaultSpec,
+    rng: SimRng,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// Creates a plan from an experiment seed and a spec.
+    pub fn new(seed: u64, spec: FaultSpec) -> Self {
+        Self {
+            seed,
+            spec,
+            rng: SimRng::new(seed).split("faults.decision", 0),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The seed this plan was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The spec this plan draws from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// The conservation counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Decides the fate of one message on `route` sent at `now`.
+    ///
+    /// Black-hole windows are checked first (they are deterministic in
+    /// time, not probabilistic), then the drop, duplicate, delay and
+    /// reorder dice, in that order; at most one action fires per message.
+    pub fn decide(&mut self, route: &str, now: SimTime) -> FaultAction {
+        let shared = telemetry();
+        self.stats.decisions += 1;
+        shared.decisions.inc();
+
+        if self.spec.blackholes.iter().any(|w| w.covers(route, now)) {
+            self.stats.blackholed += 1;
+            shared.blackholed.inc();
+            return FaultAction::Drop(DropReason::Blackhole);
+        }
+        if self.rng.chance(self.spec.drop_prob) {
+            self.stats.dropped += 1;
+            shared.dropped.inc();
+            return FaultAction::Drop(DropReason::Random);
+        }
+        if self.rng.chance(self.spec.duplicate_prob) {
+            let max = self.spec.max_duplicates.max(1);
+            let extra = 1 + self.rng.index(max as usize) as u32;
+            self.stats.duplicated += u64::from(extra);
+            shared.duplicated.add(u64::from(extra));
+            return FaultAction::Duplicate(extra);
+        }
+        if self.rng.chance(self.spec.delay_prob) {
+            let mean_ms = self.spec.mean_delay.as_millis().max(1) as f64;
+            let delay_ms = self.rng.exponential(mean_ms).max(1.0) as i64;
+            self.stats.delayed += 1;
+            shared.delayed.inc();
+            return FaultAction::Delay(SimDuration::from_millis(delay_ms));
+        }
+        if self.rng.chance(self.spec.reorder_prob) {
+            let window_ms = self.spec.reorder_window.as_millis().max(1) as f64;
+            let nudge_ms = self.rng.uniform_in(1.0, window_ms.max(2.0)) as i64;
+            self.stats.reordered += 1;
+            shared.reordered.inc();
+            return FaultAction::Delay(SimDuration::from_millis(nudge_ms.max(1)));
+        }
+        self.stats.delivered += 1;
+        FaultAction::Deliver
+    }
+
+    /// Whether device `device` is online at `now` under the plan's churn
+    /// model.
+    ///
+    /// The schedule is derived from `(seed, device)` alone: alternating
+    /// exponential up/down periods starting at the epoch. Devices outside
+    /// the affected share are always online. Counted in
+    /// [`FaultStats::outage_denials`] only through the shared registry
+    /// (this method is `&self` and replayable).
+    pub fn device_online(&self, device: u64, now: SimTime) -> bool {
+        let Some(outages) = self.spec.outages else {
+            return true;
+        };
+        let mut rng = SimRng::new(self.seed).split("faults.outage", device);
+        if !rng.chance(outages.affected_share) {
+            return true;
+        }
+        let up_ms = outages.mean_uptime.as_millis().max(1) as f64;
+        let down_ms = outages.mean_downtime.as_millis().max(1) as f64;
+        let now_ms = now.as_millis();
+        let mut t: i64 = 0;
+        loop {
+            t += rng.exponential(up_ms).max(1.0) as i64;
+            if t > now_ms {
+                return true;
+            }
+            t += rng.exponential(down_ms).max(1.0) as i64;
+            if t > now_ms {
+                telemetry().outage_denials.inc();
+                return false;
+            }
+        }
+    }
+
+    /// Records an outage denial in the plan's own counters (callers that
+    /// defer an upload because [`FaultPlan::device_online`] said "down"
+    /// use this to keep [`FaultStats`] exact).
+    pub fn note_outage_denial(&mut self) {
+        self.stats.outage_denials += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::OutageSpec;
+
+    fn count_actions(plan: &mut FaultPlan, n: usize) -> FaultStats {
+        for i in 0..n {
+            let _ = plan.decide("obs.paris.noise", SimTime::from_millis(i as i64));
+        }
+        plan.stats()
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mut a = FaultPlan::new(11, FaultSpec::stress());
+        let mut b = FaultPlan::new(11, FaultSpec::stress());
+        for i in 0..500 {
+            let now = SimTime::from_millis(i);
+            assert_eq!(a.decide("r.k", now), b.decide("r.k", now));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultPlan::new(1, FaultSpec::stress());
+        let mut b = FaultPlan::new(2, FaultSpec::stress());
+        let mut differed = false;
+        for i in 0..200 {
+            let now = SimTime::from_millis(i);
+            if a.decide("r.k", now) != b.decide("r.k", now) {
+                differed = true;
+            }
+        }
+        assert!(differed);
+    }
+
+    #[test]
+    fn none_spec_always_delivers() {
+        let mut plan = FaultPlan::new(3, FaultSpec::none());
+        for i in 0..100 {
+            assert_eq!(
+                plan.decide("any.route", SimTime::from_millis(i)),
+                FaultAction::Deliver
+            );
+        }
+        let stats = plan.stats();
+        assert_eq!(stats.decisions, 100);
+        assert_eq!(stats.delivered, 100);
+        assert_eq!(stats.dropped + stats.delayed + stats.duplicated, 0);
+    }
+
+    #[test]
+    fn stats_partition_decisions() {
+        let mut plan = FaultPlan::new(17, FaultSpec::stress());
+        let stats = count_actions(&mut plan, 2_000);
+        assert_eq!(stats.decisions, 2_000);
+        // `duplicated` counts extra copies, so re-derive duplicated
+        // *messages* from the partition identity.
+        let dup_messages = stats.decisions
+            - stats.delivered
+            - stats.dropped
+            - stats.blackholed
+            - stats.delayed
+            - stats.reordered;
+        assert!(stats.duplicated >= dup_messages);
+        assert!(stats.dropped > 0, "stress spec should drop");
+        assert!(stats.delayed > 0, "stress spec should delay");
+        assert!(stats.duplicated > 0, "stress spec should duplicate");
+    }
+
+    #[test]
+    fn blackhole_overrides_dice() {
+        let spec = FaultSpec::none().with_blackhole(
+            "obs.paris",
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+        );
+        let mut plan = FaultPlan::new(5, spec);
+        assert_eq!(
+            plan.decide("obs.paris.noise", SimTime::from_millis(15)),
+            FaultAction::Drop(DropReason::Blackhole)
+        );
+        assert_eq!(
+            plan.decide("obs.paris.noise", SimTime::from_millis(25)),
+            FaultAction::Deliver
+        );
+        assert_eq!(
+            plan.decide("obs.lyon.noise", SimTime::from_millis(15)),
+            FaultAction::Deliver
+        );
+        assert_eq!(plan.stats().blackholed, 1);
+    }
+
+    #[test]
+    fn delays_are_positive() {
+        let spec = FaultSpec {
+            delay_prob: 1.0,
+            mean_delay: SimDuration::from_secs(60),
+            ..FaultSpec::none()
+        };
+        let mut plan = FaultPlan::new(23, spec);
+        for i in 0..200 {
+            match plan.decide("r", SimTime::from_millis(i)) {
+                FaultAction::Delay(d) => assert!(d > SimDuration::ZERO),
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_respect_max() {
+        let spec = FaultSpec {
+            duplicate_prob: 1.0,
+            max_duplicates: 3,
+            ..FaultSpec::none()
+        };
+        let mut plan = FaultPlan::new(29, spec);
+        for i in 0..200 {
+            match plan.decide("r", SimTime::from_millis(i)) {
+                FaultAction::Duplicate(extra) => assert!((1..=3).contains(&extra)),
+                other => panic!("expected duplicate, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn outage_schedule_is_deterministic_and_alternates() {
+        let spec = FaultSpec::none().with_outages(OutageSpec {
+            affected_share: 1.0,
+            mean_uptime: SimDuration::from_mins(30),
+            mean_downtime: SimDuration::from_mins(30),
+        });
+        let plan = FaultPlan::new(31, spec.clone());
+        let again = FaultPlan::new(31, spec);
+        let mut saw_up = false;
+        let mut saw_down = false;
+        for hour in 0..200 {
+            let now = SimTime::from_hms(0, 0, 0, 0) + SimDuration::from_mins(hour * 13);
+            let online = plan.device_online(42, now);
+            assert_eq!(online, again.device_online(42, now), "deterministic");
+            if online {
+                saw_up = true;
+            } else {
+                saw_down = true;
+            }
+        }
+        assert!(saw_up && saw_down, "schedule should alternate");
+    }
+
+    #[test]
+    fn unaffected_devices_stay_online() {
+        let spec = FaultSpec::none().with_outages(OutageSpec {
+            affected_share: 0.0,
+            mean_uptime: SimDuration::from_mins(1),
+            mean_downtime: SimDuration::from_hours(10),
+        });
+        let plan = FaultPlan::new(37, spec);
+        for day in 0..50 {
+            assert!(plan.device_online(7, SimTime::from_hms(day, 12, 0, 0)));
+        }
+    }
+
+    #[test]
+    fn no_outage_spec_means_always_online() {
+        let plan = FaultPlan::new(41, FaultSpec::none());
+        assert!(plan.device_online(0, SimTime::from_hms(100, 0, 0, 0)));
+    }
+
+    #[test]
+    fn note_outage_denial_counts() {
+        let mut plan = FaultPlan::new(43, FaultSpec::none());
+        plan.note_outage_denial();
+        plan.note_outage_denial();
+        assert_eq!(plan.stats().outage_denials, 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! The declarative fault mix.
+
+use mps_types::{SimDuration, SimTime};
+
+/// A window during which every message whose route starts with
+/// `route_prefix` is silently swallowed (and counted) — the simulated
+/// equivalent of a broker partition or a misconfigured binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlackholeWindow {
+    /// Routes starting with this prefix are affected (empty = all routes).
+    pub route_prefix: String,
+    /// Start of the window (inclusive).
+    pub from: SimTime,
+    /// End of the window (exclusive).
+    pub until: SimTime,
+}
+
+impl BlackholeWindow {
+    /// Whether `route` at time `now` falls into this window.
+    pub fn covers(&self, route: &str, now: SimTime) -> bool {
+        now >= self.from && now < self.until && route.starts_with(&self.route_prefix)
+    }
+}
+
+/// Device churn behaviour: a share of devices alternates between up and
+/// down periods with exponentially distributed lengths, reproducing the
+/// heavy disconnection tail the paper observed (Figure 17).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageSpec {
+    /// Fraction of devices subject to churn, in `[0, 1]`.
+    pub affected_share: f64,
+    /// Mean length of an uptime period.
+    pub mean_uptime: SimDuration,
+    /// Mean length of a downtime period.
+    pub mean_downtime: SimDuration,
+}
+
+/// The fault mix a [`crate::FaultPlan`] draws from.
+///
+/// All probabilities are per-message and clamped to `[0, 1]` at decision
+/// time; the actions are mutually exclusive per message (checked in the
+/// order black-hole, drop, duplicate, delay, reorder).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Probability a message is lost in flight (counted, never silent).
+    pub drop_prob: f64,
+    /// Probability a message is held back and released later.
+    pub delay_prob: f64,
+    /// Mean of the exponential delay distribution.
+    pub mean_delay: SimDuration,
+    /// Probability a message is duplicated (at-least-once delivery).
+    pub duplicate_prob: f64,
+    /// Maximum extra copies a duplication produces (at least 1).
+    pub max_duplicates: u32,
+    /// Probability a message is nudged by a small delay so it overtakes /
+    /// is overtaken by its neighbours.
+    pub reorder_prob: f64,
+    /// Upper bound of the uniform reorder nudge.
+    pub reorder_window: SimDuration,
+    /// Topic black-hole windows.
+    pub blackholes: Vec<BlackholeWindow>,
+    /// Device churn behaviour, if any.
+    pub outages: Option<OutageSpec>,
+}
+
+impl FaultSpec {
+    /// A spec that injects nothing: every decision is `Deliver`.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A mix shaped like the paper's deployment conditions: a few percent
+    /// of messages lost, a heavy delay tail, occasional duplicates from
+    /// retransmissions, and a third of the devices churning.
+    pub fn flaky_cellular() -> Self {
+        Self {
+            drop_prob: 0.03,
+            delay_prob: 0.15,
+            mean_delay: SimDuration::from_mins(10),
+            duplicate_prob: 0.02,
+            max_duplicates: 1,
+            reorder_prob: 0.05,
+            reorder_window: SimDuration::from_secs(30),
+            blackholes: Vec::new(),
+            outages: Some(OutageSpec {
+                affected_share: 0.3,
+                mean_uptime: SimDuration::from_hours(4),
+                mean_downtime: SimDuration::from_mins(45),
+            }),
+        }
+    }
+
+    /// An aggressive mix for stress tests: every fault class fires often.
+    pub fn stress() -> Self {
+        Self {
+            drop_prob: 0.15,
+            delay_prob: 0.30,
+            mean_delay: SimDuration::from_mins(30),
+            duplicate_prob: 0.10,
+            max_duplicates: 3,
+            reorder_prob: 0.15,
+            reorder_window: SimDuration::from_mins(2),
+            blackholes: Vec::new(),
+            outages: Some(OutageSpec {
+                affected_share: 0.6,
+                mean_uptime: SimDuration::from_hours(1),
+                mean_downtime: SimDuration::from_hours(2),
+            }),
+        }
+    }
+
+    /// Adds a black-hole window for routes starting with `route_prefix`.
+    pub fn with_blackhole(
+        mut self,
+        route_prefix: impl Into<String>,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.blackholes.push(BlackholeWindow {
+            route_prefix: route_prefix.into(),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Sets the device churn behaviour.
+    pub fn with_outages(mut self, outages: OutageSpec) -> Self {
+        self.outages = Some(outages);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_injects_nothing() {
+        let spec = FaultSpec::none();
+        assert_eq!(spec.drop_prob, 0.0);
+        assert_eq!(spec.delay_prob, 0.0);
+        assert_eq!(spec.duplicate_prob, 0.0);
+        assert!(spec.blackholes.is_empty());
+        assert!(spec.outages.is_none());
+    }
+
+    #[test]
+    fn blackhole_window_covers_prefix_and_time() {
+        let w = BlackholeWindow {
+            route_prefix: "obs.paris".into(),
+            from: SimTime::from_millis(100),
+            until: SimTime::from_millis(200),
+        };
+        assert!(w.covers("obs.paris.noise", SimTime::from_millis(100)));
+        assert!(w.covers("obs.paris.noise", SimTime::from_millis(199)));
+        assert!(!w.covers("obs.paris.noise", SimTime::from_millis(200)));
+        assert!(!w.covers("obs.lyon.noise", SimTime::from_millis(150)));
+        assert!(!w.covers("obs.paris.noise", SimTime::from_millis(99)));
+    }
+
+    #[test]
+    fn empty_prefix_covers_everything_in_window() {
+        let w = BlackholeWindow {
+            route_prefix: String::new(),
+            from: SimTime::EPOCH,
+            until: SimTime::from_millis(10),
+        };
+        assert!(w.covers("anything.at.all", SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn builders_accumulate() {
+        let spec = FaultSpec::none()
+            .with_blackhole("a", SimTime::EPOCH, SimTime::from_millis(1))
+            .with_blackhole("b", SimTime::EPOCH, SimTime::from_millis(2))
+            .with_outages(OutageSpec {
+                affected_share: 1.0,
+                mean_uptime: SimDuration::from_mins(1),
+                mean_downtime: SimDuration::from_mins(1),
+            });
+        assert_eq!(spec.blackholes.len(), 2);
+        assert!(spec.outages.is_some());
+    }
+}

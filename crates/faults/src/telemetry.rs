@@ -1,0 +1,91 @@
+//! Shared `faults_*` series in the process-wide telemetry registry.
+
+use mps_telemetry::{Counter, Registry};
+use std::sync::OnceLock;
+
+/// Shared fault-injection metric handles, under the workspace naming
+/// convention `faults_<subsystem>_<metric>`.
+pub(crate) struct FaultTelemetry {
+    /// Messages a plan decided on.
+    pub(crate) decisions: Counter,
+    /// Messages lost to the drop dice.
+    pub(crate) dropped: Counter,
+    /// Messages swallowed by black-hole windows.
+    pub(crate) blackholed: Counter,
+    /// Messages held back by the delay dice.
+    pub(crate) delayed: Counter,
+    /// Messages nudged by the reorder dice.
+    pub(crate) reordered: Counter,
+    /// Extra copies produced by the duplicate dice.
+    pub(crate) duplicated: Counter,
+    /// Connectivity checks answered "down" by an outage window.
+    pub(crate) outage_denials: Counter,
+    /// Delayed messages released to the inner link.
+    pub(crate) released: Counter,
+}
+
+/// The lazily-registered fault metric set.
+pub(crate) fn telemetry() -> &'static FaultTelemetry {
+    static TELEMETRY: OnceLock<FaultTelemetry> = OnceLock::new();
+    TELEMETRY.get_or_init(|| {
+        let registry = Registry::global();
+        FaultTelemetry {
+            decisions: registry.counter(
+                "faults_plan_decisions_total",
+                "Messages a fault plan decided on",
+            ),
+            dropped: registry.counter(
+                "faults_injected_drops_total",
+                "Messages lost to the injected drop dice",
+            ),
+            blackholed: registry.counter(
+                "faults_injected_blackholed_total",
+                "Messages swallowed by an injected black-hole window",
+            ),
+            delayed: registry.counter(
+                "faults_injected_delays_total",
+                "Messages held back by the injected delay dice",
+            ),
+            reordered: registry.counter(
+                "faults_injected_reorders_total",
+                "Messages nudged out of order by the injected reorder dice",
+            ),
+            duplicated: registry.counter(
+                "faults_injected_duplicates_total",
+                "Extra message copies produced by the injected duplicate dice",
+            ),
+            outage_denials: registry.counter(
+                "faults_outage_denials_total",
+                "Connectivity checks answered down by an injected outage window",
+            ),
+            released: registry.counter(
+                "faults_link_released_total",
+                "Delayed messages released to the inner link",
+            ),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_all_series_under_faults_names() {
+        let t = telemetry();
+        t.decisions.add(0);
+        let names = Registry::global().names();
+        for name in [
+            "faults_plan_decisions_total",
+            "faults_injected_drops_total",
+            "faults_injected_blackholed_total",
+            "faults_injected_delays_total",
+            "faults_injected_reorders_total",
+            "faults_injected_duplicates_total",
+            "faults_outage_denials_total",
+            "faults_link_released_total",
+        ] {
+            assert!(names.iter().any(|n| n == name), "missing {name}");
+        }
+    }
+}

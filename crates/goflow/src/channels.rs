@@ -85,6 +85,16 @@ pub(crate) fn gf_queue(app: &AppId) -> String {
     format!("gf-{app}-queue")
 }
 
+/// Name of the dead-letter queue paired with the GF queue: messages whose
+/// ingest keeps failing (e.g. repeated storage errors) are parked here for
+/// operator inspection instead of cycling forever or being dropped.
+pub(crate) fn gf_dlq(app: &AppId) -> String {
+    format!("gf-{app}-dlq")
+}
+
+/// Delivery attempts a GF message gets before it is dead-lettered.
+pub(crate) const GF_MAX_DELIVERY_ATTEMPTS: u32 = 5;
+
 fn sub_exchange(app: &AppId, datatype: &str, location: &str) -> String {
     format!("sub-{app}-{datatype}-{location}")
 }
@@ -100,7 +110,10 @@ impl ChannelManager {
 
     /// Declares the per-application topology: application exchange, GF
     /// exchange and GF queue, with the app exchange forwarding everything
-    /// into GF for storage. Idempotent.
+    /// into GF for storage. Also declares the GF dead-letter queue and
+    /// points the GF queue's dead-letter policy at it, so messages that
+    /// exhaust [`GF_MAX_DELIVERY_ATTEMPTS`] ingest attempts are parked
+    /// there instead of dropped. Idempotent.
     ///
     /// # Errors
     ///
@@ -110,9 +123,13 @@ impl ChannelManager {
         let app_ex = app_exchange(app);
         let gf_ex = gf_exchange(app);
         let gf_q = gf_queue(app);
+        let gf_dlq = gf_dlq(app);
         self.broker.declare_exchange(&app_ex, ExchangeType::Topic)?;
         self.broker.declare_exchange(&gf_ex, ExchangeType::Topic)?;
         self.broker.declare_queue(&gf_q)?;
+        self.broker.declare_queue(&gf_dlq)?;
+        self.broker
+            .configure_dead_letter(&gf_q, GF_MAX_DELIVERY_ATTEMPTS, &gf_dlq)?;
         self.broker.bind_exchange(&app_ex, &gf_ex, "#")?;
         self.broker.bind_queue(&gf_ex, &gf_q, "#")?;
         Ok(())
@@ -121,6 +138,12 @@ impl ChannelManager {
     /// The GF queue name for an application (used by ingest).
     pub fn collection_queue(&self, app: &AppId) -> String {
         gf_queue(app)
+    }
+
+    /// The GF dead-letter queue name for an application (inspect it for
+    /// messages whose ingest kept failing).
+    pub fn dead_letter_queue(&self, app: &AppId) -> String {
+        gf_dlq(app)
     }
 
     /// Opens a client session: declares the client exchange and queue and
@@ -216,7 +239,12 @@ mod tests {
         assert!(broker.exchange_exists("app-SC"));
         assert!(broker.exchange_exists("gf-SC"));
         assert!(broker.queue_exists("gf-SC-queue"));
+        assert!(broker.queue_exists("gf-SC-dlq"));
         assert_eq!(manager.collection_queue(&app), "gf-SC-queue");
+        assert_eq!(manager.dead_letter_queue(&app), "gf-SC-dlq");
+        let policy = broker.dead_letter_policy("gf-SC-queue").unwrap().unwrap();
+        assert_eq!(policy.max_delivery_attempts, GF_MAX_DELIVERY_ATTEMPTS);
+        assert_eq!(policy.target, "gf-SC-dlq");
         // Idempotent.
         manager.setup_app(&app).unwrap();
     }

@@ -6,6 +6,16 @@
 //! pseudonymises contributor identifiers per the privacy policy, derives
 //! the query fields the analyses need, and stores the result as one
 //! document per observation.
+//!
+//! Ingest degrades gracefully instead of losing data silently:
+//!
+//! * **malformed** payloads are parked in the app's quarantine collection
+//!   (with the decode error and the raw payload) and acknowledged;
+//! * **late** observations — older on arrival than an opt-in threshold —
+//!   are quarantined the same way instead of polluting the analyses;
+//! * **storage failures** nack the message back for redelivery, so the
+//!   broker's dead-letter policy eventually parks repeat offenders in the
+//!   GF dead-letter queue rather than cycling or dropping them.
 
 use crate::channels::gf_queue;
 use crate::telemetry::telemetry;
@@ -13,8 +23,9 @@ use crate::{PrivacyPolicy, UsageAnalytics};
 use mps_broker::Broker;
 use mps_docstore::Collection;
 use mps_telemetry::SpanTimer;
-use mps_types::{AppId, Observation, SimTime};
+use mps_types::{AppId, Observation, SimDuration, SimTime};
 use serde_json::{json, Value};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 /// Result of one ingest pass.
@@ -22,8 +33,14 @@ use std::sync::Arc;
 pub struct IngestOutcome {
     /// Observations decoded and stored.
     pub stored: usize,
-    /// Messages that could not be decoded (dropped, not requeued).
+    /// Messages that could not be decoded (quarantined, not dropped).
     pub malformed: usize,
+    /// Documents parked in the quarantine collection — malformed payloads
+    /// plus observations that exceeded the late-data threshold.
+    pub quarantined: usize,
+    /// Messages nacked back for redelivery after a storage failure (they
+    /// dead-letter once the queue's delivery attempts are exhausted).
+    pub requeued: usize,
 }
 
 /// Conversion of wire observations into stored documents.
@@ -69,11 +86,52 @@ impl ObservationRecord {
 pub(crate) struct Ingestor {
     broker: Arc<Broker>,
     policy: PrivacyPolicy,
+    /// Late-data threshold in milliseconds; negative means disabled.
+    late_threshold_ms: AtomicI64,
+    /// Test hook: number of upcoming inserts to fail artificially.
+    #[cfg(test)]
+    pub(crate) force_storage_failures: std::sync::atomic::AtomicUsize,
 }
 
 impl Ingestor {
     pub(crate) fn new(broker: Arc<Broker>, policy: PrivacyPolicy) -> Self {
-        Self { broker, policy }
+        Self {
+            broker,
+            policy,
+            late_threshold_ms: AtomicI64::new(-1),
+            #[cfg(test)]
+            force_storage_failures: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Sets (or clears, with `None`) the late-data threshold: observations
+    /// older than this on arrival are quarantined instead of stored.
+    pub(crate) fn set_late_quarantine(&self, threshold: Option<SimDuration>) {
+        let ms = threshold.map_or(-1, |d| d.as_millis());
+        self.late_threshold_ms.store(ms, Ordering::Relaxed);
+    }
+
+    fn late_threshold(&self) -> Option<SimDuration> {
+        let ms = self.late_threshold_ms.load(Ordering::Relaxed);
+        (ms >= 0).then(|| SimDuration::from_millis(ms))
+    }
+
+    /// Inserts a stored-observation document, honouring the test hook that
+    /// simulates storage failures.
+    fn insert_observation(
+        &self,
+        collection: &Collection,
+        doc: Value,
+    ) -> Result<mps_docstore::DocId, mps_docstore::StoreError> {
+        #[cfg(test)]
+        if self
+            .force_storage_failures
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            return Err(mps_docstore::StoreError::NotAnObject);
+        }
+        collection.insert_one(doc)
     }
 
     /// Decodes a payload into one or more observations (v1.3 clients send
@@ -89,11 +147,14 @@ impl Ingestor {
 
     /// Drains up to `max_messages` from the app's GF queue into
     /// `collection`, stamping `now` as the arrival time and recording
-    /// per-day counts in `analytics`.
+    /// per-day counts in `analytics`. Malformed payloads and late
+    /// observations are parked in `quarantine`; storage failures nack the
+    /// message back for redelivery (and, eventually, dead-lettering).
     pub(crate) fn drain(
         &self,
         app: &AppId,
         collection: &Collection,
+        quarantine: &Collection,
         analytics: &UsageAnalytics,
         now: SimTime,
         max_messages: usize,
@@ -102,30 +163,73 @@ impl Ingestor {
         let metrics = telemetry();
         let _drain_timer = SpanTimer::start(&metrics.ingest_drain_seconds);
         let mut outcome = IngestOutcome::default();
+        let late_threshold = self.late_threshold();
         let Ok(deliveries) = self.broker.consume(&queue, max_messages) else {
             return outcome;
         };
         for delivery in deliveries {
             match Self::decode(delivery.payload()) {
                 Ok(observations) => {
+                    let mut storage_failed = false;
                     for obs in &observations {
+                        let delay = now.saturating_since(obs.captured_at);
+                        if late_threshold.is_some_and(|limit| delay > limit) {
+                            let parked = quarantine.insert_one(json!({
+                                "reason": "late",
+                                "delay_ms": delay.as_millis(),
+                                "arrived_ms": now.as_millis(),
+                                "observation":
+                                    ObservationRecord::to_document(obs, now, &self.policy),
+                            }));
+                            if parked.is_ok() {
+                                outcome.quarantined += 1;
+                                metrics.ingest_quarantined.inc();
+                                metrics.ingest_late.inc();
+                            }
+                            continue;
+                        }
                         let doc = ObservationRecord::to_document(obs, now, &self.policy);
-                        if collection.insert_one(doc).is_ok() {
+                        if self.insert_observation(collection, doc).is_ok() {
                             outcome.stored += 1;
                             metrics.ingest_stored.inc();
                             metrics
                                 .ingest_delivery_delay_ms
-                                .observe(now.since(obs.captured_at).as_millis() as f64);
+                                .observe(delay.as_millis() as f64);
                             analytics.record(app, now, obs.is_localized());
+                        } else {
+                            storage_failed = true;
+                            break;
                         }
                     }
-                    let _ = self.broker.ack(&queue, delivery.tag);
+                    if storage_failed {
+                        // Redeliver the whole message: the broker counts the
+                        // attempt and dead-letters it once the queue's policy
+                        // is exhausted, so nothing is lost silently. This is
+                        // at-least-once — observations stored before the
+                        // failure may be stored again on redelivery.
+                        outcome.requeued += 1;
+                        metrics.ingest_storage_failures.inc();
+                        let _ = self.broker.nack(&queue, delivery.tag, true);
+                    } else {
+                        let _ = self.broker.ack(&queue, delivery.tag);
+                    }
                 }
                 Err(err) => {
                     outcome.malformed += 1;
                     metrics.ingest_malformed.inc();
+                    let parked = quarantine.insert_one(json!({
+                        "reason": "malformed",
+                        "error": err.to_string(),
+                        "payload": String::from_utf8_lossy(delivery.payload()),
+                        "arrived_ms": now.as_millis(),
+                    }));
+                    if parked.is_ok() {
+                        outcome.quarantined += 1;
+                        metrics.ingest_quarantined.inc();
+                    }
+                    // The payload is preserved in quarantine, so the broker
+                    // copy can be discarded without silent loss.
                     let _ = self.broker.nack(&queue, delivery.tag, false);
-                    let _ = err; // decode errors are counted, not propagated
                 }
             }
         }

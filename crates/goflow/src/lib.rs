@@ -14,7 +14,12 @@
 //! * [`ChannelManager`] — creates the exchanges, queues and bindings of
 //!   Figure 3 on behalf of clients ("Channel management").
 //! * ingest — drains the GF queue, validates, stamps arrival times,
-//!   pseudonymises and stores observations ("Data storage").
+//!   pseudonymises and stores observations ("Data storage"). It degrades
+//!   gracefully: malformed payloads and (opt-in) late observations are
+//!   parked in a per-app quarantine collection, and storage failures are
+//!   redelivered until the broker's dead-letter policy parks them in the
+//!   GF dead-letter queue — never silent loss (see
+//!   [`GoFlowServer::quarantine`] and [`GoFlowServer::set_late_quarantine`]).
 //! * [`ObservationQuery`] — filtered retrieval with packaging
 //!   ("Crowd-sensed data management").
 //! * [`JobRegistry`] — background jobs over stored data

@@ -11,7 +11,7 @@ use crate::telemetry::telemetry;
 use crate::GoFlowError;
 use mps_broker::Broker;
 use mps_docstore::{Collection, FindOptions, Store};
-use mps_types::{AppId, SimTime, UserId};
+use mps_types::{AppId, SimDuration, SimTime, UserId};
 use serde_json::Value;
 use std::sync::Arc;
 
@@ -34,6 +34,10 @@ pub struct GoFlowServer {
 
 fn collection_name(app: &AppId) -> String {
     format!("obs-{app}")
+}
+
+fn quarantine_name(app: &AppId) -> String {
+    format!("quarantine-{app}")
 }
 
 impl GoFlowServer {
@@ -105,6 +109,25 @@ impl GoFlowServer {
             return Err(GoFlowError::UnknownApp(app.to_string()));
         }
         Ok(self.store.collection(&collection_name(app)))
+    }
+
+    /// The quarantine collection of an app: malformed payloads and late
+    /// observations parked by ingest, each with a `reason` field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GoFlowError::UnknownApp`] for an unregistered app.
+    pub fn quarantine(&self, app: &AppId) -> Result<Collection, GoFlowError> {
+        if !self.accounts.has_app(app) {
+            return Err(GoFlowError::UnknownApp(app.to_string()));
+        }
+        Ok(self.store.collection(&quarantine_name(app)))
+    }
+
+    /// The GF dead-letter queue name of an app (messages whose ingest
+    /// kept failing are parked there by the broker).
+    pub fn dead_letter_queue(&self, app: &AppId) -> String {
+        self.channels.dead_letter_queue(app)
     }
 
     // ----- accounts ---------------------------------------------------------
@@ -190,7 +213,10 @@ impl GoFlowServer {
     // ----- ingest -------------------------------------------------------------
 
     /// Drains up to `max_messages` pending messages from the app's GF
-    /// queue into storage, stamping `now` as the arrival time.
+    /// queue into storage, stamping `now` as the arrival time. Malformed
+    /// payloads and late observations land in the app's
+    /// [quarantine](GoFlowServer::quarantine) collection; messages hit by
+    /// storage failures are redelivered and eventually dead-lettered.
     ///
     /// # Errors
     ///
@@ -202,10 +228,23 @@ impl GoFlowServer {
         max_messages: usize,
     ) -> Result<IngestOutcome, GoFlowError> {
         let collection = self.collection(app)?;
+        let quarantine = self.quarantine(app)?;
         telemetry().server_ingest_passes.inc();
-        Ok(self
-            .ingestor
-            .drain(app, &collection, &self.analytics, now, max_messages))
+        Ok(self.ingestor.drain(
+            app,
+            &collection,
+            &quarantine,
+            &self.analytics,
+            now,
+            max_messages,
+        ))
+    }
+
+    /// Enables (or, with `None`, disables) late-data quarantine:
+    /// observations older than `threshold` on arrival are parked in the
+    /// quarantine collection instead of stored. Disabled by default.
+    pub fn set_late_quarantine(&self, threshold: Option<SimDuration>) {
+        self.ingestor.set_late_quarantine(threshold);
     }
 
     // ----- data management ------------------------------------------------------
@@ -359,7 +398,7 @@ mod tests {
     }
 
     #[test]
-    fn malformed_payloads_are_counted_not_stored() {
+    fn malformed_payloads_are_quarantined_not_stored() {
         let (broker, server, app) = server();
         let token = server
             .register_user(&app, 1.into(), Role::Contributor)
@@ -375,7 +414,108 @@ mod tests {
         let outcome = server.ingest_pending(&app, SimTime::EPOCH, 10).unwrap();
         assert_eq!(outcome.stored, 0);
         assert_eq!(outcome.malformed, 1);
+        assert_eq!(outcome.quarantined, 1);
         assert_eq!(server.observation_total(&app), 0);
+        // The payload survives in the quarantine collection.
+        let parked = server.quarantine(&app).unwrap().all();
+        assert_eq!(parked.len(), 1);
+        assert_eq!(parked[0]["reason"], "malformed");
+        assert_eq!(parked[0]["payload"], "garbage");
+        assert!(parked[0]["error"].is_string());
+        // The broker copy is gone — quarantine owns it now.
+        assert_eq!(broker.queue_depth("gf-SC-queue").unwrap(), 0);
+    }
+
+    #[test]
+    fn late_observations_are_quarantined_when_enabled() {
+        let (broker, server, app) = server();
+        let token = server
+            .register_user(&app, 1.into(), Role::Contributor)
+            .unwrap();
+        let session = server.login(&token).unwrap();
+        let key = session.observation_key("noise", "FR75013");
+        // One fresh observation, one captured two days before arrival.
+        let fresh = obs(1, 55.0, SimTime::from_hms(2, 9, 59, 0));
+        let stale = obs(1, 60.0, SimTime::from_hms(0, 10, 0, 0));
+        for o in [&fresh, &stale] {
+            broker
+                .publish(session.exchange(), &key, serde_json::to_vec(o).unwrap())
+                .unwrap();
+        }
+        server.set_late_quarantine(Some(SimDuration::from_hours(24)));
+        let now = SimTime::from_hms(2, 10, 0, 0);
+        let outcome = server.ingest_pending(&app, now, 10).unwrap();
+        assert_eq!(outcome.stored, 1);
+        assert_eq!(outcome.quarantined, 1);
+        assert_eq!(server.observation_total(&app), 1);
+        let parked = server.quarantine(&app).unwrap().all();
+        assert_eq!(parked.len(), 1);
+        assert_eq!(parked[0]["reason"], "late");
+        assert_eq!(parked[0]["delay_ms"], json!(48 * 3_600_000));
+        assert_eq!(parked[0]["observation"]["spl"], json!(60.0));
+
+        // Disabled again: stale data is stored normally.
+        server.set_late_quarantine(None);
+        broker
+            .publish(
+                session.exchange(),
+                &key,
+                serde_json::to_vec(&stale).unwrap(),
+            )
+            .unwrap();
+        let outcome = server.ingest_pending(&app, now, 10).unwrap();
+        assert_eq!(outcome.stored, 1);
+        assert_eq!(outcome.quarantined, 0);
+    }
+
+    #[test]
+    fn storage_failures_requeue_then_dead_letter() {
+        let (broker, server, app) = server();
+        let token = server
+            .register_user(&app, 1.into(), Role::Contributor)
+            .unwrap();
+        let session = server.login(&token).unwrap();
+        let o = obs(1, 58.0, SimTime::EPOCH);
+        broker
+            .publish(
+                session.exchange(),
+                &session.observation_key("noise", "FR75013"),
+                serde_json::to_vec(&o).unwrap(),
+            )
+            .unwrap();
+
+        // Persistent storage failure: every ingest pass nacks the message
+        // back, and the broker's dead-letter policy caps the cycling.
+        server
+            .ingestor
+            .force_storage_failures
+            .store(usize::MAX, std::sync::atomic::Ordering::SeqCst);
+        for attempt in 1..=5 {
+            let outcome = server.ingest_pending(&app, SimTime::EPOCH, 10).unwrap();
+            assert_eq!(outcome.requeued, 1, "attempt {attempt} should nack");
+            assert_eq!(outcome.stored, 0);
+        }
+        // Attempts exhausted: parked in the DLQ, not cycling, not dropped.
+        assert_eq!(broker.queue_depth("gf-SC-queue").unwrap(), 0);
+        assert_eq!(
+            broker.queue_depth(&server.dead_letter_queue(&app)).unwrap(),
+            1
+        );
+        let outcome = server.ingest_pending(&app, SimTime::EPOCH, 10).unwrap();
+        assert_eq!(outcome, IngestOutcome::default());
+
+        // The dead-lettered payload is intact for operator replay.
+        server
+            .ingestor
+            .force_storage_failures
+            .store(0, std::sync::atomic::Ordering::SeqCst);
+        let dlq = server.dead_letter_queue(&app);
+        let deliveries = broker.consume(&dlq, 10).unwrap();
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(
+            deliveries[0].payload().as_ref(),
+            serde_json::to_vec(&o).unwrap().as_slice()
+        );
     }
 
     #[test]

@@ -14,6 +14,12 @@ pub(crate) struct GoFlowTelemetry {
     pub(crate) ingest_stored: Counter,
     /// Messages ingest could not decode.
     pub(crate) ingest_malformed: Counter,
+    /// Documents parked in a quarantine collection (malformed or late).
+    pub(crate) ingest_quarantined: Counter,
+    /// Observations quarantined for exceeding the late-data threshold.
+    pub(crate) ingest_late: Counter,
+    /// Storage failures that sent a message back for redelivery.
+    pub(crate) ingest_storage_failures: Counter,
     /// End-to-end capture-to-storage delay, in milliseconds.
     pub(crate) ingest_delivery_delay_ms: Histogram,
     /// Wall-clock duration of one queue drain, in seconds.
@@ -43,6 +49,18 @@ pub(crate) fn telemetry() -> &'static GoFlowTelemetry {
             ingest_malformed: registry.counter(
                 "goflow_ingest_malformed_total",
                 "Messages ingest could not decode",
+            ),
+            ingest_quarantined: registry.counter(
+                "goflow_ingest_quarantined_total",
+                "Documents parked in a quarantine collection (malformed or late)",
+            ),
+            ingest_late: registry.counter(
+                "goflow_ingest_late_total",
+                "Observations quarantined for exceeding the late-data threshold",
+            ),
+            ingest_storage_failures: registry.counter(
+                "goflow_ingest_storage_failures_total",
+                "Storage failures that sent a message back for redelivery",
             ),
             ingest_delivery_delay_ms: registry.histogram(
                 "goflow_ingest_delivery_delay_ms",
@@ -89,6 +107,9 @@ mod tests {
         for name in [
             "goflow_ingest_stored_total",
             "goflow_ingest_malformed_total",
+            "goflow_ingest_quarantined_total",
+            "goflow_ingest_late_total",
+            "goflow_ingest_storage_failures_total",
             "goflow_ingest_delivery_delay_ms",
             "goflow_ingest_drain_seconds",
             "goflow_server_ingest_passes_total",

@@ -12,8 +12,45 @@
 //! * v1.3 — buffered: observations accumulate until the buffer holds 10,
 //!   then ship as a single batch message (one radio transfer).
 
+use crate::retry::RetryPolicy;
+use crate::telemetry::telemetry;
 use mps_broker::{Broker, BrokerError};
-use mps_types::{AppVersion, Observation};
+use mps_faults::{Link, LinkError};
+use mps_simcore::SimRng;
+use mps_types::{AppVersion, Observation, SimTime};
+use std::collections::VecDeque;
+
+/// Adapts one [`Broker`] exchange to the [`Link`] transport trait, so the
+/// upload path can be driven directly or wrapped in a
+/// [`mps_faults::FaultyLink`] for fault-injected runs.
+#[derive(Debug, Clone, Copy)]
+pub struct BrokerLink<'a> {
+    broker: &'a Broker,
+    exchange: &'a str,
+}
+
+impl<'a> BrokerLink<'a> {
+    /// Creates a link publishing to `exchange` on `broker`.
+    pub fn new(broker: &'a Broker, exchange: &'a str) -> Self {
+        Self { broker, exchange }
+    }
+}
+
+impl Link for BrokerLink<'_> {
+    fn send(&self, route: &str, payload: &[u8]) -> Result<usize, LinkError> {
+        self.broker
+            .publish(self.exchange, route, payload.to_vec())
+            .map_err(|err| LinkError::Unavailable(err.to_string()))
+    }
+}
+
+/// One serialized upload parked for retry.
+#[derive(Debug, Clone)]
+struct PendingUpload {
+    payload: Vec<u8>,
+    observations: usize,
+    attempts: u32,
+}
 
 /// What a send cycle did — the numbers the energy model charges for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,6 +95,12 @@ pub struct GoFlowClient {
     buffer: Vec<Observation>,
     total_sent: u64,
     total_transfers: u64,
+    retry: RetryPolicy,
+    retry_queue: VecDeque<PendingUpload>,
+    next_retry_at: Option<SimTime>,
+    retry_rng: SimRng,
+    retried_total: u64,
+    shed_total: u64,
 }
 
 impl GoFlowClient {
@@ -74,7 +117,22 @@ impl GoFlowClient {
             buffer: Vec::new(),
             total_sent: 0,
             total_transfers: 0,
+            retry: RetryPolicy::default(),
+            retry_queue: VecDeque::new(),
+            next_retry_at: None,
+            retry_rng: SimRng::new(0).split("mobile.retry", 0),
+            retried_total: 0,
+            shed_total: 0,
         }
+    }
+
+    /// Replaces the retry policy and reseeds the backoff-jitter stream
+    /// (builder). Give each simulated client a distinct `jitter_seed` so
+    /// their retries de-synchronise.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy, jitter_seed: u64) -> Self {
+        self.retry = policy;
+        self.retry_rng = SimRng::new(jitter_seed).split("mobile.retry", 0);
+        self
     }
 
     /// The client's app version.
@@ -106,6 +164,32 @@ impl GoFlowClient {
     /// Total radio transfers performed.
     pub fn total_transfers(&self) -> u64 {
         self.total_transfers
+    }
+
+    /// Observations successfully shipped from the retry queue.
+    pub fn retried_total(&self) -> u64 {
+        self.retried_total
+    }
+
+    /// Observations shed from the retry queue — exhausted attempts or
+    /// queue overflow. Counted degradation, never silent loss.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total
+    }
+
+    /// Uploads parked in the retry queue.
+    pub fn queued_retries(&self) -> usize {
+        self.retry_queue.len()
+    }
+
+    /// Observations across the parked uploads.
+    pub fn retry_backlog(&self) -> usize {
+        self.retry_queue.iter().map(|u| u.observations).sum()
+    }
+
+    /// When the next retry is due, if the client is backing off.
+    pub fn next_retry_at(&self) -> Option<SimTime> {
+        self.next_retry_at
     }
 
     /// Whether the client would transmit on this cycle if connected.
@@ -168,13 +252,147 @@ impl GoFlowClient {
         self.buffer.clear();
         Ok(outcome)
     }
+
+    // ----- resilient upload path over a Link ------------------------------
+
+    /// Runs the emission step of a cycle over a [`Link`] transport with
+    /// retry/backoff: the retry backlog goes out first (once its backoff
+    /// delay has elapsed), then fresh observations if due. A visible link
+    /// failure parks the upload in the bounded retry queue and schedules a
+    /// jittered exponential backoff — this method never errors.
+    ///
+    /// While a backlog exists, fresh traffic is held back: it would arrive
+    /// out of order and most likely fail against the same link.
+    pub fn on_cycle_at(&mut self, link: &impl Link, connected: bool, now: SimTime) -> SendOutcome {
+        let mut outcome = SendOutcome::default();
+        if !connected {
+            return outcome;
+        }
+        self.drain_retries(link, now, &mut outcome);
+        if self.retry_queue.is_empty() && self.wants_to_send() {
+            self.send_fresh(link, now, &mut outcome);
+        }
+        outcome
+    }
+
+    /// Unconditionally transmits the retry backlog and everything pending
+    /// over `link`, ignoring backoff delays and batch thresholds (journey
+    /// end, app shutdown). Failures park the remainder for later.
+    pub fn flush_at(&mut self, link: &impl Link, now: SimTime) -> SendOutcome {
+        let mut outcome = SendOutcome::default();
+        self.next_retry_at = None;
+        self.drain_retries(link, now, &mut outcome);
+        if self.retry_queue.is_empty() && !self.buffer.is_empty() {
+            self.send_fresh(link, now, &mut outcome);
+        }
+        outcome
+    }
+
+    fn drain_retries(&mut self, link: &impl Link, now: SimTime, outcome: &mut SendOutcome) {
+        if self.retry_queue.is_empty() || self.next_retry_at.is_some_and(|due| now < due) {
+            return;
+        }
+        while let Some(upload) = self.retry_queue.front() {
+            telemetry().retry_attempts.inc();
+            match link.send(&self.routing_key, &upload.payload) {
+                Ok(_) => {
+                    let upload = self.retry_queue.pop_front().expect("front checked");
+                    outcome.transfers += 1;
+                    outcome.observations += upload.observations;
+                    self.total_transfers += 1;
+                    self.total_sent += upload.observations as u64;
+                    self.retried_total += upload.observations as u64;
+                    telemetry().retry_success.inc();
+                }
+                Err(_) => {
+                    telemetry().upload_failures.inc();
+                    let attempts = {
+                        let head = self.retry_queue.front_mut().expect("front checked");
+                        head.attempts += 1;
+                        head.attempts
+                    };
+                    if attempts >= self.retry.max_attempts {
+                        let shed = self.retry_queue.pop_front().expect("front checked");
+                        self.shed_total += shed.observations as u64;
+                        telemetry().retry_shed.inc();
+                    }
+                    self.schedule_backoff(attempts, now);
+                    return;
+                }
+            }
+        }
+        self.next_retry_at = None;
+    }
+
+    fn send_fresh(&mut self, link: &impl Link, now: SimTime, outcome: &mut SendOutcome) {
+        let uploads = self.assemble_uploads();
+        let mut link_down = false;
+        for mut upload in uploads {
+            if !link_down {
+                match link.send(&self.routing_key, &upload.payload) {
+                    Ok(_) => {
+                        outcome.transfers += 1;
+                        outcome.observations += upload.observations;
+                        self.total_transfers += 1;
+                        self.total_sent += upload.observations as u64;
+                        continue;
+                    }
+                    Err(_) => {
+                        telemetry().upload_failures.inc();
+                        link_down = true;
+                        upload.attempts = 1;
+                        self.schedule_backoff(1, now);
+                    }
+                }
+            }
+            self.park(upload);
+        }
+    }
+
+    fn assemble_uploads(&mut self) -> Vec<PendingUpload> {
+        if self.buffer.is_empty() {
+            return Vec::new();
+        }
+        if self.version.is_buffering() {
+            let payload = serde_json::to_vec(&self.buffer).expect("observations serialize");
+            let observations = self.buffer.len();
+            self.buffer.clear();
+            vec![PendingUpload {
+                payload,
+                observations,
+                attempts: 0,
+            }]
+        } else {
+            self.buffer
+                .drain(..)
+                .map(|obs| PendingUpload {
+                    payload: serde_json::to_vec(&obs).expect("observation serializes"),
+                    observations: 1,
+                    attempts: 0,
+                })
+                .collect()
+        }
+    }
+
+    fn park(&mut self, upload: PendingUpload) {
+        if self.retry_queue.len() >= self.retry.max_pending {
+            let shed = self.retry_queue.pop_front().expect("non-empty at capacity");
+            self.shed_total += shed.observations as u64;
+            telemetry().retry_shed.inc();
+        }
+        self.retry_queue.push_back(upload);
+    }
+
+    fn schedule_backoff(&mut self, attempt: u32, now: SimTime) {
+        self.next_retry_at = Some(now + self.retry.backoff_delay(attempt, &mut self.retry_rng));
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use mps_broker::ExchangeType;
-    use mps_types::{DeviceModel, SimTime, SoundLevel};
+    use mps_types::{DeviceModel, SimDuration, SoundLevel};
 
     fn broker() -> Broker {
         let b = Broker::new();
@@ -298,6 +516,157 @@ mod tests {
         assert!(c.on_cycle(&b, true).is_err());
         assert_eq!(c.pending(), 1);
         assert_eq!(c.total_sent(), 0);
+    }
+
+    /// A `Link` that records payloads and can be told to fail sends.
+    #[derive(Default)]
+    struct FlakyLink {
+        sent: std::cell::RefCell<Vec<Vec<u8>>>,
+        failing: std::cell::Cell<bool>,
+        attempts: std::cell::Cell<usize>,
+    }
+
+    impl Link for FlakyLink {
+        fn send(&self, _route: &str, payload: &[u8]) -> Result<usize, LinkError> {
+            self.attempts.set(self.attempts.get() + 1);
+            if self.failing.get() {
+                return Err(LinkError::Unavailable("flaky".into()));
+            }
+            self.sent.borrow_mut().push(payload.to_vec());
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn on_cycle_at_ships_through_a_broker_link() {
+        let b = broker();
+        let link = BrokerLink::new(&b, "ex");
+        let mut c = client(AppVersion::V1_2_9);
+        c.record(obs(0));
+        let sent = c.on_cycle_at(&link, true, SimTime::EPOCH);
+        assert_eq!(sent.observations, 1);
+        assert_eq!(b.queue_depth("q").unwrap(), 1);
+        assert_eq!(c.total_sent(), 1);
+        assert_eq!(c.queued_retries(), 0);
+    }
+
+    #[test]
+    fn visible_failure_parks_and_backs_off() {
+        let link = FlakyLink::default();
+        link.failing.set(true);
+        let mut c = client(AppVersion::V1_2_9);
+        c.record(obs(0));
+        let sent = c.on_cycle_at(&link, true, SimTime::EPOCH);
+        assert_eq!(sent.observations, 0);
+        assert_eq!(c.queued_retries(), 1);
+        let due = c.next_retry_at().expect("backoff scheduled");
+        assert!(due > SimTime::EPOCH);
+
+        // Before the backoff elapses the link is not even attempted.
+        link.failing.set(false);
+        let before = link.attempts.get();
+        c.on_cycle_at(&link, true, due - SimDuration::from_millis(1));
+        assert_eq!(link.attempts.get(), before);
+        assert_eq!(c.queued_retries(), 1);
+
+        // Once due, the parked upload ships.
+        let sent = c.on_cycle_at(&link, true, due);
+        assert_eq!(sent.observations, 1);
+        assert_eq!(c.queued_retries(), 0);
+        assert_eq!(c.retried_total(), 1);
+        assert_eq!(c.total_sent(), 1);
+    }
+
+    #[test]
+    fn backoff_escalates_and_sheds_after_max_attempts() {
+        let link = FlakyLink::default();
+        link.failing.set(true);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut c = client(AppVersion::V1_2_9).with_retry_policy(policy, 1);
+        c.record(obs(0));
+        let mut now = SimTime::EPOCH;
+        c.on_cycle_at(&link, true, now); // fresh failure = attempt 1
+        let mut delays = Vec::new();
+        while c.queued_retries() > 0 {
+            now = c.next_retry_at().expect("backing off");
+            delays.push(now);
+            c.on_cycle_at(&link, true, now);
+        }
+        // Attempts 2 and 3 happen from the queue; 3 hits the limit.
+        assert_eq!(delays.len(), 2);
+        assert_eq!(c.shed_total(), 1);
+        assert_eq!(c.total_sent(), 0);
+        // Without jitter the second gap is exactly twice the first.
+        let gap1 = delays[0].since(SimTime::EPOCH);
+        let gap2 = delays[1].since(delays[0]);
+        assert_eq!(gap2.as_millis(), 2 * gap1.as_millis());
+    }
+
+    #[test]
+    fn retry_queue_overflow_sheds_oldest_counted() {
+        let link = FlakyLink::default();
+        link.failing.set(true);
+        let policy = RetryPolicy {
+            max_pending: 2,
+            ..RetryPolicy::default()
+        };
+        let mut c = client(AppVersion::V1_2_9).with_retry_policy(policy, 2);
+        for i in 0..5 {
+            c.record(obs(i));
+        }
+        c.on_cycle_at(&link, true, SimTime::EPOCH);
+        assert_eq!(c.queued_retries(), 2, "bounded queue");
+        assert_eq!(c.shed_total(), 3, "overflow is counted, not silent");
+        assert_eq!(c.retry_backlog(), 2);
+    }
+
+    #[test]
+    fn backlog_blocks_fresh_sends_until_cleared() {
+        let link = FlakyLink::default();
+        link.failing.set(true);
+        let mut c = client(AppVersion::V1_2_9);
+        c.record(obs(0));
+        c.on_cycle_at(&link, true, SimTime::EPOCH);
+        assert_eq!(c.queued_retries(), 1);
+
+        // Link recovers, but a fresh observation arrives before the
+        // backoff elapses: nothing ships yet, and the buffer holds.
+        link.failing.set(false);
+        c.record(obs(1));
+        c.on_cycle_at(&link, true, SimTime::EPOCH);
+        assert_eq!(c.pending(), 1);
+        assert_eq!(link.sent.borrow().len(), 0);
+
+        // At the due time the backlog ships first, then the fresh one.
+        let due = c.next_retry_at().unwrap();
+        let sent = c.on_cycle_at(&link, true, due);
+        assert_eq!(sent.observations, 2);
+        assert_eq!(c.queued_retries(), 0);
+        assert_eq!(c.pending(), 0);
+        // Order preserved: obs(0) before obs(1).
+        let first: Observation = serde_json::from_slice(&link.sent.borrow()[0]).unwrap();
+        assert_eq!(first.captured_at, SimTime::from_millis(0));
+    }
+
+    #[test]
+    fn flush_at_ignores_backoff_and_thresholds() {
+        let link = FlakyLink::default();
+        link.failing.set(true);
+        let mut c = client(AppVersion::V1_3);
+        c.record(obs(0));
+        c.flush_at(&link, SimTime::EPOCH);
+        assert_eq!(c.queued_retries(), 1);
+
+        link.failing.set(false);
+        c.record(obs(1)); // far below the batch-of-10 threshold
+        let sent = c.flush_at(&link, SimTime::EPOCH + SimDuration::from_millis(1));
+        assert_eq!(sent.observations, 2);
+        assert_eq!(c.queued_retries(), 0);
+        assert_eq!(c.pending(), 0);
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //! * [`BatteryModel`] and [`RadioKind`] — the energy model behind the
 //!   battery-depletion lab of Figure 16.
 //! * [`GoFlowClient`] — the versioned client (v1.1 / v1.2.9 / v1.3) with
-//!   send-every-cycle vs buffer-10 behaviour and retry-on-next-cycle.
+//!   send-every-cycle vs buffer-10 behaviour and retry-on-next-cycle, plus
+//!   a resilient upload path ([`GoFlowClient::on_cycle_at`]) that retries
+//!   visible failures with jittered exponential backoff ([`RetryPolicy`])
+//!   through any [`mps_faults::Link`] transport ([`BrokerLink`] adapts a
+//!   broker exchange).
 //! * [`Device`] — one simulated phone tying the models together.
 //!
 //! # Examples
@@ -55,14 +59,17 @@ mod location;
 mod microphone;
 #[cfg(test)]
 mod proptests;
+mod retry;
+mod telemetry;
 
 pub use activity::{activity_chain, ActivityModel, TARGET_ACTIVITY_SHARES};
 pub use battery::{BatteryModel, BatteryParams, RadioKind};
 pub use behavior::UserBehavior;
 pub use catalog::ModelProfile;
-pub use client::{GoFlowClient, SendOutcome};
+pub use client::{BrokerLink, GoFlowClient, SendOutcome};
 pub use connectivity::{transmission_latency, ConnectivityClass, ConnectivityModel, CLASS_SHARES};
 pub use device::{Device, DeviceConfig};
 pub use journey::{Journey, JourneyTrace, JourneyVisibility};
 pub use location::LocationSampler;
 pub use microphone::{Microphone, SoundEnvironment};
+pub use retry::RetryPolicy;

@@ -1,0 +1,117 @@
+//! Exponential backoff with jitter for the upload path.
+//!
+//! The paper's clients retried "at the next cycle" with no backoff, which
+//! synchronises the whole fleet into reconnection stampedes after a server
+//! outage. [`RetryPolicy`] is the corrective: delays grow geometrically per
+//! consecutive failure, are capped, and are jittered per client so retries
+//! spread out in time.
+
+use mps_simcore::SimRng;
+use mps_types::SimDuration;
+
+/// Retry behaviour of the mobile upload path.
+///
+/// Used by [`GoFlowClient`](crate::GoFlowClient): a failed upload is parked
+/// in a bounded retry queue and re-attempted once the backoff delay has
+/// elapsed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Multiplier applied to the delay per consecutive failed attempt.
+    pub factor: f64,
+    /// Ceiling on the computed delay (before jitter).
+    pub max_delay: SimDuration,
+    /// Attempts after which an upload is shed from the retry queue
+    /// (counted — shedding is graceful degradation, not silent loss).
+    pub max_attempts: u32,
+    /// Jitter spread in `[0, 1]`: each delay is multiplied by a factor
+    /// uniform in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Maximum uploads parked in the retry queue; beyond it the oldest is
+    /// shed (counted).
+    pub max_pending: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base: SimDuration::from_secs(30),
+            factor: 2.0,
+            max_delay: SimDuration::from_mins(30),
+            max_attempts: 8,
+            jitter: 0.2,
+            max_pending: 256,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before retry number `attempt` (1-based): the
+    /// capped geometric backoff `base * factor^(attempt - 1)`, scaled by a
+    /// jitter factor drawn from `rng`. Never shorter than 1 ms.
+    pub fn backoff_delay(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        let exponent = attempt.saturating_sub(1).min(63);
+        let raw = self.base.as_millis() as f64 * self.factor.powi(exponent as i32);
+        let capped = raw.min(self.max_delay.as_millis() as f64);
+        let jittered = capped * rng.jitter(self.jitter);
+        SimDuration::from_millis((jittered.round() as i64).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_geometrically_until_the_cap() {
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = SimRng::new(1);
+        let d1 = policy.backoff_delay(1, &mut rng);
+        let d2 = policy.backoff_delay(2, &mut rng);
+        let d3 = policy.backoff_delay(3, &mut rng);
+        assert_eq!(d1, SimDuration::from_secs(30));
+        assert_eq!(d2, SimDuration::from_secs(60));
+        assert_eq!(d3, SimDuration::from_secs(120));
+        // Far beyond the cap the delay stops growing.
+        assert_eq!(policy.backoff_delay(20, &mut rng), policy.max_delay);
+        assert_eq!(policy.backoff_delay(63, &mut rng), policy.max_delay);
+    }
+
+    #[test]
+    fn jitter_spreads_but_stays_in_band() {
+        let policy = RetryPolicy::default();
+        let mut rng = SimRng::new(2);
+        let base_ms = policy.base.as_millis() as f64;
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            let d = policy.backoff_delay(1, &mut rng).as_millis();
+            assert!((d as f64) >= base_ms * (1.0 - policy.jitter) - 1.0);
+            assert!((d as f64) <= base_ms * (1.0 + policy.jitter) + 1.0);
+            distinct.insert(d);
+        }
+        assert!(distinct.len() > 10, "jitter must actually spread delays");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        let a = policy.backoff_delay(3, &mut SimRng::new(7));
+        let b = policy.backoff_delay(3, &mut SimRng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delay_never_hits_zero() {
+        let policy = RetryPolicy {
+            base: SimDuration::ZERO,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = SimRng::new(3);
+        assert!(policy.backoff_delay(1, &mut rng) >= SimDuration::from_millis(1));
+    }
+}

@@ -1,0 +1,63 @@
+//! Shared `mobile_client_*` series in the process-wide telemetry registry.
+
+use mps_telemetry::{Counter, Registry};
+use std::sync::OnceLock;
+
+/// Shared mobile-client metric handles, under the workspace naming
+/// convention `mobile_<subsystem>_<metric>`.
+pub(crate) struct MobileTelemetry {
+    /// Uploads that failed with a visible link error.
+    pub(crate) upload_failures: Counter,
+    /// Send attempts made from the retry queue.
+    pub(crate) retry_attempts: Counter,
+    /// Uploads that eventually succeeded from the retry queue.
+    pub(crate) retry_success: Counter,
+    /// Uploads shed from the retry queue (exhausted attempts or overflow).
+    pub(crate) retry_shed: Counter,
+}
+
+/// The lazily-registered mobile-client metric set.
+pub(crate) fn telemetry() -> &'static MobileTelemetry {
+    static TELEMETRY: OnceLock<MobileTelemetry> = OnceLock::new();
+    TELEMETRY.get_or_init(|| {
+        let registry = Registry::global();
+        MobileTelemetry {
+            upload_failures: registry.counter(
+                "mobile_client_upload_failures_total",
+                "Uploads that failed with a visible link error",
+            ),
+            retry_attempts: registry.counter(
+                "mobile_client_retry_attempts_total",
+                "Send attempts made from the retry queue",
+            ),
+            retry_success: registry.counter(
+                "mobile_client_retry_success_total",
+                "Uploads that eventually succeeded from the retry queue",
+            ),
+            retry_shed: registry.counter(
+                "mobile_client_retry_shed_total",
+                "Uploads shed from the retry queue (exhausted attempts or overflow)",
+            ),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_all_series_under_mobile_names() {
+        let t = telemetry();
+        t.retry_attempts.add(0);
+        let names = Registry::global().names();
+        for name in [
+            "mobile_client_upload_failures_total",
+            "mobile_client_retry_attempts_total",
+            "mobile_client_retry_success_total",
+            "mobile_client_retry_shed_total",
+        ] {
+            assert!(names.iter().any(|n| n == name), "missing {name}");
+        }
+    }
+}

@@ -115,6 +115,21 @@ impl SimRng {
         self.uniform() < p.clamp(0.0, 1.0)
     }
 
+    /// Multiplicative jitter factor, uniform in `[1 - spread, 1 + spread]`
+    /// — used to de-synchronise retry schedules across a fleet of clients
+    /// so reconnections do not stampede the server in lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `spread` is in `[0, 1]`.
+    pub fn jitter(&mut self, spread: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&spread),
+            "jitter spread must be in [0, 1], got {spread}"
+        );
+        self.uniform_in(1.0 - spread, 1.0 + spread)
+    }
+
     /// Normal sample with the given mean and standard deviation
     /// (Box-Muller transform).
     ///
@@ -356,6 +371,27 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn index_rejects_empty_range() {
         let _ = SimRng::new(1).index(0);
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut rng = SimRng::new(43);
+        for _ in 0..10_000 {
+            let j = rng.jitter(0.2);
+            assert!((0.8..1.2).contains(&j), "{j}");
+        }
+    }
+
+    #[test]
+    fn jitter_zero_spread_is_identity() {
+        let mut rng = SimRng::new(47);
+        assert_eq!(rng.jitter(0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter spread")]
+    fn jitter_rejects_bad_spread() {
+        let _ = SimRng::new(1).jitter(1.5);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! * [`types`] — shared domain types (observations, locations, models).
 //! * [`simcore`] — deterministic discrete-event simulation kernel.
 //! * [`broker`] — AMQP-style message broker (RabbitMQ substitute).
+//! * [`faults`] — seeded fault injection (drops, delays, duplicates,
+//!   black-holes, device churn) and the resilient-link boundary.
 //! * [`docstore`] — document store (MongoDB substitute).
 //! * [`goflow`] — the GoFlow crowd-sensing middleware server.
 //! * [`mobile`] — device/crowd simulator and GoFlow mobile client.
@@ -41,6 +43,7 @@ pub use mps_assim as assim;
 pub use mps_broker as broker;
 pub use mps_core as core;
 pub use mps_docstore as docstore;
+pub use mps_faults as faults;
 pub use mps_goflow as goflow;
 pub use mps_mobile as mobile;
 pub use mps_simcore as simcore;
@@ -58,6 +61,7 @@ pub mod prelude {
     pub use mps_broker::{Broker, ExchangeType};
     pub use mps_core::{BatteryLab, CalibrationStudy, Dataset, Deployment, ExperimentConfig};
     pub use mps_docstore::{Filter, Store};
+    pub use mps_faults::{FaultPlan, FaultSpec, FaultyLink};
     pub use mps_goflow::{GoFlowServer, ObservationQuery, Role};
     pub use mps_mobile::{Device, DeviceConfig, GoFlowClient, Journey};
     pub use mps_simcore::SimRng;

@@ -1,0 +1,203 @@
+//! End-to-end resilience: the full pipeline (mobile client → broker →
+//! ingest → docstore) driven through a seeded fault plan injecting drops,
+//! delays, duplicates and a topic black-hole window, plus a visible
+//! server outage that exercises the client's retry/backoff machinery and
+//! a crash-looping consumer that exercises the broker's dead-letter
+//! policy.
+//!
+//! The invariant under test is **zero silent loss**: every observation the
+//! client recorded is either stored, parked in quarantine, parked in the
+//! dead-letter queue, or counted as an injected drop/black-hole — and the
+//! books balance exactly, duplicates included.
+
+use soundcity::broker::Broker;
+use soundcity::faults::{FaultPlan, FaultSpec, FaultyLink, Link, LinkError};
+use soundcity::goflow::{GoFlowServer, Role};
+use soundcity::mobile::{BrokerLink, GoFlowClient, RetryPolicy};
+use soundcity::telemetry::Registry;
+use soundcity::types::{
+    AppId, AppVersion, DeviceModel, Observation, SimDuration, SimTime, SoundLevel,
+};
+use std::sync::Arc;
+
+/// A link during a server outage: every send visibly fails, so the
+/// client's retry queue and backoff (not the fault plan) must absorb it.
+struct DownLink;
+
+impl Link for DownLink {
+    fn send(&self, _route: &str, _payload: &[u8]) -> Result<usize, LinkError> {
+        Err(LinkError::Unavailable("server outage".into()))
+    }
+}
+
+fn observation(i: i64) -> Observation {
+    Observation::builder()
+        .device(4.into())
+        .user(4.into())
+        .model(DeviceModel::LgeNexus5)
+        .captured_at(SimTime::EPOCH + SimDuration::from_mins(i))
+        .spl(SoundLevel::new(45.0 + (i % 30) as f64))
+        .app_version(AppVersion::V1_2_9)
+        .build()
+}
+
+#[test]
+fn no_silent_loss_under_faults_outage_and_dead_letters() {
+    let broker = Arc::new(Broker::new());
+    let server = GoFlowServer::new(Arc::clone(&broker), soundcity::docstore::Store::new());
+    let app = AppId::soundcity();
+    server.register_app(&app).unwrap();
+    let token = server
+        .register_user(&app, 4.into(), Role::Contributor)
+        .unwrap();
+    let session = server.login(&token).unwrap();
+    let key = session.observation_key("noise", "FR75013");
+
+    // The fault plan: drops + delays + duplicates throughout, plus a
+    // black-hole swallowing every route during minutes 400-440.
+    let spec = FaultSpec {
+        drop_prob: 0.08,
+        delay_prob: 0.20,
+        mean_delay: SimDuration::from_mins(5),
+        duplicate_prob: 0.05,
+        max_duplicates: 2,
+        reorder_prob: 0.05,
+        reorder_window: SimDuration::from_secs(30),
+        ..FaultSpec::none()
+    }
+    .with_blackhole(
+        "",
+        SimTime::EPOCH + SimDuration::from_mins(400),
+        SimTime::EPOCH + SimDuration::from_mins(440),
+    );
+    let faulty = FaultyLink::new(
+        BrokerLink::new(&broker, session.exchange()),
+        FaultPlan::new(20_160, spec),
+    );
+
+    // A v1.2.9 client (one message per observation) with a generous
+    // retry budget so the outage never exhausts it.
+    let mut client = GoFlowClient::new(session.exchange(), key.clone(), AppVersion::V1_2_9)
+        .with_retry_policy(
+            RetryPolicy {
+                max_attempts: 20,
+                ..RetryPolicy::default()
+            },
+            7,
+        );
+
+    // Ten simulated hours, one observation per minute. The server is
+    // visibly down during minutes 200-230.
+    const CYCLES: i64 = 600;
+    const OUTAGE: std::ops::Range<i64> = 200..230;
+    for i in 0..CYCLES {
+        let now = SimTime::EPOCH + SimDuration::from_mins(i);
+        client.record(observation(i));
+        if OUTAGE.contains(&i) {
+            client.on_cycle_at(&DownLink, true, now);
+        } else {
+            faulty.advance_to(now).unwrap();
+            client.on_cycle_at(&faulty.at(now), true, now);
+        }
+    }
+
+    // The outage forced visible failures into the retry queue, and the
+    // backlog later drained through the faulty link.
+    assert!(client.retried_total() > 0, "outage should force retries");
+    assert_eq!(
+        client.shed_total(),
+        0,
+        "retry budget must absorb the outage"
+    );
+
+    // Quiesce: flush whatever the client still holds, then force the
+    // delay line empty.
+    let end = SimTime::EPOCH + SimDuration::from_mins(CYCLES);
+    client.flush_at(&faulty.at(end), end);
+    faulty.drain_pending().unwrap();
+    assert_eq!(client.pending(), 0);
+    assert_eq!(client.queued_retries(), 0);
+    assert_eq!(faulty.pending(), 0);
+
+    let stats = faulty.stats();
+    assert!(stats.dropped > 0, "plan should have injected drops");
+    assert!(stats.delayed > 0, "plan should have injected delays");
+    assert!(stats.duplicated > 0, "plan should have injected duplicates");
+    assert!(stats.blackholed > 0, "black-hole window should have fired");
+
+    // Every observation the client recorded was either shipped or shed.
+    let sent = client.total_sent();
+    assert_eq!(sent + client.shed_total(), CYCLES as u64);
+
+    // Fault-layer conservation: what the broker received is exactly the
+    // sends plus duplicates minus counted losses.
+    let gf_queue = "gf-SC-queue";
+    let arrived = broker.queue_depth(gf_queue).unwrap() as u64;
+    assert_eq!(
+        arrived + stats.dropped + stats.blackholed,
+        sent + stats.duplicated
+    );
+
+    // Three malformed payloads reach the queue outside the fault layer —
+    // ingest must quarantine, not drop, them.
+    const MALFORMED: u64 = 3;
+    for _ in 0..MALFORMED {
+        broker
+            .publish(session.exchange(), &key, &b"corrupted upload"[..])
+            .unwrap();
+    }
+
+    // A crash-looping consumer nacks the two oldest messages until the
+    // queue's dead-letter policy (5 attempts) parks them in the DLQ.
+    const DEAD_LETTERED: u64 = 2;
+    for _ in 0..5 {
+        for delivery in broker.consume(gf_queue, DEAD_LETTERED as usize).unwrap() {
+            broker.nack(gf_queue, delivery.tag, true).unwrap();
+        }
+    }
+    let dlq = server.dead_letter_queue(&app);
+    assert_eq!(broker.queue_depth(&dlq).unwrap() as u64, DEAD_LETTERED);
+
+    // Ingest everything that survived.
+    let outcome = server.ingest_pending(&app, end, 1_000_000).unwrap();
+    assert_eq!(broker.queue_depth(gf_queue).unwrap(), 0);
+    assert_eq!(outcome.requeued, 0);
+    assert_eq!(outcome.malformed as u64, MALFORMED);
+    assert_eq!(outcome.quarantined as u64, MALFORMED);
+    assert_eq!(
+        server.quarantine(&app).unwrap().len() as u64,
+        MALFORMED,
+        "malformed payloads must be preserved in quarantine"
+    );
+
+    // --- The zero-silent-loss ledger -----------------------------------
+    // stored + quarantined + dead-lettered + injected drops + black-holed
+    //   == sent + duplicates + malformed probes.
+    let stored = outcome.stored as u64;
+    assert!(stored > 0);
+    assert_eq!(
+        stored + outcome.quarantined as u64 + DEAD_LETTERED + stats.dropped + stats.blackholed,
+        sent + stats.duplicated + MALFORMED
+    );
+
+    // And the ledger is visible operationally: the resilience counters
+    // all moved.
+    let registry = Registry::global();
+    for counter in [
+        "mobile_client_upload_failures_total",
+        "mobile_client_retry_attempts_total",
+        "mobile_client_retry_success_total",
+        "faults_injected_drops_total",
+        "faults_injected_delays_total",
+        "faults_injected_duplicates_total",
+        "faults_injected_blackholed_total",
+        "broker_core_delivery_failures_total",
+        "broker_core_dead_lettered_total",
+        "goflow_ingest_quarantined_total",
+    ] {
+        assert!(
+            registry.counter_value(counter).unwrap_or(0) > 0,
+            "counter {counter} should be non-zero after the run"
+        );
+    }
+}
