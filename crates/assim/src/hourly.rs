@@ -18,6 +18,7 @@ use crate::grid::Grid;
 use crate::noise::NoiseSimulator;
 use crate::telemetry::telemetry;
 use crate::AssimError;
+use mps_telemetry::trace::{FlightRecorder, Hop, Outcome, SpanRecord, TraceId};
 use mps_telemetry::SpanTimer;
 use mps_types::GeoPoint;
 
@@ -128,6 +129,45 @@ impl DiurnalAnalysis {
             maps.push(analysis);
         }
         Ok(DiurnalField { maps })
+    }
+
+    /// Runs the 24 hourly analyses like [`DiurnalAnalysis::run`] and
+    /// records the **fan-in** of the tracing layer: one `assim_batch`
+    /// span in the global [`FlightRecorder`] that links every member
+    /// observation's trace — the point where many per-observation traces
+    /// converge into one analysis product. The batch gets its own
+    /// deterministic trace id (derived from the member set and `now_ms`),
+    /// so batch spans never collide with observation traces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates BLUE errors; no batch span is recorded for a failed
+    /// analysis.
+    pub fn run_traced(
+        &self,
+        model: &NoiseSimulator,
+        observations: &[HourlyObservation],
+        members: &[TraceId],
+        window: &str,
+        now_ms: i64,
+    ) -> Result<DiurnalField, AssimError> {
+        let field = self.run(model, observations)?;
+        let fold = members
+            .iter()
+            .fold(0xa55e_55ed_b47cu64, |acc, t| acc.rotate_left(7) ^ t.raw());
+        let mut span = SpanRecord::new(
+            TraceId::for_observation(fold, now_ms),
+            Hop::AssimBatch,
+            now_ms,
+        )
+        .outcome(Outcome::Ok)
+        .attr("window", window)
+        .attr("members", members.len().to_string());
+        for member in members {
+            span = span.link(*member);
+        }
+        FlightRecorder::global().record(span);
+        Ok(field)
     }
 
     /// Baseline for comparison: one static analysis from the day-reference
@@ -264,6 +304,40 @@ mod tests {
         let field = analysis.run(&model_sim, &[]).unwrap();
         let static_field = analysis.run_static(&model_sim, &[]).unwrap();
         assert_eq!(field.at_hour(8), static_field.at_hour(8));
+    }
+
+    #[test]
+    fn run_traced_records_a_fan_in_span_linking_members() {
+        let (_, model_sim, truth) = setup();
+        let obs = observations_of_truth(&truth, 2, 4);
+        let members: Vec<TraceId> = (0..obs.len() as u64)
+            .map(|i| TraceId::for_observation(880_000 + i, 0))
+            .collect();
+        let analysis = DiurnalAnalysis::new(Blue::new(4.0, 1_500.0), 16, 16);
+        let field = analysis
+            .run_traced(&model_sim, &obs, &members, "day-1", 86_400_000)
+            .unwrap();
+        assert_eq!(field.at_hour(0).sample(GeoBounds::paris().center()), {
+            analysis
+                .run(&model_sim, &obs)
+                .unwrap()
+                .at_hour(0)
+                .sample(GeoBounds::paris().center())
+        });
+
+        let batch = FlightRecorder::global()
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.hop == Hop::AssimBatch)
+            .find(|s| s.links == members)
+            .expect("fan-in span recorded");
+        assert_eq!(batch.outcome, Outcome::Ok);
+        assert_eq!(batch.start_ms, 86_400_000);
+        assert!(batch
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "members" && v == &members.len().to_string()));
+        assert!(!members.iter().any(|m| *m == batch.trace), "own trace id");
     }
 
     #[test]

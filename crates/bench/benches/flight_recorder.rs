@@ -1,0 +1,64 @@
+//! Flight-recorder overhead: the cost of recording one span, which every
+//! pipeline hop pays on the hot path. The documented budget is <100 ns
+//! per span in release builds (see `docs/ARCHITECTURE.md`, "Tracing &
+//! flight recorder"); a loose test-mode assertion of the same budget
+//! lives next to the recorder in `mps-telemetry`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mps_telemetry::trace::{FlightRecorder, Hop, Outcome, SpanRecord, TraceId};
+
+/// A bare span: the cheapest record a hop can emit (no attributes).
+fn bench_record_bare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flight_recorder");
+    group.throughput(Throughput::Elements(1));
+    let recorder = FlightRecorder::with_capacity(16 * 1024);
+    let trace = TraceId::for_observation(4, 0);
+    group.bench_function("record_bare_span", |b| {
+        b.iter(|| recorder.record(SpanRecord::new(trace, Hop::LinkTransmit, 1_000)))
+    });
+    group.finish();
+}
+
+/// A realistic span: parented, terminal outcome, one attribute — what the
+/// ingest and broker hops actually emit.
+fn bench_record_attributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flight_recorder");
+    group.throughput(Throughput::Elements(1));
+    let recorder = FlightRecorder::with_capacity(16 * 1024);
+    let trace = TraceId::for_observation(4, 0);
+    group.bench_function("record_attributed_span", |b| {
+        b.iter_batched(
+            || {
+                SpanRecord::new(trace, Hop::Quarantine, 2_000)
+                    .started_at(1_000)
+                    .outcome(Outcome::Quarantined)
+                    .attr("reason", "late")
+            },
+            |span| recorder.record(span),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Snapshot cost at a full ring — the *offline* side (exhibits, tests),
+/// benchmarked so a hot-path regression hiding in the drop-oldest
+/// arithmetic would surface as a snapshot anomaly too.
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flight_recorder");
+    let recorder = FlightRecorder::with_capacity(4 * 1024);
+    let trace = TraceId::for_observation(4, 0);
+    for i in 0..8 * 1024 {
+        recorder.record(SpanRecord::new(trace, Hop::Sensed, i));
+    }
+    group.bench_function("snapshot_full_ring_4k", |b| b.iter(|| recorder.snapshot()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_record_bare,
+    bench_record_attributed,
+    bench_snapshot
+);
+criterion_main!(benches);

@@ -8,7 +8,13 @@
 //! ```
 //!
 //! Exhibits: `fig4 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
-//! fig17 fig18 fig19 fig20 fig21 calib hourly resilience all`.
+//! fig17 fig18 fig19 fig20 fig21 calib hourly resilience tracing all`.
+//!
+//! The `tracing` exhibit drives a seeded faulted pipeline run, renders
+//! the per-hop latency waterfall, loss-attribution table and a sample
+//! trace timeline from the flight recorder, and exits non-zero if any
+//! trace failed to reach a terminal outcome. `--trace-export=PATH`
+//! additionally writes the raw span stream as JSONL.
 
 use mps_analytics::{
     AccuracyReport, ActivityReport, DelayReport, DiurnalReport, GrowthReport, ModelTable,
@@ -330,6 +336,189 @@ fn resilience() {
     println!("tests/resilience_pipeline.rs for the machine-checked versions).");
 }
 
+fn tracing(export: Option<&str>) {
+    header("Tracing — latency waterfall and loss attribution from the flight recorder");
+    use mps_assim::{Blue, CityModel, DiurnalAnalysis, HourlyObservation, NoiseSimulator};
+    use mps_broker::Broker;
+    use mps_faults::{FaultPlan, FaultSpec, FaultyLink, Link, LinkError};
+    use mps_goflow::{GoFlowServer, ObservationQuery, Role};
+    use mps_mobile::{BrokerLink, GoFlowClient, RetryPolicy};
+    use mps_simcore::SimRng;
+    use mps_telemetry::trace::{
+        FlightRecorder, LatencyWaterfall, LossAttribution, TraceId, TraceIndex,
+    };
+    use mps_types::{
+        AppId, GeoBounds, GeoPoint, LocationFix, Observation, SimDuration, SimTime, SoundLevel,
+    };
+    use std::sync::Arc;
+
+    struct DownLink;
+    impl Link for DownLink {
+        fn send(&self, _route: &str, _payload: &[u8]) -> Result<usize, LinkError> {
+            Err(LinkError::Unavailable("server outage".into()))
+        }
+    }
+
+    let recorder = FlightRecorder::global();
+    recorder.clear();
+
+    let broker = Arc::new(Broker::new());
+    let server = GoFlowServer::new(Arc::clone(&broker), mps_docstore::Store::new());
+    let app = AppId::soundcity();
+    server.register_app(&app).expect("register app");
+    server.set_late_quarantine(Some(SimDuration::from_mins(10)));
+    let token = server
+        .register_user(&app, 11.into(), Role::Contributor)
+        .expect("register user");
+    let session = server.login(&token).expect("login");
+    let key = session.observation_key("noise", "FR75013");
+
+    // Four simulated hours, one observation per minute, through drops,
+    // delays, duplicates, a 15-minute black-hole and a visible outage.
+    let spec = FaultSpec {
+        drop_prob: 0.08,
+        delay_prob: 0.20,
+        mean_delay: SimDuration::from_mins(5),
+        duplicate_prob: 0.05,
+        max_duplicates: 2,
+        reorder_prob: 0.05,
+        reorder_window: SimDuration::from_secs(30),
+        ..FaultSpec::none()
+    }
+    .with_blackhole(
+        "",
+        SimTime::EPOCH + SimDuration::from_mins(120),
+        SimTime::EPOCH + SimDuration::from_mins(135),
+    );
+    let faulty = FaultyLink::new(
+        BrokerLink::new(&broker, session.exchange()),
+        FaultPlan::new(20_160, spec),
+    );
+    let mut client = GoFlowClient::new(session.exchange(), key, AppVersion::V1_2_9)
+        .with_retry_policy(
+            RetryPolicy {
+                max_attempts: 20,
+                ..RetryPolicy::default()
+            },
+            7,
+        );
+
+    const CYCLES: i64 = 240;
+    const OUTAGE: std::ops::Range<i64> = 60..75;
+    let bounds = GeoBounds::paris();
+    let mut rng = SimRng::new(9);
+    for i in 0..CYCLES {
+        let now = SimTime::EPOCH + SimDuration::from_mins(i);
+        let at = bounds.lerp(rng.uniform_in(0.05, 0.95), rng.uniform_in(0.05, 0.95));
+        client.record(
+            Observation::builder()
+                .device(11.into())
+                .user(11.into())
+                .model(DeviceModel::LgeNexus5)
+                .captured_at(now)
+                .spl(SoundLevel::new(45.0 + (i % 30) as f64))
+                .location(LocationFix::new(at, 30.0, LocationProvider::Network))
+                .app_version(AppVersion::V1_2_9)
+                .build(),
+        );
+        if OUTAGE.contains(&i) {
+            client.on_cycle_at(&DownLink, true, now);
+        } else {
+            faulty.advance_to(now).expect("broker link never fails");
+            client.on_cycle_at(&faulty.at(now), true, now);
+        }
+    }
+    let end = SimTime::EPOCH + SimDuration::from_mins(CYCLES);
+    client.flush_at(&faulty.at(end), end);
+    faulty.drain_pending().expect("broker link never fails");
+
+    // A crash-looping consumer dead-letters the two oldest survivors.
+    let gf_queue = "gf-SC-queue";
+    for _ in 0..5 {
+        for delivery in broker.consume(gf_queue, 2).expect("gf queue") {
+            broker.nack(gf_queue, delivery.tag, true).expect("nack");
+        }
+    }
+
+    server.ingest_pending(&app, end, 1_000_000).expect("ingest");
+
+    // Hour-resolved assimilation over everything stored: the fan-in span
+    // links every member observation's trace into one analysis product.
+    let docs = server.query(&app, &ObservationQuery::new()).expect("query");
+    let mut members: Vec<TraceId> = Vec::new();
+    let mut observations = Vec::new();
+    for doc in &docs {
+        let (Some(lat), Some(lon), Some(spl), Some(hour)) = (
+            doc["lat"].as_f64(),
+            doc["lon"].as_f64(),
+            doc["spl"].as_f64(),
+            doc["hour"].as_u64(),
+        ) else {
+            continue;
+        };
+        if let Some(trace) = doc["trace"].as_str().and_then(|t| t.parse().ok()) {
+            members.push(trace);
+        }
+        observations.push(HourlyObservation {
+            at: GeoPoint { lat, lon },
+            value_db: spl,
+            sigma_db: 1.5,
+            hour: hour as u32,
+        });
+    }
+    let city = CityModel::synthetic(bounds, 4, 30, &mut rng);
+    let analysis = DiurnalAnalysis::new(Blue::new(4.0, 1_500.0), 8, 8);
+    analysis
+        .run_traced(
+            &NoiseSimulator::new(city),
+            &observations,
+            &members,
+            "epoch+4h",
+            end.as_millis(),
+        )
+        .expect("assimilation");
+
+    let spans = recorder.snapshot();
+    let index = TraceIndex::from_spans(spans.clone());
+    println!(
+        "spans recorded: {} (ring dropped {}), traces: {}",
+        recorder.recorded(),
+        recorder.dropped(),
+        index.len()
+    );
+
+    println!("\nper-hop latency waterfall (sim-clock):");
+    print!("{}", LatencyWaterfall::from_spans(&spans).render());
+
+    println!("\nloss attribution (cross-checks the conservation counters):");
+    print!("{}", LossAttribution::from_spans(&spans).render());
+
+    let busiest = index
+        .iter()
+        .filter(|t| t.spans.iter().all(|s| s.links.is_empty()))
+        .max_by_key(|t| t.spans.len())
+        .expect("at least one observation trace");
+    println!("\nbusiest observation trace:");
+    print!("{}", busiest.render());
+
+    if let Some(path) = export {
+        std::fs::write(path, recorder.export_jsonl()).expect("write trace export");
+        println!("\nexported {} spans to {path}", recorder.recorded());
+    }
+
+    let unterminated = index.unterminated();
+    if !unterminated.is_empty() {
+        eprintln!(
+            "BUG: {} traces have no terminal outcome: {:?}",
+            unterminated.len(),
+            unterminated
+        );
+        std::process::exit(1);
+    }
+    println!("\nevery trace reached a terminal outcome (stored, quarantined,");
+    println!("dead-lettered, dropped or black-holed): zero silent loss, attributed per hop.");
+}
+
 fn pipeline_health() {
     header("Pipeline health — aggregate telemetry from this run");
     let registry = mps_telemetry::Registry::global();
@@ -343,6 +532,10 @@ fn pipeline_health() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let trace_export = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--trace-export="))
+        .map(str::to_owned);
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -367,6 +560,7 @@ fn main() {
             "fig21",
             "calib",
             "resilience",
+            "tracing",
         ]
     } else {
         wanted
@@ -450,8 +644,9 @@ fn main() {
             "calib" => calib(),
             "hourly" => hourly(),
             "resilience" => resilience(),
+            "tracing" => tracing(trace_export.as_deref()),
             other => eprintln!(
-                "unknown exhibit: {other} (try fig4..fig21, calib, hourly, resilience, all)"
+                "unknown exhibit: {other} (try fig4..fig21, calib, hourly, resilience, tracing, all)"
             ),
         }
     }

@@ -3,6 +3,10 @@
 use crate::metrics::MetricsSnapshot;
 use crate::{BindingPattern, BrokerError, BrokerMetrics, Delivery, Message, RoutingKey};
 use bytes::Bytes;
+use mps_telemetry::trace::{
+    encode_contexts, parse_contexts, FlightRecorder, Hop, Outcome, SpanRecord, SENT_MS_HEADER,
+    TRACE_HEADER,
+};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
@@ -518,18 +522,30 @@ impl Broker {
             }
         }
 
-        let shared = Arc::new(message);
-        let mut enqueued = 0usize;
+        // Settle the capacity-aware accept set before freezing the message
+        // behind an `Arc`, so the broker-publish trace span can carry the
+        // routed count and the trace header can be re-parented under it.
+        let mut accepting: Vec<String> = Vec::new();
         for queue_name in &targets {
-            if let Some(q) = state.queues.get_mut(queue_name) {
+            if let Some(q) = state.queues.get(queue_name) {
                 if q.capacity.is_some_and(|cap| q.ready.len() >= cap) {
                     self.metrics.on_dropped();
                     continue;
                 }
-                q.ready.push_back((Arc::clone(&shared), 0));
-                q.enqueued_total += 1;
-                enqueued += 1;
+                accepting.push(queue_name.clone());
             }
+        }
+        let enqueued = accepting.len();
+        let message = trace_publish(message, enqueued, targets.is_empty());
+
+        let shared = Arc::new(message);
+        for queue_name in &accepting {
+            let q = state
+                .queues
+                .get_mut(queue_name)
+                .expect("accept set built from existing queues");
+            q.ready.push_back((Arc::clone(&shared), 0));
+            q.enqueued_total += 1;
         }
         self.metrics.on_routed(enqueued as u64);
         Ok(enqueued)
@@ -623,6 +639,12 @@ impl Broker {
         self.metrics.on_delivery_failed();
         if !requeue {
             self.metrics.on_dropped();
+            trace_message_terminal(
+                &message,
+                Hop::BrokerDlq,
+                Outcome::Dropped,
+                &[("reason", "nack_discarded"), ("queue", queue)],
+            );
             return Ok(());
         }
         match dead_letter_to {
@@ -636,11 +658,25 @@ impl Broker {
             // to a counted drop — never a silent loss.
             Some(target) => match state.queues.get_mut(&target) {
                 Some(dlq) if !dlq.capacity.is_some_and(|cap| dlq.ready.len() >= cap) => {
-                    dlq.ready.push_back((message, 0));
+                    dlq.ready.push_back((Arc::clone(&message), 0));
                     dlq.enqueued_total += 1;
                     self.metrics.on_dead_lettered();
+                    trace_message_terminal(
+                        &message,
+                        Hop::BrokerDlq,
+                        Outcome::DeadLettered,
+                        &[("attempts", &attempts.to_string()), ("to", &target)],
+                    );
                 }
-                _ => self.metrics.on_dropped(),
+                _ => {
+                    self.metrics.on_dropped();
+                    trace_message_terminal(
+                        &message,
+                        Hop::BrokerDlq,
+                        Outcome::Dropped,
+                        &[("reason", "dlq_unavailable"), ("to", &target)],
+                    );
+                }
             },
         }
         Ok(())
@@ -649,6 +685,82 @@ impl Broker {
     /// Snapshot of the broker counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+}
+
+/// Records one `broker_publish` span per trace context carried in the
+/// message's `x-trace` header and re-parents the header under those
+/// spans. A publish that lands on no queue is a terminal counted drop
+/// (`unroutable` or `queue_full`); the broker is time-agnostic, so spans
+/// are stamped with the sender's `x-trace-sent-ms`. Untraced messages
+/// pass through unchanged.
+fn trace_publish(message: Message, enqueued: usize, unroutable: bool) -> Message {
+    let Some(header) = message.header(TRACE_HEADER) else {
+        return message;
+    };
+    let contexts = parse_contexts(header);
+    if contexts.is_empty() {
+        return message;
+    }
+    let at_ms = message
+        .header(SENT_MS_HEADER)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let recorder = FlightRecorder::global();
+    let mut forwarded = Vec::with_capacity(contexts.len());
+    for ctx in &contexts {
+        let mut span = SpanRecord::new(ctx.trace, Hop::BrokerPublish, at_ms)
+            .parent(ctx.parent)
+            .duplicate(ctx.duplicate);
+        if enqueued == 0 {
+            let reason = if unroutable {
+                "unroutable"
+            } else {
+                "queue_full"
+            };
+            span = span
+                .outcome(Outcome::Dropped)
+                .attr("reason", reason.to_owned());
+        } else {
+            span = span.attr("routed", enqueued.to_string());
+        }
+        let id = recorder.record(span);
+        if enqueued > 0 {
+            forwarded.push(ctx.child_of(id));
+        }
+    }
+    if forwarded.is_empty() {
+        message
+    } else {
+        message.with_header(TRACE_HEADER, encode_contexts(&forwarded))
+    }
+}
+
+/// Records a terminal span at `hop` for every trace context carried in
+/// `message` — the broker-side ends of a trace (dead-letter, counted
+/// discard). Untraced messages record nothing.
+fn trace_message_terminal(
+    message: &Message,
+    hop: Hop,
+    outcome: Outcome,
+    attrs: &[(&'static str, &str)],
+) {
+    let Some(header) = message.header(TRACE_HEADER) else {
+        return;
+    };
+    let at_ms = message
+        .header(SENT_MS_HEADER)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    for ctx in parse_contexts(header) {
+        let mut span = SpanRecord::new(ctx.trace, hop, at_ms)
+            .parent(ctx.parent)
+            .duplicate(ctx.duplicate)
+            .outcome(outcome);
+        for &(k, v) in attrs {
+            span = span.attr(k, v.to_owned());
+        }
+        FlightRecorder::global().record(span);
     }
 }
 
@@ -1062,6 +1174,83 @@ mod tests {
         }
         assert_eq!(b.queue_depth("q").unwrap(), 8000);
         assert_eq!(b.metrics().published, 8000);
+    }
+
+    #[test]
+    fn traced_publish_reparents_header_and_records_span() {
+        use mps_telemetry::trace::{TraceContext, TraceId};
+        let b = broker_with_topic_setup();
+        b.bind_queue("app", "q1", "#").unwrap();
+        let trace = TraceId::from_raw(0xb0b0_0001);
+        let msg = Message::new("k".parse().unwrap(), &b"x"[..])
+            .with_header(TRACE_HEADER, encode_contexts(&[TraceContext::new(trace)]))
+            .with_header(SENT_MS_HEADER, "1234");
+        assert_eq!(b.publish_message("app", msg).unwrap(), 1);
+
+        let d = b.consume("q1", 1).unwrap().remove(0);
+        let ctxs = parse_contexts(d.message.header(TRACE_HEADER).unwrap());
+        assert_eq!(ctxs.len(), 1);
+        assert_eq!(ctxs[0].trace, trace);
+        let parent = ctxs[0].parent.expect("re-parented under broker_publish");
+        let span = FlightRecorder::global()
+            .snapshot()
+            .into_iter()
+            .find(|s| s.span == parent)
+            .expect("publish span recorded");
+        assert_eq!(span.hop, Hop::BrokerPublish);
+        assert_eq!(span.start_ms, 1234);
+        assert_eq!(span.outcome, Outcome::Forwarded);
+        assert!(span.attrs.iter().any(|(k, v)| *k == "routed" && v == "1"));
+    }
+
+    #[test]
+    fn traced_unroutable_publish_is_a_counted_terminal_drop() {
+        use mps_telemetry::trace::{TraceContext, TraceId};
+        let b = broker_with_topic_setup(); // queues exist, nothing bound
+        let trace = TraceId::from_raw(0xb0b0_0002);
+        let msg = Message::new("k".parse().unwrap(), &b"x"[..])
+            .with_header(TRACE_HEADER, encode_contexts(&[TraceContext::new(trace)]))
+            .with_header(SENT_MS_HEADER, "50");
+        assert_eq!(b.publish_message("app", msg).unwrap(), 0);
+        let spans: Vec<_> = FlightRecorder::global()
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.trace == trace)
+            .collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].outcome, Outcome::Dropped);
+        assert!(spans[0]
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "reason" && v == "unroutable"));
+    }
+
+    #[test]
+    fn traced_dead_letter_records_terminal_span() {
+        use mps_telemetry::trace::{TraceContext, TraceId};
+        let b = broker_with_dead_letter(1);
+        let trace = TraceId::from_raw(0xb0b0_0003);
+        let msg = Message::new("k".parse().unwrap(), &b"poison"[..])
+            .with_header(TRACE_HEADER, encode_contexts(&[TraceContext::new(trace)]))
+            .with_header(SENT_MS_HEADER, "77");
+        b.publish_message("e", msg).unwrap();
+        let d = b.consume("work", 1).unwrap().remove(0);
+        b.nack("work", d.tag, true).unwrap();
+        assert_eq!(b.queue_depth("graveyard").unwrap(), 1);
+
+        let spans: Vec<_> = FlightRecorder::global()
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.trace == trace)
+            .collect();
+        let publish = spans.iter().find(|s| s.hop == Hop::BrokerPublish).unwrap();
+        let dlq = spans.iter().find(|s| s.hop == Hop::BrokerDlq).unwrap();
+        assert_eq!(dlq.outcome, Outcome::DeadLettered);
+        assert_eq!(dlq.parent, Some(publish.span));
+        assert!(dlq
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "to" && v == "graveyard"));
     }
 
     #[test]

@@ -67,9 +67,11 @@
 
 mod link;
 mod plan;
+#[cfg(test)]
+mod proptests;
 mod spec;
 mod telemetry;
 
-pub use link::{FaultyLink, FaultyLinkAt, Link, LinkError, LinkReceipt};
+pub use link::{FaultyLink, FaultyLinkAt, Link, LinkError, LinkReceipt, SendTrace};
 pub use plan::{DropReason, FaultAction, FaultPlan, FaultStats};
 pub use spec::{BlackholeWindow, FaultSpec, OutageSpec};

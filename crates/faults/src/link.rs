@@ -3,6 +3,7 @@
 
 use crate::plan::{DropReason, FaultAction, FaultPlan, FaultStats};
 use crate::telemetry::telemetry;
+use mps_telemetry::trace::{FlightRecorder, Hop, Outcome, SpanRecord, TraceContext};
 use mps_types::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -45,11 +46,60 @@ pub trait Link {
     /// Returns [`LinkError::Unavailable`] when the far side cannot accept
     /// the message (the sender should retry later).
     fn send(&self, route: &str, payload: &[u8]) -> Result<usize, LinkError>;
+
+    /// Transmits `payload` along `route`, carrying trace context for the
+    /// observation copies inside the payload.
+    ///
+    /// The default implementation ignores the context and delegates to
+    /// [`Link::send`], so existing links stay correct; trace-aware links
+    /// (the broker adapter, [`FaultyLink`]) override it to propagate the
+    /// context — via message headers or span recording — alongside the
+    /// payload.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Link::send`].
+    fn send_traced(
+        &self,
+        route: &str,
+        payload: &[u8],
+        trace: &SendTrace<'_>,
+    ) -> Result<usize, LinkError> {
+        let _ = trace;
+        self.send(route, payload)
+    }
 }
 
 impl<T: Link + ?Sized> Link for &T {
     fn send(&self, route: &str, payload: &[u8]) -> Result<usize, LinkError> {
         (**self).send(route, payload)
+    }
+
+    fn send_traced(
+        &self,
+        route: &str,
+        payload: &[u8],
+        trace: &SendTrace<'_>,
+    ) -> Result<usize, LinkError> {
+        (**self).send_traced(route, payload, trace)
+    }
+}
+
+/// The trace side-channel of a traced send: the sim-clock send time and
+/// one [`TraceContext`] per observation copy carried in the payload.
+#[derive(Debug, Clone, Copy)]
+pub struct SendTrace<'a> {
+    /// Sim-clock send time, milliseconds since the epoch.
+    pub now_ms: i64,
+    /// One context per observation in the payload (a v1.3 batch upload
+    /// carries several).
+    pub contexts: &'a [TraceContext],
+}
+
+impl<'a> SendTrace<'a> {
+    /// Bundles a send time with the payload's trace contexts.
+    pub fn new(now_ms: i64, contexts: &'a [TraceContext]) -> Self {
+        Self { now_ms, contexts }
     }
 }
 
@@ -82,6 +132,11 @@ struct Held {
     seq: u64,
     route: String,
     payload: Vec<u8>,
+    /// When the message entered the delay line (sim-clock ms) — the
+    /// start of its `link_delay` span.
+    sent_ms: i64,
+    /// Trace contexts riding with the payload, released with it.
+    contexts: Vec<TraceContext>,
 }
 
 impl PartialEq for Held {
@@ -171,17 +226,60 @@ impl<L: Link> FaultyLink<L> {
         payload: &[u8],
         now: SimTime,
     ) -> Result<LinkReceipt, LinkError> {
+        self.send_at_traced(route, payload, now, &[])
+    }
+
+    /// [`FaultyLink::send_at`] with trace contexts for the observation
+    /// copies in `payload`: the plan's verdict is recorded as a
+    /// `link_transmit` (or `link_delay`, at release) span per context —
+    /// injected drops and black-holes become *terminal* loss spans,
+    /// duplicates fork duplicate-marked contexts downstream.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FaultyLink::send_at`].
+    pub fn send_at_traced(
+        &self,
+        route: &str,
+        payload: &[u8],
+        now: SimTime,
+        contexts: &[TraceContext],
+    ) -> Result<LinkReceipt, LinkError> {
         let action = self.plan.lock().expect("plan lock").decide(route, now);
+        let now_ms = now.as_millis();
+        let recorder = FlightRecorder::global();
         match action {
             FaultAction::Deliver => {
-                let routed = self.inner.send(route, payload)?;
+                let forwarded = transmit_contexts(recorder, contexts, now_ms, 1, 0);
+                let routed =
+                    self.inner
+                        .send_traced(route, payload, &SendTrace::new(now_ms, &forwarded))?;
                 Ok(LinkReceipt::Delivered { routed, copies: 1 })
             }
-            FaultAction::Drop(reason) => Ok(LinkReceipt::Dropped(reason)),
+            FaultAction::Drop(reason) => {
+                let outcome = match reason {
+                    DropReason::Random => Outcome::Dropped,
+                    DropReason::Blackhole => Outcome::Blackholed,
+                };
+                for ctx in contexts {
+                    recorder.record(
+                        SpanRecord::new(ctx.trace, Hop::LinkTransmit, now_ms)
+                            .parent(ctx.parent)
+                            .duplicate(ctx.duplicate)
+                            .outcome(outcome),
+                    );
+                }
+                Ok(LinkReceipt::Dropped(reason))
+            }
             FaultAction::Duplicate(extra) => {
                 let mut routed = 0;
-                for _ in 0..=extra {
-                    routed += self.inner.send(route, payload)?;
+                for copy in 0..=extra {
+                    let copy_ctxs = transmit_contexts(recorder, contexts, now_ms, extra + 1, copy);
+                    routed += self.inner.send_traced(
+                        route,
+                        payload,
+                        &SendTrace::new(now_ms, &copy_ctxs),
+                    )?;
                 }
                 Ok(LinkReceipt::Delivered {
                     routed,
@@ -197,6 +295,8 @@ impl<L: Link> FaultyLink<L> {
                     seq: *seq,
                     route: route.to_owned(),
                     payload: payload.to_vec(),
+                    sent_ms: now_ms,
+                    contexts: contexts.to_vec(),
                 });
                 Ok(LinkReceipt::Delayed { due })
             }
@@ -224,7 +324,28 @@ impl<L: Link> FaultyLink<L> {
             let Some(msg) = next else {
                 return Ok(released);
             };
-            if let Err(err) = self.inner.send(&msg.route, &msg.payload) {
+            // The release time is the message's *due* time, not `now`:
+            // drain_pending advances to the end of time, but the message
+            // logically arrived when its delay elapsed.
+            let recorder = FlightRecorder::global();
+            let released_ctxs: Vec<TraceContext> = msg
+                .contexts
+                .iter()
+                .map(|ctx| {
+                    let span = recorder.record(
+                        SpanRecord::new(ctx.trace, Hop::LinkDelay, msg.due_ms)
+                            .started_at(msg.sent_ms)
+                            .parent(ctx.parent)
+                            .duplicate(ctx.duplicate),
+                    );
+                    ctx.child_of(span)
+                })
+                .collect();
+            if let Err(err) = self.inner.send_traced(
+                &msg.route,
+                &msg.payload,
+                &SendTrace::new(msg.due_ms, &released_ctxs),
+            ) {
                 self.held.lock().expect("held lock").push(msg);
                 return Err(err);
             }
@@ -266,13 +387,51 @@ pub struct FaultyLinkAt<'a, L> {
 
 impl<L: Link> Link for FaultyLinkAt<'_, L> {
     fn send(&self, route: &str, payload: &[u8]) -> Result<usize, LinkError> {
-        match self.link.send_at(route, payload, self.now)? {
+        self.send_traced(route, payload, &SendTrace::new(self.now.as_millis(), &[]))
+    }
+
+    fn send_traced(
+        &self,
+        route: &str,
+        payload: &[u8],
+        trace: &SendTrace<'_>,
+    ) -> Result<usize, LinkError> {
+        match self
+            .link
+            .send_at_traced(route, payload, self.now, trace.contexts)?
+        {
             LinkReceipt::Delivered { routed, .. } => Ok(routed),
             // The sender cannot distinguish a drop or delay from a routed
             // send — it already paid the radio transfer.
             LinkReceipt::Dropped(_) | LinkReceipt::Delayed { .. } => Ok(0),
         }
     }
+}
+
+/// Records one `link_transmit` span per context for copy number `copy`
+/// of `copies` and returns the contexts re-parented under those spans
+/// (copies beyond the first marked duplicate).
+fn transmit_contexts(
+    recorder: &FlightRecorder,
+    contexts: &[TraceContext],
+    now_ms: i64,
+    copies: u32,
+    copy: u32,
+) -> Vec<TraceContext> {
+    contexts
+        .iter()
+        .map(|ctx| {
+            let ctx = if copy > 0 { ctx.as_duplicate() } else { *ctx };
+            let mut span = SpanRecord::new(ctx.trace, Hop::LinkTransmit, now_ms)
+                .parent(ctx.parent)
+                .duplicate(ctx.duplicate);
+            if copies > 1 {
+                span = span.attr("copies", copies.to_string());
+            }
+            let span = recorder.record(span);
+            ctx.child_of(span)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -452,6 +611,113 @@ mod tests {
         clean.inner().fail.store(1, AtomicOrdering::SeqCst);
         assert!(clean.at(SimTime::EPOCH).send("r.k", b"x").is_err());
         assert_eq!(clean.at(SimTime::EPOCH).send("r.k", b"x"), Ok(1));
+    }
+
+    #[test]
+    fn traced_drop_records_a_terminal_loss_span() {
+        use mps_telemetry::trace::TraceId;
+        let spec = FaultSpec {
+            drop_prob: 1.0,
+            ..FaultSpec::none()
+        };
+        let link = FaultyLink::new(Probe::default(), FaultPlan::new(41, spec));
+        let trace = TraceId::for_observation(990_001, 42);
+        link.send_at_traced("r.k", b"x", SimTime::EPOCH, &[TraceContext::new(trace)])
+            .unwrap();
+        let spans: Vec<_> = FlightRecorder::global()
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.trace == trace)
+            .collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].hop, Hop::LinkTransmit);
+        assert_eq!(spans[0].outcome, Outcome::Dropped);
+        assert!(!spans[0].duplicate);
+    }
+
+    #[test]
+    fn traced_duplicates_mark_extra_copies_downstream() {
+        use mps_telemetry::trace::TraceId;
+
+        /// Captures the contexts of every traced arrival.
+        #[derive(Default)]
+        struct CtxProbe {
+            seen: StdMutex<Vec<Vec<TraceContext>>>,
+        }
+        impl Link for CtxProbe {
+            fn send(&self, _route: &str, _payload: &[u8]) -> Result<usize, LinkError> {
+                self.seen.lock().unwrap().push(Vec::new());
+                Ok(1)
+            }
+            fn send_traced(
+                &self,
+                _route: &str,
+                _payload: &[u8],
+                trace: &SendTrace<'_>,
+            ) -> Result<usize, LinkError> {
+                self.seen.lock().unwrap().push(trace.contexts.to_vec());
+                Ok(1)
+            }
+        }
+
+        let spec = FaultSpec {
+            duplicate_prob: 1.0,
+            max_duplicates: 1,
+            ..FaultSpec::none()
+        };
+        let link = FaultyLink::new(CtxProbe::default(), FaultPlan::new(42, spec));
+        let trace = TraceId::for_observation(990_002, 7);
+        link.send_at_traced("r.k", b"x", SimTime::EPOCH, &[TraceContext::new(trace)])
+            .unwrap();
+        let seen = link.inner().seen.lock().unwrap().clone();
+        assert_eq!(seen.len(), 2, "primary + one duplicate copy");
+        assert!(!seen[0][0].duplicate, "first copy is the primary");
+        assert!(seen[1][0].duplicate, "extra copy marked duplicate");
+        assert_eq!(seen[0][0].trace, trace);
+        assert_eq!(seen[1][0].trace, trace, "duplicates share the trace");
+        assert_ne!(seen[0][0].parent, seen[1][0].parent, "distinct spans");
+    }
+
+    #[test]
+    fn traced_delay_records_residence_on_release() {
+        use mps_telemetry::trace::TraceId;
+        let spec = FaultSpec {
+            delay_prob: 1.0,
+            mean_delay: SimDuration::from_secs(10),
+            ..FaultSpec::none()
+        };
+        let link = FaultyLink::new(Probe::default(), FaultPlan::new(43, spec));
+        let trace = TraceId::for_observation(990_003, 9);
+        let receipt = link
+            .send_at_traced("r.k", b"x", SimTime::EPOCH, &[TraceContext::new(trace)])
+            .unwrap();
+        let LinkReceipt::Delayed { due } = receipt else {
+            panic!("expected delay");
+        };
+        // Nothing recorded while parked.
+        let count = |hop| {
+            FlightRecorder::global()
+                .snapshot()
+                .iter()
+                .filter(|s| s.trace == trace && s.hop == hop)
+                .count()
+        };
+        assert_eq!(count(Hop::LinkDelay), 0);
+        link.drain_pending().unwrap();
+        let spans: Vec<_> = FlightRecorder::global()
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.trace == trace)
+            .collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].hop, Hop::LinkDelay);
+        assert_eq!(spans[0].start_ms, 0);
+        assert_eq!(
+            spans[0].end_ms,
+            due.as_millis(),
+            "release stamps the due time even under drain_pending"
+        );
+        assert_eq!(spans[0].outcome, Outcome::Forwarded);
     }
 
     #[test]

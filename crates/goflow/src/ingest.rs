@@ -22,7 +22,11 @@ use crate::telemetry::telemetry;
 use crate::{PrivacyPolicy, UsageAnalytics};
 use mps_broker::Broker;
 use mps_docstore::Collection;
-use mps_telemetry::SpanTimer;
+use mps_telemetry::trace::{
+    parse_contexts, FlightRecorder, Hop, Outcome, SpanRecord, TraceContext, SENT_MS_HEADER,
+    TRACE_HEADER,
+};
+use mps_telemetry::{SimSpanTimer, SpanTimer};
 use mps_types::{AppId, Observation, SimDuration, SimTime};
 use serde_json::{json, Value};
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -168,27 +172,42 @@ impl Ingestor {
             return outcome;
         };
         for delivery in deliveries {
+            // Trace context: one entry per observation in the payload, in
+            // payload order, re-parented under a `broker_queue` span that
+            // covers the message's residence in the GF queue.
+            let contexts = ingest_contexts(&delivery.message, now);
             match Self::decode(delivery.payload()) {
                 Ok(observations) => {
                     let mut storage_failed = false;
-                    for obs in &observations {
+                    for (i, obs) in observations.iter().enumerate() {
+                        let ctx = contexts.get(i).copied();
                         let delay = now.saturating_since(obs.captured_at);
                         if late_threshold.is_some_and(|limit| delay > limit) {
                             let parked = quarantine.insert_one(json!({
                                 "reason": "late",
                                 "delay_ms": delay.as_millis(),
                                 "arrived_ms": now.as_millis(),
+                                "trace": ctx.map(|c| c.trace.to_string()),
                                 "observation":
                                     ObservationRecord::to_document(obs, now, &self.policy),
                             }));
                             if parked.is_ok() {
                                 outcome.quarantined += 1;
-                                metrics.ingest_quarantined.inc();
-                                metrics.ingest_late.inc();
+                                metrics.ingest_quarantined_late.inc();
+                                record_ingest_span(
+                                    ctx,
+                                    Hop::Quarantine,
+                                    Outcome::Quarantined,
+                                    "late",
+                                    now,
+                                );
                             }
                             continue;
                         }
-                        let doc = ObservationRecord::to_document(obs, now, &self.policy);
+                        let mut doc = ObservationRecord::to_document(obs, now, &self.policy);
+                        if let Some(ctx) = ctx {
+                            doc["trace"] = json!(ctx.trace.to_string());
+                        }
                         if self.insert_observation(collection, doc).is_ok() {
                             outcome.stored += 1;
                             metrics.ingest_stored.inc();
@@ -196,6 +215,7 @@ impl Ingestor {
                                 .ingest_delivery_delay_ms
                                 .observe(delay.as_millis() as f64);
                             analytics.record(app, now, obs.is_localized());
+                            record_ingest_span(ctx, Hop::DocstoreWrite, Outcome::Ok, "stored", now);
                         } else {
                             storage_failed = true;
                             break;
@@ -225,7 +245,16 @@ impl Ingestor {
                     }));
                     if parked.is_ok() {
                         outcome.quarantined += 1;
-                        metrics.ingest_quarantined.inc();
+                        metrics.ingest_quarantined_malformed.inc();
+                        for ctx in &contexts {
+                            record_ingest_span(
+                                Some(*ctx),
+                                Hop::Quarantine,
+                                Outcome::Quarantined,
+                                "malformed",
+                                now,
+                            );
+                        }
                     }
                     // The payload is preserved in quarantine, so the broker
                     // copy can be discarded without silent loss.
@@ -235,6 +264,60 @@ impl Ingestor {
         }
         outcome
     }
+}
+
+/// Parses the trace contexts off a delivered message and closes each
+/// one's `broker_queue` span (publish → this drain), re-parenting the
+/// context under it. The queue wait also feeds the
+/// `goflow_ingest_broker_wait_ms` histogram via a [`SimSpanTimer`], so
+/// the waterfall and the metrics agree. Untraced messages yield an
+/// empty vector.
+fn ingest_contexts(message: &mps_broker::Message, now: SimTime) -> Vec<TraceContext> {
+    let Some(header) = message.header(TRACE_HEADER) else {
+        return Vec::new();
+    };
+    let contexts = parse_contexts(header);
+    if contexts.is_empty() {
+        return Vec::new();
+    }
+    let sent_ms = message
+        .header(SENT_MS_HEADER)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| now.as_millis());
+    let timer = SimSpanTimer::start_at(&telemetry().ingest_broker_wait_ms, sent_ms);
+    timer.stop_at(now.as_millis());
+    let recorder = FlightRecorder::global();
+    contexts
+        .iter()
+        .map(|ctx| {
+            let span = recorder.record(
+                SpanRecord::new(ctx.trace, Hop::BrokerQueue, now.as_millis())
+                    .started_at(sent_ms)
+                    .parent(ctx.parent)
+                    .duplicate(ctx.duplicate),
+            );
+            ctx.child_of(span)
+        })
+        .collect()
+}
+
+/// Records one ingest-side span for an observation's context, if it has
+/// one: the terminal `docstore_write` / `quarantine` ends of a trace.
+fn record_ingest_span(
+    ctx: Option<TraceContext>,
+    hop: Hop,
+    outcome: Outcome,
+    reason: &str,
+    now: SimTime,
+) {
+    let Some(ctx) = ctx else { return };
+    FlightRecorder::global().record(
+        SpanRecord::new(ctx.trace, hop, now.as_millis())
+            .parent(ctx.parent)
+            .duplicate(ctx.duplicate)
+            .outcome(outcome)
+            .attr("reason", reason.to_owned()),
+    );
 }
 
 #[cfg(test)]

@@ -14,14 +14,19 @@ pub(crate) struct GoFlowTelemetry {
     pub(crate) ingest_stored: Counter,
     /// Messages ingest could not decode.
     pub(crate) ingest_malformed: Counter,
-    /// Documents parked in a quarantine collection (malformed or late).
-    pub(crate) ingest_quarantined: Counter,
-    /// Observations quarantined for exceeding the late-data threshold.
-    pub(crate) ingest_late: Counter,
+    /// Quarantined documents that exceeded the late-data threshold
+    /// (`goflow_ingest_quarantined_total{reason="late"}`).
+    pub(crate) ingest_quarantined_late: Counter,
+    /// Quarantined documents that could not be decoded
+    /// (`goflow_ingest_quarantined_total{reason="malformed"}`).
+    pub(crate) ingest_quarantined_malformed: Counter,
     /// Storage failures that sent a message back for redelivery.
     pub(crate) ingest_storage_failures: Counter,
     /// End-to-end capture-to-storage delay, in milliseconds.
     pub(crate) ingest_delivery_delay_ms: Histogram,
+    /// Broker-queue residence of traced messages (publish to ingest), in
+    /// sim-time milliseconds.
+    pub(crate) ingest_broker_wait_ms: Histogram,
     /// Wall-clock duration of one queue drain, in seconds.
     pub(crate) ingest_drain_seconds: Histogram,
     /// Ingest passes run by the server facade.
@@ -50,13 +55,15 @@ pub(crate) fn telemetry() -> &'static GoFlowTelemetry {
                 "goflow_ingest_malformed_total",
                 "Messages ingest could not decode",
             ),
-            ingest_quarantined: registry.counter(
+            ingest_quarantined_late: registry.counter_labeled(
                 "goflow_ingest_quarantined_total",
-                "Documents parked in a quarantine collection (malformed or late)",
+                &[("reason", "late")],
+                "Documents parked in a quarantine collection, by reason",
             ),
-            ingest_late: registry.counter(
-                "goflow_ingest_late_total",
-                "Observations quarantined for exceeding the late-data threshold",
+            ingest_quarantined_malformed: registry.counter_labeled(
+                "goflow_ingest_quarantined_total",
+                &[("reason", "malformed")],
+                "Documents parked in a quarantine collection, by reason",
             ),
             ingest_storage_failures: registry.counter(
                 "goflow_ingest_storage_failures_total",
@@ -66,6 +73,11 @@ pub(crate) fn telemetry() -> &'static GoFlowTelemetry {
                 "goflow_ingest_delivery_delay_ms",
                 "Capture-to-storage delay of stored observations (ms)",
                 &Histogram::exponential_buckets(10.0, 4.0, 12),
+            ),
+            ingest_broker_wait_ms: registry.histogram(
+                "goflow_ingest_broker_wait_ms",
+                "Broker-queue residence of traced messages, publish to ingest (sim ms)",
+                &Histogram::exponential_buckets(1.0, 4.0, 12),
             ),
             ingest_drain_seconds: registry.histogram(
                 "goflow_ingest_drain_seconds",
@@ -108,9 +120,9 @@ mod tests {
             "goflow_ingest_stored_total",
             "goflow_ingest_malformed_total",
             "goflow_ingest_quarantined_total",
-            "goflow_ingest_late_total",
             "goflow_ingest_storage_failures_total",
             "goflow_ingest_delivery_delay_ms",
+            "goflow_ingest_broker_wait_ms",
             "goflow_ingest_drain_seconds",
             "goflow_server_ingest_passes_total",
             "goflow_server_queries_total",
@@ -120,5 +132,19 @@ mod tests {
         ] {
             assert!(names.iter().any(|n| n == name), "missing {name}");
         }
+    }
+
+    #[test]
+    fn quarantine_reasons_are_labeled_children_of_one_family() {
+        let t = telemetry();
+        t.ingest_quarantined_late.inc();
+        t.ingest_quarantined_malformed.inc();
+        let text = Registry::global().render_text();
+        assert!(text.contains("goflow_ingest_quarantined_total{reason=\"late\"}"));
+        assert!(text.contains("goflow_ingest_quarantined_total{reason=\"malformed\"}"));
+        let total = Registry::global()
+            .counter_value("goflow_ingest_quarantined_total")
+            .expect("family registered");
+        assert!(total >= 2, "family total sums labeled children");
     }
 }

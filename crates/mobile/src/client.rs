@@ -14,9 +14,13 @@
 
 use crate::retry::RetryPolicy;
 use crate::telemetry::telemetry;
-use mps_broker::{Broker, BrokerError};
-use mps_faults::{Link, LinkError};
+use mps_broker::{Broker, BrokerError, Message};
+use mps_faults::{Link, LinkError, SendTrace};
 use mps_simcore::SimRng;
+use mps_telemetry::trace::{
+    encode_contexts, FlightRecorder, Hop, Outcome, SpanRecord, TraceContext, TraceId,
+    SENT_MS_HEADER, TRACE_HEADER,
+};
 use mps_types::{AppVersion, Observation, SimTime};
 use std::collections::VecDeque;
 
@@ -42,6 +46,34 @@ impl Link for BrokerLink<'_> {
             .publish(self.exchange, route, payload.to_vec())
             .map_err(|err| LinkError::Unavailable(err.to_string()))
     }
+
+    fn send_traced(
+        &self,
+        route: &str,
+        payload: &[u8],
+        trace: &SendTrace<'_>,
+    ) -> Result<usize, LinkError> {
+        if trace.contexts.is_empty() {
+            return self.send(route, payload);
+        }
+        let key = route
+            .parse()
+            .map_err(|err: BrokerError| LinkError::Unavailable(err.to_string()))?;
+        let message = Message::new(key, payload.to_vec())
+            .with_header(TRACE_HEADER, encode_contexts(trace.contexts))
+            .with_header(SENT_MS_HEADER, trace.now_ms.to_string());
+        self.broker
+            .publish_message(self.exchange, message)
+            .map_err(|err| LinkError::Unavailable(err.to_string()))
+    }
+}
+
+/// Trace bookkeeping for one buffered observation: its propagation
+/// context plus the capture time the client-buffer span starts at.
+#[derive(Debug, Clone)]
+struct ObsTrace {
+    ctx: TraceContext,
+    captured_ms: i64,
 }
 
 /// One serialized upload parked for retry.
@@ -50,6 +82,10 @@ struct PendingUpload {
     payload: Vec<u8>,
     observations: usize,
     attempts: u32,
+    /// Trace contexts of the observations inside the payload.
+    contexts: Vec<TraceContext>,
+    /// When the upload entered the retry queue (retry-queue span start).
+    parked_at_ms: i64,
 }
 
 /// What a send cycle did — the numbers the energy model charges for.
@@ -93,6 +129,7 @@ pub struct GoFlowClient {
     routing_key: String,
     version: AppVersion,
     buffer: Vec<Observation>,
+    buffer_traces: Vec<ObsTrace>,
     total_sent: u64,
     total_transfers: u64,
     retry: RetryPolicy,
@@ -115,6 +152,7 @@ impl GoFlowClient {
             routing_key: routing_key.into(),
             version,
             buffer: Vec::new(),
+            buffer_traces: Vec::new(),
             total_sent: 0,
             total_transfers: 0,
             retry: RetryPolicy::default(),
@@ -147,7 +185,25 @@ impl GoFlowClient {
     }
 
     /// Records a freshly captured observation into the send buffer.
+    ///
+    /// This is where an observation enters the pipeline, so this is where
+    /// its trace is minted: a deterministic [`TraceId`] derived from the
+    /// device and capture time, with a `sensed` root span in the global
+    /// [`FlightRecorder`]. Every later hop extends this trace.
     pub fn record(&mut self, observation: Observation) {
+        let trace = TraceId::for_observation(
+            observation.device.raw(),
+            observation.captured_at.as_millis(),
+        );
+        let captured_ms = observation.captured_at.as_millis();
+        let sensed = FlightRecorder::global().record(
+            SpanRecord::new(trace, Hop::Sensed, captured_ms)
+                .attr("device", observation.device.to_string()),
+        );
+        self.buffer_traces.push(ObsTrace {
+            ctx: TraceContext::new(trace).child_of(sensed),
+            captured_ms,
+        });
         self.buffer.push(observation);
     }
 
@@ -250,6 +306,9 @@ impl GoFlowClient {
         self.total_sent += outcome.observations as u64;
         self.total_transfers += outcome.transfers as u64;
         self.buffer.clear();
+        // The direct broker path is untraced; the minted traces simply
+        // stay open (the traced path is `on_cycle_at` / `flush_at`).
+        self.buffer_traces.clear();
         Ok(outcome)
     }
 
@@ -294,9 +353,11 @@ impl GoFlowClient {
         }
         while let Some(upload) = self.retry_queue.front() {
             telemetry().retry_attempts.inc();
-            match link.send(&self.routing_key, &upload.payload) {
+            let trace = SendTrace::new(now.as_millis(), &upload.contexts);
+            match link.send_traced(&self.routing_key, &upload.payload, &trace) {
                 Ok(_) => {
                     let upload = self.retry_queue.pop_front().expect("front checked");
+                    record_retry_spans(&upload, Outcome::Retried, "shipped", now.as_millis());
                     outcome.transfers += 1;
                     outcome.observations += upload.observations;
                     self.total_transfers += 1;
@@ -313,6 +374,7 @@ impl GoFlowClient {
                     };
                     if attempts >= self.retry.max_attempts {
                         let shed = self.retry_queue.pop_front().expect("front checked");
+                        record_retry_spans(&shed, Outcome::Shed, "exhausted", now.as_millis());
                         self.shed_total += shed.observations as u64;
                         telemetry().retry_shed.inc();
                     }
@@ -325,11 +387,12 @@ impl GoFlowClient {
     }
 
     fn send_fresh(&mut self, link: &impl Link, now: SimTime, outcome: &mut SendOutcome) {
-        let uploads = self.assemble_uploads();
+        let uploads = self.assemble_uploads(now.as_millis());
         let mut link_down = false;
         for mut upload in uploads {
             if !link_down {
-                match link.send(&self.routing_key, &upload.payload) {
+                let trace = SendTrace::new(now.as_millis(), &upload.contexts);
+                match link.send_traced(&self.routing_key, &upload.payload, &trace) {
                     Ok(_) => {
                         outcome.transfers += 1;
                         outcome.observations += upload.observations;
@@ -345,14 +408,30 @@ impl GoFlowClient {
                     }
                 }
             }
-            self.park(upload);
+            self.park(upload, now.as_millis());
         }
     }
 
-    fn assemble_uploads(&mut self) -> Vec<PendingUpload> {
+    /// Serialises the buffer into uploads, closing each observation's
+    /// `client_buffer` span (capture → assembly) and re-parenting its
+    /// context under it so downstream spans hang off the buffer span.
+    fn assemble_uploads(&mut self, now_ms: i64) -> Vec<PendingUpload> {
         if self.buffer.is_empty() {
             return Vec::new();
         }
+        let contexts: Vec<TraceContext> = self
+            .buffer_traces
+            .drain(..)
+            .map(|obs_trace| {
+                let span = FlightRecorder::global().record(
+                    SpanRecord::new(obs_trace.ctx.trace, Hop::ClientBuffer, now_ms)
+                        .started_at(obs_trace.captured_ms)
+                        .parent(obs_trace.ctx.parent)
+                        .duplicate(obs_trace.ctx.duplicate),
+                );
+                TraceContext::new(obs_trace.ctx.trace).child_of(span)
+            })
+            .collect();
         if self.version.is_buffering() {
             let payload = serde_json::to_vec(&self.buffer).expect("observations serialize");
             let observations = self.buffer.len();
@@ -361,30 +440,54 @@ impl GoFlowClient {
                 payload,
                 observations,
                 attempts: 0,
+                contexts,
+                parked_at_ms: now_ms,
             }]
         } else {
             self.buffer
                 .drain(..)
-                .map(|obs| PendingUpload {
+                .zip(contexts)
+                .map(|(obs, ctx)| PendingUpload {
                     payload: serde_json::to_vec(&obs).expect("observation serializes"),
                     observations: 1,
                     attempts: 0,
+                    contexts: vec![ctx],
+                    parked_at_ms: now_ms,
                 })
                 .collect()
         }
     }
 
-    fn park(&mut self, upload: PendingUpload) {
+    fn park(&mut self, upload: PendingUpload, now_ms: i64) {
         if self.retry_queue.len() >= self.retry.max_pending {
             let shed = self.retry_queue.pop_front().expect("non-empty at capacity");
+            record_retry_spans(&shed, Outcome::Shed, "overflow", now_ms);
             self.shed_total += shed.observations as u64;
             telemetry().retry_shed.inc();
         }
+        let mut upload = upload;
+        upload.parked_at_ms = now_ms;
         self.retry_queue.push_back(upload);
     }
 
     fn schedule_backoff(&mut self, attempt: u32, now: SimTime) {
         self.next_retry_at = Some(now + self.retry.backoff_delay(attempt, &mut self.retry_rng));
+    }
+}
+
+/// Records one `retry_queue` span per observation in `upload`, covering
+/// its residence in the queue (`parked_at_ms` → `now_ms`). `Retried`
+/// marks a successful re-ship (non-terminal); `Shed` is terminal loss.
+fn record_retry_spans(upload: &PendingUpload, outcome: Outcome, reason: &str, now_ms: i64) {
+    for ctx in &upload.contexts {
+        FlightRecorder::global().record(
+            SpanRecord::new(ctx.trace, Hop::RetryQueue, now_ms)
+                .started_at(upload.parked_at_ms)
+                .parent(ctx.parent)
+                .duplicate(ctx.duplicate)
+                .outcome(outcome)
+                .attr("reason", reason.to_owned()),
+        );
     }
 }
 
@@ -667,6 +770,101 @@ mod tests {
         assert_eq!(sent.observations, 2);
         assert_eq!(c.queued_retries(), 0);
         assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn traced_upload_attaches_context_headers() {
+        use mps_telemetry::trace::parse_contexts;
+        let device: u64 = 910_001;
+        let b = broker();
+        let link = BrokerLink::new(&b, "ex");
+        let mut c = client(AppVersion::V1_2_9);
+        let captured = SimTime::from_millis(300_000);
+        c.record(
+            Observation::builder()
+                .device(device.into())
+                .user(1.into())
+                .model(DeviceModel::SonyD5803)
+                .captured_at(captured)
+                .spl(SoundLevel::new(45.0))
+                .build(),
+        );
+        let now = SimTime::from_millis(360_000);
+        let sent = c.on_cycle_at(&link, true, now);
+        assert_eq!(sent.observations, 1);
+
+        let d = b.consume("q", 1).unwrap().remove(0);
+        let header = d.message.header(TRACE_HEADER).expect("trace header");
+        let contexts = parse_contexts(header);
+        assert_eq!(contexts.len(), 1);
+        let trace = TraceId::for_observation(device, captured.as_millis());
+        assert_eq!(contexts[0].trace, trace);
+        assert!(contexts[0].parent.is_some(), "parented to client_buffer");
+        assert!(!contexts[0].duplicate);
+        assert_eq!(
+            d.message.header(SENT_MS_HEADER),
+            Some(now.as_millis().to_string().as_str())
+        );
+
+        let spans: Vec<_> = FlightRecorder::global()
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.trace == trace)
+            .collect();
+        let sensed = spans.iter().find(|s| s.hop == Hop::Sensed).unwrap();
+        let buffered = spans.iter().find(|s| s.hop == Hop::ClientBuffer).unwrap();
+        assert_eq!(sensed.start_ms, captured.as_millis());
+        assert_eq!(buffered.start_ms, captured.as_millis());
+        assert_eq!(buffered.end_ms, now.as_millis());
+        assert_eq!(buffered.parent, Some(sensed.span));
+    }
+
+    #[test]
+    fn shed_uploads_record_terminal_spans() {
+        let device: u64 = 910_002;
+        let link = FlakyLink::default();
+        link.failing.set(true);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut c = client(AppVersion::V1_2_9).with_retry_policy(policy, 3);
+        let captured = SimTime::EPOCH;
+        c.record(
+            Observation::builder()
+                .device(device.into())
+                .user(1.into())
+                .model(DeviceModel::SonyD5803)
+                .captured_at(captured)
+                .spl(SoundLevel::new(45.0))
+                .build(),
+        );
+        let mut now = SimTime::EPOCH;
+        c.on_cycle_at(&link, true, now); // fresh failure = attempt 1
+        while c.queued_retries() > 0 {
+            now = c.next_retry_at().expect("backing off");
+            c.on_cycle_at(&link, true, now);
+        }
+        assert_eq!(c.shed_total(), 1);
+
+        let trace = TraceId::for_observation(device, captured.as_millis());
+        let spans: Vec<_> = FlightRecorder::global()
+            .snapshot()
+            .into_iter()
+            .filter(|s| s.trace == trace)
+            .collect();
+        let shed: Vec<_> = spans
+            .iter()
+            .filter(|s| s.outcome == Outcome::Shed)
+            .collect();
+        assert_eq!(shed.len(), 1, "exactly one terminal shed span");
+        assert_eq!(shed[0].hop, Hop::RetryQueue);
+        assert!(shed[0]
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "reason" && v == "exhausted"));
+        assert_eq!(shed[0].end_ms, now.as_millis());
     }
 
     #[test]

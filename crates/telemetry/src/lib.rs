@@ -14,7 +14,12 @@
 //!   ([`Registry::global`]) and a Prometheus-style text exposition
 //!   ([`Registry::render_text`]).
 //! * [`SpanTimer`] — an RAII guard timing a pipeline stage into a
-//!   histogram.
+//!   histogram (wall clock); [`SimSpanTimer`] is its sim-clock twin for
+//!   deterministic simulations.
+//! * [`trace`] — end-to-end observation tracing: [`trace::TraceId`]
+//!   contexts propagated through every pipeline hop, spans landing in a
+//!   bounded [`trace::FlightRecorder`], and an offline query layer
+//!   (trace trees, latency waterfalls, loss attribution).
 //!
 //! Metric handles are cheaply cloneable (an `Arc` inside) and all
 //! operations take `&self`, so hot paths hold a handle and update it
@@ -62,9 +67,10 @@ mod gauge;
 mod histogram;
 mod registry;
 mod timer;
+pub mod trace;
 
 pub use counter::Counter;
 pub use gauge::Gauge;
 pub use histogram::Histogram;
 pub use registry::Registry;
-pub use timer::SpanTimer;
+pub use timer::{SimSpanTimer, SpanTimer};

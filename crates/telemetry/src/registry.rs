@@ -23,11 +23,21 @@ impl Metric {
     }
 }
 
+/// Every series sharing one metric name: one `# HELP`/`# TYPE` preamble,
+/// one child per distinct label set (the empty label set is the plain,
+/// unlabeled series).
 #[derive(Debug)]
 struct Entry {
     help: String,
-    metric: Metric,
+    /// Keyed by the canonical rendered label suffix (`""` or
+    /// `{k="v",…}` with keys sorted), so rendering and lookups agree on
+    /// identity.
+    series: BTreeMap<String, Metric>,
 }
+
+/// One rendered entry: metric name, help text, and the (label-suffix,
+/// metric) children cloned out of the registry lock.
+type RenderedEntry = (String, String, Vec<(String, Metric)>);
 
 /// A namespace of named metrics with a Prometheus-style text exposition.
 ///
@@ -37,6 +47,14 @@ struct Entry {
 /// independent layers converge on shared series. The process-wide
 /// default lives at [`Registry::global`] — the one the broker, GoFlow
 /// server, document store and assimilation engine all report into.
+///
+/// Series may carry **labels** ([`Registry::counter_labeled`] and
+/// friends): `goflow_ingest_quarantined_total{reason="late"}` and
+/// `…{reason="malformed"}` are distinct children of one metric name,
+/// rendered under a single preamble — the Prometheus idiom that
+/// replaces ad-hoc name suffixing (`…_late_total`). Value lookups by
+/// bare name ([`Registry::counter_value`]) sum across children, so an
+/// alert on the total keeps working when a reason label is added.
 ///
 /// Names follow `<crate>_<subsystem>_<metric>` (letters, digits and
 /// underscores; counters end in `_total`, histograms name their unit).
@@ -51,6 +69,17 @@ struct Entry {
 /// let text = registry.render_text();
 /// assert!(text.starts_with("# HELP broker_core_published_total Messages published\n"));
 /// assert!(text.contains("broker_core_published_total 2\n"));
+///
+/// let late = registry.counter_labeled(
+///     "goflow_ingest_quarantined_total",
+///     &[("reason", "late")],
+///     "Observations quarantined at ingest",
+/// );
+/// late.add(3);
+/// assert!(registry
+///     .render_text()
+///     .contains("goflow_ingest_quarantined_total{reason=\"late\"} 3\n"));
+/// assert_eq!(registry.counter_value("goflow_ingest_quarantined_total"), Some(3));
 /// ```
 #[derive(Debug, Default)]
 pub struct Registry {
@@ -87,14 +116,73 @@ impl Registry {
         );
     }
 
-    fn get_or_insert(&self, name: &str, help: &str, make: impl FnOnce() -> Metric) -> Metric {
+    /// The canonical rendered form of a label set: `""` when empty,
+    /// otherwise `{k="v",…}` with keys sorted and values escaped.
+    fn label_suffix(labels: &[(&str, &str)]) -> String {
+        if labels.is_empty() {
+            return String::new();
+        }
+        let mut sorted: Vec<_> = labels.to_vec();
+        sorted.sort_by_key(|(k, _)| *k);
+        for window in sorted.windows(2) {
+            assert_ne!(
+                window[0].0, window[1].0,
+                "duplicate label name `{}`",
+                window[0].0
+            );
+        }
+        let mut out = String::from("{");
+        for (i, (key, value)) in sorted.iter().enumerate() {
+            Self::validate_name(key);
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{key}=\"");
+            for c in value.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
         Self::validate_name(name);
+        let suffix = Self::label_suffix(labels);
         let mut entries = self.lock();
         let entry = entries.entry(name.to_owned()).or_insert_with(|| Entry {
             help: help.to_owned(),
-            metric: make(),
+            series: BTreeMap::new(),
         });
-        entry.metric.clone()
+        if let Some(existing) = entry.series.get(&suffix) {
+            return existing.clone();
+        }
+        let metric = make();
+        // All children of one name must share a kind — a counter and a
+        // gauge can't hide behind different label sets of `foo_total`.
+        if let Some(sibling) = entry.series.values().next() {
+            assert_eq!(
+                sibling.kind(),
+                metric.kind(),
+                "metric `{name}` is a {}, not a {}",
+                sibling.kind(),
+                metric.kind()
+            );
+        }
+        entry.series.insert(suffix, metric.clone());
+        metric
     }
 
     /// Returns the counter registered under `name`, creating it if
@@ -105,7 +193,18 @@ impl Registry {
     /// Panics if `name` is invalid or already registered as a different
     /// metric kind.
     pub fn counter(&self, name: &str, help: &str) -> Counter {
-        match self.get_or_insert(name, help, || Metric::Counter(Counter::new())) {
+        self.counter_labeled(name, &[], help)
+    }
+
+    /// Returns the counter child of `name` with the given label set,
+    /// creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name or a label name is invalid, a label name
+    /// repeats, or `name` is already registered as a different kind.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        match self.get_or_insert(name, labels, help, || Metric::Counter(Counter::new())) {
             Metric::Counter(c) => c,
             other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
         }
@@ -118,7 +217,17 @@ impl Registry {
     /// Panics if `name` is invalid or already registered as a different
     /// metric kind.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
-        match self.get_or_insert(name, help, || Metric::Gauge(Gauge::new())) {
+        self.gauge_labeled(name, &[], help)
+    }
+
+    /// Returns the gauge child of `name` with the given label set,
+    /// creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// As [`Registry::counter_labeled`].
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        match self.get_or_insert(name, labels, help, || Metric::Gauge(Gauge::new())) {
             Metric::Gauge(g) => g,
             other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
         }
@@ -134,7 +243,24 @@ impl Registry {
     /// metric kind, or `bounds` is invalid for a fresh histogram (see
     /// [`Histogram::new`]).
     pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Histogram {
-        match self.get_or_insert(name, help, || {
+        self.histogram_labeled(name, &[], help, bounds)
+    }
+
+    /// Returns the histogram child of `name` with the given label set,
+    /// creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// As [`Registry::counter_labeled`], plus invalid `bounds` for a
+    /// fresh histogram.
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        bounds: &[f64],
+    ) -> Histogram {
+        match self.get_or_insert(name, labels, help, || {
             Metric::Histogram(Histogram::new(bounds.to_vec()))
         }) {
             Metric::Histogram(h) => h,
@@ -148,57 +274,110 @@ impl Registry {
     }
 
     /// The current value of the counter named `name`, if one is
-    /// registered — convenient for tests and health checks.
+    /// registered — convenient for tests and health checks. A labeled
+    /// counter reports the sum across its children, so totals survive
+    /// the introduction of a label.
     pub fn counter_value(&self, name: &str) -> Option<u64> {
-        match self.lock().get(name).map(|e| e.metric.clone()) {
-            Some(Metric::Counter(c)) => Some(c.get()),
+        let entries = self.lock();
+        let entry = entries.get(name)?;
+        let mut total = 0u64;
+        for metric in entry.series.values() {
+            match metric {
+                Metric::Counter(c) => total += c.get(),
+                _ => return None,
+            }
+        }
+        Some(total)
+    }
+
+    /// The current value of the counter child of `name` with exactly the
+    /// given label set, if registered.
+    pub fn counter_value_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let suffix = Self::label_suffix(labels);
+        match self.lock().get(name)?.series.get(&suffix)? {
+            Metric::Counter(c) => Some(c.get()),
             _ => None,
         }
     }
 
     /// The observation count of the histogram named `name`, if one is
-    /// registered.
+    /// registered (summed across labeled children).
     pub fn histogram_count(&self, name: &str) -> Option<u64> {
-        match self.lock().get(name).map(|e| e.metric.clone()) {
-            Some(Metric::Histogram(h)) => Some(h.count()),
-            _ => None,
+        let entries = self.lock();
+        let entry = entries.get(name)?;
+        let mut total = 0u64;
+        for metric in entry.series.values() {
+            match metric {
+                Metric::Histogram(h) => total += h.count(),
+                _ => return None,
+            }
         }
+        Some(total)
     }
 
     /// Renders every metric in the Prometheus text exposition format
     /// (`# HELP` / `# TYPE` preambles; histograms expose cumulative
-    /// `_bucket{le="…"}` series plus `_sum` and `_count`).
+    /// `_bucket{le="…"}` series plus `_sum` and `_count`). Labeled
+    /// children render under one preamble, unlabeled first, then label
+    /// sets in lexicographic order.
     pub fn render_text(&self) -> String {
         // Clone the handles out so rendering never holds the registry
         // lock while formatting.
-        let metrics: Vec<(String, String, Metric)> = self
+        let entries: Vec<RenderedEntry> = self
             .lock()
             .iter()
-            .map(|(name, entry)| (name.clone(), entry.help.clone(), entry.metric.clone()))
+            .map(|(name, entry)| {
+                (
+                    name.clone(),
+                    entry.help.clone(),
+                    entry
+                        .series
+                        .iter()
+                        .map(|(suffix, metric)| (suffix.clone(), metric.clone()))
+                        .collect(),
+                )
+            })
             .collect();
         let mut out = String::new();
-        for (name, help, metric) in metrics {
+        for (name, help, series) in entries {
+            let kind = series.first().map_or("counter", |(_, m)| m.kind());
             let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
-            match metric {
-                Metric::Counter(c) => {
-                    let _ = writeln!(out, "{name} {}", c.get());
-                }
-                Metric::Gauge(g) => {
-                    let _ = writeln!(out, "{name} {}", g.get());
-                    let _ = writeln!(out, "{name}_high_watermark {}", g.high_watermark());
-                }
-                Metric::Histogram(h) => {
-                    let counts = h.bucket_counts();
-                    let mut cumulative = 0u64;
-                    for (bound, count) in h.bounds().iter().zip(&counts) {
-                        cumulative += count;
-                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (suffix, metric) in series {
+                match metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(out, "{name}{suffix} {}", c.get());
                     }
-                    cumulative += counts.last().expect("overflow bucket");
-                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-                    let _ = writeln!(out, "{name}_sum {}", h.sum());
-                    let _ = writeln!(out, "{name}_count {}", h.count());
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{suffix} {}", g.get());
+                        let _ =
+                            writeln!(out, "{name}_high_watermark{suffix} {}", g.high_watermark());
+                    }
+                    Metric::Histogram(h) => {
+                        // Merge `le` into an existing label suffix:
+                        // `{reason="late"}` + le → `{reason="late",le="…"}`.
+                        let with_le = |le: &str| -> String {
+                            if suffix.is_empty() {
+                                format!("{{le=\"{le}\"}}")
+                            } else {
+                                format!("{},le=\"{le}\"}}", &suffix[..suffix.len() - 1])
+                            }
+                        };
+                        let counts = h.bucket_counts();
+                        let mut cumulative = 0u64;
+                        for (bound, count) in h.bounds().iter().zip(&counts) {
+                            cumulative += count;
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cumulative}",
+                                with_le(&bound.to_string())
+                            );
+                        }
+                        cumulative += counts.last().expect("overflow bucket");
+                        let _ = writeln!(out, "{name}_bucket{} {cumulative}", with_le("+Inf"));
+                        let _ = writeln!(out, "{name}_sum{suffix} {}", h.sum());
+                        let _ = writeln!(out, "{name}_count{suffix} {}", h.count());
+                    }
                 }
             }
         }
@@ -238,9 +417,29 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn kind_mismatch_across_label_sets_panics() {
+        let r = Registry::new();
+        r.counter("x_total", "x");
+        r.gauge_labeled("x_total", &[("a", "b")], "x");
+    }
+
+    #[test]
     #[should_panic(expected = "invalid metric name")]
     fn invalid_name_panics() {
         Registry::new().counter("bad-name", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_label_name_panics() {
+        Registry::new().counter_labeled("ok_total", &[("bad-label", "v")], "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label name")]
+    fn duplicate_label_name_panics() {
+        Registry::new().counter_labeled("ok_total", &[("a", "1"), ("a", "2")], "x");
     }
 
     #[test]
@@ -260,6 +459,49 @@ mod tests {
         assert_eq!(r.counter_value("h_s"), None);
         assert_eq!(r.histogram_count("h_s"), Some(0));
         assert_eq!(r.histogram_count("missing"), None);
+    }
+
+    #[test]
+    fn labeled_children_are_distinct_and_sum_into_the_total() {
+        let r = Registry::new();
+        let late = r.counter_labeled("q_total", &[("reason", "late")], "q");
+        let malformed = r.counter_labeled("q_total", &[("reason", "malformed")], "q");
+        late.add(2);
+        malformed.add(5);
+        // Same label set converges on the same child.
+        r.counter_labeled("q_total", &[("reason", "late")], "q")
+            .inc();
+        assert_eq!(r.counter_value("q_total"), Some(8));
+        assert_eq!(
+            r.counter_value_labeled("q_total", &[("reason", "late")]),
+            Some(3)
+        );
+        assert_eq!(
+            r.counter_value_labeled("q_total", &[("reason", "missing")]),
+            None
+        );
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        r.counter_labeled("m_total", &[("b", "2"), ("a", "1")], "m")
+            .inc();
+        assert_eq!(
+            r.counter_value_labeled("m_total", &[("a", "1"), ("b", "2")]),
+            Some(1)
+        );
+        assert!(r.render_text().contains("m_total{a=\"1\",b=\"2\"} 1\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_labeled("e_total", &[("k", "a\"b\\c\nd")], "e")
+            .inc();
+        assert!(r
+            .render_text()
+            .contains("e_total{k=\"a\\\"b\\\\c\\nd\"} 1\n"));
     }
 
     #[test]
@@ -299,6 +541,57 @@ goflow_ingest_delivery_delay_ms_sum 10
 goflow_ingest_delivery_delay_ms_count 3
 ";
         assert_eq!(r.render_text(), expected);
+    }
+
+    #[test]
+    fn golden_render_text_labeled() {
+        let r = Registry::new();
+        r.counter_labeled(
+            "ingest_quarantined_total",
+            &[("reason", "late")],
+            "Quarantined",
+        )
+        .add(2);
+        r.counter_labeled(
+            "ingest_quarantined_total",
+            &[("reason", "malformed")],
+            "Quarantined",
+        )
+        .add(1);
+        let g = r.gauge_labeled("pool_size", &[("pool", "a")], "Pool size");
+        g.add(4);
+        let h = r.histogram_labeled("wait_ms", &[("queue", "gf")], "Wait", &[1.0]);
+        h.observe(0.5);
+        let expected = "\
+# HELP ingest_quarantined_total Quarantined
+# TYPE ingest_quarantined_total counter
+ingest_quarantined_total{reason=\"late\"} 2
+ingest_quarantined_total{reason=\"malformed\"} 1
+# HELP pool_size Pool size
+# TYPE pool_size gauge
+pool_size{pool=\"a\"} 4
+pool_size_high_watermark{pool=\"a\"} 4
+# HELP wait_ms Wait
+# TYPE wait_ms histogram
+wait_ms_bucket{queue=\"gf\",le=\"1\"} 1
+wait_ms_bucket{queue=\"gf\",le=\"+Inf\"} 1
+wait_ms_sum{queue=\"gf\"} 0.5
+wait_ms_count{queue=\"gf\"} 1
+";
+        assert_eq!(r.render_text(), expected);
+    }
+
+    #[test]
+    fn unlabeled_series_renders_before_labeled_children() {
+        let r = Registry::new();
+        r.counter_labeled("mix_total", &[("reason", "late")], "Mixed")
+            .inc();
+        r.counter("mix_total", "Mixed").add(5);
+        let text = r.render_text();
+        let bare = text.find("mix_total 5").expect("bare series");
+        let labeled = text.find("mix_total{reason=").expect("labeled series");
+        assert!(bare < labeled);
+        assert_eq!(r.counter_value("mix_total"), Some(6));
     }
 
     #[test]

@@ -61,6 +61,57 @@ impl Drop for SpanTimer {
     }
 }
 
+/// A sim-clock counterpart to [`SpanTimer`] for deterministic
+/// simulations.
+///
+/// [`SpanTimer`] reads the wall clock, which is the right tool for
+/// *compute* stages (a BLUE pass really does take host time) but makes
+/// simulated-pipeline timings irreproducible: two replays of the same
+/// seeded scenario should report identical latencies. `SimSpanTimer`
+/// takes explicit sim-clock timestamps instead and records the elapsed
+/// **milliseconds** (the workspace convention for sim-time series, e.g.
+/// `goflow_ingest_delivery_delay_ms`).
+///
+/// Because the stop time must be supplied, there is no `Drop` recording:
+/// an unstopped timer records nothing.
+///
+/// # Examples
+///
+/// ```
+/// use mps_telemetry::{Histogram, SimSpanTimer};
+///
+/// let waits = Histogram::new(Histogram::exponential_buckets(10.0, 4.0, 8));
+/// let timer = SimSpanTimer::start_at(&waits, 60_000);
+/// let elapsed_ms = timer.stop_at(95_000);
+/// assert_eq!(elapsed_ms, 35_000.0);
+/// assert_eq!(waits.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SimSpanTimer {
+    histogram: Histogram,
+    started_ms: i64,
+}
+
+impl SimSpanTimer {
+    /// Starts timing into `histogram` (units: milliseconds) at sim time
+    /// `now_ms`.
+    pub fn start_at(histogram: &Histogram, now_ms: i64) -> Self {
+        Self {
+            histogram: histogram.clone(),
+            started_ms: now_ms,
+        }
+    }
+
+    /// Stops at sim time `now_ms`, recording and returning the elapsed
+    /// milliseconds (clamped at zero — a span can't end before it
+    /// started).
+    pub fn stop_at(self, now_ms: i64) -> f64 {
+        let elapsed = (now_ms - self.started_ms).max(0) as f64;
+        self.histogram.observe(elapsed);
+        elapsed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +142,24 @@ mod tests {
             panic!("stage failed");
         });
         assert!(result.is_err());
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn sim_timer_is_deterministic() {
+        let h = Histogram::new(vec![1_000.0, 100_000.0]);
+        for _ in 0..3 {
+            let t = SimSpanTimer::start_at(&h, 60_000);
+            assert_eq!(t.stop_at(95_000), 35_000.0);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 105_000.0);
+    }
+
+    #[test]
+    fn sim_timer_clamps_time_travel() {
+        let h = Histogram::new(vec![1.0]);
+        assert_eq!(SimSpanTimer::start_at(&h, 100).stop_at(50), 0.0);
         assert_eq!(h.count(), 1);
     }
 

@@ -1,0 +1,411 @@
+//! Offline queries over recorded spans: trace reconstruction, per-hop
+//! latency waterfalls and loss attribution.
+
+use super::{Hop, Outcome, SpanRecord, TraceId};
+use crate::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One reconstructed trace: every retained span of one observation,
+/// sorted by recording order.
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    /// The trace identity.
+    pub trace: TraceId,
+    /// The trace's spans in recording order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TraceTree {
+    /// The root span (the earliest recorded), if any.
+    pub fn root(&self) -> Option<&SpanRecord> {
+        self.spans.first()
+    }
+
+    /// The primary terminal span — the single non-duplicate span with a
+    /// terminal outcome, if the trace has terminated.
+    pub fn terminal(&self) -> Option<&SpanRecord> {
+        self.spans
+            .iter()
+            .find(|s| s.outcome.is_terminal() && !s.duplicate)
+    }
+
+    /// All terminal spans, duplicates included (a duplicated
+    /// observation can terminate once per copy).
+    pub fn terminals(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(|s| s.outcome.is_terminal())
+    }
+
+    /// Renders the trace as an indented timeline, one span per line.
+    pub fn render(&self) -> String {
+        let base = self.spans.first().map_or(0, |s| s.start_ms);
+        let mut out = String::new();
+        let _ = writeln!(out, "trace {}", self.trace);
+        for span in &self.spans {
+            let _ = write!(
+                out,
+                "  +{:>8}ms {:<14} {:<13}",
+                span.start_ms - base,
+                span.hop.as_str(),
+                span.outcome.as_str(),
+            );
+            if span.duration_ms() > 0 {
+                let _ = write!(out, " ({}ms)", span.duration_ms());
+            }
+            if span.duplicate {
+                out.push_str(" [dup]");
+            }
+            for (key, value) in &span.attrs {
+                let _ = write!(out, " {key}={value}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// All retained traces, reconstructed from a span snapshot and indexed
+/// by [`TraceId`].
+///
+/// # Examples
+///
+/// ```
+/// use mps_telemetry::trace::{FlightRecorder, Hop, Outcome, SpanRecord, TraceId, TraceIndex};
+///
+/// let recorder = FlightRecorder::with_capacity(16);
+/// let trace = TraceId::for_observation(4, 0);
+/// recorder.record(SpanRecord::new(trace, Hop::Sensed, 0));
+/// recorder.record(SpanRecord::new(trace, Hop::DocstoreWrite, 30_000).outcome(Outcome::Ok));
+///
+/// let index = TraceIndex::from_spans(recorder.snapshot());
+/// assert_eq!(index.len(), 1);
+/// assert!(index.unterminated().is_empty());
+/// assert_eq!(index.get(trace).unwrap().terminal().unwrap().hop, Hop::DocstoreWrite);
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceIndex {
+    traces: BTreeMap<TraceId, TraceTree>,
+}
+
+impl TraceIndex {
+    /// Groups a span snapshot (e.g. [`FlightRecorder::snapshot`]) into
+    /// traces. Spans arrive sorted by recording order and stay that way
+    /// within each trace.
+    ///
+    /// [`FlightRecorder::snapshot`]: crate::trace::FlightRecorder::snapshot
+    pub fn from_spans(spans: impl IntoIterator<Item = SpanRecord>) -> Self {
+        let mut traces: BTreeMap<TraceId, TraceTree> = BTreeMap::new();
+        for span in spans {
+            traces
+                .entry(span.trace)
+                .or_insert_with(|| TraceTree {
+                    trace: span.trace,
+                    spans: Vec::new(),
+                })
+                .spans
+                .push(span);
+        }
+        Self { traces }
+    }
+
+    /// The number of distinct traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True when no trace is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// The trace with identity `trace`, if retained.
+    pub fn get(&self, trace: TraceId) -> Option<&TraceTree> {
+        self.traces.get(&trace)
+    }
+
+    /// Iterates the traces in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceTree> {
+        self.traces.values()
+    }
+
+    /// Traces with no primary terminal outcome — in a quiesced run this
+    /// must be empty (the CI tracing exhibit fails otherwise). Batch
+    /// fan-in traces (whose spans are all [`Hop::AssimBatch`]) terminate
+    /// via their own `Ok` span like any other trace.
+    pub fn unterminated(&self) -> Vec<TraceId> {
+        self.traces
+            .values()
+            .filter(|t| t.terminal().is_none())
+            .map(|t| t.trace)
+            .collect()
+    }
+}
+
+/// Latency buckets for per-hop waterfalls: 1ms … ~70min, log-spaced.
+fn latency_buckets() -> Vec<f64> {
+    Histogram::exponential_buckets(1.0, 4.0, 12)
+}
+
+/// Per-hop sim-clock latency distributions (p50/p95/p99), rendered as a
+/// waterfall in pipeline order.
+///
+/// Each span contributes its duration to its hop's histogram, so a hop
+/// row answers "how long did observations spend there". Zero-length
+/// spans (decision points like [`Hop::BrokerPublish`]) still count —
+/// their row shows the hop fired, with ~0ms residence.
+#[derive(Debug)]
+pub struct LatencyWaterfall {
+    per_hop: BTreeMap<Hop, Histogram>,
+}
+
+impl LatencyWaterfall {
+    /// Builds the waterfall from a span snapshot.
+    pub fn from_spans<'a>(spans: impl IntoIterator<Item = &'a SpanRecord>) -> Self {
+        let mut per_hop: BTreeMap<Hop, Histogram> = BTreeMap::new();
+        for span in spans {
+            per_hop
+                .entry(span.hop)
+                .or_insert_with(|| Histogram::new(latency_buckets()))
+                .observe(span.duration_ms() as f64);
+        }
+        Self { per_hop }
+    }
+
+    /// The latency histogram for `hop`, if any span hit it.
+    pub fn hop(&self, hop: Hop) -> Option<&Histogram> {
+        self.per_hop.get(&hop)
+    }
+
+    /// Hops that recorded at least one span, in pipeline order.
+    pub fn hops(&self) -> Vec<Hop> {
+        Hop::ALL
+            .into_iter()
+            .filter(|h| self.per_hop.contains_key(h))
+            .collect()
+    }
+
+    /// Renders the waterfall as an aligned text table with a log-scaled
+    /// p95 bar, in pipeline order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7} {:>9} {:>9} {:>9}  p95",
+            "hop", "spans", "p50 ms", "p95 ms", "p99 ms"
+        );
+        for hop in self.hops() {
+            let h = &self.per_hop[&hop];
+            let p95 = h.p95();
+            // Log scale: 1 bar char per factor of ~4 above 1ms.
+            let bar_len = if p95 <= 1.0 {
+                0
+            } else {
+                (p95.log2() / 2.0).ceil() as usize
+            };
+            let _ = writeln!(
+                out,
+                "{:<14} {:>7} {:>9.0} {:>9.0} {:>9.0}  {}",
+                hop.as_str(),
+                h.count(),
+                h.p50(),
+                p95,
+                h.p99(),
+                "#".repeat(bar_len.min(24)),
+            );
+        }
+        out
+    }
+}
+
+/// Which hop killed each lost observation, split into primary copies
+/// (the conservation ledger's view) and fault-injected duplicates.
+///
+/// Cross-checking against the PR 2 conservation counters: the *total*
+/// (primary + duplicate) count per `(hop, loss outcome)` cell matches
+/// the corresponding fault/broker/ingest counter, because those count
+/// message copies, not traces.
+#[derive(Debug, Default)]
+pub struct LossAttribution {
+    cells: BTreeMap<(Hop, Outcome), (u64, u64)>,
+}
+
+impl LossAttribution {
+    /// Tallies terminal loss spans from a span snapshot.
+    pub fn from_spans<'a>(spans: impl IntoIterator<Item = &'a SpanRecord>) -> Self {
+        let mut cells: BTreeMap<(Hop, Outcome), (u64, u64)> = BTreeMap::new();
+        for span in spans {
+            if span.outcome.is_loss() {
+                let cell = cells.entry((span.hop, span.outcome)).or_default();
+                if span.duplicate {
+                    cell.1 += 1;
+                } else {
+                    cell.0 += 1;
+                }
+            }
+        }
+        Self { cells }
+    }
+
+    /// Primary (non-duplicate) losses at `(hop, outcome)`.
+    pub fn primary(&self, hop: Hop, outcome: Outcome) -> u64 {
+        self.cells.get(&(hop, outcome)).map_or(0, |c| c.0)
+    }
+
+    /// Duplicate-copy losses at `(hop, outcome)`.
+    pub fn duplicates(&self, hop: Hop, outcome: Outcome) -> u64 {
+        self.cells.get(&(hop, outcome)).map_or(0, |c| c.1)
+    }
+
+    /// All message copies lost at `(hop, outcome)` — the number the
+    /// conservation counters see.
+    pub fn copies(&self, hop: Hop, outcome: Outcome) -> u64 {
+        self.primary(hop, outcome) + self.duplicates(hop, outcome)
+    }
+
+    /// Total primary observations lost across all hops.
+    pub fn total_primary(&self) -> u64 {
+        self.cells.values().map(|c| c.0).sum()
+    }
+
+    /// Renders the attribution table (hop, outcome, primary, duplicate
+    /// counts), hops in pipeline order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:<13} {:>8} {:>8}",
+            "hop", "outcome", "primary", "dup"
+        );
+        for hop in Hop::ALL {
+            for outcome in Outcome::ALL {
+                if let Some((primary, dup)) = self.cells.get(&(hop, outcome)) {
+                    let _ = writeln!(
+                        out,
+                        "{:<14} {:<13} {:>8} {:>8}",
+                        hop.as_str(),
+                        outcome.as_str(),
+                        primary,
+                        dup
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "total primary observations lost: {}",
+            self.total_primary()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SpanId;
+
+    fn spans() -> Vec<SpanRecord> {
+        let a = TraceId::from_raw(1);
+        let b = TraceId::from_raw(2);
+        let mut spans = vec![
+            SpanRecord::new(a, Hop::Sensed, 0),
+            SpanRecord::new(a, Hop::ClientBuffer, 60_000).started_at(0),
+            SpanRecord::new(a, Hop::DocstoreWrite, 61_000).outcome(Outcome::Ok),
+            // Duplicate copy of `a` dead-lettered later.
+            SpanRecord::new(a, Hop::BrokerDlq, 62_000)
+                .outcome(Outcome::DeadLettered)
+                .duplicate(true),
+            SpanRecord::new(b, Hop::Sensed, 0),
+            SpanRecord::new(b, Hop::LinkTransmit, 60_000).outcome(Outcome::Dropped),
+        ];
+        for (i, span) in spans.iter_mut().enumerate() {
+            span.span = SpanId::from_raw(i as u64 + 1);
+        }
+        spans
+    }
+
+    #[test]
+    fn index_groups_and_finds_terminals() {
+        let index = TraceIndex::from_spans(spans());
+        assert_eq!(index.len(), 2);
+        assert!(!index.is_empty());
+        let a = index.get(TraceId::from_raw(1)).unwrap();
+        assert_eq!(a.spans.len(), 4);
+        assert_eq!(a.root().unwrap().hop, Hop::Sensed);
+        assert_eq!(a.terminal().unwrap().hop, Hop::DocstoreWrite);
+        assert_eq!(a.terminals().count(), 2, "dup terminal counted separately");
+        let b = index.get(TraceId::from_raw(2)).unwrap();
+        assert_eq!(b.terminal().unwrap().outcome, Outcome::Dropped);
+        assert!(index.unterminated().is_empty());
+    }
+
+    #[test]
+    fn unterminated_traces_are_reported() {
+        let spans = vec![SpanRecord::new(TraceId::from_raw(9), Hop::Sensed, 0)];
+        let index = TraceIndex::from_spans(spans);
+        assert_eq!(index.unterminated(), vec![TraceId::from_raw(9)]);
+    }
+
+    #[test]
+    fn duplicate_terminal_does_not_terminate_the_primary() {
+        let spans = vec![
+            SpanRecord::new(TraceId::from_raw(3), Hop::Sensed, 0),
+            SpanRecord::new(TraceId::from_raw(3), Hop::BrokerDlq, 1)
+                .outcome(Outcome::DeadLettered)
+                .duplicate(true),
+        ];
+        let index = TraceIndex::from_spans(spans);
+        assert_eq!(index.unterminated(), vec![TraceId::from_raw(3)]);
+    }
+
+    #[test]
+    fn waterfall_covers_hit_hops_in_pipeline_order() {
+        let spans = spans();
+        let waterfall = LatencyWaterfall::from_spans(&spans);
+        assert_eq!(
+            waterfall.hops(),
+            vec![
+                Hop::Sensed,
+                Hop::ClientBuffer,
+                Hop::LinkTransmit,
+                Hop::BrokerDlq,
+                Hop::DocstoreWrite,
+            ]
+        );
+        let buffer = waterfall.hop(Hop::ClientBuffer).unwrap();
+        assert_eq!(buffer.count(), 1);
+        assert!(
+            buffer.p95() > 1_000.0,
+            "60s residence lands in a high bucket"
+        );
+        assert!(waterfall.hop(Hop::AssimBatch).is_none());
+        let rendered = waterfall.render();
+        assert!(rendered.contains("client_buffer"));
+        assert!(rendered.lines().count() >= 6);
+    }
+
+    #[test]
+    fn loss_attribution_separates_primary_and_duplicate_copies() {
+        let spans = spans();
+        let loss = LossAttribution::from_spans(&spans);
+        assert_eq!(loss.primary(Hop::LinkTransmit, Outcome::Dropped), 1);
+        assert_eq!(loss.duplicates(Hop::LinkTransmit, Outcome::Dropped), 0);
+        assert_eq!(loss.primary(Hop::BrokerDlq, Outcome::DeadLettered), 0);
+        assert_eq!(loss.duplicates(Hop::BrokerDlq, Outcome::DeadLettered), 1);
+        assert_eq!(loss.copies(Hop::BrokerDlq, Outcome::DeadLettered), 1);
+        assert_eq!(loss.total_primary(), 1, "stored `a` is not a loss");
+        let rendered = loss.render();
+        assert!(rendered.contains("dead_lettered"));
+        assert!(rendered.contains("total primary observations lost: 1"));
+    }
+
+    #[test]
+    fn trace_render_is_a_readable_timeline() {
+        let index = TraceIndex::from_spans(spans());
+        let rendered = index.get(TraceId::from_raw(1)).unwrap().render();
+        assert!(rendered.starts_with("trace 0000000000000001\n"));
+        assert!(rendered.contains("sensed"));
+        assert!(rendered.contains("[dup]"));
+        assert!(rendered.contains("(60000ms)"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Trace and span identities, and the wire encoding used to propagate
+//! trace context across hops that only see opaque payloads.
+
+use std::fmt;
+
+/// Splitmix64 finaliser — a cheap, well-mixed, stable hash step.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The identity of one observation's journey through the pipeline.
+///
+/// A trace is minted when an observation is sensed on a device and is
+/// carried (or re-derived) through every hop: retry queue, link, broker,
+/// ingest, document store and assimilation batch. Because the id is a
+/// **stable hash of the observation's own identity** (device + capture
+/// time), any layer holding a decoded observation computes the same
+/// trace id without needing wire-format changes — layers that only see
+/// opaque bytes get the id from message headers instead.
+///
+/// # Examples
+///
+/// ```
+/// use mps_telemetry::trace::TraceId;
+///
+/// let a = TraceId::for_observation(4, 60_000);
+/// let b = TraceId::for_observation(4, 60_000);
+/// assert_eq!(a, b, "same observation, same trace");
+/// assert_ne!(a, TraceId::for_observation(4, 120_000));
+/// assert_eq!(a, format!("{a}").parse().unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// Derives the stable trace id for an observation from its device id
+    /// and capture time (milliseconds since the simulation epoch).
+    pub fn for_observation(device: u64, captured_ms: i64) -> Self {
+        let mixed = mix(mix(device ^ 0x9e37_79b9_7f4a_7c15) ^ captured_ms as u64);
+        // Zero is reserved as "no trace" in compact encodings.
+        Self(if mixed == 0 { 1 } else { mixed })
+    }
+
+    /// Wraps a raw 64-bit id (e.g. parsed from an export).
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw 64-bit id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl std::str::FromStr for TraceId {
+    type Err = std::num::ParseIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        u64::from_str_radix(s, 16).map(Self)
+    }
+}
+
+/// The identity of one span within the flight recorder.
+///
+/// Span ids are assigned by [`FlightRecorder::record`] in recording
+/// order, so sorting spans by id recovers the order events were
+/// observed.
+///
+/// [`FlightRecorder::record`]: crate::trace::FlightRecorder::record
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// Wraps a raw span id.
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:x}", self.0)
+    }
+}
+
+/// The trace context attached to one in-flight copy of an observation.
+///
+/// This is what crosses hop boundaries: the trace identity, the span
+/// that handed the copy over (so the receiving hop can parent its own
+/// span), and whether this copy is a fault-injected **duplicate** of the
+/// primary. Duplicate copies record `duplicate = true` spans all the way
+/// down, preserving the invariant that each trace has exactly one
+/// *primary* terminal outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace this copy belongs to.
+    pub trace: TraceId,
+    /// The last span recorded for this copy, if known.
+    pub parent: Option<SpanId>,
+    /// True when this copy is a fault-injected duplicate.
+    pub duplicate: bool,
+}
+
+impl TraceContext {
+    /// A fresh primary context with no parent span.
+    pub fn new(trace: TraceId) -> Self {
+        Self {
+            trace,
+            parent: None,
+            duplicate: false,
+        }
+    }
+
+    /// The same context re-parented under `span`.
+    pub fn child_of(self, span: SpanId) -> Self {
+        Self {
+            parent: Some(span),
+            ..self
+        }
+    }
+
+    /// The same context marked as a duplicate copy.
+    pub fn as_duplicate(self) -> Self {
+        Self {
+            duplicate: true,
+            ..self
+        }
+    }
+}
+
+/// Encodes contexts for a message header.
+///
+/// Format: comma-separated items, each `trace[.parent][!]` in lowercase
+/// hex, `!` marking a duplicate copy. The format is deliberately tiny —
+/// it rides on every published message.
+///
+/// # Examples
+///
+/// ```
+/// use mps_telemetry::trace::{encode_contexts, parse_contexts, SpanId, TraceContext, TraceId};
+///
+/// let ctx = TraceContext::new(TraceId::from_raw(0xabc)).child_of(SpanId::from_raw(7));
+/// let wire = encode_contexts(&[ctx, ctx.as_duplicate()]);
+/// assert_eq!(wire, "0000000000000abc.7,0000000000000abc.7!");
+/// assert_eq!(parse_contexts(&wire), vec![ctx, ctx.as_duplicate()]);
+/// ```
+pub fn encode_contexts(contexts: &[TraceContext]) -> String {
+    let mut out = String::with_capacity(contexts.len() * 20);
+    for (i, ctx) in contexts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{}", ctx.trace));
+        if let Some(parent) = ctx.parent {
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!(".{parent}"));
+        }
+        if ctx.duplicate {
+            out.push('!');
+        }
+    }
+    out
+}
+
+/// Parses a header written by [`encode_contexts`]. Malformed items are
+/// skipped — a garbled trace header must never take down a hop.
+pub fn parse_contexts(header: &str) -> Vec<TraceContext> {
+    header
+        .split(',')
+        .filter_map(|item| {
+            let item = item.trim();
+            let (item, duplicate) = match item.strip_suffix('!') {
+                Some(rest) => (rest, true),
+                None => (item, false),
+            };
+            let (trace_part, parent_part) = match item.split_once('.') {
+                Some((t, p)) => (t, Some(p)),
+                None => (item, None),
+            };
+            let trace: TraceId = trace_part.parse().ok()?;
+            let parent = match parent_part {
+                Some(p) => Some(SpanId::from_raw(u64::from_str_radix(p, 16).ok()?)),
+                None => None,
+            };
+            Some(TraceContext {
+                trace,
+                parent,
+                duplicate,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_stable_and_distinct() {
+        let a = TraceId::for_observation(4, 0);
+        assert_eq!(a, TraceId::for_observation(4, 0));
+        assert_ne!(a, TraceId::for_observation(5, 0));
+        assert_ne!(a, TraceId::for_observation(4, 1));
+        assert_ne!(a.raw(), 0);
+    }
+
+    #[test]
+    fn trace_id_round_trips_through_display() {
+        let id = TraceId::for_observation(123, 456_789);
+        let text = id.to_string();
+        assert_eq!(text.len(), 16);
+        assert_eq!(text.parse::<TraceId>().unwrap(), id);
+    }
+
+    #[test]
+    fn no_observation_maps_to_zero() {
+        // Zero is reserved; the constructor remaps it to 1. We can't
+        // easily find a preimage of 0, so just spot-check a range.
+        for device in 0..50u64 {
+            for t in 0..50i64 {
+                assert_ne!(TraceId::for_observation(device, t).raw(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn contexts_round_trip() {
+        let contexts = vec![
+            TraceContext::new(TraceId::from_raw(1)),
+            TraceContext::new(TraceId::from_raw(0xdead_beef)).child_of(SpanId::from_raw(0x2a)),
+            TraceContext::new(TraceId::from_raw(7))
+                .child_of(SpanId::from_raw(9))
+                .as_duplicate(),
+        ];
+        assert_eq!(parse_contexts(&encode_contexts(&contexts)), contexts);
+    }
+
+    #[test]
+    fn parse_skips_garbage() {
+        let parsed = parse_contexts("zzz,12.xx,,34!,!");
+        assert_eq!(
+            parsed,
+            vec![TraceContext {
+                trace: TraceId::from_raw(0x34),
+                parent: None,
+                duplicate: true,
+            }]
+        );
+        assert!(parse_contexts("").is_empty());
+    }
+
+    #[test]
+    fn context_builders_compose() {
+        let ctx = TraceContext::new(TraceId::from_raw(5));
+        assert_eq!(ctx.parent, None);
+        assert!(!ctx.duplicate);
+        let child = ctx.child_of(SpanId::from_raw(3)).as_duplicate();
+        assert_eq!(child.trace, ctx.trace);
+        assert_eq!(child.parent, Some(SpanId::from_raw(3)));
+        assert!(child.duplicate);
+    }
+}

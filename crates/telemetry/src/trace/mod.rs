@@ -1,0 +1,66 @@
+//! # End-to-end observation tracing (`mps-trace`)
+//!
+//! Aggregate counters (PR 1) say *how many* observations were lost or
+//! delayed; the conservation ledger (PR 2) proves the books balance.
+//! This module answers *which* observation and *why*: a [`TraceId`] is
+//! minted when an observation is sensed on a device and follows it
+//! through every hop — client buffer, retry queue, (faulty) link,
+//! broker publish/queue/DLQ, ingest, quarantine, document store, and
+//! assimilation batch fan-in.
+//!
+//! The moving parts:
+//!
+//! * [`TraceId`] / [`SpanId`] / [`TraceContext`] — identity and the
+//!   tiny header encoding ([`encode_contexts`] / [`parse_contexts`])
+//!   used to cross opaque-payload hops.
+//! * [`Hop`] / [`Outcome`] / [`SpanRecord`] — one hop's account of one
+//!   observation copy, on the simulation clock.
+//! * [`FlightRecorder`] — the bounded drop-oldest ring spans land in;
+//!   recording is allocation-free on the ring and never takes a global
+//!   lock, so tracing cannot OOM a large run.
+//! * [`TraceIndex`] / [`LatencyWaterfall`] / [`LossAttribution`] — the
+//!   offline query layer: reconstruct per-observation timelines,
+//!   per-hop p50/p95/p99 waterfalls, and a which-hop-killed-it table
+//!   that cross-checks the conservation counters.
+//!
+//! # Examples
+//!
+//! ```
+//! use mps_telemetry::trace::{
+//!     FlightRecorder, Hop, LatencyWaterfall, Outcome, SpanRecord, TraceId, TraceIndex,
+//! };
+//!
+//! let recorder = FlightRecorder::with_capacity(64);
+//! let trace = TraceId::for_observation(4, 60_000);
+//! let sensed = recorder.record(SpanRecord::new(trace, Hop::Sensed, 60_000));
+//! recorder.record(
+//!     SpanRecord::new(trace, Hop::DocstoreWrite, 95_000)
+//!         .parent(Some(sensed))
+//!         .outcome(Outcome::Ok)
+//!         .attr("collection", "obs-SC"),
+//! );
+//!
+//! let index = TraceIndex::from_spans(recorder.snapshot());
+//! assert!(index.unterminated().is_empty(), "every trace terminated");
+//! let waterfall = LatencyWaterfall::from_spans(&recorder.snapshot());
+//! assert_eq!(waterfall.hops(), vec![Hop::Sensed, Hop::DocstoreWrite]);
+//! ```
+
+mod analysis;
+mod ids;
+mod recorder;
+mod span;
+
+pub use analysis::{LatencyWaterfall, LossAttribution, TraceIndex, TraceTree};
+pub use ids::{encode_contexts, parse_contexts, SpanId, TraceContext, TraceId};
+pub use recorder::{FlightRecorder, DEFAULT_CAPACITY};
+pub use span::{Hop, Outcome, SpanRecord};
+
+/// The message-header name carrying encoded [`TraceContext`]s across the
+/// broker boundary.
+pub const TRACE_HEADER: &str = "x-trace";
+
+/// The message-header name carrying the sim-clock publish time
+/// (milliseconds since the epoch, decimal) so the consuming hop can
+/// measure queue wait.
+pub const SENT_MS_HEADER: &str = "x-trace-sent-ms";

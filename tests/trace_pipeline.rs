@@ -1,0 +1,269 @@
+//! End-to-end tracing: the faulted resilience scenario of
+//! `tests/resilience_pipeline.rs`, re-run with the flight recorder on,
+//! proving that causality context survives every hop of the pipeline.
+//!
+//! Three invariants:
+//!
+//! 1. **Reconstructability** — every observation the client recorded
+//!    yields a trace whose root is the `sensed` span and which reaches
+//!    exactly one primary terminal outcome.
+//! 2. **Attribution equals conservation** — the per-hop loss counts read
+//!    back from spans match the fault/broker/ingest conservation counters
+//!    *exactly*, copy for copy.
+//! 3. **Full coverage** — the latency waterfall is non-empty for every
+//!    hop of the taxonomy, assimilation fan-in included.
+
+use soundcity::assim::{Blue, CityModel, DiurnalAnalysis, HourlyObservation, NoiseSimulator};
+use soundcity::broker::Broker;
+use soundcity::faults::{FaultPlan, FaultSpec, FaultyLink, Link, LinkError};
+use soundcity::goflow::{GoFlowServer, ObservationQuery, Role};
+use soundcity::mobile::{BrokerLink, GoFlowClient, RetryPolicy};
+use soundcity::simcore::SimRng;
+use soundcity::telemetry::trace::{
+    FlightRecorder, Hop, LatencyWaterfall, LossAttribution, Outcome, TraceId, TraceIndex,
+};
+use soundcity::types::{
+    AppId, AppVersion, DeviceModel, GeoBounds, GeoPoint, LocationFix, LocationProvider,
+    Observation, SimDuration, SimTime, SoundLevel,
+};
+use std::sync::Arc;
+
+/// A link during a server outage: every send visibly fails.
+struct DownLink;
+
+impl Link for DownLink {
+    fn send(&self, _route: &str, _payload: &[u8]) -> Result<usize, LinkError> {
+        Err(LinkError::Unavailable("server outage".into()))
+    }
+}
+
+const DEVICE: u64 = 44;
+
+fn observation(i: i64, at: GeoPoint) -> Observation {
+    Observation::builder()
+        .device(DEVICE.into())
+        .user(DEVICE.into())
+        .model(DeviceModel::LgeNexus5)
+        .captured_at(SimTime::EPOCH + SimDuration::from_mins(i))
+        .spl(SoundLevel::new(45.0 + (i % 30) as f64))
+        .location(LocationFix::new(at, 30.0, LocationProvider::Network))
+        .app_version(AppVersion::V1_2_9)
+        .build()
+}
+
+#[test]
+fn every_observation_trace_is_reconstructable_and_attribution_balances() {
+    let recorder = FlightRecorder::global();
+    recorder.clear();
+
+    let broker = Arc::new(Broker::new());
+    let server = GoFlowServer::new(Arc::clone(&broker), soundcity::docstore::Store::new());
+    let app = AppId::soundcity();
+    server.register_app(&app).unwrap();
+    // The 30-minute outage backlog arrives >20 minutes late, so the
+    // quarantine hop is guaranteed to fire.
+    server.set_late_quarantine(Some(SimDuration::from_mins(20)));
+    let token = server
+        .register_user(&app, DEVICE.into(), Role::Contributor)
+        .unwrap();
+    let session = server.login(&token).unwrap();
+    let key = session.observation_key("noise", "FR75013");
+
+    let spec = FaultSpec {
+        drop_prob: 0.08,
+        delay_prob: 0.20,
+        mean_delay: SimDuration::from_mins(5),
+        duplicate_prob: 0.05,
+        max_duplicates: 2,
+        reorder_prob: 0.05,
+        reorder_window: SimDuration::from_secs(30),
+        ..FaultSpec::none()
+    }
+    .with_blackhole(
+        "",
+        SimTime::EPOCH + SimDuration::from_mins(400),
+        SimTime::EPOCH + SimDuration::from_mins(440),
+    );
+    let faulty = FaultyLink::new(
+        BrokerLink::new(&broker, session.exchange()),
+        FaultPlan::new(20_160, spec),
+    );
+    let mut client = GoFlowClient::new(session.exchange(), key, AppVersion::V1_2_9)
+        .with_retry_policy(
+            RetryPolicy {
+                max_attempts: 20,
+                ..RetryPolicy::default()
+            },
+            7,
+        );
+
+    // Ten simulated hours, one observation per minute, server down during
+    // minutes 200-230 — the resilience scenario, now traced.
+    const CYCLES: i64 = 600;
+    const OUTAGE: std::ops::Range<i64> = 200..230;
+    let bounds = GeoBounds::paris();
+    let mut rng = SimRng::new(9);
+    let mut expected: Vec<TraceId> = Vec::with_capacity(CYCLES as usize);
+    for i in 0..CYCLES {
+        let now = SimTime::EPOCH + SimDuration::from_mins(i);
+        let at = bounds.lerp(rng.uniform_in(0.05, 0.95), rng.uniform_in(0.05, 0.95));
+        let obs = observation(i, at);
+        expected.push(TraceId::for_observation(
+            DEVICE,
+            obs.captured_at.as_millis(),
+        ));
+        client.record(obs);
+        if OUTAGE.contains(&i) {
+            client.on_cycle_at(&DownLink, true, now);
+        } else {
+            faulty.advance_to(now).unwrap();
+            client.on_cycle_at(&faulty.at(now), true, now);
+        }
+    }
+
+    // Quiesce: flush the client, drain the delay line.
+    let end = SimTime::EPOCH + SimDuration::from_mins(CYCLES);
+    client.flush_at(&faulty.at(end), end);
+    faulty.drain_pending().unwrap();
+    assert_eq!(client.pending(), 0);
+    assert_eq!(client.queued_retries(), 0);
+    assert_eq!(
+        client.shed_total(),
+        0,
+        "retry budget must absorb the outage"
+    );
+    assert_eq!(faulty.pending(), 0);
+
+    // A crash-looping consumer dead-letters the two oldest survivors —
+    // their traces must terminate at the DLQ hop.
+    let gf_queue = "gf-SC-queue";
+    const DEAD_LETTERED: u64 = 2;
+    for _ in 0..5 {
+        for delivery in broker.consume(gf_queue, DEAD_LETTERED as usize).unwrap() {
+            broker.nack(gf_queue, delivery.tag, true).unwrap();
+        }
+    }
+
+    let outcome = server.ingest_pending(&app, end, 1_000_000).unwrap();
+    assert_eq!(broker.queue_depth(gf_queue).unwrap(), 0);
+    assert_eq!(outcome.requeued, 0);
+    assert_eq!(outcome.malformed, 0);
+    assert!(outcome.stored > 0);
+    assert!(outcome.quarantined > 0, "outage backlog must arrive late");
+
+    // Assimilation fan-in: every stored document carries its trace id, so
+    // the batch span links the member traces it was computed from.
+    let docs = server.query(&app, &ObservationQuery::new()).unwrap();
+    assert_eq!(docs.len(), outcome.stored);
+    let mut members: Vec<TraceId> = Vec::new();
+    let mut hourly = Vec::new();
+    for doc in &docs {
+        let trace: TraceId = doc["trace"]
+            .as_str()
+            .expect("stored docs carry a trace id")
+            .parse()
+            .expect("trace ids round-trip through storage");
+        members.push(trace);
+        hourly.push(HourlyObservation {
+            at: GeoPoint {
+                lat: doc["lat"].as_f64().unwrap(),
+                lon: doc["lon"].as_f64().unwrap(),
+            },
+            value_db: doc["spl"].as_f64().unwrap(),
+            sigma_db: 1.5,
+            hour: doc["hour"].as_u64().unwrap() as u32,
+        });
+    }
+    let city = CityModel::synthetic(bounds, 4, 30, &mut rng);
+    DiurnalAnalysis::new(Blue::new(4.0, 1_500.0), 8, 8)
+        .run_traced(
+            &NoiseSimulator::new(city),
+            &hourly,
+            &members,
+            "epoch+10h",
+            end.as_millis(),
+        )
+        .unwrap();
+
+    // --- invariant 1: reconstructability --------------------------------
+    assert_eq!(recorder.dropped(), 0, "ring must retain the whole run");
+    let spans = recorder.snapshot();
+    let index = TraceIndex::from_spans(spans.clone());
+    // 600 observation traces plus the one batch fan-in trace.
+    assert_eq!(index.len(), CYCLES as usize + 1);
+    assert!(
+        index.unterminated().is_empty(),
+        "every trace must reach a terminal outcome"
+    );
+    for trace in &expected {
+        let tree = index.get(*trace).expect("observation trace retained");
+        assert_eq!(tree.root().unwrap().hop, Hop::Sensed);
+        let primaries = tree.terminals().filter(|s| !s.duplicate).count();
+        assert_eq!(primaries, 1, "trace {trace} must terminate exactly once");
+    }
+    for member in &members {
+        assert!(expected.contains(member), "batch member is a known trace");
+    }
+
+    // --- invariant 2: attribution equals conservation -------------------
+    let stats = faulty.stats();
+    assert!(stats.dropped > 0 && stats.delayed > 0);
+    assert!(stats.duplicated > 0 && stats.blackholed > 0);
+    let loss = LossAttribution::from_spans(&spans);
+    assert_eq!(
+        loss.copies(Hop::LinkTransmit, Outcome::Dropped),
+        stats.dropped
+    );
+    assert_eq!(
+        loss.copies(Hop::LinkTransmit, Outcome::Blackholed),
+        stats.blackholed
+    );
+    assert_eq!(
+        loss.copies(Hop::BrokerDlq, Outcome::DeadLettered),
+        DEAD_LETTERED
+    );
+    assert_eq!(
+        loss.copies(Hop::Quarantine, Outcome::Quarantined),
+        outcome.quarantined as u64
+    );
+    assert_eq!(loss.copies(Hop::RetryQueue, Outcome::Shed), 0);
+    let stored_spans = spans
+        .iter()
+        .filter(|s| s.hop == Hop::DocstoreWrite && s.outcome == Outcome::Ok)
+        .count();
+    assert_eq!(
+        stored_spans, outcome.stored,
+        "one write span per stored doc"
+    );
+    // The trace-level ledger: each observation's single primary terminal,
+    // summed by outcome, accounts for all 600 — the span-stream view of
+    // the resilience test's zero-silent-loss equation.
+    let mut ok = 0u64;
+    let mut lost = 0u64;
+    for trace in &expected {
+        let terminal = index.get(*trace).unwrap().terminal().unwrap();
+        if terminal.outcome == Outcome::Ok {
+            ok += 1;
+        } else {
+            lost += 1;
+        }
+    }
+    assert_eq!(ok + lost, CYCLES as u64);
+    assert_eq!(lost, loss.total_primary());
+
+    // --- invariant 3: full hop coverage ---------------------------------
+    let waterfall = LatencyWaterfall::from_spans(&spans);
+    assert_eq!(
+        waterfall.hops(),
+        Hop::ALL.to_vec(),
+        "every hop of the taxonomy must appear in the waterfall"
+    );
+    for hop in Hop::ALL {
+        assert!(waterfall.hop(hop).unwrap().count() > 0);
+    }
+    // The outage and the delay line put real sim-time into the queues
+    // (retry spans measure the wait since the *last* re-park, so a lower
+    // bar than the delay line's exponential 5-minute mean).
+    assert!(waterfall.hop(Hop::RetryQueue).unwrap().p95() > 1_000.0);
+    assert!(waterfall.hop(Hop::LinkDelay).unwrap().p95() > 60_000.0);
+}
