@@ -17,9 +17,6 @@
 //!
 //! plus the generic [`Histogram`] kit they are built on.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod accuracy;
 mod delays;
 mod exposure;

@@ -37,9 +37,6 @@
 //! # Ok::<(), mps_assim::AssimError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod blue;
 mod calib;
 mod city;

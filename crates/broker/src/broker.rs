@@ -8,7 +8,7 @@ use mps_telemetry::trace::{
     TRACE_HEADER,
 };
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -72,7 +72,7 @@ struct QueueState {
     ready: VecDeque<(Arc<Message>, u32)>,
     /// Unacked deliveries, keyed by tag, with the delivery count
     /// *including* the in-flight one.
-    unacked: HashMap<u64, (Arc<Message>, u32)>,
+    unacked: BTreeMap<u64, (Arc<Message>, u32)>,
     next_tag: u64,
     capacity: Option<usize>,
     enqueued_total: u64,
@@ -543,6 +543,7 @@ impl Broker {
             let q = state
                 .queues
                 .get_mut(queue_name)
+                // mps-lint: allow(L003) -- accept set was built from existing queues under the same lock; no deletion can interleave
                 .expect("accept set built from existing queues");
             q.ready.push_back((Arc::clone(&shared), 0));
             q.enqueued_total += 1;
@@ -566,8 +567,10 @@ impl Broker {
             .ok_or_else(|| BrokerError::QueueNotFound(queue.into()))?;
         let n = max.min(q.ready.len());
         let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (message, prior_deliveries) = q.ready.pop_front().expect("len checked");
+        while out.len() < n {
+            let Some((message, prior_deliveries)) = q.ready.pop_front() else {
+                break;
+            };
             let tag = q.next_tag;
             q.next_tag += 1;
             q.unacked
@@ -648,11 +651,24 @@ impl Broker {
             return Ok(());
         }
         match dead_letter_to {
-            None => {
-                let q = state.queues.get_mut(queue).expect("queue looked up above");
-                q.ready.push_front((message, attempts));
-                self.metrics.on_requeued();
-            }
+            None => match state.queues.get_mut(queue) {
+                Some(q) => {
+                    q.ready.push_front((message, attempts));
+                    self.metrics.on_requeued();
+                }
+                // The home queue cannot vanish while we hold the lock,
+                // but if it ever did, degrade to a counted drop — never
+                // a panic, never a silent loss.
+                None => {
+                    self.metrics.on_dropped();
+                    trace_message_terminal(
+                        &message,
+                        Hop::BrokerDlq,
+                        Outcome::Dropped,
+                        &[("reason", "queue_vanished"), ("queue", queue)],
+                    );
+                }
+            },
             // Delivery attempts are exhausted: the message leaves its home
             // queue for good. A full or deleted dead-letter queue degrades
             // to a counted drop — never a silent loss.

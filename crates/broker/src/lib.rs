@@ -42,9 +42,6 @@
 //! # Ok::<(), mps_broker::BrokerError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod broker;
 mod error;
 mod message;

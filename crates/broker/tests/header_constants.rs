@@ -1,0 +1,18 @@
+//! Pins `mps-telemetry`'s dependency-free header-key copies to the
+//! canonical constants in `mps_types::headers`.
+//!
+//! Telemetry deliberately has no dependencies, so it cannot import the
+//! shared constants; the L005 waivers on its copies cite this test as
+//! the thing keeping both sides of the wire in agreement.
+
+#[test]
+fn telemetry_header_copies_match_canonical_constants() {
+    assert_eq!(
+        mps_telemetry::trace::TRACE_HEADER,
+        mps_types::headers::TRACE_HEADER
+    );
+    assert_eq!(
+        mps_telemetry::trace::SENT_MS_HEADER,
+        mps_types::headers::SENT_MS_HEADER
+    );
+}

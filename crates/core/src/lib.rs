@@ -26,9 +26,6 @@
 //! assert!(!dataset.observations.is_empty());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod battery_lab;
 mod calibration_study;
 mod config;

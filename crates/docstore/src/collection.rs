@@ -10,7 +10,7 @@ use mps_telemetry::SpanTimer;
 use parking_lot::Mutex;
 use serde_json::Value;
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Sort direction for [`FindOptions`].
@@ -83,7 +83,7 @@ impl FindOptions {
 struct CollectionInner {
     docs: BTreeMap<DocId, Value>,
     next_id: u64,
-    indexes: HashMap<String, PathIndex>,
+    indexes: BTreeMap<String, PathIndex>,
 }
 
 impl CollectionInner {
@@ -149,7 +149,7 @@ impl Collection {
     ///
     /// Returns [`StoreError::NotAnObject`] if `doc` is not a JSON object.
     pub fn insert_one(&self, mut doc: Value) -> Result<DocId, StoreError> {
-        if !doc.is_object() {
+        if doc.as_object_mut().is_none() {
             return Err(StoreError::NotAnObject);
         }
         let metrics = telemetry();
@@ -158,9 +158,9 @@ impl Collection {
         let mut inner = self.inner.lock();
         let id = DocId(inner.next_id);
         inner.next_id += 1;
-        doc.as_object_mut()
-            .expect("checked above")
-            .insert("_id".to_owned(), Value::from(id.0));
+        if let Some(fields) = doc.as_object_mut() {
+            fields.insert("_id".to_owned(), Value::from(id.0));
+        }
         inner.index_doc(id, &doc);
         inner.docs.insert(id, doc);
         Ok(id)
@@ -328,8 +328,13 @@ impl Collection {
                 .map(|(id, _)| *id)
                 .collect(),
         };
+        let mut updated = 0;
         for id in &ids {
-            let mut doc = inner.docs.get(id).expect("id from scan").clone();
+            // Ids were collected under this same lock, so the lookup
+            // cannot miss; skipping is still safer than panicking.
+            let Some(mut doc) = inner.docs.get(id).cloned() else {
+                continue;
+            };
             inner.unindex_doc(*id, &doc);
             let result = update.apply(&mut doc);
             // Re-index whatever state the document is in, then propagate
@@ -337,8 +342,9 @@ impl Collection {
             inner.index_doc(*id, &doc);
             inner.docs.insert(*id, doc);
             result?;
+            updated += 1;
         }
-        Ok(ids.len())
+        Ok(updated)
     }
 
     /// Deletes every document matching `filter`; returns how many were

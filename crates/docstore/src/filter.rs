@@ -224,10 +224,13 @@ impl Filter {
                 clauses.push(Self::parse_path_clause(key, value)?);
             }
         }
-        Ok(if clauses.len() == 1 {
-            clauses.pop().expect("one clause")
-        } else {
-            Filter::And(clauses)
+        Ok(match clauses.pop() {
+            Some(single) if clauses.is_empty() => single,
+            Some(last) => {
+                clauses.push(last);
+                Filter::And(clauses)
+            }
+            None => Filter::True,
         })
     }
 
@@ -304,10 +307,13 @@ impl Filter {
             };
             clauses.push(filter);
         }
-        Ok(if clauses.len() == 1 {
-            clauses.pop().expect("one clause")
-        } else {
-            Filter::And(clauses)
+        Ok(match clauses.pop() {
+            Some(single) if clauses.is_empty() => single,
+            Some(last) => {
+                clauses.push(last);
+                Filter::And(clauses)
+            }
+            None => Filter::True,
         })
     }
 
@@ -346,7 +352,8 @@ impl Filter {
                                     CmpOp::Gte => ord != Ordering::Less,
                                     CmpOp::Lt => ord == Ordering::Less,
                                     CmpOp::Lte => ord != Ordering::Greater,
-                                    _ => unreachable!(),
+                                    // Eq/Ne are handled by the outer arms.
+                                    CmpOp::Eq | CmpOp::Ne => false,
                                 }
                             }
                             _ => false,

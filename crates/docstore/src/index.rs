@@ -41,7 +41,9 @@ impl PartialOrd for IndexKey {
 
 impl Ord for IndexKey {
     fn cmp(&self, other: &Self) -> Ordering {
-        compare_values(&self.0, &other.0).expect("IndexKey wraps only scalar values")
+        compare_values(&self.0, &other.0)
+            // mps-lint: allow(L003) -- IndexKey construction rejects non-scalars, and same-or-cross-type scalars always compare
+            .expect("IndexKey wraps only scalar values")
     }
 }
 

@@ -27,9 +27,6 @@
 //! # Ok::<(), mps_docstore::StoreError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod aggregate;
 mod collection;
 mod error;

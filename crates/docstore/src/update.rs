@@ -137,18 +137,19 @@ impl Update {
                             }
                         }
                         Some(Value::Array(_)) => {
-                            // Re-borrow mutably to push.
-                            let mut current = &mut *doc;
+                            // Re-borrow mutably to push. `get_path`
+                            // verified the full path, so every step
+                            // resolves; if it somehow didn't, the push
+                            // degrades to a no-op instead of a panic.
+                            let mut current = Some(&mut *doc);
                             for segment in path.split('.') {
                                 current = current
-                                    .as_object_mut()
-                                    .and_then(|m| m.get_mut(segment))
-                                    .expect("path verified above");
+                                    .and_then(Value::as_object_mut)
+                                    .and_then(|m| m.get_mut(segment));
                             }
-                            current
-                                .as_array_mut()
-                                .expect("array verified above")
-                                .push(value.clone());
+                            if let Some(array) = current.and_then(Value::as_array_mut) {
+                                array.push(value.clone());
+                            }
                         }
                         Some(_) => {
                             return Err(StoreError::BadUpdate(format!(

@@ -8,7 +8,7 @@ use mps_types::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// A visible transmission failure: the sender *knows* the send did not
 /// happen (unlike an injected drop, which is silent in-flight loss).
@@ -192,18 +192,24 @@ impl<L: Link> FaultyLink<L> {
 
     /// The plan's conservation counters so far.
     pub fn stats(&self) -> FaultStats {
-        self.plan.lock().expect("plan lock").stats()
+        self.plan
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats()
     }
 
     /// Messages currently parked in the delay line.
     pub fn pending(&self) -> usize {
-        self.held.lock().expect("held lock").len()
+        self.held
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether device `device` is online at `now` (delegates to
     /// [`FaultPlan::device_online`], recording denials in the stats).
     pub fn device_online(&self, device: u64, now: SimTime) -> bool {
-        let mut plan = self.plan.lock().expect("plan lock");
+        let mut plan = self.plan.lock().unwrap_or_else(PoisonError::into_inner);
         let online = plan.device_online(device, now);
         if !online {
             plan.note_outage_denial();
@@ -245,7 +251,11 @@ impl<L: Link> FaultyLink<L> {
         now: SimTime,
         contexts: &[TraceContext],
     ) -> Result<LinkReceipt, LinkError> {
-        let action = self.plan.lock().expect("plan lock").decide(route, now);
+        let action = self
+            .plan
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .decide(route, now);
         let now_ms = now.as_millis();
         let recorder = FlightRecorder::global();
         match action {
@@ -288,16 +298,19 @@ impl<L: Link> FaultyLink<L> {
             }
             FaultAction::Delay(by) => {
                 let due = now + by;
-                let mut seq = self.seq.lock().expect("seq lock");
+                let mut seq = self.seq.lock().unwrap_or_else(PoisonError::into_inner);
                 *seq += 1;
-                self.held.lock().expect("held lock").push(Held {
-                    due_ms: due.as_millis(),
-                    seq: *seq,
-                    route: route.to_owned(),
-                    payload: payload.to_vec(),
-                    sent_ms: now_ms,
-                    contexts: contexts.to_vec(),
-                });
+                self.held
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(Held {
+                        due_ms: due.as_millis(),
+                        seq: *seq,
+                        route: route.to_owned(),
+                        payload: payload.to_vec(),
+                        sent_ms: now_ms,
+                        contexts: contexts.to_vec(),
+                    });
                 Ok(LinkReceipt::Delayed { due })
             }
         }
@@ -315,7 +328,7 @@ impl<L: Link> FaultyLink<L> {
         let mut released = 0;
         loop {
             let next = {
-                let mut held = self.held.lock().expect("held lock");
+                let mut held = self.held.lock().unwrap_or_else(PoisonError::into_inner);
                 match held.peek() {
                     Some(h) if h.due_ms <= now_ms => held.pop(),
                     _ => None,
@@ -346,7 +359,10 @@ impl<L: Link> FaultyLink<L> {
                 &msg.payload,
                 &SendTrace::new(msg.due_ms, &released_ctxs),
             ) {
-                self.held.lock().expect("held lock").push(msg);
+                self.held
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(msg);
                 return Err(err);
             }
             released += 1;

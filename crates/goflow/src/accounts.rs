@@ -4,7 +4,7 @@ use crate::GoFlowError;
 use mps_types::{AppId, UserId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Role of a user within an application.
@@ -73,8 +73,8 @@ struct Account {
 #[derive(Debug, Default)]
 struct Inner {
     apps: Vec<AppId>,
-    by_token: HashMap<String, Account>,
-    registered: HashMap<(AppId, UserId), String>,
+    by_token: BTreeMap<String, Account>,
+    registered: BTreeMap<(AppId, UserId), String>,
     next_serial: u64,
 }
 

@@ -135,10 +135,13 @@ impl ObservationQuery {
         if let Some(version) = self.app_version {
             clauses.push(Filter::eq("app_version", version.name()));
         }
-        match clauses.len() {
-            0 => Filter::True,
-            1 => clauses.pop().expect("one clause"),
-            _ => Filter::And(clauses),
+        match clauses.pop() {
+            None => Filter::True,
+            Some(single) if clauses.is_empty() => single,
+            Some(last) => {
+                clauses.push(last);
+                Filter::And(clauses)
+            }
         }
     }
 }

@@ -47,9 +47,6 @@
 //! # Ok::<(), mps_goflow::GoFlowError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod accounts;
 mod analytics;
 pub mod api;

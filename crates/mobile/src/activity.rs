@@ -46,6 +46,7 @@ pub fn activity_chain() -> MarkovChain<Activity> {
         row[i] += STICKINESS;
         rows.push(row);
     }
+    // mps-lint: allow(L003) -- rows form a square stochastic matrix by construction, which MarkovChain::new accepts
     MarkovChain::new(Activity::ALL.to_vec(), rows).expect("valid by construction")
 }
 

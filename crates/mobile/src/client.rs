@@ -284,6 +284,7 @@ impl GoFlowClient {
         }
         let outcome = if self.version.is_buffering() {
             // One batch message carrying the whole buffer.
+            // mps-lint: allow(L003) -- serde_json::to_vec of plain derived-Serialize structs cannot fail
             let payload = serde_json::to_vec(&self.buffer).expect("observations serialize");
             broker.publish(&self.exchange, &self.routing_key, payload)?;
             SendOutcome {
@@ -294,6 +295,7 @@ impl GoFlowClient {
             // One message — one transfer — per observation.
             let mut sent = 0;
             for obs in &self.buffer {
+                // mps-lint: allow(L003) -- serde_json::to_vec of plain derived-Serialize structs cannot fail
                 let payload = serde_json::to_vec(obs).expect("observation serializes");
                 broker.publish(&self.exchange, &self.routing_key, payload)?;
                 sent += 1;
@@ -351,12 +353,11 @@ impl GoFlowClient {
         if self.retry_queue.is_empty() || self.next_retry_at.is_some_and(|due| now < due) {
             return;
         }
-        while let Some(upload) = self.retry_queue.front() {
+        while let Some(mut upload) = self.retry_queue.pop_front() {
             telemetry().retry_attempts.inc();
             let trace = SendTrace::new(now.as_millis(), &upload.contexts);
             match link.send_traced(&self.routing_key, &upload.payload, &trace) {
                 Ok(_) => {
-                    let upload = self.retry_queue.pop_front().expect("front checked");
                     record_retry_spans(&upload, Outcome::Retried, "shipped", now.as_millis());
                     outcome.transfers += 1;
                     outcome.observations += upload.observations;
@@ -367,16 +368,15 @@ impl GoFlowClient {
                 }
                 Err(_) => {
                     telemetry().upload_failures.inc();
-                    let attempts = {
-                        let head = self.retry_queue.front_mut().expect("front checked");
-                        head.attempts += 1;
-                        head.attempts
-                    };
+                    upload.attempts += 1;
+                    let attempts = upload.attempts;
                     if attempts >= self.retry.max_attempts {
-                        let shed = self.retry_queue.pop_front().expect("front checked");
-                        record_retry_spans(&shed, Outcome::Shed, "exhausted", now.as_millis());
-                        self.shed_total += shed.observations as u64;
+                        record_retry_spans(&upload, Outcome::Shed, "exhausted", now.as_millis());
+                        self.shed_total += upload.observations as u64;
                         telemetry().retry_shed.inc();
+                    } else {
+                        // Not exhausted: back at the head, preserving order.
+                        self.retry_queue.push_front(upload);
                     }
                     self.schedule_backoff(attempts, now);
                     return;
@@ -433,6 +433,7 @@ impl GoFlowClient {
             })
             .collect();
         if self.version.is_buffering() {
+            // mps-lint: allow(L003) -- serde_json::to_vec of plain derived-Serialize structs cannot fail
             let payload = serde_json::to_vec(&self.buffer).expect("observations serialize");
             let observations = self.buffer.len();
             self.buffer.clear();
@@ -448,6 +449,7 @@ impl GoFlowClient {
                 .drain(..)
                 .zip(contexts)
                 .map(|(obs, ctx)| PendingUpload {
+                    // mps-lint: allow(L003) -- serde_json::to_vec of plain derived-Serialize structs cannot fail
                     payload: serde_json::to_vec(&obs).expect("observation serializes"),
                     observations: 1,
                     attempts: 0,
@@ -458,15 +460,22 @@ impl GoFlowClient {
         }
     }
 
-    fn park(&mut self, upload: PendingUpload, now_ms: i64) {
-        if self.retry_queue.len() >= self.retry.max_pending {
-            let shed = self.retry_queue.pop_front().expect("non-empty at capacity");
-            record_retry_spans(&shed, Outcome::Shed, "overflow", now_ms);
-            self.shed_total += shed.observations as u64;
-            telemetry().retry_shed.inc();
-        }
-        let mut upload = upload;
+    fn park(&mut self, mut upload: PendingUpload, now_ms: i64) {
         upload.parked_at_ms = now_ms;
+        if self.retry_queue.len() >= self.retry.max_pending {
+            if let Some(shed) = self.retry_queue.pop_front() {
+                record_retry_spans(&shed, Outcome::Shed, "overflow", now_ms);
+                self.shed_total += shed.observations as u64;
+                telemetry().retry_shed.inc();
+            } else {
+                // max_pending == 0: nothing may park, so the fresh
+                // upload itself is the one shed.
+                record_retry_spans(&upload, Outcome::Shed, "overflow", now_ms);
+                self.shed_total += upload.observations as u64;
+                telemetry().retry_shed.inc();
+                return;
+            }
+        }
         self.retry_queue.push_back(upload);
     }
 

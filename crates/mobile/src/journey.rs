@@ -137,6 +137,7 @@ impl Journey {
             }
             walked += leg;
         }
+        // mps-lint: allow(L003) -- Journey::new rejects empty waypoint lists, so last() always resolves
         *self.waypoints.last().expect("non-empty")
     }
 

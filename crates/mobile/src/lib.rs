@@ -44,9 +44,6 @@
 //! assert_eq!(obs.model, DeviceModel::LgeNexus5);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod activity;
 mod battery;
 mod behavior;

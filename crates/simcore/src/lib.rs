@@ -27,9 +27,6 @@
 //! assert_eq!((t.as_millis(), event), (10, "first"));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod markov;
 #[cfg(test)]
 mod proptests;

@@ -1,7 +1,7 @@
 //! Lock-free monotonic counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Arc;
 
 /// A lock-free, monotonically increasing event counter.
 ///
@@ -20,9 +20,19 @@ use std::sync::Arc;
 /// c.add(4);
 /// assert_eq!(c.get(), 5);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Counter {
     value: Arc<AtomicU64>,
+}
+
+// Manual impl: loom's `Arc`/atomics don't implement `Default`, and this
+// type must build identically under `--cfg loom` (see `crate::sync`).
+impl Default for Counter {
+    fn default() -> Self {
+        Self {
+            value: Arc::new(AtomicU64::new(0)),
+        }
+    }
 }
 
 impl Counter {
@@ -47,7 +57,7 @@ impl Counter {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

@@ -1,9 +1,9 @@
 //! Gauges: level-style values with a high watermark.
 
-use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicI64, Ordering};
+use crate::sync::Arc;
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct GaugeInner {
     value: AtomicI64,
     high: AtomicI64,
@@ -28,9 +28,22 @@ struct GaugeInner {
 /// assert_eq!(g.get(), 2);
 /// assert_eq!(g.high_watermark(), 5);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Gauge {
     inner: Arc<GaugeInner>,
+}
+
+// Manual impl: loom's `Arc`/atomics don't implement `Default`, and this
+// type must build identically under `--cfg loom` (see `crate::sync`).
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            inner: Arc::new(GaugeInner {
+                value: AtomicI64::new(0),
+                high: AtomicI64::new(0),
+            }),
+        }
+    }
 }
 
 impl Gauge {
@@ -77,7 +90,7 @@ impl Gauge {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

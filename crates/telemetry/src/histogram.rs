@@ -1,7 +1,7 @@
 //! Fixed-bucket latency histograms with quantile estimates.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Arc;
 
 #[derive(Debug)]
 struct HistogramInner {
@@ -211,7 +211,7 @@ impl Histogram {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

@@ -59,13 +59,11 @@
 //! assert_eq!(pass.count(), 1);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod counter;
 mod gauge;
 mod histogram;
 mod registry;
+mod sync;
 mod timer;
 pub mod trace;
 

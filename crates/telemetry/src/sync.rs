@@ -1,0 +1,22 @@
+//! Synchronisation primitives, switchable to [loom]'s model checker.
+//!
+//! Every lock-free primitive in this crate ([`Counter`](crate::Counter),
+//! [`Gauge`](crate::Gauge), [`Histogram`](crate::Histogram) and the
+//! [`FlightRecorder`](crate::trace::FlightRecorder) ring) imports its
+//! atomics, `Arc` and `Mutex` from here instead of `std::sync`. Under a
+//! normal build this module is a zero-cost re-export of `std::sync`;
+//! under `RUSTFLAGS="--cfg loom"` it re-exports loom's modelled
+//! versions, so `tests/loom.rs` can exhaustively explore thread
+//! interleavings of the exact production code paths.
+//!
+//! The loom dependency itself is declared under
+//! `[target.'cfg(loom)'.dependencies]`, so ordinary builds never compile
+//! (or even download) it and the crate stays dependency-free by default.
+//!
+//! [loom]: https://github.com/tokio-rs/loom
+
+#[cfg(loom)]
+pub(crate) use loom::sync::{atomic, Arc, Mutex};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::{atomic, Arc, Mutex};

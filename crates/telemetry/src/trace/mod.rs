@@ -58,9 +58,17 @@ pub use span::{Hop, Outcome, SpanRecord};
 
 /// The message-header name carrying encoded [`TraceContext`]s across the
 /// broker boundary.
+///
+/// Canonically defined in `mps_types::headers::TRACE_HEADER`; this crate
+/// is dependency-free so it keeps a pinned copy (cross-checked by a test
+/// in `mps-broker`).
+// mps-lint: allow(L005) -- mps-telemetry is dependency-free by design; this copy is pinned to mps_types::headers by a cross-check test in mps-broker
 pub const TRACE_HEADER: &str = "x-trace";
 
 /// The message-header name carrying the sim-clock publish time
 /// (milliseconds since the epoch, decimal) so the consuming hop can
 /// measure queue wait.
+///
+/// Canonically defined in `mps_types::headers::SENT_MS_HEADER`.
+// mps-lint: allow(L005) -- mps-telemetry is dependency-free by design; this copy is pinned to mps_types::headers by a cross-check test in mps-broker
 pub const SENT_MS_HEADER: &str = "x-trace-sent-ms";

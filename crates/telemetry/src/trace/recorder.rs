@@ -1,8 +1,11 @@
 //! The bounded in-memory flight recorder spans land in.
 
 use super::{SpanId, SpanRecord};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock, PoisonError};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
+#[cfg(not(loom))]
+use std::sync::OnceLock;
+use std::sync::PoisonError;
 
 /// Default capacity of the process-wide recorder
 /// ([`FlightRecorder::global`]): 16,384 spans (~2 MiB resident).
@@ -58,6 +61,12 @@ impl FlightRecorder {
     }
 
     /// The process-wide recorder every traced hop reports into.
+    ///
+    /// Absent under `--cfg loom`: loom primitives may only be created
+    /// inside a model run, so the lazily-initialised process-wide
+    /// instance cannot exist there (loom tests build their own
+    /// recorders per model).
+    #[cfg(not(loom))]
     pub fn global() -> &'static FlightRecorder {
         static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
         GLOBAL.get_or_init(|| FlightRecorder::with_capacity(DEFAULT_CAPACITY))
@@ -134,7 +143,7 @@ impl Default for FlightRecorder {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use crate::trace::{Hop, Outcome, TraceId};
@@ -244,6 +253,7 @@ mod tests {
         let r = FlightRecorder::with_capacity(8192);
         let base = SpanRecord::new(TraceId::from_raw(7), Hop::LinkTransmit, 42);
         let n = 100_000u32;
+        #[allow(clippy::disallowed_methods)] // measuring real latency is this test's purpose
         let started = std::time::Instant::now();
         for _ in 0..n {
             r.record(base.clone());

@@ -1,0 +1,19 @@
+//! Canonical message-header keys.
+//!
+//! Extension headers ride on broker messages and must match
+//! byte-for-byte on both sides of the wire: a typo'd key silently drops
+//! trace propagation instead of failing loudly. This module is the one
+//! place in the workspace allowed to spell the `x-…` literals
+//! (enforced by mps-lint L005, `headers_home` in `mps-lint.toml`);
+//! every other crate imports the constants.
+//!
+//! `mps-telemetry` is intentionally dependency-free and therefore keeps
+//! its own (waived) copies of these values; a cross-check test in
+//! `mps-broker` pins the two definitions together.
+
+/// Header carrying encoded trace contexts across the broker boundary.
+pub const TRACE_HEADER: &str = "x-trace";
+
+/// Header carrying the sim-clock publish time (milliseconds since the
+/// epoch, decimal) so the consuming hop can measure queue wait.
+pub const SENT_MS_HEADER: &str = "x-trace-sent-ms";

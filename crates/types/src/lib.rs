@@ -27,12 +27,10 @@
 //! assert_eq!(obs.spl.db(), 55.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod activity;
 mod error;
 mod geo;
+pub mod headers;
 mod id;
 mod location;
 mod model;

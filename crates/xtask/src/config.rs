@@ -1,0 +1,187 @@
+//! The `mps-lint.toml` configuration file.
+//!
+//! The config declares *which crates belong to which discipline* — the
+//! lint rules themselves live in code. A deliberately small TOML subset
+//! is parsed by hand (top-level `key = "string"` and
+//! `key = ["a", "b", …]` entries, `#` comments, arrays may span lines)
+//! so the tool stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parsed `mps-lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Crates (short names, e.g. `broker`) whose non-test code must be
+    /// deterministic: no wall clock, no ambient RNG (L001), no
+    /// order-leaking hash collections (L002).
+    pub sim_path: Vec<String>,
+    /// Crates whose non-test code must not contain panic paths (L003).
+    pub pipeline: Vec<String>,
+    /// Crates scanned for metric registrations (L004).
+    pub metrics: Vec<String>,
+    /// Workspace-relative path of the generated metric inventory.
+    pub metrics_doc: String,
+    /// Workspace-relative path of the canonical header-key constants
+    /// (the one file allowed to contain `x-…` literals, L005).
+    pub headers_home: String,
+    /// Crates skipped entirely (the lint tool itself: its sources and
+    /// tests are full of deliberately-violating examples).
+    pub exclude: Vec<String>,
+}
+
+/// A config-file error with enough context to fix it.
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mps-lint.toml: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Loads and validates the config at `path`.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError(format!("cannot read {}: {e}", path.display())))?;
+        Self::parse(&text)
+    }
+
+    /// Parses config text. See the module docs for the accepted subset.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut values: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut scalars: BTreeMap<String, String> = BTreeMap::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError(format!(
+                    "line {}: expected `key = value`, got `{line}`",
+                    idx + 1
+                )));
+            };
+            let key = key.trim().to_owned();
+            let mut value = value.trim().to_owned();
+            if value.starts_with('[') {
+                // Collect continuation lines until the closing bracket.
+                while !value.contains(']') {
+                    let Some((_, next)) = lines.next() else {
+                        return Err(ConfigError(format!(
+                            "line {}: unterminated array for `{key}`",
+                            idx + 1
+                        )));
+                    };
+                    value.push(' ');
+                    value.push_str(strip_comment(next).trim());
+                }
+                let inner = value
+                    .trim_start_matches('[')
+                    .rsplit_once(']')
+                    .map(|(head, _)| head)
+                    .unwrap_or_default();
+                let items = inner
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|s| parse_string(s, idx + 1, &key))
+                    .collect::<Result<Vec<_>, _>>()?;
+                values.insert(key, items);
+            } else {
+                scalars.insert(key.clone(), parse_string(&value, idx + 1, &key)?);
+            }
+        }
+        let take_list = |key: &str| values.get(key).cloned().unwrap_or_default();
+        let config = Self {
+            sim_path: take_list("sim_path"),
+            pipeline: take_list("pipeline"),
+            metrics: take_list("metrics"),
+            metrics_doc: scalars
+                .get("metrics_doc")
+                .cloned()
+                .unwrap_or_else(|| "docs/METRICS.md".to_owned()),
+            headers_home: scalars
+                .get("headers_home")
+                .cloned()
+                .unwrap_or_else(|| "crates/types/src/headers.rs".to_owned()),
+            exclude: take_list("exclude"),
+        };
+        if config.sim_path.is_empty() {
+            return Err(ConfigError(
+                "`sim_path` must list at least one crate".to_owned(),
+            ));
+        }
+        Ok(config)
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Only strip `#` outside quotes; config values never contain `#`.
+    match line.find('#') {
+        Some(pos)
+            if !line[..pos].contains('"') || line[..pos].matches('"').count().is_multiple_of(2) =>
+        {
+            &line[..pos]
+        }
+        _ => line,
+    }
+}
+
+fn parse_string(raw: &str, line: usize, key: &str) -> Result<String, ConfigError> {
+    let raw = raw.trim();
+    if raw.len() >= 2 && raw.starts_with('"') && raw.ends_with('"') {
+        Ok(raw[1..raw.len() - 1].to_owned())
+    } else {
+        Err(ConfigError(format!(
+            "line {line}: `{key}` values must be double-quoted strings, got `{raw}`"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_lists_scalars_and_comments() {
+        let cfg = Config::parse(
+            r#"
+# sim-path crates
+sim_path = ["simcore", "broker"]
+pipeline = [
+    "broker",  # the broker
+    "goflow",
+]
+metrics = ["broker"]
+metrics_doc = "docs/METRICS.md"
+headers_home = "crates/types/src/headers.rs"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.sim_path, vec!["simcore", "broker"]);
+        assert_eq!(cfg.pipeline, vec!["broker", "goflow"]);
+        assert_eq!(cfg.metrics_doc, "docs/METRICS.md");
+    }
+
+    #[test]
+    fn missing_sim_path_is_an_error() {
+        assert!(Config::parse("pipeline = [\"a\"]").is_err());
+    }
+
+    #[test]
+    fn unquoted_values_are_rejected() {
+        assert!(Config::parse("sim_path = [broker]").is_err());
+    }
+
+    #[test]
+    fn defaults_for_paths() {
+        let cfg = Config::parse("sim_path = [\"a\"]").unwrap();
+        assert_eq!(cfg.metrics_doc, "docs/METRICS.md");
+        assert_eq!(cfg.headers_home, "crates/types/src/headers.rs");
+    }
+}

@@ -1,0 +1,199 @@
+//! `mps-lint` — the workspace invariant checker.
+//!
+//! Run as `cargo run -p xtask -- lint`. The tool lexes every workspace
+//! source file (a small hand-rolled lexer; no external dependencies)
+//! and enforces five invariants the compiler cannot see but the paper's
+//! methodology depends on:
+//!
+//! * **L001 determinism** — no wall clock / ambient RNG in sim-path
+//!   crates;
+//! * **L002 iteration order** — no `HashMap`/`HashSet` in sim-path
+//!   crates;
+//! * **L003 panic paths** — no `unwrap`/`expect`/`panic!` in non-test
+//!   pipeline code;
+//! * **L004 metric hygiene** — literal, convention-conforming metric
+//!   names, no near-duplicates, and a fresh generated `docs/METRICS.md`;
+//! * **L005 header keys** — message-header literals only in the shared
+//!   constants module.
+//!
+//! Violations are waived inline with
+//! `// mps-lint: allow(<id>) -- <justification>`; unjustified (W001)
+//! and unused (W002) waivers are themselves findings. See
+//! `docs/STATIC_ANALYSIS.md` for the rationale and workflow.
+
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod lints;
+pub mod metrics_doc;
+pub mod scan;
+pub mod waivers;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use config::Config;
+use findings::Finding;
+
+/// The result of one lint run.
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// Every finding, waived ones included, sorted by location.
+    pub findings: Vec<Finding>,
+    /// The full rustc-style report.
+    pub report: String,
+    /// The rendered metric inventory (`docs/METRICS.md` content).
+    pub metrics_doc: String,
+    /// Unwaived findings — nonzero means the run failed.
+    pub error_count: usize,
+}
+
+/// Runs every lint over the workspace at `root`.
+///
+/// With `write_metrics_doc` the generated inventory is written to disk
+/// (and the staleness check trivially passes); without it a stale or
+/// missing `docs/METRICS.md` is a finding.
+pub fn run_lint(root: &Path, write_metrics_doc: bool) -> Result<LintOutcome, String> {
+    let config = Config::load(&root.join("mps-lint.toml")).map_err(|e| e.to_string())?;
+    let files = scan::load_workspace(root)
+        .map_err(|e| format!("cannot scan workspace at {}: {e}", root.display()))?;
+    Ok(run_lint_on(&config, &files, root, write_metrics_doc))
+}
+
+/// Runs every lint over already-loaded files. Split out so fixture
+/// tests can lint an in-memory workspace.
+pub fn run_lint_on(
+    config: &Config,
+    files: &[scan::SourceFile],
+    root: &Path,
+    write_metrics_doc: bool,
+) -> LintOutcome {
+    let files: Vec<&scan::SourceFile> = files
+        .iter()
+        .filter(|f| !config.exclude.contains(&f.crate_name))
+        .collect();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut all_waivers = Vec::new();
+    let mut sites = Vec::new();
+
+    for file in &files {
+        lints::l001_determinism::check(file, config, &mut findings);
+        lints::l002_iteration_order::check(file, config, &mut findings);
+        lints::l003_panic_path::check(file, config, &mut findings);
+        lints::l004_metric_hygiene::collect(file, config, &mut sites, &mut findings);
+        lints::l005_header_keys::check(file, config, &mut findings);
+        let (waivers, waiver_findings) = waivers::parse_waivers(&file.rel_path, &file.comments);
+        all_waivers.extend(waivers);
+        findings.extend(waiver_findings);
+    }
+
+    lints::l004_metric_hygiene::check_cross(&sites, &mut findings);
+
+    // Metric inventory: regenerate, then either write it or gate on
+    // the checked-in copy being current.
+    let rendered_doc = metrics_doc::render(&sites);
+    let doc_path = root.join(&config.metrics_doc);
+    if write_metrics_doc {
+        if let Some(parent) = doc_path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&doc_path, &rendered_doc) {
+            findings.push(Finding::new(
+                findings::LintId::L004,
+                &config.metrics_doc,
+                1,
+                1,
+                1,
+                format!("cannot write {}: {e}", config.metrics_doc),
+            ));
+        }
+    } else {
+        let checked_in = std::fs::read_to_string(&doc_path).ok();
+        metrics_doc::check_stale(
+            &rendered_doc,
+            checked_in.as_deref(),
+            &config.metrics_doc,
+            &mut findings,
+        );
+    }
+
+    waivers::apply_waivers(&mut findings, &mut all_waivers);
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint)));
+
+    let by_path: BTreeMap<&str, &scan::SourceFile> =
+        files.iter().map(|f| (f.rel_path.as_str(), *f)).collect();
+    let mut report = String::new();
+    for finding in &findings {
+        let line = by_path
+            .get(finding.file.as_str())
+            .and_then(|f| f.line_text(finding.line));
+        let _ = writeln!(report, "{}", finding.render(line));
+    }
+    let error_count = findings.iter().filter(|f| !f.waived).count();
+    let waived_count = findings.len() - error_count;
+    let _ = writeln!(
+        report,
+        "mps-lint: {} file(s) scanned, {error_count} error(s), {waived_count} waived",
+        files.len()
+    );
+
+    LintOutcome {
+        findings,
+        report,
+        metrics_doc: rendered_doc,
+        error_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scan::SourceFile;
+
+    fn config() -> Config {
+        Config::parse(
+            r#"
+sim_path = ["pipe"]
+pipeline = ["pipe"]
+metrics = ["pipe"]
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_waiver_lifecycle() {
+        let files = vec![SourceFile::parse(
+            "crates/pipe/src/lib.rs",
+            "pipe",
+            "fn f() {\n    // mps-lint: allow(L003) -- invariant: queue is non-empty here\n    x.unwrap();\n    y.unwrap();\n}\n",
+        )];
+        let outcome = run_lint_on(&config(), &files, Path::new("/nonexistent"), false);
+        // Line 3 waived; line 4 not. (The missing metrics doc also
+        // reports, under L004 — filtered out here.)
+        let l003: Vec<_> = outcome
+            .findings
+            .iter()
+            .filter(|f| f.lint == findings::LintId::L003)
+            .collect();
+        assert_eq!(l003.len(), 2);
+        assert!(l003[0].waived);
+        assert!(!l003[1].waived);
+    }
+
+    #[test]
+    fn report_is_rustc_shaped() {
+        let files = vec![SourceFile::parse(
+            "crates/pipe/src/lib.rs",
+            "pipe",
+            "fn f() { let t = Instant::now(); }\n",
+        )];
+        let outcome = run_lint_on(&config(), &files, Path::new("/nonexistent"), false);
+        assert!(outcome.report.contains("error[L001]"));
+        assert!(outcome.report.contains("--> crates/pipe/src/lib.rs:1:18"));
+        assert!(outcome.report.contains("^^^^^^^^^^^^"));
+        assert!(outcome.error_count >= 1);
+    }
+}

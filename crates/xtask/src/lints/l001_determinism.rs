@@ -1,0 +1,149 @@
+//! L001 — determinism: no wall clock or ambient RNG in sim-path code.
+//!
+//! The repo's conservation proofs (`arrived + dropped + blackholed ==
+//! sent + duplicated`, one-terminal-per-trace) are only meaningful if a
+//! seeded scenario replays identically. A single `Instant::now()` or
+//! `thread_rng()` on the sim path silently breaks that: two runs of the
+//! same seed diverge and the offline analysis loses its ground truth.
+//! Sim-path code must take time from the sim clock and randomness from
+//! the splittable seeded RNG in `mps-simcore`.
+
+use crate::config::Config;
+use crate::findings::{Finding, LintId};
+use crate::scan::SourceFile;
+
+const BANNED_PATHS: &[(&[&str], &str)] = &[
+    (
+        &["SystemTime", "::", "now"],
+        "wall-clock read (`SystemTime::now`)",
+    ),
+    (
+        &["Instant", "::", "now"],
+        "wall-clock read (`Instant::now`)",
+    ),
+    (
+        &["rand", "::", "thread_rng"],
+        "ambient RNG (`rand::thread_rng`)",
+    ),
+    (&["thread_rng"], "ambient RNG (`thread_rng`)"),
+    (
+        &["rand", "::", "random"],
+        "ambient RNG (argless `rand::random`)",
+    ),
+];
+
+/// Runs L001 over one file.
+pub fn check(file: &SourceFile, config: &Config, findings: &mut Vec<Finding>) {
+    if !config.sim_path.contains(&file.crate_name) {
+        return;
+    }
+    let tokens = &file.tokens;
+    let mut i = 0;
+    while i < tokens.len() {
+        if file.is_test_line(tokens[i].line) {
+            i += 1;
+            continue;
+        }
+        let mut matched = None;
+        for (path, what) in BANNED_PATHS {
+            // Require a path *start*: not preceded by `::` (so
+            // `rand::thread_rng` doesn't double-report via the bare
+            // `thread_rng` pattern).
+            let preceded_by_path = i >= 2
+                && super::is_punct(tokens, i - 1, ':')
+                && super::is_punct(tokens, i - 2, ':');
+            if preceded_by_path && path.len() == 1 {
+                continue;
+            }
+            if let Some(consumed) = super::match_path(tokens, i, path) {
+                matched = Some((consumed, *what));
+                break;
+            }
+        }
+        if let Some((consumed, what)) = matched {
+            let start = &tokens[i];
+            let end = &tokens[i + consumed - 1];
+            let len = if end.line == start.line {
+                end.col + end.len - start.col
+            } else {
+                start.len
+            };
+            findings.push(
+                Finding::new(
+                    LintId::L001,
+                    &file.rel_path,
+                    start.line,
+                    start.col,
+                    len,
+                    format!(
+                        "{what} in sim-path crate `{}` breaks replay determinism",
+                        file.crate_name
+                    ),
+                )
+                .with_help(
+                    "take time from the sim clock (SimTime) and randomness from the \
+                     seeded splittable RNG in mps-simcore; or waive: \
+                     // mps-lint: allow(L001) -- <why>",
+                ),
+            );
+            i += consumed;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("crates/simpath/src/lib.rs", "simpath", src);
+        let config = Config::parse("sim_path = [\"simpath\"]").unwrap();
+        let mut findings = Vec::new();
+        check(&file, &config, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn flags_instant_and_systemtime() {
+        let findings =
+            run("fn f() { let a = Instant::now(); let b = std::time::SystemTime::now(); }");
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].lint, LintId::L001);
+    }
+
+    #[test]
+    fn flags_thread_rng_once() {
+        let findings = run("fn f() { let r = rand::thread_rng(); }");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn skips_test_code_and_strings() {
+        let findings = run(
+            "fn f() { let s = \"Instant::now\"; }\n#[cfg(test)]\nmod tests { fn t() { let x = Instant::now(); } }\n",
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn skips_non_sim_path_crates() {
+        let file = SourceFile::parse(
+            "crates/other/src/lib.rs",
+            "other",
+            "fn f() { Instant::now(); }",
+        );
+        let config = Config::parse("sim_path = [\"simpath\"]").unwrap();
+        let mut findings = Vec::new();
+        check(&file, &config, &mut findings);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn span_covers_the_whole_path() {
+        let findings = run("fn f() { let t = Instant::now(); }");
+        assert_eq!(findings[0].col, 18);
+        assert_eq!(findings[0].len, "Instant::now".len() as u32);
+    }
+}

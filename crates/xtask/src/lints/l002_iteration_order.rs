@@ -1,0 +1,101 @@
+//! L002 — iteration order: no `HashMap`/`HashSet` in sim-path code.
+//!
+//! `HashMap` iteration order is randomized per process. Anywhere that
+//! order can leak into a message sequence, a stored document, or a
+//! rendered exhibit, two replays of the same seed produce different
+//! byte streams — the silent-heterogeneity failure mode the paper's
+//! offline analysis kept catching. Sim-path crates use `BTreeMap`/
+//! `BTreeSet` (deterministic order, and `Ord` keys are already the
+//! norm here) or drain hash containers through an explicit sort.
+//!
+//! The lint intentionally flags *any* mention of the hash containers in
+//! sim-path non-test code rather than trying to prove a leak: the
+//! burden of proof sits with the waiver, which must explain why order
+//! cannot escape.
+
+use crate::config::Config;
+use crate::findings::{Finding, LintId};
+use crate::lexer::TokenKind;
+use crate::scan::SourceFile;
+
+/// Runs L002 over one file.
+pub fn check(file: &SourceFile, config: &Config, findings: &mut Vec<Finding>) {
+    if !config.sim_path.contains(&file.crate_name) {
+        return;
+    }
+    for token in &file.tokens {
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        let replacement = match token.text.as_str() {
+            "HashMap" => "BTreeMap",
+            "HashSet" => "BTreeSet",
+            _ => continue,
+        };
+        if file.is_test_line(token.line) {
+            continue;
+        }
+        findings.push(
+            Finding::new(
+                LintId::L002,
+                &file.rel_path,
+                token.line,
+                token.col,
+                token.len,
+                format!(
+                    "`{}` in sim-path crate `{}`: iteration order can leak into \
+                     message sequences or stored output",
+                    token.text, file.crate_name
+                ),
+            )
+            .with_help(format!(
+                "use `{replacement}` (deterministic order), drain through an explicit \
+                 sort, or waive with proof order cannot escape: \
+                 // mps-lint: allow(L002) -- <why>"
+            )),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("crates/simpath/src/lib.rs", "simpath", src);
+        let config = Config::parse("sim_path = [\"simpath\"]").unwrap();
+        let mut findings = Vec::new();
+        check(&file, &config, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn flags_hashmap_and_hashset_mentions() {
+        let findings =
+            run("use std::collections::{HashMap, HashSet};\nstruct S { m: HashMap<u32, u32> }\n");
+        assert_eq!(findings.len(), 3);
+        assert!(findings[0].message.contains("HashMap"));
+        assert!(findings[1].message.contains("HashSet"));
+    }
+
+    #[test]
+    fn suggests_btree_equivalents() {
+        let findings = run("type T = HashSet<u8>;");
+        assert!(findings[0].help.as_deref().unwrap().contains("BTreeSet"));
+    }
+
+    #[test]
+    fn skips_tests_and_other_crates() {
+        let findings = run("#[cfg(test)]\nmod tests { use std::collections::HashMap; }\n");
+        assert!(findings.is_empty());
+        let file = SourceFile::parse(
+            "crates/tooling/src/lib.rs",
+            "tooling",
+            "use std::collections::HashMap;",
+        );
+        let config = Config::parse("sim_path = [\"simpath\"]").unwrap();
+        let mut findings = Vec::new();
+        check(&file, &config, &mut findings);
+        assert!(findings.is_empty());
+    }
+}

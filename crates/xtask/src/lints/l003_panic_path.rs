@@ -1,0 +1,108 @@
+//! L003 — panic paths: no `unwrap`/`expect`/`panic!`/`unreachable!` in
+//! non-test pipeline code.
+//!
+//! The paper's deployment lesson: a sensing pipeline ingesting from
+//! thousands of heterogeneous devices sees every malformed input
+//! eventually, and a panic in the broker or ingest path takes the whole
+//! middleware down rather than quarantining one observation. Pipeline
+//! crates return errors (`BrokerError`, `GoFlowError`, …) or degrade
+//! gracefully; genuinely unreachable states carry a waiver explaining
+//! the invariant that protects them.
+
+use crate::config::Config;
+use crate::findings::{Finding, LintId};
+use crate::lexer::TokenKind;
+use crate::scan::SourceFile;
+
+/// Runs L003 over one file.
+pub fn check(file: &SourceFile, config: &Config, findings: &mut Vec<Finding>) {
+    if !config.pipeline.contains(&file.crate_name) {
+        return;
+    }
+    let tokens = &file.tokens;
+    for i in 0..tokens.len() {
+        let token = &tokens[i];
+        if token.kind != TokenKind::Ident || file.is_test_line(token.line) {
+            continue;
+        }
+        let what = match token.text.as_str() {
+            // `.unwrap()` / `.expect(` — method position only, so local
+            // functions named e.g. `unwrap_or_shed` never match.
+            "unwrap" | "expect"
+                if super::is_punct(tokens, i.wrapping_sub(1), '.')
+                    && super::is_punct(tokens, i + 1, '(') =>
+            {
+                format!("`.{}()` can panic", token.text)
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if super::is_punct(tokens, i + 1, '!') =>
+            {
+                format!("`{}!` is a panic path", token.text)
+            }
+            _ => continue,
+        };
+        findings.push(
+            Finding::new(
+                LintId::L003,
+                &file.rel_path,
+                token.line,
+                token.col,
+                token.len,
+                format!(
+                    "{what} in non-test pipeline code (crate `{}`)",
+                    file.crate_name
+                ),
+            )
+            .with_help(
+                "return an error (`?`, `ok_or`, `let … else`), recover explicitly, or \
+                 waive with the protecting invariant: // mps-lint: allow(L003) -- <why>",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("crates/pipe/src/lib.rs", "pipe", src);
+        let config = Config::parse("sim_path = [\"pipe\"]\npipeline = [\"pipe\"]").unwrap();
+        let mut findings = Vec::new();
+        check(&file, &config, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic_unreachable() {
+        let findings =
+            run("fn f() { x.unwrap(); y.expect(\"msg\"); panic!(\"boom\"); unreachable!() }");
+        assert_eq!(findings.len(), 4);
+        assert!(findings.iter().all(|f| f.lint == LintId::L003));
+    }
+
+    #[test]
+    fn ignores_unwrap_or_and_friends() {
+        let findings = run("fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 1); x.unwrap_or_default(); x.expect_err(\"e\"); }");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn ignores_non_method_position() {
+        // A standalone helper named `unwrap` (no receiver dot) is fine.
+        let findings = run("fn unwrap() {} fn g() { unwrap(); }");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn skips_test_mod() {
+        let findings = run("#[cfg(test)]\nmod tests { fn t() { x.unwrap(); panic!(); } }");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn skips_prose_in_comments_and_strings() {
+        let findings = run("/// call `unwrap()` — kidding\nfn f() { let s = \"panic!\"; }");
+        assert!(findings.is_empty());
+    }
+}

@@ -1,0 +1,401 @@
+//! L004 — metric hygiene: naming convention, literal names, and
+//! near-duplicate detection for every series registered with the
+//! telemetry `Registry`.
+//!
+//! The workspace convention is `<crate>_<subsystem>_<name>[_<unit>]`:
+//! counters end in `_total`, histograms name their unit (`_ms`,
+//! `_seconds`, …), and the leading segment is the registering crate.
+//! The paper's Figures 9–21 all hinge on being able to line series up
+//! across layers months later — which dies the moment
+//! `goflow_ingest_late_total` and `goflow_ingest_quarantined_total`
+//! quietly coexist meaning the same thing. Extracted names also feed
+//! the generated `docs/METRICS.md` inventory (staleness-gated in CI).
+
+use crate::config::Config;
+use crate::findings::{Finding, LintId};
+use crate::lexer::{Token, TokenKind};
+use crate::scan::SourceFile;
+
+/// Histogram name suffixes accepted as units.
+const UNITS: &[&str] = &["ms", "seconds", "us", "ns", "bytes", "ratio"];
+
+/// Registration methods on the telemetry `Registry`.
+const METHODS: &[(&str, &str)] = &[
+    ("counter", "counter"),
+    ("counter_labeled", "counter"),
+    ("gauge", "gauge"),
+    ("gauge_labeled", "gauge"),
+    ("histogram", "histogram"),
+    ("histogram_labeled", "histogram"),
+];
+
+/// One extracted metric registration site.
+#[derive(Debug, Clone)]
+pub struct MetricSite {
+    /// The metric name literal.
+    pub name: String,
+    /// `counter`, `gauge` or `histogram`.
+    pub kind: &'static str,
+    /// The help text, when it was a literal.
+    pub help: Option<String>,
+    /// Literal label keys (for `_labeled` variants).
+    pub labels: Vec<String>,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the name literal.
+    pub line: u32,
+    /// 1-based column of the name literal.
+    pub col: u32,
+    /// Caret length (the literal's source width).
+    pub len: u32,
+}
+
+/// Extracts metric registrations from one file, reporting non-literal
+/// names and per-site naming violations.
+pub fn collect(
+    file: &SourceFile,
+    config: &Config,
+    sites: &mut Vec<MetricSite>,
+    findings: &mut Vec<Finding>,
+) {
+    if !config.metrics.contains(&file.crate_name) {
+        return;
+    }
+    let tokens = &file.tokens;
+    for i in 0..tokens.len() {
+        let token = &tokens[i];
+        if token.kind != TokenKind::Ident || file.is_test_line(token.line) {
+            continue;
+        }
+        let Some((_, kind)) = METHODS.iter().find(|(m, _)| *m == token.text) else {
+            continue;
+        };
+        // Method position with an open paren: `.counter(…`.
+        if !(super::is_punct(tokens, i.wrapping_sub(1), '.') && super::is_punct(tokens, i + 1, '('))
+        {
+            continue;
+        }
+        let labeled = token.text.ends_with("_labeled");
+        let args = split_args(tokens, i + 1);
+        let Some(name_arg) = args.first() else {
+            continue;
+        };
+        let name_token = match name_arg {
+            [single] if single.kind == TokenKind::Str => single,
+            _ => {
+                let anchor = name_arg.first().unwrap_or(token);
+                findings.push(
+                    Finding::new(
+                        LintId::L004,
+                        &file.rel_path,
+                        anchor.line,
+                        anchor.col,
+                        anchor.len,
+                        "metric name must be a string literal so the inventory and \
+                         naming rules can see it"
+                            .to_owned(),
+                    )
+                    .with_help(
+                        "inline the name (the Registry deduplicates by name, so \
+                         call-site literals are cheap); or waive: \
+                         // mps-lint: allow(L004) -- <why>",
+                    ),
+                );
+                continue;
+            }
+        };
+        let labels = if labeled {
+            args.get(1).map(|arg| label_keys(arg)).unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        let help_idx = if labeled { 2 } else { 1 };
+        let help = match args.get(help_idx) {
+            Some([single]) if single.kind == TokenKind::Str => Some(single.text.clone()),
+            _ => None,
+        };
+        let site = MetricSite {
+            name: name_token.text.clone(),
+            kind,
+            help,
+            labels,
+            file: file.rel_path.clone(),
+            line: name_token.line,
+            col: name_token.col,
+            len: name_token.len,
+        };
+        check_name(&site, &file.crate_name, findings);
+        sites.push(site);
+    }
+}
+
+/// Per-site naming-convention checks.
+fn check_name(site: &MetricSite, crate_name: &str, findings: &mut Vec<Finding>) {
+    let mut problems: Vec<String> = Vec::new();
+    let name = &site.name;
+    let valid_charset = !name.is_empty()
+        && name.starts_with(|c: char| c.is_ascii_lowercase())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+    if !valid_charset {
+        problems.push("name must match [a-z][a-z0-9_]*".to_owned());
+    } else {
+        let segments: Vec<&str> = name.split('_').collect();
+        if segments.len() < 3 {
+            problems.push(
+                "name must have at least three segments: <crate>_<subsystem>_<name>".to_owned(),
+            );
+        }
+        if segments.first() != Some(&crate_name) {
+            problems.push(format!(
+                "name must be prefixed with the registering crate (`{crate_name}_…`)"
+            ));
+        }
+        let last = segments.last().copied().unwrap_or_default();
+        match site.kind {
+            "counter" if last != "total" => {
+                problems.push("counters must end in `_total`".to_owned());
+            }
+            "histogram" if !UNITS.contains(&last) => {
+                problems.push(format!(
+                    "histograms must end in a unit ({})",
+                    UNITS.join(", ")
+                ));
+            }
+            "gauge" if last == "total" => {
+                problems.push("gauges must not claim the counter suffix `_total`".to_owned());
+            }
+            _ => {}
+        }
+    }
+    for key in &site.labels {
+        let ok = key.starts_with(|c: char| c.is_ascii_lowercase())
+            && key
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+        if !ok {
+            problems.push(format!("label key `{key}` must match [a-z][a-z0-9_]*"));
+        }
+    }
+    for problem in problems {
+        findings.push(
+            Finding::new(
+                LintId::L004,
+                &site.file,
+                site.line,
+                site.col,
+                site.len,
+                format!("metric `{name}`: {problem}"),
+            )
+            .with_help(
+                "follow `<crate>_<subsystem>_<name>[_<unit>|_total]` \
+                 (see docs/METRICS.md for the live inventory)",
+            ),
+        );
+    }
+}
+
+/// Cross-site checks: kind conflicts and near-duplicate names.
+pub fn check_cross(sites: &[MetricSite], findings: &mut Vec<Finding>) {
+    // Kind conflicts: one name, two kinds.
+    let mut by_name: std::collections::BTreeMap<&str, &MetricSite> =
+        std::collections::BTreeMap::new();
+    for site in sites {
+        match by_name.get(site.name.as_str()) {
+            None => {
+                by_name.insert(&site.name, site);
+            }
+            Some(first) if first.kind != site.kind => {
+                findings.push(
+                    Finding::new(
+                        LintId::L004,
+                        &site.file,
+                        site.line,
+                        site.col,
+                        site.len,
+                        format!(
+                            "metric `{}` registered as {} here but as {} at {}:{}",
+                            site.name, site.kind, first.kind, first.file, first.line
+                        ),
+                    )
+                    .with_help("one metric name must keep one kind everywhere"),
+                );
+            }
+            Some(_) => {}
+        }
+    }
+    // Near-duplicates: same kind, distinct names that differ by one
+    // edit or only by their final segment.
+    let mut names: Vec<&MetricSite> = by_name.values().copied().collect();
+    names.sort_by_key(|s| s.name.as_str());
+    for (i, a) in names.iter().enumerate() {
+        for b in names.iter().skip(i + 1) {
+            if a.kind != b.kind || a.name == b.name {
+                continue;
+            }
+            let stem = |n: &str| n.rsplit_once('_').map(|(s, _)| s.to_owned());
+            let near = super::levenshtein(&a.name, &b.name) <= 1
+                || (stem(&a.name).is_some() && stem(&a.name) == stem(&b.name));
+            if near {
+                findings.push(
+                    Finding::new(
+                        LintId::L004,
+                        &b.file,
+                        b.line,
+                        b.col,
+                        b.len,
+                        format!(
+                            "metric `{}` is a near-duplicate of `{}` ({}:{}) — two names \
+                             for one series fragment dashboards",
+                            b.name, a.name, a.file, a.line
+                        ),
+                    )
+                    .with_help(
+                        "converge on one name (prefer labels over name suffixes for \
+                         variants); or waive: // mps-lint: allow(L004) -- <why>",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Splits the argument tokens of a call, given the index of the opening
+/// `(`. Returns top-level comma-separated argument slices.
+fn split_args(tokens: &[Token], open: usize) -> Vec<&[Token]> {
+    let mut args = Vec::new();
+    let mut depth = 0usize;
+    let mut start = open + 1;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    if i > start {
+                        args.push(&tokens[start..i]);
+                    }
+                    break;
+                }
+            }
+            "," if depth == 1 => {
+                args.push(&tokens[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Extracts literal label keys from `&[("key", value), …]` tokens.
+fn label_keys(arg: &[Token]) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut i = 0;
+    while i < arg.len() {
+        if arg[i].text == "(" {
+            if let Some(next) = arg.get(i + 1) {
+                if next.kind == TokenKind::Str {
+                    keys.push(next.text.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (Vec<MetricSite>, Vec<Finding>) {
+        let file = SourceFile::parse("crates/broker/src/metrics.rs", "broker", src);
+        let config = Config::parse("sim_path = [\"broker\"]\nmetrics = [\"broker\"]").unwrap();
+        let mut sites = Vec::new();
+        let mut findings = Vec::new();
+        collect(&file, &config, &mut sites, &mut findings);
+        (sites, findings)
+    }
+
+    #[test]
+    fn extracts_name_kind_help_and_labels() {
+        let (sites, findings) = run(r#"fn f(r: &Registry) {
+                r.counter("broker_core_published_total", "Messages published");
+                r.counter_labeled("broker_core_dropped_total", &[("reason", "full")], "Dropped");
+                r.histogram("broker_core_route_seconds", "Routing time", &[0.1]);
+            }"#);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[0].kind, "counter");
+        assert_eq!(sites[0].help.as_deref(), Some("Messages published"));
+        assert_eq!(sites[1].labels, vec!["reason"]);
+        assert_eq!(sites[2].kind, "histogram");
+    }
+
+    #[test]
+    fn flags_bad_prefix_suffix_and_charset() {
+        let (_, findings) = run(r#"fn f(r: &Registry) {
+                r.counter("goflow_core_published_total", "wrong crate");
+                r.counter("broker_core_published", "no _total");
+                r.histogram("broker_core_route", "no unit", &[0.1]);
+                r.gauge("broker_core_depth_total", "gauge with _total");
+                r.counter("Broker_Bad-Name", "bad charset");
+                r.counter("broker_short", "two segments");
+            }"#);
+        let messages: Vec<_> = findings.iter().map(|f| f.message.clone()).collect();
+        assert!(messages
+            .iter()
+            .any(|m| m.contains("prefixed with the registering crate")));
+        assert!(messages.iter().any(|m| m.contains("end in `_total`")));
+        assert!(messages.iter().any(|m| m.contains("end in a unit")));
+        assert!(messages.iter().any(|m| m.contains("must not claim")));
+        assert!(messages.iter().any(|m| m.contains("[a-z][a-z0-9_]*")));
+        assert!(messages.iter().any(|m| m.contains("three segments")));
+    }
+
+    #[test]
+    fn flags_non_literal_names() {
+        let (sites, findings) = run("fn f(r: &Registry, n: &str) { r.counter(n, \"help\"); }");
+        assert!(sites.is_empty());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("string literal"));
+    }
+
+    #[test]
+    fn near_duplicates_and_kind_conflicts() {
+        let (sites, mut findings) = run(r#"fn f(r: &Registry) {
+                r.counter("broker_core_dropped_total", "a");
+                r.counter("broker_core_droped_total", "typo twin");
+                r.gauge("broker_core_dropped_total", "kind conflict");
+            }"#);
+        check_cross(&sites, &mut findings);
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("near-duplicate")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("registered as gauge")));
+    }
+
+    #[test]
+    fn count_plus_duration_stems_are_allowed() {
+        let (sites, mut findings) = run(r#"fn f(r: &Registry) {
+                r.counter("broker_core_find_total", "count");
+                r.histogram("broker_core_find_seconds", "duration", &[0.1]);
+            }"#);
+        check_cross(&sites, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let (sites, findings) =
+            run("#[cfg(test)]\nmod tests { fn t(r: &Registry) { r.counter(\"x\", \"y\"); } }");
+        assert!(sites.is_empty());
+        assert!(findings.is_empty());
+    }
+}

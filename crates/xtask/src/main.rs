@@ -1,0 +1,92 @@
+//! CLI entry point: `cargo run -p xtask -- lint [options]`.
+
+// A CLI's job is to print.
+#![allow(clippy::print_stdout)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cargo run -p xtask -- lint [options]
+
+Runs mps-lint, the workspace invariant checker (L001–L005).
+
+options:
+  --write-metrics-doc   regenerate docs/METRICS.md instead of gating on it
+  --report <path>       also write the full report to <path>
+  --root <path>         workspace root (default: current directory)
+  -h, --help            this message
+
+exit status: 0 clean, 1 findings, 2 usage or config error
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if command == "-h" || command == "--help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if command != "lint" {
+        eprintln!("unknown command `{command}`\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut write_metrics_doc = false;
+    let mut report_path: Option<PathBuf> = None;
+    let mut root = PathBuf::from(".");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--write-metrics-doc" => write_metrics_doc = true,
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--report needs a path\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown option `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let outcome = match xtask::run_lint(&root, write_metrics_doc) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("mps-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", outcome.report);
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(&path, &outcome.report) {
+            eprintln!("mps-lint: cannot write report to {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if outcome.error_count > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,165 @@
+//! Fixture tests: `mps-lint` run end-to-end over two checked-in mini
+//! workspaces.
+//!
+//! * `tests/fixtures/violations` — every rule fires at least once,
+//!   every waiver behaviour (justified, unjustified, unused) is
+//!   exercised, and the checked-in `docs/METRICS.md` is deliberately
+//!   stale. The full findings list is snapshotted in `expected.txt`.
+//! * `tests/fixtures/clean` — a conforming crate: ordered collections,
+//!   no panic paths, convention-conforming metric names, header
+//!   literals confined to `headers_home`, a current metrics doc, and
+//!   exactly one justified-and-used waiver.
+
+use std::path::{Path, PathBuf};
+use xtask::findings::LintId;
+use xtask::LintOutcome;
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint(name: &str) -> LintOutcome {
+    xtask::run_lint(&fixture_root(name), false).expect("fixture workspace lints")
+}
+
+#[test]
+fn violations_fixture_matches_expected_findings() {
+    let outcome = lint("violations");
+    let got: Vec<String> = outcome
+        .findings
+        .iter()
+        .map(|f| {
+            if f.waived {
+                format!("{} (waived)", f.compact())
+            } else {
+                f.compact()
+            }
+        })
+        .collect();
+    let expected_path = fixture_root("violations").join("expected.txt");
+    let expected = std::fs::read_to_string(&expected_path).expect("expected.txt");
+    let expected: Vec<&str> = expected.lines().collect();
+    assert_eq!(
+        got, expected,
+        "findings diverged from the snapshot; if the change is intended, \
+         update tests/fixtures/violations/expected.txt"
+    );
+    assert_eq!(outcome.error_count, 15);
+}
+
+#[test]
+fn violations_fixture_fires_every_rule() {
+    let outcome = lint("violations");
+    for id in [
+        LintId::L001,
+        LintId::L002,
+        LintId::L003,
+        LintId::L004,
+        LintId::L005,
+        LintId::W001,
+        LintId::W002,
+    ] {
+        assert!(
+            outcome.findings.iter().any(|f| f.lint == id),
+            "fixture should trigger {id}"
+        );
+    }
+}
+
+#[test]
+fn spans_are_token_accurate() {
+    let outcome = lint("violations");
+    // `Instant::now` on line 12: the span covers the whole banned path.
+    let l001 = outcome
+        .findings
+        .iter()
+        .find(|f| f.lint == LintId::L001)
+        .expect("L001 fires");
+    assert_eq!((l001.line, l001.col), (12, 20));
+    assert_eq!(l001.len, "Instant::now".len() as u32);
+    // `.unwrap()` on line 13: the span covers exactly the method name.
+    let l003 = outcome
+        .findings
+        .iter()
+        .find(|f| f.lint == LintId::L003)
+        .expect("L003 fires");
+    assert_eq!((l003.line, l003.col), (13, 43));
+    assert_eq!(l003.len, "unwrap".len() as u32);
+    // The report quotes the offending source line with a caret run of
+    // the span's width directly underneath.
+    assert!(outcome
+        .report
+        .contains("let first = queue.get(\"x-request-id\").unwrap();"));
+    assert!(outcome.report.contains("^^^^^^\n"));
+}
+
+#[test]
+fn waiver_lifecycle_is_reported() {
+    let outcome = lint("violations");
+    let waived: Vec<_> = outcome.findings.iter().filter(|f| f.waived).collect();
+    assert_eq!(
+        waived.len(),
+        2,
+        "justified + unjustified waivers both suppress"
+    );
+    // The justified waiver carries its justification; the unjustified
+    // one does not (and W001 reports it).
+    assert!(waived.iter().any(
+        |f| f.justification.as_deref() == Some("fixture: values is non-empty by construction")
+    ));
+    assert!(waived.iter().any(|f| f.justification.is_none()));
+    let w001 = outcome
+        .findings
+        .iter()
+        .find(|f| f.lint == LintId::W001)
+        .expect("W001 fires");
+    assert_eq!(w001.line, 28);
+    let w002 = outcome
+        .findings
+        .iter()
+        .find(|f| f.lint == LintId::W002)
+        .expect("W002 fires");
+    assert_eq!(w002.line, 34);
+}
+
+#[test]
+fn stale_metrics_doc_is_an_error() {
+    let outcome = lint("violations");
+    let stale = outcome
+        .findings
+        .iter()
+        .find(|f| f.lint == LintId::L004 && f.file == "docs/METRICS.md")
+        .expect("stale doc gate fires");
+    assert!(!stale.waived);
+    assert!(stale.message.contains("stale"));
+}
+
+#[test]
+fn clean_fixture_has_no_errors() {
+    let outcome = lint("clean");
+    assert_eq!(
+        outcome.error_count, 0,
+        "clean fixture should pass:\n{}",
+        outcome.report
+    );
+    // Its one waiver is justified, used, and reported as waived.
+    assert_eq!(outcome.findings.len(), 1);
+    let waived = &outcome.findings[0];
+    assert!(waived.waived);
+    assert_eq!(waived.lint, LintId::L003);
+    assert!(waived.justification.is_some());
+}
+
+#[test]
+fn clean_fixture_metrics_doc_is_current() {
+    let outcome = lint("clean");
+    let checked_in =
+        std::fs::read_to_string(fixture_root("clean").join("docs/METRICS.md")).expect("doc");
+    assert_eq!(outcome.metrics_doc, checked_in);
+    assert!(outcome
+        .metrics_doc
+        .contains("`sensor_pipe_delay_ms` | histogram"));
+    assert!(outcome.metrics_doc.contains("`reason`"));
+}

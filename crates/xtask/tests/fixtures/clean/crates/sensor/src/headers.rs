@@ -1,0 +1,8 @@
+//! The fixture's canonical header-key constants module — the one file
+//! (`headers_home` in mps-lint.toml) allowed to contain `x-…` literals.
+
+/// Correlates a sensed observation across pipeline hops.
+pub const TRACE_HEADER: &str = "x-trace";
+
+/// Device-side send timestamp, milliseconds.
+pub const SENT_MS_HEADER: &str = "x-trace-sent-ms";

@@ -7,6 +7,9 @@
 //! cargo run --release --example citizen_journey
 //! ```
 
+// Examples exist to print.
+#![allow(clippy::print_stdout)]
+
 use soundcity::analytics::ExposureReport;
 use soundcity::assim::{CrowdCalibrator, CrowdObservation, Grid};
 use soundcity::broker::Broker;

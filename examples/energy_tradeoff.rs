@@ -8,6 +8,9 @@
 //! cargo run --release --example energy_tradeoff
 //! ```
 
+// Examples exist to print.
+#![allow(clippy::print_stdout)]
+
 use soundcity::core::{BatteryLab, BatteryScenario};
 use soundcity::mobile::{BatteryModel, BatteryParams, RadioKind};
 use soundcity::types::SimDuration;

@@ -10,6 +10,9 @@
 //! cargo run --release --example middleware_tour
 //! ```
 
+// Examples exist to print.
+#![allow(clippy::print_stdout)]
+
 use serde_json::json;
 use soundcity::broker::Broker;
 use soundcity::docstore::Store;

@@ -9,6 +9,9 @@
 //! cargo run --release --example noise_map
 //! ```
 
+// Examples exist to print.
+#![allow(clippy::print_stdout)]
+
 use soundcity::assim::{Blue, CityModel, ComplaintProcess, Grid, NoiseSimulator, PointObservation};
 use soundcity::core::{CalibrationStrategy, CalibrationStudy};
 use soundcity::simcore::SimRng;

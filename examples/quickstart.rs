@@ -5,6 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Examples exist to print.
+#![allow(clippy::print_stdout)]
+
 use soundcity::analytics::{ActivityReport, ModelTable, ProviderByModeReport};
 use soundcity::core::{Deployment, ExperimentConfig};
 use soundcity::types::{Activity, LocationProvider, SensingMode};
