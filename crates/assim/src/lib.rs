@@ -14,7 +14,10 @@
 //!   its noise map by energy summation with geometric attenuation.
 //! * [`Blue`] — the Best Linear Unbiased Estimator analysis with a
 //!   Balgovind background covariance and per-observation error variances:
-//!   `x_a = x_b + B Hᵀ (H B Hᵀ + R)⁻¹ (y − H x_b)`.
+//!   `x_a = x_b + B Hᵀ (H B Hᵀ + R)⁻¹ (y − H x_b)`. For large
+//!   observation sets, [`Blue::analyse_localized`] trades one global
+//!   solve for many small per-tile solves under a [`Localization`]
+//!   cutoff (see `docs/PERFORMANCE.md`).
 //! * [`CalibrationDatabase`] — the per-model calibration store fed by
 //!   "calibration parties" (co-located phone vs reference measurements,
 //!   Section 5.2), used to de-bias observations and set their error
@@ -52,7 +55,7 @@ mod planning;
 mod proptests;
 mod telemetry;
 
-pub use blue::{Blue, PointObservation};
+pub use blue::{Blue, Localization, PointObservation};
 pub use calib::{CalibrationDatabase, ModelCalibration};
 pub use city::{CityModel, Road, Venue};
 pub use complaints::ComplaintProcess;

@@ -95,7 +95,12 @@ impl Matrix {
     }
 
     /// Solves `self · x = b` for a symmetric positive-definite matrix via
-    /// Cholesky decomposition.
+    /// unblocked Cholesky decomposition.
+    ///
+    /// This is the retained straight-line reference implementation; the
+    /// hot paths call [`Matrix::solve_spd_blocked`], whose factorization
+    /// visits the same arithmetic in a cache-friendlier order. The two are
+    /// held equal by a property test.
     ///
     /// # Errors
     ///
@@ -127,26 +132,104 @@ impl Matrix {
                 }
             }
         }
-        // Forward substitution: L y = b.
-        let mut y = vec![0.0f64; n];
-        for i in 0..n {
-            let mut sum = b[i];
-            for k in 0..i {
-                sum -= l[i * n + k] * y[k];
-            }
-            y[i] = sum / l[i * n + i];
-        }
-        // Back substitution: Lᵀ x = y.
-        let mut x = vec![0.0f64; n];
-        for i in (0..n).rev() {
-            let mut sum = y[i];
-            for k in (i + 1)..n {
-                sum -= l[k * n + i] * x[k];
-            }
-            x[i] = sum / l[i * n + i];
-        }
-        Ok(x)
+        Ok(substitute(&l, n, b))
     }
+
+    /// Solves `self · x = b` via a blocked (right-looking) Cholesky
+    /// factorization.
+    ///
+    /// The factorization proceeds in panels of [`CHOLESKY_BLOCK`] columns:
+    /// factor the diagonal block, triangular-solve the panel below it,
+    /// then rank-update the trailing submatrix. The trailing update — the
+    /// O(n³) bulk of the work — runs over contiguous row slices, so it
+    /// stays in cache where the unblocked column sweep thrashes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssimError::SingularCovariance`] when the matrix is not
+    /// positive definite (within a small tolerance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len() != self.rows()`.
+    pub fn solve_spd_blocked(&self, b: &[f64]) -> Result<Vec<f64>, AssimError> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs dimension mismatch");
+        let n = self.rows;
+        let mut l = self.data.clone();
+        for k0 in (0..n).step_by(CHOLESKY_BLOCK) {
+            let k1 = (k0 + CHOLESKY_BLOCK).min(n);
+            // Factor the diagonal block in place (columns < k0 have
+            // already been folded in by earlier trailing updates).
+            for i in k0..k1 {
+                for j in k0..=i {
+                    let mut sum = l[i * n + j];
+                    for k in k0..j {
+                        sum -= l[i * n + k] * l[j * n + k];
+                    }
+                    if i == j {
+                        if sum <= 1e-12 {
+                            return Err(AssimError::SingularCovariance);
+                        }
+                        l[i * n + i] = sum.sqrt();
+                    } else {
+                        l[i * n + j] = sum / l[j * n + j];
+                    }
+                }
+            }
+            // Triangular solve of the panel below the diagonal block:
+            // L[k1.., k0..k1] ← A[k1.., k0..k1] · L[k0..k1, k0..k1]⁻ᵀ.
+            for i in k1..n {
+                for j in k0..k1 {
+                    let mut sum = l[i * n + j];
+                    for k in k0..j {
+                        sum -= l[i * n + k] * l[j * n + k];
+                    }
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+            // Rank-k1−k0 update of the trailing submatrix (lower half):
+            // A[i][j] −= Σ_p L[i][p] · L[j][p], contiguous in p.
+            for i in k1..n {
+                for j in k1..=i {
+                    let mut sum = 0.0;
+                    for k in k0..k1 {
+                        sum -= l[i * n + k] * l[j * n + k];
+                    }
+                    l[i * n + j] += sum;
+                }
+            }
+        }
+        Ok(substitute(&l, n, b))
+    }
+}
+
+/// Panel width of the blocked Cholesky factorization. Three 48×48 `f64`
+/// panels (~55 KiB) fit comfortably in a typical L2 cache.
+const CHOLESKY_BLOCK: usize = 48;
+
+/// Forward/backward substitution through a lower-triangular Cholesky
+/// factor stored row-major in `l` (upper entries ignored).
+fn substitute(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    x
 }
 
 #[cfg(test)]
@@ -187,6 +270,36 @@ mod tests {
         for (u, v) in back.iter().zip(&b) {
             assert!((u - v).abs() < 1e-9, "{u} vs {v}");
         }
+    }
+
+    #[test]
+    fn blocked_solve_agrees_with_unblocked_across_block_boundaries() {
+        // Sizes straddling multiples of the panel width exercise the
+        // diagonal-factor, panel-solve and trailing-update paths.
+        for n in [1usize, 2, 5, 47, 48, 49, 96, 101] {
+            let m = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 7) % 17) as f64 / 17.0);
+            let a = Matrix::from_fn(n, n, |i, j| {
+                let dot: f64 = (0..n).map(|k| m.get(i, k) * m.get(j, k)).sum();
+                dot + if i == j { 2.0 } else { 0.0 }
+            });
+            let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+            let reference = a.solve_spd(&b).unwrap();
+            let blocked = a.solve_spd_blocked(&b).unwrap();
+            for (u, v) in blocked.iter().zip(&reference) {
+                assert!((u - v).abs() < 1e-9, "n={n}: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_solve_rejects_non_spd() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, -1.0);
+        assert_eq!(
+            a.solve_spd_blocked(&[1.0, 1.0]).unwrap_err(),
+            AssimError::SingularCovariance
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! In-crate property tests over assimilation invariants.
 
-use crate::{Blue, Grid, PointObservation};
+use crate::{Blue, Grid, Localization, Matrix, PointObservation};
 use mps_types::{GeoBounds, GeoPoint};
 use proptest::prelude::*;
 
@@ -78,5 +78,63 @@ proptest! {
             blue.analyse(&grid, &obs).unwrap().sample(GeoPoint::PARIS).unwrap()
         };
         prop_assert!(pull(sigma1) >= pull(sigma1 + extra) - 1e-9);
+    }
+
+    #[test]
+    fn blocked_solve_equals_unblocked_reference(
+        n in 1usize..60,
+        seed in any::<u64>(),
+    ) {
+        // The blocked Cholesky must agree with the retained unblocked
+        // reference on arbitrary well-conditioned SPD systems.
+        let mut x = seed | 1;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((x >> 33) % 1000) as f64 / 500.0 - 1.0
+        };
+        let m = Matrix::from_fn(n, n, |_, _| next());
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let dot: f64 = (0..n).map(|k| m.get(i, k) * m.get(j, k)).sum();
+            dot + if i == j { 1.0 } else { 0.0 }
+        });
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7).cos() * 10.0).collect();
+        let reference = a.solve_spd(&b).unwrap();
+        let blocked = a.solve_spd_blocked(&b).unwrap();
+        for (u, v) in blocked.iter().zip(&reference) {
+            prop_assert!((u - v).abs() < 1e-8, "{} vs {}", u, v);
+        }
+    }
+
+    #[test]
+    fn localized_blue_stays_within_tolerance_of_global(
+        obs_spec in prop::collection::vec(
+            (0.05f64..0.95, 0.05f64..0.95, 40.0f64..70.0, 1.0f64..4.0),
+            1..20,
+        ),
+        radius in 300.0f64..800.0,
+        tile in 3usize..10,
+    ) {
+        // Observation-space localization at the default 8-radii cutoff
+        // must stay within 0.1 dB of the global analysis, cell by cell.
+        let background = Grid::constant(bounds(), 24, 24, 50.0);
+        let blue = Blue::new(4.0, radius);
+        let observations: Vec<PointObservation> = obs_spec
+            .iter()
+            .map(|&(u, v, db, sigma)| {
+                PointObservation::new(bounds().lerp(u, v), db, sigma)
+            })
+            .collect();
+        let global = blue.analyse(&background, &observations).unwrap();
+        let localization = Localization::for_radius(radius).tile(tile).threads(2);
+        let localized = blue
+            .analyse_localized(&background, &observations, &localization)
+            .unwrap();
+        let max_dev = global
+            .values()
+            .iter()
+            .zip(localized.values())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        prop_assert!(max_dev <= 0.1, "max deviation {} dB", max_dev);
     }
 }

@@ -14,6 +14,10 @@ pub(crate) struct AssimTelemetry {
     pub(crate) blue_passes: Counter,
     /// Observations merged into analyses across all BLUE passes.
     pub(crate) blue_observations_merged: Counter,
+    /// BLUE passes that ran with observation-space localization.
+    pub(crate) blue_localized_passes: Counter,
+    /// Per-tile innovation solves across all localized BLUE passes.
+    pub(crate) blue_tile_solves: Counter,
     /// Wall-clock duration of one BLUE pass, in seconds.
     pub(crate) blue_pass_seconds: Histogram,
     /// Diurnal (hourly or static) assimilation runs.
@@ -35,6 +39,14 @@ pub(crate) fn telemetry() -> &'static AssimTelemetry {
             blue_observations_merged: registry.counter(
                 "assim_blue_observations_merged_total",
                 "Observations merged into analyses across all BLUE passes",
+            ),
+            blue_localized_passes: registry.counter(
+                "assim_blue_localized_passes_total",
+                "BLUE passes that ran with observation-space localization",
+            ),
+            blue_tile_solves: registry.counter(
+                "assim_blue_tile_solves_total",
+                "Per-tile innovation solves across localized BLUE passes",
             ),
             blue_pass_seconds: registry.histogram(
                 "assim_blue_pass_seconds",
@@ -66,6 +78,8 @@ mod tests {
         for name in [
             "assim_blue_passes_total",
             "assim_blue_observations_merged_total",
+            "assim_blue_localized_passes_total",
+            "assim_blue_tile_solves_total",
             "assim_blue_pass_seconds",
             "assim_hourly_runs_total",
             "assim_hourly_run_seconds",

@@ -2,7 +2,7 @@
 //! analysis, swept over grid size and observation count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mps_assim::{Blue, CityModel, Grid, NoiseSimulator, PointObservation};
+use mps_assim::{Blue, CityModel, Grid, Localization, NoiseSimulator, PointObservation};
 use mps_simcore::SimRng;
 use mps_types::GeoBounds;
 
@@ -66,10 +66,37 @@ fn bench_blue_vs_grid_size(c: &mut Criterion) {
     let _ = city;
 }
 
+/// Observation-space localization against the global solve — the
+/// comparison behind `BENCH_pipeline.json`'s `blue_analysis` entries.
+fn bench_blue_localized_vs_global(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blue_localization");
+    group.sample_size(10);
+    let mut rng = SimRng::new(6);
+    let city = CityModel::synthetic(GeoBounds::paris(), 5, 40, &mut rng);
+    let truth = NoiseSimulator::new(city).simulate(32, 32);
+    let background = Grid::constant(GeoBounds::paris(), 32, 32, truth.mean());
+    let blue = Blue::new(4.0, 150.0);
+    let localization = Localization::for_radius(150.0).tile(4);
+    for m in [100usize, 500] {
+        let obs = observations(m, &truth, 7);
+        group.bench_with_input(BenchmarkId::new("localized", m), &m, |b, _| {
+            b.iter(|| {
+                blue.analyse_localized(&background, &obs, &localization)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("global", m), &m, |b, _| {
+            b.iter(|| blue.analyse(&background, &obs).unwrap())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_forward_model,
     bench_blue_vs_observation_count,
-    bench_blue_vs_grid_size
+    bench_blue_vs_grid_size,
+    bench_blue_localized_vs_global
 );
 criterion_main!(benches);

@@ -3,7 +3,8 @@
 //! client-exchange topology).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use mps_broker::{topic_matches, Broker, ExchangeType};
+use mps_bench::baseline::routing_patterns;
+use mps_broker::{topic_matches, Broker, CompiledPattern, ExchangeType, TopicTrie};
 
 fn bench_topic_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("topic_matching");
@@ -17,6 +18,35 @@ fn bench_topic_matching(c: &mut Criterion) {
     for (name, pattern, key) in cases {
         group.bench_function(name, |b| {
             b.iter(|| topic_matches(black_box(pattern), black_box(key)))
+        });
+    }
+    group.finish();
+}
+
+/// Trie-indexed routing against the retained naive pattern scan — the
+/// comparison behind `BENCH_pipeline.json`'s `broker_routing` entries.
+fn bench_trie_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_index");
+    for n in [10usize, 100, 1_000] {
+        let patterns = routing_patterns(n);
+        let mut trie = TopicTrie::new();
+        for (id, p) in patterns.iter().enumerate() {
+            trie.insert(&CompiledPattern::new(&p.parse().unwrap()), id);
+        }
+        let key = format!("obs.zone{}.kind{}", (n / 2) % 97, (n / 2) % 23);
+        let words: Vec<&str> = key.split('.').collect();
+        group.bench_with_input(BenchmarkId::new("trie", n), &n, |b, _| {
+            b.iter(|| black_box(trie.matches(black_box(&words))))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_scan", n), &n, |b, _| {
+            b.iter(|| {
+                patterns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| topic_matches(black_box(p), black_box(&key)))
+                    .map(|(id, _)| id)
+                    .collect::<Vec<_>>()
+            })
         });
     }
     group.finish();
@@ -134,6 +164,7 @@ fn bench_consume_ack(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_topic_matching,
+    bench_trie_vs_naive,
     bench_publish_throughput,
     bench_fanout_width,
     bench_topology,

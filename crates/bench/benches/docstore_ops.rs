@@ -78,6 +78,29 @@ fn bench_query(c: &mut Criterion) {
     group.finish();
 }
 
+/// The planner's index-intersection path: a conjunction of an indexed
+/// equality and an indexed range, against the same query on a bare
+/// collection.
+fn bench_intersect_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect_query");
+    let n = 10_000;
+    let filter = Filter::And(vec![
+        Filter::eq("model", "MODEL-7"),
+        Filter::range("spl", 40.0, 60.0),
+    ]);
+    let scan = seeded_collection(n);
+    group.bench_function("scan", |b| {
+        b.iter(|| scan.find(black_box(&filter)).unwrap())
+    });
+    let indexed = seeded_collection(n);
+    indexed.create_index("model");
+    indexed.create_index("spl");
+    group.bench_function("two_indexes", |b| {
+        b.iter(|| indexed.find(black_box(&filter)).unwrap())
+    });
+    group.finish();
+}
+
 fn bench_sort_and_page(c: &mut Criterion) {
     let collection = seeded_collection(10_000);
     let options = FindOptions::new()
@@ -112,6 +135,7 @@ criterion_group!(
     benches,
     bench_insert,
     bench_query,
+    bench_intersect_query,
     bench_sort_and_page,
     bench_aggregation
 );

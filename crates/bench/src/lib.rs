@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+
 use mps_core::{Dataset, Deployment, ExperimentConfig};
 
 /// Runs the replay used by the figure harness. `quick` selects the light

@@ -1,6 +1,8 @@
 //! The broker: exchanges, queues, bindings, publish/consume.
 
 use crate::metrics::MetricsSnapshot;
+use crate::router::{ExchangeIndex, RouteCache};
+use crate::topic::CompiledPattern;
 use crate::{BindingPattern, BrokerError, BrokerMetrics, Delivery, Message, RoutingKey};
 use bytes::Bytes;
 use mps_telemetry::trace::{
@@ -43,6 +45,9 @@ enum Target {
 #[derive(Debug, Clone)]
 struct Binding {
     pattern: BindingPattern,
+    /// Pre-split pattern, compiled once at bind time — the publish path
+    /// never re-parses the pattern string.
+    compiled: CompiledPattern,
     target: Target,
 }
 
@@ -50,6 +55,51 @@ struct Binding {
 struct ExchangeState {
     kind: ExchangeType,
     bindings: Vec<Binding>,
+    /// Routing index over `bindings` (trie for topic, key map for
+    /// direct); rebuilt whenever bindings are removed, appended to on
+    /// bind. Binding ids are positions in `bindings`.
+    index: ExchangeIndex,
+}
+
+impl ExchangeState {
+    fn new(kind: ExchangeType) -> Self {
+        Self {
+            kind,
+            bindings: Vec::new(),
+            index: ExchangeIndex::empty(kind),
+        }
+    }
+
+    /// Appends a binding unless an identical one exists; returns whether
+    /// the topology changed.
+    fn add_binding(&mut self, binding: Binding) -> bool {
+        if self
+            .bindings
+            .iter()
+            .any(|b| b.pattern == binding.pattern && b.target == binding.target)
+        {
+            return false;
+        }
+        let id = self.bindings.len();
+        self.index.insert(&binding.pattern, &binding.compiled, id);
+        self.bindings.push(binding);
+        true
+    }
+
+    /// Drops bindings failing `keep`; returns whether any were removed
+    /// (the index is rebuilt, since removal renumbers binding ids).
+    fn retain_bindings(&mut self, keep: impl Fn(&Binding) -> bool) -> bool {
+        let before = self.bindings.len();
+        self.bindings.retain(|b| keep(b));
+        if self.bindings.len() == before {
+            return false;
+        }
+        self.index = ExchangeIndex::rebuild(
+            self.kind,
+            self.bindings.iter().map(|b| (&b.pattern, &b.compiled)),
+        );
+        true
+    }
 }
 
 /// A queue's dead-letter policy: after a message has been delivered
@@ -83,6 +133,9 @@ struct QueueState {
 struct State {
     exchanges: BTreeMap<String, ExchangeState>,
     queues: BTreeMap<String, QueueState>,
+    /// Memoized `(entry exchange, key)` → destination-queue sets;
+    /// invalidated on every bind/unbind/delete.
+    route_cache: RouteCache,
 }
 
 /// Management view of an exchange.
@@ -146,13 +199,9 @@ impl Broker {
             }
             Some(_) => Ok(()),
             None => {
-                state.exchanges.insert(
-                    name.to_owned(),
-                    ExchangeState {
-                        kind,
-                        bindings: Vec::new(),
-                    },
-                );
+                state
+                    .exchanges
+                    .insert(name.to_owned(), ExchangeState::new(kind));
                 Ok(())
             }
         }
@@ -226,16 +275,14 @@ impl Broker {
             .exchanges
             .get_mut(exchange)
             .ok_or_else(|| BrokerError::ExchangeNotFound(exchange.into()))?;
-        let binding = Binding {
+        let compiled = CompiledPattern::new(&pattern);
+        let changed = ex.add_binding(Binding {
             pattern,
+            compiled,
             target: Target::Queue(queue.to_owned()),
-        };
-        if !ex
-            .bindings
-            .iter()
-            .any(|b| b.pattern == binding.pattern && b.target == binding.target)
-        {
-            ex.bindings.push(binding);
+        });
+        if changed {
+            state.route_cache.invalidate();
         }
         Ok(())
     }
@@ -264,16 +311,14 @@ impl Broker {
             .exchanges
             .get_mut(source)
             .ok_or_else(|| BrokerError::ExchangeNotFound(source.into()))?;
-        let binding = Binding {
+        let compiled = CompiledPattern::new(&pattern);
+        let changed = ex.add_binding(Binding {
             pattern,
+            compiled,
             target: Target::Exchange(destination.to_owned()),
-        };
-        if !ex
-            .bindings
-            .iter()
-            .any(|b| b.pattern == binding.pattern && b.target == binding.target)
-        {
-            ex.bindings.push(binding);
+        });
+        if changed {
+            state.route_cache.invalidate();
         }
         Ok(())
     }
@@ -295,8 +340,11 @@ impl Broker {
             .exchanges
             .get_mut(exchange)
             .ok_or_else(|| BrokerError::ExchangeNotFound(exchange.into()))?;
-        ex.bindings
-            .retain(|b| !(b.pattern == pattern && b.target == Target::Queue(queue.to_owned())));
+        let target = Target::Queue(queue.to_owned());
+        let changed = ex.retain_bindings(|b| !(b.pattern == pattern && b.target == target));
+        if changed {
+            state.route_cache.invalidate();
+        }
         Ok(())
     }
 
@@ -310,10 +358,11 @@ impl Broker {
         if state.exchanges.remove(name).is_none() {
             return Err(BrokerError::ExchangeNotFound(name.into()));
         }
+        let gone = Target::Exchange(name.to_owned());
         for ex in state.exchanges.values_mut() {
-            ex.bindings
-                .retain(|b| b.target != Target::Exchange(name.to_owned()));
+            ex.retain_bindings(|b| b.target != gone);
         }
+        state.route_cache.invalidate();
         Ok(())
     }
 
@@ -327,10 +376,11 @@ impl Broker {
         if state.queues.remove(name).is_none() {
             return Err(BrokerError::QueueNotFound(name.into()));
         }
+        let gone = Target::Queue(name.to_owned());
         for ex in state.exchanges.values_mut() {
-            ex.bindings
-                .retain(|b| b.target != Target::Queue(name.to_owned()));
+            ex.retain_bindings(|b| b.target != gone);
         }
+        state.route_cache.invalidate();
         Ok(())
     }
 
@@ -486,47 +536,30 @@ impl Broker {
         }
         self.metrics.on_publish();
 
-        // Breadth-first traversal across exchange-to-exchange bindings,
-        // with a visited set for cycle safety; dedup target queues so a
-        // message lands at most once per queue (AMQP semantics).
-        let mut visited: BTreeSet<String> = BTreeSet::new();
-        let mut frontier: VecDeque<String> = VecDeque::new();
-        let mut targets: BTreeSet<String> = BTreeSet::new();
-        visited.insert(exchange.to_owned());
-        frontier.push_back(exchange.to_owned());
+        // Destination set: served from the routing-result cache when the
+        // topology has not changed since this (exchange, key) was last
+        // routed, else recomputed by the indexed breadth-first walk.
         let key = message.routing_key().clone();
-
-        while let Some(name) = frontier.pop_front() {
-            let Some(ex) = state.exchanges.get(&name) else {
-                continue;
-            };
-            for binding in &ex.bindings {
-                let matched = match ex.kind {
-                    ExchangeType::Fanout => true,
-                    ExchangeType::Direct => binding.pattern.as_str() == key.as_str(),
-                    ExchangeType::Topic => binding.pattern.matches(&key),
-                };
-                if !matched {
-                    continue;
-                }
-                match &binding.target {
-                    Target::Queue(q) => {
-                        targets.insert(q.clone());
-                    }
-                    Target::Exchange(e) => {
-                        if visited.insert(e.clone()) {
-                            frontier.push_back(e.clone());
-                        }
-                    }
-                }
+        let targets = match state.route_cache.get(exchange, key.as_str()) {
+            Some(cached) => {
+                self.metrics.on_route_cache_hit();
+                cached
             }
-        }
+            None => {
+                self.metrics.on_route_cache_miss();
+                let routed = Arc::new(compute_route(&state, exchange, &key));
+                state
+                    .route_cache
+                    .insert(exchange, key.as_str(), Arc::clone(&routed));
+                routed
+            }
+        };
 
         // Settle the capacity-aware accept set before freezing the message
         // behind an `Arc`, so the broker-publish trace span can carry the
         // routed count and the trace header can be re-parented under it.
         let mut accepting: Vec<String> = Vec::new();
-        for queue_name in &targets {
+        for queue_name in targets.iter() {
             if let Some(q) = state.queues.get(queue_name) {
                 if q.capacity.is_some_and(|cap| q.ready.len() >= cap) {
                     self.metrics.on_dropped();
@@ -702,6 +735,42 @@ impl Broker {
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
     }
+}
+
+/// Breadth-first walk across exchange-to-exchange bindings from `entry`,
+/// matching `key` against each exchange's routing index, with a visited
+/// set for cycle safety. Target queues are deduplicated so a message
+/// lands at most once per queue (AMQP semantics); the result is sorted
+/// and cacheable — it depends only on the binding topology, never on
+/// queue fill.
+fn compute_route(state: &State, entry: &str, key: &RoutingKey) -> Vec<String> {
+    let key_words: Vec<&str> = key.as_str().split('.').collect();
+    let mut visited: BTreeSet<String> = BTreeSet::new();
+    let mut frontier: VecDeque<String> = VecDeque::new();
+    let mut targets: BTreeSet<String> = BTreeSet::new();
+    visited.insert(entry.to_owned());
+    frontier.push_back(entry.to_owned());
+    while let Some(name) = frontier.pop_front() {
+        let Some(ex) = state.exchanges.get(&name) else {
+            continue;
+        };
+        for id in ex.index.matching_bindings(key.as_str(), &key_words) {
+            let Some(binding) = ex.bindings.get(id) else {
+                continue;
+            };
+            match &binding.target {
+                Target::Queue(q) => {
+                    targets.insert(q.clone());
+                }
+                Target::Exchange(e) => {
+                    if visited.insert(e.clone()) {
+                        frontier.push_back(e.clone());
+                    }
+                }
+            }
+        }
+    }
+    targets.into_iter().collect()
 }
 
 /// Records one `broker_publish` span per trace context carried in the
@@ -1267,6 +1336,82 @@ mod tests {
             .attrs
             .iter()
             .any(|(k, v)| *k == "to" && v == "graveyard"));
+    }
+
+    #[test]
+    fn route_cache_hits_after_first_publish() {
+        let b = broker_with_topic_setup();
+        b.bind_queue("app", "q1", "obs.#").unwrap();
+        b.publish("app", "obs.a", &b""[..]).unwrap();
+        b.publish("app", "obs.a", &b""[..]).unwrap();
+        b.publish("app", "obs.a", &b""[..]).unwrap();
+        let m = b.metrics();
+        assert_eq!(m.route_cache_misses, 1);
+        assert_eq!(m.route_cache_hits, 2);
+        assert_eq!(b.queue_depth("q1").unwrap(), 3);
+    }
+
+    #[test]
+    fn route_cache_invalidated_by_bind_and_unbind() {
+        let b = broker_with_topic_setup();
+        b.bind_queue("app", "q1", "obs.#").unwrap();
+        assert_eq!(b.publish("app", "obs.a", &b""[..]).unwrap(), 1);
+        // A new binding must be visible to the very next publish.
+        b.bind_queue("app", "q2", "obs.*").unwrap();
+        assert_eq!(b.publish("app", "obs.a", &b""[..]).unwrap(), 2);
+        // And an unbind must stop routing immediately.
+        b.unbind_queue("app", "q1", "obs.#").unwrap();
+        b.unbind_queue("app", "q2", "obs.*").unwrap();
+        assert_eq!(b.publish("app", "obs.a", &b""[..]).unwrap(), 0);
+        let m = b.metrics();
+        assert_eq!(m.route_cache_hits, 0);
+        assert_eq!(m.route_cache_misses, 3);
+    }
+
+    #[test]
+    fn route_cache_invalidated_by_deletes() {
+        let b = Broker::new();
+        b.declare_exchange("src", ExchangeType::Topic).unwrap();
+        b.declare_exchange("dst", ExchangeType::Fanout).unwrap();
+        b.declare_queue("q").unwrap();
+        b.bind_exchange("src", "dst", "#").unwrap();
+        b.bind_queue("dst", "q", "#").unwrap();
+        assert_eq!(b.publish("src", "k", &b""[..]).unwrap(), 1);
+        b.delete_exchange("dst").unwrap();
+        assert_eq!(b.publish("src", "k", &b""[..]).unwrap(), 0);
+
+        let b = broker_with_topic_setup();
+        b.bind_queue("app", "q1", "#").unwrap();
+        assert_eq!(b.publish("app", "k", &b""[..]).unwrap(), 1);
+        b.delete_queue("q1").unwrap();
+        assert_eq!(b.publish("app", "k", &b""[..]).unwrap(), 0);
+    }
+
+    #[test]
+    fn cached_route_still_respects_queue_capacity() {
+        let b = Broker::new();
+        b.declare_exchange("e", ExchangeType::Topic).unwrap();
+        b.declare_queue_with_capacity("q", 1).unwrap();
+        b.bind_queue("e", "q", "#").unwrap();
+        assert_eq!(b.publish("e", "k", &b"1"[..]).unwrap(), 1);
+        // Second publish hits the cache but the queue is full: the
+        // capacity check runs per publish, never from the cache.
+        assert_eq!(b.publish("e", "k", &b"2"[..]).unwrap(), 0);
+        let m = b.metrics();
+        assert_eq!(m.route_cache_hits, 1);
+        assert_eq!(m.dropped, 1);
+    }
+
+    #[test]
+    fn duplicate_bind_keeps_cache_warm() {
+        let b = broker_with_topic_setup();
+        b.bind_queue("app", "q1", "obs.#").unwrap();
+        b.publish("app", "obs.a", &b""[..]).unwrap();
+        // Re-binding the same (pattern, target) is a topology no-op and
+        // must not flush the cache.
+        b.bind_queue("app", "q1", "obs.#").unwrap();
+        b.publish("app", "obs.a", &b""[..]).unwrap();
+        assert_eq!(b.metrics().route_cache_hits, 1);
     }
 
     #[test]

@@ -48,10 +48,12 @@ mod message;
 mod metrics;
 #[cfg(test)]
 mod proptests;
+pub mod router;
 mod topic;
 
 pub use broker::{Broker, DeadLetterPolicy, ExchangeInfo, ExchangeType, QueueInfo};
 pub use error::BrokerError;
 pub use message::{Delivery, Message};
 pub use metrics::{BrokerMetrics, MetricsSnapshot};
-pub use topic::{topic_matches, BindingPattern, RoutingKey};
+pub use router::TopicTrie;
+pub use topic::{topic_matches, BindingPattern, CompiledPattern, PatternWord, RoutingKey};

@@ -18,6 +18,8 @@ struct SharedCounters {
     dropped: Counter,
     delivery_failed: Counter,
     dead_lettered: Counter,
+    route_cache_hits: Counter,
+    route_cache_misses: Counter,
 }
 
 fn shared() -> &'static SharedCounters {
@@ -58,6 +60,14 @@ fn shared() -> &'static SharedCounters {
                 "broker_core_dead_lettered_total",
                 "Messages moved to a dead-letter queue after exhausting redelivery",
             ),
+            route_cache_hits: registry.counter(
+                "broker_route_cache_hits_total",
+                "Publishes whose destination set came from the routing-result cache",
+            ),
+            route_cache_misses: registry.counter(
+                "broker_route_cache_misses_total",
+                "Publishes that had to walk the exchange graph to route",
+            ),
         }
     })
 }
@@ -80,6 +90,8 @@ pub struct BrokerMetrics {
     dropped: Counter,
     delivery_failed: Counter,
     dead_lettered: Counter,
+    route_cache_hits: Counter,
+    route_cache_misses: Counter,
 }
 
 /// A point-in-time copy of [`BrokerMetrics`].
@@ -105,6 +117,10 @@ pub struct MetricsSnapshot {
     pub delivery_failed: u64,
     /// Messages moved to a dead-letter queue after exhausting redelivery.
     pub dead_lettered: u64,
+    /// Publishes whose destination set came from the routing-result cache.
+    pub route_cache_hits: u64,
+    /// Publishes that had to walk the exchange graph to route.
+    pub route_cache_misses: u64,
 }
 
 impl BrokerMetrics {
@@ -153,6 +169,16 @@ impl BrokerMetrics {
         shared().dead_lettered.inc();
     }
 
+    pub(crate) fn on_route_cache_hit(&self) {
+        self.route_cache_hits.inc();
+        shared().route_cache_hits.inc();
+    }
+
+    pub(crate) fn on_route_cache_miss(&self) {
+        self.route_cache_misses.inc();
+        shared().route_cache_misses.inc();
+    }
+
     /// Takes a consistent-enough snapshot of all counters (each counter is
     /// read atomically; the set is not a transaction).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -166,6 +192,8 @@ impl BrokerMetrics {
             dropped: self.dropped.get(),
             delivery_failed: self.delivery_failed.get(),
             dead_lettered: self.dead_lettered.get(),
+            route_cache_hits: self.route_cache_hits.get(),
+            route_cache_misses: self.route_cache_misses.get(),
         }
     }
 }
@@ -188,6 +216,9 @@ mod tests {
         m.on_delivery_failed();
         m.on_delivery_failed();
         m.on_dead_lettered();
+        m.on_route_cache_hit();
+        m.on_route_cache_miss();
+        m.on_route_cache_miss();
         let s = m.snapshot();
         assert_eq!(s.published, 2);
         assert_eq!(s.routed, 3);
@@ -198,6 +229,8 @@ mod tests {
         assert_eq!(s.dropped, 1);
         assert_eq!(s.delivery_failed, 2);
         assert_eq!(s.dead_lettered, 1);
+        assert_eq!(s.route_cache_hits, 1);
+        assert_eq!(s.route_cache_misses, 2);
     }
 
     #[test]

@@ -1,12 +1,29 @@
 //! In-crate property tests over broker invariants.
 
-use crate::{Broker, ExchangeType, RoutingKey};
+use crate::{topic_matches, Broker, CompiledPattern, ExchangeType, RoutingKey, TopicTrie};
 use mps_faults::{FaultPlan, FaultSpec, FaultyLink, Link, LinkError};
 use mps_types::{SimDuration, SimTime};
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 fn key_strategy() -> impl Strategy<Value = String> {
     prop::collection::vec("[a-zA-Z0-9_-]{1,6}", 1..5).prop_map(|w| w.join("."))
+}
+
+/// Keys over a deliberately tiny alphabet so arbitrary patterns collide
+/// with them often — equivalence tests are worthless if nothing matches.
+fn small_key_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec("[ab]{1,2}", 1..5).prop_map(|w| w.join("."))
+}
+
+/// Patterns over the same tiny alphabet plus both wildcards.
+fn wild_pattern_strategy() -> impl Strategy<Value = String> {
+    let word = prop_oneof![
+        2 => Just("*".to_owned()),
+        2 => Just("#".to_owned()),
+        3 => "[ab]{1,2}".prop_map(|w| w),
+    ];
+    prop::collection::vec(word, 1..5).prop_map(|w| w.join("."))
 }
 
 /// A broker publish boundary as a fault-injectable link.
@@ -195,6 +212,84 @@ proptest! {
         prop_assert_eq!(m.dropped, 0);
         // A nacked delivery is a failed delivery, every time.
         prop_assert!(m.delivery_failed >= m.dead_lettered);
+    }
+
+    #[test]
+    fn trie_router_equals_naive_matcher(
+        patterns in prop::collection::vec(wild_pattern_strategy(), 1..40),
+        keys in prop::collection::vec(small_key_strategy(), 1..20),
+    ) {
+        // The trie must agree with the retained naive matcher
+        // (`topic_matches`) for every binding set and key.
+        let mut trie = TopicTrie::new();
+        for (id, pattern) in patterns.iter().enumerate() {
+            trie.insert(&CompiledPattern::new(&pattern.parse().unwrap()), id);
+        }
+        for key in &keys {
+            let words: Vec<&str> = key.split('.').collect();
+            let naive: Vec<usize> = patterns
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| topic_matches(p, key))
+                .map(|(id, _)| id)
+                .collect();
+            prop_assert_eq!(trie.matches(&words), naive, "key {}", key);
+        }
+    }
+
+    #[test]
+    fn published_routes_equal_naive_expectation(
+        bindings in prop::collection::vec((0usize..4, wild_pattern_strategy()), 1..25),
+        keys in prop::collection::vec(small_key_strategy(), 1..10),
+    ) {
+        // End to end through the broker (trie + route cache): the routed
+        // queue count must equal the naive per-binding scan, on the cold
+        // publish and again on the cached one.
+        let broker = Broker::new();
+        broker.declare_exchange("e", ExchangeType::Topic).unwrap();
+        for q in 0..4 {
+            broker.declare_queue(&format!("q{q}")).unwrap();
+        }
+        for (q, pattern) in &bindings {
+            broker.bind_queue("e", &format!("q{q}"), pattern).unwrap();
+        }
+        for key in &keys {
+            let expected: BTreeSet<usize> = bindings
+                .iter()
+                .filter(|(_, p)| topic_matches(p, key))
+                .map(|(q, _)| *q)
+                .collect();
+            let cold = broker.publish("e", key, &b""[..]).unwrap();
+            let cached = broker.publish("e", key, &b""[..]).unwrap();
+            prop_assert_eq!(cold, expected.len(), "cold route for {}", key);
+            prop_assert_eq!(cached, expected.len(), "cached route for {}", key);
+        }
+    }
+
+    #[test]
+    fn direct_index_equals_literal_scan(
+        bindings in prop::collection::vec((0usize..4, small_key_strategy()), 1..25),
+        keys in prop::collection::vec(small_key_strategy(), 1..10),
+    ) {
+        // Direct exchanges compare byte-for-byte; the BTreeMap key index
+        // must agree with a literal scan of the binding list.
+        let broker = Broker::new();
+        broker.declare_exchange("d", ExchangeType::Direct).unwrap();
+        for q in 0..4 {
+            broker.declare_queue(&format!("q{q}")).unwrap();
+        }
+        for (q, pattern) in &bindings {
+            broker.bind_queue("d", &format!("q{q}"), pattern).unwrap();
+        }
+        for key in &keys {
+            let expected: BTreeSet<usize> = bindings
+                .iter()
+                .filter(|(_, p)| p == key)
+                .map(|(q, _)| *q)
+                .collect();
+            let routed = broker.publish("d", key, &b""[..]).unwrap();
+            prop_assert_eq!(routed, expected.len(), "direct route for {}", key);
+        }
     }
 
     #[test]

@@ -168,7 +168,10 @@ impl AsRef<str> for BindingPattern {
 ///
 /// Words are dot-separated; `*` matches exactly one word and `#` matches
 /// zero or more words. This is the raw algorithm; prefer the validated
-/// [`BindingPattern`]/[`RoutingKey`] wrappers in APIs.
+/// [`BindingPattern`]/[`RoutingKey`] wrappers in APIs. It re-splits both
+/// strings per call and is retained as the naive reference the trie
+/// router is property-tested against; the publish hot path uses
+/// [`CompiledPattern`] and the per-exchange trie instead.
 ///
 /// # Examples
 ///
@@ -206,6 +209,100 @@ pub fn topic_matches(pattern: &str, key: &str) -> bool {
         }
     }
     dp[key.len()]
+}
+
+/// One word of a [`CompiledPattern`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PatternWord {
+    /// `*` — matches exactly one key word.
+    Star,
+    /// `#` — matches zero or more key words.
+    Hash,
+    /// A literal word, matched byte-for-byte.
+    Literal(String),
+}
+
+/// A binding pattern compiled once at bind time: the words are pre-split
+/// and wildcard-classified, so matching never re-parses the pattern
+/// string. This is what exchanges store per binding and what the topic
+/// trie is built from.
+///
+/// # Examples
+///
+/// ```
+/// use mps_broker::{BindingPattern, CompiledPattern};
+///
+/// let pattern: BindingPattern = "obs.*.Feedback".parse()?;
+/// let compiled = CompiledPattern::new(&pattern);
+/// assert!(compiled.matches_words(&["obs", "FR75013", "Feedback"]));
+/// assert!(!compiled.matches_words(&["obs", "FR75013", "Noise"]));
+/// # Ok::<(), mps_broker::BrokerError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPattern {
+    words: Vec<PatternWord>,
+}
+
+impl CompiledPattern {
+    /// Compiles a validated pattern by splitting it into classified words.
+    pub fn new(pattern: &BindingPattern) -> Self {
+        let words = pattern
+            .as_str()
+            .split('.')
+            .map(|w| match w {
+                "*" => PatternWord::Star,
+                "#" => PatternWord::Hash,
+                literal => PatternWord::Literal(literal.to_owned()),
+            })
+            .collect();
+        Self { words }
+    }
+
+    /// The pre-split pattern words.
+    pub fn words(&self) -> &[PatternWord] {
+        &self.words
+    }
+
+    /// Whether this pattern matches an already-split routing key.
+    ///
+    /// Same dynamic program as [`topic_matches`], but over the pre-split
+    /// words: the caller splits the key once per publish instead of once
+    /// per binding per publish.
+    pub fn matches_words(&self, key: &[&str]) -> bool {
+        let mut dp = vec![false; key.len() + 1];
+        dp[0] = true;
+        for pw in &self.words {
+            match pw {
+                PatternWord::Hash => {
+                    let mut any = false;
+                    for slot in dp.iter_mut() {
+                        any |= *slot;
+                        *slot = any;
+                    }
+                }
+                PatternWord::Star | PatternWord::Literal(_) => {
+                    let mut next = vec![false; key.len() + 1];
+                    for j in 1..=key.len() {
+                        let word_ok = match pw {
+                            PatternWord::Literal(w) => w == key[j - 1],
+                            _ => true,
+                        };
+                        if dp[j - 1] && word_ok {
+                            next[j] = true;
+                        }
+                    }
+                    dp = next;
+                }
+            }
+        }
+        dp[key.len()]
+    }
+}
+
+impl From<&BindingPattern> for CompiledPattern {
+    fn from(pattern: &BindingPattern) -> Self {
+        CompiledPattern::new(pattern)
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +404,41 @@ mod tests {
         assert_eq!(k.as_ref(), "a.b");
         assert_eq!(k.to_string(), "a.b");
         assert_eq!(k.words().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn compiled_pattern_words_are_classified() {
+        let p: BindingPattern = "obs.*.#.Feedback".parse().unwrap();
+        let c = CompiledPattern::new(&p);
+        assert_eq!(
+            c.words(),
+            &[
+                PatternWord::Literal("obs".to_owned()),
+                PatternWord::Star,
+                PatternWord::Hash,
+                PatternWord::Literal("Feedback".to_owned()),
+            ]
+        );
+        assert_eq!(CompiledPattern::from(&p), c);
+    }
+
+    #[test]
+    fn compiled_pattern_agrees_with_naive_matcher() {
+        let patterns = [
+            "a.b.c", "a.*.c", "a.#", "#", "#.c", "a.#.z", "a.*.#", "#.#", "#.*.#", "*.*",
+        ];
+        let keys = ["a", "a.b", "a.b.c", "a.z", "a.b.c.z", "c", "x.y"];
+        for pat in patterns {
+            let compiled = CompiledPattern::new(&pat.parse().unwrap());
+            for key in keys {
+                let words: Vec<&str> = key.split('.').collect();
+                assert_eq!(
+                    compiled.matches_words(&words),
+                    topic_matches(pat, key),
+                    "pattern {pat} vs key {key}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::filter::Filter;
 use crate::index::PathIndex;
+use crate::planner::{plan_query, QueryPlan};
 use crate::telemetry::telemetry;
 use crate::update::Update;
 use crate::value::{compare_values, get_path, set_path, DocId};
@@ -103,24 +104,12 @@ impl CollectionInner {
         }
     }
 
-    /// Ids of candidate documents for `filter`, using an index when one
-    /// covers an equality or range predicate; `None` means "scan all".
-    fn plan(&self, filter: &Filter) -> Option<Vec<DocId>> {
-        if let Some((path, value)) = filter.as_indexable_eq() {
-            // `eq null` also matches missing fields, which the index cannot
-            // enumerate — fall back to a scan for correctness.
-            if !value.is_null() {
-                if let Some(index) = self.indexes.get(path) {
-                    return Some(index.lookup_eq(value));
-                }
-            }
-        }
-        if let Some((path, lo, hi)) = filter.as_indexable_range() {
-            if let Some(index) = self.indexes.get(path) {
-                return Some(index.lookup_range(lo, hi));
-            }
-        }
-        None
+    /// Plans `filter` against this collection's indexes and records the
+    /// chosen plan in `docstore_query_plans_total{plan=...}`.
+    fn plan(&self, filter: &Filter) -> QueryPlan {
+        let plan = plan_query(filter, &self.indexes);
+        telemetry().record_plan(plan.kind);
+        plan
     }
 }
 
@@ -207,6 +196,12 @@ impl Collection {
     /// Returns documents matching `filter` with sorting, paging and
     /// projection applied (in that order).
     ///
+    /// The query planner consults secondary indexes first (see
+    /// [`crate::planner`]); unsorted queries additionally stop visiting
+    /// documents once `skip + limit` results have been cloned, and sorted
+    /// queries order references in place, cloning only the requested
+    /// window.
+    ///
     /// # Errors
     ///
     /// Returns [`StoreError::Unorderable`] when sorting on a path that
@@ -220,25 +215,25 @@ impl Collection {
         metrics.collection_find.inc();
         let _timer = SpanTimer::start(&metrics.collection_find_seconds);
         let inner = self.inner.lock();
-        let mut results: Vec<Value> = match inner.plan(filter) {
-            Some(candidates) => candidates
-                .into_iter()
-                .filter_map(|id| inner.docs.get(&id))
-                .filter(|doc| filter.matches(doc))
-                .cloned()
-                .collect(),
-            None => inner
-                .docs
-                .values()
-                .filter(|doc| filter.matches(doc))
-                .cloned()
-                .collect(),
-        };
-        drop(inner);
+        let candidates = inner.plan(filter).candidates;
 
-        if let Some((path, order)) = &options.sort {
+        let mut limited: Vec<Value> = if let Some((path, order)) = &options.sort {
+            // Sorting needs every match: order references in place, then
+            // clone only the `skip..skip+limit` window.
+            let mut matches: Vec<&Value> = match &candidates {
+                Some(ids) => ids
+                    .iter()
+                    .filter_map(|id| inner.docs.get(id))
+                    .filter(|doc| filter.matches(doc))
+                    .collect(),
+                None => inner
+                    .docs
+                    .values()
+                    .filter(|doc| filter.matches(doc))
+                    .collect(),
+            };
             let mut sort_error = None;
-            results.sort_by(|a, b| {
+            matches.sort_by(|a, b| {
                 let va = get_path(a, path).unwrap_or(&Value::Null);
                 let vb = get_path(b, path).unwrap_or(&Value::Null);
                 match compare_values(va, vb) {
@@ -258,13 +253,36 @@ impl Collection {
             if let Some(path) = sort_error {
                 return Err(StoreError::Unorderable(path));
             }
-        }
-
-        let skipped = results.into_iter().skip(options.skip);
-        let mut limited: Vec<Value> = match options.limit {
-            Some(n) => skipped.take(n).collect(),
-            None => skipped.collect(),
+            let window = matches.into_iter().skip(options.skip);
+            match options.limit {
+                Some(n) => window.take(n).cloned().collect(),
+                None => window.cloned().collect(),
+            }
+        } else {
+            // Candidate ids and the document map both run in `_id`
+            // order, so the window can be taken while scanning — the
+            // iterator stops visiting documents once it is full.
+            let take = options.limit.unwrap_or(usize::MAX);
+            match &candidates {
+                Some(ids) => ids
+                    .iter()
+                    .filter_map(|id| inner.docs.get(id))
+                    .filter(|doc| filter.matches(doc))
+                    .skip(options.skip)
+                    .take(take)
+                    .cloned()
+                    .collect(),
+                None => inner
+                    .docs
+                    .values()
+                    .filter(|doc| filter.matches(doc))
+                    .skip(options.skip)
+                    .take(take)
+                    .cloned()
+                    .collect(),
+            }
         };
+        drop(inner);
 
         if let Some(paths) = &options.projection {
             for doc in &mut limited {
@@ -290,7 +308,7 @@ impl Collection {
     /// Currently infallible; returns `Result` for parity with `find`.
     pub fn count(&self, filter: &Filter) -> Result<usize, StoreError> {
         let inner = self.inner.lock();
-        Ok(match inner.plan(filter) {
+        Ok(match inner.plan(filter).candidates {
             Some(candidates) => candidates
                 .into_iter()
                 .filter_map(|id| inner.docs.get(&id))
@@ -316,7 +334,7 @@ impl Collection {
         metrics.collection_update.inc();
         let _timer = SpanTimer::start(&metrics.collection_update_seconds);
         let mut inner = self.inner.lock();
-        let ids: Vec<DocId> = match inner.plan(filter) {
+        let ids: Vec<DocId> = match inner.plan(filter).candidates {
             Some(candidates) => candidates
                 .into_iter()
                 .filter(|id| inner.docs.get(id).is_some_and(|d| filter.matches(d)))
@@ -356,12 +374,18 @@ impl Collection {
     pub fn delete_many(&self, filter: &Filter) -> Result<usize, StoreError> {
         telemetry().collection_delete.inc();
         let mut inner = self.inner.lock();
-        let ids: Vec<DocId> = inner
-            .docs
-            .iter()
-            .filter(|(_, doc)| filter.matches(doc))
-            .map(|(id, _)| *id)
-            .collect();
+        let ids: Vec<DocId> = match inner.plan(filter).candidates {
+            Some(candidates) => candidates
+                .into_iter()
+                .filter(|id| inner.docs.get(id).is_some_and(|d| filter.matches(d)))
+                .collect(),
+            None => inner
+                .docs
+                .iter()
+                .filter(|(_, doc)| filter.matches(doc))
+                .map(|(id, _)| *id)
+                .collect(),
+        };
         for id in &ids {
             if let Some(doc) = inner.docs.remove(id) {
                 inner.unindex_doc(*id, &doc);
@@ -597,6 +621,53 @@ mod tests {
         c.delete_many(&Filter::eq("model", "A")).unwrap();
         assert_eq!(c.count(&Filter::eq("model", "A")).unwrap(), 0);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn intersection_of_two_indexes_matches_scan() {
+        let c = seeded();
+        let filter = Filter::and(vec![Filter::eq("model", "A"), Filter::gt("spl", 50.0)]);
+        let scan = c.find(&filter).unwrap();
+        c.create_index("model");
+        c.create_index("spl");
+        let planned = c.find(&filter).unwrap();
+        assert_eq!(scan.len(), 1);
+        assert_eq!(scan, planned);
+    }
+
+    #[test]
+    fn indexed_range_returns_id_order() {
+        // Index-key order (40, 55, 62) disagrees with insertion order for
+        // the matching docs; results must still come back by `_id`.
+        let c = seeded();
+        c.create_index("spl");
+        let r = c.find(&Filter::lt("spl", 65.0)).unwrap();
+        let ids: Vec<u64> = r.iter().map(|d| d["_id"].as_u64().unwrap()).collect();
+        assert_eq!(ids, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn unsorted_limit_short_circuits_consistently() {
+        // The windowed (skip/limit-pushdown) path must agree with the
+        // full query on both the scan and the indexed path.
+        let c = seeded();
+        let opts = FindOptions::new().skip(1).limit(1);
+        let filter = Filter::eq("model", "A");
+        let full = c.find(&filter).unwrap();
+        let window = c.find_with_options(&filter, &opts).unwrap();
+        assert_eq!(window.as_slice(), &full[1..2]);
+        c.create_index("model");
+        assert_eq!(c.find_with_options(&filter, &opts).unwrap(), window);
+    }
+
+    #[test]
+    fn planner_backed_delete_matches_scan_delete() {
+        let c = seeded();
+        c.create_index("spl");
+        let n = c.delete_many(&Filter::lt("spl", 60.0)).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.count(&Filter::lt("spl", 60.0)).unwrap(), 0);
     }
 
     #[test]

@@ -11,6 +11,22 @@ pub(crate) type RangeBound<'a> = (&'a Value, bool);
 /// Planner view of a range predicate: `(path, lower, upper)`.
 pub(crate) type RangePredicate<'a> = (&'a str, Option<RangeBound<'a>>, Option<RangeBound<'a>>);
 
+/// One predicate of a filter that a secondary index could answer,
+/// extracted by [`Filter::indexable_predicates`] for the query planner.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum IndexablePredicate<'a> {
+    /// Equality against a non-null scalar (`eq null` also matches missing
+    /// fields, which no index can enumerate).
+    Eq {
+        /// Dotted document path.
+        path: &'a str,
+        /// Matched value.
+        value: &'a Value,
+    },
+    /// A (half-)bounded range on one path.
+    Range(RangePredicate<'a>),
+}
+
 /// A comparison operator on a document path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[doc(hidden)]
@@ -379,25 +395,16 @@ impl Filter {
         }
     }
 
-    /// If the filter constrains a single path with an equality, returns
-    /// `(path, value)` — used by the query planner to consult an index.
-    pub(crate) fn as_indexable_eq(&self) -> Option<(&str, &Value)> {
-        match self {
-            Filter::Cmp {
-                path,
-                op: CmpOp::Eq,
-                value,
-            } => Some((path.as_str(), value)),
-            Filter::And(filters) => filters.iter().find_map(Filter::as_indexable_eq),
-            _ => None,
-        }
-    }
-
-    /// If the filter constrains a single path with a range, returns
-    /// `(path, lo, hi)` bounds (either bound optional, inclusive flags) —
-    /// used by the query planner.
-    pub(crate) fn as_indexable_range(&self) -> Option<RangePredicate<'_>> {
-        fn bounds_of(f: &Filter) -> Option<RangePredicate<'_>> {
+    /// Every predicate of this filter that a secondary index could
+    /// answer: each non-null equality, plus one merged range per path,
+    /// looking through conjunctions at any depth (`Filter::parse` nests
+    /// multi-operator path objects as an inner `And`).
+    ///
+    /// Bounds repeated on the same side of the same path keep the last
+    /// occurrence, which can only *widen* the candidate range — safe,
+    /// because candidates are re-checked against the full filter.
+    pub(crate) fn indexable_predicates(&self) -> Vec<IndexablePredicate<'_>> {
+        fn range_of(f: &Filter) -> Option<RangePredicate<'_>> {
             match f {
                 Filter::Cmp { path, op, value } => match op {
                     CmpOp::Gt => Some((path, Some((value, false)), None)),
@@ -409,31 +416,44 @@ impl Filter {
                 _ => None,
             }
         }
-        match self {
-            Filter::Cmp { .. } => bounds_of(self),
-            Filter::And(filters) => {
-                // Merge bounds that refer to the same path.
-                let mut merged: Option<RangePredicate<'_>> = None;
-                for f in filters {
-                    if let Some((path, lo, hi)) = bounds_of(f) {
-                        match &mut merged {
-                            None => merged = Some((path, lo, hi)),
-                            Some((p, mlo, mhi)) if *p == path => {
-                                if lo.is_some() {
-                                    *mlo = lo;
+        fn collect<'a>(
+            clauses: &'a [Filter],
+            eqs: &mut Vec<IndexablePredicate<'a>>,
+            ranges: &mut Vec<RangePredicate<'a>>,
+        ) {
+            for clause in clauses {
+                match clause {
+                    Filter::And(inner) => collect(inner, eqs, ranges),
+                    Filter::Cmp {
+                        path,
+                        op: CmpOp::Eq,
+                        value,
+                    } if !value.is_null() => {
+                        eqs.push(IndexablePredicate::Eq { path, value });
+                    }
+                    _ => {
+                        if let Some((path, lo, hi)) = range_of(clause) {
+                            match ranges.iter_mut().find(|(p, _, _)| *p == path) {
+                                Some((_, mlo, mhi)) => {
+                                    if lo.is_some() {
+                                        *mlo = lo;
+                                    }
+                                    if hi.is_some() {
+                                        *mhi = hi;
+                                    }
                                 }
-                                if hi.is_some() {
-                                    *mhi = hi;
-                                }
+                                None => ranges.push((path, lo, hi)),
                             }
-                            _ => {}
                         }
                     }
                 }
-                merged
             }
-            _ => None,
         }
+        let mut predicates: Vec<IndexablePredicate<'_>> = Vec::new();
+        let mut ranges: Vec<RangePredicate<'_>> = Vec::new();
+        collect(std::slice::from_ref(self), &mut predicates, &mut ranges);
+        predicates.extend(ranges.into_iter().map(IndexablePredicate::Range));
+        predicates
     }
 }
 
@@ -653,19 +673,62 @@ mod tests {
     #[test]
     fn indexable_eq_extraction() {
         let f = Filter::parse(&json!({"model": "X", "spl": {"$gt": 3}})).unwrap();
-        let (path, value) = f.as_indexable_eq().unwrap();
-        assert_eq!(path, "model");
-        assert_eq!(value, &json!("X"));
-        let f = Filter::parse(&json!({"$or": [{"a": 1}]})).unwrap();
-        assert!(f.as_indexable_eq().is_none());
+        assert!(f.indexable_predicates().contains(&IndexablePredicate::Eq {
+            path: "model",
+            value: &json!("X"),
+        }));
     }
 
     #[test]
     fn indexable_range_extraction() {
         let f = Filter::parse(&json!({"spl": {"$gte": 10, "$lt": 20}})).unwrap();
-        let (path, lo, hi) = f.as_indexable_range().unwrap();
-        assert_eq!(path, "spl");
-        assert_eq!(lo, Some((&json!(10), true)));
-        assert_eq!(hi, Some((&json!(20), false)));
+        let preds = f.indexable_predicates();
+        assert_eq!(
+            preds,
+            vec![IndexablePredicate::Range((
+                "spl",
+                Some((&json!(10), true)),
+                Some((&json!(20), false)),
+            ))]
+        );
+    }
+
+    #[test]
+    fn indexable_predicates_collects_all_clauses() {
+        let f =
+            Filter::parse(&json!({"model": "X", "spl": {"$gte": 10, "$lt": 20}, "city": "paris"}))
+                .unwrap();
+        let preds = f.indexable_predicates();
+        assert_eq!(preds.len(), 3);
+        assert!(preds.contains(&IndexablePredicate::Eq {
+            path: "model",
+            value: &json!("X"),
+        }));
+        assert!(preds.contains(&IndexablePredicate::Eq {
+            path: "city",
+            value: &json!("paris"),
+        }));
+        assert!(preds.contains(&IndexablePredicate::Range((
+            "spl",
+            Some((&json!(10), true)),
+            Some((&json!(20), false)),
+        ))));
+    }
+
+    #[test]
+    fn indexable_predicates_skips_null_eq_and_or() {
+        // `eq null` also matches missing fields — never indexable.
+        let f = Filter::parse(&json!({"loc": null})).unwrap();
+        assert!(f.indexable_predicates().is_empty());
+        // Disjunctions cannot narrow to one candidate set.
+        let f = Filter::parse(&json!({"$or": [{"a": 1}, {"b": 2}]})).unwrap();
+        assert!(f.indexable_predicates().is_empty());
+    }
+
+    #[test]
+    fn indexable_predicates_merges_ranges_per_path() {
+        let f = Filter::parse(&json!({"spl": {"$gt": 5}, "acc": {"$lte": 30}})).unwrap();
+        let preds = f.indexable_predicates();
+        assert_eq!(preds.len(), 2, "one merged range per path");
     }
 }

@@ -32,6 +32,7 @@ mod collection;
 mod error;
 mod filter;
 mod index;
+mod planner;
 #[cfg(test)]
 mod proptests;
 mod store;
@@ -44,6 +45,7 @@ pub use collection::{Collection, FindOptions, SortOrder};
 pub use error::StoreError;
 pub use filter::Filter;
 pub use index::IndexKey;
+pub use planner::PlanKind;
 pub use store::Store;
 pub use update::Update;
 pub use value::{compare_values, get_path, set_path, unset_path, DocId};

@@ -1,0 +1,226 @@
+//! Query planner: choose secondary indexes before touching documents.
+//!
+//! The planner inspects a [`Filter`]'s indexable predicates (each non-null
+//! equality and each merged range over a top-level `And`), probes the
+//! collection's secondary indexes, and intersects the resulting sorted
+//! candidate-id sets. Executors then fetch only the candidate documents —
+//! re-checking each against the full filter, so the planner only ever has
+//! to be *conservative* (a superset of the true matches is always safe).
+//!
+//! Which plan ran is exported as
+//! `docstore_query_plans_total{plan=...}` — watching `full_scan` climb on
+//! a hot collection is the signal that an index is missing.
+
+use crate::filter::{Filter, IndexablePredicate};
+use crate::index::PathIndex;
+use crate::value::DocId;
+use std::collections::BTreeMap;
+
+/// Which strategy the planner selected for a query, in increasing order
+/// of selectivity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// No usable index: every document is visited.
+    FullScan,
+    /// One equality predicate answered by an index.
+    IndexEq,
+    /// One range predicate answered by an index.
+    IndexRange,
+    /// Two or more indexed predicates, candidate sets intersected.
+    IndexIntersect,
+}
+
+impl PlanKind {
+    /// The `plan` label value this kind is exported under.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlanKind::FullScan => "full_scan",
+            PlanKind::IndexEq => "index_eq",
+            PlanKind::IndexRange => "index_range",
+            PlanKind::IndexIntersect => "index_intersect",
+        }
+    }
+}
+
+/// The outcome of planning one query.
+#[derive(Debug)]
+pub(crate) struct QueryPlan {
+    /// Strategy chosen (exported as the `plan` metric label).
+    pub(crate) kind: PlanKind,
+    /// Candidate ids in ascending `_id` order, or `None` for a full scan.
+    pub(crate) candidates: Option<Vec<DocId>>,
+}
+
+/// Plans `filter` against the collection's `indexes`.
+///
+/// Every indexable predicate backed by an index contributes a candidate
+/// set; the sets are intersected smallest-first. Predicates without an
+/// index are simply left to the execution-time re-check.
+pub(crate) fn plan_query(filter: &Filter, indexes: &BTreeMap<String, PathIndex>) -> QueryPlan {
+    let mut sets: Vec<Vec<DocId>> = Vec::new();
+    let mut used_eq = false;
+    let mut used_range = false;
+    for predicate in filter.indexable_predicates() {
+        match predicate {
+            IndexablePredicate::Eq { path, value } => {
+                if let Some(index) = indexes.get(path) {
+                    // `lookup_eq` iterates a `BTreeSet<DocId>`: already
+                    // in ascending id order.
+                    sets.push(index.lookup_eq(value));
+                    used_eq = true;
+                }
+            }
+            IndexablePredicate::Range((path, lo, hi)) => {
+                if let Some(index) = indexes.get(path) {
+                    // `lookup_range` returns ids in *key* order; the
+                    // executor promises `_id` order, so sort here.
+                    let mut ids = index.lookup_range(lo, hi);
+                    ids.sort_unstable();
+                    sets.push(ids);
+                    used_range = true;
+                }
+            }
+        }
+    }
+    if sets.is_empty() {
+        return QueryPlan {
+            kind: PlanKind::FullScan,
+            candidates: None,
+        };
+    }
+    let kind = if sets.len() > 1 {
+        PlanKind::IndexIntersect
+    } else if used_eq {
+        PlanKind::IndexEq
+    } else {
+        debug_assert!(used_range);
+        PlanKind::IndexRange
+    };
+    // Intersect smallest-first so the accumulator only ever shrinks.
+    sets.sort_by_key(Vec::len);
+    let mut iter = sets.into_iter();
+    let mut acc = iter.next().unwrap_or_default();
+    for set in iter {
+        if acc.is_empty() {
+            break;
+        }
+        acc = intersect_sorted(&acc, &set);
+    }
+    QueryPlan {
+        kind,
+        candidates: Some(acc),
+    }
+}
+
+/// Intersection of two ascending id slices, by linear merge.
+fn intersect_sorted(a: &[DocId], b: &[DocId]) -> Vec<DocId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::{json, Value};
+
+    fn index_on(entries: &[(Value, u64)]) -> PathIndex {
+        let mut index = PathIndex::new();
+        for (value, id) in entries {
+            index.insert(value, DocId(*id));
+        }
+        index
+    }
+
+    #[test]
+    fn no_index_means_full_scan() {
+        let indexes = BTreeMap::new();
+        let plan = plan_query(&Filter::eq("model", "A"), &indexes);
+        assert_eq!(plan.kind, PlanKind::FullScan);
+        assert!(plan.candidates.is_none());
+    }
+
+    #[test]
+    fn eq_plan_uses_index_in_id_order() {
+        let mut indexes = BTreeMap::new();
+        indexes.insert(
+            "model".to_owned(),
+            index_on(&[(json!("A"), 2), (json!("A"), 0), (json!("B"), 1)]),
+        );
+        let plan = plan_query(&Filter::eq("model", "A"), &indexes);
+        assert_eq!(plan.kind, PlanKind::IndexEq);
+        assert_eq!(plan.candidates, Some(vec![DocId(0), DocId(2)]));
+    }
+
+    #[test]
+    fn range_candidates_are_sorted_by_id() {
+        // Key order disagrees with id order on purpose.
+        let mut indexes = BTreeMap::new();
+        indexes.insert(
+            "spl".to_owned(),
+            index_on(&[(json!(40.0), 3), (json!(55.0), 1), (json!(70.0), 0)]),
+        );
+        let plan = plan_query(&Filter::gt("spl", 30.0), &indexes);
+        assert_eq!(plan.kind, PlanKind::IndexRange);
+        assert_eq!(plan.candidates, Some(vec![DocId(0), DocId(1), DocId(3)]));
+    }
+
+    #[test]
+    fn conjunction_intersects_candidate_sets() {
+        let mut indexes = BTreeMap::new();
+        indexes.insert(
+            "model".to_owned(),
+            index_on(&[(json!("A"), 0), (json!("A"), 2), (json!("B"), 1)]),
+        );
+        indexes.insert(
+            "spl".to_owned(),
+            index_on(&[(json!(40.0), 0), (json!(55.0), 1), (json!(70.0), 2)]),
+        );
+        let filter = Filter::and(vec![Filter::eq("model", "A"), Filter::gt("spl", 50.0)]);
+        let plan = plan_query(&filter, &indexes);
+        assert_eq!(plan.kind, PlanKind::IndexIntersect);
+        assert_eq!(plan.candidates, Some(vec![DocId(2)]));
+    }
+
+    #[test]
+    fn missing_index_on_one_clause_still_uses_the_other() {
+        let mut indexes = BTreeMap::new();
+        indexes.insert(
+            "model".to_owned(),
+            index_on(&[(json!("A"), 0), (json!("B"), 1)]),
+        );
+        let filter = Filter::and(vec![Filter::eq("model", "A"), Filter::gt("spl", 50.0)]);
+        let plan = plan_query(&filter, &indexes);
+        assert_eq!(plan.kind, PlanKind::IndexEq);
+        assert_eq!(plan.candidates, Some(vec![DocId(0)]));
+    }
+
+    #[test]
+    fn empty_intersection_short_circuits() {
+        let mut indexes = BTreeMap::new();
+        indexes.insert("a".to_owned(), index_on(&[(json!(1), 0)]));
+        indexes.insert("b".to_owned(), index_on(&[(json!(1), 1)]));
+        let filter = Filter::and(vec![Filter::eq("a", 1), Filter::eq("b", 1)]);
+        let plan = plan_query(&filter, &indexes);
+        assert_eq!(plan.kind, PlanKind::IndexIntersect);
+        assert_eq!(plan.candidates, Some(Vec::new()));
+    }
+
+    #[test]
+    fn intersect_sorted_merges() {
+        let a: Vec<DocId> = [1u64, 3, 5, 7].iter().map(|&i| DocId(i)).collect();
+        let b: Vec<DocId> = [2u64, 3, 7, 9].iter().map(|&i| DocId(i)).collect();
+        assert_eq!(intersect_sorted(&a, &b), vec![DocId(3), DocId(7)]);
+    }
+}

@@ -109,4 +109,68 @@ proptest! {
             "probe {:?}", probe
         );
     }
+
+    #[test]
+    fn planner_equals_full_scan_on_conjunctions(
+        docs in prop::collection::vec(("[abc]", -50i64..50), 0..40),
+        probe_m in "[abcd]",
+        lo in -60i64..60,
+        span in 0i64..60,
+    ) {
+        // The same conjunction, answered by a full scan, by each single
+        // index, and by an index intersection, must return identical
+        // documents in identical order.
+        let scan = Collection::new();
+        let eq_only = Collection::new();
+        eq_only.create_index("m");
+        let both = Collection::new();
+        both.create_index("m");
+        both.create_index("v");
+        for (m, v) in &docs {
+            scan.insert_one(json!({"m": m, "v": v})).unwrap();
+            eq_only.insert_one(json!({"m": m, "v": v})).unwrap();
+            both.insert_one(json!({"m": m, "v": v})).unwrap();
+        }
+        let filter = Filter::and(vec![
+            Filter::eq("m", probe_m.clone()),
+            Filter::range("v", lo, lo + span),
+        ]);
+        let expected = scan.find(&filter).unwrap();
+        prop_assert_eq!(&eq_only.find(&filter).unwrap(), &expected);
+        prop_assert_eq!(&both.find(&filter).unwrap(), &expected);
+        prop_assert_eq!(both.count(&filter).unwrap(), expected.len());
+    }
+
+    #[test]
+    fn windowed_find_equals_materialized_slice(
+        docs in prop::collection::vec(("[ab]", -50i64..50), 0..40),
+        probe_m in "[ab]",
+        skip in 0usize..45,
+        limit in 0usize..45,
+        sorted in any::<bool>(),
+    ) {
+        // skip/limit pushdown (and the sorted reference-window path) must
+        // agree with slicing the fully materialized result, with and
+        // without indexes.
+        let c = Collection::new();
+        for (m, v) in &docs {
+            c.insert_one(json!({"m": m, "v": v})).unwrap();
+        }
+        let filter = Filter::eq("m", probe_m.clone());
+        let mut opts = FindOptions::new().skip(skip).limit(limit);
+        if sorted {
+            opts = opts.sort("v", SortOrder::Ascending);
+        }
+        let full_opts = if sorted {
+            FindOptions::new().sort("v", SortOrder::Ascending)
+        } else {
+            FindOptions::new()
+        };
+        let full = c.find_with_options(&filter, &full_opts).unwrap();
+        let expected: Vec<Value> =
+            full.iter().skip(skip).take(limit).cloned().collect();
+        prop_assert_eq!(&c.find_with_options(&filter, &opts).unwrap(), &expected);
+        c.create_index("m");
+        prop_assert_eq!(&c.find_with_options(&filter, &opts).unwrap(), &expected);
+    }
 }

@@ -5,6 +5,7 @@
 //! (the GoFlow server, the bench harness, a test) sees combined storage
 //! health without plumbing handles through constructors.
 
+use crate::planner::PlanKind;
 use mps_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::sync::OnceLock;
 
@@ -18,6 +19,14 @@ pub(crate) struct StoreTelemetry {
     pub(crate) collection_update: Counter,
     /// Delete-many operations executed across all collections.
     pub(crate) collection_delete: Counter,
+    /// Queries answered without any index (`plan="full_scan"`).
+    pub(crate) query_plan_full_scan: Counter,
+    /// Queries answered by one equality index (`plan="index_eq"`).
+    pub(crate) query_plan_index_eq: Counter,
+    /// Queries answered by one range index (`plan="index_range"`).
+    pub(crate) query_plan_index_range: Counter,
+    /// Queries intersecting several indexes (`plan="index_intersect"`).
+    pub(crate) query_plan_index_intersect: Counter,
     /// Latency of one insert, in seconds.
     pub(crate) collection_insert_seconds: Histogram,
     /// Latency of one find, in seconds.
@@ -51,6 +60,26 @@ pub(crate) fn telemetry() -> &'static StoreTelemetry {
                 "docstore_collection_delete_total",
                 "Delete-many operations across all collections",
             ),
+            query_plan_full_scan: registry.counter_labeled(
+                "docstore_query_plans_total",
+                &[("plan", "full_scan")],
+                "Queries by chosen plan",
+            ),
+            query_plan_index_eq: registry.counter_labeled(
+                "docstore_query_plans_total",
+                &[("plan", "index_eq")],
+                "Queries by chosen plan",
+            ),
+            query_plan_index_range: registry.counter_labeled(
+                "docstore_query_plans_total",
+                &[("plan", "index_range")],
+                "Queries by chosen plan",
+            ),
+            query_plan_index_intersect: registry.counter_labeled(
+                "docstore_query_plans_total",
+                &[("plan", "index_intersect")],
+                "Queries by chosen plan",
+            ),
             collection_insert_seconds: registry.histogram(
                 "docstore_collection_insert_seconds",
                 "Latency of one document insert (s)",
@@ -74,6 +103,18 @@ pub(crate) fn telemetry() -> &'static StoreTelemetry {
     })
 }
 
+impl StoreTelemetry {
+    /// Bumps the `docstore_query_plans_total` series for `kind`.
+    pub(crate) fn record_plan(&self, kind: PlanKind) {
+        match kind {
+            PlanKind::FullScan => self.query_plan_full_scan.inc(),
+            PlanKind::IndexEq => self.query_plan_index_eq.inc(),
+            PlanKind::IndexRange => self.query_plan_index_range.inc(),
+            PlanKind::IndexIntersect => self.query_plan_index_intersect.inc(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +135,29 @@ mod tests {
             "docstore_store_collections",
         ] {
             assert!(names.iter().any(|n| n == name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn plan_counters_register_one_series_per_label() {
+        let t = telemetry();
+        let registry = Registry::global();
+        let before = registry
+            .counter_value_labeled("docstore_query_plans_total", &[("plan", "index_eq")])
+            .unwrap_or(0);
+        t.record_plan(PlanKind::IndexEq);
+        t.record_plan(PlanKind::FullScan);
+        let after = registry
+            .counter_value_labeled("docstore_query_plans_total", &[("plan", "index_eq")])
+            .unwrap_or(0);
+        assert_eq!(after, before + 1);
+        for plan in ["full_scan", "index_eq", "index_range", "index_intersect"] {
+            assert!(
+                registry
+                    .counter_value_labeled("docstore_query_plans_total", &[("plan", plan)])
+                    .is_some(),
+                "missing plan series {plan}"
+            );
         }
     }
 }
