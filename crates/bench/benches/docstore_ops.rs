@@ -33,8 +33,8 @@ fn bench_insert(c: &mut Criterion) {
     });
     group.bench_function("with_two_indexes", |b| {
         let collection = Collection::new();
-        collection.create_index("i");
-        collection.create_index("spl");
+        collection.create_index("i").unwrap();
+        collection.create_index("spl").unwrap();
         let mut i = 0u64;
         b.iter(|| {
             collection
@@ -56,7 +56,7 @@ fn bench_query(c: &mut Criterion) {
             b.iter(|| scan.count(black_box(&filter)).unwrap())
         });
         let indexed = seeded_collection(n);
-        indexed.create_index("model");
+        indexed.create_index("model").unwrap();
         group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
             b.iter(|| indexed.count(black_box(&filter)).unwrap())
         });
@@ -71,7 +71,7 @@ fn bench_query(c: &mut Criterion) {
         b.iter(|| scan.count(black_box(&filter)).unwrap())
     });
     let indexed = seeded_collection(n);
-    indexed.create_index("spl");
+    indexed.create_index("spl").unwrap();
     group.bench_function("indexed", |b| {
         b.iter(|| indexed.count(black_box(&filter)).unwrap())
     });
@@ -93,8 +93,8 @@ fn bench_intersect_query(c: &mut Criterion) {
         b.iter(|| scan.find(black_box(&filter)).unwrap())
     });
     let indexed = seeded_collection(n);
-    indexed.create_index("model");
-    indexed.create_index("spl");
+    indexed.create_index("model").unwrap();
+    indexed.create_index("spl").unwrap();
     group.bench_function("two_indexes", |b| {
         b.iter(|| indexed.find(black_box(&filter)).unwrap())
     });

@@ -16,6 +16,7 @@ use mps_assim::{Blue, Grid, Localization, PointObservation};
 use mps_broker::{topic_matches, CompiledPattern, TopicTrie};
 use mps_docstore::{Collection, Filter};
 use mps_types::GeoBounds;
+use mps_wal::{Wal, WalConfig};
 use serde_json::{json, Value};
 use std::hint::black_box;
 use std::time::Instant;
@@ -115,8 +116,8 @@ pub fn broker_routing(n: usize, samples: usize, iters: usize) -> (f64, f64) {
 pub fn observation_collection(n: usize, with_indexes: bool) -> Collection {
     let c = Collection::new();
     if with_indexes {
-        c.create_index("zone");
-        c.create_index("spl");
+        c.create_index("zone").expect("in-memory index");
+        c.create_index("spl").expect("in-memory index");
     }
     for i in 0..n {
         let (zone, spl) = if i < 50 {
@@ -207,10 +208,54 @@ pub fn blue_analysis(m: usize, samples: usize) -> (f64, f64) {
     (localized_ns, global_ns)
 }
 
+/// A scratch directory for the WAL append benches.
+fn wal_bench_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "mps-bench-wal-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Median ns per *record* of appending batches of `batch` ~100-byte
+/// records: `(group_commit, per_record)` — one fsync per batch versus
+/// one fsync per record. `telemetry` controls whether the WAL mirrors
+/// its counters into the global registry while timing (the
+/// `--no-telemetry` perf-baseline flag turns it off so WAL-on vs
+/// WAL-off numbers are attributable to the log itself).
+pub fn wal_append(batch: usize, samples: usize, iters: usize, telemetry: bool) -> (f64, f64) {
+    let payload = vec![0x5au8; 100];
+    let batched: Vec<Vec<u8>> = vec![payload.clone(); batch];
+
+    let group_dir = wal_bench_dir("group");
+    let (mut wal, _) =
+        Wal::open(&group_dir, WalConfig::default().telemetry(telemetry)).expect("open bench wal");
+    let group_ns = median_ns_per_op(samples, iters, || {
+        black_box(wal.append_batch(black_box(&batched)).expect("append batch"));
+    }) / batch as f64;
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&group_dir);
+
+    let single_dir = wal_bench_dir("single");
+    let (mut wal, _) =
+        Wal::open(&single_dir, WalConfig::default().telemetry(telemetry)).expect("open bench wal");
+    let single_ns = median_ns_per_op(samples, iters, || {
+        for p in &batched {
+            black_box(wal.append(black_box(p)).expect("append record"));
+        }
+    }) / batch as f64;
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&single_dir);
+
+    (group_ns, single_ns)
+}
+
 /// Runs the full measurement matrix. `quick` shrinks sample counts for
 /// smoke runs (CI `bench-smoke`); the committed baseline uses the slow
-/// path.
-pub fn baseline_measurements(quick: bool) -> Vec<Measurement> {
+/// path. `telemetry: false` measures with registry mirrors off.
+pub fn baseline_measurements(quick: bool, telemetry: bool) -> Vec<Measurement> {
     let (samples, iters) = if quick { (5, 200) } else { (15, 2_000) };
     let blue_samples = if quick { 3 } else { 7 };
     let mut out = Vec::new();
@@ -274,6 +319,24 @@ pub fn baseline_measurements(quick: bool) -> Vec<Measurement> {
             variant: "global",
             size: obs,
             median_ns_per_op: global,
+        });
+    }
+
+    for batch in [16usize, 128] {
+        let wal_iters = if quick { 10 } else { 40 };
+        let wal_samples = if quick { 3 } else { 7 };
+        let (group, single) = wal_append(batch, wal_samples, wal_iters, telemetry);
+        out.push(Measurement {
+            bench: "wal_append",
+            variant: "group_commit",
+            size: batch,
+            median_ns_per_op: group,
+        });
+        out.push(Measurement {
+            bench: "wal_append",
+            variant: "per_record",
+            size: batch,
+            median_ns_per_op: single,
         });
     }
     out

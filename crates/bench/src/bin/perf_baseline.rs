@@ -1,10 +1,13 @@
 //! Emits the machine-readable performance baseline (`BENCH_pipeline.json`).
 //!
 //! ```text
-//! cargo run -p mps-bench --release --bin perf_baseline -- [--quick] [--out PATH]
+//! cargo run -p mps-bench --release --bin perf_baseline -- \
+//!     [--quick] [--no-telemetry] [--out PATH]
 //! ```
 //!
-//! `--quick` shrinks sample counts (CI `bench-smoke` uses it); `--out`
+//! `--quick` shrinks sample counts (CI `bench-smoke` uses it);
+//! `--no-telemetry` measures with the WAL's registry mirrors off so
+//! WAL-on vs WAL-off numbers are attributable to the log itself; `--out`
 //! defaults to `BENCH_pipeline.json` in the current directory. The
 //! printed summary shows the speedup of every optimized variant over its
 //! naive reference; `docs/PERFORMANCE.md` documents the setups.
@@ -14,11 +17,13 @@ use std::collections::BTreeMap;
 
 fn main() {
     let mut quick = false;
+    let mut telemetry = true;
     let mut out_path = "BENCH_pipeline.json".to_owned();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--no-telemetry" => telemetry = false,
             "--out" => match argv.next() {
                 Some(path) => out_path = path,
                 None => {
@@ -28,17 +33,18 @@ fn main() {
             },
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf_baseline [--quick] [--out PATH]");
+                eprintln!("usage: perf_baseline [--quick] [--no-telemetry] [--out PATH]");
                 std::process::exit(2);
             }
         }
     }
 
     eprintln!(
-        "measuring perf baseline ({} mode)...",
-        if quick { "quick" } else { "full" }
+        "measuring perf baseline ({} mode, telemetry {})...",
+        if quick { "quick" } else { "full" },
+        if telemetry { "on" } else { "off" },
     );
-    let measurements = baseline_measurements(quick);
+    let measurements = baseline_measurements(quick, telemetry);
     print_speedups(&measurements);
 
     let report = baseline_report(&measurements);
@@ -70,6 +76,7 @@ fn print_speedups(measurements: &[Measurement]) {
     let reference_variant = |bench: &str| match bench {
         "broker_routing" => "naive_scan",
         "blue_analysis" => "global",
+        "wal_append" => "per_record",
         _ => "full_scan",
     };
     let mut by_key: BTreeMap<(&str, usize), BTreeMap<&str, f64>> = BTreeMap::new();

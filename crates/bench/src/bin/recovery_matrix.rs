@@ -1,0 +1,416 @@
+//! The CI crash-kill recovery matrix.
+//!
+//! ```text
+//! cargo run -p mps-bench --release --bin recovery_matrix -- [--long] [--out PATH]
+//! ```
+//!
+//! Drives every WAL kill point (mid-append, post-append-pre-ack,
+//! mid-snapshot, mid-compaction) through both durable components (the
+//! docstore and the broker), then asserts the recovery contract:
+//!
+//! * **Zero silent loss** — every operation that was acknowledged before
+//!   the crash is present after reopen; the single in-flight operation
+//!   that returned an error may legitimately land on either side of the
+//!   crash (it is counted as *ambiguous*, never lost silently).
+//! * **No resurrection** — acknowledged deletes and message acks stay
+//!   applied; a torn tail never brings them back.
+//! * **Determinism** — two independent replays of the same log produce
+//!   byte-identical docstore exports and identical broker queue
+//!   snapshots.
+//!
+//! `--long` widens the matrix (more operations, several kill offsets per
+//! point) for the nightly CI run; `--out` names the recovery-report
+//! artifact (default `recovery-report.txt`). Exit status: 0 when every
+//! cell passes, 1 otherwise.
+
+// A CLI's job is to print.
+#![allow(clippy::print_stdout)]
+
+use mps_broker::{Broker, BrokerDurabilityConfig, ExchangeType};
+use mps_docstore::{Durability, DurabilityConfig, Filter, Store};
+use mps_faults::{CrashPlan, CrashTarget};
+use mps_wal::{KillPoint, WalConfig};
+use serde_json::json;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Records appended between snapshot attempts in every cell — small, so
+/// the mid-snapshot and mid-compaction kill points fire early.
+const SNAPSHOT_EVERY: u64 = 8;
+
+fn main() {
+    let mut long = false;
+    let mut out_path = "recovery-report.txt".to_owned();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--long" => long = true,
+            "--out" => match argv.next() {
+                Some(path) => out_path = path,
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: recovery_matrix [--long] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let ops: u64 = if long { 512 } else { 48 };
+    let append_skips: &[u64] = if long { &[2, 10, 25] } else { &[6] };
+    let snapshot_skips: &[u64] = if long { &[0, 1, 2] } else { &[1] };
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "crash-kill recovery matrix ({} mode, {ops} ops/cell, snapshot every {SNAPSHOT_EVERY})",
+        if long { "long" } else { "quick" },
+    );
+    let mut failures = 0usize;
+    for target in [CrashTarget::Docstore, CrashTarget::Broker] {
+        for point in KillPoint::ALL {
+            let skips = match point {
+                KillPoint::MidAppend | KillPoint::PostAppendPreAck => append_skips,
+                KillPoint::MidSnapshot | KillPoint::MidCompaction => snapshot_skips,
+            };
+            for &skip in skips {
+                let outcome = match target {
+                    CrashTarget::Docstore => docstore_cell(point, skip, ops),
+                    CrashTarget::Broker => broker_cell(point, skip, ops),
+                };
+                let line = match outcome {
+                    Ok(cell) => format!(
+                        "PASS {:>8} {:>18} skip {:>2}: {} committed, {} ambiguous, {} recovered, torn_tail={}, deterministic",
+                        target.as_str(),
+                        point.as_str(),
+                        skip,
+                        cell.committed,
+                        cell.ambiguous,
+                        cell.recovered,
+                        cell.torn,
+                    ),
+                    Err(why) => {
+                        failures += 1;
+                        format!(
+                            "FAIL {:>8} {:>18} skip {:>2}: {why}",
+                            target.as_str(),
+                            point.as_str(),
+                            skip,
+                        )
+                    }
+                };
+                println!("{line}");
+                let _ = writeln!(report, "{line}");
+            }
+        }
+    }
+    let verdict = if failures == 0 {
+        "verdict: all cells passed".to_owned()
+    } else {
+        format!("verdict: {failures} cell(s) FAILED")
+    };
+    println!("{verdict}");
+    let _ = writeln!(report, "{verdict}");
+    if let Err(err) = std::fs::write(&out_path, report) {
+        eprintln!("failed to write {out_path}: {err}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// What a passing cell measured, for the report artifact.
+struct Cell {
+    /// Operations acknowledged before the crash.
+    committed: usize,
+    /// Operations whose error raced the crash (either outcome is legal).
+    ambiguous: usize,
+    /// Entities present after recovery (documents or messages).
+    recovered: usize,
+    /// Whether recovery truncated a torn tail.
+    torn: bool,
+}
+
+/// A scratch log directory, unique without consulting the wall clock.
+fn scratch(target: &str, point: KillPoint, skip: u64) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "mps-recovery-matrix-{target}-{}-{skip}-{}-{}",
+        point.as_str(),
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Whether the log under `dir` shows a torn tail right now (checked
+/// before the first recovery repairs it in place).
+fn torn_tail(dir: &PathBuf) -> bool {
+    mps_wal::inspect(dir)
+        .map(|r| r.segments.iter().any(|s| s.torn))
+        .unwrap_or(false)
+}
+
+// ---------------------------------------------------------------------
+// Docstore: inserts plus periodic deletes, then crash, reopen twice.
+// ---------------------------------------------------------------------
+
+fn docstore_cell(point: KillPoint, skip: u64, ops: u64) -> Result<Cell, String> {
+    let dir = scratch("docstore", point, skip);
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = CrashPlan::at(CrashTarget::Docstore, point, skip);
+    let kill = plan.armed_switch();
+    let config = DurabilityConfig::new(&dir)
+        .wal(WalConfig::default().telemetry(false).kill(kill.clone()))
+        .snapshot_every(SNAPSHOT_EVERY);
+    let store =
+        Store::open(Durability::Durable(config)).map_err(|e| format!("faulted open: {e}"))?;
+    let obs = store.collection("obs");
+    obs.create_index("seq").map_err(|e| format!("index: {e}"))?;
+
+    let mut inserted: Vec<u64> = Vec::new();
+    let mut deleted: Vec<u64> = Vec::new();
+    let mut ambiguous: BTreeSet<u64> = BTreeSet::new();
+    for i in 0..ops {
+        match obs.insert_one(json!({"seq": i, "zone": format!("z{}", i % 4)})) {
+            Ok(_) => inserted.push(i),
+            Err(_) => {
+                ambiguous.insert(i);
+                break;
+            }
+        }
+        if i % 5 == 4 {
+            let victim = i - 2;
+            match obs.delete_many(&Filter::eq("seq", victim)) {
+                Ok(_) => deleted.push(victim),
+                Err(_) => {
+                    ambiguous.insert(victim);
+                    break;
+                }
+            }
+        }
+    }
+    if kill.dead() != Some(point) {
+        return Err(format!("kill never fired (dead={:?})", kill.dead()));
+    }
+    drop(obs);
+    drop(store);
+    let torn = torn_tail(&dir);
+
+    // Two independent replays of the same log must agree byte-for-byte.
+    let reopen = || -> Result<(String, Vec<u64>), String> {
+        let config = DurabilityConfig::new(&dir)
+            .wal(WalConfig::default().telemetry(false))
+            .snapshot_every(SNAPSHOT_EVERY);
+        let store = Store::open(Durability::Durable(config)).map_err(|e| format!("reopen: {e}"))?;
+        let export = store.export_json();
+        let seqs = store
+            .collection("obs")
+            .all()
+            .iter()
+            .filter_map(|d| d.get("seq").and_then(serde_json::Value::as_u64))
+            .collect();
+        Ok((export, seqs))
+    };
+    let (export_a, seqs) = reopen()?;
+    let (export_b, _) = reopen()?;
+    if export_a != export_b {
+        return Err("replay is not deterministic: exports differ".to_owned());
+    }
+
+    let deleted: BTreeSet<u64> = deleted.into_iter().collect();
+    for s in inserted.iter().filter(|s| !deleted.contains(*s)) {
+        if ambiguous.contains(s) {
+            continue;
+        }
+        let n = seqs.iter().filter(|x| *x == s).count();
+        if n != 1 {
+            return Err(format!("committed doc seq {s} present {n} times, want 1"));
+        }
+    }
+    for s in deleted.iter().filter(|s| !ambiguous.contains(*s)) {
+        if seqs.contains(s) {
+            return Err(format!("deleted doc seq {s} resurrected"));
+        }
+    }
+    let inserted_set: BTreeSet<u64> = inserted.iter().copied().collect();
+    for s in &seqs {
+        if !inserted_set.contains(s) && !ambiguous.contains(s) {
+            return Err(format!("unknown doc seq {s} appeared from nowhere"));
+        }
+    }
+    let cell = Cell {
+        committed: inserted_set.len(),
+        ambiguous: ambiguous.len(),
+        recovered: seqs.len(),
+        torn,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(cell)
+}
+
+// ---------------------------------------------------------------------
+// Broker: publish / consume+ack / nack-to-DLQ, then crash, reopen twice.
+// ---------------------------------------------------------------------
+
+fn broker_cell(point: KillPoint, skip: u64, ops: u64) -> Result<Cell, String> {
+    let dir = scratch("broker", point, skip);
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = CrashPlan::at(CrashTarget::Broker, point, skip);
+    let kill = plan.armed_switch();
+    let config = BrokerDurabilityConfig::new(&dir)
+        .wal(WalConfig::default().telemetry(false).kill(kill.clone()))
+        .snapshot_every(SNAPSHOT_EVERY);
+    let broker = Broker::open_durable(config).map_err(|e| format!("faulted open: {e}"))?;
+    let setup = || -> Result<(), mps_broker::BrokerError> {
+        broker.declare_exchange("app", ExchangeType::Topic)?;
+        broker.declare_queue("q")?;
+        broker.declare_queue("dlq")?;
+        broker.bind_queue("app", "q", "obs.#")?;
+        broker.configure_dead_letter("q", 2, "dlq")
+    };
+    setup().map_err(|e| format!("topology: {e}"))?;
+
+    let seq_of = |payload: &[u8]| -> u64 {
+        std::str::from_utf8(payload)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(u64::MAX)
+    };
+    let mut published: Vec<u64> = Vec::new();
+    let mut acked: Vec<u64> = Vec::new();
+    let mut dead_lettered: Vec<u64> = Vec::new();
+    let mut ambiguous: BTreeSet<u64> = BTreeSet::new();
+    'workload: for i in 0..ops {
+        match broker.publish("app", "obs.zone.noise", format!("{i}")) {
+            Ok(_) => published.push(i),
+            Err(_) => {
+                ambiguous.insert(i);
+                break;
+            }
+        }
+        if i % 3 == 2 {
+            // Settle the oldest ready message.
+            if let Ok(mut ds) = broker.consume("q", 1) {
+                if let Some(d) = ds.pop() {
+                    let seq = seq_of(d.payload().as_ref());
+                    match broker.ack("q", d.tag) {
+                        Ok(()) => acked.push(seq),
+                        Err(_) => {
+                            ambiguous.insert(seq);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if i % 11 == 10 {
+            // Poison the oldest ready message to the DLQ (policy: 2 attempts).
+            let mut seq = None;
+            let mut nacks = 0;
+            for _ in 0..2 {
+                let Ok(mut ds) = broker.consume("q", 1) else {
+                    break;
+                };
+                let Some(d) = ds.pop() else { break };
+                let s = seq_of(d.payload().as_ref());
+                if seq.is_some_and(|prev| prev != s) {
+                    return Err(format!("poison pill changed identity: {seq:?} vs {s}"));
+                }
+                seq = Some(s);
+                if broker.nack("q", d.tag, true).is_err() {
+                    ambiguous.insert(s);
+                    break 'workload;
+                }
+                nacks += 1;
+            }
+            match seq {
+                Some(s) if nacks == 2 => dead_lettered.push(s),
+                Some(s) => {
+                    // Consumed but not fully poisoned — either side is legal.
+                    ambiguous.insert(s);
+                }
+                None => {}
+            }
+        }
+    }
+    if kill.dead() != Some(point) {
+        return Err(format!("kill never fired (dead={:?})", kill.dead()));
+    }
+    drop(broker);
+    let torn = torn_tail(&dir);
+
+    // Two independent replays must agree snapshot-for-snapshot.
+    let reopen = || -> Result<(mps_broker::QueueSnapshot, mps_broker::QueueSnapshot), String> {
+        let config = BrokerDurabilityConfig::new(&dir)
+            .wal(WalConfig::default().telemetry(false))
+            .snapshot_every(SNAPSHOT_EVERY);
+        let broker = Broker::open_durable(config).map_err(|e| format!("reopen: {e}"))?;
+        let q = broker.queue_snapshot("q").map_err(|e| format!("q: {e}"))?;
+        let dlq = broker
+            .queue_snapshot("dlq")
+            .map_err(|e| format!("dlq: {e}"))?;
+        Ok((q, dlq))
+    };
+    let (q_a, dlq_a) = reopen()?;
+    let (q_b, dlq_b) = reopen()?;
+    if q_a != q_b || dlq_a != dlq_b {
+        return Err("replay is not deterministic: queue snapshots differ".to_owned());
+    }
+
+    if !q_a.unacked.is_empty() {
+        return Err("recovered broker has unacked messages before any consume".to_owned());
+    }
+    let q_seqs: Vec<u64> = q_a.ready.iter().map(|m| seq_of(&m.payload)).collect();
+    let dlq_seqs: Vec<u64> = dlq_a.ready.iter().map(|m| seq_of(&m.payload)).collect();
+    let everywhere: Vec<u64> = q_seqs.iter().chain(dlq_seqs.iter()).copied().collect();
+
+    let acked: BTreeSet<u64> = acked.into_iter().collect();
+    let dead_set: BTreeSet<u64> = dead_lettered.iter().copied().collect();
+    for s in acked.iter().filter(|s| !ambiguous.contains(*s)) {
+        if everywhere.contains(s) {
+            return Err(format!("acked message seq {s} resurrected"));
+        }
+    }
+    for s in dead_set.iter().filter(|s| !ambiguous.contains(*s)) {
+        let n = dlq_seqs.iter().filter(|x| *x == s).count();
+        if n != 1 || q_seqs.contains(s) {
+            return Err(format!(
+                "dead-lettered seq {s}: {n} in dlq, in_q={}",
+                q_seqs.contains(s)
+            ));
+        }
+    }
+    for s in published
+        .iter()
+        .filter(|s| !acked.contains(*s) && !dead_set.contains(*s) && !ambiguous.contains(*s))
+    {
+        let n = q_seqs.iter().filter(|x| *x == s).count();
+        if n != 1 {
+            return Err(format!(
+                "committed message seq {s} present {n} times in q, want 1"
+            ));
+        }
+    }
+    let published_set: BTreeSet<u64> = published.iter().copied().collect();
+    for s in &everywhere {
+        if !published_set.contains(s) && !ambiguous.contains(s) {
+            return Err(format!("unknown message seq {s} appeared from nowhere"));
+        }
+    }
+    let cell = Cell {
+        committed: published_set.len(),
+        ambiguous: ambiguous.len(),
+        recovered: everywhere.len(),
+        torn,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(cell)
+}

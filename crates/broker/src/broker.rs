@@ -1,5 +1,6 @@
 //! The broker: exchanges, queues, bindings, publish/consume.
 
+use crate::durability::{self, BrokerDurabilityConfig, BrokerDurable, MessageView, QueueSnapshot};
 use crate::metrics::MetricsSnapshot;
 use crate::router::{ExchangeIndex, RouteCache};
 use crate::topic::CompiledPattern;
@@ -118,11 +119,12 @@ pub struct DeadLetterPolicy {
 #[derive(Debug, Default)]
 struct QueueState {
     /// Ready messages, each with the number of times it was already
-    /// delivered (0 = fresh, > 0 = redelivery).
-    ready: VecDeque<(Arc<Message>, u32)>,
+    /// delivered (0 = fresh, > 0 = redelivery) and its durable id
+    /// (0 on in-memory brokers).
+    ready: VecDeque<(Arc<Message>, u32, u64)>,
     /// Unacked deliveries, keyed by tag, with the delivery count
-    /// *including* the in-flight one.
-    unacked: BTreeMap<u64, (Arc<Message>, u32)>,
+    /// *including* the in-flight one and the durable id.
+    unacked: BTreeMap<u64, (Arc<Message>, u32, u64)>,
     next_tag: u64,
     capacity: Option<usize>,
     enqueued_total: u64,
@@ -133,6 +135,9 @@ struct QueueState {
 struct State {
     exchanges: BTreeMap<String, ExchangeState>,
     queues: BTreeMap<String, QueueState>,
+    /// Next durable id to assign to an enqueued message copy; starts at
+    /// 1 on durable brokers, unused (0) on in-memory ones.
+    next_durable_id: u64,
     /// Memoized `(entry exchange, key)` → destination-queue sets;
     /// invalidated on every bind/unbind/delete.
     route_cache: RouteCache,
@@ -171,16 +176,148 @@ pub struct QueueInfo {
 /// See the [crate documentation](crate) for the model and an example. All
 /// methods take `&self`; the broker is internally synchronised and can be
 /// shared across threads behind an [`Arc`].
+///
+/// Brokers are in-memory by default; [`Broker::open_durable`]
+/// write-ahead-logs every queue transition and replays the log on reopen
+/// — see [`mod@crate::durability`].
 #[derive(Debug, Default)]
 pub struct Broker {
     state: Mutex<State>,
     metrics: BrokerMetrics,
+    durable: Option<BrokerDurable>,
 }
 
 impl Broker {
     /// Creates an empty broker (no exchanges, no queues).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Opens a durable broker: recovers queue contents from the log in
+    /// `config.dir` (creating it on first open) and write-ahead-logs
+    /// every subsequent queue transition.
+    ///
+    /// Topology (exchanges, bindings, capacities, dead-letter policies)
+    /// is not persisted; re-declare it after opening — declarations are
+    /// idempotent and keep recovered messages. Messages that were
+    /// unacked at the crash come back as ready (at-least-once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::Durability`] if the log cannot be opened
+    /// or replayed.
+    pub fn open_durable(config: BrokerDurabilityConfig) -> Result<Self, BrokerError> {
+        let (wal, recovered) =
+            mps_wal::Wal::open(&config.dir, config.wal).map_err(durability::wal_err)?;
+        let replayed = durability::replay(&recovered)?;
+        let mut queues: BTreeMap<String, QueueState> = BTreeMap::new();
+        for (name, entries) in replayed.queues {
+            let mut q = QueueState::default();
+            for e in entries {
+                let mut message = Message::new(RoutingKey::new(&e.key)?, e.payload);
+                for (k, v) in e.headers {
+                    message = message.with_header(k, v);
+                }
+                q.ready.push_back((Arc::new(message), e.deliveries, e.id));
+            }
+            q.enqueued_total = q.ready.len() as u64;
+            queues.insert(name, q);
+        }
+        let state = State {
+            queues,
+            next_durable_id: replayed.next_id,
+            ..State::default()
+        };
+        Ok(Self {
+            state: Mutex::new(state),
+            metrics: BrokerMetrics::default(),
+            durable: Some(BrokerDurable::new(wal, config.snapshot_every)),
+        })
+    }
+
+    /// Whether this broker write-ahead-logs its queue transitions.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Snapshots the full queue state into the log and compacts covered
+    /// segments. Returns the LSN the snapshot covers through.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::Durability`] on an in-memory broker or if
+    /// the snapshot cannot be written.
+    pub fn checkpoint(&self) -> Result<u64, BrokerError> {
+        let durable = self
+            .durable
+            .as_ref()
+            .ok_or_else(|| BrokerError::Durability("broker is not durable".into()))?;
+        let state = self.state.lock();
+        let mut view: BTreeMap<String, Vec<durability::RecoveredEntry>> = BTreeMap::new();
+        for (name, q) in &state.queues {
+            let mut entries: Vec<durability::RecoveredEntry> = q
+                .ready
+                .iter()
+                .map(|(m, d, id)| durability::entry_of(m, *d, *id))
+                .collect();
+            // An unacked delivery is durably still owed to the queue:
+            // fold it back as ready, in tag order, so recovery
+            // redelivers it.
+            entries.extend(
+                q.unacked
+                    .values()
+                    .map(|(m, d, id)| durability::entry_of(m, *d, *id)),
+            );
+            if !entries.is_empty() {
+                view.insert(name.clone(), entries);
+            }
+        }
+        let bytes = durability::encode_snapshot(&view, state.next_durable_id)?;
+        durable.write_snapshot(&bytes)
+    }
+
+    /// Takes a snapshot when the cadence says so; snapshot failures are
+    /// deliberately swallowed (the log itself is still intact, and a
+    /// crash-killed instance fails its next mutation anyway). Must be
+    /// called *without* the state lock held.
+    fn maybe_snapshot(&self) {
+        if self
+            .durable
+            .as_ref()
+            .is_some_and(BrokerDurable::snapshot_due)
+        {
+            let _ = self.checkpoint();
+        }
+    }
+
+    /// Management view of one queue's full message state — ready and
+    /// unacked copies in order, with durable ids and delivery counts.
+    /// Two recovered brokers with equal snapshots hold identical state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::QueueNotFound`] if the queue does not exist.
+    pub fn queue_snapshot(&self, name: &str) -> Result<QueueSnapshot, BrokerError> {
+        let state = self.state.lock();
+        let q = state
+            .queues
+            .get(name)
+            .ok_or_else(|| BrokerError::QueueNotFound(name.into()))?;
+        let view = |m: &Arc<Message>, deliveries: u32, id: u64| MessageView {
+            durable_id: id,
+            deliveries,
+            key: m.routing_key().as_str().to_owned(),
+            payload: m.payload().to_vec(),
+        };
+        Ok(QueueSnapshot {
+            name: name.to_owned(),
+            ready: q.ready.iter().map(|(m, d, id)| view(m, *d, *id)).collect(),
+            unacked: q
+                .unacked
+                .values()
+                .map(|(m, d, id)| view(m, *d, *id))
+                .collect(),
+        })
     }
 
     // ----- management -----------------------------------------------------
@@ -370,7 +507,9 @@ impl Broker {
     ///
     /// # Errors
     ///
-    /// Returns [`BrokerError::QueueNotFound`] if it does not exist.
+    /// Returns [`BrokerError::QueueNotFound`] if it does not exist, or
+    /// [`BrokerError::Durability`] if a durable broker fails to log the
+    /// deletion.
     pub fn delete_queue(&self, name: &str) -> Result<(), BrokerError> {
         let mut state = self.state.lock();
         if state.queues.remove(name).is_none() {
@@ -381,6 +520,11 @@ impl Broker {
             ex.retain_bindings(|b| b.target != gone);
         }
         state.route_cache.invalidate();
+        if let Some(durable) = &self.durable {
+            durable.append(&[durability::delete_queue_delta(name)])?;
+        }
+        drop(state);
+        self.maybe_snapshot();
         Ok(())
     }
 
@@ -389,7 +533,9 @@ impl Broker {
     ///
     /// # Errors
     ///
-    /// Returns [`BrokerError::QueueNotFound`] if the queue does not exist.
+    /// Returns [`BrokerError::QueueNotFound`] if the queue does not
+    /// exist, or [`BrokerError::Durability`] if a durable broker fails
+    /// to log the purge.
     pub fn purge_queue(&self, name: &str) -> Result<usize, BrokerError> {
         let mut state = self.state.lock();
         let q = state
@@ -397,7 +543,15 @@ impl Broker {
             .get_mut(name)
             .ok_or_else(|| BrokerError::QueueNotFound(name.into()))?;
         let n = q.ready.len();
+        let ids: Vec<u64> = q.ready.iter().map(|(_, _, id)| *id).collect();
         q.ready.clear();
+        if let Some(durable) = &self.durable {
+            if !ids.is_empty() {
+                durable.append(&[durability::purge_delta(name, &ids)])?;
+            }
+        }
+        drop(state);
+        self.maybe_snapshot();
         Ok(n)
     }
 
@@ -572,16 +726,36 @@ impl Broker {
         let message = trace_publish(message, enqueued, targets.is_empty());
 
         let shared = Arc::new(message);
+        let mut deltas = Vec::new();
         for queue_name in &accepting {
+            let id = if self.durable.is_some() {
+                let id = state.next_durable_id;
+                state.next_durable_id += 1;
+                id
+            } else {
+                0
+            };
             let q = state
                 .queues
                 .get_mut(queue_name)
                 // mps-lint: allow(L003) -- accept set was built from existing queues under the same lock; no deletion can interleave
                 .expect("accept set built from existing queues");
-            q.ready.push_back((Arc::clone(&shared), 0));
+            q.ready.push_back((Arc::clone(&shared), 0, id));
             q.enqueued_total += 1;
+            if self.durable.is_some() {
+                deltas.push(durability::enqueue_delta(
+                    queue_name,
+                    &durability::entry_of(&shared, 0, id),
+                ));
+            }
+        }
+        // One group-committed append (one fsync) covers the whole fan-out.
+        if let Some(durable) = &self.durable {
+            durable.append(&deltas)?;
         }
         self.metrics.on_routed(enqueued as u64);
+        drop(state);
+        self.maybe_snapshot();
         Ok(enqueued)
     }
 
@@ -601,13 +775,17 @@ impl Broker {
         let n = max.min(q.ready.len());
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
-            let Some((message, prior_deliveries)) = q.ready.pop_front() else {
+            let Some((message, prior_deliveries, durable_id)) = q.ready.pop_front() else {
                 break;
             };
             let tag = q.next_tag;
             q.next_tag += 1;
-            q.unacked
-                .insert(tag, (Arc::clone(&message), prior_deliveries + 1));
+            // Deliveries are deliberately not logged: an unacked message
+            // is restored as ready on recovery (at-least-once).
+            q.unacked.insert(
+                tag,
+                (Arc::clone(&message), prior_deliveries + 1, durable_id),
+            );
             out.push(Delivery {
                 tag,
                 message,
@@ -618,25 +796,34 @@ impl Broker {
         Ok(out)
     }
 
-    /// Acknowledges a delivery, removing it from the unacked set.
+    /// Acknowledges a delivery, removing it from the unacked set. On a
+    /// durable broker the ack is logged, so the message is never
+    /// resurrected by recovery.
     ///
     /// # Errors
     ///
-    /// Returns [`BrokerError::UnknownDeliveryTag`] for an unknown tag and
-    /// [`BrokerError::QueueNotFound`] for an unknown queue.
+    /// Returns [`BrokerError::UnknownDeliveryTag`] for an unknown tag,
+    /// [`BrokerError::QueueNotFound`] for an unknown queue, and
+    /// [`BrokerError::Durability`] if logging the ack fails.
     pub fn ack(&self, queue: &str, tag: u64) -> Result<(), BrokerError> {
         let mut state = self.state.lock();
         let q = state
             .queues
             .get_mut(queue)
             .ok_or_else(|| BrokerError::QueueNotFound(queue.into()))?;
-        q.unacked
+        let (_, _, durable_id) = q
+            .unacked
             .remove(&tag)
             .ok_or(BrokerError::UnknownDeliveryTag {
                 queue: queue.into(),
                 tag,
             })?;
+        if let Some(durable) = &self.durable {
+            durable.append(&[durability::ack_delta(queue, durable_id)])?;
+        }
         self.metrics.on_acked();
+        drop(state);
+        self.maybe_snapshot();
         Ok(())
     }
 
@@ -649,16 +836,18 @@ impl Broker {
     ///
     /// # Errors
     ///
-    /// Returns [`BrokerError::UnknownDeliveryTag`] for an unknown tag and
-    /// [`BrokerError::QueueNotFound`] for an unknown queue.
+    /// Returns [`BrokerError::UnknownDeliveryTag`] for an unknown tag,
+    /// [`BrokerError::QueueNotFound`] for an unknown queue, and
+    /// [`BrokerError::Durability`] if a durable broker fails to log the
+    /// transition.
     pub fn nack(&self, queue: &str, tag: u64, requeue: bool) -> Result<(), BrokerError> {
         let mut state = self.state.lock();
-        let (message, attempts, dead_letter_to) = {
+        let (message, attempts, durable_id, dead_letter_to) = {
             let q = state
                 .queues
                 .get_mut(queue)
                 .ok_or_else(|| BrokerError::QueueNotFound(queue.into()))?;
-            let (message, attempts) =
+            let (message, attempts, durable_id) =
                 q.unacked
                     .remove(&tag)
                     .ok_or(BrokerError::UnknownDeliveryTag {
@@ -670,10 +859,11 @@ impl Broker {
                 .as_ref()
                 .filter(|policy| attempts >= policy.max_delivery_attempts)
                 .map(|policy| policy.target.clone());
-            (message, attempts, dead_letter_to)
+            (message, attempts, durable_id, dead_letter_to)
         };
         self.metrics.on_delivery_failed();
-        if !requeue {
+        let durable_on = self.durable.is_some();
+        let delta = if !requeue {
             self.metrics.on_dropped();
             trace_message_terminal(
                 &message,
@@ -681,53 +871,65 @@ impl Broker {
                 Outcome::Dropped,
                 &[("reason", "nack_discarded"), ("queue", queue)],
             );
-            return Ok(());
+            durable_on.then(|| durability::discard_delta(queue, durable_id))
+        } else {
+            match dead_letter_to {
+                None => match state.queues.get_mut(queue) {
+                    Some(q) => {
+                        q.ready.push_front((message, attempts, durable_id));
+                        self.metrics.on_requeued();
+                        durable_on.then(|| durability::requeue_delta(queue, durable_id, attempts))
+                    }
+                    // The home queue cannot vanish while we hold the lock,
+                    // but if it ever did, degrade to a counted drop — never
+                    // a panic, never a silent loss. No delta: deleting the
+                    // queue already logged the removal of its messages.
+                    None => {
+                        self.metrics.on_dropped();
+                        trace_message_terminal(
+                            &message,
+                            Hop::BrokerDlq,
+                            Outcome::Dropped,
+                            &[("reason", "queue_vanished"), ("queue", queue)],
+                        );
+                        None
+                    }
+                },
+                // Delivery attempts are exhausted: the message leaves its home
+                // queue for good. A full or deleted dead-letter queue degrades
+                // to a counted drop — never a silent loss.
+                Some(target) => match state.queues.get_mut(&target) {
+                    Some(dlq) if !dlq.capacity.is_some_and(|cap| dlq.ready.len() >= cap) => {
+                        dlq.ready.push_back((Arc::clone(&message), 0, durable_id));
+                        dlq.enqueued_total += 1;
+                        self.metrics.on_dead_lettered();
+                        trace_message_terminal(
+                            &message,
+                            Hop::BrokerDlq,
+                            Outcome::DeadLettered,
+                            &[("attempts", &attempts.to_string()), ("to", &target)],
+                        );
+                        durable_on
+                            .then(|| durability::dead_letter_delta(queue, durable_id, &target))
+                    }
+                    _ => {
+                        self.metrics.on_dropped();
+                        trace_message_terminal(
+                            &message,
+                            Hop::BrokerDlq,
+                            Outcome::Dropped,
+                            &[("reason", "dlq_unavailable"), ("to", &target)],
+                        );
+                        durable_on.then(|| durability::discard_delta(queue, durable_id))
+                    }
+                },
+            }
+        };
+        if let (Some(durable), Some(delta)) = (&self.durable, delta) {
+            durable.append(&[delta])?;
         }
-        match dead_letter_to {
-            None => match state.queues.get_mut(queue) {
-                Some(q) => {
-                    q.ready.push_front((message, attempts));
-                    self.metrics.on_requeued();
-                }
-                // The home queue cannot vanish while we hold the lock,
-                // but if it ever did, degrade to a counted drop — never
-                // a panic, never a silent loss.
-                None => {
-                    self.metrics.on_dropped();
-                    trace_message_terminal(
-                        &message,
-                        Hop::BrokerDlq,
-                        Outcome::Dropped,
-                        &[("reason", "queue_vanished"), ("queue", queue)],
-                    );
-                }
-            },
-            // Delivery attempts are exhausted: the message leaves its home
-            // queue for good. A full or deleted dead-letter queue degrades
-            // to a counted drop — never a silent loss.
-            Some(target) => match state.queues.get_mut(&target) {
-                Some(dlq) if !dlq.capacity.is_some_and(|cap| dlq.ready.len() >= cap) => {
-                    dlq.ready.push_back((Arc::clone(&message), 0));
-                    dlq.enqueued_total += 1;
-                    self.metrics.on_dead_lettered();
-                    trace_message_terminal(
-                        &message,
-                        Hop::BrokerDlq,
-                        Outcome::DeadLettered,
-                        &[("attempts", &attempts.to_string()), ("to", &target)],
-                    );
-                }
-                _ => {
-                    self.metrics.on_dropped();
-                    trace_message_terminal(
-                        &message,
-                        Hop::BrokerDlq,
-                        Outcome::Dropped,
-                        &[("reason", "dlq_unavailable"), ("to", &target)],
-                    );
-                }
-            },
-        }
+        drop(state);
+        self.maybe_snapshot();
         Ok(())
     }
 
@@ -1419,5 +1621,211 @@ mod tests {
         assert_eq!(ExchangeType::Direct.to_string(), "direct");
         assert_eq!(ExchangeType::Fanout.to_string(), "fanout");
         assert_eq!(ExchangeType::Topic.to_string(), "topic");
+    }
+
+    // ----- durability ------------------------------------------------------
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "mps-broker-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn durable_config(dir: &std::path::Path) -> BrokerDurabilityConfig {
+        BrokerDurabilityConfig::new(dir).wal(mps_wal::WalConfig::default().telemetry(false))
+    }
+
+    /// Re-declares the topology apps set up on startup.
+    fn declare_app(b: &Broker) {
+        b.declare_exchange("app", ExchangeType::Topic).unwrap();
+        b.declare_queue("q").unwrap();
+        b.declare_queue("dlq").unwrap();
+        b.bind_queue("app", "q", "obs.#").unwrap();
+        b.configure_dead_letter("q", 2, "dlq").unwrap();
+    }
+
+    #[test]
+    fn reopen_reproduces_queue_and_dlq_state() {
+        let dir = temp_dir("reopen");
+        let b = Broker::open_durable(durable_config(&dir)).unwrap();
+        assert!(b.is_durable());
+        declare_app(&b);
+        for i in 0..4 {
+            b.publish("app", "obs.x", format!("m{i}").into_bytes())
+                .unwrap();
+        }
+        // m0 acked; m1 nacked to exhaustion (dead-lettered); m2 left
+        // unacked (in flight at the crash); m3 never consumed.
+        let d = b.consume("q", 1).unwrap();
+        b.ack("q", d[0].tag).unwrap();
+        for _ in 0..2 {
+            let d = b.consume("q", 1).unwrap();
+            b.nack("q", d[0].tag, true).unwrap();
+        }
+        let _in_flight = b.consume("q", 1).unwrap();
+        drop(b);
+
+        let b = Broker::open_durable(durable_config(&dir)).unwrap();
+        declare_app(&b);
+        let q = b.queue_snapshot("q").unwrap();
+        let payloads: Vec<&[u8]> = q.ready.iter().map(|m| m.payload.as_slice()).collect();
+        assert_eq!(
+            payloads,
+            vec![&b"m2"[..], &b"m3"[..]],
+            "unacked restored as ready"
+        );
+        assert!(q.unacked.is_empty());
+        let dlq = b.queue_snapshot("dlq").unwrap();
+        assert_eq!(dlq.ready.len(), 1);
+        assert_eq!(dlq.ready[0].payload, b"m1");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn double_replay_is_identical() {
+        let dir = temp_dir("replay");
+        let b = Broker::open_durable(durable_config(&dir)).unwrap();
+        declare_app(&b);
+        for i in 0..8 {
+            b.publish("app", "obs.x", vec![i]).unwrap();
+        }
+        let d = b.consume("q", 3).unwrap();
+        b.ack("q", d[0].tag).unwrap();
+        b.nack("q", d[1].tag, true).unwrap();
+        b.nack("q", d[2].tag, false).unwrap();
+        drop(b);
+
+        let first = Broker::open_durable(durable_config(&dir)).unwrap();
+        let second = Broker::open_durable(durable_config(&dir)).unwrap();
+        for queue in ["q", "dlq"] {
+            let a = first.queue_snapshot(queue);
+            let b = second.queue_snapshot(queue);
+            match (a, b) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "queue {queue}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "queue {queue}"),
+                (a, b) => panic!("divergent replay for {queue}: {a:?} vs {b:?}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_and_compaction_preserve_state() {
+        let dir = temp_dir("snap");
+        let config = durable_config(&dir)
+            .wal(
+                mps_wal::WalConfig::default()
+                    .telemetry(false)
+                    .segment_max_bytes(256),
+            )
+            .snapshot_every(4);
+        let b = Broker::open_durable(config.clone()).unwrap();
+        declare_app(&b);
+        for i in 0..32u8 {
+            b.publish("app", "obs.x", vec![i]).unwrap();
+        }
+        let d = b.consume("q", 8).unwrap();
+        for delivery in &d {
+            b.ack("q", delivery.tag).unwrap();
+        }
+        b.checkpoint().unwrap();
+        let live = b.queue_snapshot("q").unwrap();
+        drop(b);
+
+        let recovered = Broker::open_durable(config).unwrap();
+        let q = recovered.queue_snapshot("q").unwrap();
+        assert_eq!(q.ready, live.ready);
+        assert_eq!(q.ready.len(), 24);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_never_resurrects_acked_messages() {
+        let dir = temp_dir("torn");
+        let kill = mps_wal::KillSwitch::new();
+        let config = durable_config(&dir).wal(
+            mps_wal::WalConfig::default()
+                .telemetry(false)
+                .kill(kill.clone()),
+        );
+        let b = Broker::open_durable(config).unwrap();
+        declare_app(&b);
+        b.publish("app", "obs.x", &b"acked"[..]).unwrap();
+        b.publish("app", "obs.x", &b"kept"[..]).unwrap();
+        let d = b.consume("q", 1).unwrap();
+        b.ack("q", d[0].tag).unwrap();
+        // The next publish tears the tail mid-append: its record must be
+        // truncated on recovery, while the ack before it stays effective.
+        kill.arm(mps_wal::KillPoint::MidAppend, 0);
+        let err = b.publish("app", "obs.x", &b"torn"[..]).unwrap_err();
+        assert!(matches!(err, BrokerError::Durability(_)));
+        // The instance is dead: every further durable mutation fails.
+        assert!(b.publish("app", "obs.x", &b"after"[..]).is_err());
+        drop(b);
+
+        let recovered = Broker::open_durable(durable_config(&dir)).unwrap();
+        let q = recovered.queue_snapshot("q").unwrap();
+        let payloads: Vec<&[u8]> = q.ready.iter().map(|m| m.payload.as_slice()).collect();
+        assert_eq!(payloads, vec![&b"kept"[..]], "acked gone, torn batch gone");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn purge_and_delete_survive_recovery() {
+        let dir = temp_dir("purge");
+        let b = Broker::open_durable(durable_config(&dir)).unwrap();
+        declare_app(&b);
+        b.declare_queue("gone").unwrap();
+        b.bind_queue("app", "gone", "obs.#").unwrap();
+        b.publish("app", "obs.x", &b"1"[..]).unwrap();
+        b.publish("app", "obs.x", &b"2"[..]).unwrap();
+        assert_eq!(b.purge_queue("q").unwrap(), 2);
+        b.delete_queue("gone").unwrap();
+        b.publish("app", "obs.x", &b"3"[..]).unwrap();
+        drop(b);
+
+        let b = Broker::open_durable(durable_config(&dir)).unwrap();
+        let q = b.queue_snapshot("q").unwrap();
+        assert_eq!(q.ready.len(), 1);
+        assert_eq!(q.ready[0].payload, b"3");
+        assert!(
+            b.queue_snapshot("gone").is_err(),
+            "deleted queue not recovered"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovered_messages_keep_headers_and_redelivery_flag() {
+        let dir = temp_dir("headers");
+        let b = Broker::open_durable(durable_config(&dir)).unwrap();
+        declare_app(&b);
+        let key = RoutingKey::new("obs.x").unwrap();
+        let message = Message::new(key, &b"payload"[..]).with_header("x-client", "c1");
+        b.publish_message("app", message).unwrap();
+        let d = b.consume("q", 1).unwrap();
+        b.nack("q", d[0].tag, true).unwrap();
+        drop(b);
+
+        let b = Broker::open_durable(durable_config(&dir)).unwrap();
+        declare_app(&b);
+        let d = b.consume("q", 1).unwrap();
+        assert_eq!(d[0].message.header("x-client"), Some("c1"));
+        assert!(d[0].redelivered, "delivery count survives recovery");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_memory_broker_rejects_checkpoint() {
+        let b = Broker::new();
+        assert!(!b.is_durable());
+        assert!(matches!(
+            b.checkpoint().unwrap_err(),
+            BrokerError::Durability(_)
+        ));
     }
 }

@@ -1,0 +1,510 @@
+//! Durable brokers: write-ahead logging of queue transitions, recovery.
+//!
+//! A broker opened with [`Broker::open_durable`](crate::Broker::open_durable)
+//! assigns every enqueued message copy a **durable id** and logs each
+//! queue-state transition to an [`mps_wal::Wal`]: `enqueue` (with key,
+//! headers and payload), `ack`, `discard`, `requeue`, `dead_letter`,
+//! `purge` and `delete_queue`. A publish fanned out to several queues
+//! appends all its enqueue deltas with **one** group-committed fsync.
+//!
+//! Recovery replays the newest snapshot plus the log tail. Deliveries
+//! (`consume`) are deliberately *not* logged: a message that was
+//! in-flight (unacked) at the crash is restored as ready and will be
+//! redelivered — standard at-least-once semantics — while an acked
+//! message is never resurrected, because its `ack` delta survives.
+//!
+//! **Limits.** Topology (exchanges, bindings, capacities, dead-letter
+//! policies) is *not* persisted; applications re-declare it on startup,
+//! which is idempotent and keeps recovered messages (`declare_queue` on
+//! an existing queue is a no-op). Per-queue session counters
+//! (`enqueued_total`, delivery tags) restart. As with the docstore, a
+//! durability failure mid-operation can leave memory ahead of the log;
+//! the instance must be discarded and reopened.
+
+use crate::{BrokerError, Message};
+use mps_wal::Recovered;
+use serde_json::{json, Map, Value};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex as StdMutex, MutexGuard, PoisonError};
+
+/// Configuration for a durable broker.
+#[derive(Debug, Clone)]
+pub struct BrokerDurabilityConfig {
+    /// Directory holding the broker's WAL segments and snapshots.
+    pub dir: PathBuf,
+    /// The underlying log's tuning (fsync policy, segment size,
+    /// telemetry, recovery span, crash-kill switch).
+    pub wal: mps_wal::WalConfig,
+    /// Take a snapshot (and compact) every this many logged records;
+    /// `0` disables automatic snapshots
+    /// ([`Broker::checkpoint`](crate::Broker::checkpoint) still works).
+    pub snapshot_every: u64,
+}
+
+impl BrokerDurabilityConfig {
+    /// Durability in `dir` with default WAL tuning and a snapshot every
+    /// 4096 logged records.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            wal: mps_wal::WalConfig::default(),
+            snapshot_every: 4096,
+        }
+    }
+
+    /// Replaces the WAL tuning.
+    pub fn wal(mut self, wal: mps_wal::WalConfig) -> Self {
+        self.wal = wal;
+        self
+    }
+
+    /// Sets the automatic snapshot cadence (`0` = manual only).
+    pub fn snapshot_every(mut self, records: u64) -> Self {
+        self.snapshot_every = records;
+        self
+    }
+}
+
+/// One message copy in a [`QueueSnapshot`] — enough to compare two
+/// recovered brokers for identical queue state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageView {
+    /// The store-wide durable id of this copy (0 on in-memory brokers).
+    pub durable_id: u64,
+    /// Times the copy was already delivered.
+    pub deliveries: u32,
+    /// Routing key the message was published with.
+    pub key: String,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Management view of one queue's full message state, in queue order —
+/// the determinism witness used by the recovery matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueSnapshot {
+    /// Queue name.
+    pub name: String,
+    /// Ready messages, front first.
+    pub ready: Vec<MessageView>,
+    /// Unacked deliveries, in tag order.
+    pub unacked: Vec<MessageView>,
+}
+
+/// A message copy reconstructed from the log during recovery.
+#[derive(Debug, Clone)]
+pub(crate) struct RecoveredEntry {
+    pub(crate) id: u64,
+    pub(crate) key: String,
+    pub(crate) headers: Vec<(String, String)>,
+    pub(crate) payload: Vec<u8>,
+    pub(crate) deliveries: u32,
+}
+
+/// The replayed queue contents plus the next durable id to assign.
+pub(crate) struct ReplayedState {
+    pub(crate) queues: BTreeMap<String, VecDeque<RecoveredEntry>>,
+    pub(crate) next_id: u64,
+}
+
+/// Broker-wide durable state: the log plus the snapshot cadence.
+///
+/// All broker mutations happen under the broker's state lock, which
+/// also orders their log appends; the wal mutex is always taken *after*
+/// the state lock (state → wal), never the other way around.
+#[derive(Debug)]
+pub(crate) struct BrokerDurable {
+    wal: StdMutex<mps_wal::Wal>,
+    snapshot_every: u64,
+    appended: AtomicU64,
+}
+
+impl BrokerDurable {
+    pub(crate) fn new(wal: mps_wal::Wal, snapshot_every: u64) -> Self {
+        Self {
+            wal: StdMutex::new(wal),
+            snapshot_every,
+            appended: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_wal(&self) -> MutexGuard<'_, mps_wal::Wal> {
+        self.wal.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends `deltas` as one group-committed batch.
+    pub(crate) fn append(&self, deltas: &[Value]) -> Result<(), BrokerError> {
+        if deltas.is_empty() {
+            return Ok(());
+        }
+        let mut payloads = Vec::with_capacity(deltas.len());
+        for delta in deltas {
+            payloads.push(serde_json::to_vec(delta).map_err(corrupt)?);
+        }
+        self.lock_wal().append_batch(&payloads).map_err(wal_err)?;
+        self.appended
+            .fetch_add(payloads.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Whether the snapshot cadence has been reached; resets the counter
+    /// when it has.
+    pub(crate) fn snapshot_due(&self) -> bool {
+        if self.snapshot_every == 0 || self.appended.load(Ordering::Relaxed) < self.snapshot_every {
+            return false;
+        }
+        self.appended.store(0, Ordering::Relaxed);
+        true
+    }
+
+    /// Writes the snapshot bytes and compacts covered segments.
+    pub(crate) fn write_snapshot(&self, state: &[u8]) -> Result<u64, BrokerError> {
+        self.lock_wal().snapshot(state).map_err(wal_err)
+    }
+}
+
+/// The loggable form of one enqueued message copy.
+pub(crate) fn entry_of(message: &Message, deliveries: u32, id: u64) -> RecoveredEntry {
+    RecoveredEntry {
+        id,
+        key: message.routing_key().as_str().to_owned(),
+        headers: message
+            .headers()
+            .map(|(k, v)| (k.to_owned(), v.to_owned()))
+            .collect(),
+        payload: message.payload().to_vec(),
+        deliveries,
+    }
+}
+
+pub(crate) fn wal_err(e: mps_wal::WalError) -> BrokerError {
+    BrokerError::Durability(e.to_string())
+}
+
+fn corrupt(why: impl std::fmt::Display) -> BrokerError {
+    BrokerError::Durability(format!("log replay failed: {why}"))
+}
+
+// ----- payload hex codec (dependency-free, JSON-safe) -------------------
+
+pub(crate) fn to_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+pub(crate) fn from_hex(s: &str) -> Result<Vec<u8>, BrokerError> {
+    fn nibble(c: u8) -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            _ => None,
+        }
+    }
+    let raw = s.as_bytes();
+    if raw.len() % 2 != 0 {
+        return Err(corrupt("odd-length hex payload"));
+    }
+    let mut out = Vec::with_capacity(raw.len() / 2);
+    for pair in raw.chunks_exact(2) {
+        match (nibble(pair[0]), nibble(pair[1])) {
+            (Some(hi), Some(lo)) => out.push((hi << 4) | lo),
+            _ => return Err(corrupt("non-hex byte in payload")),
+        }
+    }
+    Ok(out)
+}
+
+// ----- delta builders ---------------------------------------------------
+
+pub(crate) fn enqueue_delta(queue: &str, entry: &RecoveredEntry) -> Value {
+    let mut headers = Map::new();
+    for (k, v) in &entry.headers {
+        headers.insert(k.clone(), Value::String(v.clone()));
+    }
+    json!({
+        "op": "enqueue",
+        "queue": queue,
+        "id": entry.id,
+        "key": entry.key,
+        "headers": headers,
+        "payload": to_hex(&entry.payload),
+        "deliveries": entry.deliveries,
+    })
+}
+
+pub(crate) fn ack_delta(queue: &str, id: u64) -> Value {
+    json!({"op": "ack", "queue": queue, "id": id})
+}
+
+pub(crate) fn discard_delta(queue: &str, id: u64) -> Value {
+    json!({"op": "discard", "queue": queue, "id": id})
+}
+
+pub(crate) fn requeue_delta(queue: &str, id: u64, attempts: u32) -> Value {
+    json!({"op": "requeue", "queue": queue, "id": id, "attempts": attempts})
+}
+
+pub(crate) fn dead_letter_delta(queue: &str, id: u64, to: &str) -> Value {
+    json!({"op": "dead_letter", "queue": queue, "id": id, "to": to})
+}
+
+pub(crate) fn purge_delta(queue: &str, ids: &[u64]) -> Value {
+    json!({"op": "purge", "queue": queue, "ids": ids})
+}
+
+pub(crate) fn delete_queue_delta(queue: &str) -> Value {
+    json!({"op": "delete_queue", "queue": queue})
+}
+
+// ----- snapshot + replay ------------------------------------------------
+
+/// Encodes the full queue state (ready + unacked folded together, queue
+/// order) as canonical snapshot bytes.
+pub(crate) fn encode_snapshot(
+    queues: &BTreeMap<String, Vec<RecoveredEntry>>,
+    next_id: u64,
+) -> Result<Vec<u8>, BrokerError> {
+    let mut out = Map::new();
+    for (name, entries) in queues {
+        let list: Vec<Value> = entries
+            .iter()
+            .map(|e| {
+                let mut headers = Map::new();
+                for (k, v) in &e.headers {
+                    headers.insert(k.clone(), Value::String(v.clone()));
+                }
+                json!({
+                    "id": e.id,
+                    "key": e.key,
+                    "headers": headers,
+                    "payload": to_hex(&e.payload),
+                    "deliveries": e.deliveries,
+                })
+            })
+            .collect();
+        out.insert(name.clone(), Value::Array(list));
+    }
+    serde_json::to_vec(&json!({"next_id": next_id, "queues": out})).map_err(corrupt)
+}
+
+fn parse_entry(value: &Value, at: &str) -> Result<RecoveredEntry, BrokerError> {
+    let id = value
+        .get("id")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| corrupt(format!("{at}: missing id")))?;
+    let key = value
+        .get("key")
+        .and_then(Value::as_str)
+        .ok_or_else(|| corrupt(format!("{at}: missing key")))?
+        .to_owned();
+    let payload = from_hex(
+        value
+            .get("payload")
+            .and_then(Value::as_str)
+            .ok_or_else(|| corrupt(format!("{at}: missing payload")))?,
+    )?;
+    let deliveries = value.get("deliveries").and_then(Value::as_u64).unwrap_or(0) as u32;
+    let mut headers = Vec::new();
+    for (k, v) in value
+        .get("headers")
+        .and_then(Value::as_object)
+        .into_iter()
+        .flatten()
+    {
+        if let Some(v) = v.as_str() {
+            headers.push((k.clone(), v.to_owned()));
+        }
+    }
+    Ok(RecoveredEntry {
+        id,
+        key,
+        headers,
+        payload,
+        deliveries,
+    })
+}
+
+fn remove_by_id(queue: &mut VecDeque<RecoveredEntry>, id: u64) -> Option<RecoveredEntry> {
+    let pos = queue.iter().position(|e| e.id == id)?;
+    queue.remove(pos)
+}
+
+/// Rebuilds queue contents from a recovered snapshot + log tail.
+///
+/// Deltas referring to ids the replay no longer holds (e.g. an `ack`
+/// logged after a crash-killed `enqueue` append) are ignored: the
+/// message was never durably enqueued, so there is nothing to remove.
+pub(crate) fn replay(recovered: &Recovered) -> Result<ReplayedState, BrokerError> {
+    let mut queues: BTreeMap<String, VecDeque<RecoveredEntry>> = BTreeMap::new();
+    let mut next_id: u64 = 1;
+
+    if let Some(bytes) = &recovered.snapshot {
+        let state: Value = serde_json::from_slice(bytes).map_err(corrupt)?;
+        next_id = state
+            .get("next_id")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| corrupt("snapshot missing next_id"))?;
+        for (name, list) in state
+            .get("queues")
+            .and_then(Value::as_object)
+            .ok_or_else(|| corrupt("snapshot missing queues"))?
+        {
+            let mut entries = VecDeque::new();
+            for value in list.as_array().into_iter().flatten() {
+                entries.push_back(parse_entry(value, &format!("snapshot queue {name}"))?);
+            }
+            queues.insert(name.clone(), entries);
+        }
+    }
+
+    for (lsn, payload) in &recovered.entries {
+        let delta: Value = serde_json::from_slice(payload)
+            .map_err(|e| corrupt(format!("bad delta at lsn {lsn}: {e}")))?;
+        let op = delta
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| corrupt(format!("delta at lsn {lsn} has no op")))?;
+        let queue_name = delta
+            .get("queue")
+            .and_then(Value::as_str)
+            .ok_or_else(|| corrupt(format!("delta at lsn {lsn} has no queue")))?;
+        let id = delta.get("id").and_then(Value::as_u64);
+        match op {
+            "enqueue" => {
+                let entry = parse_entry(&delta, &format!("enqueue at lsn {lsn}"))?;
+                next_id = next_id.max(entry.id + 1);
+                queues
+                    .entry(queue_name.to_owned())
+                    .or_default()
+                    .push_back(entry);
+            }
+            "ack" | "discard" => {
+                let id = id.ok_or_else(|| corrupt(format!("{op} at lsn {lsn} has no id")))?;
+                if let Some(queue) = queues.get_mut(queue_name) {
+                    remove_by_id(queue, id);
+                }
+            }
+            "requeue" => {
+                let id = id.ok_or_else(|| corrupt(format!("requeue at lsn {lsn} has no id")))?;
+                let attempts = delta.get("attempts").and_then(Value::as_u64).unwrap_or(0) as u32;
+                if let Some(queue) = queues.get_mut(queue_name) {
+                    if let Some(mut entry) = remove_by_id(queue, id) {
+                        entry.deliveries = attempts;
+                        queue.push_front(entry);
+                    }
+                }
+            }
+            "dead_letter" => {
+                let id =
+                    id.ok_or_else(|| corrupt(format!("dead_letter at lsn {lsn} has no id")))?;
+                let to = delta
+                    .get("to")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| corrupt(format!("dead_letter at lsn {lsn} has no target")))?
+                    .to_owned();
+                let moved = queues
+                    .get_mut(queue_name)
+                    .and_then(|queue| remove_by_id(queue, id));
+                if let Some(mut entry) = moved {
+                    entry.deliveries = 0;
+                    queues.entry(to).or_default().push_back(entry);
+                }
+            }
+            "purge" => {
+                if let Some(queue) = queues.get_mut(queue_name) {
+                    for id in delta
+                        .get("ids")
+                        .and_then(Value::as_array)
+                        .into_iter()
+                        .flatten()
+                        .filter_map(Value::as_u64)
+                    {
+                        remove_by_id(queue, id);
+                    }
+                }
+            }
+            "delete_queue" => {
+                queues.remove(queue_name);
+            }
+            other => {
+                return Err(corrupt(format!("unknown op `{other}` at lsn {lsn}")));
+            }
+        }
+    }
+
+    Ok(ReplayedState { queues, next_id })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrips() {
+        for payload in [&b""[..], &b"\x00\xff\x10observation"[..]] {
+            assert_eq!(from_hex(&to_hex(payload)).unwrap(), payload);
+        }
+        assert!(from_hex("abc").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn replay_applies_deltas_in_order() {
+        let entry = |id: u64| RecoveredEntry {
+            id,
+            key: "obs.k".into(),
+            headers: vec![("h".into(), "v".into())],
+            payload: vec![id as u8],
+            deliveries: 0,
+        };
+        let deltas = [
+            enqueue_delta("q", &entry(1)),
+            enqueue_delta("q", &entry(2)),
+            enqueue_delta("q", &entry(3)),
+            ack_delta("q", 1),
+            requeue_delta("q", 3, 2),
+            dead_letter_delta("q", 2, "dlq"),
+        ];
+        let recovered = Recovered {
+            snapshot: None,
+            snapshot_lsn: 0,
+            entries: deltas
+                .iter()
+                .enumerate()
+                .map(|(i, d)| (i as u64 + 1, serde_json::to_vec(d).unwrap()))
+                .collect(),
+            report: Default::default(),
+        };
+        let state = replay(&recovered).unwrap();
+        assert_eq!(state.next_id, 4);
+        let q: Vec<u64> = state.queues["q"].iter().map(|e| e.id).collect();
+        assert_eq!(
+            q,
+            vec![3],
+            "acked and dead-lettered removed, requeued at front"
+        );
+        assert_eq!(state.queues["q"][0].deliveries, 2);
+        let dlq: Vec<u64> = state.queues["dlq"].iter().map(|e| e.id).collect();
+        assert_eq!(dlq, vec![2]);
+        assert_eq!(state.queues["dlq"][0].deliveries, 0);
+    }
+
+    #[test]
+    fn replay_ignores_deltas_for_unknown_ids() {
+        let recovered = Recovered {
+            snapshot: None,
+            snapshot_lsn: 0,
+            entries: vec![(1, serde_json::to_vec(&ack_delta("q", 99)).unwrap())],
+            report: Default::default(),
+        };
+        let state = replay(&recovered).unwrap();
+        assert!(state.queues.get("q").is_none());
+    }
+}

@@ -31,6 +31,10 @@ pub enum BrokerError {
     /// A dead-letter configuration was rejected (zero attempts, or a queue
     /// targeting itself).
     InvalidDeadLetter(String),
+    /// The write-ahead log failed (I/O error, corrupt record, or an armed
+    /// crash-kill fired). The broker instance must be discarded and
+    /// reopened to recover.
+    Durability(String),
 }
 
 impl fmt::Display for BrokerError {
@@ -49,6 +53,7 @@ impl fmt::Display for BrokerError {
             BrokerError::InvalidDeadLetter(reason) => {
                 write!(f, "invalid dead-letter configuration: {reason}")
             }
+            BrokerError::Durability(msg) => write!(f, "durability failure: {msg}"),
         }
     }
 }
@@ -81,6 +86,7 @@ mod tests {
                 BrokerError::InvalidDeadLetter("self target".into()),
                 "self target",
             ),
+            (BrokerError::Durability("torn tail".into()), "torn tail"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

@@ -25,6 +25,10 @@
 //! immediate, and the *simulated* network delays of the experiment are
 //! modelled where they belong, in the mobile client's connectivity model.
 //!
+//! Brokers are in-memory by default; [`Broker::open_durable`]
+//! write-ahead-logs every queue transition and replays the log on
+//! reopen — see [`mod@durability`].
+//!
 //! # Examples
 //!
 //! ```
@@ -43,6 +47,7 @@
 //! ```
 
 mod broker;
+pub mod durability;
 mod error;
 mod message;
 mod metrics;
@@ -52,6 +57,7 @@ pub mod router;
 mod topic;
 
 pub use broker::{Broker, DeadLetterPolicy, ExchangeInfo, ExchangeType, QueueInfo};
+pub use durability::{BrokerDurabilityConfig, MessageView, QueueSnapshot};
 pub use error::BrokerError;
 pub use message::{Delivery, Message};
 pub use metrics::{BrokerMetrics, MetricsSnapshot};

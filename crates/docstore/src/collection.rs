@@ -1,5 +1,6 @@
 //! Collections: insert / find / update / delete with indexes.
 
+use crate::durability::{self, DurableCtx};
 use crate::filter::Filter;
 use crate::index::PathIndex;
 use crate::planner::{plan_query, QueryPlan};
@@ -81,14 +82,14 @@ impl FindOptions {
 }
 
 #[derive(Debug, Default)]
-struct CollectionInner {
-    docs: BTreeMap<DocId, Value>,
-    next_id: u64,
-    indexes: BTreeMap<String, PathIndex>,
+pub(crate) struct CollectionInner {
+    pub(crate) docs: BTreeMap<DocId, Value>,
+    pub(crate) next_id: u64,
+    pub(crate) indexes: BTreeMap<String, PathIndex>,
 }
 
 impl CollectionInner {
-    fn index_doc(&mut self, id: DocId, doc: &Value) {
+    pub(crate) fn index_doc(&mut self, id: DocId, doc: &Value) {
         for (path, index) in &mut self.indexes {
             if let Some(value) = get_path(doc, path) {
                 index.insert(value, id);
@@ -96,7 +97,7 @@ impl CollectionInner {
         }
     }
 
-    fn unindex_doc(&mut self, id: DocId, doc: &Value) {
+    pub(crate) fn unindex_doc(&mut self, id: DocId, doc: &Value) {
         for (path, index) in &mut self.indexes {
             if let Some(value) = get_path(doc, path) {
                 index.remove(value, id);
@@ -111,6 +112,23 @@ impl CollectionInner {
         telemetry().record_plan(plan.kind);
         plan
     }
+
+    /// Ids of documents matching `filter`, planner-backed, in `_id`
+    /// order — the shared candidate step of update/delete.
+    pub(crate) fn matching_ids(&self, filter: &Filter) -> Vec<DocId> {
+        match self.plan(filter).candidates {
+            Some(candidates) => candidates
+                .into_iter()
+                .filter(|id| self.docs.get(id).is_some_and(|d| filter.matches(d)))
+                .collect(),
+            None => self
+                .docs
+                .iter()
+                .filter(|(_, doc)| filter.matches(doc))
+                .map(|(id, _)| *id)
+                .collect(),
+        }
+    }
 }
 
 /// A named collection of JSON documents.
@@ -121,7 +139,10 @@ impl CollectionInner {
 /// `&self` and are thread-safe.
 #[derive(Debug, Clone, Default)]
 pub struct Collection {
-    inner: Arc<Mutex<CollectionInner>>,
+    pub(crate) inner: Arc<Mutex<CollectionInner>>,
+    /// Present when the owning store write-ahead-logs mutations (see
+    /// [`crate::durability`]); `None` on the in-memory sim path.
+    pub(crate) durable: Option<Arc<DurableCtx>>,
 }
 
 impl Collection {
@@ -136,8 +157,13 @@ impl Collection {
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::NotAnObject`] if `doc` is not a JSON object.
+    /// Returns [`StoreError::NotAnObject`] if `doc` is not a JSON
+    /// object, or [`StoreError::Durability`] when a durable store
+    /// cannot log the insert.
     pub fn insert_one(&self, mut doc: Value) -> Result<DocId, StoreError> {
+        if let Some(ctx) = self.durable.clone() {
+            return durability::insert_one(self, &ctx, doc);
+        }
         if doc.as_object_mut().is_none() {
             return Err(StoreError::NotAnObject);
         }
@@ -160,11 +186,16 @@ impl Collection {
     /// # Errors
     ///
     /// Returns [`StoreError::NotAnObject`] on the first non-object
-    /// document; earlier documents remain inserted.
+    /// document; earlier documents remain inserted (and, on a durable
+    /// store, logged — the whole batch shares one group-committed
+    /// fsync).
     pub fn insert_many(
         &self,
         docs: impl IntoIterator<Item = Value>,
     ) -> Result<Vec<DocId>, StoreError> {
+        if let Some(ctx) = self.durable.clone() {
+            return durability::insert_many(self, &ctx, docs);
+        }
         docs.into_iter().map(|d| self.insert_one(d)).collect()
     }
 
@@ -330,22 +361,14 @@ impl Collection {
     /// Propagates [`StoreError::BadUpdate`] from applying the update; any
     /// documents updated before the failure stay updated.
     pub fn update_many(&self, filter: &Filter, update: &Update) -> Result<usize, StoreError> {
+        if let Some(ctx) = self.durable.clone() {
+            return durability::update_many(self, &ctx, filter, update);
+        }
         let metrics = telemetry();
         metrics.collection_update.inc();
         let _timer = SpanTimer::start(&metrics.collection_update_seconds);
         let mut inner = self.inner.lock();
-        let ids: Vec<DocId> = match inner.plan(filter).candidates {
-            Some(candidates) => candidates
-                .into_iter()
-                .filter(|id| inner.docs.get(id).is_some_and(|d| filter.matches(d)))
-                .collect(),
-            None => inner
-                .docs
-                .iter()
-                .filter(|(_, doc)| filter.matches(doc))
-                .map(|(id, _)| *id)
-                .collect(),
-        };
+        let ids = inner.matching_ids(filter);
         let mut updated = 0;
         for id in &ids {
             // Ids were collected under this same lock, so the lookup
@@ -370,22 +393,15 @@ impl Collection {
     ///
     /// # Errors
     ///
-    /// Currently infallible; returns `Result` for parity with `update`.
+    /// Infallible in memory; a durable store returns
+    /// [`StoreError::Durability`] when the delete cannot be logged.
     pub fn delete_many(&self, filter: &Filter) -> Result<usize, StoreError> {
+        if let Some(ctx) = self.durable.clone() {
+            return durability::delete_many(self, &ctx, filter);
+        }
         telemetry().collection_delete.inc();
         let mut inner = self.inner.lock();
-        let ids: Vec<DocId> = match inner.plan(filter).candidates {
-            Some(candidates) => candidates
-                .into_iter()
-                .filter(|id| inner.docs.get(id).is_some_and(|d| filter.matches(d)))
-                .collect(),
-            None => inner
-                .docs
-                .iter()
-                .filter(|(_, doc)| filter.matches(doc))
-                .map(|(id, _)| *id)
-                .collect(),
-        };
+        let ids = inner.matching_ids(filter);
         for id in &ids {
             if let Some(doc) = inner.docs.remove(id) {
                 inner.unindex_doc(*id, &doc);
@@ -396,10 +412,25 @@ impl Collection {
 
     /// Creates a secondary index on `path`, indexing existing documents.
     /// Creating an existing index is a no-op.
-    pub fn create_index(&self, path: &str) {
+    ///
+    /// # Errors
+    ///
+    /// Infallible in memory; a durable store returns
+    /// [`StoreError::Durability`] when the definition cannot be logged.
+    pub fn create_index(&self, path: &str) -> Result<(), StoreError> {
+        if let Some(ctx) = self.durable.clone() {
+            return durability::create_index(self, &ctx, path);
+        }
+        self.create_index_mem(path);
+        Ok(())
+    }
+
+    /// The in-memory index build; returns whether a new index was
+    /// actually created.
+    pub(crate) fn create_index_mem(&self, path: &str) -> bool {
         let mut inner = self.inner.lock();
         if inner.indexes.contains_key(path) {
-            return;
+            return false;
         }
         let mut index = PathIndex::new();
         for (id, doc) in &inner.docs {
@@ -408,11 +439,21 @@ impl Collection {
             }
         }
         inner.indexes.insert(path.to_owned(), index);
+        true
     }
 
     /// Drops the index on `path`, if present.
-    pub fn drop_index(&self, path: &str) {
+    ///
+    /// # Errors
+    ///
+    /// Infallible in memory; a durable store returns
+    /// [`StoreError::Durability`] when the drop cannot be logged.
+    pub fn drop_index(&self, path: &str) -> Result<(), StoreError> {
+        if let Some(ctx) = self.durable.clone() {
+            return durability::drop_index(self, &ctx, path);
+        }
         self.inner.lock().indexes.remove(path);
+        Ok(())
     }
 
     /// Whether an index exists on `path`.
@@ -452,7 +493,15 @@ impl Collection {
     }
 
     /// Removes every document (indexes stay defined, but empty).
-    pub fn clear(&self) {
+    ///
+    /// # Errors
+    ///
+    /// Infallible in memory; a durable store returns
+    /// [`StoreError::Durability`] when the clear cannot be logged.
+    pub fn clear(&self) -> Result<(), StoreError> {
+        if let Some(ctx) = self.durable.clone() {
+            return durability::clear(self, &ctx);
+        }
         let mut inner = self.inner.lock();
         let ids: Vec<DocId> = inner.docs.keys().copied().collect();
         for id in ids {
@@ -460,6 +509,7 @@ impl Collection {
                 inner.unindex_doc(id, &doc);
             }
         }
+        Ok(())
     }
 
     /// Snapshot of all documents, in `_id` order.
@@ -592,7 +642,7 @@ mod tests {
     fn indexed_equality_matches_scan() {
         let c = seeded();
         let scan = c.find(&Filter::eq("model", "A")).unwrap();
-        c.create_index("model");
+        c.create_index("model").unwrap();
         assert!(c.has_index("model"));
         let indexed = c.find(&Filter::eq("model", "A")).unwrap();
         assert_eq!(scan, indexed);
@@ -604,7 +654,7 @@ mod tests {
         let c = seeded();
         let filter = Filter::range("spl", 50.0, 65.0);
         let scan = c.find(&filter).unwrap();
-        c.create_index("spl");
+        c.create_index("spl").unwrap();
         let indexed = c.find(&filter).unwrap();
         assert_eq!(scan.len(), 2);
         assert_eq!(scan, indexed);
@@ -613,7 +663,7 @@ mod tests {
     #[test]
     fn index_stays_correct_across_updates_and_deletes() {
         let c = seeded();
-        c.create_index("model");
+        c.create_index("model").unwrap();
         c.update_many(&Filter::eq("model", "C"), &Update::set("model", "A"))
             .unwrap();
         assert_eq!(c.count(&Filter::eq("model", "A")).unwrap(), 3);
@@ -628,8 +678,8 @@ mod tests {
         let c = seeded();
         let filter = Filter::and(vec![Filter::eq("model", "A"), Filter::gt("spl", 50.0)]);
         let scan = c.find(&filter).unwrap();
-        c.create_index("model");
-        c.create_index("spl");
+        c.create_index("model").unwrap();
+        c.create_index("spl").unwrap();
         let planned = c.find(&filter).unwrap();
         assert_eq!(scan.len(), 1);
         assert_eq!(scan, planned);
@@ -640,7 +690,7 @@ mod tests {
         // Index-key order (40, 55, 62) disagrees with insertion order for
         // the matching docs; results must still come back by `_id`.
         let c = seeded();
-        c.create_index("spl");
+        c.create_index("spl").unwrap();
         let r = c.find(&Filter::lt("spl", 65.0)).unwrap();
         let ids: Vec<u64> = r.iter().map(|d| d["_id"].as_u64().unwrap()).collect();
         assert_eq!(ids, vec![0, 1, 3]);
@@ -656,14 +706,14 @@ mod tests {
         let full = c.find(&filter).unwrap();
         let window = c.find_with_options(&filter, &opts).unwrap();
         assert_eq!(window.as_slice(), &full[1..2]);
-        c.create_index("model");
+        c.create_index("model").unwrap();
         assert_eq!(c.find_with_options(&filter, &opts).unwrap(), window);
     }
 
     #[test]
     fn planner_backed_delete_matches_scan_delete() {
         let c = seeded();
-        c.create_index("spl");
+        c.create_index("spl").unwrap();
         let n = c.delete_many(&Filter::lt("spl", 60.0)).unwrap();
         assert_eq!(n, 2);
         assert_eq!(c.len(), 2);
@@ -674,7 +724,7 @@ mod tests {
     fn eq_null_does_not_use_index() {
         // `eq null` matches docs missing the path; the planner must scan.
         let c = seeded();
-        c.create_index("loc.acc");
+        c.create_index("loc.acc").unwrap();
         let r = c.find(&Filter::eq("loc.acc", Value::Null)).unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r[0]["spl"], json!(70.0));
@@ -683,8 +733,8 @@ mod tests {
     #[test]
     fn drop_index_falls_back_to_scan() {
         let c = seeded();
-        c.create_index("model");
-        c.drop_index("model");
+        c.create_index("model").unwrap();
+        c.drop_index("model").unwrap();
         assert!(!c.has_index("model"));
         assert_eq!(c.find(&Filter::eq("model", "A")).unwrap().len(), 2);
     }
@@ -692,8 +742,8 @@ mod tests {
     #[test]
     fn clear_empties_but_keeps_index_definitions() {
         let c = seeded();
-        c.create_index("model");
-        c.clear();
+        c.create_index("model").unwrap();
+        c.clear().unwrap();
         assert!(c.is_empty());
         assert!(c.has_index("model"));
         assert_eq!(c.index_cardinality("model"), Some(0));

@@ -1,0 +1,748 @@
+//! Durable stores: write-ahead logging, recovery, snapshots.
+//!
+//! A store opened with [`Durability::Durable`] logs every mutation as a
+//! JSON delta to an [`mps_wal::Wal`] before the call returns: inserts
+//! and updates carry the full resulting document, deletes carry the id
+//! list, index create/drop and collection drop/clear carry their names.
+//! Batched operations (`insert_many`, `update_many`) append all their
+//! deltas with **one** group-committed fsync.
+//!
+//! [`Store::open`] replays the newest snapshot plus the log tail and
+//! rebuilds secondary indexes from the recovered documents, reproducing
+//! identical collection contents, `_id` assignment and index
+//! definitions. Snapshots are taken automatically every
+//! [`DurabilityConfig::snapshot_every`] logged records (and manually
+//! via [`Store::checkpoint`]); the WAL then compacts covered segments.
+//!
+//! **Limits.** The in-memory deterministic-sim path
+//! ([`Durability::InMemory`], the default constructors) is untouched by
+//! all of this. A durability failure mid-operation (disk error, crash
+//! kill) can leave the in-memory state *ahead* of the log — callers
+//! must treat the instance as dead and reopen, which is exactly what a
+//! crashed process does. Empty collections that were never written to
+//! are not recreated by recovery.
+
+use crate::collection::Collection;
+use crate::telemetry::telemetry;
+use crate::update::Update;
+use crate::value::DocId;
+use crate::Filter;
+use crate::{Store, StoreError};
+use mps_telemetry::SpanTimer;
+use mps_wal::{Recovered, Wal, WalConfig};
+use serde_json::{json, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, MutexGuard, PoisonError, Weak};
+
+/// How (and whether) a [`Store`] persists its mutations.
+#[derive(Debug, Clone, Default)]
+pub enum Durability {
+    /// No persistence: the fast, deterministic, in-memory store every
+    /// simulation run uses.
+    #[default]
+    InMemory,
+    /// Write-ahead logged to a directory; see the module docs.
+    Durable(DurabilityConfig),
+}
+
+/// Configuration for a durable store.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the store's WAL segments and snapshots.
+    pub dir: PathBuf,
+    /// The underlying log's tuning (fsync policy, segment size,
+    /// telemetry, recovery span, crash-kill switch).
+    pub wal: WalConfig,
+    /// Take a snapshot (and compact) every this many logged records;
+    /// `0` disables automatic snapshots ([`Store::checkpoint`] still
+    /// works).
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability in `dir` with default WAL tuning and a snapshot every
+    /// 4096 logged records.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            wal: WalConfig::default(),
+            snapshot_every: 4096,
+        }
+    }
+
+    /// Replaces the WAL tuning.
+    pub fn wal(mut self, wal: WalConfig) -> Self {
+        self.wal = wal;
+        self
+    }
+
+    /// Sets the automatic snapshot cadence (`0` = manual only).
+    pub fn snapshot_every(mut self, records: u64) -> Self {
+        self.snapshot_every = records;
+        self
+    }
+}
+
+type CollectionMap = Arc<parking_lot::Mutex<BTreeMap<String, Collection>>>;
+
+/// Store-wide durable state shared by every collection handle.
+#[derive(Debug)]
+pub(crate) struct DurableShared {
+    wal: StdMutex<Wal>,
+    snapshot_every: u64,
+    appended: AtomicU64,
+    collections: Weak<parking_lot::Mutex<BTreeMap<String, Collection>>>,
+}
+
+/// A collection handle's link to its store's durable state.
+#[derive(Debug)]
+pub(crate) struct DurableCtx {
+    pub(crate) name: String,
+    pub(crate) shared: Arc<DurableShared>,
+}
+
+fn wal_err(e: mps_wal::WalError) -> StoreError {
+    StoreError::Durability(e.to_string())
+}
+
+fn corrupt(why: impl std::fmt::Display) -> StoreError {
+    StoreError::Durability(format!("log replay failed: {why}"))
+}
+
+impl DurableShared {
+    fn lock_wal(&self) -> MutexGuard<'_, Wal> {
+        self.wal.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends `deltas` as one group-committed batch.
+    fn append(&self, wal: &mut Wal, deltas: &[Value]) -> Result<(), StoreError> {
+        if deltas.is_empty() {
+            return Ok(());
+        }
+        let mut payloads = Vec::with_capacity(deltas.len());
+        for delta in deltas {
+            payloads.push(serde_json::to_vec(delta).map_err(corrupt)?);
+        }
+        wal.append_batch(&payloads).map_err(wal_err)?;
+        self.appended
+            .fetch_add(payloads.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Takes a snapshot when the cadence says so; snapshot failures are
+    /// deliberately swallowed (the log itself is still intact, and a
+    /// crash-killed instance fails its next mutation anyway).
+    fn maybe_snapshot(&self) {
+        if self.snapshot_every == 0 || self.appended.load(Ordering::Relaxed) < self.snapshot_every {
+            return;
+        }
+        self.appended.store(0, Ordering::Relaxed);
+        let _ = self.snapshot_now();
+    }
+
+    /// Snapshots the full store state and compacts covered segments.
+    pub(crate) fn snapshot_now(&self) -> Result<u64, StoreError> {
+        let Some(map) = self.collections.upgrade() else {
+            return Ok(0);
+        };
+        let mut wal = self.lock_wal();
+        let state = serde_json::to_vec(&export_value(&map)).map_err(corrupt)?;
+        wal.snapshot(&state).map_err(wal_err)
+    }
+}
+
+/// The full-store state as a canonical JSON value: collections sorted
+/// by name, documents in `_id` order, index paths sorted — identical
+/// state always serialises to identical bytes.
+fn export_value(map: &CollectionMap) -> Value {
+    let mut collections = serde_json::Map::new();
+    for (name, collection) in map.lock().iter() {
+        let inner = collection.inner.lock();
+        let docs: Vec<Value> = inner.docs.values().cloned().collect();
+        let indexes: Vec<String> = inner.indexes.keys().cloned().collect();
+        collections.insert(
+            name.clone(),
+            json!({
+                "next_id": inner.next_id,
+                "indexes": indexes,
+                "docs": docs,
+            }),
+        );
+    }
+    Value::Object({
+        let mut root = serde_json::Map::new();
+        root.insert("collections".to_owned(), Value::Object(collections));
+        root
+    })
+}
+
+/// Gets (or creates, with the durable context attached) a collection
+/// during replay and normal operation.
+fn get_or_create(map: &CollectionMap, shared: &Arc<DurableShared>, name: &str) -> Collection {
+    let mut collections = map.lock();
+    if let Some(existing) = collections.get(name) {
+        return existing.clone();
+    }
+    telemetry().store_collections.inc();
+    let mut collection = Collection::new();
+    collection.durable = Some(Arc::new(DurableCtx {
+        name: name.to_owned(),
+        shared: Arc::clone(shared),
+    }));
+    collections.insert(name.to_owned(), collection.clone());
+    collection
+}
+
+/// Rebuilds collections from a recovered snapshot + log tail.
+fn restore(
+    map: &CollectionMap,
+    shared: &Arc<DurableShared>,
+    recovered: &Recovered,
+) -> Result<(), StoreError> {
+    // Index definitions are collected first and built once at the end,
+    // over the final document set — equivalent to maintaining them
+    // through the replay, and linear instead of quadratic.
+    let mut index_paths: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+
+    if let Some(bytes) = &recovered.snapshot {
+        let state: Value = serde_json::from_slice(bytes).map_err(corrupt)?;
+        let collections = state
+            .get("collections")
+            .and_then(Value::as_object)
+            .ok_or_else(|| corrupt("snapshot has no collections object"))?;
+        for (name, cstate) in collections {
+            let collection = get_or_create(map, shared, name);
+            let mut inner = collection.inner.lock();
+            inner.next_id = cstate.get("next_id").and_then(Value::as_u64).unwrap_or(0);
+            for doc in cstate
+                .get("docs")
+                .and_then(Value::as_array)
+                .into_iter()
+                .flatten()
+            {
+                let id = doc
+                    .get("_id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| corrupt("snapshot document without _id"))?;
+                inner.docs.insert(DocId(id), doc.clone());
+            }
+            let paths = index_paths.entry(name.clone()).or_default();
+            for path in cstate
+                .get("indexes")
+                .and_then(Value::as_array)
+                .into_iter()
+                .flatten()
+            {
+                if let Some(path) = path.as_str() {
+                    paths.insert(path.to_owned());
+                }
+            }
+        }
+    }
+
+    for (lsn, payload) in &recovered.entries {
+        let delta: Value = serde_json::from_slice(payload)
+            .map_err(|e| corrupt(format!("bad delta at lsn {lsn}: {e}")))?;
+        let op = delta
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| corrupt(format!("delta at lsn {lsn} has no op")))?;
+        let name = delta
+            .get("coll")
+            .and_then(Value::as_str)
+            .ok_or_else(|| corrupt(format!("delta at lsn {lsn} has no coll")))?;
+        match op {
+            "insert" | "update" => {
+                let id = delta
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| corrupt(format!("{op} delta at lsn {lsn} has no id")))?;
+                let doc = delta
+                    .get("doc")
+                    .cloned()
+                    .ok_or_else(|| corrupt(format!("{op} delta at lsn {lsn} has no doc")))?;
+                let collection = get_or_create(map, shared, name);
+                let mut inner = collection.inner.lock();
+                inner.docs.insert(DocId(id), doc);
+                inner.next_id = inner.next_id.max(id + 1);
+            }
+            "delete" => {
+                let collection = get_or_create(map, shared, name);
+                let mut inner = collection.inner.lock();
+                for id in delta
+                    .get("ids")
+                    .and_then(Value::as_array)
+                    .into_iter()
+                    .flatten()
+                {
+                    if let Some(id) = id.as_u64() {
+                        inner.docs.remove(&DocId(id));
+                    }
+                }
+            }
+            "create_index" | "drop_index" => {
+                let path = delta
+                    .get("path")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| corrupt(format!("{op} delta at lsn {lsn} has no path")))?;
+                let _ = get_or_create(map, shared, name);
+                let paths = index_paths.entry(name.to_owned()).or_default();
+                if op == "create_index" {
+                    paths.insert(path.to_owned());
+                } else {
+                    paths.remove(path);
+                }
+            }
+            "touch" => {
+                let _ = get_or_create(map, shared, name);
+            }
+            "clear" => {
+                let collection = get_or_create(map, shared, name);
+                collection.inner.lock().docs.clear();
+            }
+            "drop_collection" => {
+                if map.lock().remove(name).is_some() {
+                    telemetry().store_collections.dec();
+                }
+                index_paths.remove(name);
+            }
+            other => {
+                return Err(corrupt(format!("unknown op `{other}` at lsn {lsn}")));
+            }
+        }
+    }
+
+    // Secondary-index rebuild over the recovered documents.
+    for (name, paths) in index_paths {
+        let Some(collection) = map.lock().get(&name).cloned() else {
+            continue;
+        };
+        for path in paths {
+            collection.create_index_mem(&path);
+        }
+    }
+    Ok(())
+}
+
+impl Store {
+    /// Opens a store with the given durability mode. `InMemory` is
+    /// [`Store::new`]; `Durable` opens (or creates) the WAL directory,
+    /// replays snapshot + log tail, rebuilds indexes, and logs every
+    /// subsequent mutation. See the module docs for the guarantees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Durability`] when the directory cannot be
+    /// opened or the log is corrupt beyond torn-tail repair.
+    pub fn open(durability: Durability) -> Result<Self, StoreError> {
+        match durability {
+            Durability::InMemory => Ok(Self::new()),
+            Durability::Durable(config) => {
+                let (wal, recovered) = Wal::open(&config.dir, config.wal).map_err(wal_err)?;
+                let collections: CollectionMap = Arc::new(parking_lot::Mutex::new(BTreeMap::new()));
+                let shared = Arc::new(DurableShared {
+                    wal: StdMutex::new(wal),
+                    snapshot_every: config.snapshot_every,
+                    appended: AtomicU64::new(0),
+                    collections: Arc::downgrade(&collections),
+                });
+                restore(&collections, &shared, &recovered)?;
+                Ok(Self {
+                    collections,
+                    durable: Some(shared),
+                })
+            }
+        }
+    }
+
+    /// True when this store write-ahead-logs its mutations.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Forces a snapshot + compaction now; returns the covered LSN
+    /// (`0` for in-memory stores or an empty log).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Durability`] when the snapshot cannot be
+    /// written.
+    pub fn checkpoint(&self) -> Result<u64, StoreError> {
+        match &self.durable {
+            Some(shared) => shared.snapshot_now(),
+            None => Ok(0),
+        }
+    }
+
+    /// The full store state as canonical JSON: collections sorted by
+    /// name, documents in `_id` order, keys sorted. Two stores with
+    /// identical contents export identical bytes — the determinism
+    /// check the recovery matrix relies on.
+    pub fn export_json(&self) -> String {
+        export_value(&self.collections).to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Durable implementations of the collection mutations. Each takes the
+// store-wide WAL lock first, applies the mutation under the collection
+// lock, then appends the delta batch with one group-committed fsync.
+// Lock order everywhere: wal → collections-map → collection-inner.
+// ---------------------------------------------------------------------
+
+pub(crate) fn insert_one(
+    collection: &Collection,
+    ctx: &DurableCtx,
+    doc: Value,
+) -> Result<DocId, StoreError> {
+    let ids = insert_many(collection, ctx, [doc])?;
+    match ids.first() {
+        Some(id) => Ok(*id),
+        // insert_many of one document returns one id or an error.
+        None => Err(StoreError::Durability("insert logged no id".to_owned())),
+    }
+}
+
+pub(crate) fn insert_many(
+    collection: &Collection,
+    ctx: &DurableCtx,
+    docs: impl IntoIterator<Item = Value>,
+) -> Result<Vec<DocId>, StoreError> {
+    let metrics = telemetry();
+    let _timer = SpanTimer::start(&metrics.collection_insert_seconds);
+    let shared = &ctx.shared;
+    let mut wal = shared.lock_wal();
+    let mut ids = Vec::new();
+    let mut deltas = Vec::new();
+    let mut failure = None;
+    {
+        let mut inner = collection.inner.lock();
+        for mut doc in docs {
+            if doc.as_object_mut().is_none() {
+                failure = Some(StoreError::NotAnObject);
+                break;
+            }
+            metrics.collection_insert.inc();
+            let id = DocId(inner.next_id);
+            inner.next_id += 1;
+            if let Some(fields) = doc.as_object_mut() {
+                fields.insert("_id".to_owned(), Value::from(id.0));
+            }
+            inner.index_doc(id, &doc);
+            deltas.push(json!({"op": "insert", "coll": ctx.name, "id": id.0, "doc": doc.clone()}));
+            inner.docs.insert(id, doc);
+            ids.push(id);
+        }
+    }
+    // Documents inserted before a failure stay inserted — and logged.
+    shared.append(&mut wal, &deltas)?;
+    drop(wal);
+    shared.maybe_snapshot();
+    match failure {
+        Some(err) => Err(err),
+        None => Ok(ids),
+    }
+}
+
+pub(crate) fn update_many(
+    collection: &Collection,
+    ctx: &DurableCtx,
+    filter: &Filter,
+    update: &Update,
+) -> Result<usize, StoreError> {
+    let metrics = telemetry();
+    metrics.collection_update.inc();
+    let _timer = SpanTimer::start(&metrics.collection_update_seconds);
+    let shared = &ctx.shared;
+    let mut wal = shared.lock_wal();
+    let (deltas, result) = {
+        let mut inner = collection.inner.lock();
+        let ids = inner.matching_ids(filter);
+        let mut deltas = Vec::new();
+        let mut failure = None;
+        for id in ids {
+            let Some(mut doc) = inner.docs.get(&id).cloned() else {
+                continue;
+            };
+            inner.unindex_doc(id, &doc);
+            let applied = update.apply(&mut doc);
+            inner.index_doc(id, &doc);
+            deltas.push(json!({"op": "update", "coll": ctx.name, "id": id.0, "doc": doc.clone()}));
+            inner.docs.insert(id, doc);
+            if let Err(err) = applied {
+                failure = Some(err);
+                break;
+            }
+        }
+        (deltas, failure)
+    };
+    let updated = deltas.len();
+    shared.append(&mut wal, &deltas)?;
+    drop(wal);
+    shared.maybe_snapshot();
+    match result {
+        Some(err) => Err(err),
+        None => Ok(updated),
+    }
+}
+
+pub(crate) fn delete_many(
+    collection: &Collection,
+    ctx: &DurableCtx,
+    filter: &Filter,
+) -> Result<usize, StoreError> {
+    telemetry().collection_delete.inc();
+    let shared = &ctx.shared;
+    let mut wal = shared.lock_wal();
+    let ids = {
+        let mut inner = collection.inner.lock();
+        let ids = inner.matching_ids(filter);
+        for id in &ids {
+            if let Some(doc) = inner.docs.remove(id) {
+                inner.unindex_doc(*id, &doc);
+            }
+        }
+        ids
+    };
+    if !ids.is_empty() {
+        let id_values: Vec<u64> = ids.iter().map(|id| id.0).collect();
+        let delta = json!({"op": "delete", "coll": ctx.name, "ids": id_values});
+        shared.append(&mut wal, std::slice::from_ref(&delta))?;
+    }
+    drop(wal);
+    shared.maybe_snapshot();
+    Ok(ids.len())
+}
+
+pub(crate) fn create_index(
+    collection: &Collection,
+    ctx: &DurableCtx,
+    path: &str,
+) -> Result<(), StoreError> {
+    let shared = &ctx.shared;
+    let mut wal = shared.lock_wal();
+    if !collection.create_index_mem(path) {
+        return Ok(());
+    }
+    let delta = json!({"op": "create_index", "coll": ctx.name, "path": path});
+    shared.append(&mut wal, std::slice::from_ref(&delta))
+}
+
+pub(crate) fn drop_index(
+    collection: &Collection,
+    ctx: &DurableCtx,
+    path: &str,
+) -> Result<(), StoreError> {
+    let shared = &ctx.shared;
+    let mut wal = shared.lock_wal();
+    if collection.inner.lock().indexes.remove(path).is_none() {
+        return Ok(());
+    }
+    let delta = json!({"op": "drop_index", "coll": ctx.name, "path": path});
+    shared.append(&mut wal, std::slice::from_ref(&delta))
+}
+
+pub(crate) fn clear(collection: &Collection, ctx: &DurableCtx) -> Result<(), StoreError> {
+    let shared = &ctx.shared;
+    let mut wal = shared.lock_wal();
+    let was_empty = {
+        let mut inner = collection.inner.lock();
+        let empty = inner.docs.is_empty();
+        let ids: Vec<DocId> = inner.docs.keys().copied().collect();
+        for id in ids {
+            if let Some(doc) = inner.docs.remove(&id) {
+                inner.unindex_doc(id, &doc);
+            }
+        }
+        empty
+    };
+    if was_empty {
+        return Ok(());
+    }
+    let delta = json!({"op": "clear", "coll": ctx.name});
+    shared.append(&mut wal, std::slice::from_ref(&delta))
+}
+
+/// Store-level durable drop: removes the collection and logs it.
+pub(crate) fn drop_collection(
+    store: &Store,
+    shared: &Arc<DurableShared>,
+    name: &str,
+) -> Result<(), StoreError> {
+    let mut wal = shared.lock_wal();
+    match store.collections.lock().remove(name) {
+        Some(_) => {
+            telemetry().store_collections.dec();
+            let delta = json!({"op": "drop_collection", "coll": name});
+            shared.append(&mut wal, std::slice::from_ref(&delta))
+        }
+        None => Err(StoreError::CollectionNotFound(name.to_owned())),
+    }
+}
+
+/// Collection accessor used by [`Store::collection`] on durable stores.
+/// Creating a collection logs a `touch` delta so that even empty
+/// collections survive recovery. `Store::collection` is infallible, so
+/// a logging failure (possible only on a crash-killed or failing disk)
+/// leaves the collection in memory; its first logged write recreates it
+/// on replay anyway.
+pub(crate) fn durable_collection(
+    store: &Store,
+    shared: &Arc<DurableShared>,
+    name: &str,
+) -> Collection {
+    if let Some(existing) = store.collections.lock().get(name) {
+        return existing.clone();
+    }
+    let mut wal = shared.lock_wal();
+    let collection = get_or_create(&store.collections, shared, name);
+    let delta = json!({"op": "touch", "coll": name});
+    let _ = shared.append(&mut wal, std::slice::from_ref(&delta));
+    collection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Update;
+    use mps_wal::KillPoint;
+    use std::sync::atomic::AtomicU64 as TestSeq;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: TestSeq = TestSeq::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mps-docstore-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable(dir: &PathBuf) -> Durability {
+        Durability::Durable(DurabilityConfig::new(dir).wal(WalConfig::default().telemetry(false)))
+    }
+
+    fn seed(store: &Store) {
+        let obs = store.collection("obs");
+        obs.create_index("model").unwrap();
+        obs.insert_many([
+            json!({"model": "A", "spl": 40.0}),
+            json!({"model": "B", "spl": 55.0}),
+            json!({"model": "A", "spl": 70.0}),
+        ])
+        .unwrap();
+        obs.update_many(&Filter::eq("model", "A"), &Update::set("flagged", true))
+            .unwrap();
+        obs.delete_many(&Filter::lt("spl", 50.0)).unwrap();
+        store
+            .collection("meta")
+            .insert_one(json!({"k": "v"}))
+            .unwrap();
+    }
+
+    #[test]
+    fn reopen_reproduces_contents_and_indexes() {
+        let dir = temp_dir("reopen");
+        let store = Store::open(durable(&dir)).unwrap();
+        seed(&store);
+        let live = store.export_json();
+        drop(store);
+
+        let recovered = Store::open(durable(&dir)).unwrap();
+        assert_eq!(recovered.export_json(), live);
+        let obs = recovered.collection("obs");
+        assert!(obs.has_index("model"));
+        // The rebuilt index answers queries identically to a scan.
+        assert_eq!(obs.count(&Filter::eq("model", "A")).unwrap(), 1);
+        // Recovered id assignment continues where the log left off.
+        let id = obs.insert_one(json!({"model": "C"})).unwrap();
+        assert_eq!(id, DocId(3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn double_replay_is_byte_identical() {
+        let dir = temp_dir("determinism");
+        let store = Store::open(durable(&dir)).unwrap();
+        seed(&store);
+        drop(store);
+        let first = Store::open(durable(&dir)).unwrap().export_json();
+        let second = Store::open(durable(&dir)).unwrap().export_json();
+        assert_eq!(first, second);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_and_compaction_preserve_state() {
+        let dir = temp_dir("snapshot");
+        let config = DurabilityConfig::new(&dir)
+            .wal(WalConfig::default().telemetry(false).segment_max_bytes(256))
+            .snapshot_every(8);
+        let store = Store::open(Durability::Durable(config.clone())).unwrap();
+        let c = store.collection("obs");
+        for i in 0..64 {
+            c.insert_one(json!({"i": i})).unwrap();
+        }
+        store.checkpoint().unwrap();
+        let live = store.export_json();
+        drop(store);
+
+        let recovered = Store::open(Durability::Durable(config)).unwrap();
+        assert_eq!(recovered.export_json(), live);
+        assert_eq!(recovered.collection("obs").len(), 64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_and_clear_replay() {
+        let dir = temp_dir("dropclear");
+        let store = Store::open(durable(&dir)).unwrap();
+        seed(&store);
+        store.collection("obs").clear().unwrap();
+        store.drop_collection("meta").unwrap();
+        let live = store.export_json();
+        drop(store);
+
+        let recovered = Store::open(durable(&dir)).unwrap();
+        assert_eq!(recovered.export_json(), live);
+        assert!(recovered.collection("obs").is_empty());
+        assert!(recovered.collection("obs").has_index("model"));
+        assert!(!recovered.has_collection("meta"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_kill_mid_append_loses_only_the_torn_batch() {
+        let dir = temp_dir("kill");
+        let kill = mps_wal::KillSwitch::new();
+        let config = DurabilityConfig::new(&dir)
+            .wal(WalConfig::default().telemetry(false).kill(kill.clone()));
+        let store = Store::open(Durability::Durable(config)).unwrap();
+        let c = store.collection("obs");
+        c.insert_one(json!({"i": 0})).unwrap();
+        kill.arm(KillPoint::MidAppend, 0);
+        let err = c.insert_one(json!({"i": 1})).unwrap_err();
+        assert!(matches!(err, StoreError::Durability(_)));
+        // The instance is dead: every further mutation fails.
+        assert!(c.insert_one(json!({"i": 2})).is_err());
+        drop(store);
+
+        let recovered = Store::open(durable(&dir)).unwrap();
+        let c = recovered.collection("obs");
+        assert_eq!(c.len(), 1, "torn tail truncated, prefix intact");
+        assert_eq!(c.get(DocId(0)).unwrap()["i"], json!(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_memory_open_matches_new() {
+        let store = Store::open(Durability::InMemory).unwrap();
+        assert!(!store.is_durable());
+        assert_eq!(store.checkpoint().unwrap(), 0);
+        store.collection("a").insert_one(json!({"x": 1})).unwrap();
+        assert_eq!(store.total_documents(), 1);
+    }
+}

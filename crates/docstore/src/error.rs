@@ -19,6 +19,10 @@ pub enum StoreError {
     CollectionNotFound(String),
     /// A sort/index key had a type that cannot be ordered (object/array).
     Unorderable(String),
+    /// A durable store could not log or replay a mutation; carries a
+    /// description. The in-memory state may be ahead of the log — the
+    /// instance should be discarded and reopened.
+    Durability(String),
 }
 
 impl fmt::Display for StoreError {
@@ -32,6 +36,7 @@ impl fmt::Display for StoreError {
             StoreError::Unorderable(path) => {
                 write!(f, "value at {path} has no defined ordering")
             }
+            StoreError::Durability(msg) => write!(f, "durability failure: {msg}"),
         }
     }
 }
@@ -56,6 +61,9 @@ mod tests {
         assert!(StoreError::Unorderable("a.b".into())
             .to_string()
             .contains("a.b"));
+        assert!(StoreError::Durability("disk gone".into())
+            .to_string()
+            .contains("disk gone"));
     }
 
     #[test]

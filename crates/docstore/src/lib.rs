@@ -11,6 +11,10 @@
 //! Documents are [`serde_json::Value`] objects; every stored document gets
 //! a numeric `_id`.
 //!
+//! Stores are in-memory by default (the deterministic-sim path); opening
+//! one with [`Store::open`] and [`Durability::Durable`] write-ahead-logs
+//! every mutation and replays the log on reopen — see [`mod@durability`].
+//!
 //! # Examples
 //!
 //! ```
@@ -29,6 +33,7 @@
 
 mod aggregate;
 mod collection;
+pub mod durability;
 mod error;
 mod filter;
 mod index;
@@ -42,6 +47,7 @@ mod value;
 
 pub use aggregate::{aggregate, Accumulator, GroupSpec, Stage};
 pub use collection::{Collection, FindOptions, SortOrder};
+pub use durability::{Durability, DurabilityConfig};
 pub use error::StoreError;
 pub use filter::Filter;
 pub use index::IndexKey;

@@ -1,5 +1,6 @@
 //! The store: a namespace of collections.
 
+use crate::durability::DurableShared;
 use crate::telemetry::telemetry;
 use crate::Collection;
 use crate::StoreError;
@@ -25,11 +26,15 @@ use std::sync::Arc;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Store {
-    collections: Arc<Mutex<BTreeMap<String, Collection>>>,
+    pub(crate) collections: Arc<Mutex<BTreeMap<String, Collection>>>,
+    /// Present when the store write-ahead-logs its mutations (see
+    /// [`crate::durability`]); `None` on the in-memory sim path.
+    pub(crate) durable: Option<Arc<DurableShared>>,
 }
 
 impl Store {
-    /// Creates an empty store.
+    /// Creates an empty, in-memory store (use [`Store::open`] for a
+    /// durable one).
     pub fn new() -> Self {
         Self::default()
     }
@@ -38,6 +43,9 @@ impl Store {
     /// returned handle shares data with every other handle to the same
     /// name.
     pub fn collection(&self, name: &str) -> Collection {
+        if let Some(shared) = &self.durable {
+            return crate::durability::durable_collection(self, shared, name);
+        }
         let mut collections = self.collections.lock();
         if let Some(existing) = collections.get(name) {
             return existing.clone();
@@ -61,8 +69,12 @@ impl Store {
     /// # Errors
     ///
     /// Returns [`StoreError::CollectionNotFound`] if no collection has
-    /// this name.
+    /// this name, and [`StoreError::Durability`] when a durable store
+    /// cannot log the drop.
     pub fn drop_collection(&self, name: &str) -> Result<(), StoreError> {
+        if let Some(shared) = &self.durable {
+            return crate::durability::drop_collection(self, &Arc::clone(shared), name);
+        }
         match self.collections.lock().remove(name) {
             Some(_) => {
                 telemetry().store_collections.dec();

@@ -26,6 +26,9 @@
 //! * [`FaultStats`] — per-plan conservation counters (everything is also
 //!   mirrored into the global [`mps_telemetry::Registry`] under
 //!   `faults_*` series).
+//! * [`CrashSpec`] / [`CrashPlan`] — the crash-kill fault: a seeded
+//!   process death at a WAL kill point, armed onto an
+//!   [`mps_wal::KillSwitch`] for the durable docstore or broker.
 //!
 //! The conservation contract the end-to-end tests assert: for every
 //! message offered to a faulty link,
@@ -62,6 +65,7 @@
 //! assert_eq!(arrived + stats.dropped + stats.blackholed, 100 + stats.duplicated);
 //! ```
 
+mod crash;
 mod link;
 mod plan;
 #[cfg(test)]
@@ -69,6 +73,7 @@ mod proptests;
 mod spec;
 mod telemetry;
 
+pub use crash::{CrashPlan, CrashSpec, CrashTarget};
 pub use link::{FaultyLink, FaultyLinkAt, Link, LinkError, LinkReceipt, SendTrace};
 pub use plan::{DropReason, FaultAction, FaultPlan, FaultStats};
 pub use spec::{BlackholeWindow, FaultSpec, OutageSpec};

@@ -93,9 +93,9 @@ impl GoFlowServer {
         self.accounts.register_app(app);
         self.channels.setup_app(app)?;
         let collection = self.store.collection(&collection_name(app));
-        collection.create_index("model");
-        collection.create_index("provider");
-        collection.create_index("captured_ms");
+        collection.create_index("model")?;
+        collection.create_index("provider")?;
+        collection.create_index("captured_ms")?;
         Ok(())
     }
 

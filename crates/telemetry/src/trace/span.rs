@@ -38,11 +38,14 @@ pub enum Hop {
     /// Membership in an assimilation batch (fan-in: one span links many
     /// observation traces).
     AssimBatch,
+    /// A write-ahead-log recovery scan on server restart (one span per
+    /// reopened store; only present in runs with durability on).
+    WalRecovery,
 }
 
 impl Hop {
     /// Every hop, in pipeline order.
-    pub const ALL: [Hop; 11] = [
+    pub const ALL: [Hop; 12] = [
         Hop::Sensed,
         Hop::ClientBuffer,
         Hop::RetryQueue,
@@ -54,6 +57,7 @@ impl Hop {
         Hop::DocstoreWrite,
         Hop::Quarantine,
         Hop::AssimBatch,
+        Hop::WalRecovery,
     ];
 
     /// The snake_case name used in exports and rendered tables.
@@ -70,6 +74,7 @@ impl Hop {
             Hop::DocstoreWrite => "docstore_write",
             Hop::Quarantine => "quarantine",
             Hop::AssimBatch => "assim_batch",
+            Hop::WalRecovery => "wal_recovery",
         }
     }
 }
@@ -348,8 +353,8 @@ mod tests {
     fn hop_order_is_pipeline_order() {
         let names: Vec<_> = Hop::ALL.iter().map(|h| h.as_str()).collect();
         assert_eq!(names[0], "sensed");
-        assert_eq!(*names.last().unwrap(), "assim_batch");
-        assert_eq!(names.len(), 11);
+        assert_eq!(*names.last().unwrap(), "wal_recovery");
+        assert_eq!(names.len(), 12);
         // No duplicates.
         let mut sorted = names.clone();
         sorted.sort_unstable();

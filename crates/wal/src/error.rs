@@ -1,0 +1,58 @@
+//! The WAL error taxonomy.
+
+use crate::kill::KillPoint;
+use std::fmt;
+
+/// Why a WAL operation failed.
+#[derive(Debug)]
+pub enum WalError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The log is structurally damaged beyond torn-tail repair: a bad
+    /// checksum *before* the tail, or a gap in the LSN sequence (e.g. a
+    /// covered segment deleted without a snapshot to replace it).
+    Corrupt(String),
+    /// A crash-kill fault fired at this point — the instance behaves as
+    /// if the process died and refuses every further operation.
+    Killed(KillPoint),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Corrupt(why) => write!(f, "wal corrupt: {why}"),
+            WalError::Killed(point) => write!(f, "wal crash-killed at {point}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let io = WalError::from(std::io::Error::other("x"));
+        assert!(io.to_string().contains("i/o"));
+        assert!(WalError::Corrupt("gap".into()).to_string().contains("gap"));
+        assert!(WalError::Killed(KillPoint::MidAppend)
+            .to_string()
+            .contains("mid_append"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # mps-wal — an append-only write-ahead log
+//!
+//! The paper's deployment collected ~23M observations; its central
+//! "don'ts" are about losing or silently corrupting data between device
+//! and server. A production sink cannot be memory-only, so this crate
+//! gives the document store and the broker a shared durability
+//! substrate: an append-only segment log with length-prefixed,
+//! CRC-checksummed records, **group commit** (one fsync per batch of
+//! appends), **torn-tail detection** (the log is truncated at the first
+//! bad checksum on open), periodic **snapshots**, and **segment
+//! compaction** once a snapshot covers them.
+//!
+//! The log stores opaque byte payloads; each append is assigned a
+//! monotonically increasing [`Lsn`]. Callers (see `mps-docstore` and
+//! `mps-broker`) serialise their own deltas, replay
+//! [`Recovered::entries`] on open, and periodically hand a full-state
+//! snapshot back via [`Wal::snapshot`].
+//!
+//! Crash faults are first-class: a [`KillSwitch`] armed at one of the
+//! [`KillPoint`]s makes the instance die exactly the way a process
+//! crash would — a half-written batch, a durable-but-unacknowledged
+//! batch, an orphaned snapshot temp file, or a half-finished
+//! compaction — which is what the CI crash-kill recovery matrix
+//! exercises.
+//!
+//! # Examples
+//!
+//! ```
+//! use mps_wal::{Wal, WalConfig};
+//!
+//! let dir = std::env::temp_dir().join(format!("mps-wal-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let (mut wal, recovered) = Wal::open(&dir, WalConfig::default())?;
+//! assert!(recovered.entries.is_empty());
+//! wal.append_batch(&[b"insert a".to_vec(), b"insert b".to_vec()])?;
+//! drop(wal);
+//!
+//! let (_wal, recovered) = Wal::open(&dir, WalConfig::default())?;
+//! let payloads: Vec<&[u8]> = recovered.entries.iter().map(|(_, p)| p.as_slice()).collect();
+//! assert_eq!(payloads, vec![b"insert a".as_slice(), b"insert b".as_slice()]);
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod error;
+mod inspect;
+mod kill;
+#[cfg(test)]
+mod proptests;
+mod record;
+mod telemetry;
+mod wal;
+
+pub use error::WalError;
+pub use inspect::{inspect, InspectReport, SegmentInfo, SnapshotInfo};
+pub use kill::{KillPoint, KillSwitch};
+pub use record::{crc32, decode_one, encode_into, Decoded, RECORD_HEADER_BYTES};
+pub use wal::{Lsn, Recovered, RecoveryReport, Wal, WalConfig};

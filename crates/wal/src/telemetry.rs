@@ -1,0 +1,67 @@
+//! The WAL's handles into the process-wide telemetry registry.
+//!
+//! Series follow the workspace convention and register lazily in
+//! [`Registry::global`]. Instances opened with
+//! [`WalConfig::telemetry`] set to `false` (the benchmark's
+//! attributable-numbers mode) skip these mirrors entirely.
+//!
+//! [`WalConfig::telemetry`]: crate::WalConfig
+
+use mps_telemetry::{Counter, Registry};
+use std::sync::OnceLock;
+
+/// Shared WAL metric handles.
+pub(crate) struct WalTelemetry {
+    /// Records appended (one per payload, not per batch).
+    pub(crate) appends: Counter,
+    /// Bytes written to segment files, framing included.
+    pub(crate) bytes_written: Counter,
+    /// Successful recovery scans (one per `Wal::open`).
+    pub(crate) recoveries: Counter,
+    /// Recoveries that truncated a torn tail off the last segment.
+    pub(crate) torn_tail_truncations: Counter,
+}
+
+/// The lazily-registered WAL metric set.
+pub(crate) fn telemetry() -> &'static WalTelemetry {
+    static TELEMETRY: OnceLock<WalTelemetry> = OnceLock::new();
+    TELEMETRY.get_or_init(|| {
+        let registry = Registry::global();
+        WalTelemetry {
+            appends: registry.counter("wal_appends_total", "Records appended to the log"),
+            bytes_written: registry.counter(
+                "wal_bytes_written_total",
+                "Bytes written to segment files, framing included",
+            ),
+            recoveries: registry.counter(
+                "wal_recoveries_total",
+                "Recovery scans completed by Wal::open",
+            ),
+            torn_tail_truncations: registry.counter(
+                "wal_torn_tail_truncations_total",
+                "Recoveries that truncated a torn tail off the last segment",
+            ),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_all_series_under_wal_names() {
+        let t = telemetry();
+        t.appends.add(0);
+        let names = Registry::global().names();
+        for name in [
+            "wal_appends_total",
+            "wal_bytes_written_total",
+            "wal_recoveries_total",
+            "wal_torn_tail_truncations_total",
+        ] {
+            assert!(names.iter().any(|n| n == name), "missing {name}");
+        }
+        let _ = (&t.bytes_written, &t.recoveries, &t.torn_tail_truncations);
+    }
+}

@@ -1,4 +1,4 @@
-//! CLI entry point: `cargo run -p xtask -- lint [options]`.
+//! CLI entry point: `cargo run -p xtask -- <lint|wal-inspect> [options]`.
 
 // A CLI's job is to print.
 #![allow(clippy::print_stdout)]
@@ -8,8 +8,9 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: cargo run -p xtask -- lint [options]
+       cargo run -p xtask -- wal-inspect <log-dir>
 
-Runs mps-lint, the workspace invariant checker (L001–L005).
+lint: runs mps-lint, the workspace invariant checker (L001–L005).
 
 options:
   --write-metrics-doc   regenerate docs/METRICS.md instead of gating on it
@@ -17,7 +18,10 @@ options:
   --root <path>         workspace root (default: current directory)
   -h, --help            this message
 
-exit status: 0 clean, 1 findings, 2 usage or config error
+wal-inspect: dumps and validates an mps-wal log directory without
+modifying it (torn tails are reported, not truncated).
+
+exit status: 0 clean/healthy, 1 findings/unhealthy, 2 usage or config error
 ";
 
 fn main() -> ExitCode {
@@ -29,6 +33,9 @@ fn main() -> ExitCode {
     if command == "-h" || command == "--help" {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
+    }
+    if command == "wal-inspect" {
+        return wal_inspect(args.collect());
     }
     if command != "lint" {
         eprintln!("unknown command `{command}`\n");
@@ -88,5 +95,65 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `wal-inspect <log-dir>`: read-only dump + health verdict of a log.
+fn wal_inspect(args: Vec<String>) -> ExitCode {
+    let path = match args.as_slice() {
+        [p] if p != "-h" && p != "--help" => PathBuf::from(p),
+        [p] if p == "-h" || p == "--help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => {
+            eprintln!("wal-inspect needs exactly one log directory\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match mps_wal::inspect(&path) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("wal-inspect: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    println!("log directory: {}", path.display());
+    for seg in &report.segments {
+        println!(
+            "segment {} start-lsn {} records {} bytes {} ({} valid){}",
+            seg.path.display(),
+            seg.start_lsn,
+            seg.records,
+            seg.bytes,
+            seg.valid_bytes,
+            if seg.torn { " TORN" } else { "" },
+        );
+    }
+    for snap in &report.snapshots {
+        println!(
+            "snapshot {} covers-lsn {} bytes {}{}",
+            snap.path.display(),
+            snap.lsn,
+            snap.bytes,
+            if snap.valid { "" } else { " INVALID" },
+        );
+    }
+    for tmp in &report.orphan_tmp {
+        println!("orphan temp file {}", tmp.display());
+    }
+    println!(
+        "total {} valid records across {} segment(s), {} snapshot(s)",
+        report.total_records(),
+        report.segments.len(),
+        report.snapshots.len(),
+    );
+    if report.healthy() {
+        println!("verdict: healthy (a torn tail, if any, is recoverable)");
+        ExitCode::SUCCESS
+    } else {
+        println!("verdict: UNHEALTHY (torn mid-log segment or invalid snapshot)");
+        ExitCode::FAILURE
     }
 }

@@ -19,6 +19,8 @@
 //! * [`core`] — experiment orchestration (deployment replay, lab harnesses).
 //! * [`telemetry`] — workspace-wide counters, latency histograms and the
 //!   shared metric registry (see the README's Observability section).
+//! * [`wal`] — append-only write-ahead log with crash recovery, behind
+//!   the durable modes of [`docstore`] and [`broker`].
 //!
 //! Start with the runnable examples: `quickstart` (a full deployment
 //! replay), `middleware_tour` (the GoFlow API), `noise_map` (simulation +
@@ -49,6 +51,7 @@ pub use mps_mobile as mobile;
 pub use mps_simcore as simcore;
 pub use mps_telemetry as telemetry;
 pub use mps_types as types;
+pub use mps_wal as wal;
 
 /// The most commonly used items across the workspace, importable in one
 /// line (`use soundcity::prelude::*`).

@@ -148,7 +148,7 @@ proptest! {
         let filter = Filter::range("v", lo, hi);
         prop_assert_eq!(collection.count(&filter).unwrap(), expected);
         // Indexed path must agree.
-        collection.create_index("v");
+        collection.create_index("v").unwrap();
         prop_assert_eq!(collection.count(&filter).unwrap(), expected);
     }
 
@@ -158,7 +158,7 @@ proptest! {
         for i in 0..n {
             collection.insert_one(serde_json::json!({"i": i, "flag": false})).unwrap();
         }
-        collection.create_index("flag");
+        collection.create_index("flag").unwrap();
         let updated = collection
             .update_many(&Filter::lt("i", (n / 2) as i64),
                          &soundcity::docstore::Update::set("flag", true))
