@@ -13,12 +13,16 @@
 //! mean.
 
 use mps_assim::{Blue, Grid, Localization, PointObservation};
-use mps_broker::{topic_matches, CompiledPattern, TopicTrie};
+use mps_broker::{
+    topic_matches, Broker, BrokerTransport, CompiledPattern, ExchangeType, TopicTrie,
+};
 use mps_docstore::{Collection, Filter};
+use mps_net::{BrokerService, ClientConfig, RemoteBroker, ServerConfig, WireServer};
 use mps_types::GeoBounds;
 use mps_wal::{Wal, WalConfig};
 use serde_json::{json, Value};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One measured comparison point.
@@ -208,6 +212,56 @@ pub fn blue_analysis(m: usize, samples: usize) -> (f64, f64) {
     (localized_ns, global_ns)
 }
 
+/// Median ns/op of one broker publish round-trip with an `n`-byte
+/// payload, in-process versus across a loopback TCP socket:
+/// `(embedded, tcp)`.
+///
+/// Both variants run the exact same publish (same exchange, same topic
+/// trie, same queue insert) through the [`BrokerTransport`] trait; the
+/// delta is purely the network boundary — frame encode, CRC, syscall
+/// round-trip, frame decode. `docs/PERFORMANCE.md` explains why the gap
+/// is the price of multi-process deployment, not an optimization target.
+pub fn net_round_trip(payload_bytes: usize, samples: usize, iters: usize) -> (f64, f64) {
+    let backend: Arc<dyn BrokerTransport> = Arc::new(Broker::new());
+    backend
+        .declare_exchange("bench", ExchangeType::Topic)
+        .expect("declare bench exchange");
+    backend
+        .declare_queue("bench.q")
+        .expect("declare bench queue");
+    backend
+        .bind_queue("bench", "bench.q", "obs.#")
+        .expect("bind bench queue");
+    let server = WireServer::bind(
+        "127.0.0.1:0",
+        Arc::new(BrokerService::new(Arc::clone(&backend))),
+        ServerConfig::default(),
+    )
+    .expect("bind loopback bench server");
+    let remote = RemoteBroker::connect(server.local_addr().to_string(), ClientConfig::default());
+    let payload = vec![0x5au8; payload_bytes];
+
+    let embedded_ns = median_ns_per_op(samples, iters, || {
+        black_box(
+            backend
+                .publish(black_box("bench"), black_box("obs.paris.noise"), &payload)
+                .expect("embedded publish"),
+        );
+    });
+    backend
+        .purge_queue("bench.q")
+        .expect("purge between variants");
+    let tcp_ns = median_ns_per_op(samples, iters, || {
+        black_box(
+            remote
+                .publish(black_box("bench"), black_box("obs.paris.noise"), &payload)
+                .expect("tcp publish"),
+        );
+    });
+    backend.purge_queue("bench.q").expect("purge after timing");
+    (embedded_ns, tcp_ns)
+}
+
 /// A scratch directory for the WAL append benches.
 fn wal_bench_dir(tag: &str) -> std::path::PathBuf {
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -322,6 +376,25 @@ pub fn baseline_measurements(quick: bool, telemetry: bool) -> Vec<Measurement> {
         });
     }
 
+    for payload_bytes in [64usize, 4_096] {
+        // TCP round-trips cost tens of microseconds each; keep the
+        // iteration count modest so the full matrix stays fast.
+        let net_iters = if quick { 50 } else { 400 };
+        let (embedded, tcp) = net_round_trip(payload_bytes, samples, net_iters);
+        out.push(Measurement {
+            bench: "net_round_trip",
+            variant: "embedded",
+            size: payload_bytes,
+            median_ns_per_op: embedded,
+        });
+        out.push(Measurement {
+            bench: "net_round_trip",
+            variant: "tcp",
+            size: payload_bytes,
+            median_ns_per_op: tcp,
+        });
+    }
+
     for batch in [16usize, 128] {
         let wal_iters = if quick { 10 } else { 40 };
         let wal_samples = if quick { 3 } else { 7 };
@@ -399,6 +472,15 @@ mod tests {
         assert_eq!(report["schema"], "mps-perf-baseline/1");
         assert_eq!(report["results"].as_array().unwrap().len(), 1);
         assert_eq!(report["results"][0]["bench"], "broker_routing");
+    }
+
+    #[test]
+    fn net_round_trip_times_both_sides_of_the_boundary() {
+        // Tiny sample counts: this is a plumbing check (server binds,
+        // client connects, both variants publish), not a measurement.
+        let (embedded, tcp) = net_round_trip(64, 2, 5);
+        assert!(embedded > 0.0, "embedded publish must be timed");
+        assert!(tcp > 0.0, "tcp publish must be timed");
     }
 
     #[test]

@@ -77,6 +77,7 @@ fn print_speedups(measurements: &[Measurement]) {
         "broker_routing" => "naive_scan",
         "blue_analysis" => "global",
         "wal_append" => "per_record",
+        "net_round_trip" => "tcp",
         _ => "full_scan",
     };
     let mut by_key: BTreeMap<(&str, usize), BTreeMap<&str, f64>> = BTreeMap::new();

@@ -35,6 +35,12 @@ pub enum BrokerError {
     /// crash-kill fired). The broker instance must be discarded and
     /// reopened to recover.
     Durability(String),
+    /// A remote broker could not be reached, or the wire exchange failed
+    /// (connection refused, protocol violation, shed by backpressure).
+    /// The operation may or may not have taken effect — the caller's
+    /// retry machinery decides what to do, exactly as it would for a
+    /// network error against a real broker.
+    Transport(String),
 }
 
 impl fmt::Display for BrokerError {
@@ -54,6 +60,7 @@ impl fmt::Display for BrokerError {
                 write!(f, "invalid dead-letter configuration: {reason}")
             }
             BrokerError::Durability(msg) => write!(f, "durability failure: {msg}"),
+            BrokerError::Transport(msg) => write!(f, "transport failure: {msg}"),
         }
     }
 }
@@ -87,6 +94,10 @@ mod tests {
                 "self target",
             ),
             (BrokerError::Durability("torn tail".into()), "torn tail"),
+            (
+                BrokerError::Transport("connection refused".into()),
+                "connection refused",
+            ),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");

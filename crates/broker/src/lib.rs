@@ -55,6 +55,7 @@ mod metrics;
 mod proptests;
 pub mod router;
 mod topic;
+mod transport;
 
 pub use broker::{Broker, DeadLetterPolicy, ExchangeInfo, ExchangeType, QueueInfo};
 pub use durability::{BrokerDurabilityConfig, MessageView, QueueSnapshot};
@@ -63,3 +64,4 @@ pub use message::{Delivery, Message};
 pub use metrics::{BrokerMetrics, MetricsSnapshot};
 pub use router::TopicTrie;
 pub use topic::{topic_matches, BindingPattern, CompiledPattern, PatternWord, RoutingKey};
+pub use transport::BrokerTransport;

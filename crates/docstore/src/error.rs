@@ -23,6 +23,11 @@ pub enum StoreError {
     /// description. The in-memory state may be ahead of the log — the
     /// instance should be discarded and reopened.
     Durability(String),
+    /// A remote store could not be reached, or the wire exchange failed
+    /// (connection refused, protocol violation, shed by backpressure).
+    /// The operation may or may not have taken effect — callers treat it
+    /// like any network error against a real database.
+    Transport(String),
 }
 
 impl fmt::Display for StoreError {
@@ -37,6 +42,7 @@ impl fmt::Display for StoreError {
                 write!(f, "value at {path} has no defined ordering")
             }
             StoreError::Durability(msg) => write!(f, "durability failure: {msg}"),
+            StoreError::Transport(msg) => write!(f, "transport failure: {msg}"),
         }
     }
 }
@@ -64,6 +70,9 @@ mod tests {
         assert!(StoreError::Durability("disk gone".into())
             .to_string()
             .contains("disk gone"));
+        assert!(StoreError::Transport("connection refused".into())
+            .to_string()
+            .contains("connection refused"));
     }
 
     #[test]

@@ -42,6 +42,7 @@ mod planner;
 mod proptests;
 mod store;
 mod telemetry;
+mod transport;
 mod update;
 mod value;
 
@@ -53,5 +54,6 @@ pub use filter::Filter;
 pub use index::IndexKey;
 pub use planner::PlanKind;
 pub use store::Store;
+pub use transport::{CollectionHandle, CollectionOps, DocstoreTransport};
 pub use update::Update;
 pub use value::{compare_values, get_path, set_path, unset_path, DocId};

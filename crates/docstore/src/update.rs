@@ -94,6 +94,40 @@ impl Update {
         }
     }
 
+    /// Encodes the update back to a Mongo-style document — the inverse of
+    /// [`Update::parse`]. Operations are grouped by operator, so the result
+    /// always has the canonical shape `{"$set": {..}, "$inc": {..}, ...}`.
+    ///
+    /// Two encodings are not perfectly lossless: a document key can appear
+    /// only once, so two operations through the *same* operator on the
+    /// *same* path collapse to the last one, and [`Update::parse`] replays
+    /// operators in document order rather than original insertion order.
+    /// Neither shape is constructible through the public builders, which
+    /// makes `parse(to_doc(u))` equivalent to `u` for every update that
+    /// crossed the wire. (The wire protocol spec documents this as the
+    /// canonical update encoding.)
+    #[must_use]
+    pub fn to_doc(&self) -> Value {
+        use serde_json::Map;
+        let mut groups: Map<String, Value> = Map::new();
+        let mut entry = |operator: &str, path: &str, arg: Value| {
+            groups
+                .entry(operator.to_string())
+                .or_insert_with(|| Value::Object(Map::new()))
+                .as_object_mut()
+                .map(|fields| fields.insert(path.to_string(), arg));
+        };
+        for op in &self.ops {
+            match op {
+                Op::Set(path, value) => entry("$set", path, value.clone()),
+                Op::Inc(path, delta) => entry("$inc", path, Value::from(*delta)),
+                Op::Unset(path) => entry("$unset", path, Value::from(1)),
+                Op::Push(path, value) => entry("$push", path, value.clone()),
+            }
+        }
+        Value::Object(groups)
+    }
+
     /// Applies the update to `doc` in place.
     ///
     /// # Errors
@@ -249,5 +283,25 @@ mod tests {
         let u = Update::set("a.b", 1);
         let mut doc = json!({"a": 3});
         assert!(u.apply(&mut doc).is_err());
+    }
+
+    #[test]
+    fn to_doc_round_trips_through_parse() {
+        let original = json!({
+            "$inc": {"retries": 1.0},
+            "$push": {"tags": "late"},
+            "$set": {"status": "processed", "meta.reason": "ok"},
+            "$unset": {"ghost": 1},
+        });
+        let update = Update::parse(&original).unwrap();
+        let encoded = update.to_doc();
+        assert_eq!(encoded, original);
+        assert_eq!(Update::parse(&encoded).unwrap(), update);
+    }
+
+    #[test]
+    fn to_doc_encodes_builders_canonically() {
+        assert_eq!(Update::set("k", 7).to_doc(), json!({"$set": {"k": 7}}));
+        assert_eq!(Update::inc("n", 2.5).to_doc(), json!({"$inc": {"n": 2.5}}));
     }
 }

@@ -15,7 +15,7 @@
 //!   client queues.
 
 use crate::GoFlowError;
-use mps_broker::{Broker, ExchangeType};
+use mps_broker::{BrokerTransport, ExchangeType};
 use mps_types::{AppId, ClientId, UserId};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -65,10 +65,19 @@ impl ClientSession {
 }
 
 /// Creates and tears down the Figure 3 messaging topology.
-#[derive(Debug)]
+///
+/// Generic over [`BrokerTransport`], so the topology can be declared on
+/// an in-process [`mps_broker::Broker`] or on a remote broker across a
+/// socket, interchangeably.
 pub struct ChannelManager {
-    broker: Arc<Broker>,
+    broker: Arc<dyn BrokerTransport>,
     next_client: Mutex<u64>,
+}
+
+impl std::fmt::Debug for ChannelManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelManager").finish_non_exhaustive()
+    }
 }
 
 fn app_exchange(app: &AppId) -> String {
@@ -100,8 +109,8 @@ fn sub_exchange(app: &AppId, datatype: &str, location: &str) -> String {
 }
 
 impl ChannelManager {
-    /// Creates a manager over a shared broker.
-    pub fn new(broker: Arc<Broker>) -> Self {
+    /// Creates a manager over a shared broker (in-process or remote).
+    pub fn new(broker: Arc<dyn BrokerTransport>) -> Self {
         Self {
             broker,
             next_client: Mutex::new(0),
@@ -224,6 +233,7 @@ impl ChannelManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mps_broker::Broker;
 
     fn setup() -> (Arc<Broker>, ChannelManager, AppId) {
         let broker = Arc::new(Broker::new());

@@ -20,8 +20,8 @@
 use crate::channels::gf_queue;
 use crate::telemetry::telemetry;
 use crate::{PrivacyPolicy, UsageAnalytics};
-use mps_broker::Broker;
-use mps_docstore::Collection;
+use mps_broker::BrokerTransport;
+use mps_docstore::CollectionHandle;
 use mps_telemetry::trace::{
     parse_contexts, FlightRecorder, Hop, Outcome, SpanRecord, TraceContext, SENT_MS_HEADER,
     TRACE_HEADER,
@@ -85,10 +85,11 @@ impl ObservationRecord {
     }
 }
 
-/// Drains GF queues into storage.
-#[derive(Debug)]
+/// Drains GF queues into storage. Works over any [`BrokerTransport`]
+/// and [`CollectionHandle`], so the same drain loop runs against an
+/// in-process broker/store pair or across sockets.
 pub(crate) struct Ingestor {
-    broker: Arc<Broker>,
+    broker: Arc<dyn BrokerTransport>,
     policy: PrivacyPolicy,
     /// Late-data threshold in milliseconds; negative means disabled.
     late_threshold_ms: AtomicI64,
@@ -97,8 +98,16 @@ pub(crate) struct Ingestor {
     pub(crate) force_storage_failures: std::sync::atomic::AtomicUsize,
 }
 
+impl std::fmt::Debug for Ingestor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ingestor")
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Ingestor {
-    pub(crate) fn new(broker: Arc<Broker>, policy: PrivacyPolicy) -> Self {
+    pub(crate) fn new(broker: Arc<dyn BrokerTransport>, policy: PrivacyPolicy) -> Self {
         Self {
             broker,
             policy,
@@ -124,7 +133,7 @@ impl Ingestor {
     /// simulates storage failures.
     fn insert_observation(
         &self,
-        collection: &Collection,
+        collection: &CollectionHandle,
         doc: Value,
     ) -> Result<mps_docstore::DocId, mps_docstore::StoreError> {
         #[cfg(test)]
@@ -157,8 +166,8 @@ impl Ingestor {
     pub(crate) fn drain(
         &self,
         app: &AppId,
-        collection: &Collection,
-        quarantine: &Collection,
+        collection: &CollectionHandle,
+        quarantine: &CollectionHandle,
         analytics: &UsageAnalytics,
         now: SimTime,
         max_messages: usize,

@@ -7,7 +7,7 @@
 
 use crate::telemetry::telemetry;
 use crate::GoFlowError;
-use mps_docstore::Collection;
+use mps_docstore::CollectionHandle;
 use mps_telemetry::SpanTimer;
 use parking_lot::Mutex;
 use serde_json::Value;
@@ -36,9 +36,10 @@ pub enum JobStatus {
     Failed(String),
 }
 
-/// A job script: runs over the application's observation collection and
-/// returns a JSON result or an error message.
-pub type JobScript = Arc<dyn Fn(&Collection) -> Result<Value, String> + Send + Sync>;
+/// A job script: runs over the application's observation collection
+/// (via a [`CollectionHandle`], so the collection may live in-process or
+/// behind a socket) and returns a JSON result or an error message.
+pub type JobScript = Arc<dyn Fn(&CollectionHandle) -> Result<Value, String> + Send + Sync>;
 
 struct Job {
     name: String,
@@ -73,7 +74,7 @@ impl JobRegistry {
     pub fn submit(
         &self,
         name: impl Into<String>,
-        script: impl Fn(&Collection) -> Result<Value, String> + Send + Sync + 'static,
+        script: impl Fn(&CollectionHandle) -> Result<Value, String> + Send + Sync + 'static,
     ) -> JobId {
         let id = {
             let mut next = self.next_id.lock();
@@ -119,7 +120,7 @@ impl JobRegistry {
     }
 
     /// Runs every pending job against `collection`; returns how many ran.
-    pub fn run_pending(&self, collection: &Collection) -> usize {
+    pub fn run_pending(&self, collection: &CollectionHandle) -> usize {
         // Collect pending scripts first so user scripts run outside the
         // registry lock (they may be slow).
         let pending: Vec<(u64, JobScript)> = self
@@ -169,16 +170,21 @@ impl JobRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mps_docstore::Collection;
     use serde_json::json;
+
+    fn handle() -> CollectionHandle {
+        CollectionHandle::from(Collection::new())
+    }
 
     #[test]
     fn submit_run_status() {
         let registry = JobRegistry::new();
-        let collection = Collection::new();
+        let collection = handle();
         collection.insert_one(json!({"spl": 50.0})).unwrap();
         collection.insert_one(json!({"spl": 70.0})).unwrap();
 
-        let id = registry.submit("count", |c: &Collection| Ok(json!({"n": c.len()})));
+        let id = registry.submit("count", |c: &CollectionHandle| Ok(json!({"n": c.len()})));
         assert_eq!(registry.status(id).unwrap(), JobStatus::Pending);
         assert_eq!(registry.name(id).unwrap(), "count");
 
@@ -194,8 +200,8 @@ mod tests {
     #[test]
     fn failed_jobs_capture_message() {
         let registry = JobRegistry::new();
-        let id = registry.submit("boom", |_: &Collection| Err("exploded".into()));
-        registry.run_pending(&Collection::new());
+        let id = registry.submit("boom", |_: &CollectionHandle| Err("exploded".into()));
+        registry.run_pending(&handle());
         assert_eq!(
             registry.status(id).unwrap(),
             JobStatus::Failed("exploded".into())
@@ -215,19 +221,19 @@ mod tests {
     #[test]
     fn counts_track_states() {
         let registry = JobRegistry::new();
-        registry.submit("a", |_: &Collection| Ok(json!(1)));
-        registry.submit("b", |_: &Collection| Err("no".into()));
-        registry.submit("c", |_: &Collection| Ok(json!(2)));
+        registry.submit("a", |_: &CollectionHandle| Ok(json!(1)));
+        registry.submit("b", |_: &CollectionHandle| Err("no".into()));
+        registry.submit("c", |_: &CollectionHandle| Ok(json!(2)));
         assert_eq!(registry.counts(), (3, 0, 0));
-        registry.run_pending(&Collection::new());
+        registry.run_pending(&handle());
         assert_eq!(registry.counts(), (0, 2, 1));
     }
 
     #[test]
     fn job_ids_are_sequential() {
         let registry = JobRegistry::new();
-        let a = registry.submit("a", |_: &Collection| Ok(Value::Null));
-        let b = registry.submit("b", |_: &Collection| Ok(Value::Null));
+        let a = registry.submit("a", |_: &CollectionHandle| Ok(Value::Null));
+        let b = registry.submit("b", |_: &CollectionHandle| Ok(Value::Null));
         assert!(a < b);
         assert_eq!(a.to_string(), "job-0");
     }
@@ -235,9 +241,9 @@ mod tests {
     #[test]
     fn scripts_can_mutate_collection() {
         let registry = JobRegistry::new();
-        let collection = Collection::new();
+        let collection = handle();
         collection.insert_one(json!({"stale": true})).unwrap();
-        registry.submit("cleanup", |c: &Collection| {
+        registry.submit("cleanup", |c: &CollectionHandle| {
             let n = c
                 .delete_many(&mps_docstore::Filter::eq("stale", true))
                 .map_err(|e| e.to_string())?;

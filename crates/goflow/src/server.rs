@@ -9,8 +9,8 @@ use crate::jobs::{JobId, JobRegistry, JobStatus};
 use crate::privacy::PrivacyPolicy;
 use crate::telemetry::telemetry;
 use crate::GoFlowError;
-use mps_broker::Broker;
-use mps_docstore::{Collection, FindOptions, Store};
+use mps_broker::{Broker, BrokerTransport};
+use mps_docstore::{CollectionHandle, DocstoreTransport, FindOptions, Store};
 use mps_types::{AppId, SimDuration, SimTime, UserId};
 use serde_json::Value;
 use std::sync::Arc;
@@ -19,17 +19,32 @@ use std::sync::Arc;
 /// wiring accounts, privacy, channel management, ingest, data management,
 /// background jobs and usage analytics over a shared broker and store.
 ///
+/// The broker and store are held as [`BrokerTransport`] and
+/// [`DocstoreTransport`] objects, so the same server runs over in-process
+/// components ([`GoFlowServer::new`]) or over remote ones behind sockets
+/// ([`GoFlowServer::over`]) without code changes.
+///
 /// See the [crate documentation](crate) for an end-to-end example.
-#[derive(Debug)]
 pub struct GoFlowServer {
-    broker: Arc<Broker>,
-    store: Store,
+    broker: Arc<dyn BrokerTransport>,
+    store: Arc<dyn DocstoreTransport>,
     accounts: AccountManager,
     channels: ChannelManager,
     privacy: PrivacyPolicy,
     jobs: JobRegistry,
     analytics: UsageAnalytics,
     ingestor: Ingestor,
+}
+
+impl std::fmt::Debug for GoFlowServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GoFlowServer")
+            .field("accounts", &self.accounts)
+            .field("privacy", &self.privacy)
+            .field("jobs", &self.jobs)
+            .field("analytics", &self.analytics)
+            .finish_non_exhaustive()
+    }
 }
 
 fn collection_name(app: &AppId) -> String {
@@ -41,14 +56,33 @@ fn quarantine_name(app: &AppId) -> String {
 }
 
 impl GoFlowServer {
-    /// Creates a server over a broker and a store, with the default
-    /// privacy policy (pseudonymisation on, no private paths).
+    /// Creates a server over an in-process broker and store, with the
+    /// default privacy policy (pseudonymisation on, no private paths).
     pub fn new(broker: Arc<Broker>, store: Store) -> Self {
         Self::with_policy(broker, store, PrivacyPolicy::default())
     }
 
-    /// Creates a server with an explicit privacy policy.
+    /// Creates a server over an in-process broker and store with an
+    /// explicit privacy policy.
     pub fn with_policy(broker: Arc<Broker>, store: Store, policy: PrivacyPolicy) -> Self {
+        Self::over_with_policy(broker, Arc::new(store), policy)
+    }
+
+    /// Creates a server over *any* transports — e.g. an
+    /// `mps_net::RemoteBroker` and `mps_net::RemoteStore` when the broker
+    /// and docstore run as separate processes — with the default privacy
+    /// policy.
+    pub fn over(broker: Arc<dyn BrokerTransport>, store: Arc<dyn DocstoreTransport>) -> Self {
+        Self::over_with_policy(broker, store, PrivacyPolicy::default())
+    }
+
+    /// Creates a server over any transports with an explicit privacy
+    /// policy.
+    pub fn over_with_policy(
+        broker: Arc<dyn BrokerTransport>,
+        store: Arc<dyn DocstoreTransport>,
+        policy: PrivacyPolicy,
+    ) -> Self {
         Self {
             channels: ChannelManager::new(Arc::clone(&broker)),
             ingestor: Ingestor::new(Arc::clone(&broker), policy.clone()),
@@ -61,13 +95,13 @@ impl GoFlowServer {
         }
     }
 
-    /// The shared broker.
-    pub fn broker(&self) -> &Arc<Broker> {
+    /// The shared broker transport.
+    pub fn broker(&self) -> &Arc<dyn BrokerTransport> {
         &self.broker
     }
 
-    /// The backing store.
-    pub fn store(&self) -> &Store {
+    /// The backing store transport.
+    pub fn store(&self) -> &Arc<dyn DocstoreTransport> {
         &self.store
     }
 
@@ -104,7 +138,7 @@ impl GoFlowServer {
     /// # Errors
     ///
     /// Returns [`GoFlowError::UnknownApp`] for an unregistered app.
-    pub fn collection(&self, app: &AppId) -> Result<Collection, GoFlowError> {
+    pub fn collection(&self, app: &AppId) -> Result<CollectionHandle, GoFlowError> {
         if !self.accounts.has_app(app) {
             return Err(GoFlowError::UnknownApp(app.to_string()));
         }
@@ -117,7 +151,7 @@ impl GoFlowServer {
     /// # Errors
     ///
     /// Returns [`GoFlowError::UnknownApp`] for an unregistered app.
-    pub fn quarantine(&self, app: &AppId) -> Result<Collection, GoFlowError> {
+    pub fn quarantine(&self, app: &AppId) -> Result<CollectionHandle, GoFlowError> {
         if !self.accounts.has_app(app) {
             return Err(GoFlowError::UnknownApp(app.to_string()));
         }
@@ -309,7 +343,7 @@ impl GoFlowServer {
         &self,
         token: &Token,
         name: impl Into<String>,
-        script: impl Fn(&Collection) -> Result<Value, String> + Send + Sync + 'static,
+        script: impl Fn(&CollectionHandle) -> Result<Value, String> + Send + Sync + 'static,
     ) -> Result<JobId, GoFlowError> {
         self.accounts
             .require_role(token, Role::Manager, "submit job")?;

@@ -14,7 +14,7 @@
 
 use crate::retry::RetryPolicy;
 use crate::telemetry::telemetry;
-use mps_broker::{Broker, BrokerError, Message};
+use mps_broker::{Broker, BrokerError, BrokerTransport, Message};
 use mps_faults::{Link, LinkError, SendTrace};
 use mps_simcore::SimRng;
 use mps_telemetry::trace::{
@@ -24,26 +24,46 @@ use mps_telemetry::trace::{
 use mps_types::{AppVersion, Observation, SimTime};
 use std::collections::VecDeque;
 
-/// Adapts one [`Broker`] exchange to the [`Link`] transport trait, so the
+/// Adapts one broker exchange to the [`Link`] transport trait, so the
 /// upload path can be driven directly or wrapped in a
 /// [`mps_faults::FaultyLink`] for fault-injected runs.
-#[derive(Debug, Clone, Copy)]
-pub struct BrokerLink<'a> {
-    broker: &'a Broker,
+///
+/// Generic over any [`BrokerTransport`] — an in-process [`Broker`] (the
+/// default) or a remote broker behind a socket (e.g.
+/// `mps_net::RemoteBroker`) — so the same client upload path runs
+/// embedded in simulations and across a real network boundary.
+pub struct BrokerLink<'a, B: BrokerTransport + ?Sized = Broker> {
+    broker: &'a B,
     exchange: &'a str,
 }
 
-impl<'a> BrokerLink<'a> {
+impl<B: BrokerTransport + ?Sized> std::fmt::Debug for BrokerLink<'_, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerLink")
+            .field("exchange", &self.exchange)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<B: BrokerTransport + ?Sized> Clone for BrokerLink<'_, B> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<B: BrokerTransport + ?Sized> Copy for BrokerLink<'_, B> {}
+
+impl<'a, B: BrokerTransport + ?Sized> BrokerLink<'a, B> {
     /// Creates a link publishing to `exchange` on `broker`.
-    pub fn new(broker: &'a Broker, exchange: &'a str) -> Self {
+    pub fn new(broker: &'a B, exchange: &'a str) -> Self {
         Self { broker, exchange }
     }
 }
 
-impl Link for BrokerLink<'_> {
+impl<B: BrokerTransport + ?Sized> Link for BrokerLink<'_, B> {
     fn send(&self, route: &str, payload: &[u8]) -> Result<usize, LinkError> {
         self.broker
-            .publish(self.exchange, route, payload.to_vec())
+            .publish(self.exchange, route, payload)
             .map_err(|err| LinkError::Unavailable(err.to_string()))
     }
 
@@ -263,7 +283,7 @@ impl GoFlowClient {
     /// the observations are retried on the next cycle.
     pub fn on_cycle(
         &mut self,
-        broker: &Broker,
+        broker: &(impl BrokerTransport + ?Sized),
         connected: bool,
     ) -> Result<SendOutcome, BrokerError> {
         if !connected || !self.wants_to_send() {
@@ -278,7 +298,10 @@ impl GoFlowClient {
     /// # Errors
     ///
     /// Propagates broker errors; the buffer is kept on failure.
-    pub fn flush(&mut self, broker: &Broker) -> Result<SendOutcome, BrokerError> {
+    pub fn flush(
+        &mut self,
+        broker: &(impl BrokerTransport + ?Sized),
+    ) -> Result<SendOutcome, BrokerError> {
         if self.buffer.is_empty() {
             return Ok(SendOutcome::default());
         }
@@ -286,7 +309,7 @@ impl GoFlowClient {
             // One batch message carrying the whole buffer.
             // mps-lint: allow(L003) -- serde_json::to_vec of plain derived-Serialize structs cannot fail
             let payload = serde_json::to_vec(&self.buffer).expect("observations serialize");
-            broker.publish(&self.exchange, &self.routing_key, payload)?;
+            broker.publish(&self.exchange, &self.routing_key, &payload)?;
             SendOutcome {
                 transfers: 1,
                 observations: self.buffer.len(),
@@ -297,7 +320,7 @@ impl GoFlowClient {
             for obs in &self.buffer {
                 // mps-lint: allow(L003) -- serde_json::to_vec of plain derived-Serialize structs cannot fail
                 let payload = serde_json::to_vec(obs).expect("observation serializes");
-                broker.publish(&self.exchange, &self.routing_key, payload)?;
+                broker.publish(&self.exchange, &self.routing_key, &payload)?;
                 sent += 1;
             }
             SendOutcome {

@@ -1,0 +1,96 @@
+//! `mps-brokerd` — the message broker as a standalone process.
+//!
+//! ```text
+//! mps-brokerd [--listen ADDR] [--wal-dir DIR] [--max-connections N]
+//! ```
+//!
+//! Serves an `mps-broker` instance over the mps-net wire protocol.
+//! With `--wal-dir` the broker write-ahead-logs every queue transition
+//! to that directory and replays it on restart; without it the broker
+//! is in-memory. Prints the bound address on stderr (`listening on ...`)
+//! so wrappers can scrape it, and exits cleanly when a client sends the
+//! shutdown opcode. See `docs/DEPLOYMENT.md`.
+
+use mps_broker::{Broker, BrokerDurabilityConfig, BrokerTransport};
+use mps_net::broker_api::BrokerService;
+use mps_net::server::{ServerConfig, WireServer};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Flags {
+    listen: String,
+    wal_dir: Option<String>,
+    max_connections: usize,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        listen: "127.0.0.1:7401".to_string(),
+        wal_dir: None,
+        max_connections: ServerConfig::default().max_connections,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--listen" => flags.listen = value_for("--listen")?,
+            "--wal-dir" => flags.wal_dir = Some(value_for("--wal-dir")?),
+            "--max-connections" => {
+                flags.max_connections = value_for("--max-connections")?
+                    .parse()
+                    .map_err(|_| "--max-connections needs an integer".to_string())?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: mps-brokerd [--listen ADDR] [--wal-dir DIR] [--max-connections N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(flags)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match parse_flags(&args) {
+        Ok(flags) => flags,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let broker = match &flags.wal_dir {
+        None => Broker::new(),
+        Some(dir) => match Broker::open_durable(BrokerDurabilityConfig::new(dir)) {
+            Ok(broker) => broker,
+            Err(err) => {
+                eprintln!("cannot open durable broker in {dir}: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let broker: Arc<dyn BrokerTransport> = Arc::new(broker);
+    let config = ServerConfig {
+        max_connections: flags.max_connections,
+        ..ServerConfig::default()
+    };
+    let server =
+        match WireServer::bind(&*flags.listen, Arc::new(BrokerService::new(broker)), config) {
+            Ok(server) => server,
+            Err(err) => {
+                eprintln!("cannot bind {}: {err}", flags.listen);
+                return ExitCode::FAILURE;
+            }
+        };
+    eprintln!("mps-brokerd listening on {}", server.local_addr());
+    server.join();
+    eprintln!("mps-brokerd shut down cleanly");
+    ExitCode::SUCCESS
+}

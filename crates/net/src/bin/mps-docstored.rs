@@ -1,0 +1,100 @@
+//! `mps-docstored` — the document store as a standalone process.
+//!
+//! ```text
+//! mps-docstored [--listen ADDR] [--wal-dir DIR] [--max-connections N]
+//! ```
+//!
+//! Serves an `mps-docstore` instance over the mps-net wire protocol.
+//! With `--wal-dir` every mutation is write-ahead-logged to that
+//! directory and replayed on restart; without it the store is
+//! in-memory. Prints the bound address on stderr (`listening on ...`)
+//! and exits cleanly when a client sends the shutdown opcode. See
+//! `docs/DEPLOYMENT.md`.
+
+use mps_docstore::{DocstoreTransport, Durability, DurabilityConfig, Store};
+use mps_net::docstore_api::DocstoreService;
+use mps_net::server::{ServerConfig, WireServer};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Flags {
+    listen: String,
+    wal_dir: Option<String>,
+    max_connections: usize,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        listen: "127.0.0.1:7402".to_string(),
+        wal_dir: None,
+        max_connections: ServerConfig::default().max_connections,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--listen" => flags.listen = value_for("--listen")?,
+            "--wal-dir" => flags.wal_dir = Some(value_for("--wal-dir")?),
+            "--max-connections" => {
+                flags.max_connections = value_for("--max-connections")?
+                    .parse()
+                    .map_err(|_| "--max-connections needs an integer".to_string())?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: mps-docstored [--listen ADDR] [--wal-dir DIR] [--max-connections N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(flags)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match parse_flags(&args) {
+        Ok(flags) => flags,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let durability = match &flags.wal_dir {
+        None => Durability::InMemory,
+        Some(dir) => Durability::Durable(DurabilityConfig::new(dir)),
+    };
+    let store = match Store::open(durability) {
+        Ok(store) => store,
+        Err(err) => {
+            eprintln!("cannot open store: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let store: Arc<dyn DocstoreTransport> = Arc::new(store);
+    let config = ServerConfig {
+        max_connections: flags.max_connections,
+        ..ServerConfig::default()
+    };
+    let server = match WireServer::bind(
+        &*flags.listen,
+        Arc::new(DocstoreService::new(store)),
+        config,
+    ) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("cannot bind {}: {err}", flags.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("mps-docstored listening on {}", server.local_addr());
+    server.join();
+    eprintln!("mps-docstored shut down cleanly");
+    ExitCode::SUCCESS
+}

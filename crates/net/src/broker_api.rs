@@ -1,0 +1,745 @@
+//! Broker opcodes: the server-side [`BrokerService`] and the
+//! client-side [`RemoteBroker`].
+//!
+//! Every method of [`mps_broker::BrokerTransport`] maps to one opcode;
+//! argument and result layouts use [`crate::wire`] primitives and are
+//! specified normatively in `docs/WIRE_PROTOCOL.md`. Trace context
+//! ([`mps_types::headers::TRACE_HEADER`]) rides the *request envelope*
+//! headers on publishes, so a wire capture attributes every message to
+//! its trace without decoding broker payloads.
+
+use crate::client::{ClientConfig, ClientPool, NetError};
+use crate::rpc::STATUS_BAD_REQUEST;
+use crate::server::{ServiceError, WireService};
+use crate::wire::{WireError, WireReader, WireWriter};
+use mps_broker::{BrokerError, BrokerTransport, DeadLetterPolicy, Delivery, ExchangeType, Message};
+use mps_types::headers::{SENT_MS_HEADER, TRACE_HEADER};
+use std::fmt;
+use std::sync::Arc;
+
+/// Broker opcode table (`1..=19`); see `docs/WIRE_PROTOCOL.md` §5.
+pub mod op {
+    /// `declare_exchange(name, type)`
+    pub const DECLARE_EXCHANGE: u8 = 1;
+    /// `declare_queue(name)`
+    pub const DECLARE_QUEUE: u8 = 2;
+    /// `declare_queue_with_capacity(name, capacity)`
+    pub const DECLARE_QUEUE_WITH_CAPACITY: u8 = 3;
+    /// `exchange_exists(name) -> bool`
+    pub const EXCHANGE_EXISTS: u8 = 4;
+    /// `queue_exists(name) -> bool`
+    pub const QUEUE_EXISTS: u8 = 5;
+    /// `bind_queue(exchange, queue, pattern)`
+    pub const BIND_QUEUE: u8 = 6;
+    /// `bind_exchange(source, destination, pattern)`
+    pub const BIND_EXCHANGE: u8 = 7;
+    /// `unbind_queue(exchange, queue, pattern)`
+    pub const UNBIND_QUEUE: u8 = 8;
+    /// `delete_exchange(name)`
+    pub const DELETE_EXCHANGE: u8 = 9;
+    /// `delete_queue(name)`
+    pub const DELETE_QUEUE: u8 = 10;
+    /// `purge_queue(name) -> count`
+    pub const PURGE_QUEUE: u8 = 11;
+    /// `configure_dead_letter(queue, attempts, target)`
+    pub const CONFIGURE_DEAD_LETTER: u8 = 12;
+    /// `dead_letter_policy(queue) -> policy?`
+    pub const DEAD_LETTER_POLICY: u8 = 13;
+    /// `queue_depth(name) -> depth`
+    pub const QUEUE_DEPTH: u8 = 14;
+    /// `publish(exchange, key, payload) -> fanout`
+    pub const PUBLISH: u8 = 15;
+    /// `publish_message(exchange, key, payload, headers) -> fanout`
+    pub const PUBLISH_MESSAGE: u8 = 16;
+    /// `consume(queue, max) -> deliveries`
+    pub const CONSUME: u8 = 17;
+    /// `ack(queue, tag)`
+    pub const ACK: u8 = 18;
+    /// `nack(queue, tag, requeue)`
+    pub const NACK: u8 = 19;
+}
+
+/// Broker error status codes (`16..=24`); see `docs/WIRE_PROTOCOL.md` §7.
+pub mod err {
+    /// [`mps_broker::BrokerError::ExchangeNotFound`]
+    pub const EXCHANGE_NOT_FOUND: u8 = 16;
+    /// [`mps_broker::BrokerError::QueueNotFound`]
+    pub const QUEUE_NOT_FOUND: u8 = 17;
+    /// [`mps_broker::BrokerError::ExchangeTypeMismatch`]
+    pub const EXCHANGE_TYPE_MISMATCH: u8 = 18;
+    /// [`mps_broker::BrokerError::InvalidKey`]
+    pub const INVALID_KEY: u8 = 19;
+    /// [`mps_broker::BrokerError::UnknownDeliveryTag`]
+    pub const UNKNOWN_DELIVERY_TAG: u8 = 20;
+    /// [`mps_broker::BrokerError::QueueFull`]
+    pub const QUEUE_FULL: u8 = 21;
+    /// [`mps_broker::BrokerError::InvalidDeadLetter`]
+    pub const INVALID_DEAD_LETTER: u8 = 22;
+    /// [`mps_broker::BrokerError::Durability`]
+    pub const DURABILITY: u8 = 23;
+    /// [`mps_broker::BrokerError::Transport`]
+    pub const TRANSPORT: u8 = 24;
+}
+
+fn exchange_type_byte(kind: ExchangeType) -> u8 {
+    match kind {
+        ExchangeType::Direct => 1,
+        ExchangeType::Fanout => 2,
+        ExchangeType::Topic => 3,
+    }
+}
+
+fn exchange_type_from_byte(byte: u8) -> Result<ExchangeType, WireError> {
+    match byte {
+        1 => Ok(ExchangeType::Direct),
+        2 => Ok(ExchangeType::Fanout),
+        3 => Ok(ExchangeType::Topic),
+        value => Err(WireError::BadDiscriminant {
+            field: "exchange type",
+            value,
+        }),
+    }
+}
+
+/// Encodes a [`BrokerError`] as a wire status + payload.
+#[must_use]
+pub fn encode_broker_error(error: &BrokerError) -> ServiceError {
+    let mut w = WireWriter::new();
+    let code = match error {
+        BrokerError::ExchangeNotFound(name) => {
+            w.string(name);
+            err::EXCHANGE_NOT_FOUND
+        }
+        BrokerError::QueueNotFound(name) => {
+            w.string(name);
+            err::QUEUE_NOT_FOUND
+        }
+        BrokerError::ExchangeTypeMismatch { name } => {
+            w.string(name);
+            err::EXCHANGE_TYPE_MISMATCH
+        }
+        BrokerError::InvalidKey(key) => {
+            w.string(key);
+            err::INVALID_KEY
+        }
+        BrokerError::UnknownDeliveryTag { queue, tag } => {
+            w.string(queue).u64(*tag);
+            err::UNKNOWN_DELIVERY_TAG
+        }
+        BrokerError::QueueFull(name) => {
+            w.string(name);
+            err::QUEUE_FULL
+        }
+        BrokerError::InvalidDeadLetter(reason) => {
+            w.string(reason);
+            err::INVALID_DEAD_LETTER
+        }
+        BrokerError::Durability(msg) => {
+            w.string(msg);
+            err::DURABILITY
+        }
+        BrokerError::Transport(msg) => {
+            w.string(msg);
+            err::TRANSPORT
+        }
+    };
+    ServiceError {
+        code,
+        payload: w.finish(),
+    }
+}
+
+/// Decodes a wire status + payload back into the exact [`BrokerError`].
+/// Unknown codes degrade to [`BrokerError::Transport`], never a panic —
+/// a newer server must not crash an older client.
+#[must_use]
+pub fn decode_broker_error(code: u8, payload: &[u8]) -> BrokerError {
+    let mut r = WireReader::new(payload);
+    let decoded = match code {
+        err::EXCHANGE_NOT_FOUND => r.string("name").map(BrokerError::ExchangeNotFound),
+        err::QUEUE_NOT_FOUND => r.string("name").map(BrokerError::QueueNotFound),
+        err::EXCHANGE_TYPE_MISMATCH => r
+            .string("name")
+            .map(|name| BrokerError::ExchangeTypeMismatch { name }),
+        err::INVALID_KEY => r.string("key").map(BrokerError::InvalidKey),
+        err::UNKNOWN_DELIVERY_TAG => r.string("queue").and_then(|queue| {
+            r.u64("tag")
+                .map(|tag| BrokerError::UnknownDeliveryTag { queue, tag })
+        }),
+        err::QUEUE_FULL => r.string("name").map(BrokerError::QueueFull),
+        err::INVALID_DEAD_LETTER => r.string("reason").map(BrokerError::InvalidDeadLetter),
+        err::DURABILITY => r.string("msg").map(BrokerError::Durability),
+        err::TRANSPORT => r.string("msg").map(BrokerError::Transport),
+        other => {
+            return BrokerError::Transport(format!(
+                "unknown broker error code {other}: {}",
+                String::from_utf8_lossy(payload)
+            ))
+        }
+    };
+    decoded.unwrap_or_else(|wire| {
+        BrokerError::Transport(format!("undecodable broker error {code}: {wire}"))
+    })
+}
+
+fn encode_deliveries(deliveries: &[Delivery]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u32(deliveries.len() as u32);
+    for delivery in deliveries {
+        w.u64(delivery.tag)
+            .u8(u8::from(delivery.redelivered))
+            .string(delivery.routing_key().as_str())
+            .bytes(delivery.payload());
+        let headers: Vec<(&str, &str)> = delivery.message.headers().collect();
+        w.u16(headers.len() as u16);
+        for (key, value) in headers {
+            w.string(key).string(value);
+        }
+    }
+    w.finish()
+}
+
+fn decode_deliveries(payload: &[u8]) -> Result<Vec<Delivery>, WireError> {
+    let mut r = WireReader::new(payload);
+    let count = r.u32("delivery count")?;
+    let mut deliveries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let tag = r.u64("tag")?;
+        let redelivered = r.u8("redelivered")? != 0;
+        let key = r.string("routing key")?;
+        let body = r.bytes("payload")?.to_vec();
+        let routing_key = key.parse().map_err(|_| WireError::BadDiscriminant {
+            field: "routing key",
+            value: 0,
+        })?;
+        let mut message = Message::new(routing_key, body);
+        let header_count = r.u16("header count")?;
+        for _ in 0..header_count {
+            let name = r.string("header name")?;
+            let value = r.string("header value")?;
+            message = message.with_header(name, value);
+        }
+        deliveries.push(Delivery {
+            tag,
+            message: Arc::new(message),
+            redelivered,
+        });
+    }
+    r.expect_end()?;
+    Ok(deliveries)
+}
+
+// ---------------------------------------------------------------- server
+
+/// Serves any [`BrokerTransport`] — usually a local [`mps_broker::Broker`] —
+/// over the wire protocol.
+pub struct BrokerService {
+    inner: Arc<dyn BrokerTransport>,
+}
+
+impl fmt::Debug for BrokerService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BrokerService").finish_non_exhaustive()
+    }
+}
+
+impl BrokerService {
+    /// Wraps a transport for serving.
+    #[must_use]
+    pub fn new(inner: Arc<dyn BrokerTransport>) -> BrokerService {
+        BrokerService { inner }
+    }
+
+    fn dispatch(&self, opcode: u8, body: &[u8]) -> Result<Result<Vec<u8>, BrokerError>, WireError> {
+        let mut r = WireReader::new(body);
+        let empty = |result: Result<(), BrokerError>| result.map(|()| Vec::new());
+        let reply = match opcode {
+            op::DECLARE_EXCHANGE => {
+                let name = r.string("exchange")?;
+                let kind = exchange_type_from_byte(r.u8("exchange type")?)?;
+                empty(self.inner.declare_exchange(&name, kind))
+            }
+            op::DECLARE_QUEUE => empty(self.inner.declare_queue(&r.string("queue")?)),
+            op::DECLARE_QUEUE_WITH_CAPACITY => {
+                let queue = r.string("queue")?;
+                let capacity = r.u64("capacity")? as usize;
+                empty(self.inner.declare_queue_with_capacity(&queue, capacity))
+            }
+            op::EXCHANGE_EXISTS => {
+                let name = r.string("exchange")?;
+                Ok(vec![u8::from(self.inner.exchange_exists(&name))])
+            }
+            op::QUEUE_EXISTS => {
+                let name = r.string("queue")?;
+                Ok(vec![u8::from(self.inner.queue_exists(&name))])
+            }
+            op::BIND_QUEUE => {
+                let exchange = r.string("exchange")?;
+                let queue = r.string("queue")?;
+                let pattern = r.string("pattern")?;
+                empty(self.inner.bind_queue(&exchange, &queue, &pattern))
+            }
+            op::BIND_EXCHANGE => {
+                let source = r.string("source")?;
+                let destination = r.string("destination")?;
+                let pattern = r.string("pattern")?;
+                empty(self.inner.bind_exchange(&source, &destination, &pattern))
+            }
+            op::UNBIND_QUEUE => {
+                let exchange = r.string("exchange")?;
+                let queue = r.string("queue")?;
+                let pattern = r.string("pattern")?;
+                empty(self.inner.unbind_queue(&exchange, &queue, &pattern))
+            }
+            op::DELETE_EXCHANGE => empty(self.inner.delete_exchange(&r.string("exchange")?)),
+            op::DELETE_QUEUE => empty(self.inner.delete_queue(&r.string("queue")?)),
+            op::PURGE_QUEUE => self.inner.purge_queue(&r.string("queue")?).map(|purged| {
+                let mut w = WireWriter::new();
+                w.u64(purged as u64);
+                w.finish()
+            }),
+            op::CONFIGURE_DEAD_LETTER => {
+                let queue = r.string("queue")?;
+                let attempts = r.u32("max delivery attempts")?;
+                let target = r.string("target")?;
+                empty(self.inner.configure_dead_letter(&queue, attempts, &target))
+            }
+            op::DEAD_LETTER_POLICY => {
+                self.inner
+                    .dead_letter_policy(&r.string("queue")?)
+                    .map(|policy| {
+                        let mut w = WireWriter::new();
+                        match policy {
+                            None => {
+                                w.u8(0);
+                            }
+                            Some(policy) => {
+                                w.u8(1)
+                                    .u32(policy.max_delivery_attempts)
+                                    .string(&policy.target);
+                            }
+                        }
+                        w.finish()
+                    })
+            }
+            op::QUEUE_DEPTH => self.inner.queue_depth(&r.string("queue")?).map(|depth| {
+                let mut w = WireWriter::new();
+                w.u64(depth as u64);
+                w.finish()
+            }),
+            op::PUBLISH => {
+                let exchange = r.string("exchange")?;
+                let key = r.string("routing key")?;
+                let payload = r.bytes("payload")?;
+                self.inner.publish(&exchange, &key, payload).map(|fanout| {
+                    let mut w = WireWriter::new();
+                    w.u64(fanout as u64);
+                    w.finish()
+                })
+            }
+            op::PUBLISH_MESSAGE => {
+                let exchange = r.string("exchange")?;
+                let key = r.string("routing key")?;
+                let payload = r.bytes("payload")?.to_vec();
+                let header_count = r.u16("header count")?;
+                let routing_key = key.parse().map_err(|_| WireError::BadDiscriminant {
+                    field: "routing key",
+                    value: 0,
+                })?;
+                let mut message = Message::new(routing_key, payload);
+                for _ in 0..header_count {
+                    let name = r.string("header name")?;
+                    let value = r.string("header value")?;
+                    message = message.with_header(name, value);
+                }
+                self.inner
+                    .publish_message(&exchange, message)
+                    .map(|fanout| {
+                        let mut w = WireWriter::new();
+                        w.u64(fanout as u64);
+                        w.finish()
+                    })
+            }
+            op::CONSUME => {
+                let queue = r.string("queue")?;
+                let max = r.u32("max")? as usize;
+                self.inner
+                    .consume(&queue, max)
+                    .map(|deliveries| encode_deliveries(&deliveries))
+            }
+            op::ACK => {
+                let queue = r.string("queue")?;
+                let tag = r.u64("tag")?;
+                empty(self.inner.ack(&queue, tag))
+            }
+            op::NACK => {
+                let queue = r.string("queue")?;
+                let tag = r.u64("tag")?;
+                let requeue = r.u8("requeue")? != 0;
+                empty(self.inner.nack(&queue, tag, requeue))
+            }
+            other => {
+                return Err(WireError::BadDiscriminant {
+                    field: "broker opcode",
+                    value: other,
+                })
+            }
+        };
+        r.expect_end()?;
+        Ok(reply)
+    }
+}
+
+impl WireService for BrokerService {
+    fn handle(
+        &self,
+        opcode: u8,
+        _headers: &[(String, String)],
+        body: &[u8],
+    ) -> Result<Vec<u8>, ServiceError> {
+        match self.dispatch(opcode, body) {
+            Ok(Ok(reply)) => Ok(reply),
+            Ok(Err(broker_error)) => Err(encode_broker_error(&broker_error)),
+            Err(wire_error) => Err(ServiceError::msg(
+                STATUS_BAD_REQUEST,
+                &wire_error.to_string(),
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- client
+
+/// A [`BrokerTransport`] that forwards every call to a remote
+/// [`BrokerService`] over a [`ClientPool`].
+#[derive(Debug)]
+pub struct RemoteBroker {
+    pool: ClientPool,
+}
+
+impl RemoteBroker {
+    /// Creates a remote broker dialling `addr` lazily.
+    #[must_use]
+    pub fn connect(addr: impl Into<String>, config: ClientConfig) -> RemoteBroker {
+        RemoteBroker {
+            pool: ClientPool::new(addr, config),
+        }
+    }
+
+    fn transport_error(err: NetError) -> BrokerError {
+        match err {
+            NetError::Remote { code, payload } => decode_broker_error(code, &payload),
+            other => BrokerError::Transport(other.to_string()),
+        }
+    }
+
+    fn call(&self, opcode: u8, body: Vec<u8>) -> Result<Vec<u8>, BrokerError> {
+        self.call_with_headers(opcode, &[], body)
+    }
+
+    fn call_with_headers(
+        &self,
+        opcode: u8,
+        headers: &[(String, String)],
+        body: Vec<u8>,
+    ) -> Result<Vec<u8>, BrokerError> {
+        self.pool
+            .call(opcode, headers, &body)
+            .map_err(Self::transport_error)
+    }
+
+    fn call_unit(&self, opcode: u8, body: Vec<u8>) -> Result<(), BrokerError> {
+        self.call(opcode, body).map(|_| ())
+    }
+
+    fn call_u64(&self, opcode: u8, body: Vec<u8>) -> Result<u64, BrokerError> {
+        let reply = self.call(opcode, body)?;
+        let mut r = WireReader::new(&reply);
+        r.u64("result")
+            .map_err(|err| BrokerError::Transport(format!("bad reply: {err}")))
+    }
+
+    fn call_bool(&self, opcode: u8, body: Vec<u8>) -> bool {
+        // Existence probes are infallible in the transport signature;
+        // over a broken wire the conservative answer is "no".
+        self.call(opcode, body)
+            .map(|reply| reply.first().copied() == Some(1))
+            .unwrap_or(false)
+    }
+
+    fn one_string(value: &str) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.string(value);
+        w.finish()
+    }
+}
+
+impl BrokerTransport for RemoteBroker {
+    fn declare_exchange(&self, name: &str, kind: ExchangeType) -> Result<(), BrokerError> {
+        let mut w = WireWriter::new();
+        w.string(name).u8(exchange_type_byte(kind));
+        self.call_unit(op::DECLARE_EXCHANGE, w.finish())
+    }
+
+    fn declare_queue(&self, name: &str) -> Result<(), BrokerError> {
+        self.call_unit(op::DECLARE_QUEUE, Self::one_string(name))
+    }
+
+    fn declare_queue_with_capacity(&self, name: &str, capacity: usize) -> Result<(), BrokerError> {
+        let mut w = WireWriter::new();
+        w.string(name).u64(capacity as u64);
+        self.call_unit(op::DECLARE_QUEUE_WITH_CAPACITY, w.finish())
+    }
+
+    fn exchange_exists(&self, name: &str) -> bool {
+        self.call_bool(op::EXCHANGE_EXISTS, Self::one_string(name))
+    }
+
+    fn queue_exists(&self, name: &str) -> bool {
+        self.call_bool(op::QUEUE_EXISTS, Self::one_string(name))
+    }
+
+    fn bind_queue(&self, exchange: &str, queue: &str, pattern: &str) -> Result<(), BrokerError> {
+        let mut w = WireWriter::new();
+        w.string(exchange).string(queue).string(pattern);
+        self.call_unit(op::BIND_QUEUE, w.finish())
+    }
+
+    fn bind_exchange(
+        &self,
+        source: &str,
+        destination: &str,
+        pattern: &str,
+    ) -> Result<(), BrokerError> {
+        let mut w = WireWriter::new();
+        w.string(source).string(destination).string(pattern);
+        self.call_unit(op::BIND_EXCHANGE, w.finish())
+    }
+
+    fn unbind_queue(&self, exchange: &str, queue: &str, pattern: &str) -> Result<(), BrokerError> {
+        let mut w = WireWriter::new();
+        w.string(exchange).string(queue).string(pattern);
+        self.call_unit(op::UNBIND_QUEUE, w.finish())
+    }
+
+    fn delete_exchange(&self, name: &str) -> Result<(), BrokerError> {
+        self.call_unit(op::DELETE_EXCHANGE, Self::one_string(name))
+    }
+
+    fn delete_queue(&self, name: &str) -> Result<(), BrokerError> {
+        self.call_unit(op::DELETE_QUEUE, Self::one_string(name))
+    }
+
+    fn purge_queue(&self, name: &str) -> Result<usize, BrokerError> {
+        self.call_u64(op::PURGE_QUEUE, Self::one_string(name))
+            .map(|purged| purged as usize)
+    }
+
+    fn configure_dead_letter(
+        &self,
+        queue: &str,
+        max_delivery_attempts: u32,
+        target: &str,
+    ) -> Result<(), BrokerError> {
+        let mut w = WireWriter::new();
+        w.string(queue).u32(max_delivery_attempts).string(target);
+        self.call_unit(op::CONFIGURE_DEAD_LETTER, w.finish())
+    }
+
+    fn dead_letter_policy(&self, queue: &str) -> Result<Option<DeadLetterPolicy>, BrokerError> {
+        let reply = self.call(op::DEAD_LETTER_POLICY, Self::one_string(queue))?;
+        let mut r = WireReader::new(&reply);
+        let bad_reply = |err: WireError| BrokerError::Transport(format!("bad reply: {err}"));
+        if r.u8("present").map_err(bad_reply)? == 0 {
+            return Ok(None);
+        }
+        let max_delivery_attempts = r.u32("max delivery attempts").map_err(bad_reply)?;
+        let target = r.string("target").map_err(bad_reply)?;
+        Ok(Some(DeadLetterPolicy {
+            max_delivery_attempts,
+            target,
+        }))
+    }
+
+    fn queue_depth(&self, name: &str) -> Result<usize, BrokerError> {
+        self.call_u64(op::QUEUE_DEPTH, Self::one_string(name))
+            .map(|depth| depth as usize)
+    }
+
+    fn publish(&self, exchange: &str, key: &str, payload: &[u8]) -> Result<usize, BrokerError> {
+        let mut w = WireWriter::new();
+        w.string(exchange).string(key).bytes(payload);
+        self.call_u64(op::PUBLISH, w.finish())
+            .map(|fanout| fanout as usize)
+    }
+
+    fn publish_message(&self, exchange: &str, message: Message) -> Result<usize, BrokerError> {
+        let mut w = WireWriter::new();
+        w.string(exchange)
+            .string(message.routing_key().as_str())
+            .bytes(message.payload());
+        let headers: Vec<(&str, &str)> = message.headers().collect();
+        w.u16(headers.len() as u16);
+        // The trace context additionally rides the request envelope so
+        // that wire-level observers can attribute frames to traces.
+        let mut envelope_headers = Vec::new();
+        for (name, value) in headers {
+            w.string(name).string(value);
+            if name == TRACE_HEADER || name == SENT_MS_HEADER {
+                envelope_headers.push((name.to_string(), value.to_string()));
+            }
+        }
+        let reply = self.call_with_headers(op::PUBLISH_MESSAGE, &envelope_headers, w.finish())?;
+        let mut r = WireReader::new(&reply);
+        r.u64("fanout")
+            .map(|fanout| fanout as usize)
+            .map_err(|err| BrokerError::Transport(format!("bad reply: {err}")))
+    }
+
+    fn consume(&self, queue: &str, max: usize) -> Result<Vec<Delivery>, BrokerError> {
+        let mut w = WireWriter::new();
+        w.string(queue).u32(max.min(u32::MAX as usize) as u32);
+        let reply = self.call(op::CONSUME, w.finish())?;
+        decode_deliveries(&reply)
+            .map_err(|err| BrokerError::Transport(format!("bad deliveries: {err}")))
+    }
+
+    fn ack(&self, queue: &str, tag: u64) -> Result<(), BrokerError> {
+        let mut w = WireWriter::new();
+        w.string(queue).u64(tag);
+        self.call_unit(op::ACK, w.finish())
+    }
+
+    fn nack(&self, queue: &str, tag: u64, requeue: bool) -> Result<(), BrokerError> {
+        let mut w = WireWriter::new();
+        w.string(queue).u64(tag).u8(u8::from(requeue));
+        self.call_unit(op::NACK, w.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServerConfig, WireServer};
+    use mps_broker::Broker;
+
+    fn start_remote() -> (WireServer, RemoteBroker) {
+        let broker: Arc<dyn BrokerTransport> = Arc::new(Broker::new());
+        let server = WireServer::bind(
+            "127.0.0.1:0",
+            Arc::new(BrokerService::new(broker)),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let remote =
+            RemoteBroker::connect(server.local_addr().to_string(), ClientConfig::default());
+        (server, remote)
+    }
+
+    #[test]
+    fn full_topology_and_message_flow_over_tcp() {
+        let (mut server, remote) = start_remote();
+        remote.declare_exchange("app", ExchangeType::Topic).unwrap();
+        remote.declare_queue("inbox").unwrap();
+        remote.bind_queue("app", "inbox", "obs.#").unwrap();
+        assert!(remote.exchange_exists("app"));
+        assert!(remote.queue_exists("inbox"));
+        assert!(!remote.queue_exists("ghost"));
+
+        let fanout = remote.publish("app", "obs.paris.noise", b"{}").unwrap();
+        assert_eq!(fanout, 1);
+        assert_eq!(remote.queue_depth("inbox").unwrap(), 1);
+
+        let deliveries = remote.consume("inbox", 10).unwrap();
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].routing_key().as_str(), "obs.paris.noise");
+        remote.ack("inbox", deliveries[0].tag).unwrap();
+        assert_eq!(remote.queue_depth("inbox").unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn headers_and_dead_letters_cross_the_wire() {
+        let (mut server, remote) = start_remote();
+        remote
+            .declare_exchange("app", ExchangeType::Direct)
+            .unwrap();
+        remote.declare_queue("work").unwrap();
+        remote.declare_queue("dead").unwrap();
+        remote.bind_queue("app", "work", "job").unwrap();
+        remote.configure_dead_letter("work", 1, "dead").unwrap();
+        let policy = remote.dead_letter_policy("work").unwrap().unwrap();
+        assert_eq!(policy.max_delivery_attempts, 1);
+        assert_eq!(policy.target, "dead");
+        assert!(remote.dead_letter_policy("dead").unwrap().is_none());
+
+        let message = Message::new("job".parse().unwrap(), b"payload".to_vec())
+            .with_header(TRACE_HEADER, "t-1")
+            .with_header("content-type", "application/json");
+        remote.publish_message("app", message).unwrap();
+        let deliveries = remote.consume("work", 1).unwrap();
+        assert_eq!(deliveries[0].message.header(TRACE_HEADER), Some("t-1"));
+        assert_eq!(
+            deliveries[0].message.header("content-type"),
+            Some("application/json")
+        );
+        // Nack past the delivery budget: the message must dead-letter.
+        remote.nack("work", deliveries[0].tag, true).unwrap();
+        assert_eq!(remote.queue_depth("dead").unwrap(), 1);
+        assert_eq!(remote.queue_depth("work").unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn broker_errors_come_back_typed() {
+        let (mut server, remote) = start_remote();
+        assert_eq!(
+            remote.publish("ghost", "k", b"").unwrap_err(),
+            BrokerError::ExchangeNotFound("ghost".into())
+        );
+        remote.declare_queue("q").unwrap();
+        assert_eq!(
+            remote.ack("q", 99).unwrap_err(),
+            BrokerError::UnknownDeliveryTag {
+                queue: "q".into(),
+                tag: 99
+            }
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn unreachable_server_degrades_to_transport_error() {
+        let (server, _) = start_remote();
+        let addr = server.local_addr().to_string();
+        drop(server);
+        let remote = RemoteBroker::connect(addr, ClientConfig::default());
+        assert!(matches!(
+            remote.declare_queue("q").unwrap_err(),
+            BrokerError::Transport(_)
+        ));
+        assert!(!remote.queue_exists("q"));
+    }
+
+    #[test]
+    fn error_codec_round_trips_every_variant() {
+        let cases = vec![
+            BrokerError::ExchangeNotFound("e".into()),
+            BrokerError::QueueNotFound("q".into()),
+            BrokerError::ExchangeTypeMismatch { name: "n".into() },
+            BrokerError::InvalidKey("a..b".into()),
+            BrokerError::UnknownDeliveryTag {
+                queue: "q".into(),
+                tag: 7,
+            },
+            BrokerError::QueueFull("q".into()),
+            BrokerError::InvalidDeadLetter("self".into()),
+            BrokerError::Durability("torn".into()),
+            BrokerError::Transport("refused".into()),
+        ];
+        for case in cases {
+            let encoded = encode_broker_error(&case);
+            assert_eq!(decode_broker_error(encoded.code, &encoded.payload), case);
+        }
+    }
+}

@@ -1,0 +1,855 @@
+//! Docstore opcodes: the server-side [`DocstoreService`] and the
+//! client-side [`RemoteStore`] / remote collection handles.
+//!
+//! Every collection operation carries its collection name as the first
+//! field, so one connection serves any number of collections. Documents,
+//! filters and updates travel as canonical JSON — filters via
+//! [`mps_docstore::Filter::to_doc`], updates via
+//! [`mps_docstore::Update::to_doc`] — making the payloads readable in a
+//! wire capture and implementable without this codebase. The layouts are
+//! specified normatively in `docs/WIRE_PROTOCOL.md` §6.
+
+use crate::client::{ClientConfig, ClientPool, NetError};
+use crate::rpc::STATUS_BAD_REQUEST;
+use crate::server::{ServiceError, WireService};
+use crate::wire::{WireError, WireReader, WireWriter};
+use mps_docstore::{
+    CollectionHandle, CollectionOps, DocId, DocstoreTransport, Filter, FindOptions, SortOrder,
+    StoreError, Update,
+};
+use serde_json::{json, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Docstore opcode table (`1..=20`); see `docs/WIRE_PROTOCOL.md` §6.
+pub mod op {
+    /// `insert_one(coll, doc) -> id`
+    pub const INSERT_ONE: u8 = 1;
+    /// `insert_many(coll, docs) -> ids`
+    pub const INSERT_MANY: u8 = 2;
+    /// `get(coll, id) -> doc?`
+    pub const GET: u8 = 3;
+    /// `len(coll) -> count`
+    pub const LEN: u8 = 4;
+    /// `find(coll, filter) -> docs`
+    pub const FIND: u8 = 5;
+    /// `find_with_options(coll, filter, options) -> docs`
+    pub const FIND_WITH_OPTIONS: u8 = 6;
+    /// `count(coll, filter) -> count`
+    pub const COUNT: u8 = 7;
+    /// `update_many(coll, filter, update) -> modified`
+    pub const UPDATE_MANY: u8 = 8;
+    /// `delete_many(coll, filter) -> deleted`
+    pub const DELETE_MANY: u8 = 9;
+    /// `create_index(coll, path)`
+    pub const CREATE_INDEX: u8 = 10;
+    /// `drop_index(coll, path)`
+    pub const DROP_INDEX: u8 = 11;
+    /// `has_index(coll, path) -> bool`
+    pub const HAS_INDEX: u8 = 12;
+    /// `index_cardinality(coll, path) -> count?`
+    pub const INDEX_CARDINALITY: u8 = 13;
+    /// `distinct(coll, path, filter) -> values`
+    pub const DISTINCT: u8 = 14;
+    /// `clear(coll)`
+    pub const CLEAR: u8 = 15;
+    /// `all(coll) -> docs`
+    pub const ALL: u8 = 16;
+    /// `has_collection(name) -> bool`
+    pub const HAS_COLLECTION: u8 = 17;
+    /// `collection_names() -> names`
+    pub const COLLECTION_NAMES: u8 = 18;
+    /// `drop_collection(name)`
+    pub const DROP_COLLECTION: u8 = 19;
+    /// `total_documents() -> count`
+    pub const TOTAL_DOCUMENTS: u8 = 20;
+}
+
+/// Docstore error status codes (`16..=23`); see `docs/WIRE_PROTOCOL.md` §7.
+pub mod err {
+    /// [`mps_docstore::StoreError::NotAnObject`]
+    pub const NOT_AN_OBJECT: u8 = 16;
+    /// [`mps_docstore::StoreError::BadFilter`]
+    pub const BAD_FILTER: u8 = 17;
+    /// [`mps_docstore::StoreError::BadUpdate`]
+    pub const BAD_UPDATE: u8 = 18;
+    /// [`mps_docstore::StoreError::BadPipeline`]
+    pub const BAD_PIPELINE: u8 = 19;
+    /// [`mps_docstore::StoreError::CollectionNotFound`]
+    pub const COLLECTION_NOT_FOUND: u8 = 20;
+    /// [`mps_docstore::StoreError::Unorderable`]
+    pub const UNORDERABLE: u8 = 21;
+    /// [`mps_docstore::StoreError::Durability`]
+    pub const DURABILITY: u8 = 22;
+    /// [`mps_docstore::StoreError::Transport`]
+    pub const TRANSPORT: u8 = 23;
+}
+
+/// Encodes a [`StoreError`] as a wire status + payload.
+#[must_use]
+pub fn encode_store_error(error: &StoreError) -> ServiceError {
+    let mut w = WireWriter::new();
+    let code = match error {
+        StoreError::NotAnObject => err::NOT_AN_OBJECT,
+        StoreError::BadFilter(msg) => {
+            w.string(msg);
+            err::BAD_FILTER
+        }
+        StoreError::BadUpdate(msg) => {
+            w.string(msg);
+            err::BAD_UPDATE
+        }
+        StoreError::BadPipeline(msg) => {
+            w.string(msg);
+            err::BAD_PIPELINE
+        }
+        StoreError::CollectionNotFound(name) => {
+            w.string(name);
+            err::COLLECTION_NOT_FOUND
+        }
+        StoreError::Unorderable(path) => {
+            w.string(path);
+            err::UNORDERABLE
+        }
+        StoreError::Durability(msg) => {
+            w.string(msg);
+            err::DURABILITY
+        }
+        StoreError::Transport(msg) => {
+            w.string(msg);
+            err::TRANSPORT
+        }
+    };
+    ServiceError {
+        code,
+        payload: w.finish(),
+    }
+}
+
+/// Decodes a wire status + payload back into the exact [`StoreError`].
+/// Unknown codes degrade to [`StoreError::Transport`].
+#[must_use]
+pub fn decode_store_error(code: u8, payload: &[u8]) -> StoreError {
+    let mut r = WireReader::new(payload);
+    let decoded = match code {
+        err::NOT_AN_OBJECT => return StoreError::NotAnObject,
+        err::BAD_FILTER => r.string("msg").map(StoreError::BadFilter),
+        err::BAD_UPDATE => r.string("msg").map(StoreError::BadUpdate),
+        err::BAD_PIPELINE => r.string("msg").map(StoreError::BadPipeline),
+        err::COLLECTION_NOT_FOUND => r.string("name").map(StoreError::CollectionNotFound),
+        err::UNORDERABLE => r.string("path").map(StoreError::Unorderable),
+        err::DURABILITY => r.string("msg").map(StoreError::Durability),
+        err::TRANSPORT => r.string("msg").map(StoreError::Transport),
+        other => {
+            return StoreError::Transport(format!(
+                "unknown store error code {other}: {}",
+                String::from_utf8_lossy(payload)
+            ))
+        }
+    };
+    decoded.unwrap_or_else(|wire| {
+        StoreError::Transport(format!("undecodable store error {code}: {wire}"))
+    })
+}
+
+fn encode_json(value: &Value) -> Vec<u8> {
+    // `serde_json::Value` always serializes; fall back to `null` rather
+    // than panicking if that invariant ever changes.
+    serde_json::to_vec(value).unwrap_or_else(|_| b"null".to_vec())
+}
+
+fn decode_json(bytes: &[u8], what: &str) -> Result<Value, StoreError> {
+    serde_json::from_slice(bytes)
+        .map_err(|err| StoreError::Transport(format!("undecodable {what}: {err}")))
+}
+
+/// Encodes [`FindOptions`] as its canonical JSON document.
+#[must_use]
+pub fn find_options_to_doc(options: &FindOptions) -> Value {
+    let sort = options.sort.as_ref().map(|(path, order)| {
+        json!({
+            "path": path,
+            "order": match order {
+                SortOrder::Ascending => "asc",
+                SortOrder::Descending => "desc",
+            },
+        })
+    });
+    json!({
+        "sort": sort,
+        "skip": options.skip,
+        "limit": options.limit,
+        "projection": options.projection,
+    })
+}
+
+/// Decodes [`FindOptions`] from its canonical JSON document.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Transport`] on a malformed document.
+pub fn find_options_from_doc(doc: &Value) -> Result<FindOptions, StoreError> {
+    let bad = |what: &str| StoreError::Transport(format!("bad find options: {what}"));
+    let sort_doc = doc.get("sort").unwrap_or(&Value::Null);
+    let sort = if sort_doc.is_null() {
+        None
+    } else {
+        let path = sort_doc
+            .get("path")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("sort.path"))?;
+        let order = match sort_doc.get("order").and_then(Value::as_str) {
+            Some("asc") => SortOrder::Ascending,
+            Some("desc") => SortOrder::Descending,
+            _ => return Err(bad("sort.order")),
+        };
+        Some((path.to_string(), order))
+    };
+    let skip = doc
+        .get("skip")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| bad("skip"))? as usize;
+    let limit_doc = doc.get("limit").unwrap_or(&Value::Null);
+    let limit = if limit_doc.is_null() {
+        None
+    } else {
+        Some(limit_doc.as_u64().ok_or_else(|| bad("limit"))? as usize)
+    };
+    let projection_doc = doc.get("projection").unwrap_or(&Value::Null);
+    let projection = if projection_doc.is_null() {
+        None
+    } else {
+        let paths = projection_doc
+            .as_array()
+            .ok_or_else(|| bad("projection"))?
+            .iter()
+            .map(|p| {
+                p.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| bad("projection entry"))
+            })
+            .collect::<Result<Vec<String>, StoreError>>()?;
+        Some(paths)
+    };
+    Ok(FindOptions {
+        sort,
+        skip,
+        limit,
+        projection,
+    })
+}
+
+fn encode_docs(docs: &[Value]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u32(docs.len() as u32);
+    for doc in docs {
+        w.bytes(&encode_json(doc));
+    }
+    w.finish()
+}
+
+fn decode_docs(payload: &[u8]) -> Result<Vec<Value>, StoreError> {
+    let bad = |err: WireError| StoreError::Transport(format!("bad reply: {err}"));
+    let mut r = WireReader::new(payload);
+    let count = r.u32("doc count").map_err(bad)?;
+    let mut docs = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let bytes = r.bytes("doc").map_err(bad)?;
+        docs.push(decode_json(bytes, "document")?);
+    }
+    r.expect_end().map_err(bad)?;
+    Ok(docs)
+}
+
+// ---------------------------------------------------------------- server
+
+/// Serves any [`DocstoreTransport`] — usually a local
+/// [`mps_docstore::Store`] — over the wire protocol.
+pub struct DocstoreService {
+    inner: Arc<dyn DocstoreTransport>,
+}
+
+impl fmt::Debug for DocstoreService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DocstoreService").finish_non_exhaustive()
+    }
+}
+
+impl DocstoreService {
+    /// Wraps a transport for serving.
+    #[must_use]
+    pub fn new(inner: Arc<dyn DocstoreTransport>) -> DocstoreService {
+        DocstoreService { inner }
+    }
+
+    fn read_filter(r: &mut WireReader<'_>) -> Result<Result<Filter, StoreError>, WireError> {
+        let bytes = r.bytes("filter")?;
+        Ok(decode_json(bytes, "filter").and_then(|doc| Filter::parse(&doc)))
+    }
+
+    fn dispatch(&self, opcode: u8, body: &[u8]) -> Result<Result<Vec<u8>, StoreError>, WireError> {
+        let mut r = WireReader::new(body);
+        let reply = match opcode {
+            op::HAS_COLLECTION => {
+                let name = r.string("collection")?;
+                Ok(vec![u8::from(self.inner.has_collection(&name))])
+            }
+            op::COLLECTION_NAMES => {
+                let names = self.inner.collection_names();
+                let mut w = WireWriter::new();
+                w.u32(names.len() as u32);
+                for name in names {
+                    w.string(&name);
+                }
+                Ok(w.finish())
+            }
+            op::DROP_COLLECTION => self
+                .inner
+                .drop_collection(&r.string("collection")?)
+                .map(|()| Vec::new()),
+            op::TOTAL_DOCUMENTS => {
+                let mut w = WireWriter::new();
+                w.u64(self.inner.total_documents() as u64);
+                Ok(w.finish())
+            }
+            _ => {
+                let name = r.string("collection")?;
+                let coll = self.inner.collection(&name);
+                self.dispatch_collection(opcode, &coll, &mut r)?
+            }
+        };
+        r.expect_end()?;
+        Ok(reply)
+    }
+
+    fn dispatch_collection(
+        &self,
+        opcode: u8,
+        coll: &CollectionHandle,
+        r: &mut WireReader<'_>,
+    ) -> Result<Result<Vec<u8>, StoreError>, WireError> {
+        let u64_reply = |value: Result<usize, StoreError>| {
+            value.map(|n| {
+                let mut w = WireWriter::new();
+                w.u64(n as u64);
+                w.finish()
+            })
+        };
+        Ok(match opcode {
+            op::INSERT_ONE => {
+                let bytes = r.bytes("document")?;
+                decode_json(bytes, "document")
+                    .and_then(|doc| coll.insert_one(doc))
+                    .map(|id| {
+                        let mut w = WireWriter::new();
+                        w.u64(id.0);
+                        w.finish()
+                    })
+            }
+            op::INSERT_MANY => {
+                let count = r.u32("doc count")?;
+                let mut docs = Vec::with_capacity(count as usize);
+                let mut parse_failure = None;
+                for _ in 0..count {
+                    let bytes = r.bytes("document")?;
+                    match decode_json(bytes, "document") {
+                        Ok(doc) => docs.push(doc),
+                        Err(err) => parse_failure = Some(err),
+                    }
+                }
+                match parse_failure {
+                    Some(err) => Err(err),
+                    None => coll.insert_many(docs).map(|ids| {
+                        let mut w = WireWriter::new();
+                        w.u32(ids.len() as u32);
+                        for id in ids {
+                            w.u64(id.0);
+                        }
+                        w.finish()
+                    }),
+                }
+            }
+            op::GET => {
+                let id = DocId(r.u64("doc id")?);
+                let mut w = WireWriter::new();
+                match coll.get(id) {
+                    None => {
+                        w.u8(0);
+                    }
+                    Some(doc) => {
+                        w.u8(1).bytes(&encode_json(&doc));
+                    }
+                }
+                Ok(w.finish())
+            }
+            op::LEN => {
+                let mut w = WireWriter::new();
+                w.u64(coll.len() as u64);
+                Ok(w.finish())
+            }
+            op::FIND => Self::read_filter(r)?
+                .and_then(|filter| coll.find(&filter))
+                .map(|docs| encode_docs(&docs)),
+            op::FIND_WITH_OPTIONS => {
+                let filter = Self::read_filter(r)?;
+                let options_bytes = r.bytes("find options")?;
+                filter
+                    .and_then(|filter| {
+                        let options = decode_json(options_bytes, "find options")
+                            .and_then(|doc| find_options_from_doc(&doc))?;
+                        coll.find_with_options(&filter, &options)
+                    })
+                    .map(|docs| encode_docs(&docs))
+            }
+            op::COUNT => u64_reply(Self::read_filter(r)?.and_then(|filter| coll.count(&filter))),
+            op::UPDATE_MANY => {
+                let filter = Self::read_filter(r)?;
+                let update_bytes = r.bytes("update")?;
+                u64_reply(filter.and_then(|filter| {
+                    let update =
+                        decode_json(update_bytes, "update").and_then(|doc| Update::parse(&doc))?;
+                    coll.update_many(&filter, &update)
+                }))
+            }
+            op::DELETE_MANY => {
+                u64_reply(Self::read_filter(r)?.and_then(|filter| coll.delete_many(&filter)))
+            }
+            op::CREATE_INDEX => coll.create_index(&r.string("path")?).map(|()| Vec::new()),
+            op::DROP_INDEX => coll.drop_index(&r.string("path")?).map(|()| Vec::new()),
+            op::HAS_INDEX => {
+                let path = r.string("path")?;
+                Ok(vec![u8::from(coll.has_index(&path))])
+            }
+            op::INDEX_CARDINALITY => {
+                let path = r.string("path")?;
+                let mut w = WireWriter::new();
+                match coll.index_cardinality(&path) {
+                    None => {
+                        w.u8(0);
+                    }
+                    Some(cardinality) => {
+                        w.u8(1).u64(cardinality as u64);
+                    }
+                }
+                Ok(w.finish())
+            }
+            op::DISTINCT => {
+                let path = r.string("path")?;
+                Self::read_filter(r)?.map(|filter| encode_docs(&coll.distinct(&path, &filter)))
+            }
+            op::CLEAR => coll.clear().map(|()| Vec::new()),
+            op::ALL => Ok(encode_docs(&coll.all())),
+            other => {
+                return Err(WireError::BadDiscriminant {
+                    field: "docstore opcode",
+                    value: other,
+                })
+            }
+        })
+    }
+}
+
+impl WireService for DocstoreService {
+    fn handle(
+        &self,
+        opcode: u8,
+        _headers: &[(String, String)],
+        body: &[u8],
+    ) -> Result<Vec<u8>, ServiceError> {
+        match self.dispatch(opcode, body) {
+            Ok(Ok(reply)) => Ok(reply),
+            Ok(Err(store_error)) => Err(encode_store_error(&store_error)),
+            Err(wire_error) => Err(ServiceError::msg(
+                STATUS_BAD_REQUEST,
+                &wire_error.to_string(),
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- client
+
+/// A [`DocstoreTransport`] forwarding every call to a remote
+/// [`DocstoreService`] over a shared [`ClientPool`].
+#[derive(Debug)]
+pub struct RemoteStore {
+    pool: Arc<ClientPool>,
+}
+
+impl RemoteStore {
+    /// Creates a remote store dialling `addr` lazily.
+    #[must_use]
+    pub fn connect(addr: impl Into<String>, config: ClientConfig) -> RemoteStore {
+        RemoteStore {
+            pool: Arc::new(ClientPool::new(addr, config)),
+        }
+    }
+
+    fn transport_error(err: NetError) -> StoreError {
+        match err {
+            NetError::Remote { code, payload } => decode_store_error(code, &payload),
+            other => StoreError::Transport(other.to_string()),
+        }
+    }
+
+    fn call(&self, opcode: u8, body: Vec<u8>) -> Result<Vec<u8>, StoreError> {
+        self.pool
+            .call(opcode, &[], &body)
+            .map_err(Self::transport_error)
+    }
+}
+
+impl DocstoreTransport for RemoteStore {
+    fn collection(&self, name: &str) -> CollectionHandle {
+        CollectionHandle::new(Arc::new(RemoteCollection {
+            pool: Arc::clone(&self.pool),
+            name: name.to_string(),
+        }))
+    }
+
+    fn has_collection(&self, name: &str) -> bool {
+        let mut w = WireWriter::new();
+        w.string(name);
+        self.call(op::HAS_COLLECTION, w.finish())
+            .map(|reply| reply.first().copied() == Some(1))
+            .unwrap_or(false)
+    }
+
+    fn collection_names(&self) -> Vec<String> {
+        let Ok(reply) = self.call(op::COLLECTION_NAMES, Vec::new()) else {
+            return Vec::new();
+        };
+        let mut r = WireReader::new(&reply);
+        let Ok(count) = r.u32("name count") else {
+            return Vec::new();
+        };
+        let mut names = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            match r.string("name") {
+                Ok(name) => names.push(name),
+                Err(_) => return Vec::new(),
+            }
+        }
+        names
+    }
+
+    fn drop_collection(&self, name: &str) -> Result<(), StoreError> {
+        let mut w = WireWriter::new();
+        w.string(name);
+        self.call(op::DROP_COLLECTION, w.finish()).map(|_| ())
+    }
+
+    fn total_documents(&self) -> usize {
+        let Ok(reply) = self.call(op::TOTAL_DOCUMENTS, Vec::new()) else {
+            return 0;
+        };
+        let mut r = WireReader::new(&reply);
+        r.u64("total").map(|n| n as usize).unwrap_or(0)
+    }
+}
+
+/// One collection's operations forwarded over the wire; obtained via
+/// [`RemoteStore::collection`] wrapped in a [`CollectionHandle`].
+struct RemoteCollection {
+    pool: Arc<ClientPool>,
+    name: String,
+}
+
+impl fmt::Debug for RemoteCollection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteCollection")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteCollection {
+    fn writer(&self) -> WireWriter {
+        let mut w = WireWriter::new();
+        w.string(&self.name);
+        w
+    }
+
+    fn call(&self, opcode: u8, w: WireWriter) -> Result<Vec<u8>, StoreError> {
+        self.pool
+            .call(opcode, &[], &w.finish())
+            .map_err(RemoteStore::transport_error)
+    }
+
+    fn call_u64(&self, opcode: u8, w: WireWriter) -> Result<usize, StoreError> {
+        let reply = self.call(opcode, w)?;
+        let mut r = WireReader::new(&reply);
+        r.u64("result")
+            .map(|n| n as usize)
+            .map_err(|err| StoreError::Transport(format!("bad reply: {err}")))
+    }
+}
+
+impl CollectionOps for RemoteCollection {
+    fn insert_one(&self, doc: Value) -> Result<DocId, StoreError> {
+        let mut w = self.writer();
+        w.bytes(&encode_json(&doc));
+        self.call_u64(op::INSERT_ONE, w).map(|id| DocId(id as u64))
+    }
+
+    fn insert_many(&self, docs: Vec<Value>) -> Result<Vec<DocId>, StoreError> {
+        let mut w = self.writer();
+        w.u32(docs.len() as u32);
+        for doc in &docs {
+            w.bytes(&encode_json(doc));
+        }
+        let reply = self.call(op::INSERT_MANY, w)?;
+        let bad = |err: WireError| StoreError::Transport(format!("bad reply: {err}"));
+        let mut r = WireReader::new(&reply);
+        let count = r.u32("id count").map_err(bad)?;
+        let mut ids = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            ids.push(DocId(r.u64("id").map_err(bad)?));
+        }
+        Ok(ids)
+    }
+
+    fn get(&self, id: DocId) -> Result<Option<Value>, StoreError> {
+        let mut w = self.writer();
+        w.u64(id.0);
+        let reply = self.call(op::GET, w)?;
+        let bad = |err: WireError| StoreError::Transport(format!("bad reply: {err}"));
+        let mut r = WireReader::new(&reply);
+        if r.u8("present").map_err(bad)? == 0 {
+            return Ok(None);
+        }
+        let bytes = r.bytes("document").map_err(bad)?;
+        decode_json(bytes, "document").map(Some)
+    }
+
+    fn len(&self) -> Result<usize, StoreError> {
+        self.call_u64(op::LEN, self.writer())
+    }
+
+    fn find(&self, filter: &Filter) -> Result<Vec<Value>, StoreError> {
+        let mut w = self.writer();
+        w.bytes(&encode_json(&filter.to_doc()));
+        decode_docs(&self.call(op::FIND, w)?)
+    }
+
+    fn find_with_options(
+        &self,
+        filter: &Filter,
+        options: &FindOptions,
+    ) -> Result<Vec<Value>, StoreError> {
+        let mut w = self.writer();
+        w.bytes(&encode_json(&filter.to_doc()));
+        w.bytes(&encode_json(&find_options_to_doc(options)));
+        decode_docs(&self.call(op::FIND_WITH_OPTIONS, w)?)
+    }
+
+    fn count(&self, filter: &Filter) -> Result<usize, StoreError> {
+        let mut w = self.writer();
+        w.bytes(&encode_json(&filter.to_doc()));
+        self.call_u64(op::COUNT, w)
+    }
+
+    fn update_many(&self, filter: &Filter, update: &Update) -> Result<usize, StoreError> {
+        let mut w = self.writer();
+        w.bytes(&encode_json(&filter.to_doc()));
+        w.bytes(&encode_json(&update.to_doc()));
+        self.call_u64(op::UPDATE_MANY, w)
+    }
+
+    fn delete_many(&self, filter: &Filter) -> Result<usize, StoreError> {
+        let mut w = self.writer();
+        w.bytes(&encode_json(&filter.to_doc()));
+        self.call_u64(op::DELETE_MANY, w)
+    }
+
+    fn create_index(&self, path: &str) -> Result<(), StoreError> {
+        let mut w = self.writer();
+        w.string(path);
+        self.call(op::CREATE_INDEX, w).map(|_| ())
+    }
+
+    fn drop_index(&self, path: &str) -> Result<(), StoreError> {
+        let mut w = self.writer();
+        w.string(path);
+        self.call(op::DROP_INDEX, w).map(|_| ())
+    }
+
+    fn has_index(&self, path: &str) -> Result<bool, StoreError> {
+        let mut w = self.writer();
+        w.string(path);
+        let reply = self.call(op::HAS_INDEX, w)?;
+        Ok(reply.first().copied() == Some(1))
+    }
+
+    fn index_cardinality(&self, path: &str) -> Result<Option<usize>, StoreError> {
+        let mut w = self.writer();
+        w.string(path);
+        let reply = self.call(op::INDEX_CARDINALITY, w)?;
+        let bad = |err: WireError| StoreError::Transport(format!("bad reply: {err}"));
+        let mut r = WireReader::new(&reply);
+        if r.u8("present").map_err(bad)? == 0 {
+            return Ok(None);
+        }
+        Ok(Some(r.u64("cardinality").map_err(bad)? as usize))
+    }
+
+    fn distinct(&self, path: &str, filter: &Filter) -> Result<Vec<Value>, StoreError> {
+        let mut w = self.writer();
+        w.string(path);
+        w.bytes(&encode_json(&filter.to_doc()));
+        decode_docs(&self.call(op::DISTINCT, w)?)
+    }
+
+    fn clear(&self) -> Result<(), StoreError> {
+        self.call(op::CLEAR, self.writer()).map(|_| ())
+    }
+
+    fn all(&self) -> Result<Vec<Value>, StoreError> {
+        decode_docs(&self.call(op::ALL, self.writer())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServerConfig, WireServer};
+    use mps_docstore::Store;
+
+    fn start_remote() -> (WireServer, RemoteStore) {
+        let store: Arc<dyn DocstoreTransport> = Arc::new(Store::new());
+        let server = WireServer::bind(
+            "127.0.0.1:0",
+            Arc::new(DocstoreService::new(store)),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let remote = RemoteStore::connect(server.local_addr().to_string(), ClientConfig::default());
+        (server, remote)
+    }
+
+    #[test]
+    fn documents_round_trip_over_tcp() {
+        let (mut server, remote) = start_remote();
+        let coll = remote.collection("obs");
+        let id = coll
+            .insert_one(json!({"spl": 61.5, "city": "paris"}))
+            .unwrap();
+        assert_eq!(coll.len(), 1);
+        let doc = coll.get(id).unwrap();
+        assert_eq!(doc.get("city"), Some(&json!("paris")));
+
+        coll.insert_many(vec![
+            json!({"spl": 40.0, "city": "paris"}),
+            json!({"spl": 80.0, "city": "lyon"}),
+        ])
+        .unwrap();
+        let loud = coll
+            .find(&Filter::parse(&json!({"spl": {"$gte": 60}})).unwrap())
+            .unwrap();
+        assert_eq!(loud.len(), 2);
+
+        let options = FindOptions::new()
+            .sort("spl", SortOrder::Descending)
+            .limit(1);
+        let top = coll
+            .find_with_options(&Filter::parse(&json!({})).unwrap(), &options)
+            .unwrap();
+        assert_eq!(top[0].get("spl"), Some(&json!(80.0)));
+
+        assert!(remote.has_collection("obs"));
+        assert!(!remote.has_collection("ghost"));
+        assert_eq!(remote.total_documents(), 3);
+        assert_eq!(remote.collection_names(), vec!["obs".to_string()]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn updates_indexes_and_distinct_cross_the_wire() {
+        let (mut server, remote) = start_remote();
+        let coll = remote.collection("obs");
+        for city in ["paris", "paris", "lyon"] {
+            coll.insert_one(json!({"city": city, "n": 0.0})).unwrap();
+        }
+        let modified = coll
+            .update_many(
+                &Filter::parse(&json!({"city": "paris"})).unwrap(),
+                &Update::inc("n", 5.0),
+            )
+            .unwrap();
+        assert_eq!(modified, 2);
+        assert_eq!(
+            coll.count(&Filter::parse(&json!({"n": 5.0})).unwrap())
+                .unwrap(),
+            2
+        );
+
+        coll.create_index("city").unwrap();
+        assert!(coll.has_index("city"));
+        assert_eq!(coll.index_cardinality("city"), Some(2));
+        let cities = coll.distinct("city", &Filter::parse(&json!({})).unwrap());
+        assert_eq!(cities.len(), 2);
+        coll.drop_index("city").unwrap();
+        assert!(!coll.has_index("city"));
+
+        let deleted = coll
+            .delete_many(&Filter::parse(&json!({"city": "lyon"})).unwrap())
+            .unwrap();
+        assert_eq!(deleted, 1);
+        coll.clear().unwrap();
+        assert_eq!(coll.len(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn store_errors_come_back_typed() {
+        let (mut server, remote) = start_remote();
+        let coll = remote.collection("obs");
+        assert_eq!(
+            coll.insert_one(json!([1, 2, 3])).unwrap_err(),
+            StoreError::NotAnObject
+        );
+        assert!(matches!(
+            remote.drop_collection("ghost").unwrap_err(),
+            StoreError::CollectionNotFound(_)
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn find_options_doc_round_trips() {
+        let options = FindOptions::new()
+            .sort("spl", SortOrder::Descending)
+            .skip(3)
+            .limit(10)
+            .project(vec!["spl".into(), "city".into()]);
+        let doc = find_options_to_doc(&options);
+        let back = find_options_from_doc(&doc).unwrap();
+        assert_eq!(back.sort, options.sort);
+        assert_eq!(back.skip, options.skip);
+        assert_eq!(back.limit, options.limit);
+        assert_eq!(back.projection, options.projection);
+
+        let defaults =
+            find_options_from_doc(&find_options_to_doc(&FindOptions::default())).unwrap();
+        assert!(defaults.sort.is_none());
+        assert_eq!(defaults.skip, 0);
+    }
+
+    #[test]
+    fn error_codec_round_trips_every_variant() {
+        let cases = vec![
+            StoreError::NotAnObject,
+            StoreError::BadFilter("f".into()),
+            StoreError::BadUpdate("u".into()),
+            StoreError::BadPipeline("p".into()),
+            StoreError::CollectionNotFound("c".into()),
+            StoreError::Unorderable("a.b".into()),
+            StoreError::Durability("disk".into()),
+            StoreError::Transport("refused".into()),
+        ];
+        for case in cases {
+            let encoded = encode_store_error(&case);
+            assert_eq!(decode_store_error(encoded.code, &encoded.payload), case);
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Length-prefixed, checksummed wire frames.
+//!
+//! Every byte that crosses an mps-net socket travels inside a *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  --------------------------------------------------
+//!      0     4  magic       b"MPSN"
+//!      4     1  version     protocol version (currently 1)
+//!      5     1  frame type  Hello / HelloAck / Request / Response
+//!      6     4  length      payload length, little-endian u32
+//!     10     4  crc         CRC-32 (IEEE), little-endian, computed over
+//!                           version byte ∥ frame-type byte ∥ payload
+//!     14   len  payload
+//! ```
+//!
+//! The checksum covers the version and frame-type bytes as well as the
+//! payload, so a bit-flip cannot silently turn one frame type into
+//! another — the property tests check exactly this.
+//!
+//! The layout deliberately mirrors the `mps-wal` record framing
+//! (`[len][crc][payload]`, same CRC-32 polynomial via
+//! [`mps_wal::crc32`]): both answer the same question — "is this blob
+//! complete and uncorrupted?" — the WAL against a torn disk write, the
+//! socket against a torn TCP stream. A frame that fails any header or
+//! checksum test is classified [`Decoded::Torn`] or rejected with a
+//! specific [`FrameError`], never silently skipped; see
+//! `docs/WIRE_PROTOCOL.md` for the normative spec.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// The 4-byte magic opening every frame.
+pub const MAGIC: [u8; 4] = *b"MPSN";
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Fixed byte length of a frame header (magic + version + type + len + crc).
+pub const FRAME_HEADER_BYTES: usize = 14;
+
+/// Default ceiling on payload size (4 MiB) — a corrupt length field must
+/// not make a reader allocate gigabytes.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 4 * 1024 * 1024;
+
+/// The four frame types of protocol version 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Client → server greeting carrying the client's highest version.
+    Hello,
+    /// Server → client handshake reply (accept / shed) with the
+    /// negotiated version.
+    HelloAck,
+    /// Client → server operation envelope.
+    Request,
+    /// Server → client reply envelope.
+    Response,
+}
+
+impl FrameType {
+    /// The on-wire byte for this frame type.
+    #[must_use]
+    pub fn as_byte(self) -> u8 {
+        match self {
+            FrameType::Hello => 1,
+            FrameType::HelloAck => 2,
+            FrameType::Request => 3,
+            FrameType::Response => 4,
+        }
+    }
+
+    /// Parses an on-wire frame-type byte.
+    #[must_use]
+    pub fn from_byte(byte: u8) -> Option<FrameType> {
+        match byte {
+            1 => Some(FrameType::Hello),
+            2 => Some(FrameType::HelloAck),
+            3 => Some(FrameType::Request),
+            4 => Some(FrameType::Response),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame: its type and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame type from the header.
+    pub frame_type: FrameType,
+    /// The checksum-verified payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a frame of `frame_type` around `payload`.
+    #[must_use]
+    pub fn new(frame_type: FrameType, payload: Vec<u8>) -> Frame {
+        Frame {
+            frame_type,
+            payload,
+        }
+    }
+}
+
+/// Errors surfaced while reading or writing frames.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The first four bytes were not [`MAGIC`] — the peer is not speaking
+    /// this protocol (or the stream lost sync, which is unrecoverable on a
+    /// stream transport: the connection must be dropped).
+    BadMagic([u8; 4]),
+    /// The peer speaks a protocol version this build does not.
+    UnsupportedVersion(u8),
+    /// The frame-type byte is not one of the defined types.
+    UnknownType(u8),
+    /// The declared payload length exceeds the configured ceiling.
+    TooLarge {
+        /// Length the header declared.
+        declared: usize,
+        /// The ceiling it exceeded.
+        limit: usize,
+    },
+    /// The payload arrived complete but its CRC-32 did not match.
+    Corrupt,
+    /// The stream ended mid-frame (torn frame).
+    Torn,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(err) => write!(f, "socket error: {err}"),
+            FrameError::BadMagic(bytes) => write!(f, "bad frame magic: {bytes:02x?}"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::UnknownType(b) => write!(f, "unknown frame type {b}"),
+            FrameError::TooLarge { declared, limit } => {
+                write!(f, "frame payload of {declared} bytes exceeds limit {limit}")
+            }
+            FrameError::Corrupt => write!(f, "frame payload failed its checksum"),
+            FrameError::Torn => write!(f, "stream ended mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(err: io::Error) -> Self {
+        FrameError::Io(err)
+    }
+}
+
+/// CRC-32 over `version ∥ frame type ∥ payload`, reusing the WAL's
+/// checksum so both layers answer "complete and uncorrupted?" the same
+/// way. Covering the two semantic header bytes means a bit-flip cannot
+/// silently change a frame's type or version.
+fn frame_crc(version: u8, type_byte: u8, payload: &[u8]) -> u32 {
+    let mut covered = Vec::with_capacity(2 + payload.len());
+    covered.push(version);
+    covered.push(type_byte);
+    covered.extend_from_slice(payload);
+    mps_wal::crc32(&covered)
+}
+
+/// Encodes `frame` into `out`.
+pub fn encode_frame_into(out: &mut Vec<u8>, frame: &Frame) {
+    out.reserve(FRAME_HEADER_BYTES + frame.payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(frame.frame_type.as_byte());
+    out.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    let crc = frame_crc(PROTOCOL_VERSION, frame.frame_type.as_byte(), &frame.payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&frame.payload);
+}
+
+/// Encodes `frame` to a fresh byte vector.
+#[must_use]
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + frame.payload.len());
+    encode_frame_into(&mut out, frame);
+    out
+}
+
+/// Writes one frame to `writer` and flushes it.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Io`] if the write or flush fails.
+pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> Result<(), FrameError> {
+    let bytes = encode_frame(frame);
+    writer.write_all(&bytes)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads exactly one frame from `reader`, enforcing `max_payload` on the
+/// declared length.
+///
+/// # Errors
+///
+/// * [`FrameError::Torn`] — the stream ended cleanly mid-frame (EOF with
+///   partial header or payload). An EOF on the very first header byte is
+///   also reported as `Torn`; callers that poll for "clean end of stream"
+///   should check for buffered data themselves before calling.
+/// * [`FrameError::BadMagic`] / [`FrameError::UnsupportedVersion`] /
+///   [`FrameError::UnknownType`] / [`FrameError::TooLarge`] — header
+///   validation failures; the stream is out of sync and must be dropped.
+/// * [`FrameError::Corrupt`] — payload checksum mismatch.
+/// * [`FrameError::Io`] — any other socket failure.
+pub fn read_frame(reader: &mut impl Read, max_payload: usize) -> Result<Frame, FrameError> {
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    read_exact_or_torn(reader, &mut header)?;
+    let (frame_type, len, crc) = validate_header(&header, max_payload)?;
+    let mut payload = vec![0u8; len];
+    read_exact_or_torn(reader, &mut payload)?;
+    if frame_crc(PROTOCOL_VERSION, frame_type.as_byte(), &payload) != crc {
+        return Err(FrameError::Corrupt);
+    }
+    Ok(Frame {
+        frame_type,
+        payload,
+    })
+}
+
+/// Outcome of decoding a frame from an in-memory buffer, mirroring
+/// `mps_wal::Decoded`.
+#[derive(Debug)]
+pub enum Decoded {
+    /// The buffer is empty — a clean end of stream.
+    End,
+    /// A complete, verified frame plus the number of bytes it consumed.
+    Frame(Frame, usize),
+    /// The buffer holds a prefix of a frame (header or payload cut
+    /// short) — more bytes are needed, or the stream was torn here.
+    Torn,
+    /// The buffer starts with bytes that can never become a valid frame.
+    Invalid(FrameError),
+}
+
+/// Decodes the first frame of `buf` without consuming a reader.
+///
+/// Distinguishes "need more bytes" ([`Decoded::Torn`]) from "never
+/// valid" ([`Decoded::Invalid`]) so buffered readers and the property
+/// tests can reason about truncation precisely.
+#[must_use]
+pub fn decode_frame(buf: &[u8], max_payload: usize) -> Decoded {
+    if buf.is_empty() {
+        return Decoded::End;
+    }
+    if buf.len() < FRAME_HEADER_BYTES {
+        // A short buffer could still be a growing valid frame — unless the
+        // bytes present already diverge from the only legal header prefix.
+        let magic_len = buf.len().min(4);
+        if buf[..magic_len] != MAGIC[..magic_len] {
+            let mut seen = [0u8; 4];
+            seen[..magic_len].copy_from_slice(&buf[..magic_len]);
+            return Decoded::Invalid(FrameError::BadMagic(seen));
+        }
+        return Decoded::Torn;
+    }
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    header.copy_from_slice(&buf[..FRAME_HEADER_BYTES]);
+    let (frame_type, len, crc) = match validate_header(&header, max_payload) {
+        Ok(parts) => parts,
+        Err(err) => return Decoded::Invalid(err),
+    };
+    let total = FRAME_HEADER_BYTES + len;
+    if buf.len() < total {
+        return Decoded::Torn;
+    }
+    let payload = &buf[FRAME_HEADER_BYTES..total];
+    if frame_crc(PROTOCOL_VERSION, frame_type.as_byte(), payload) != crc {
+        return Decoded::Invalid(FrameError::Corrupt);
+    }
+    Decoded::Frame(
+        Frame {
+            frame_type,
+            payload: payload.to_vec(),
+        },
+        total,
+    )
+}
+
+fn validate_header(
+    header: &[u8; FRAME_HEADER_BYTES],
+    max_payload: usize,
+) -> Result<(FrameType, usize, u32), FrameError> {
+    if header[..4] != MAGIC {
+        let mut seen = [0u8; 4];
+        seen.copy_from_slice(&header[..4]);
+        return Err(FrameError::BadMagic(seen));
+    }
+    if header[4] != PROTOCOL_VERSION {
+        return Err(FrameError::UnsupportedVersion(header[4]));
+    }
+    let frame_type = FrameType::from_byte(header[5]).ok_or(FrameError::UnknownType(header[5]))?;
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]) as usize;
+    if len > max_payload {
+        return Err(FrameError::TooLarge {
+            declared: len,
+            limit: max_payload,
+        });
+    }
+    let crc = u32::from_le_bytes([header[10], header[11], header[12], header[13]]);
+    Ok((frame_type, len, crc))
+}
+
+fn read_exact_or_torn(reader: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    match reader.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(err) if err.kind() == io::ErrorKind::UnexpectedEof => Err(FrameError::Torn),
+        Err(err) => Err(FrameError::Io(err)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_io() {
+        let frame = Frame::new(FrameType::Request, b"hello over the wire".to_vec());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        let back = read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let frame = Frame::new(FrameType::Hello, Vec::new());
+        let bytes = encode_frame(&frame);
+        assert_eq!(bytes.len(), FRAME_HEADER_BYTES);
+        match decode_frame(&bytes, DEFAULT_MAX_FRAME_BYTES) {
+            Decoded::Frame(back, used) => {
+                assert_eq!(back, frame);
+                assert_eq!(used, FRAME_HEADER_BYTES);
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_torn_not_valid() {
+        let bytes = encode_frame(&Frame::new(FrameType::Response, vec![7; 32]));
+        for cut in 1..bytes.len() {
+            match decode_frame(&bytes[..cut], DEFAULT_MAX_FRAME_BYTES) {
+                Decoded::Torn | Decoded::Invalid(_) => {}
+                other => panic!("cut at {cut} produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let mut bytes = encode_frame(&Frame::new(FrameType::Request, b"payload".to_vec()));
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        assert!(matches!(
+            decode_frame(&bytes, DEFAULT_MAX_FRAME_BYTES),
+            Decoded::Invalid(FrameError::Corrupt)
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_and_type_are_rejected() {
+        let good = encode_frame(&Frame::new(FrameType::Hello, Vec::new()));
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            decode_frame(&bad_magic, DEFAULT_MAX_FRAME_BYTES),
+            Decoded::Invalid(FrameError::BadMagic(_))
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            decode_frame(&bad_version, DEFAULT_MAX_FRAME_BYTES),
+            Decoded::Invalid(FrameError::UnsupportedVersion(99))
+        ));
+
+        let mut bad_type = good;
+        bad_type[5] = 0;
+        assert!(matches!(
+            decode_frame(&bad_type, DEFAULT_MAX_FRAME_BYTES),
+            Decoded::Invalid(FrameError::UnknownType(0))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut bytes = encode_frame(&Frame::new(FrameType::Request, Vec::new()));
+        bytes[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes, DEFAULT_MAX_FRAME_BYTES),
+            Decoded::Invalid(FrameError::TooLarge { .. })
+        ));
+        let mut cursor = io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES),
+            Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn eof_mid_payload_reads_as_torn() {
+        let bytes = encode_frame(&Frame::new(FrameType::Request, vec![1; 64]));
+        let mut cursor = io::Cursor::new(&bytes[..bytes.len() - 10]);
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES),
+            Err(FrameError::Torn)
+        ));
+    }
+
+    #[test]
+    fn empty_buffer_is_clean_end() {
+        assert!(matches!(
+            decode_frame(&[], DEFAULT_MAX_FRAME_BYTES),
+            Decoded::End
+        ));
+    }
+}

@@ -1,0 +1,191 @@
+//! Request/response envelopes carried inside [`FrameType::Request`] and
+//! [`FrameType::Response`] frames.
+//!
+//! A request payload is:
+//!
+//! ```text
+//! u64 correlation | u8 opcode | u16 header count | (string key, string value)* | bytes body
+//! ```
+//!
+//! and a response payload is:
+//!
+//! ```text
+//! u64 correlation | u8 status | bytes body
+//! ```
+//!
+//! Status `0` means success and `body` is the opcode-specific result;
+//! any other status is an error code whose meaning (and body encoding)
+//! the opcode table defines. Headers exist to carry cross-cutting
+//! metadata — above all the [`mps_types::headers::TRACE_HEADER`] trace
+//! context, which must ride *every* hop so loss attribution survives the
+//! network boundary.
+//!
+//! [`FrameType::Request`]: crate::frame::FrameType::Request
+//! [`FrameType::Response`]: crate::frame::FrameType::Response
+
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// Reserved opcode asking a server to finish in-flight work and stop
+/// accepting connections. Answered with an empty success body before the
+/// server begins shutting down.
+pub const OP_SHUTDOWN: u8 = 255;
+
+/// Response status signalling success.
+pub const STATUS_OK: u8 = 0;
+
+/// Response status for a request the server could not even decode
+/// (malformed envelope). The body is a UTF-8 description.
+pub const STATUS_BAD_REQUEST: u8 = 1;
+
+/// A decoded request envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestEnvelope {
+    /// Client-chosen id echoed back in the response.
+    pub correlation: u64,
+    /// Which operation to perform; opcode tables live in the API modules.
+    pub opcode: u8,
+    /// Cross-cutting metadata (trace context and friends).
+    pub headers: Vec<(String, String)>,
+    /// Opcode-specific argument bytes.
+    pub body: Vec<u8>,
+}
+
+impl RequestEnvelope {
+    /// Encodes the envelope to payload bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.correlation).u8(self.opcode);
+        w.u16(self.headers.len() as u16);
+        for (key, value) in &self.headers {
+            w.string(key).string(value);
+        }
+        w.bytes(&self.body);
+        w.finish()
+    }
+
+    /// Decodes an envelope from payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the payload is truncated, has invalid
+    /// UTF-8 in a header, or carries trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<RequestEnvelope, WireError> {
+        let mut r = WireReader::new(payload);
+        let correlation = r.u64("correlation")?;
+        let opcode = r.u8("opcode")?;
+        let count = r.u16("header count")?;
+        let mut headers = Vec::with_capacity(usize::from(count));
+        for _ in 0..count {
+            let key = r.string("header key")?;
+            let value = r.string("header value")?;
+            headers.push((key, value));
+        }
+        let body = r.bytes("body")?.to_vec();
+        r.expect_end()?;
+        Ok(RequestEnvelope {
+            correlation,
+            opcode,
+            headers,
+            body,
+        })
+    }
+}
+
+/// A decoded response envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseEnvelope {
+    /// Echo of the request's correlation id.
+    pub correlation: u64,
+    /// [`STATUS_OK`] or an error code.
+    pub status: u8,
+    /// Result bytes on success, error-specific bytes otherwise.
+    pub body: Vec<u8>,
+}
+
+impl ResponseEnvelope {
+    /// Builds a success response.
+    #[must_use]
+    pub fn ok(correlation: u64, body: Vec<u8>) -> ResponseEnvelope {
+        ResponseEnvelope {
+            correlation,
+            status: STATUS_OK,
+            body,
+        }
+    }
+
+    /// Builds an error response.
+    #[must_use]
+    pub fn error(correlation: u64, status: u8, body: Vec<u8>) -> ResponseEnvelope {
+        ResponseEnvelope {
+            correlation,
+            status,
+            body,
+        }
+    }
+
+    /// Encodes the envelope to payload bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.correlation).u8(self.status).bytes(&self.body);
+        w.finish()
+    }
+
+    /// Decodes an envelope from payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the payload is truncated or carries
+    /// trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<ResponseEnvelope, WireError> {
+        let mut r = WireReader::new(payload);
+        let correlation = r.u64("correlation")?;
+        let status = r.u8("status")?;
+        let body = r.bytes("body")?.to_vec();
+        r.expect_end()?;
+        Ok(ResponseEnvelope {
+            correlation,
+            status,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = RequestEnvelope {
+            correlation: 9000,
+            opcode: 17,
+            headers: vec![("x".into(), "y".into()), ("k".into(), String::new())],
+            body: vec![1, 2, 3],
+        };
+        assert_eq!(RequestEnvelope::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = ResponseEnvelope::ok(1, b"result".to_vec());
+        assert_eq!(ResponseEnvelope::decode(&resp.encode()).unwrap(), resp);
+        let err = ResponseEnvelope::error(2, 40, b"queue gone".to_vec());
+        assert_eq!(ResponseEnvelope::decode(&err.encode()).unwrap(), err);
+    }
+
+    #[test]
+    fn truncated_request_is_rejected() {
+        let bytes = RequestEnvelope {
+            correlation: 1,
+            opcode: 2,
+            headers: vec![("a".into(), "b".into())],
+            body: vec![9; 8],
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert!(RequestEnvelope::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! A threaded TCP server speaking the mps-net frame protocol.
+//!
+//! One [`WireServer`] owns a listening socket and serves a single
+//! [`WireService`] — the broker and docstore services in
+//! [`crate::broker_api`] and [`crate::docstore_api`], or anything else
+//! that maps `(opcode, headers, body)` to result bytes. Each connection
+//! gets its own thread and its own *bounded* receive buffer; connections
+//! beyond [`ServerConfig::max_connections`] are **shed** at the
+//! handshake with an explicit `HelloAck(shed)` (counted in
+//! `net_server_shed_total`) rather than queued — backpressure is a
+//! visible, attributable outcome, never a silent stall.
+
+use crate::frame::{
+    decode_frame, encode_frame, Decoded, Frame, FrameType, DEFAULT_MAX_FRAME_BYTES,
+};
+use crate::rpc::{RequestEnvelope, ResponseEnvelope, OP_SHUTDOWN, STATUS_BAD_REQUEST};
+use crate::telemetry::telemetry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Handshake status: the connection is accepted.
+pub const HELLO_OK: u8 = 0;
+/// Handshake status: the server is at capacity and sheds the connection.
+pub const HELLO_SHED: u8 = 1;
+/// Handshake status: the client requested a protocol version the server
+/// does not speak.
+pub const HELLO_BAD_VERSION: u8 = 2;
+
+/// An error a service maps to a non-zero response status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Response status code (must be non-zero; the opcode table defines
+    /// meanings).
+    pub code: u8,
+    /// Error-specific body bytes.
+    pub payload: Vec<u8>,
+}
+
+impl ServiceError {
+    /// Builds an error whose payload is a UTF-8 message.
+    #[must_use]
+    pub fn msg(code: u8, detail: &str) -> ServiceError {
+        ServiceError {
+            code: code.max(1),
+            payload: detail.as_bytes().to_vec(),
+        }
+    }
+}
+
+/// The request handler a [`WireServer`] dispatches to.
+///
+/// Implementations must be thread-safe: every connection thread calls
+/// `handle` concurrently.
+pub trait WireService: Send + Sync + 'static {
+    /// Maps one request to result bytes or a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ServiceError`] that the server encodes as a non-zero
+    /// response status with the error's payload as the body.
+    fn handle(
+        &self,
+        opcode: u8,
+        headers: &[(String, String)],
+        body: &[u8],
+    ) -> Result<Vec<u8>, ServiceError>;
+}
+
+/// Tunables for a [`WireServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connections served concurrently before the handshake sheds.
+    pub max_connections: usize,
+    /// Ceiling on a single frame payload (bounds each connection's
+    /// receive buffer).
+    pub max_frame_bytes: usize,
+    /// How long a connection thread blocks on the socket before
+    /// re-checking the shutdown flag.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            read_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+/// A running wire server; shuts down when dropped, on [`WireServer::shutdown`],
+/// or when a client sends [`OP_SHUTDOWN`].
+#[derive(Debug)]
+pub struct WireServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving `service`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the socket cannot be bound.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<dyn WireService>,
+        config: ServerConfig,
+    ) -> io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || accept_loop(&listener, &service, &config, &shutdown))
+        };
+        Ok(WireServer {
+            addr: local,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the server has begun shutting down.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and waits for the accept loop and all
+    /// connection threads to finish.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the server shuts down (via [`WireServer::shutdown`]
+    /// from another thread, or a client's [`OP_SHUTDOWN`] request). This
+    /// is what the daemon binaries call after printing their address.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Decrements the live-connection gauge when a connection thread exits,
+/// however it exits.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<dyn WireService>,
+    config: &ServerConfig,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    let workers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let slot = active.fetch_add(1, Ordering::SeqCst) + 1;
+                let guard = ConnGuard(Arc::clone(&active));
+                let shed = slot > config.max_connections;
+                let service = Arc::clone(service);
+                let config = config.clone();
+                let shutdown = Arc::clone(shutdown);
+                let handle = thread::spawn(move || {
+                    let _guard = guard;
+                    serve_connection(stream, shed, &*service, &config, &shutdown);
+                });
+                if let Ok(mut workers) = workers.lock() {
+                    workers.retain(|w| !w.is_finished());
+                    workers.push(handle);
+                }
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let drained = match workers.lock() {
+        Ok(mut workers) => workers.drain(..).collect::<Vec<_>>(),
+        Err(poisoned) => poisoned.into_inner().drain(..).collect(),
+    };
+    for worker in drained {
+        let _ = worker.join();
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    shed: bool,
+    service: &dyn WireService,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) {
+    let shared = telemetry();
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+
+    // ---- handshake: Hello -> HelloAck(ok | shed | bad-version)
+    let mut buf: Vec<u8> = Vec::new();
+    let hello = match read_one_frame(&mut stream, &mut buf, config, shutdown) {
+        Some(frame) if frame.frame_type == FrameType::Hello => frame,
+        _ => return,
+    };
+    let requested = hello.payload.first().copied().unwrap_or(0);
+    let status = if shed {
+        shared.server_shed.inc();
+        HELLO_SHED
+    } else if requested != crate::frame::PROTOCOL_VERSION {
+        HELLO_BAD_VERSION
+    } else {
+        shared.server_connections.inc();
+        HELLO_OK
+    };
+    let ack = Frame::new(
+        FrameType::HelloAck,
+        vec![status, crate::frame::PROTOCOL_VERSION],
+    );
+    if stream.write_all(&encode_frame(&ack)).is_err() || stream.flush().is_err() {
+        return;
+    }
+    if status != HELLO_OK {
+        return;
+    }
+
+    // ---- request loop
+    while !shutdown.load(Ordering::SeqCst) {
+        let Some(frame) = read_one_frame(&mut stream, &mut buf, config, shutdown) else {
+            return;
+        };
+        if frame.frame_type != FrameType::Request {
+            return;
+        }
+        let response = match RequestEnvelope::decode(&frame.payload) {
+            Ok(request) => {
+                shared.server_requests.inc();
+                if request.opcode == OP_SHUTDOWN {
+                    let response = ResponseEnvelope::ok(request.correlation, Vec::new());
+                    write_response(&mut stream, &response);
+                    shutdown.store(true, Ordering::SeqCst);
+                    return;
+                }
+                match service.handle(request.opcode, &request.headers, &request.body) {
+                    Ok(body) => ResponseEnvelope::ok(request.correlation, body),
+                    Err(err) => {
+                        shared.server_errors.inc();
+                        ResponseEnvelope::error(request.correlation, err.code, err.payload)
+                    }
+                }
+            }
+            Err(err) => {
+                shared.server_errors.inc();
+                ResponseEnvelope::error(0, STATUS_BAD_REQUEST, err.to_string().into_bytes())
+            }
+        };
+        if !write_response(&mut stream, &response) {
+            return;
+        }
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &ResponseEnvelope) -> bool {
+    let frame = Frame::new(FrameType::Response, response.encode());
+    stream.write_all(&encode_frame(&frame)).is_ok() && stream.flush().is_ok()
+}
+
+/// Reads one complete frame through the connection's bounded buffer.
+/// Returns `None` on clean close, torn/corrupt input (counted), socket
+/// error, or shutdown.
+fn read_one_frame(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) -> Option<Frame> {
+    let shared = telemetry();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match decode_frame(buf, config.max_frame_bytes) {
+            Decoded::Frame(frame, used) => {
+                buf.drain(..used);
+                return Some(frame);
+            }
+            Decoded::Invalid(_) => {
+                shared.frames_corrupt.inc();
+                return None;
+            }
+            Decoded::End | Decoded::Torn => {}
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        // The buffer is bounded by max_frame_bytes plus one read chunk:
+        // decode_frame rejects oversized declared lengths before we ever
+        // accumulate them.
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if !buf.is_empty() {
+                    // The peer vanished mid-frame: a torn frame, counted
+                    // exactly like a torn WAL tail.
+                    shared.frames_corrupt.inc();
+                }
+                return None;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(err)
+                if err.kind() == io::ErrorKind::WouldBlock
+                    || err.kind() == io::ErrorKind::TimedOut => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{ClientConfig, WireConn};
+
+    #[derive(Debug)]
+    struct Echo;
+
+    impl WireService for Echo {
+        fn handle(
+            &self,
+            opcode: u8,
+            headers: &[(String, String)],
+            body: &[u8],
+        ) -> Result<Vec<u8>, ServiceError> {
+            if opcode == 9 {
+                return Err(ServiceError::msg(42, "boom"));
+            }
+            let mut out = body.to_vec();
+            out.push(headers.len() as u8);
+            Ok(out)
+        }
+    }
+
+    fn start(config: ServerConfig) -> WireServer {
+        WireServer::bind("127.0.0.1:0", Arc::new(Echo), config).unwrap()
+    }
+
+    #[test]
+    fn echo_round_trip_over_tcp() {
+        let mut server = start(ServerConfig::default());
+        let mut conn = WireConn::connect(server.local_addr(), &ClientConfig::default()).unwrap();
+        let reply = conn
+            .call(3, &[("x-k".into(), "v".into())], b"ping")
+            .unwrap();
+        assert_eq!(reply, b"ping\x01");
+        server.shutdown();
+    }
+
+    #[test]
+    fn service_errors_carry_code_and_payload() {
+        let mut server = start(ServerConfig::default());
+        let mut conn = WireConn::connect(server.local_addr(), &ClientConfig::default()).unwrap();
+        let err = conn.call(9, &[], b"").unwrap_err();
+        match err {
+            crate::client::NetError::Remote { code, payload } => {
+                assert_eq!(code, 42);
+                assert_eq!(payload, b"boom");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn connections_beyond_capacity_are_shed() {
+        let mut server = start(ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        });
+        let shed_before = mps_telemetry::Registry::global()
+            .counter_value("net_server_shed_total")
+            .unwrap_or(0);
+        let _held = WireConn::connect(server.local_addr(), &ClientConfig::default()).unwrap();
+        let second = WireConn::connect(server.local_addr(), &ClientConfig::default());
+        assert!(matches!(second, Err(crate::client::NetError::Shed)));
+        let shed_after = mps_telemetry::Registry::global()
+            .counter_value("net_server_shed_total")
+            .unwrap_or(0);
+        assert!(shed_after > shed_before, "shed must be counted");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_opcode_stops_the_server() {
+        let server = start(ServerConfig::default());
+        let addr = server.local_addr();
+        let mut conn = WireConn::connect(addr, &ClientConfig::default()).unwrap();
+        conn.call(OP_SHUTDOWN, &[], b"").unwrap();
+        // join returns promptly because the shutdown flag is set.
+        server.join();
+        assert!(WireConn::connect(addr, &ClientConfig::default()).is_err());
+    }
+
+    #[test]
+    fn garbage_bytes_drop_the_connection_without_killing_the_server() {
+        let mut server = start(ServerConfig::default());
+        {
+            let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+            raw.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+            let mut sink = Vec::new();
+            let _ = raw.read_to_end(&mut sink);
+        }
+        let mut conn = WireConn::connect(server.local_addr(), &ClientConfig::default()).unwrap();
+        assert_eq!(conn.call(1, &[], b"ok").unwrap(), b"ok\x00");
+        server.shutdown();
+    }
+}

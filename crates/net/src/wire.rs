@@ -1,0 +1,291 @@
+//! Primitive field encoding inside frame payloads.
+//!
+//! Frame payloads are flat sequences of little-endian fixed-width
+//! integers and `u32`-length-prefixed byte strings — no self-describing
+//! envelope, no varints. The opcode tables in [`crate::broker_api`] and
+//! [`crate::docstore_api`] define which fields appear in which order;
+//! `docs/WIRE_PROTOCOL.md` is the normative reference.
+
+use std::fmt;
+
+/// A field-level decoding failure inside an already checksum-verified
+/// payload — always a protocol bug or version skew, never line noise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the field was complete.
+    Truncated {
+        /// What the reader was trying to decode.
+        field: &'static str,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8,
+    /// Payload bytes remained after the last expected field.
+    TrailingBytes(usize),
+    /// A discriminant byte had no defined meaning.
+    BadDiscriminant {
+        /// What the discriminant selects.
+        field: &'static str,
+        /// The offending value.
+        value: u8,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { field } => write!(f, "payload truncated reading {field}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} unexpected trailing bytes"),
+            WireError::BadDiscriminant { field, value } => {
+                write!(f, "bad discriminant {value} for {field}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Appends wire-encoded fields to a byte vector.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Starts an empty payload.
+    #[must_use]
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    /// Finishes and returns the encoded payload.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u32`-length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Appends a `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(v);
+        self
+    }
+}
+
+/// Reads wire-encoded fields off the front of a payload slice.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps a payload for reading.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Asserts the payload was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TrailingBytes`] if bytes remain.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len()))
+        }
+    }
+
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated { field });
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if the payload is exhausted.
+    pub fn u8(&mut self, field: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if the payload is exhausted.
+    pub fn u16(&mut self, field: &'static str) -> Result<u16, WireError> {
+        let bytes = self.take(2, field)?;
+        Ok(u16::from_le_bytes([bytes[0], bytes[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if the payload is exhausted.
+    pub fn u32(&mut self, field: &'static str) -> Result<u32, WireError> {
+        let bytes = self.take(4, field)?;
+        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if the payload is exhausted.
+    pub fn u64(&mut self, field: &'static str) -> Result<u64, WireError> {
+        let bytes = self.take(8, field)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if the payload is exhausted.
+    pub fn i64(&mut self, field: &'static str) -> Result<i64, WireError> {
+        let bytes = self.take(8, field)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(bytes);
+        Ok(i64::from_le_bytes(arr))
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if the payload is exhausted.
+    pub fn bytes(&mut self, field: &'static str) -> Result<&'a [u8], WireError> {
+        let len = self.u32(field)? as usize;
+        self.take(len, field)
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] on exhaustion or
+    /// [`WireError::BadUtf8`] on invalid UTF-8.
+    pub fn string(&mut self, field: &'static str) -> Result<String, WireError> {
+        let bytes = self.bytes(field)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_string_round_trip() {
+        let mut w = WireWriter::new();
+        w.u8(7)
+            .u16(300)
+            .u32(70_000)
+            .u64(u64::MAX)
+            .i64(-42)
+            .string("città")
+            .bytes(b"\x00\xff");
+        let buf = w.finish();
+
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 300);
+        assert_eq!(r.u32("c").unwrap(), 70_000);
+        assert_eq!(r.u64("d").unwrap(), u64::MAX);
+        assert_eq!(r.i64("e").unwrap(), -42);
+        assert_eq!(r.string("f").unwrap(), "città");
+        assert_eq!(r.bytes("g").unwrap(), b"\x00\xff");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_names_the_field() {
+        let mut r = WireReader::new(&[1, 0]);
+        assert_eq!(
+            r.u32("queue_depth"),
+            Err(WireError::Truncated {
+                field: "queue_depth"
+            })
+        );
+    }
+
+    #[test]
+    fn bad_utf8_is_rejected() {
+        let mut w = WireWriter::new();
+        w.bytes(&[0xff, 0xfe]);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.string("s"), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn trailing_bytes_are_flagged() {
+        let mut w = WireWriter::new();
+        w.u8(1).u8(2);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        let _ = r.u8("first").unwrap();
+        assert_eq!(r.expect_end(), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn string_length_beyond_payload_truncates() {
+        // Length prefix says 100 bytes but only 2 follow.
+        let mut buf = 100u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(b"ab");
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(r.bytes("s"), Err(WireError::Truncated { .. })));
+    }
+}

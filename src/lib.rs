@@ -14,6 +14,8 @@
 //! * [`docstore`] — document store (MongoDB substitute).
 //! * [`goflow`] — the GoFlow crowd-sensing middleware server.
 //! * [`mobile`] — device/crowd simulator and GoFlow mobile client.
+//! * [`net`] — binary wire protocol, socket servers and pooled clients
+//!   that put [`broker`] and [`docstore`] behind a real network boundary.
 //! * [`assim`] — urban noise model, BLUE data assimilation, calibration.
 //! * [`analytics`] — the empirical-analysis toolkit (figures/tables).
 //! * [`core`] — experiment orchestration (deployment replay, lab harnesses).
@@ -48,6 +50,7 @@ pub use mps_docstore as docstore;
 pub use mps_faults as faults;
 pub use mps_goflow as goflow;
 pub use mps_mobile as mobile;
+pub use mps_net as net;
 pub use mps_simcore as simcore;
 pub use mps_telemetry as telemetry;
 pub use mps_types as types;
