@@ -8,13 +8,21 @@
 //! ```
 //!
 //! Exhibits: `fig4 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
-//! fig17 fig18 fig19 fig20 fig21 calib hourly resilience tracing all`.
+//! fig17 fig18 fig19 fig20 fig21 calib hourly resilience tracing fleet
+//! all`.
 //!
 //! The `tracing` exhibit drives a seeded faulted pipeline run, renders
 //! the per-hop latency waterfall, loss-attribution table and a sample
 //! trace timeline from the flight recorder, and exits non-zero if any
 //! trace failed to reach a terminal outcome. `--trace-export=PATH`
 //! additionally writes the raw span stream as JSONL.
+//!
+//! The `fleet` exhibit deploys the broker and the docstore behind real
+//! TCP servers, pushes a faulted upload run through them, then scrapes
+//! both daemons' admin opcodes exactly as `xtask obs` would and prints
+//! the merged ops dashboard (fleet table, cross-process waterfall, loss
+//! conservation, top slow RPCs, SLO burn). It exits non-zero if an
+//! instance is unready or the trace ledger does not balance.
 
 use mps_analytics::{
     AccuracyReport, ActivityReport, DelayReport, DiurnalReport, GrowthReport, ModelTable,
@@ -519,6 +527,149 @@ fn tracing(export: Option<&str>) {
     println!("dead-lettered, dropped or black-holed): zero silent loss, attributed per hop.");
 }
 
+fn fleet() {
+    header("Fleet — multi-process ops dashboard over the admin opcodes");
+    use mps_broker::{Broker, BrokerTransport};
+    use mps_docstore::{DocstoreTransport, Store};
+    use mps_faults::{FaultPlan, FaultSpec};
+    use mps_goflow::{GoFlowServer, Role};
+    use mps_mobile::{BrokerLink, GoFlowClient, RetryPolicy};
+    use mps_net::client::ClientConfig;
+    use mps_net::fleet::{Endpoint, FleetSnapshot};
+    use mps_net::{
+        BrokerService, DocstoreService, RemoteBroker, RemoteStore, ServerConfig, SocketFaultProxy,
+        WireServer,
+    };
+    use mps_telemetry::trace::FlightRecorder;
+    use mps_types::{
+        AppId, GeoPoint, LocationFix, LocationProvider, Observation, SimDuration, SimTime,
+        SoundLevel,
+    };
+    use std::sync::Arc;
+
+    let recorder = FlightRecorder::global();
+    recorder.clear();
+
+    // The two daemons, exactly as `mps-brokerd` / `mps-docstored` would
+    // run them, with fleet instance names.
+    let broker_backend: Arc<dyn BrokerTransport> = Arc::new(Broker::new());
+    let broker_srv = WireServer::bind(
+        "127.0.0.1:0",
+        Arc::new(BrokerService::new(Arc::clone(&broker_backend))),
+        ServerConfig {
+            instance: "brokerd".to_string(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind brokerd");
+    let store_backend: Arc<dyn DocstoreTransport> = Arc::new(Store::new());
+    let store_srv = WireServer::bind(
+        "127.0.0.1:0",
+        Arc::new(DocstoreService::new(store_backend)),
+        ServerConfig {
+            instance: "docstored".to_string(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind docstored");
+
+    // GoFlow talks to both over the wire; the mobile upload path goes
+    // through a fault proxy that tears a fifth of the TCP frames.
+    let remote_broker: Arc<dyn BrokerTransport> = Arc::new(RemoteBroker::connect(
+        broker_srv.local_addr().to_string(),
+        ClientConfig::default(),
+    ));
+    let remote_store: Arc<dyn DocstoreTransport> = Arc::new(RemoteStore::connect(
+        store_srv.local_addr().to_string(),
+        ClientConfig::default(),
+    ));
+    let server = GoFlowServer::over(remote_broker, remote_store);
+    let app = AppId::soundcity();
+    server.register_app(&app).expect("register app");
+    let token = server
+        .register_user(&app, 23.into(), Role::Contributor)
+        .expect("register user");
+    let session = server.login(&token).expect("login");
+    let key = session.observation_key("noise", "FR75013");
+    let spec = FaultSpec {
+        drop_prob: 0.2,
+        ..FaultSpec::none()
+    };
+    let mut proxy = SocketFaultProxy::start(broker_srv.local_addr(), FaultPlan::new(515, spec))
+        .expect("start fault proxy");
+    let faulted_broker =
+        RemoteBroker::connect(proxy.local_addr().to_string(), ClientConfig::default());
+    let link = BrokerLink::new(&faulted_broker, session.exchange());
+
+    const COUNT: i64 = 60;
+    let mut client = GoFlowClient::new(session.exchange(), key, AppVersion::V1_2_9)
+        .with_retry_policy(
+            RetryPolicy {
+                max_attempts: 50,
+                ..RetryPolicy::default()
+            },
+            13,
+        );
+    for i in 0..COUNT {
+        let now = SimTime::EPOCH + SimDuration::from_mins(i);
+        client.record(
+            Observation::builder()
+                .device(23.into())
+                .user(23.into())
+                .model(DeviceModel::LgeNexus5)
+                .captured_at(now)
+                .spl(SoundLevel::new(48.0 + (i % 20) as f64))
+                .location(LocationFix::new(
+                    GeoPoint::PARIS,
+                    25.0,
+                    LocationProvider::Network,
+                ))
+                .app_version(AppVersion::V1_2_9)
+                .build(),
+        );
+        client.on_cycle_at(&link, true, now);
+    }
+    let mut now = SimTime::EPOCH + SimDuration::from_mins(COUNT);
+    for _ in 0..200 {
+        if client.pending() == 0 && client.queued_retries() == 0 {
+            break;
+        }
+        client.flush_at(&link, now);
+        now = now + SimDuration::from_mins(5);
+    }
+    server
+        .ingest_pending(&app, now, 1_000_000)
+        .expect("ingest stored observations");
+
+    // Scrape both daemons exactly as `xtask obs` would (drain mode, so
+    // the shared in-process recorder is exported exactly once).
+    let endpoints = [
+        Endpoint {
+            name: "brokerd".to_string(),
+            addr: broker_srv.local_addr().to_string(),
+        },
+        Endpoint {
+            name: "docstored".to_string(),
+            addr: store_srv.local_addr().to_string(),
+        },
+    ];
+    let snapshot = FleetSnapshot::scrape(&endpoints, &ClientConfig::default(), true);
+    print!("{}", snapshot.render_dashboard(50.0));
+    proxy.stop();
+
+    let ledger = snapshot.conservation();
+    let ready = snapshot
+        .instances
+        .iter()
+        .all(|i| i.error.is_none() && i.ready());
+    if !ready || !ledger.balanced() {
+        eprintln!("BUG: fleet unhealthy (ready {ready}) or ledger unbalanced ({ledger:?})");
+        std::process::exit(1);
+    }
+    println!("\nboth daemons scraped over their own wire protocol: merged metrics,");
+    println!("stitched traces and slow RPCs from one `figures fleet` invocation.");
+}
+
 fn pipeline_health() {
     header("Pipeline health — aggregate telemetry from this run");
     let registry = mps_telemetry::Registry::global();
@@ -561,6 +712,7 @@ fn main() {
             "calib",
             "resilience",
             "tracing",
+            "fleet",
         ]
     } else {
         wanted
@@ -645,8 +797,9 @@ fn main() {
             "hourly" => hourly(),
             "resilience" => resilience(),
             "tracing" => tracing(trace_export.as_deref()),
+            "fleet" => fleet(),
             other => eprintln!(
-                "unknown exhibit: {other} (try fig4..fig21, calib, hourly, resilience, tracing, all)"
+                "unknown exhibit: {other} (try fig4..fig21, calib, hourly, resilience, tracing, fleet, all)"
             ),
         }
     }

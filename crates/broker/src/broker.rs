@@ -742,6 +742,7 @@ impl Broker {
                 .expect("accept set built from existing queues");
             q.ready.push_back((Arc::clone(&shared), 0, id));
             q.enqueued_total += 1;
+            self.metrics.sample_queue_depth(queue_name, q.ready.len());
             if self.durable.is_some() {
                 deltas.push(durability::enqueue_delta(
                     queue_name,
@@ -792,6 +793,7 @@ impl Broker {
                 redelivered: prior_deliveries > 0,
             });
         }
+        self.metrics.sample_queue_depth(queue, q.ready.len());
         self.metrics.on_delivered(out.len() as u64);
         Ok(out)
     }
@@ -818,10 +820,12 @@ impl Broker {
                 queue: queue.into(),
                 tag,
             })?;
+        let depth = q.ready.len();
         if let Some(durable) = &self.durable {
             durable.append(&[durability::ack_delta(queue, durable_id)])?;
         }
         self.metrics.on_acked();
+        self.metrics.sample_queue_depth(queue, depth);
         drop(state);
         self.maybe_snapshot();
         Ok(())
@@ -878,6 +882,7 @@ impl Broker {
                     Some(q) => {
                         q.ready.push_front((message, attempts, durable_id));
                         self.metrics.on_requeued();
+                        self.metrics.sample_queue_depth(queue, q.ready.len());
                         durable_on.then(|| durability::requeue_delta(queue, durable_id, attempts))
                     }
                     // The home queue cannot vanish while we hold the lock,
@@ -903,6 +908,7 @@ impl Broker {
                         dlq.ready.push_back((Arc::clone(&message), 0, durable_id));
                         dlq.enqueued_total += 1;
                         self.metrics.on_dead_lettered();
+                        self.metrics.sample_dlq_depth(&target, dlq.ready.len());
                         trace_message_terminal(
                             &message,
                             Hop::BrokerDlq,
@@ -1245,6 +1251,40 @@ mod tests {
         let d = b.consume("graveyard", 1).unwrap().remove(0);
         assert!(!d.redelivered);
         assert_eq!(d.payload().as_ref(), b"poison");
+    }
+
+    #[test]
+    fn depth_gauges_follow_publish_consume_and_dead_letter() {
+        // Unique queue names: the gauges live in the process-global
+        // registry and other tests sample their own queues in parallel.
+        let b = Broker::new();
+        b.declare_exchange("dg-e", ExchangeType::Fanout).unwrap();
+        b.declare_queue("dg-work").unwrap();
+        b.declare_queue("dg-grave").unwrap();
+        b.bind_queue("dg-e", "dg-work", "#").unwrap();
+        b.configure_dead_letter("dg-work", 1, "dg-grave").unwrap();
+
+        let registry = mps_telemetry::Registry::global();
+        let depth = |name: &str, queue: &str| {
+            registry
+                .gauge_value_labeled(name, &[("queue", queue)])
+                .unwrap_or(-1)
+        };
+
+        b.publish("dg-e", "k", &b"a"[..]).unwrap();
+        b.publish("dg-e", "k", &b"b"[..]).unwrap();
+        assert_eq!(depth("broker_queue_depth", "dg-work"), 2);
+
+        let d = b.consume("dg-work", 1).unwrap().remove(0);
+        assert_eq!(depth("broker_queue_depth", "dg-work"), 1);
+        b.ack("dg-work", d.tag).unwrap();
+        assert_eq!(depth("broker_queue_depth", "dg-work"), 1);
+
+        // One attempt allowed: the first nack dead-letters straight away.
+        let d = b.consume("dg-work", 1).unwrap().remove(0);
+        b.nack("dg-work", d.tag, true).unwrap();
+        assert_eq!(depth("broker_queue_depth", "dg-work"), 0);
+        assert_eq!(depth("broker_dlq_depth", "dg-grave"), 1);
     }
 
     #[test]

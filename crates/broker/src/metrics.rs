@@ -179,6 +179,33 @@ impl BrokerMetrics {
         shared().route_cache_misses.inc();
     }
 
+    /// Publishes the observed ready depth of a queue as
+    /// `broker_queue_depth{queue=…}` — sampled wherever the depth
+    /// changes (publish, consume, ack, requeue), so the health endpoint
+    /// and fleet dashboard see backlog without polling the broker.
+    pub(crate) fn sample_queue_depth(&self, queue: &str, depth: usize) {
+        Registry::global()
+            .gauge_labeled(
+                "broker_queue_depth",
+                &[("queue", queue)],
+                "Ready messages in a broker queue, sampled as depth changes",
+            )
+            .set(depth as i64);
+    }
+
+    /// Publishes the observed depth of a dead-letter queue as
+    /// `broker_dlq_depth{queue=…}`, sampled when a message is parked
+    /// there (and when the DLQ itself is consumed or purged).
+    pub(crate) fn sample_dlq_depth(&self, queue: &str, depth: usize) {
+        Registry::global()
+            .gauge_labeled(
+                "broker_dlq_depth",
+                &[("queue", queue)],
+                "Messages parked in a dead-letter queue, sampled as depth changes",
+            )
+            .set(depth as i64);
+    }
+
     /// Takes a consistent-enough snapshot of all counters (each counter is
     /// read atomically; the set is not a transaction).
     pub fn snapshot(&self) -> MetricsSnapshot {

@@ -1,0 +1,352 @@
+//! Admin opcodes: the observability plane every wire server exposes.
+//!
+//! Opcodes `240..=255` are reserved for the plane (the operations
+//! band); services never see them. A [`WireServer`] with
+//! [`ServerConfig::admin`] enabled answers:
+//!
+//! * [`OP_METRICS`] — the process-wide telemetry registry rendered in
+//!   Prometheus text exposition format.
+//! * [`OP_HEALTH`] — a JSON liveness + readiness report (connection
+//!   headroom, WAL recovery status, queue backlog, RPC error budget).
+//! * [`OP_FLIGHT_DRAIN`] — the process-wide [`FlightRecorder`] ring as
+//!   JSON Lines; body byte `1` drains (snapshot **and clear**), `0` or
+//!   empty peeks.
+//! * [`OP_SLOW_RPCS`] — the top-k slowest requests retained by the
+//!   server's [`SlowRpcRing`], as JSON.
+//!
+//! Together these make a fleet of daemons scrapeable over the wire
+//! protocol itself — no HTTP sidecar — which is what
+//! [`crate::fleet`] and `xtask obs` build on. The paper's deployment
+//! lesson is direct: the middleware that survived was the one whose
+//! operators could *see* backlog, shed and loss per node, remotely,
+//! while the experiment ran.
+//!
+//! [`WireServer`]: crate::server::WireServer
+//! [`ServerConfig::admin`]: crate::server::ServerConfig::admin
+//! [`FlightRecorder`]: mps_telemetry::trace::FlightRecorder
+
+use mps_telemetry::trace::FlightRecorder;
+use mps_telemetry::Registry;
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// First opcode of the reserved admin band (`240..=255`). Opcodes below
+/// this are dispatched to the [`crate::server::WireService`]; opcodes in
+/// the band are handled by the server itself (or rejected when
+/// [`crate::server::ServerConfig::admin`] is off).
+pub const ADMIN_OPCODE_MIN: u8 = 240;
+
+/// Admin: render the process-wide telemetry registry as Prometheus
+/// text exposition format (UTF-8 response body).
+pub const OP_METRICS: u8 = 250;
+
+/// Admin: return the JSON health report (see [`health_json`]).
+pub const OP_HEALTH: u8 = 251;
+
+/// Admin: return the process-wide flight recorder as JSON Lines.
+/// Request body byte `1` drains (snapshot and clear); anything else
+/// peeks without clearing.
+pub const OP_FLIGHT_DRAIN: u8 = 252;
+
+/// Admin: return the top-k slowest retained RPCs as JSON. Request body
+/// byte is `k` (`0`/empty means 10).
+pub const OP_SLOW_RPCS: u8 = 253;
+
+/// The mnemonic for an admin-band opcode, when it has one.
+#[must_use]
+pub fn admin_opcode_name(opcode: u8) -> Option<&'static str> {
+    match opcode {
+        OP_METRICS => Some("METRICS"),
+        OP_HEALTH => Some("HEALTH"),
+        OP_FLIGHT_DRAIN => Some("FLIGHT_DRAIN"),
+        OP_SLOW_RPCS => Some("SLOW_RPCS"),
+        crate::rpc::OP_SHUTDOWN => Some("SHUTDOWN"),
+        _ => None,
+    }
+}
+
+/// One slow request retained by a [`SlowRpcRing`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowRpc {
+    /// Monotonic admission sequence (1-based, per ring).
+    pub seq: u64,
+    /// The request opcode.
+    pub opcode: u8,
+    /// The opcode's mnemonic at recording time (`"17"`-style decimal
+    /// when the service named no mnemonic).
+    pub name: String,
+    /// Service time in microseconds (decode to response-encode).
+    pub micros: u64,
+    /// The response status the request was answered with.
+    pub status: u8,
+}
+
+impl SlowRpc {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"opcode\":{},\"name\":{},\"micros\":{},\"status\":{}}}",
+            self.seq,
+            self.opcode,
+            json_string(&self.name),
+            self.micros,
+            self.status,
+        )
+    }
+}
+
+/// Serialises `s` as a JSON string literal (quotes, backslashes and
+/// control characters escaped) — the same dependency-light discipline
+/// as `SpanRecord::to_jsonl`.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A bounded, drop-oldest ring of the slowest requests a server has
+/// answered.
+///
+/// Requests at or above the threshold are admitted in arrival order;
+/// when the ring is full the oldest entry is dropped (and counted), so
+/// memory stays bounded no matter how degraded the server gets — the
+/// same drop-oldest discipline as the [`FlightRecorder`]. [`top_k`]
+/// sorts the *retained* window by service time, so the answer is "the
+/// worst of the recent past", not "the worst ever".
+///
+/// [`top_k`]: SlowRpcRing::top_k
+#[derive(Debug)]
+pub struct SlowRpcRing {
+    threshold: Duration,
+    capacity: usize,
+    inner: Mutex<SlowInner>,
+}
+
+#[derive(Debug, Default)]
+struct SlowInner {
+    next_seq: u64,
+    dropped: u64,
+    entries: VecDeque<SlowRpc>,
+}
+
+impl SlowRpcRing {
+    /// A ring retaining at most `capacity` entries (min 1), admitting
+    /// requests that took at least `threshold`.
+    #[must_use]
+    pub fn new(capacity: usize, threshold: Duration) -> Self {
+        SlowRpcRing {
+            threshold,
+            capacity: capacity.max(1),
+            inner: Mutex::new(SlowInner::default()),
+        }
+    }
+
+    /// The admission threshold.
+    #[must_use]
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// Offers one answered request to the ring; entries faster than the
+    /// threshold are ignored.
+    pub fn observe(&self, opcode: u8, name: &str, elapsed: Duration, status: u8) {
+        if elapsed < self.threshold {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.next_seq += 1;
+        let seq = inner.next_seq;
+        if inner.entries.len() == self.capacity {
+            inner.entries.pop_front();
+            inner.dropped += 1;
+        }
+        inner.entries.push_back(SlowRpc {
+            seq,
+            opcode,
+            name: name.to_owned(),
+            micros: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+            status,
+        });
+    }
+
+    /// Entries dropped to ring wrap-around.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .dropped
+    }
+
+    /// The `k` slowest retained requests, slowest first (ties broken by
+    /// recency — later admissions first).
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<SlowRpc> {
+        let mut entries: Vec<SlowRpc> = self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entries
+            .iter()
+            .cloned()
+            .collect();
+        entries.sort_by(|a, b| b.micros.cmp(&a.micros).then(b.seq.cmp(&a.seq)));
+        entries.truncate(k);
+        entries
+    }
+
+    /// The [`OP_SLOW_RPCS`] response body: the top-k as a JSON document
+    /// `{"threshold_us": …, "dropped": …, "slow": [ … ]}`.
+    #[must_use]
+    pub fn to_json(&self, k: usize) -> String {
+        let slow: Vec<String> = self.top_k(k).iter().map(SlowRpc::to_json).collect();
+        format!(
+            "{{\"threshold_us\":{},\"dropped\":{},\"slow\":[{}]}}",
+            u64::try_from(self.threshold.as_micros()).unwrap_or(u64::MAX),
+            self.dropped(),
+            slow.join(","),
+        )
+    }
+}
+
+/// Builds the [`OP_HEALTH`] response body.
+///
+/// `ready` is the server's own verdict (connection headroom remains);
+/// everything else is read from the process-wide [`Registry`] and
+/// [`FlightRecorder`], so one scrape answers the operator's first three
+/// questions — is it up, is it keeping up, and has it been losing data:
+///
+/// ```json
+/// {
+///   "instance": "broker-a", "role": "broker",
+///   "ready": true, "uptime_ms": 12345,
+///   "connections": {"active": 3, "max": 64},
+///   "wal": {"recoveries": 1, "torn_tail_truncations": 0, "open_segments": 4},
+///   "queues": {"ready_depth": 17, "dlq_depth": 0},
+///   "rpc": {"requests": 4211, "errors": 2},
+///   "flight_recorder": {"recorded": 900, "dropped": 0, "capacity": 16384}
+/// }
+/// ```
+#[must_use]
+pub fn health_json(
+    instance: &str,
+    role: &str,
+    ready: bool,
+    active_connections: usize,
+    max_connections: usize,
+    uptime: Duration,
+) -> String {
+    let registry = Registry::global();
+    let recorder = FlightRecorder::global();
+    format!(
+        "{{\"instance\":{},\"role\":{},\"ready\":{},\"uptime_ms\":{},\
+         \"connections\":{{\"active\":{},\"max\":{}}},\
+         \"wal\":{{\"recoveries\":{},\"torn_tail_truncations\":{},\"open_segments\":{}}},\
+         \"queues\":{{\"ready_depth\":{},\"dlq_depth\":{}}},\
+         \"rpc\":{{\"requests\":{},\"errors\":{}}},\
+         \"flight_recorder\":{{\"recorded\":{},\"dropped\":{},\"capacity\":{}}}}}",
+        json_string(instance),
+        json_string(role),
+        ready,
+        u64::try_from(uptime.as_millis()).unwrap_or(u64::MAX),
+        active_connections,
+        max_connections,
+        registry.counter_value("wal_recoveries_total").unwrap_or(0),
+        registry
+            .counter_value("wal_torn_tail_truncations_total")
+            .unwrap_or(0),
+        registry.gauge_value("wal_open_segments").unwrap_or(0),
+        registry.gauge_value("broker_queue_depth").unwrap_or(0),
+        registry.gauge_value("broker_dlq_depth").unwrap_or(0),
+        registry
+            .counter_value("net_server_requests_total")
+            .unwrap_or(0),
+        registry
+            .counter_value("net_server_errors_total")
+            .unwrap_or(0),
+        recorder.recorded(),
+        recorder.dropped(),
+        recorder.capacity(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admin_opcodes_sit_in_the_reserved_band() {
+        for op in [OP_METRICS, OP_HEALTH, OP_FLIGHT_DRAIN, OP_SLOW_RPCS] {
+            assert!(op >= ADMIN_OPCODE_MIN);
+            assert!(admin_opcode_name(op).is_some());
+        }
+        assert_eq!(admin_opcode_name(crate::rpc::OP_SHUTDOWN), Some("SHUTDOWN"));
+        assert_eq!(admin_opcode_name(1), None);
+    }
+
+    #[test]
+    fn slow_ring_admits_above_threshold_only() {
+        let ring = SlowRpcRing::new(8, Duration::from_micros(100));
+        ring.observe(1, "FAST", Duration::from_micros(10), 0);
+        ring.observe(2, "SLOW", Duration::from_micros(200), 0);
+        let top = ring.top_k(10);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].name, "SLOW");
+        assert_eq!(top[0].micros, 200);
+    }
+
+    #[test]
+    fn slow_ring_drops_oldest_and_ranks_by_latency() {
+        let ring = SlowRpcRing::new(3, Duration::ZERO);
+        for (op, us) in [(1u8, 50u64), (2, 400), (3, 100), (4, 300)] {
+            ring.observe(op, "X", Duration::from_micros(us), 0);
+        }
+        // Capacity 3: the (1, 50µs) entry was dropped.
+        assert_eq!(ring.dropped(), 1);
+        let top = ring.top_k(2);
+        assert_eq!(
+            top.iter().map(|s| s.micros).collect::<Vec<_>>(),
+            vec![400, 300]
+        );
+    }
+
+    #[test]
+    fn slow_ring_json_has_envelope_fields() {
+        let ring = SlowRpcRing::new(4, Duration::ZERO);
+        ring.observe(7, "GET", Duration::from_micros(42), 3);
+        let json = ring.to_json(10);
+        assert!(json.contains("\"threshold_us\":0"));
+        assert!(json.contains("\"slow\":[{"));
+        assert!(json.contains("\"name\":\"GET\""));
+        assert!(json.contains("\"status\":3"));
+    }
+
+    #[test]
+    fn health_json_reports_identity_and_readiness() {
+        let json = health_json("node-1", "broker", true, 2, 64, Duration::from_millis(1500));
+        assert!(json.contains("\"instance\":\"node-1\""));
+        assert!(json.contains("\"role\":\"broker\""));
+        assert!(json.contains("\"ready\":true"));
+        assert!(json.contains("\"uptime_ms\":1500"));
+        assert!(json.contains("\"active\":2"));
+        assert!(json.contains("\"max\":64"));
+        // Registry-backed sections always present, even at zero.
+        assert!(json.contains("\"wal\""));
+        assert!(json.contains("\"queues\""));
+        assert!(json.contains("\"flight_recorder\""));
+    }
+}

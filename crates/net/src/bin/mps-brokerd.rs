@@ -2,14 +2,18 @@
 //!
 //! ```text
 //! mps-brokerd [--listen ADDR] [--wal-dir DIR] [--max-connections N]
+//!             [--instance NAME]
 //! ```
 //!
 //! Serves an `mps-broker` instance over the mps-net wire protocol.
 //! With `--wal-dir` the broker write-ahead-logs every queue transition
 //! to that directory and replays it on restart; without it the broker
-//! is in-memory. Prints the bound address on stderr (`listening on ...`)
+//! is in-memory. `--instance` names this process in the fleet: the
+//! admin health report echoes it and `xtask obs` labels merged metrics
+//! with it. Prints the bound address on stderr (`listening on ...`)
 //! so wrappers can scrape it, and exits cleanly when a client sends the
-//! shutdown opcode. See `docs/DEPLOYMENT.md`.
+//! shutdown opcode. See `docs/DEPLOYMENT.md` and
+//! `docs/OBSERVABILITY.md`.
 
 use mps_broker::{Broker, BrokerDurabilityConfig, BrokerTransport};
 use mps_net::broker_api::BrokerService;
@@ -21,6 +25,7 @@ struct Flags {
     listen: String,
     wal_dir: Option<String>,
     max_connections: usize,
+    instance: String,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -28,6 +33,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         listen: "127.0.0.1:7401".to_string(),
         wal_dir: None,
         max_connections: ServerConfig::default().max_connections,
+        instance: "brokerd".to_string(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -44,9 +50,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|_| "--max-connections needs an integer".to_string())?;
             }
+            "--instance" => flags.instance = value_for("--instance")?,
             "--help" | "-h" => {
                 return Err(
-                    "usage: mps-brokerd [--listen ADDR] [--wal-dir DIR] [--max-connections N]"
+                    "usage: mps-brokerd [--listen ADDR] [--wal-dir DIR] [--max-connections N] \
+                     [--instance NAME]"
                         .to_string(),
                 )
             }
@@ -79,6 +87,7 @@ fn main() -> ExitCode {
     let broker: Arc<dyn BrokerTransport> = Arc::new(broker);
     let config = ServerConfig {
         max_connections: flags.max_connections,
+        instance: flags.instance,
         ..ServerConfig::default()
     };
     let server =

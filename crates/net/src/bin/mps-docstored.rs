@@ -2,14 +2,17 @@
 //!
 //! ```text
 //! mps-docstored [--listen ADDR] [--wal-dir DIR] [--max-connections N]
+//!               [--instance NAME]
 //! ```
 //!
 //! Serves an `mps-docstore` instance over the mps-net wire protocol.
 //! With `--wal-dir` every mutation is write-ahead-logged to that
 //! directory and replayed on restart; without it the store is
-//! in-memory. Prints the bound address on stderr (`listening on ...`)
+//! in-memory. `--instance` names this process in the fleet: the admin
+//! health report echoes it and `xtask obs` labels merged metrics with
+//! it. Prints the bound address on stderr (`listening on ...`)
 //! and exits cleanly when a client sends the shutdown opcode. See
-//! `docs/DEPLOYMENT.md`.
+//! `docs/DEPLOYMENT.md` and `docs/OBSERVABILITY.md`.
 
 use mps_docstore::{DocstoreTransport, Durability, DurabilityConfig, Store};
 use mps_net::docstore_api::DocstoreService;
@@ -21,6 +24,7 @@ struct Flags {
     listen: String,
     wal_dir: Option<String>,
     max_connections: usize,
+    instance: String,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -28,6 +32,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         listen: "127.0.0.1:7402".to_string(),
         wal_dir: None,
         max_connections: ServerConfig::default().max_connections,
+        instance: "docstored".to_string(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -44,9 +49,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|_| "--max-connections needs an integer".to_string())?;
             }
+            "--instance" => flags.instance = value_for("--instance")?,
             "--help" | "-h" => {
                 return Err(
-                    "usage: mps-docstored [--listen ADDR] [--wal-dir DIR] [--max-connections N]"
+                    "usage: mps-docstored [--listen ADDR] [--wal-dir DIR] [--max-connections N] \
+                     [--instance NAME]"
                         .to_string(),
                 )
             }
@@ -80,6 +87,7 @@ fn main() -> ExitCode {
     let store: Arc<dyn DocstoreTransport> = Arc::new(store);
     let config = ServerConfig {
         max_connections: flags.max_connections,
+        instance: flags.instance,
         ..ServerConfig::default()
     };
     let server = match WireServer::bind(

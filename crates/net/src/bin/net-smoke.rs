@@ -1,15 +1,18 @@
 //! `net-smoke` — multi-process smoke driver for the wire protocol.
 //!
 //! ```text
-//! net-smoke --broker ADDR --docstore ADDR [--shutdown]
+//! net-smoke --broker ADDR --docstore ADDR [--shutdown | --shutdown-only]
 //! ```
 //!
 //! Connects to a running `mps-brokerd` and `mps-docstored`, pushes one
 //! observation through a declare → publish → consume → ack cycle (with
 //! a trace header riding the envelope), writes and reads back documents
 //! on the store, and — with `--shutdown` — asks both servers to exit
-//! cleanly. Exits non-zero with a diagnostic on stderr at the first
-//! divergence, so CI can gate on it. See `docs/DEPLOYMENT.md`.
+//! cleanly. `--shutdown-only` skips the traffic and just requests the
+//! shutdowns, so a scrape step (`xtask obs`) can run between the smoke
+//! traffic and the teardown. Exits non-zero with a diagnostic on stderr
+//! at the first divergence, so CI can gate on it. See
+//! `docs/DEPLOYMENT.md`.
 
 use mps_broker::{BrokerTransport, ExchangeType, Message};
 use mps_docstore::{DocstoreTransport, Filter};
@@ -25,12 +28,14 @@ struct Flags {
     broker: String,
     docstore: String,
     shutdown: bool,
+    shutdown_only: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut broker = None;
     let mut docstore = None;
     let mut shutdown = false;
+    let mut shutdown_only = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_for = |name: &str| {
@@ -42,9 +47,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--broker" => broker = Some(value_for("--broker")?),
             "--docstore" => docstore = Some(value_for("--docstore")?),
             "--shutdown" => shutdown = true,
+            "--shutdown-only" => shutdown_only = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: net-smoke --broker ADDR --docstore ADDR [--shutdown]".to_string(),
+                    "usage: net-smoke --broker ADDR --docstore ADDR [--shutdown | --shutdown-only]"
+                        .to_string(),
                 )
             }
             other => return Err(format!("unknown flag {other}")),
@@ -54,6 +61,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         broker: broker.ok_or("--broker ADDR is required")?,
         docstore: docstore.ok_or("--docstore ADDR is required")?,
         shutdown,
+        shutdown_only,
     })
 }
 
@@ -153,9 +161,11 @@ fn request_shutdown(addr: &str, who: &str) -> Result<(), String> {
 }
 
 fn run(flags: &Flags) -> Result<(), String> {
-    smoke_broker(&flags.broker)?;
-    smoke_docstore(&flags.docstore)?;
-    if flags.shutdown {
+    if !flags.shutdown_only {
+        smoke_broker(&flags.broker)?;
+        smoke_docstore(&flags.docstore)?;
+    }
+    if flags.shutdown || flags.shutdown_only {
         request_shutdown(&flags.broker, "broker")?;
         request_shutdown(&flags.docstore, "docstore")?;
     }

@@ -406,6 +406,35 @@ impl WireService for BrokerService {
             )),
         }
     }
+
+    fn role(&self) -> &'static str {
+        "broker"
+    }
+
+    fn opcode_name(&self, opcode: u8) -> Option<&'static str> {
+        Some(match opcode {
+            op::DECLARE_EXCHANGE => "DECLARE_EXCHANGE",
+            op::DECLARE_QUEUE => "DECLARE_QUEUE",
+            op::DECLARE_QUEUE_WITH_CAPACITY => "DECLARE_QUEUE_WITH_CAPACITY",
+            op::EXCHANGE_EXISTS => "EXCHANGE_EXISTS",
+            op::QUEUE_EXISTS => "QUEUE_EXISTS",
+            op::BIND_QUEUE => "BIND_QUEUE",
+            op::BIND_EXCHANGE => "BIND_EXCHANGE",
+            op::UNBIND_QUEUE => "UNBIND_QUEUE",
+            op::DELETE_EXCHANGE => "DELETE_EXCHANGE",
+            op::DELETE_QUEUE => "DELETE_QUEUE",
+            op::PURGE_QUEUE => "PURGE_QUEUE",
+            op::CONFIGURE_DEAD_LETTER => "CONFIGURE_DEAD_LETTER",
+            op::DEAD_LETTER_POLICY => "DEAD_LETTER_POLICY",
+            op::QUEUE_DEPTH => "QUEUE_DEPTH",
+            op::PUBLISH => "PUBLISH",
+            op::PUBLISH_MESSAGE => "PUBLISH_MESSAGE",
+            op::CONSUME => "CONSUME",
+            op::ACK => "ACK",
+            op::NACK => "NACK",
+            _ => return None,
+        })
+    }
 }
 
 // ---------------------------------------------------------------- client

@@ -11,12 +11,12 @@
 use crate::frame::{decode_frame, encode_frame, Decoded, Frame, FrameError, FrameType};
 use crate::rpc::{RequestEnvelope, ResponseEnvelope, STATUS_OK};
 use crate::server::{HELLO_BAD_VERSION, HELLO_OK, HELLO_SHED};
-use crate::telemetry::telemetry;
+use crate::telemetry::{pool_connections, telemetry};
 use crate::wire::WireError;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Errors surfaced by wire clients.
@@ -309,17 +309,23 @@ impl ClientPool {
     fn checkout(&self) -> Result<WireConn, NetError> {
         if let Ok(mut idle) = self.idle.lock() {
             if let Some(conn) = idle.pop() {
+                pool_connections("idle").sub(1);
+                pool_connections("in_use").add(1);
                 return Ok(conn);
             }
         }
         telemetry().client_reconnects.inc();
-        WireConn::connect(&*self.addr, &self.config)
+        let conn = WireConn::connect(&*self.addr, &self.config)?;
+        pool_connections("in_use").add(1);
+        Ok(conn)
     }
 
     fn checkin(&self, conn: WireConn) {
+        pool_connections("in_use").sub(1);
         if let Ok(mut idle) = self.idle.lock() {
             if idle.len() < self.config.max_idle {
                 idle.push(conn);
+                pool_connections("idle").add(1);
             }
         }
     }
@@ -348,9 +354,18 @@ impl ClientPool {
                 // connection died".
                 shared.client_reconnects.inc();
                 let mut conn = WireConn::connect(&*self.addr, &self.config)?;
-                let reply = conn.call(opcode, headers, body)?;
-                self.checkin(conn);
-                Ok(reply)
+                pool_connections("in_use").add(1);
+                match conn.call(opcode, headers, body) {
+                    Ok(reply) => {
+                        self.checkin(conn);
+                        Ok(reply)
+                    }
+                    Err(err) => {
+                        // The retry connection dies with its error.
+                        pool_connections("in_use").sub(1);
+                        Err(err)
+                    }
+                }
             } else {
                 Err(err)
             }
@@ -382,8 +397,20 @@ impl ClientPool {
                 self.checkin(conn);
                 Err(err)
             }
-            Err(err) => Err(err),
+            Err(err) => {
+                // The transport died; the checked-out connection is
+                // dropped here, so it leaves the in_use gauge.
+                pool_connections("in_use").sub(1);
+                Err(err)
+            }
         }
+    }
+}
+
+impl Drop for ClientPool {
+    fn drop(&mut self) {
+        let idle = self.idle.get_mut().unwrap_or_else(PoisonError::into_inner);
+        pool_connections("idle").sub(idle.len() as i64);
     }
 }
 
@@ -443,6 +470,29 @@ mod tests {
             // error rather than hanging.
             Err(_) => assert!(pool.call(1, &[], b"y").unwrap_err().is_transport()),
         }
+    }
+
+    #[test]
+    fn pool_gauges_track_idle_and_in_use() {
+        let registry = mps_telemetry::Registry::global();
+        let idle_of = || {
+            registry
+                .gauge_value_labeled("net_client_pool_connections", &[("state", "idle")])
+                .unwrap_or(0)
+        };
+        let mut server =
+            WireServer::bind("127.0.0.1:0", Arc::new(Upper), ServerConfig::default()).unwrap();
+        let before = idle_of();
+        let pool = ClientPool::new(server.local_addr().to_string(), ClientConfig::default());
+        pool.call(1, &[], b"abc").unwrap();
+        assert!(idle_of() > before, "the call's connection was parked idle");
+        let in_use = registry
+            .gauge_value_labeled("net_client_pool_connections", &[("state", "in_use")])
+            .unwrap_or(0);
+        assert!(in_use >= 0, "in_use never goes negative");
+        drop(pool);
+        assert!(idle_of() <= before + 1, "drop withdrew the idle connection");
+        server.shutdown();
     }
 
     #[test]

@@ -465,6 +465,36 @@ impl WireService for DocstoreService {
             )),
         }
     }
+
+    fn role(&self) -> &'static str {
+        "docstore"
+    }
+
+    fn opcode_name(&self, opcode: u8) -> Option<&'static str> {
+        Some(match opcode {
+            op::INSERT_ONE => "INSERT_ONE",
+            op::INSERT_MANY => "INSERT_MANY",
+            op::GET => "GET",
+            op::LEN => "LEN",
+            op::FIND => "FIND",
+            op::FIND_WITH_OPTIONS => "FIND_WITH_OPTIONS",
+            op::COUNT => "COUNT",
+            op::UPDATE_MANY => "UPDATE_MANY",
+            op::DELETE_MANY => "DELETE_MANY",
+            op::CREATE_INDEX => "CREATE_INDEX",
+            op::DROP_INDEX => "DROP_INDEX",
+            op::HAS_INDEX => "HAS_INDEX",
+            op::INDEX_CARDINALITY => "INDEX_CARDINALITY",
+            op::DISTINCT => "DISTINCT",
+            op::CLEAR => "CLEAR",
+            op::ALL => "ALL",
+            op::HAS_COLLECTION => "HAS_COLLECTION",
+            op::COLLECTION_NAMES => "COLLECTION_NAMES",
+            op::DROP_COLLECTION => "DROP_COLLECTION",
+            op::TOTAL_DOCUMENTS => "TOTAL_DOCUMENTS",
+            _ => return None,
+        })
+    }
 }
 
 // ---------------------------------------------------------------- client

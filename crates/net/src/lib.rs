@@ -32,6 +32,11 @@
 //!   actual socket: drops tear TCP streams, delays stall frames, and
 //!   every decision lands in the same conservation counters the
 //!   simulated links use.
+//! * **Observability plane** ([`admin`], [`fleet`]) — every server
+//!   answers the reserved admin opcodes (metrics, health,
+//!   flight-recorder drain, slow RPCs) on its wire port, and the fleet
+//!   scraper merges N processes into one instance-labelled registry,
+//!   one stitched trace index and one ops dashboard (`xtask obs`).
 //!
 //! Trace contexts ([`mps_types::headers::TRACE_HEADER`]) ride request
 //! envelope headers across the boundary, so the flight-recorder's
@@ -65,9 +70,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod admin;
 pub mod broker_api;
 pub mod client;
 pub mod docstore_api;
+pub mod fleet;
 pub mod frame;
 pub mod proxy;
 pub mod rpc;
@@ -78,9 +85,13 @@ pub mod wire;
 #[cfg(test)]
 mod proptests;
 
+pub use admin::{
+    SlowRpc, SlowRpcRing, ADMIN_OPCODE_MIN, OP_FLIGHT_DRAIN, OP_HEALTH, OP_METRICS, OP_SLOW_RPCS,
+};
 pub use broker_api::{BrokerService, RemoteBroker};
 pub use client::{ClientConfig, ClientPool, NetError, WireConn};
 pub use docstore_api::{DocstoreService, RemoteStore};
+pub use fleet::{Conservation, Endpoint, FleetSnapshot, InstanceScrape};
 pub use frame::{Frame, FrameError, FrameType, PROTOCOL_VERSION};
 pub use proxy::SocketFaultProxy;
 pub use server::{ServerConfig, ServiceError, WireServer, WireService};

@@ -9,18 +9,33 @@
 //! handshake with an explicit `HelloAck(shed)` (counted in
 //! `net_server_shed_total`) rather than queued — backpressure is a
 //! visible, attributable outcome, never a silent stall.
+//!
+//! Every server also carries the **observability plane** (see
+//! [`crate::admin`]): per-RPC latency histograms and error counters
+//! (`net_server_rpc_seconds{opcode=…}` /
+//! `net_server_rpc_errors_total{opcode=…,code=…}`), a bounded
+//! slow-request ring, and — unless [`ServerConfig::admin`] is switched
+//! off — the remote admin opcodes `OP_METRICS`, `OP_HEALTH`,
+//! `OP_FLIGHT_DRAIN` and `OP_SLOW_RPCS`.
 
+use crate::admin::{
+    admin_opcode_name, health_json, SlowRpcRing, ADMIN_OPCODE_MIN, OP_FLIGHT_DRAIN, OP_HEALTH,
+    OP_METRICS, OP_SLOW_RPCS,
+};
 use crate::frame::{
     decode_frame, encode_frame, Decoded, Frame, FrameType, DEFAULT_MAX_FRAME_BYTES,
 };
-use crate::rpc::{RequestEnvelope, ResponseEnvelope, OP_SHUTDOWN, STATUS_BAD_REQUEST};
-use crate::telemetry::telemetry;
+use crate::rpc::{RequestEnvelope, ResponseEnvelope, OP_SHUTDOWN, STATUS_BAD_REQUEST, STATUS_OK};
+use crate::telemetry::{rpc_errors, rpc_seconds, telemetry};
+use mps_telemetry::trace::FlightRecorder;
+use mps_telemetry::{Histogram, Registry};
+use std::borrow::Cow;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Handshake status: the connection is accepted.
 pub const HELLO_OK: u8 = 0;
@@ -68,6 +83,20 @@ pub trait WireService: Send + Sync + 'static {
         headers: &[(String, String)],
         body: &[u8],
     ) -> Result<Vec<u8>, ServiceError>;
+
+    /// The service's role name, reported in the `OP_HEALTH` body (e.g.
+    /// `"broker"`, `"docstore"`).
+    fn role(&self) -> &'static str {
+        "service"
+    }
+
+    /// The mnemonic for a service opcode, used as the `opcode` label of
+    /// the per-RPC telemetry series and in slow-request reports. `None`
+    /// falls back to the decimal opcode.
+    fn opcode_name(&self, opcode: u8) -> Option<&'static str> {
+        let _ = opcode;
+        None
+    }
 }
 
 /// Tunables for a [`WireServer`].
@@ -81,6 +110,23 @@ pub struct ServerConfig {
     /// How long a connection thread blocks on the socket before
     /// re-checking the shutdown flag.
     pub read_timeout: Duration,
+    /// This process's name in the fleet, echoed by `OP_HEALTH` and used
+    /// as the `instance` label when a scraper merges registries.
+    pub instance: String,
+    /// Record per-opcode latency histograms and error counters
+    /// (`net_server_rpc_seconds` / `net_server_rpc_errors_total`). The
+    /// benchmark's attributable-numbers mode switches this off.
+    pub rpc_telemetry: bool,
+    /// Serve the admin opcodes ([`crate::admin`]). Off, admin requests
+    /// are answered with a bad-request status instead.
+    pub admin: bool,
+    /// Minimum service time for a request to enter the slow-request
+    /// ring. The zero default retains every request (the ring is small
+    /// and bounded), so `OP_SLOW_RPCS` ranks the recent past even on a
+    /// healthy server.
+    pub slow_rpc_threshold: Duration,
+    /// Capacity of the slow-request ring (drop-oldest beyond this).
+    pub slow_rpc_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -89,7 +135,33 @@ impl Default for ServerConfig {
             max_connections: 64,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             read_timeout: Duration::from_millis(200),
+            instance: "mps".to_string(),
+            rpc_telemetry: true,
+            admin: true,
+            slow_rpc_threshold: Duration::ZERO,
+            slow_rpc_capacity: 256,
         }
+    }
+}
+
+/// State shared by the accept loop, every connection thread, and the
+/// admin plane: the live-connection count the readiness verdict is made
+/// from, the start instant uptime is measured from, and the
+/// slow-request ring `OP_SLOW_RPCS` drains.
+struct ServerShared {
+    config: ServerConfig,
+    service: Arc<dyn WireService>,
+    active: AtomicUsize,
+    started: Instant,
+    slow: SlowRpcRing,
+}
+
+impl std::fmt::Debug for ServerShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerShared")
+            .field("config", &self.config)
+            .field("active", &self.active)
+            .finish_non_exhaustive()
     }
 }
 
@@ -117,9 +189,16 @@ impl WireServer {
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(ServerShared {
+            active: AtomicUsize::new(0),
+            started: Instant::now(),
+            slow: SlowRpcRing::new(config.slow_rpc_capacity, config.slow_rpc_threshold),
+            service,
+            config,
+        });
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
-            thread::spawn(move || accept_loop(&listener, &service, &config, &shutdown))
+            thread::spawn(move || accept_loop(&listener, &shared, &shutdown))
         };
         Ok(WireServer {
             addr: local,
@@ -165,36 +244,29 @@ impl Drop for WireServer {
     }
 }
 
-/// Decrements the live-connection gauge when a connection thread exits,
+/// Decrements the live-connection count when a connection thread exits,
 /// however it exits.
-struct ConnGuard(Arc<AtomicUsize>);
+struct ConnGuard(Arc<ServerShared>);
 
 impl Drop for ConnGuard {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    service: &Arc<dyn WireService>,
-    config: &ServerConfig,
-    shutdown: &Arc<AtomicBool>,
-) {
-    let active = Arc::new(AtomicUsize::new(0));
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>, shutdown: &Arc<AtomicBool>) {
     let workers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let slot = active.fetch_add(1, Ordering::SeqCst) + 1;
-                let guard = ConnGuard(Arc::clone(&active));
-                let shed = slot > config.max_connections;
-                let service = Arc::clone(service);
-                let config = config.clone();
+                let slot = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+                let guard = ConnGuard(Arc::clone(shared));
+                let shed = slot > shared.config.max_connections;
+                let shared = Arc::clone(shared);
                 let shutdown = Arc::clone(shutdown);
                 let handle = thread::spawn(move || {
                     let _guard = guard;
-                    serve_connection(stream, shed, &*service, &config, &shutdown);
+                    serve_connection(stream, shed, &shared, &shutdown);
                 });
                 if let Ok(mut workers) = workers.lock() {
                     workers.retain(|w| !w.is_finished());
@@ -219,11 +291,14 @@ fn accept_loop(
 fn serve_connection(
     mut stream: TcpStream,
     shed: bool,
-    service: &dyn WireService,
-    config: &ServerConfig,
+    shared: &ServerShared,
     shutdown: &AtomicBool,
 ) {
-    let shared = telemetry();
+    let counters = telemetry();
+    // Per-connection handle cache: the hot path pays the registry's
+    // name+label lookup once per (connection, opcode), not per request.
+    let mut seconds_cache: [Option<Histogram>; 256] = std::array::from_fn(|_| None);
+    let config = &shared.config;
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_nodelay(true);
 
@@ -235,12 +310,12 @@ fn serve_connection(
     };
     let requested = hello.payload.first().copied().unwrap_or(0);
     let status = if shed {
-        shared.server_shed.inc();
+        counters.server_shed.inc();
         HELLO_SHED
     } else if requested != crate::frame::PROTOCOL_VERSION {
         HELLO_BAD_VERSION
     } else {
-        shared.server_connections.inc();
+        counters.server_connections.inc();
         HELLO_OK
     };
     let ack = Frame::new(
@@ -264,29 +339,140 @@ fn serve_connection(
         }
         let response = match RequestEnvelope::decode(&frame.payload) {
             Ok(request) => {
-                shared.server_requests.inc();
+                counters.server_requests.inc();
+                let started = Instant::now();
+                let label = opcode_label(&*shared.service, request.opcode);
                 if request.opcode == OP_SHUTDOWN {
                     let response = ResponseEnvelope::ok(request.correlation, Vec::new());
+                    finish_rpc(
+                        shared,
+                        &mut seconds_cache,
+                        request.opcode,
+                        &label,
+                        started.elapsed(),
+                        STATUS_OK,
+                    );
                     write_response(&mut stream, &response);
                     shutdown.store(true, Ordering::SeqCst);
                     return;
                 }
-                match service.handle(request.opcode, &request.headers, &request.body) {
-                    Ok(body) => ResponseEnvelope::ok(request.correlation, body),
+                let result = if request.opcode >= ADMIN_OPCODE_MIN {
+                    handle_admin(shared, request.opcode, &request.body)
+                } else {
+                    shared
+                        .service
+                        .handle(request.opcode, &request.headers, &request.body)
+                };
+                let (response, status) = match result {
+                    Ok(body) => (ResponseEnvelope::ok(request.correlation, body), STATUS_OK),
                     Err(err) => {
-                        shared.server_errors.inc();
-                        ResponseEnvelope::error(request.correlation, err.code, err.payload)
+                        counters.server_errors.inc();
+                        let code = err.code;
+                        (
+                            ResponseEnvelope::error(request.correlation, err.code, err.payload),
+                            code,
+                        )
                     }
-                }
+                };
+                finish_rpc(
+                    shared,
+                    &mut seconds_cache,
+                    request.opcode,
+                    &label,
+                    started.elapsed(),
+                    status,
+                );
+                response
             }
             Err(err) => {
-                shared.server_errors.inc();
+                counters.server_errors.inc();
+                if config.rpc_telemetry {
+                    rpc_errors("invalid", STATUS_BAD_REQUEST).inc();
+                }
                 ResponseEnvelope::error(0, STATUS_BAD_REQUEST, err.to_string().into_bytes())
             }
         };
         if !write_response(&mut stream, &response) {
             return;
         }
+    }
+}
+
+/// The `opcode` label for the per-RPC series: the admin mnemonic, the
+/// service's mnemonic, or the decimal opcode.
+fn opcode_label(service: &dyn WireService, opcode: u8) -> Cow<'static, str> {
+    if let Some(name) = admin_opcode_name(opcode) {
+        return Cow::Borrowed(name);
+    }
+    match service.opcode_name(opcode) {
+        Some(name) => Cow::Borrowed(name),
+        None => Cow::Owned(opcode.to_string()),
+    }
+}
+
+/// Completes one request's telemetry: latency histogram, error counter
+/// (non-OK statuses only), and the slow-request ring.
+fn finish_rpc(
+    shared: &ServerShared,
+    seconds_cache: &mut [Option<Histogram>; 256],
+    opcode: u8,
+    label: &str,
+    elapsed: Duration,
+    status: u8,
+) {
+    if shared.config.rpc_telemetry {
+        seconds_cache[opcode as usize]
+            .get_or_insert_with(|| rpc_seconds(label))
+            .observe(elapsed.as_secs_f64());
+        if status != STATUS_OK {
+            rpc_errors(label, status).inc();
+        }
+    }
+    shared.slow.observe(opcode, label, elapsed, status);
+}
+
+/// Serves one admin-band request (see [`crate::admin`]).
+fn handle_admin(shared: &ServerShared, opcode: u8, body: &[u8]) -> Result<Vec<u8>, ServiceError> {
+    if !shared.config.admin {
+        return Err(ServiceError::msg(
+            STATUS_BAD_REQUEST,
+            "admin opcodes are disabled on this server",
+        ));
+    }
+    match opcode {
+        OP_METRICS => Ok(Registry::global().render_text().into_bytes()),
+        OP_HEALTH => {
+            let active = shared.active.load(Ordering::SeqCst);
+            let ready = active < shared.config.max_connections;
+            Ok(health_json(
+                &shared.config.instance,
+                shared.service.role(),
+                ready,
+                active,
+                shared.config.max_connections,
+                shared.started.elapsed(),
+            )
+            .into_bytes())
+        }
+        OP_FLIGHT_DRAIN => {
+            let recorder = FlightRecorder::global();
+            let jsonl = recorder.export_jsonl();
+            if body.first() == Some(&1) {
+                recorder.clear();
+            }
+            Ok(jsonl.into_bytes())
+        }
+        OP_SLOW_RPCS => {
+            let k = match body.first().copied() {
+                None | Some(0) => 10,
+                Some(k) => k as usize,
+            };
+            Ok(shared.slow.to_json(k).into_bytes())
+        }
+        other => Err(ServiceError::msg(
+            STATUS_BAD_REQUEST,
+            &format!("unknown admin opcode {other}"),
+        )),
     }
 }
 
@@ -364,6 +550,14 @@ mod tests {
             out.push(headers.len() as u8);
             Ok(out)
         }
+
+        fn role(&self) -> &'static str {
+            "echo"
+        }
+
+        fn opcode_name(&self, opcode: u8) -> Option<&'static str> {
+            (opcode == 3).then_some("ECHO")
+        }
     }
 
     fn start(config: ServerConfig) -> WireServer {
@@ -424,6 +618,158 @@ mod tests {
         // join returns promptly because the shutdown flag is set.
         server.join();
         assert!(WireConn::connect(addr, &ClientConfig::default()).is_err());
+    }
+
+    #[test]
+    fn metrics_opcode_returns_prometheus_text() {
+        let mut server = start(ServerConfig::default());
+        let mut conn = WireConn::connect(server.local_addr(), &ClientConfig::default()).unwrap();
+        conn.call(3, &[], b"warm").unwrap();
+        let body = conn.call(OP_METRICS, &[], b"").unwrap();
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("# TYPE net_server_requests_total counter"));
+        assert!(text.contains("net_server_rpc_seconds_bucket{"), "{text}");
+        assert!(text.contains("le=\"+Inf\""), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_opcode_reports_identity_and_readiness() {
+        let mut server = start(ServerConfig {
+            instance: "probe-1".to_string(),
+            ..ServerConfig::default()
+        });
+        let mut conn = WireConn::connect(server.local_addr(), &ClientConfig::default()).unwrap();
+        let body = conn.call(OP_HEALTH, &[], b"").unwrap();
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("\"instance\":\"probe-1\""), "{text}");
+        assert!(text.contains("\"role\":\"echo\""), "{text}");
+        assert!(text.contains("\"ready\":true"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_rpcs_opcode_ranks_the_retained_window() {
+        let mut server = start(ServerConfig::default());
+        let mut conn = WireConn::connect(server.local_addr(), &ClientConfig::default()).unwrap();
+        conn.call(3, &[], b"one").unwrap();
+        let _ = conn.call(9, &[], b"");
+        let body = conn.call(OP_SLOW_RPCS, &[], &[5]).unwrap();
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("\"slow\":[{"), "{text}");
+        assert!(text.contains("\"name\":\"ECHO\""), "named opcode: {text}");
+        assert!(text.contains("\"name\":\"9\""), "decimal fallback: {text}");
+        assert!(text.contains("\"status\":42"), "error status kept: {text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn flight_drain_opcode_exports_and_optionally_clears() {
+        use mps_telemetry::trace::{Hop, SpanRecord, TraceId};
+        let mut server = start(ServerConfig::default());
+        let mut conn = WireConn::connect(server.local_addr(), &ClientConfig::default()).unwrap();
+        let trace = TraceId::from_raw(0xfeed_beef_0042);
+        FlightRecorder::global().record(SpanRecord::new(trace, Hop::Sensed, 7));
+        // Peek (empty body) keeps the ring intact …
+        let peek = String::from_utf8(conn.call(OP_FLIGHT_DRAIN, &[], b"").unwrap()).unwrap();
+        assert!(peek.contains(&format!("{trace}")), "{peek}");
+        // … drain (body = [1]) returns the spans and clears the ring.
+        let drain = String::from_utf8(conn.call(OP_FLIGHT_DRAIN, &[], &[1]).unwrap()).unwrap();
+        assert!(drain.contains(&format!("{trace}")));
+        let after = String::from_utf8(conn.call(OP_FLIGHT_DRAIN, &[], b"").unwrap()).unwrap();
+        assert!(!after.contains(&format!("{trace}")), "{after}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn admin_can_be_disabled() {
+        let mut server = start(ServerConfig {
+            admin: false,
+            ..ServerConfig::default()
+        });
+        let mut conn = WireConn::connect(server.local_addr(), &ClientConfig::default()).unwrap();
+        let err = conn.call(OP_METRICS, &[], b"").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::client::NetError::Remote {
+                code: STATUS_BAD_REQUEST,
+                ..
+            }
+        ));
+        // Service opcodes still work.
+        assert_eq!(conn.call(3, &[], b"up").unwrap(), b"up\x00");
+        server.shutdown();
+    }
+
+    #[test]
+    fn per_rpc_series_record_latency_and_errors() {
+        let registry = mps_telemetry::Registry::global();
+        let hist_before = registry
+            .histogram_count("net_server_rpc_seconds")
+            .unwrap_or(0);
+        let err_before = registry
+            .counter_value_labeled(
+                "net_server_rpc_errors_total",
+                &[("code", "42"), ("opcode", "9")],
+            )
+            .unwrap_or(0);
+        let mut server = start(ServerConfig::default());
+        let mut conn = WireConn::connect(server.local_addr(), &ClientConfig::default()).unwrap();
+        conn.call(3, &[], b"tick").unwrap();
+        let _ = conn.call(9, &[], b"");
+        let hist_after = registry.histogram_count("net_server_rpc_seconds").unwrap();
+        let err_after = registry
+            .counter_value_labeled(
+                "net_server_rpc_errors_total",
+                &[("code", "42"), ("opcode", "9")],
+            )
+            .unwrap();
+        assert!(hist_after >= hist_before + 2, "both RPCs timed");
+        assert!(err_after > err_before, "error counted under opcode+code");
+        server.shutdown();
+    }
+
+    #[derive(Debug)]
+    struct Quiet;
+
+    impl WireService for Quiet {
+        fn handle(
+            &self,
+            _opcode: u8,
+            _headers: &[(String, String)],
+            body: &[u8],
+        ) -> Result<Vec<u8>, ServiceError> {
+            Ok(body.to_vec())
+        }
+
+        fn opcode_name(&self, opcode: u8) -> Option<&'static str> {
+            (opcode == 7).then_some("QUIETECHO")
+        }
+    }
+
+    #[test]
+    fn rpc_telemetry_can_be_disabled() {
+        let mut server = WireServer::bind(
+            "127.0.0.1:0",
+            Arc::new(Quiet),
+            ServerConfig {
+                rpc_telemetry: false,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut conn = WireConn::connect(server.local_addr(), &ClientConfig::default()).unwrap();
+        conn.call(7, &[], b"quiet").unwrap();
+        // The QUIETECHO label is unique to this test, so its absence from
+        // the registry proves the quiet path registered nothing.
+        let text = mps_telemetry::Registry::global().render_text();
+        assert!(!text.contains("QUIETECHO"), "no per-RPC series registered");
+        // The slow ring still works: it feeds OP_SLOW_RPCS, not the registry.
+        let body = conn.call(OP_SLOW_RPCS, &[], b"").unwrap();
+        assert!(String::from_utf8(body)
+            .unwrap()
+            .contains("\"name\":\"QUIETECHO\""));
+        server.shutdown();
     }
 
     #[test]

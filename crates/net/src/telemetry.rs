@@ -1,7 +1,44 @@
 //! Shared `net_*` series in the process-wide telemetry registry.
 
-use mps_telemetry::{Counter, Histogram, Registry};
+use mps_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::sync::OnceLock;
+
+/// Per-opcode RPC latency buckets: `exponential_buckets(1e-5, 4.0, 12)`,
+/// precomputed so every registration site shares one literal. 10µs
+/// catches loopback no-ops; ~42s catches a hung disk with room to spare.
+const RPC_SECONDS_BUCKETS: [f64; 12] = [
+    1e-5, 4e-5, 1.6e-4, 6.4e-4, 2.56e-3, 1.024e-2, 4.096e-2, 0.16384, 0.65536, 2.62144, 10.48576,
+    41.94304,
+];
+
+/// The per-opcode server-side service-latency histogram.
+pub(crate) fn rpc_seconds(opcode: &str) -> Histogram {
+    Registry::global().histogram_labeled(
+        "net_server_rpc_seconds",
+        &[("opcode", opcode)],
+        "Server-side RPC service latency in seconds, per opcode",
+        &RPC_SECONDS_BUCKETS,
+    )
+}
+
+/// The per-opcode, per-status-code server-side RPC error counter.
+pub(crate) fn rpc_errors(opcode: &str, code: u8) -> Counter {
+    Registry::global().counter_labeled(
+        "net_server_rpc_errors_total",
+        &[("code", &code.to_string()), ("opcode", opcode)],
+        "Server-side RPC errors, per opcode and response status code",
+    )
+}
+
+/// The pooled-client connection gauge for one `state` (`idle` or
+/// `in_use`); the two states sum to the pool's live connection count.
+pub(crate) fn pool_connections(state: &'static str) -> Gauge {
+    Registry::global().gauge_labeled(
+        "net_client_pool_connections",
+        &[("state", state)],
+        "Pooled client connections by state (idle in the pool vs checked out)",
+    )
+}
 
 /// Shared networking metric handles, under the workspace naming
 /// convention `net_<side>_<metric>`.
@@ -91,5 +128,34 @@ mod tests {
             .counter_value("net_client_requests_total")
             .is_some());
         assert!(registry.counter_value("net_frames_corrupt_total").is_some());
+    }
+
+    #[test]
+    fn rpc_series_register_per_opcode_children() {
+        rpc_seconds("PUBLISH").observe(0.002);
+        rpc_errors("PUBLISH", 21).inc();
+        let registry = Registry::global();
+        assert!(registry.histogram_count("net_server_rpc_seconds").unwrap() >= 1);
+        assert!(
+            registry
+                .counter_value_labeled(
+                    "net_server_rpc_errors_total",
+                    &[("code", "21"), ("opcode", "PUBLISH")],
+                )
+                .unwrap()
+                >= 1
+        );
+    }
+
+    #[test]
+    fn pool_gauge_states_share_one_series() {
+        pool_connections("idle").add(2);
+        pool_connections("in_use").add(1);
+        let total = Registry::global()
+            .gauge_value("net_client_pool_connections")
+            .unwrap();
+        assert!(total >= 3);
+        pool_connections("idle").sub(2);
+        pool_connections("in_use").sub(1);
     }
 }

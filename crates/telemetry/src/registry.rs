@@ -300,6 +300,33 @@ impl Registry {
         }
     }
 
+    /// The current value of the gauge named `name`, if one is
+    /// registered. A labeled gauge reports the sum across its children
+    /// (idle + in_use pool connections add up to the pool size), so
+    /// health checks on the total survive the introduction of a label.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        let entries = self.lock();
+        let entry = entries.get(name)?;
+        let mut total = 0i64;
+        for metric in entry.series.values() {
+            match metric {
+                Metric::Gauge(g) => total += g.get(),
+                _ => return None,
+            }
+        }
+        Some(total)
+    }
+
+    /// The current value of the gauge child of `name` with exactly the
+    /// given label set, if registered.
+    pub fn gauge_value_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        let suffix = Self::label_suffix(labels);
+        match self.lock().get(name)?.series.get(&suffix)? {
+            Metric::Gauge(g) => Some(g.get()),
+            _ => None,
+        }
+    }
+
     /// The observation count of the histogram named `name`, if one is
     /// registered (summed across labeled children).
     pub fn histogram_count(&self, name: &str) -> Option<u64> {
@@ -440,6 +467,27 @@ mod tests {
     #[should_panic(expected = "duplicate label name")]
     fn duplicate_label_name_panics() {
         Registry::new().counter_labeled("ok_total", &[("a", "1"), ("a", "2")], "x");
+    }
+
+    #[test]
+    fn gauge_values_sum_across_children() {
+        let r = Registry::new();
+        r.gauge_labeled("pool_connections", &[("state", "idle")], "p")
+            .set(3);
+        r.gauge_labeled("pool_connections", &[("state", "in_use")], "p")
+            .set(2);
+        assert_eq!(r.gauge_value("pool_connections"), Some(5));
+        assert_eq!(
+            r.gauge_value_labeled("pool_connections", &[("state", "idle")]),
+            Some(3)
+        );
+        assert_eq!(
+            r.gauge_value_labeled("pool_connections", &[("state", "busy")]),
+            None
+        );
+        r.counter("c_total", "c");
+        assert_eq!(r.gauge_value("c_total"), None);
+        assert_eq!(r.gauge_value("missing"), None);
     }
 
     #[test]

@@ -1,10 +1,56 @@
 //! Offline queries over recorded spans: trace reconstruction, per-hop
 //! latency waterfalls and loss attribution.
 
-use super::{Hop, Outcome, SpanRecord, TraceId};
+use super::{Hop, Outcome, SpanId, SpanRecord, TraceId};
 use crate::Histogram;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Merges per-process flight-recorder drains into one span set that
+/// [`TraceIndex`] can reconstruct across process boundaries.
+///
+/// Every process assigns [`SpanId`]s from its own sequence, so drains
+/// from two daemons collide on raw ids. The merge tags each instance's
+/// ids (and parent links) with a distinct high-bits offset
+/// (`(index + 1) << 48` — recorder sequences stay far below 2^48), adds
+/// an `instance` attribute carrying the process name, and sorts the
+/// union by `(start_ms, instance order, span id)` so per-instance
+/// recording order is preserved and ties go to the earlier-listed
+/// instance. List the driver first: its `sensed` roots then stay the
+/// first span of each merged trace.
+///
+/// # Examples
+///
+/// ```
+/// use mps_telemetry::trace::{merge_instance_spans, Hop, Outcome, SpanRecord, TraceId, TraceIndex};
+///
+/// let trace = TraceId::for_observation(4, 0);
+/// let merged = merge_instance_spans(vec![
+///     ("driver".to_owned(), vec![SpanRecord::new(trace, Hop::Sensed, 0)]),
+///     ("docstored".to_owned(), vec![
+///         SpanRecord::new(trace, Hop::DocstoreWrite, 40).outcome(Outcome::Ok),
+///     ]),
+/// ]);
+/// let index = TraceIndex::from_spans(merged);
+/// assert!(index.unterminated().is_empty(), "stitched across the boundary");
+/// assert_eq!(index.get(trace).unwrap().root().unwrap().hop, Hop::Sensed);
+/// ```
+pub fn merge_instance_spans(instances: Vec<(String, Vec<SpanRecord>)>) -> Vec<SpanRecord> {
+    let mut merged: Vec<(i64, usize, u64, SpanRecord)> = Vec::new();
+    for (index, (name, spans)) in instances.into_iter().enumerate() {
+        let offset = (index as u64 + 1) << 48;
+        for mut span in spans {
+            span.span = SpanId::from_raw(offset + span.span.raw());
+            if let Some(parent) = span.parent {
+                span.parent = Some(SpanId::from_raw(offset + parent.raw()));
+            }
+            span.attrs.push(("instance", name.clone()));
+            merged.push((span.start_ms, index, span.span.raw(), span));
+        }
+    }
+    merged.sort_by_key(|a| (a.0, a.1, a.2));
+    merged.into_iter().map(|(_, _, _, span)| span).collect()
+}
 
 /// One reconstructed trace: every retained span of one observation,
 /// sorted by recording order.
@@ -397,6 +443,52 @@ mod tests {
         let rendered = loss.render();
         assert!(rendered.contains("dead_lettered"));
         assert!(rendered.contains("total primary observations lost: 1"));
+    }
+
+    #[test]
+    fn merge_remaps_colliding_span_ids_and_tags_instances() {
+        let trace = TraceId::from_raw(5);
+        // Both processes used raw span ids 1 and 2.
+        let driver = vec![
+            {
+                let mut s = SpanRecord::new(trace, Hop::Sensed, 0);
+                s.span = SpanId::from_raw(1);
+                s
+            },
+            {
+                let mut s =
+                    SpanRecord::new(trace, Hop::LinkTransmit, 10).parent(Some(SpanId::from_raw(1)));
+                s.span = SpanId::from_raw(2);
+                s
+            },
+        ];
+        let store = vec![{
+            let mut s = SpanRecord::new(trace, Hop::DocstoreWrite, 10).outcome(Outcome::Ok);
+            s.span = SpanId::from_raw(1);
+            s
+        }];
+        let merged = merge_instance_spans(vec![
+            ("driver".to_owned(), driver),
+            ("docstored".to_owned(), store),
+        ]);
+        assert_eq!(merged.len(), 3);
+        // Ids are disjoint after the merge and parents moved with them.
+        let mut ids: Vec<u64> = merged.iter().map(|s| s.span.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3, "no id collision survives the merge");
+        assert_eq!(merged[1].parent, Some(merged[0].span));
+        // Every span knows where it came from.
+        assert_eq!(merged[0].attrs, vec![("instance", "driver".to_owned())]);
+        assert_eq!(merged[2].attrs, vec![("instance", "docstored".to_owned())]);
+        // Tie at start_ms=10 goes to the earlier-listed instance.
+        assert_eq!(merged[1].hop, Hop::LinkTransmit);
+        assert_eq!(merged[2].hop, Hop::DocstoreWrite);
+        // The merged set reconstructs as one continuous trace.
+        let index = TraceIndex::from_spans(merged);
+        let tree = index.get(trace).expect("stitched");
+        assert_eq!(tree.root().expect("rooted").hop, Hop::Sensed);
+        assert_eq!(tree.terminal().expect("terminated").hop, Hop::DocstoreWrite);
     }
 
     #[test]

@@ -51,7 +51,9 @@ mod ids;
 mod recorder;
 mod span;
 
-pub use analysis::{LatencyWaterfall, LossAttribution, TraceIndex, TraceTree};
+pub use analysis::{
+    merge_instance_spans, LatencyWaterfall, LossAttribution, TraceIndex, TraceTree,
+};
 pub use ids::{encode_contexts, parse_contexts, SpanId, TraceContext, TraceId};
 pub use recorder::{FlightRecorder, DEFAULT_CAPACITY};
 pub use span::{Hop, Outcome, SpanRecord};

@@ -315,6 +315,311 @@ impl SpanRecord {
         out.push('}');
         out
     }
+
+    /// Parses one JSON line previously produced by
+    /// [`SpanRecord::to_jsonl`] — the inverse the fleet observability
+    /// plane needs to rebuild traces from flight-recorder drains that
+    /// crossed a process boundary as text.
+    ///
+    /// Accepts any key order and skips unknown keys, so a drain from a
+    /// newer process still parses. Returns `None` on malformed input or
+    /// when a required field (`trace`, `hop`, `start_ms`, `end_ms`,
+    /// `outcome`) is missing. Attribute keys are interned: well-known
+    /// keys map to their static spelling and a novel key leaks one small
+    /// allocation, bounded in practice by the fixed attr vocabulary of
+    /// the emitting process.
+    pub fn from_jsonl(line: &str) -> Option<Self> {
+        let mut p = JsonCursor::new(line.trim());
+        p.expect(b'{')?;
+        let mut trace = None;
+        let mut span = SpanId::from_raw(0);
+        let mut parent = None;
+        let mut hop = None;
+        let mut start_ms = None;
+        let mut end_ms = None;
+        let mut outcome = None;
+        let mut duplicate = false;
+        let mut links = Vec::new();
+        let mut attrs = Vec::new();
+        if !p.eat(b'}') {
+            loop {
+                let key = p.parse_string()?;
+                p.expect(b':')?;
+                match key.as_str() {
+                    "trace" => trace = Some(p.parse_string()?.parse::<TraceId>().ok()?),
+                    "span" => span = SpanId::from_raw(p.parse_u64()?),
+                    "parent" => parent = Some(SpanId::from_raw(p.parse_u64()?)),
+                    "hop" => {
+                        let name = p.parse_string()?;
+                        hop = Some(Hop::ALL.into_iter().find(|h| h.as_str() == name)?);
+                    }
+                    "start_ms" => start_ms = Some(p.parse_i64()?),
+                    "end_ms" => end_ms = Some(p.parse_i64()?),
+                    "outcome" => {
+                        let name = p.parse_string()?;
+                        outcome = Some(Outcome::ALL.into_iter().find(|o| o.as_str() == name)?);
+                    }
+                    "duplicate" => duplicate = p.parse_bool()?,
+                    "links" => {
+                        p.expect(b'[')?;
+                        if !p.eat(b']') {
+                            loop {
+                                links.push(p.parse_string()?.parse::<TraceId>().ok()?);
+                                if !p.eat(b',') {
+                                    break;
+                                }
+                            }
+                            p.expect(b']')?;
+                        }
+                    }
+                    "attrs" => {
+                        p.expect(b'{')?;
+                        if !p.eat(b'}') {
+                            loop {
+                                let attr_key = p.parse_string()?;
+                                p.expect(b':')?;
+                                let value = p.parse_string()?;
+                                attrs.push((intern_attr_key(&attr_key), value));
+                                if !p.eat(b',') {
+                                    break;
+                                }
+                            }
+                            p.expect(b'}')?;
+                        }
+                    }
+                    _ => p.skip_value(0)?,
+                }
+                if !p.eat(b',') {
+                    break;
+                }
+            }
+            p.expect(b'}')?;
+        }
+        if !p.at_end() {
+            return None;
+        }
+        Some(Self {
+            trace: trace?,
+            span,
+            parent,
+            hop: hop?,
+            start_ms: start_ms?,
+            end_ms: end_ms?,
+            outcome: outcome?,
+            duplicate,
+            links,
+            attrs,
+        })
+    }
+}
+
+/// Returns the static spelling of a span attribute key, leaking one
+/// small allocation for a key outside the workspace vocabulary (the
+/// `attrs` field stores `&'static str` keys so recording stays
+/// allocation-light on the hot path).
+fn intern_attr_key(key: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        "attempt",
+        "collection",
+        "copies",
+        "device",
+        "dir",
+        "instance",
+        "members",
+        "opcode",
+        "queue",
+        "reason",
+        "records_replayed",
+        "routed",
+        "snapshot_lsn",
+        "torn_tail",
+        "window",
+    ];
+    match KNOWN.iter().find(|k| **k == key) {
+        Some(k) => k,
+        None => Box::leak(key.to_owned().into_boxed_str()),
+    }
+}
+
+/// A minimal single-line JSON reader for [`SpanRecord::from_jsonl`].
+/// Only the subset `to_jsonl` emits is fully supported; other values
+/// can at least be skipped.
+struct JsonCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonCursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        self.eat(b).then_some(())
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.peek().is_none()
+    }
+
+    fn expect_literal(&mut self, lit: &str) -> Option<()> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn parse_string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            let c = *self.bytes.get(self.pos)?;
+            self.pos += 1;
+            match c {
+                b'"' => return String::from_utf8(out).ok(),
+                b'\\' => {
+                    let escape = *self.bytes.get(self.pos)?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(
+                                char::from_u32(code)?.encode_utf8(&mut buf).as_bytes(),
+                            );
+                        }
+                        _ => return None,
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn parse_u64(&mut self) -> Option<u64> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn parse_i64(&mut self) -> Option<i64> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn parse_bool(&mut self) -> Option<bool> {
+        match self.peek()? {
+            b't' => self.expect_literal("true").map(|()| true),
+            b'f' => self.expect_literal("false").map(|()| false),
+            _ => None,
+        }
+    }
+
+    /// Skips one value of any JSON type (for unknown keys). `depth`
+    /// bounds recursion so a hostile drain can't blow the stack.
+    fn skip_value(&mut self, depth: u32) -> Option<()> {
+        if depth > 32 {
+            return None;
+        }
+        match self.peek()? {
+            b'"' => {
+                self.parse_string()?;
+            }
+            b'{' => {
+                self.pos += 1;
+                if !self.eat(b'}') {
+                    loop {
+                        self.parse_string()?;
+                        self.expect(b':')?;
+                        self.skip_value(depth + 1)?;
+                        if !self.eat(b',') {
+                            break;
+                        }
+                    }
+                    self.expect(b'}')?;
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                if !self.eat(b']') {
+                    loop {
+                        self.skip_value(depth + 1)?;
+                        if !self.eat(b',') {
+                            break;
+                        }
+                    }
+                    self.expect(b']')?;
+                }
+            }
+            b't' => self.expect_literal("true")?,
+            b'f' => self.expect_literal("false")?,
+            b'n' => self.expect_literal("null")?,
+            _ => {
+                let start = self.pos;
+                while matches!(
+                    self.bytes.get(self.pos),
+                    Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                ) {
+                    self.pos += 1;
+                }
+                if self.pos == start {
+                    return None;
+                }
+            }
+        }
+        Some(())
+    }
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -403,6 +708,60 @@ mod tests {
              \"links\":[\"0000000000000001\"],\
              \"attrs\":{\"reason\":\"la\\\"te\\n\"}}"
         );
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_field() {
+        let span = SpanRecord::new(TraceId::from_raw(0xab), Hop::Quarantine, 120)
+            .started_at(60)
+            .outcome(Outcome::Quarantined)
+            .parent(Some(SpanId::from_raw(2)))
+            .duplicate(true)
+            .link(TraceId::from_raw(1))
+            .attr("reason", "la\"te\n");
+        let parsed = SpanRecord::from_jsonl(&span.to_jsonl()).expect("parses");
+        assert_eq!(parsed, span);
+    }
+
+    #[test]
+    fn jsonl_round_trips_the_minimal_span() {
+        let span = SpanRecord::new(TraceId::from_raw(1), Hop::Sensed, -5).outcome(Outcome::Ok);
+        let parsed = SpanRecord::from_jsonl(&span.to_jsonl()).expect("parses");
+        assert_eq!(parsed, span);
+    }
+
+    #[test]
+    fn from_jsonl_skips_unknown_keys() {
+        let line = "{\"trace\":\"00000000000000ab\",\"future\":[1,{\"x\":null}],\
+                    \"hop\":\"sensed\",\"start_ms\":0,\"end_ms\":3,\"outcome\":\"ok\"}";
+        let parsed = SpanRecord::from_jsonl(line).expect("parses");
+        assert_eq!(parsed.trace, TraceId::from_raw(0xab));
+        assert_eq!(parsed.hop, Hop::Sensed);
+        assert_eq!(parsed.end_ms, 3);
+    }
+
+    #[test]
+    fn from_jsonl_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            "{\"trace\":\"zz\",\"hop\":\"sensed\",\"start_ms\":0,\"end_ms\":0,\"outcome\":\"ok\"}",
+            "{\"trace\":\"00000000000000ab\",\"hop\":\"warp\",\"start_ms\":0,\"end_ms\":0,\"outcome\":\"ok\"}",
+            "{\"trace\":\"00000000000000ab\",\"hop\":\"sensed\",\"start_ms\":0,\"end_ms\":0}",
+            "{\"trace\":\"00000000000000ab\",\"hop\":\"sensed\",\"start_ms\":0,\"end_ms\":0,\"outcome\":\"ok\"}trailing",
+        ] {
+            assert!(SpanRecord::from_jsonl(bad).is_none(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn from_jsonl_decodes_unicode_escapes() {
+        let span = SpanRecord::new(TraceId::from_raw(7), Hop::Sensed, 0)
+            .outcome(Outcome::Ok)
+            .attr("reason", "tab\tbel\u{7}é");
+        let parsed = SpanRecord::from_jsonl(&span.to_jsonl()).expect("parses");
+        assert_eq!(parsed.attrs, span.attrs);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! [`WalConfig::telemetry`]: crate::WalConfig
 
-use mps_telemetry::{Counter, Registry};
+use mps_telemetry::{Counter, Gauge, Registry};
 use std::sync::OnceLock;
 
 /// Shared WAL metric handles.
@@ -20,6 +20,10 @@ pub(crate) struct WalTelemetry {
     pub(crate) recoveries: Counter,
     /// Recoveries that truncated a torn tail off the last segment.
     pub(crate) torn_tail_truncations: Counter,
+    /// Segment files (closed + active) across live `Wal` instances —
+    /// each instance contributes deltas and withdraws them on drop, so
+    /// the readiness probe sees compaction keeping the count bounded.
+    pub(crate) open_segments: Gauge,
 }
 
 /// The lazily-registered WAL metric set.
@@ -41,6 +45,10 @@ pub(crate) fn telemetry() -> &'static WalTelemetry {
                 "wal_torn_tail_truncations_total",
                 "Recoveries that truncated a torn tail off the last segment",
             ),
+            open_segments: registry.gauge(
+                "wal_open_segments",
+                "Segment files (closed + active) across live WAL instances",
+            ),
         }
     })
 }
@@ -54,11 +62,13 @@ mod tests {
         let t = telemetry();
         t.appends.add(0);
         let names = Registry::global().names();
+        t.open_segments.add(0);
         for name in [
             "wal_appends_total",
             "wal_bytes_written_total",
             "wal_recoveries_total",
             "wal_torn_tail_truncations_total",
+            "wal_open_segments",
         ] {
             assert!(names.iter().any(|n| n == name), "missing {name}");
         }

@@ -130,6 +130,9 @@ pub struct Wal {
     closed: Vec<ClosedSegment>,
     next_lsn: Lsn,
     snapshot_lsn: Lsn,
+    /// The segment count this instance last contributed to the
+    /// process-wide `wal_open_segments` gauge (withdrawn on drop).
+    gauge_segments: i64,
 }
 
 impl Wal {
@@ -285,7 +288,7 @@ impl Wal {
             emit_recovery_span(&dir, at_ms, &report, snapshot_lsn);
         }
 
-        let wal = Self {
+        let mut wal = Self {
             dir,
             config,
             active,
@@ -294,7 +297,9 @@ impl Wal {
             closed,
             next_lsn,
             snapshot_lsn,
+            gauge_segments: 0,
         };
+        wal.publish_segment_gauge();
         let recovered = Recovered {
             snapshot,
             snapshot_lsn,
@@ -412,6 +417,7 @@ impl Wal {
         }
         self.closed = kept;
         sync_dir(&self.dir);
+        self.publish_segment_gauge();
         if self.config.kill.dead() == Some(KillPoint::MidCompaction) {
             return Err(WalError::Killed(KillPoint::MidCompaction));
         }
@@ -478,7 +484,29 @@ impl Wal {
         self.active = file;
         self.active_start = self.next_lsn;
         self.active_bytes = 0;
+        self.publish_segment_gauge();
         Ok(())
+    }
+
+    /// Reconciles this instance's contribution to the process-wide
+    /// `wal_open_segments` gauge with its current segment count. Delta
+    /// accounting keeps the gauge correct with several live logs in one
+    /// process (broker and docstore each own one).
+    fn publish_segment_gauge(&mut self) {
+        if !self.config.telemetry {
+            return;
+        }
+        let now = self.segment_count() as i64;
+        telemetry().open_segments.add(now - self.gauge_segments);
+        self.gauge_segments = now;
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        if self.config.telemetry && self.gauge_segments != 0 {
+            telemetry().open_segments.sub(self.gauge_segments);
+        }
     }
 }
 
@@ -638,6 +666,36 @@ mod tests {
         let lsns: Vec<Lsn> = recovered.entries.iter().map(|(l, _)| *l).collect();
         assert_eq!(lsns, vec![25, 26]);
         assert_eq!(wal.next_lsn(), 27);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_segments_gauge_tracks_rolls_compaction_and_drop() {
+        let registry = mps_telemetry::Registry::global();
+        let gauge = |r: &mps_telemetry::Registry| r.gauge_value("wal_open_segments").unwrap_or(0);
+
+        let dir = temp_dir("gauge");
+        let config = WalConfig::default().segment_max_bytes(64);
+        let (mut wal, _) = Wal::open(&dir, config).unwrap();
+        wal.append_batch(&payloads(0..12)).unwrap();
+        for batch in 3..6u64 {
+            wal.append_batch(&payloads(batch * 4..batch * 4 + 4))
+                .unwrap();
+        }
+        assert!(wal.segment_count() > 1, "64-byte budget must roll");
+        // Other tests run in parallel against the same global gauge, so
+        // assert only on this instance's guaranteed contribution.
+        assert!(gauge(registry) >= wal.segment_count() as i64);
+
+        wal.snapshot(b"covered").unwrap();
+        assert_eq!(wal.segment_count(), 1, "compaction reclaims segments");
+        let while_alive = gauge(registry);
+        assert!(while_alive >= 1);
+        drop(wal);
+        assert!(
+            gauge(registry) < while_alive,
+            "drop withdraws the instance's contribution"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,4 +1,4 @@
-//! CLI entry point: `cargo run -p xtask -- <lint|wal-inspect> [options]`.
+//! CLI entry point: `cargo run -p xtask -- <lint|wal-inspect|obs> [options]`.
 
 // A CLI's job is to print.
 #![allow(clippy::print_stdout)]
@@ -9,6 +9,7 @@ use std::process::ExitCode;
 const USAGE: &str = "\
 usage: cargo run -p xtask -- lint [options]
        cargo run -p xtask -- wal-inspect <log-dir>
+       cargo run -p xtask --features obs -- obs <name=host:port>... [options]
 
 lint: runs mps-lint, the workspace invariant checker (L001–L005).
 
@@ -20,6 +21,16 @@ options:
 
 wal-inspect: dumps and validates an mps-wal log directory without
 modifying it (torn tails are reported, not truncated).
+
+obs: scrapes the admin opcodes of every listed daemon and prints the
+fleet dashboard (merged metrics, stitched traces, loss attribution,
+slow RPCs, SLO burn). Needs the non-default `obs` cargo feature.
+
+obs options:
+  --slo-p99-ms <ms>     declared server RPC p99 budget (default 50)
+  --drain               clear each instance's flight recorder after export
+  --merged-metrics <p>  also write the instance-labelled merged scrape to <p>
+  --spans <path>        also write the merged span export (JSONL) to <p>
 
 exit status: 0 clean/healthy, 1 findings/unhealthy, 2 usage or config error
 ";
@@ -36,6 +47,9 @@ fn main() -> ExitCode {
     }
     if command == "wal-inspect" {
         return wal_inspect(args.collect());
+    }
+    if command == "obs" {
+        return obs(args.collect());
     }
     if command != "lint" {
         eprintln!("unknown command `{command}`\n");
@@ -96,6 +110,110 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// `obs <name=addr>...`: scrape the fleet and print the ops dashboard.
+#[cfg(feature = "obs")]
+fn obs(args: Vec<String>) -> ExitCode {
+    use mps_net::client::ClientConfig;
+    use mps_net::fleet::{Endpoint, FleetSnapshot};
+
+    let mut endpoints: Vec<Endpoint> = Vec::new();
+    let mut slo_p99_ms = 50.0f64;
+    let mut drain = false;
+    let mut merged_metrics_path: Option<PathBuf> = None;
+    let mut spans_path: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--drain" => drain = true,
+            "--slo-p99-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => slo_p99_ms = ms,
+                None => {
+                    eprintln!("--slo-p99-ms needs a number\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--merged-metrics" => match it.next() {
+                Some(p) => merged_metrics_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--merged-metrics needs a path\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--spans" => match it.next() {
+                Some(p) => spans_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--spans needs a path\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            spec => match Endpoint::parse(spec) {
+                Ok(endpoint) => endpoints.push(endpoint),
+                Err(e) => {
+                    eprintln!("{e}\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+        }
+    }
+    if endpoints.is_empty() {
+        eprintln!("obs needs at least one name=host:port endpoint\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let snapshot = FleetSnapshot::scrape(&endpoints, &ClientConfig::default(), drain);
+    print!("{}", snapshot.render_dashboard(slo_p99_ms));
+    if let Some(path) = merged_metrics_path {
+        if let Err(e) = std::fs::write(&path, snapshot.merged_metrics()) {
+            eprintln!(
+                "obs: cannot write merged metrics to {}: {e}",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = spans_path {
+        let mut jsonl = String::new();
+        for span in snapshot.merged_spans() {
+            jsonl.push_str(&span.to_jsonl());
+            jsonl.push('\n');
+        }
+        if let Err(e) = std::fs::write(&path, jsonl) {
+            eprintln!("obs: cannot write spans to {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    let healthy = snapshot
+        .instances
+        .iter()
+        .all(|i| i.error.is_none() && i.ready());
+    if healthy {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Without the `obs` cargo feature the command only explains how to get
+/// it — the default build must stay buildable from the lint-path crates
+/// alone.
+#[cfg(not(feature = "obs"))]
+fn obs(_args: Vec<String>) -> ExitCode {
+    eprintln!(
+        "the `obs` dashboard is feature-gated; rebuild with:\n\
+         \n    cargo run -p xtask --features obs -- obs <name=host:port>...\n"
+    );
+    ExitCode::from(2)
 }
 
 /// `wal-inspect <log-dir>`: read-only dump + health verdict of a log.
