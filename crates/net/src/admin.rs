@@ -25,10 +25,11 @@
 //! [`ServerConfig::admin`]: crate::server::ServerConfig::admin
 //! [`FlightRecorder`]: mps_telemetry::trace::FlightRecorder
 
+use crate::sync::Mutex;
 use mps_telemetry::trace::FlightRecorder;
 use mps_telemetry::Registry;
 use std::collections::VecDeque;
-use std::sync::{Mutex, PoisonError};
+use std::sync::PoisonError;
 use std::time::Duration;
 
 /// First opcode of the reserved admin band (`240..=255`). Opcodes below
@@ -333,6 +334,46 @@ mod tests {
         assert!(json.contains("\"slow\":[{"));
         assert!(json.contains("\"name\":\"GET\""));
         assert!(json.contains("\"status\":3"));
+    }
+
+    /// Real threads racing observe/top_k/dropped — the ThreadSanitizer
+    /// counterpart to the bounded loom model in `tests/loom.rs` (the CI
+    /// tsan job selects tests matching `concurrent`).
+    #[test]
+    fn slow_ring_concurrent_observe_keeps_sequences_unique() {
+        let ring = std::sync::Arc::new(SlowRpcRing::new(4, Duration::ZERO));
+        let writers: Vec<_> = (0..4u8)
+            .map(|tid| {
+                let ring = std::sync::Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        ring.observe(tid, "OP", Duration::from_micros(i + 1), 0);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let ring = std::sync::Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let top = ring.top_k(4);
+                    assert!(top.len() <= 4, "a read never tears past capacity");
+                    let _ = ring.dropped();
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        reader.join().unwrap();
+        // 200 admissions total: every sequence number was handed out
+        // exactly once, and retained + dropped accounts for all of them.
+        let top = ring.top_k(4);
+        let mut seqs: Vec<u64> = top.iter().map(|s| s.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), top.len(), "sequence numbers are unique");
+        assert_eq!(ring.dropped() + top.len() as u64, 200);
     }
 
     #[test]

@@ -771,4 +771,48 @@ mod tests {
             assert_eq!(decode_broker_error(encoded.code, &encoded.payload), case);
         }
     }
+
+    /// Every broker opcode, by name: the dispatcher knows its mnemonic
+    /// and no two opcodes share a value. mps-lint L006 additionally
+    /// cross-checks this table against `docs/WIRE_PROTOCOL.md` §5.
+    #[test]
+    fn opcode_table_is_complete_unique_and_named() {
+        let broker: Arc<dyn BrokerTransport> = Arc::new(Broker::new());
+        let service = BrokerService::new(broker);
+        let table: &[(u8, &str)] = &[
+            (op::DECLARE_EXCHANGE, "DECLARE_EXCHANGE"),
+            (op::DECLARE_QUEUE, "DECLARE_QUEUE"),
+            (
+                op::DECLARE_QUEUE_WITH_CAPACITY,
+                "DECLARE_QUEUE_WITH_CAPACITY",
+            ),
+            (op::EXCHANGE_EXISTS, "EXCHANGE_EXISTS"),
+            (op::QUEUE_EXISTS, "QUEUE_EXISTS"),
+            (op::BIND_QUEUE, "BIND_QUEUE"),
+            (op::BIND_EXCHANGE, "BIND_EXCHANGE"),
+            (op::UNBIND_QUEUE, "UNBIND_QUEUE"),
+            (op::DELETE_EXCHANGE, "DELETE_EXCHANGE"),
+            (op::DELETE_QUEUE, "DELETE_QUEUE"),
+            (op::PURGE_QUEUE, "PURGE_QUEUE"),
+            (op::CONFIGURE_DEAD_LETTER, "CONFIGURE_DEAD_LETTER"),
+            (op::DEAD_LETTER_POLICY, "DEAD_LETTER_POLICY"),
+            (op::QUEUE_DEPTH, "QUEUE_DEPTH"),
+            (op::PUBLISH, "PUBLISH"),
+            (op::PUBLISH_MESSAGE, "PUBLISH_MESSAGE"),
+            (op::CONSUME, "CONSUME"),
+            (op::ACK, "ACK"),
+            (op::NACK, "NACK"),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for &(opcode, name) in table {
+            assert_eq!(
+                service.opcode_name(opcode),
+                Some(name),
+                "mnemonic of {name}"
+            );
+            assert!(seen.insert(opcode), "opcode value of {name} collides");
+            assert!((1..=19).contains(&opcode), "{name} outside the broker band");
+        }
+        assert_eq!(seen.len(), 19, "every §5 opcode is present");
+    }
 }

@@ -16,7 +16,6 @@ use crate::wire::WireError;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Errors surfaced by wire clients.
@@ -268,6 +267,71 @@ impl WireConn {
     }
 }
 
+/// A bounded LIFO stack of idle resources behind one mutex.
+///
+/// This is the concurrency kernel of [`ClientPool`], factored out so
+/// the loom model in `tests/loom.rs` can exhaustively check the
+/// checkout/return interleavings with a cheap payload (`u32`) instead
+/// of a live socket. Its `Mutex` comes from [`crate::sync`], so a
+/// `RUSTFLAGS="--cfg loom"` build swaps in the modelled version.
+///
+/// Invariants the model asserts: the stack never holds more than
+/// `max_idle` items, a popped item is owned by exactly one thread, and
+/// no item is lost unless `push` reported `false`.
+pub struct IdleStack<T> {
+    max_idle: usize,
+    idle: crate::sync::Mutex<Vec<T>>,
+}
+
+impl<T> IdleStack<T> {
+    /// An empty stack parking at most `max_idle` items.
+    #[must_use]
+    pub fn new(max_idle: usize) -> IdleStack<T> {
+        IdleStack {
+            max_idle,
+            idle: crate::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes the most recently parked item, if any.
+    pub fn pop(&self) -> Option<T> {
+        self.idle.lock().ok().and_then(|mut idle| idle.pop())
+    }
+
+    /// Parks `item` unless the stack is full (or its lock is poisoned);
+    /// returns whether the item was retained.
+    pub fn push(&self, item: T) -> bool {
+        if let Ok(mut idle) = self.idle.lock() {
+            if idle.len() < self.max_idle {
+                idle.push(item);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// How many items are currently parked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.idle.lock().map(|idle| idle.len()).unwrap_or(0)
+    }
+
+    /// Whether no items are parked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> fmt::Debug for IdleStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IdleStack")
+            .field("max_idle", &self.max_idle)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
 /// A thread-safe pool of [`WireConn`]s to one server address.
 ///
 /// `call` borrows an idle connection (dialling if none is free), retries
@@ -276,15 +340,14 @@ impl WireConn {
 pub struct ClientPool {
     addr: String,
     config: ClientConfig,
-    idle: Mutex<Vec<WireConn>>,
+    idle: IdleStack<WireConn>,
 }
 
 impl fmt::Debug for ClientPool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let idle = self.idle.lock().map(|pool| pool.len()).unwrap_or(0);
         f.debug_struct("ClientPool")
             .field("addr", &self.addr)
-            .field("idle", &idle)
+            .field("idle", &self.idle.len())
             .finish()
     }
 }
@@ -293,10 +356,11 @@ impl ClientPool {
     /// Creates a pool dialling `addr` (e.g. `"127.0.0.1:7401"`) lazily.
     #[must_use]
     pub fn new(addr: impl Into<String>, config: ClientConfig) -> ClientPool {
+        let max_idle = config.max_idle;
         ClientPool {
             addr: addr.into(),
             config,
-            idle: Mutex::new(Vec::new()),
+            idle: IdleStack::new(max_idle),
         }
     }
 
@@ -307,12 +371,10 @@ impl ClientPool {
     }
 
     fn checkout(&self) -> Result<WireConn, NetError> {
-        if let Ok(mut idle) = self.idle.lock() {
-            if let Some(conn) = idle.pop() {
-                pool_connections("idle").sub(1);
-                pool_connections("in_use").add(1);
-                return Ok(conn);
-            }
+        if let Some(conn) = self.idle.pop() {
+            pool_connections("idle").sub(1);
+            pool_connections("in_use").add(1);
+            return Ok(conn);
         }
         telemetry().client_reconnects.inc();
         let conn = WireConn::connect(&*self.addr, &self.config)?;
@@ -322,11 +384,8 @@ impl ClientPool {
 
     fn checkin(&self, conn: WireConn) {
         pool_connections("in_use").sub(1);
-        if let Ok(mut idle) = self.idle.lock() {
-            if idle.len() < self.config.max_idle {
-                idle.push(conn);
-                pool_connections("idle").add(1);
-            }
+        if self.idle.push(conn) {
+            pool_connections("idle").add(1);
         }
     }
 
@@ -409,8 +468,7 @@ impl ClientPool {
 
 impl Drop for ClientPool {
     fn drop(&mut self) {
-        let idle = self.idle.get_mut().unwrap_or_else(PoisonError::into_inner);
-        pool_connections("idle").sub(idle.len() as i64);
+        pool_connections("idle").sub(self.idle.len() as i64);
     }
 }
 
@@ -419,6 +477,11 @@ mod tests {
     use super::*;
     use crate::server::{ServerConfig, ServiceError, WireServer, WireService};
     use std::sync::Arc;
+
+    /// The `Upper` test service ignores its opcode, but the byte on the
+    /// wire is still named (L007): raw opcode literals live only in the
+    /// declaring api modules.
+    const OP_UPPER: u8 = 1;
 
     #[derive(Debug)]
     struct Upper;
@@ -440,10 +503,10 @@ mod tests {
             WireServer::bind("127.0.0.1:0", Arc::new(Upper), ServerConfig::default()).unwrap();
         let pool = ClientPool::new(server.local_addr().to_string(), ClientConfig::default());
         for _ in 0..5 {
-            assert_eq!(pool.call(1, &[], b"abc").unwrap(), b"ABC");
+            assert_eq!(pool.call(OP_UPPER, &[], b"abc").unwrap(), b"ABC");
         }
         assert_eq!(
-            pool.idle.lock().unwrap().len(),
+            pool.idle.len(),
             1,
             "sequential calls share one pooled connection"
         );
@@ -456,19 +519,19 @@ mod tests {
             WireServer::bind("127.0.0.1:0", Arc::new(Upper), ServerConfig::default()).unwrap();
         let addr = first.local_addr();
         let pool = ClientPool::new(addr.to_string(), ClientConfig::default());
-        assert_eq!(pool.call(1, &[], b"x").unwrap(), b"X");
+        assert_eq!(pool.call(OP_UPPER, &[], b"x").unwrap(), b"X");
         // Kill the server; the pooled connection is now stale.
         first.shutdown();
         let second = WireServer::bind(addr, Arc::new(Upper), ServerConfig::default());
         match second {
             Ok(mut second) => {
-                assert_eq!(pool.call(1, &[], b"y").unwrap(), b"Y");
+                assert_eq!(pool.call(OP_UPPER, &[], b"y").unwrap(), b"Y");
                 second.shutdown();
             }
             // The OS may refuse an immediate rebind of the same port;
             // the stale connection must then surface as a transport
             // error rather than hanging.
-            Err(_) => assert!(pool.call(1, &[], b"y").unwrap_err().is_transport()),
+            Err(_) => assert!(pool.call(OP_UPPER, &[], b"y").unwrap_err().is_transport()),
         }
     }
 
@@ -484,7 +547,7 @@ mod tests {
             WireServer::bind("127.0.0.1:0", Arc::new(Upper), ServerConfig::default()).unwrap();
         let before = idle_of();
         let pool = ClientPool::new(server.local_addr().to_string(), ClientConfig::default());
-        pool.call(1, &[], b"abc").unwrap();
+        pool.call(OP_UPPER, &[], b"abc").unwrap();
         assert!(idle_of() > before, "the call's connection was parked idle");
         let in_use = registry
             .gauge_value_labeled("net_client_pool_connections", &[("state", "in_use")])
@@ -503,5 +566,65 @@ mod tests {
         drop(server);
         let err = WireConn::connect(addr, &ClientConfig::default()).unwrap_err();
         assert!(matches!(err, NetError::Io(_)));
+    }
+
+    /// Real threads hammering the checkout/return path — the ThreadSanitizer
+    /// counterpart to the bounded loom model in `tests/loom.rs` (the CI
+    /// tsan job selects tests matching `concurrent`).
+    #[test]
+    fn idle_stack_concurrent_checkout_return_respects_capacity() {
+        let stack: Arc<IdleStack<u32>> = Arc::new(IdleStack::new(2));
+        let handles: Vec<_> = (0..4u32)
+            .map(|tid| {
+                let stack = Arc::clone(&stack);
+                std::thread::spawn(move || {
+                    let mut parked = 0u32;
+                    for i in 0..100 {
+                        if let Some(conn) = stack.pop() {
+                            // "Use" the borrowed connection, then return it.
+                            std::hint::black_box(conn);
+                            if stack.push(conn) {
+                                parked += 1;
+                            }
+                        } else if stack.push(tid * 1000 + i) {
+                            parked += 1;
+                        }
+                    }
+                    parked
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(stack.len() <= 2, "capacity bound holds under contention");
+    }
+
+    #[test]
+    fn pool_concurrent_calls_share_the_idle_stack() {
+        let mut server =
+            WireServer::bind("127.0.0.1:0", Arc::new(Upper), ServerConfig::default()).unwrap();
+        let pool = Arc::new(ClientPool::new(
+            server.local_addr().to_string(),
+            ClientConfig::default(),
+        ));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for _ in 0..8 {
+                        assert_eq!(pool.call(OP_UPPER, &[], b"abc").unwrap(), b"ABC");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            pool.idle.len() <= ClientConfig::default().max_idle,
+            "the pool never parks beyond max_idle"
+        );
+        server.shutdown();
     }
 }

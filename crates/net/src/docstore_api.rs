@@ -882,4 +882,50 @@ mod tests {
             assert_eq!(decode_store_error(encoded.code, &encoded.payload), case);
         }
     }
+
+    /// Every docstore opcode, by name: the dispatcher knows its
+    /// mnemonic and no two opcodes share a value. mps-lint L006
+    /// additionally cross-checks this table against
+    /// `docs/WIRE_PROTOCOL.md` §6.
+    #[test]
+    fn opcode_table_is_complete_unique_and_named() {
+        let store: Arc<dyn DocstoreTransport> = Arc::new(Store::new());
+        let service = DocstoreService::new(store);
+        let table: &[(u8, &str)] = &[
+            (op::INSERT_ONE, "INSERT_ONE"),
+            (op::INSERT_MANY, "INSERT_MANY"),
+            (op::GET, "GET"),
+            (op::LEN, "LEN"),
+            (op::FIND, "FIND"),
+            (op::FIND_WITH_OPTIONS, "FIND_WITH_OPTIONS"),
+            (op::COUNT, "COUNT"),
+            (op::UPDATE_MANY, "UPDATE_MANY"),
+            (op::DELETE_MANY, "DELETE_MANY"),
+            (op::CREATE_INDEX, "CREATE_INDEX"),
+            (op::DROP_INDEX, "DROP_INDEX"),
+            (op::HAS_INDEX, "HAS_INDEX"),
+            (op::INDEX_CARDINALITY, "INDEX_CARDINALITY"),
+            (op::DISTINCT, "DISTINCT"),
+            (op::CLEAR, "CLEAR"),
+            (op::ALL, "ALL"),
+            (op::HAS_COLLECTION, "HAS_COLLECTION"),
+            (op::COLLECTION_NAMES, "COLLECTION_NAMES"),
+            (op::DROP_COLLECTION, "DROP_COLLECTION"),
+            (op::TOTAL_DOCUMENTS, "TOTAL_DOCUMENTS"),
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for &(opcode, name) in table {
+            assert_eq!(
+                service.opcode_name(opcode),
+                Some(name),
+                "mnemonic of {name}"
+            );
+            assert!(seen.insert(opcode), "opcode value of {name} collides");
+            assert!(
+                (1..=20).contains(&opcode),
+                "{name} outside the docstore band"
+            );
+        }
+        assert_eq!(seen.len(), 20, "every §6 opcode is present");
+    }
 }

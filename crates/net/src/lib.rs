@@ -79,6 +79,7 @@ pub mod frame;
 pub mod proxy;
 pub mod rpc;
 pub mod server;
+pub(crate) mod sync;
 mod telemetry;
 pub mod wire;
 
@@ -89,7 +90,7 @@ pub use admin::{
     SlowRpc, SlowRpcRing, ADMIN_OPCODE_MIN, OP_FLIGHT_DRAIN, OP_HEALTH, OP_METRICS, OP_SLOW_RPCS,
 };
 pub use broker_api::{BrokerService, RemoteBroker};
-pub use client::{ClientConfig, ClientPool, NetError, WireConn};
+pub use client::{ClientConfig, ClientPool, IdleStack, NetError, WireConn};
 pub use docstore_api::{DocstoreService, RemoteStore};
 pub use fleet::{Conservation, Endpoint, FleetSnapshot, InstanceScrape};
 pub use frame::{Frame, FrameError, FrameType, PROTOCOL_VERSION};

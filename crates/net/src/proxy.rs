@@ -274,6 +274,10 @@ mod tests {
     use crate::server::{ServerConfig, ServiceError, WireServer, WireService};
     use mps_faults::FaultSpec;
 
+    /// The `Echo` test service ignores its opcode; the byte is still
+    /// named so no raw wire constant appears at a call site (L007).
+    const OP_ECHO: u8 = 1;
+
     #[derive(Debug)]
     struct Echo;
 
@@ -304,7 +308,7 @@ mod tests {
                 .unwrap();
         let pool = ClientPool::new(proxy.local_addr().to_string(), short_timeout());
         for i in 0..10u8 {
-            assert_eq!(pool.call(1, &[], &[i]).unwrap(), vec![i]);
+            assert_eq!(pool.call(OP_ECHO, &[], &[i]).unwrap(), vec![i]);
         }
         assert_eq!(proxy.stats().decisions, 10);
         assert_eq!(proxy.stats().dropped, 0);
@@ -332,7 +336,7 @@ mod tests {
             let mut attempts = 0;
             loop {
                 attempts += 1;
-                match pool.call(1, &[], &[i]) {
+                match pool.call(OP_ECHO, &[], &[i]) {
                     Ok(reply) => {
                         assert_eq!(reply, vec![i]);
                         ok += 1;

@@ -1,0 +1,24 @@
+//! Synchronisation primitives, switchable to [loom]'s model checker.
+//!
+//! The two concurrency hot-spots of this crate — the
+//! [`IdleStack`](crate::client::IdleStack) behind
+//! [`ClientPool`](crate::client::ClientPool) and the
+//! [`SlowRpcRing`](crate::admin::SlowRpcRing) every server thread
+//! observes into — import their `Mutex` from here instead of
+//! `std::sync`. Under a normal build this module is a zero-cost
+//! re-export of `std::sync`; under `RUSTFLAGS="--cfg loom"` it
+//! re-exports loom's modelled version, so `tests/loom.rs` can
+//! exhaustively explore thread interleavings of the exact production
+//! code paths.
+//!
+//! The loom dependency itself is declared under
+//! `[target.'cfg(loom)'.dependencies]`, so ordinary builds never compile
+//! (or even download) it — the same discipline as `mps-telemetry`.
+//!
+//! [loom]: https://github.com/tokio-rs/loom
+
+#[cfg(loom)]
+pub(crate) use loom::sync::Mutex;
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::Mutex;

@@ -28,6 +28,23 @@ pub struct Config {
     /// Crates skipped entirely (the lint tool itself: its sources and
     /// tests are full of deliberately-violating examples).
     pub exclude: Vec<String>,
+    /// Workspace-relative path of the normative wire-protocol spec
+    /// whose tables L006 cross-checks against the code. Empty (the
+    /// default) disables L006.
+    pub protocol_spec: String,
+    /// Workspace-relative path of the generated wire-constant
+    /// inventory (the L006 counterpart of `metrics_doc`).
+    pub opcodes_doc: String,
+    /// `role=path` pairs naming the files that declare wire constants
+    /// for each protocol band. Roles `frame` and `handshake` are
+    /// special (enum arms / `HELLO_*` consts); every other role owns a
+    /// `mod op` / `mod err` pair or top-level `OP_*` consts, and the
+    /// role literally named `admin` must stay inside the admin band
+    /// (240..=255). A role may map to several files.
+    pub wire_api: Vec<(String, String)>,
+    /// Crates (short names) whose lock acquisition order and
+    /// guard-held blocking calls L008 analyses. Empty disables L008.
+    pub lock_discipline: Vec<String>,
 }
 
 /// A config-file error with enough context to fix it.
@@ -110,6 +127,23 @@ impl Config {
                 .cloned()
                 .unwrap_or_else(|| "crates/types/src/headers.rs".to_owned()),
             exclude: take_list("exclude"),
+            protocol_spec: scalars.get("protocol_spec").cloned().unwrap_or_default(),
+            opcodes_doc: scalars
+                .get("opcodes_doc")
+                .cloned()
+                .unwrap_or_else(|| "docs/OPCODES.md".to_owned()),
+            wire_api: take_list("wire_api")
+                .into_iter()
+                .map(|entry| match entry.split_once('=') {
+                    Some((role, path)) if !role.trim().is_empty() && !path.trim().is_empty() => {
+                        Ok((role.trim().to_owned(), path.trim().to_owned()))
+                    }
+                    _ => Err(ConfigError(format!(
+                        "`wire_api` entries must look like \"role=path\", got `{entry}`"
+                    ))),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            lock_discipline: take_list("lock_discipline"),
         };
         if config.sim_path.is_empty() {
             return Err(ConfigError(
@@ -183,5 +217,33 @@ headers_home = "crates/types/src/headers.rs"
         let cfg = Config::parse("sim_path = [\"a\"]").unwrap();
         assert_eq!(cfg.metrics_doc, "docs/METRICS.md");
         assert_eq!(cfg.headers_home, "crates/types/src/headers.rs");
+        assert_eq!(cfg.protocol_spec, "");
+        assert_eq!(cfg.opcodes_doc, "docs/OPCODES.md");
+        assert!(cfg.wire_api.is_empty());
+        assert!(cfg.lock_discipline.is_empty());
+    }
+
+    #[test]
+    fn wire_api_entries_split_into_role_and_path() {
+        let cfg = Config::parse(
+            "sim_path = [\"a\"]\n\
+             protocol_spec = \"docs/WIRE.md\"\n\
+             wire_api = [\"frame=crates/net/src/frame.rs\", \"admin=crates/net/src/admin.rs\"]\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.protocol_spec, "docs/WIRE.md");
+        assert_eq!(
+            cfg.wire_api,
+            vec![
+                ("frame".to_owned(), "crates/net/src/frame.rs".to_owned()),
+                ("admin".to_owned(), "crates/net/src/admin.rs".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_wire_api_entry_is_an_error() {
+        assert!(Config::parse("sim_path = [\"a\"]\nwire_api = [\"no-equals-sign\"]").is_err());
+        assert!(Config::parse("sim_path = [\"a\"]\nwire_api = [\"=path-only\"]").is_err());
     }
 }

@@ -18,6 +18,17 @@ pub enum LintId {
     /// Ad-hoc message-header key literal outside the canonical
     /// constants module.
     L005,
+    /// Spec↔code conformance: the normative wire-protocol tables and
+    /// the declared constants must agree (names, values, reply shapes,
+    /// dispatch arms, test coverage, the generated inventory).
+    L006,
+    /// Wire-constant confinement: raw opcode/frame-type integer
+    /// literals in call, comparison, or field-init position instead of
+    /// a named constant.
+    L007,
+    /// Lock discipline: lock-order cycles and blocking I/O performed
+    /// while a guard is live.
+    L008,
     /// A waiver comment without a written justification.
     W001,
     /// A waiver comment that matched no finding.
@@ -33,6 +44,9 @@ impl LintId {
             LintId::L003 => "L003",
             LintId::L004 => "L004",
             LintId::L005 => "L005",
+            LintId::L006 => "L006",
+            LintId::L007 => "L007",
+            LintId::L008 => "L008",
             LintId::W001 => "W001",
             LintId::W002 => "W002",
         }
@@ -46,6 +60,9 @@ impl LintId {
             "L003" => Some(LintId::L003),
             "L004" => Some(LintId::L004),
             "L005" => Some(LintId::L005),
+            "L006" => Some(LintId::L006),
+            "L007" => Some(LintId::L007),
+            "L008" => Some(LintId::L008),
             "W001" => Some(LintId::W001),
             "W002" => Some(LintId::W002),
             _ => None,
@@ -176,6 +193,9 @@ mod tests {
             LintId::L003,
             LintId::L004,
             LintId::L005,
+            LintId::L006,
+            LintId::L007,
+            LintId::L008,
             LintId::W001,
             LintId::W002,
         ] {

@@ -2,7 +2,7 @@
 //!
 //! Run as `cargo run -p xtask -- lint`. The tool lexes every workspace
 //! source file (a small hand-rolled lexer; no external dependencies)
-//! and enforces five invariants the compiler cannot see but the paper's
+//! and enforces eight invariants the compiler cannot see but the paper's
 //! methodology depends on:
 //!
 //! * **L001 determinism** — no wall clock / ambient RNG in sim-path
@@ -14,7 +14,14 @@
 //! * **L004 metric hygiene** — literal, convention-conforming metric
 //!   names, no near-duplicates, and a fresh generated `docs/METRICS.md`;
 //! * **L005 header keys** — message-header literals only in the shared
-//!   constants module.
+//!   constants module;
+//! * **L006 spec conformance** — the normative wire-protocol tables
+//!   and the declared constants must agree (and `docs/OPCODES.md` must
+//!   be fresh);
+//! * **L007 wire-constant confinement** — raw opcode literals only in
+//!   the declaring api modules;
+//! * **L008 lock discipline** — no lock-order cycles, no blocking I/O
+//!   under a live guard.
 //!
 //! Violations are waived inline with
 //! `// mps-lint: allow(<id>) -- <justification>`; unjustified (W001)
@@ -26,7 +33,9 @@ pub mod findings;
 pub mod lexer;
 pub mod lints;
 pub mod metrics_doc;
+pub mod opcodes_doc;
 pub mod scan;
+pub mod spec;
 pub mod waivers;
 
 use std::collections::BTreeMap;
@@ -45,20 +54,34 @@ pub struct LintOutcome {
     pub report: String,
     /// The rendered metric inventory (`docs/METRICS.md` content).
     pub metrics_doc: String,
+    /// The rendered wire-constant inventory (`docs/OPCODES.md`
+    /// content; empty when L006 is disabled).
+    pub opcodes_doc: String,
     /// Unwaived findings — nonzero means the run failed.
     pub error_count: usize,
 }
 
 /// Runs every lint over the workspace at `root`.
 ///
-/// With `write_metrics_doc` the generated inventory is written to disk
-/// (and the staleness check trivially passes); without it a stale or
-/// missing `docs/METRICS.md` is a finding.
-pub fn run_lint(root: &Path, write_metrics_doc: bool) -> Result<LintOutcome, String> {
+/// With `write_metrics_doc` / `write_opcodes_doc` the corresponding
+/// generated inventory is written to disk (and its staleness check
+/// trivially passes); without them a stale or missing inventory is a
+/// finding.
+pub fn run_lint(
+    root: &Path,
+    write_metrics_doc: bool,
+    write_opcodes_doc: bool,
+) -> Result<LintOutcome, String> {
     let config = Config::load(&root.join("mps-lint.toml")).map_err(|e| e.to_string())?;
     let files = scan::load_workspace(root)
         .map_err(|e| format!("cannot scan workspace at {}: {e}", root.display()))?;
-    Ok(run_lint_on(&config, &files, root, write_metrics_doc))
+    Ok(run_lint_on(
+        &config,
+        &files,
+        root,
+        write_metrics_doc,
+        write_opcodes_doc,
+    ))
 }
 
 /// Runs every lint over already-loaded files. Split out so fixture
@@ -68,6 +91,7 @@ pub fn run_lint_on(
     files: &[scan::SourceFile],
     root: &Path,
     write_metrics_doc: bool,
+    write_opcodes_doc: bool,
 ) -> LintOutcome {
     let files: Vec<&scan::SourceFile> = files
         .iter()
@@ -77,18 +101,28 @@ pub fn run_lint_on(
     let mut all_waivers = Vec::new();
     let mut sites = Vec::new();
 
+    let mut lock_graphs: BTreeMap<&str, lints::l008_lock_discipline::CrateGraph> = BTreeMap::new();
     for file in &files {
         lints::l001_determinism::check(file, config, &mut findings);
         lints::l002_iteration_order::check(file, config, &mut findings);
         lints::l003_panic_path::check(file, config, &mut findings);
         lints::l004_metric_hygiene::collect(file, config, &mut sites, &mut findings);
         lints::l005_header_keys::check(file, config, &mut findings);
+        lints::l007_wire_literals::check(file, config, &mut findings);
+        if config.lock_discipline.contains(&file.crate_name) {
+            let graph = lock_graphs.entry(file.crate_name.as_str()).or_default();
+            lints::l008_lock_discipline::check_file(file, graph, &mut findings);
+        }
         let (waivers, waiver_findings) = waivers::parse_waivers(&file.rel_path, &file.comments);
         all_waivers.extend(waivers);
         findings.extend(waiver_findings);
     }
 
     lints::l004_metric_hygiene::check_cross(&sites, &mut findings);
+    for (crate_name, graph) in &lock_graphs {
+        lints::l008_lock_discipline::check_crate_graph(crate_name, graph, &mut findings);
+    }
+    let wire_rows = lints::l006_spec_conformance::check(config, &files, root, &mut findings);
 
     // Metric inventory: regenerate, then either write it or gate on
     // the checked-in copy being current.
@@ -118,6 +152,39 @@ pub fn run_lint_on(
         );
     }
 
+    // Wire-constant inventory: same write-or-gate cycle as the metric
+    // inventory, but only when L006 is enabled (a spec is configured).
+    let rendered_opcodes = if config.protocol_spec.is_empty() {
+        String::new()
+    } else {
+        let rendered = opcodes_doc::render(&wire_rows, &config.protocol_spec);
+        let doc_path = root.join(&config.opcodes_doc);
+        if write_opcodes_doc {
+            if let Some(parent) = doc_path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Err(e) = std::fs::write(&doc_path, &rendered) {
+                findings.push(Finding::new(
+                    findings::LintId::L006,
+                    &config.opcodes_doc,
+                    1,
+                    1,
+                    1,
+                    format!("cannot write {}: {e}", config.opcodes_doc),
+                ));
+            }
+        } else {
+            let checked_in = std::fs::read_to_string(&doc_path).ok();
+            opcodes_doc::check_stale(
+                &rendered,
+                checked_in.as_deref(),
+                &config.opcodes_doc,
+                &mut findings,
+            );
+        }
+        rendered
+    };
+
     waivers::apply_waivers(&mut findings, &mut all_waivers);
     findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint)));
@@ -143,6 +210,7 @@ pub fn run_lint_on(
         findings,
         report,
         metrics_doc: rendered_doc,
+        opcodes_doc: rendered_opcodes,
         error_count,
     }
 }
@@ -170,7 +238,7 @@ metrics = ["pipe"]
             "pipe",
             "fn f() {\n    // mps-lint: allow(L003) -- invariant: queue is non-empty here\n    x.unwrap();\n    y.unwrap();\n}\n",
         )];
-        let outcome = run_lint_on(&config(), &files, Path::new("/nonexistent"), false);
+        let outcome = run_lint_on(&config(), &files, Path::new("/nonexistent"), false, false);
         // Line 3 waived; line 4 not. (The missing metrics doc also
         // reports, under L004 — filtered out here.)
         let l003: Vec<_> = outcome
@@ -190,7 +258,7 @@ metrics = ["pipe"]
             "pipe",
             "fn f() { let t = Instant::now(); }\n",
         )];
-        let outcome = run_lint_on(&config(), &files, Path::new("/nonexistent"), false);
+        let outcome = run_lint_on(&config(), &files, Path::new("/nonexistent"), false, false);
         assert!(outcome.report.contains("error[L001]"));
         assert!(outcome.report.contains("--> crates/pipe/src/lib.rs:1:18"));
         assert!(outcome.report.contains("^^^^^^^^^^^^"));

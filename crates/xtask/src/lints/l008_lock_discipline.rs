@@ -1,0 +1,512 @@
+//! L008 — lock discipline: no lock-order cycles, no blocking I/O under
+//! a live guard.
+//!
+//! For every crate enrolled in `mps-lint.toml` `lock_discipline`, the
+//! pass walks the token stream and tracks live `Mutex`/`RwLock` guards
+//! per function, using a conservative lifetime heuristic:
+//!
+//! * `let g = x.lock()…;` — the guard lives to the end of the
+//!   enclosing block;
+//! * `if let Ok(g) = x.lock()`, `while let …`, `match x.lock() {…}` —
+//!   the guard lives exactly for the construct's brace block;
+//! * a temporary (`x.lock().unwrap().field = v;`) dies at the next
+//!   statement end.
+//!
+//! While any guard is live, two things are findings:
+//!
+//! * acquiring another lock records a directed edge in the per-crate
+//!   acquisition-order graph; cycles in that graph (including
+//!   re-acquiring the same lock) are potential deadlocks;
+//! * calling a blocking I/O method (`read`/`write`/`accept`/`connect`/
+//!   `flush`/`sync_all` family) stalls every other thread contending
+//!   for the lock — the scalability failure mode the paper's §5
+//!   deployment postmortem describes.
+//!
+//! Lock identity is the receiver's field path (`self.idle.lock()` →
+//! `idle`), so the graph merges acquisitions across functions of the
+//! same crate. The analysis is intraprocedural: a helper that returns
+//! a guard is seen inside the helper, and a call made *while* holding
+//! a guard is not followed — loom models and the TSan CI job provide
+//! the dynamic counterpart (see `docs/STATIC_ANALYSIS.md`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::findings::{Finding, LintId};
+use crate::lexer::{Token, TokenKind};
+use crate::lints::{is_ident, is_punct};
+use crate::scan::SourceFile;
+
+/// Methods treated as blocking I/O when called under a guard.
+const BLOCKING: &[&str] = &[
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_until",
+    "write",
+    "write_all",
+    "write_vectored",
+    "flush",
+    "accept",
+    "connect",
+    "sync_all",
+    "sync_data",
+    "fsync",
+];
+
+/// How a live guard dies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Close {
+    /// Dies when brace depth drops below this (plain `let` binding —
+    /// end of the enclosing block).
+    BlockBelow(u32),
+    /// Waiting for the construct body `{` of an `if let`/`while let`/
+    /// `match`; becomes `BlockBelow(body depth)` when it opens.
+    NextBrace,
+    /// A temporary: dies at the next `;` at this depth (or when the
+    /// block closes, whichever comes first).
+    Semi(u32),
+}
+
+#[derive(Debug, Clone)]
+struct Guard {
+    /// Receiver path without a leading `self.` (`idle`, `state`, or
+    /// `self` for a bare `self.lock()` helper).
+    node: String,
+    line: u32,
+    close: Close,
+    /// Parenthesis depth tracked while waiting for `NextBrace`.
+    pending_parens: i32,
+}
+
+/// One directed acquisition-order edge with its first witness site.
+#[derive(Debug, Clone)]
+struct Edge {
+    file: String,
+    line: u32,
+    col: u32,
+    len: u32,
+}
+
+/// Per-crate state shared across files.
+#[derive(Debug, Default)]
+pub struct CrateGraph {
+    edges: BTreeMap<(String, String), Edge>,
+}
+
+/// Analyses one file: reports blocking-under-guard findings directly
+/// and records acquisition-order edges into `graph`.
+pub fn check_file(file: &SourceFile, graph: &mut CrateGraph, findings: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    let mut depth = 0u32;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        if tok.kind == TokenKind::Punct {
+            match tok.text.as_str() {
+                "{" => {
+                    depth += 1;
+                    for g in guards.iter_mut() {
+                        if g.close == Close::NextBrace && g.pending_parens == 0 {
+                            g.close = Close::BlockBelow(depth);
+                        }
+                    }
+                }
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    guards.retain(|g| match g.close {
+                        Close::BlockBelow(d) | Close::Semi(d) => depth >= d,
+                        Close::NextBrace => true,
+                    });
+                }
+                "(" | "[" => {
+                    for g in guards.iter_mut() {
+                        if g.close == Close::NextBrace {
+                            g.pending_parens += 1;
+                        }
+                    }
+                }
+                ")" | "]" => {
+                    for g in guards.iter_mut() {
+                        if g.close == Close::NextBrace {
+                            g.pending_parens -= 1;
+                        }
+                    }
+                }
+                ";" => {
+                    guards.retain(|g| g.close != Close::Semi(depth));
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        // A function boundary clears anything the heuristic kept alive
+        // (e.g. a tail-expression guard in a `fn lock()` helper).
+        if tok.kind == TokenKind::Ident && tok.text == "fn" {
+            guards.clear();
+            i += 1;
+            continue;
+        }
+        if file.is_test_line(tok.line) {
+            i += 1;
+            continue;
+        }
+
+        if let Some((node, consumed)) = acquisition(tokens, i) {
+            // Record ordering edges against every live guard.
+            for g in &guards {
+                if g.node == node {
+                    findings.push(
+                        Finding::new(
+                            LintId::L008,
+                            &file.rel_path,
+                            tok.line,
+                            tok.col,
+                            tok.len,
+                            format!(
+                                "lock `{node}` re-acquired while already held \
+                                 (acquired at line {})",
+                                g.line
+                            ),
+                        )
+                        .with_help("std mutexes are not reentrant: this deadlocks at runtime"),
+                    );
+                } else {
+                    graph
+                        .edges
+                        .entry((g.node.clone(), node.clone()))
+                        .or_insert_with(|| Edge {
+                            file: file.rel_path.clone(),
+                            line: tok.line,
+                            col: tok.col,
+                            len: tok.len,
+                        });
+                }
+            }
+            let close = binding_context(tokens, i, depth);
+            guards.push(Guard {
+                node,
+                line: tok.line,
+                close,
+                pending_parens: 0,
+            });
+            i += consumed;
+            continue;
+        }
+
+        // Blocking call while any guard is live: `.name(args…)` or
+        // `Path::name(args…)` with a non-empty argument list (an
+        // empty-paren `.read()`/`.write()` is an RwLock acquisition,
+        // handled above).
+        if !guards.is_empty()
+            && tok.kind == TokenKind::Ident
+            && BLOCKING.contains(&tok.text.as_str())
+            && (is_punct(tokens, i.wrapping_sub(1), '.')
+                || is_punct(tokens, i.wrapping_sub(1), ':'))
+            && is_punct(tokens, i + 1, '(')
+            && !is_punct(tokens, i + 2, ')')
+        {
+            let held = guards
+                .iter()
+                .map(|g| format!("`{}` (line {})", g.node, g.line))
+                .collect::<Vec<_>>()
+                .join(", ");
+            findings.push(
+                Finding::new(
+                    LintId::L008,
+                    &file.rel_path,
+                    tok.line,
+                    tok.col,
+                    tok.len,
+                    format!("blocking `{}` call while holding lock {held}", tok.text),
+                )
+                .with_help(
+                    "a stalled peer now stalls every thread contending for the lock; \
+                     drop the guard before the I/O, or waive with a justification",
+                ),
+            );
+        }
+        i += 1;
+    }
+}
+
+/// Is token `i` the start of a lock acquisition (`recv.lock()`, or
+/// `recv.read()`/`recv.write()` with empty parens for `RwLock`)?
+/// Returns the lock node name and how many tokens the receiver + call
+/// head spans from `i`.
+fn acquisition(tokens: &[Token], i: usize) -> Option<(String, usize)> {
+    // `i` must be the first token of the receiver path: an ident not
+    // preceded by `.` (otherwise we would re-match mid-path).
+    if tokens[i].kind != TokenKind::Ident || is_punct(tokens, i.wrapping_sub(1), '.') {
+        return None;
+    }
+    // Walk the dotted path: ident (`.` ident)* then `.lock()`.
+    let mut segs = vec![tokens[i].text.as_str()];
+    let mut j = i;
+    loop {
+        if !is_punct(tokens, j + 1, '.') {
+            return None;
+        }
+        let next = tokens.get(j + 2)?;
+        if next.kind != TokenKind::Ident {
+            return None;
+        }
+        let is_call = is_punct(tokens, j + 3, '(') && is_punct(tokens, j + 4, ')');
+        let method_ok = matches!(next.text.as_str(), "lock" | "read" | "write");
+        if is_call && method_ok {
+            let node = match segs.as_slice() {
+                ["self"] => "self".to_owned(),
+                _ => segs
+                    .iter()
+                    .filter(|s| **s != "self")
+                    .copied()
+                    .collect::<Vec<_>>()
+                    .join("."),
+            };
+            return Some((node, j + 5 - i));
+        }
+        if next.text == "lock" || next.text == "read" || next.text == "write" {
+            // `.lock` not followed by `()` — not an acquisition.
+            return None;
+        }
+        segs.push(next.text.as_str());
+        j += 2;
+    }
+}
+
+/// Classifies how the guard produced at token `i` (receiver start) is
+/// bound, by looking backwards.
+fn binding_context(tokens: &[Token], i: usize, depth: u32) -> Close {
+    let before = i.wrapping_sub(1);
+    if is_ident(tokens, before, "match") {
+        return Close::NextBrace;
+    }
+    if is_punct(tokens, before, '=') && !is_punct(tokens, before.wrapping_sub(1), '=') {
+        // Scan back to the statement start looking for let/if/while.
+        let mut has_let = false;
+        let mut has_cond = false;
+        let mut k = before;
+        while k > 0 {
+            k -= 1;
+            let t = &tokens[k];
+            if t.kind == TokenKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+                break;
+            }
+            if t.kind == TokenKind::Ident {
+                match t.text.as_str() {
+                    "let" => has_let = true,
+                    "if" | "while" => has_cond = true,
+                    _ => {}
+                }
+            }
+        }
+        if has_let && has_cond {
+            return Close::NextBrace;
+        }
+        if has_let {
+            return Close::BlockBelow(depth);
+        }
+        return Close::Semi(depth);
+    }
+    Close::Semi(depth)
+}
+
+/// After every file of a crate has been analysed, reports lock-order
+/// cycles found in the merged graph (one finding per distinct cycle,
+/// canonicalised by rotation).
+pub fn check_crate_graph(crate_name: &str, graph: &CrateGraph, findings: &mut Vec<Finding>) {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in graph.edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        let mut path: Vec<&str> = vec![start];
+        collect_cycles(start, &adj, &mut path, &mut cycles);
+    }
+    for canon in cycles {
+        let display = {
+            let mut closed = canon.clone();
+            closed.push(canon[0].clone());
+            closed.join("` → `")
+        };
+        // The first edge of the cycle exists by construction.
+        let site = graph.edges.get(&(
+            canon[0].clone(),
+            canon.get(1).cloned().unwrap_or_else(|| canon[0].clone()),
+        ));
+        let (file, line, col, len) = match site {
+            Some(e) => (e.file.as_str(), e.line, e.col, e.len),
+            None => ("", 1, 1, 1),
+        };
+        findings.push(
+            Finding::new(
+                LintId::L008,
+                file,
+                line,
+                col,
+                len,
+                format!(
+                    "lock-order cycle in crate `{crate_name}`: `{display}` \
+                     (potential deadlock)"
+                ),
+            )
+            .with_help(
+                "two threads taking these locks in opposite orders deadlock; \
+                 acquire them in one global order",
+            ),
+        );
+    }
+}
+
+/// Depth-first search collecting every elementary cycle reachable from
+/// the current path, canonicalised so the smallest node leads.
+fn collect_cycles<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    path: &mut Vec<&'a str>,
+    cycles: &mut BTreeSet<Vec<String>>,
+) {
+    if path.len() > 32 {
+        return; // Degenerate graph; the cycles found so far suffice.
+    }
+    let Some(nexts) = adj.get(node) else {
+        return;
+    };
+    for next in nexts {
+        if let Some(pos) = path.iter().position(|n| n == next) {
+            let cycle = &path[pos..];
+            let min = cycle
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| **n)
+                .map(|(idx, _)| idx)
+                .unwrap_or(0);
+            let canon: Vec<String> = cycle[min..]
+                .iter()
+                .chain(&cycle[..min])
+                .map(|s| (*s).to_owned())
+                .collect();
+            cycles.insert(canon);
+            continue;
+        }
+        path.push(next);
+        collect_cycles(next, adj, path, cycles);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (Vec<Finding>, CrateGraph) {
+        let file = SourceFile::parse("crates/pipe/src/lib.rs", "pipe", src);
+        let mut graph = CrateGraph::default();
+        let mut findings = Vec::new();
+        check_file(&file, &mut graph, &mut findings);
+        (findings, graph)
+    }
+
+    #[test]
+    fn ordered_nesting_records_an_edge_without_findings() {
+        let (findings, graph) = run(
+            "fn f(&self) {\n    let a = self.alpha.lock().unwrap();\n    \
+             let b = self.beta.lock().unwrap();\n    drop(b); drop(a);\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(graph
+            .edges
+            .contains_key(&("alpha".to_owned(), "beta".to_owned())));
+    }
+
+    #[test]
+    fn opposite_orders_across_functions_form_a_cycle() {
+        let (findings, graph) = run(
+            "fn f(&self) { let a = self.alpha.lock().unwrap(); let b = self.beta.lock().unwrap(); }\n\
+             fn g(&self) { let b = self.beta.lock().unwrap(); let a = self.alpha.lock().unwrap(); }\n",
+        );
+        assert!(findings.is_empty());
+        let mut cycle_findings = Vec::new();
+        check_crate_graph("pipe", &graph, &mut cycle_findings);
+        assert_eq!(cycle_findings.len(), 1, "{cycle_findings:?}");
+        assert!(cycle_findings[0].message.contains("lock-order cycle"));
+        assert!(cycle_findings[0]
+            .message
+            .contains("`alpha` → `beta` → `alpha`"));
+    }
+
+    #[test]
+    fn blocking_write_under_guard_is_flagged() {
+        let (findings, _) = run(
+            "fn f(&self, s: &mut TcpStream) {\n    let g = self.state.lock().unwrap();\n    \
+             s.write_all(&g.bytes).unwrap();\n}\n",
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("blocking `write_all`"));
+        assert!(findings[0].message.contains("`state`"));
+    }
+
+    #[test]
+    fn match_guard_dies_at_end_of_match_block() {
+        // The proxy pattern: decide under the lock, write after it.
+        let (findings, _) = run(
+            "fn f(&self, s: &mut TcpStream) {\n    let action = match self.plan.lock() {\n        \
+             Ok(mut plan) => plan.decide(),\n        Err(p) => p.into_inner().decide(),\n    };\n    \
+             s.write_all(&encode(action)).unwrap();\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn if_let_guard_dies_with_its_block() {
+        let (findings, _) = run(
+            "fn f(&self, s: &mut TcpStream) {\n    if let Ok(mut idle) = self.idle.lock() {\n        \
+             idle.pop();\n    }\n    s.write_all(b\"x\").unwrap();\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let (findings, _) = run(
+            "fn f(&self, s: &mut TcpStream) {\n    self.state.lock().unwrap().armed = true;\n    \
+             s.write_all(b\"x\").unwrap();\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn reacquiring_the_same_lock_is_a_deadlock_finding() {
+        let (findings, _) = run(
+            "fn f(&self) {\n    let a = self.state.lock().unwrap();\n    \
+             let b = self.state.lock().unwrap();\n}\n",
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("re-acquired"));
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let (findings, graph) = run(
+            "#[cfg(test)]\nmod tests {\n    fn t(&self, s: &mut TcpStream) {\n        \
+             let g = self.state.lock().unwrap();\n        s.write_all(b\"x\").unwrap();\n    }\n}\n",
+        );
+        assert!(findings.is_empty());
+        assert!(graph.edges.is_empty());
+    }
+
+    #[test]
+    fn rwlock_read_write_are_acquisitions_not_blocking_io() {
+        let (findings, graph) = run(
+            "fn f(&self) {\n    let r = self.table.read().unwrap();\n    \
+             let w = self.journal.lock().unwrap();\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(graph
+            .edges
+            .contains_key(&("table".to_owned(), "journal".to_owned())));
+    }
+}

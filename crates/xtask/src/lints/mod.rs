@@ -11,6 +11,9 @@ pub mod l002_iteration_order;
 pub mod l003_panic_path;
 pub mod l004_metric_hygiene;
 pub mod l005_header_keys;
+pub mod l006_spec_conformance;
+pub mod l007_wire_literals;
+pub mod l008_lock_discipline;
 
 use crate::lexer::{Token, TokenKind};
 

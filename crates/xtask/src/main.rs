@@ -11,10 +11,11 @@ usage: cargo run -p xtask -- lint [options]
        cargo run -p xtask -- wal-inspect <log-dir>
        cargo run -p xtask --features obs -- obs <name=host:port>... [options]
 
-lint: runs mps-lint, the workspace invariant checker (L001–L005).
+lint: runs mps-lint, the workspace invariant checker (L001–L008).
 
 options:
   --write-metrics-doc   regenerate docs/METRICS.md instead of gating on it
+  --write-opcodes-doc   regenerate docs/OPCODES.md instead of gating on it
   --report <path>       also write the full report to <path>
   --root <path>         workspace root (default: current directory)
   -h, --help            this message
@@ -58,11 +59,13 @@ fn main() -> ExitCode {
     }
 
     let mut write_metrics_doc = false;
+    let mut write_opcodes_doc = false;
     let mut report_path: Option<PathBuf> = None;
     let mut root = PathBuf::from(".");
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--write-metrics-doc" => write_metrics_doc = true,
+            "--write-opcodes-doc" => write_opcodes_doc = true,
             "--report" => match args.next() {
                 Some(p) => report_path = Some(PathBuf::from(p)),
                 None => {
@@ -91,7 +94,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let outcome = match xtask::run_lint(&root, write_metrics_doc) {
+    let outcome = match xtask::run_lint(&root, write_metrics_doc, write_opcodes_doc) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("mps-lint: {e}");

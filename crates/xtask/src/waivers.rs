@@ -69,7 +69,7 @@ pub fn parse_waivers(file: &str, comments: &[Comment]) -> (Vec<Waiver>, Vec<Find
                     0,
                     format!("unknown lint id `{bad}` in waiver"),
                 )
-                .with_help("known ids: L001, L002, L003, L004, L005"),
+                .with_help("known ids: L001, L002, L003, L004, L005, L006, L007, L008"),
             );
             continue;
         }

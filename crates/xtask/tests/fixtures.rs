@@ -1,14 +1,24 @@
-//! Fixture tests: `mps-lint` run end-to-end over two checked-in mini
+//! Fixture tests: `mps-lint` run end-to-end over checked-in mini
 //! workspaces.
 //!
-//! * `tests/fixtures/violations` — every rule fires at least once,
-//!   every waiver behaviour (justified, unjustified, unused) is
+//! * `tests/fixtures/violations` — every L001–L005 rule fires at least
+//!   once, every waiver behaviour (justified, unjustified, unused) is
 //!   exercised, and the checked-in `docs/METRICS.md` is deliberately
 //!   stale. The full findings list is snapshotted in `expected.txt`.
 //! * `tests/fixtures/clean` — a conforming crate: ordered collections,
 //!   no panic paths, convention-conforming metric names, header
 //!   literals confined to `headers_home`, a current metrics doc, and
 //!   exactly one justified-and-used waiver.
+//! * `tests/fixtures/l006` — spec↔code drift: a renumbered opcode, an
+//!   unspecced constant, a value collision, a spec-only row, and a
+//!   stale `docs/OPCODES.md`.
+//! * `tests/fixtures/l007` — raw wire integers at call, comparison and
+//!   field-init sites (including inside test code).
+//! * `tests/fixtures/l008` — a lock-order cycle and blocking I/O under
+//!   a live guard, next to two clean patterns that must not fire.
+//! * `tests/fixtures/conformant` — L006/L007/L008 all enabled on a
+//!   crate that conforms: nothing fires and the checked-in
+//!   `docs/OPCODES.md` is current.
 
 use std::path::{Path, PathBuf};
 use xtask::findings::LintId;
@@ -21,12 +31,11 @@ fn fixture_root(name: &str) -> PathBuf {
 }
 
 fn lint(name: &str) -> LintOutcome {
-    xtask::run_lint(&fixture_root(name), false).expect("fixture workspace lints")
+    xtask::run_lint(&fixture_root(name), false, false).expect("fixture workspace lints")
 }
 
-#[test]
-fn violations_fixture_matches_expected_findings() {
-    let outcome = lint("violations");
+/// Compares a fixture's findings to its `expected.txt` snapshot.
+fn assert_snapshot(name: &str, outcome: &LintOutcome) {
     let got: Vec<String> = outcome
         .findings
         .iter()
@@ -38,14 +47,20 @@ fn violations_fixture_matches_expected_findings() {
             }
         })
         .collect();
-    let expected_path = fixture_root("violations").join("expected.txt");
+    let expected_path = fixture_root(name).join("expected.txt");
     let expected = std::fs::read_to_string(&expected_path).expect("expected.txt");
     let expected: Vec<&str> = expected.lines().collect();
     assert_eq!(
         got, expected,
         "findings diverged from the snapshot; if the change is intended, \
-         update tests/fixtures/violations/expected.txt"
+         update tests/fixtures/{name}/expected.txt"
     );
+}
+
+#[test]
+fn violations_fixture_matches_expected_findings() {
+    let outcome = lint("violations");
+    assert_snapshot("violations", &outcome);
     assert_eq!(outcome.error_count, 15);
 }
 
@@ -162,4 +177,125 @@ fn clean_fixture_metrics_doc_is_current() {
         .metrics_doc
         .contains("`sensor_pipe_delay_ms` | histogram"));
     assert!(outcome.metrics_doc.contains("`reason`"));
+}
+
+#[test]
+fn l006_fixture_matches_expected_findings() {
+    let outcome = lint("l006");
+    assert_snapshot("l006", &outcome);
+    assert_eq!(outcome.error_count, 6, "{}", outcome.report);
+    assert!(outcome.findings.iter().all(|f| f.lint == LintId::L006));
+}
+
+#[test]
+fn l006_value_mismatch_is_span_accurate() {
+    // The acceptance criterion: a deliberately renumbered opcode (the
+    // fixture declares SET = 4 where the spec says 3) is caught with a
+    // span anchored exactly on the value token.
+    let outcome = lint("l006");
+    let mismatch = outcome
+        .findings
+        .iter()
+        .find(|f| f.message.contains("on the wire but"))
+        .expect("value mismatch fires");
+    assert_eq!(
+        mismatch.message,
+        "`SET` is 4 on the wire but docs/SPEC.md:10 says 3"
+    );
+    assert_eq!(mismatch.file, "crates/widget/src/api.rs");
+    // `    pub const SET: u8 = 4;` — line 9, the `4` at column 25.
+    assert_eq!((mismatch.line, mismatch.col, mismatch.len), (9, 25, 1));
+    // The rendered report quotes the line and carets the value.
+    assert!(outcome.report.contains("pub const SET: u8 = 4;"));
+}
+
+#[test]
+fn l006_reports_spec_only_rows_and_stale_doc() {
+    let outcome = lint("l006");
+    let spec_only = outcome
+        .findings
+        .iter()
+        .find(|f| f.file == "docs/SPEC.md")
+        .expect("spec-only row fires");
+    assert!(spec_only
+        .message
+        .contains("spec row `GONE` (value 9, band `widget op`) has no declared constant"));
+    let stale = outcome
+        .findings
+        .iter()
+        .find(|f| f.file == "docs/OPCODES.md")
+        .expect("stale opcodes doc fires");
+    assert!(stale.message.contains("stale"));
+    let collision = outcome
+        .findings
+        .iter()
+        .find(|f| f.message.contains("collides"))
+        .expect("value collision fires");
+    assert!(collision
+        .message
+        .contains("value 1 of `DUP` collides with `PING` in band `widget op`"));
+}
+
+#[test]
+fn l007_fixture_matches_expected_findings() {
+    let outcome = lint("l007");
+    assert_snapshot("l007", &outcome);
+    assert_eq!(outcome.error_count, 5, "{}", outcome.report);
+    assert!(outcome.findings.iter().all(|f| f.lint == LintId::L007));
+    // Raw literals in *test* code are violations too: the last finding
+    // sits inside the fixture's `#[cfg(test)]` module.
+    assert!(outcome
+        .findings
+        .iter()
+        .any(|f| f.line == 55 && f.message.contains("`7` at a `call` site")));
+}
+
+#[test]
+fn l008_fixture_matches_expected_findings() {
+    let outcome = lint("l008");
+    assert_snapshot("l008", &outcome);
+    assert_eq!(outcome.error_count, 2, "{}", outcome.report);
+    let cycle = outcome
+        .findings
+        .iter()
+        .find(|f| f.message.contains("lock-order cycle"))
+        .expect("cycle fires");
+    assert!(cycle
+        .message
+        .contains("lock-order cycle in crate `locks`: `alpha` → `beta` → `alpha`"));
+    let blocking = outcome
+        .findings
+        .iter()
+        .find(|f| f.message.contains("blocking"))
+        .expect("blocking-under-guard fires");
+    assert!(blocking
+        .message
+        .contains("blocking `write_all` call while holding lock `alpha` (line 33)"));
+}
+
+#[test]
+fn conformant_fixture_is_clean() {
+    let outcome = lint("conformant");
+    assert_eq!(
+        outcome.error_count, 0,
+        "conformant fixture should pass:\n{}",
+        outcome.report
+    );
+    assert!(outcome.findings.is_empty(), "{:?}", outcome.findings);
+}
+
+#[test]
+fn conformant_fixture_opcodes_doc_is_current_and_stable() {
+    let outcome = lint("conformant");
+    let checked_in =
+        std::fs::read_to_string(fixture_root("conformant").join("docs/OPCODES.md")).expect("doc");
+    assert_eq!(
+        outcome.opcodes_doc, checked_in,
+        "regenerate with --write-opcodes-doc"
+    );
+    // Rendering is deterministic: a second run yields the same bytes.
+    let again = lint("conformant");
+    assert_eq!(outcome.opcodes_doc, again.opcodes_doc);
+    assert!(outcome.opcodes_doc.contains("`PING`"));
+    assert!(outcome.opcodes_doc.contains("`BAD_PING`"));
 }

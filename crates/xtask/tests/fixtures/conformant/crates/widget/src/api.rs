@@ -1,0 +1,15 @@
+//! Conformant wire api: every constant matches `docs/SPEC.md`.
+
+/// Widget opcode table.
+pub mod op {
+    /// `ping() -> ()`
+    pub const PING: u8 = 1;
+    /// `reset() -> ()`
+    pub const RESET: u8 = 2;
+}
+
+/// Widget error codes.
+pub mod err {
+    /// Malformed ping body.
+    pub const BAD_PING: u8 = 16;
+}

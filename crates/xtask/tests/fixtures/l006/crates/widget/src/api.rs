@@ -1,0 +1,20 @@
+//! Fixture wire api for the `widget` role — deliberately divergent
+//! from `docs/SPEC.md` so every L006 check fires.
+
+/// Widget opcode table.
+pub mod op {
+    /// Matches the spec (the clean row).
+    pub const PING: u8 = 1;
+    /// Deliberately renumbered: the spec says 3.
+    pub const SET: u8 = 4;
+    /// Declared in code but absent from the spec.
+    pub const EXTRA: u8 = 5;
+    /// Collides with `PING` on the wire (and has no spec row).
+    pub const DUP: u8 = 1;
+}
+
+/// Widget error codes.
+pub mod err {
+    /// Matches the spec's `BadPing` row.
+    pub const BAD_PING: u8 = 16;
+}

@@ -1,0 +1,10 @@
+//! The declaring api module: raw wire values are allowed here — this
+//! is where the numbers live, including deliberate raw-byte checks.
+
+/// The one gadget opcode.
+pub const OP_STATUS: u8 = 7;
+
+/// Raw-byte comparison inside the declaring module: exempt from L007.
+pub fn is_status(opcode: u8) -> bool {
+    opcode == 7
+}

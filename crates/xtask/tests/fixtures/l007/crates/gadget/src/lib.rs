@@ -1,0 +1,57 @@
+//! Fixture gadget client: raw wire-constant literals outside the
+//! declaring api module, in every position L007 recognises.
+
+pub mod api;
+
+use api::OP_STATUS;
+
+/// A request envelope.
+pub struct Req {
+    pub opcode: u8,
+    pub body: Vec<u8>,
+}
+
+/// A fake connection with an opcode-taking call helper.
+pub struct Conn;
+
+impl Conn {
+    pub fn call(&self, _opcode: u8, _body: &[u8]) -> Vec<u8> {
+        Vec::new()
+    }
+}
+
+/// Clean: the constant is named.
+pub fn good(conn: &Conn) -> Vec<u8> {
+    conn.call(OP_STATUS, b"")
+}
+
+/// Violation: raw literal as the opcode argument.
+pub fn bad_call(conn: &Conn) -> Vec<u8> {
+    conn.call(7, b"")
+}
+
+/// Violations: raw literal compared against an opcode, both sides.
+pub fn bad_compare(opcode: u8) -> bool {
+    opcode == 9 || 7 != opcode
+}
+
+/// Violation: raw literal in a struct-field init.
+pub fn bad_init() -> Req {
+    Req {
+        opcode: 17,
+        body: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// L007 deliberately applies to tests too: a hard-coded opcode
+    /// keeps passing when the constant moves.
+    #[test]
+    fn raw_opcode_in_a_test_is_still_a_violation() {
+        let conn = Conn;
+        assert!(conn.call(7, b"").is_empty());
+    }
+}

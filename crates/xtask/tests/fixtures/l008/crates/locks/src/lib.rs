@@ -1,0 +1,54 @@
+//! Fixture lock discipline: a lock-order cycle across two methods, a
+//! blocking write under a live guard, and two clean patterns the
+//! heuristic must not flag.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+/// Two locks acquired in opposite orders by different methods.
+pub struct Pair {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Pair {
+    /// Acquires alpha then beta (records the `alpha → beta` edge).
+    pub fn forward(&self) -> u64 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    /// Acquires beta then alpha: closes the cycle — deadlock bait.
+    pub fn backward(&self) -> u64 {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        *b - *a
+    }
+
+    /// Blocking I/O while the alpha guard is live: every thread
+    /// contending for alpha now waits on this socket.
+    pub fn stalls_the_world(&self, stream: &mut TcpStream) {
+        let a = self.alpha.lock().unwrap();
+        stream.write_all(&a.to_be_bytes()).unwrap();
+    }
+
+    /// Clean: the guard dies with the inner block, before the I/O.
+    pub fn copy_then_write(&self, stream: &mut TcpStream) {
+        let value = {
+            let a = self.alpha.lock().unwrap();
+            *a
+        };
+        stream.write_all(&value.to_be_bytes()).unwrap();
+    }
+
+    /// Clean: decide under the lock, write after the match ends.
+    pub fn decide_then_write(&self, stream: &mut TcpStream) {
+        let value = match self.beta.lock() {
+            Ok(b) => *b,
+            Err(poisoned) => *poisoned.into_inner(),
+        };
+        stream.write_all(&value.to_be_bytes()).unwrap();
+    }
+}
