@@ -65,6 +65,13 @@ pub struct Localization {
     pub tile: usize,
     /// Worker threads solving tiles (the result does not depend on it).
     pub threads: usize,
+    /// Shard assignment `(index, count)`: this worker solves only tiles
+    /// whose sequence number `t` (row-major tile order) satisfies
+    /// `t % count == index`, leaving every other tile at the background.
+    /// Defaults to `(0, 1)` — all tiles. Partial analyses from a full
+    /// set of disjoint assignments recombine exactly via
+    /// [`Blue::merge_shards`].
+    pub shard: (usize, usize),
 }
 
 impl Localization {
@@ -86,6 +93,7 @@ impl Localization {
             cutoff_radius_m,
             tile: 8,
             threads,
+            shard: (0, 1),
         }
     }
 
@@ -106,6 +114,20 @@ impl Localization {
     /// Overrides the worker-thread count (clamped to at least one).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Assigns this worker shard `index` of `count`: the analysis solves
+    /// only its own tiles, so `count` workers (threads, processes or
+    /// machines) can split one BLUE pass and recombine with
+    /// [`Blue::merge_shards`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `index < count`.
+    pub fn shard(mut self, index: usize, count: usize) -> Self {
+        assert!(index < count, "shard {index} of {count}");
+        self.shard = (index, count);
         self
     }
 }
@@ -267,12 +289,23 @@ impl Blue {
             }
             iy0 = iy1;
         }
+        // Keep only this worker's tiles; unowned tiles stay at the
+        // background (their increments live in other shards' partials).
+        let (shard, shards) = localization.shard;
+        let tiles: Vec<_> = tiles
+            .into_iter()
+            .enumerate()
+            .filter(|(t, _)| t % shards.max(1) == shard)
+            .map(|(_, t)| t)
+            .collect();
 
         // Solve tiles in parallel; each worker owns a disjoint slice of
         // the result vector, so no synchronization is needed.
         let mut increments: Vec<Result<Vec<f64>, AssimError>> = vec![Ok(Vec::new()); tiles.len()];
         let threads = localization.threads.clamp(1, tiles.len().max(1));
-        let chunk = tiles.len().div_ceil(threads);
+        // max(1): a shard owning no tile (more shards than tiles) still
+        // needs a non-zero chunk size for `chunks`.
+        let chunk = tiles.len().div_ceil(threads).max(1);
         std::thread::scope(|scope| {
             for (jobs, slots) in tiles.chunks(chunk).zip(increments.chunks_mut(chunk)) {
                 scope.spawn(move || {
@@ -373,6 +406,41 @@ impl Blue {
             }
         }
         Ok(increments)
+    }
+
+    /// Recombines partial sharded analyses (see [`Localization::shard`])
+    /// into the full localized analysis: each cell takes the value of
+    /// the partial that solved its tile, or the background where no
+    /// partial touched it. Shard assignments are disjoint, so at most
+    /// one partial differs from the background at any cell and the
+    /// merge is exact — merging a full set of shards is bitwise equal
+    /// to the unsharded [`Blue::analyse_localized`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a partial's grid dimensions differ from the
+    /// background's.
+    pub fn merge_shards(background: &Grid, partials: &[Grid]) -> Grid {
+        let mut merged = background.clone();
+        for partial in partials {
+            assert!(
+                partial.nx() == background.nx() && partial.ny() == background.ny(),
+                "partial grid {}x{} does not match background {}x{}",
+                partial.nx(),
+                partial.ny(),
+                background.nx(),
+                background.ny()
+            );
+            for iy in 0..background.ny() {
+                for ix in 0..background.nx() {
+                    let value = partial.at(ix, iy);
+                    if value != background.at(ix, iy) {
+                        merged.set(ix, iy, value);
+                    }
+                }
+            }
+        }
+        merged
     }
 
     /// Innovation statistics `(mean, rms)` of observations against a
@@ -616,6 +684,57 @@ mod tests {
             blue.analyse_localized(&background(), &outside, &loc),
             Err(AssimError::ObservationOutsideGrid { .. })
         ));
+    }
+
+    #[test]
+    fn sharded_tiles_merge_to_the_full_analysis() {
+        let blue = Blue::new(4.0, 400.0);
+        let obs: Vec<PointObservation> = (0..9)
+            .map(|i| {
+                let at = GeoPoint::from_local_xy(
+                    GeoPoint::PARIS,
+                    ((i % 3) as f64 - 1.0) * 2_500.0,
+                    ((i / 3) as f64 - 1.0) * 2_500.0,
+                );
+                PointObservation::new(at, 50.0 + i as f64, 1.5)
+            })
+            .collect();
+        let loc = Localization::for_radius(400.0).tile(4);
+        let full = blue.analyse_localized(&background(), &obs, &loc).unwrap();
+        for shards in [1, 2, 3, 5] {
+            let partials: Vec<Grid> = (0..shards)
+                .map(|s| {
+                    blue.analyse_localized(&background(), &obs, &loc.shard(s, shards))
+                        .unwrap()
+                })
+                .collect();
+            let merged = Blue::merge_shards(&background(), &partials);
+            assert_eq!(merged, full, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_tiles_still_merge() {
+        // A 24×24 grid with 24-cell tiles has exactly one tile; shards
+        // beyond the first own nothing and return the background.
+        let blue = Blue::new(4.0, 400.0);
+        let obs = vec![PointObservation::new(GeoPoint::PARIS, 62.0, 2.0)];
+        let loc = Localization::for_radius(400.0).tile(24);
+        let full = blue.analyse_localized(&background(), &obs, &loc).unwrap();
+        let partials: Vec<Grid> = (0..4)
+            .map(|s| {
+                blue.analyse_localized(&background(), &obs, &loc.shard(s, 4))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(partials[1], background(), "unowned shard is background");
+        assert_eq!(Blue::merge_shards(&background(), &partials), full);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard 2 of 2")]
+    fn shard_index_must_be_in_range() {
+        let _ = Localization::new(100.0).shard(2, 2);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! additionally writes the raw span stream as JSONL.
 //!
 //! The `fleet` exhibit deploys the broker and the docstore behind real
-//! TCP servers, pushes a faulted upload run through them, then scrapes
+//! TCP servers, pushes a faulted upload run through them, fans in a
+//! 200-member slice of a million-device [`mps_mobile::Fleet`] over a
+//! clean `RemoteBroker` uplink, then scrapes
 //! both daemons' admin opcodes exactly as `xtask obs` would and prints
 //! the merged ops dashboard (fleet table, cross-process waterfall, loss
 //! conservation, top slow RPCs, SLO burn). It exits non-zero if an
@@ -533,7 +535,7 @@ fn fleet() {
     use mps_docstore::{DocstoreTransport, Store};
     use mps_faults::{FaultPlan, FaultSpec};
     use mps_goflow::{GoFlowServer, Role};
-    use mps_mobile::{BrokerLink, GoFlowClient, RetryPolicy};
+    use mps_mobile::{BrokerLink, Fleet, GoFlowClient, RetryPolicy};
     use mps_net::client::ClientConfig;
     use mps_net::fleet::{Endpoint, FleetSnapshot};
     use mps_net::{
@@ -542,8 +544,8 @@ fn fleet() {
     };
     use mps_telemetry::trace::FlightRecorder;
     use mps_types::{
-        AppId, GeoPoint, LocationFix, LocationProvider, Observation, SimDuration, SimTime,
-        SoundLevel,
+        AppId, GeoPoint, LocationFix, LocationProvider, Observation, SensingMode, SimDuration,
+        SimTime, SoundLevel,
     };
     use std::sync::Arc;
 
@@ -640,6 +642,46 @@ fn fleet() {
     server
         .ingest_pending(&app, now, 1_000_000)
         .expect("ingest stored observations");
+
+    // A fleet slice on top of the single faulted client: 200 members of
+    // a million-device crowd (every 5 000th index) upload one capture
+    // each through a clean TCP uplink to the same brokerd, exercising
+    // the `RemoteBroker` path at fan-in before the dashboard scrape.
+    let fleet = Fleet::new(29, 1_000_000);
+    let uplink: Arc<dyn BrokerTransport> = Arc::new(RemoteBroker::connect(
+        broker_srv.local_addr().to_string(),
+        ClientConfig::default(),
+    ));
+    let mut published = 0usize;
+    for index in fleet.shard_members(0, 5_000) {
+        let mut device = fleet.device(index);
+        let obs = device.capture(now, SensingMode::Opportunistic);
+        let fleet_key = session.observation_key("noise", &format!("Z{:03}", index % 120));
+        let payload = serde_json::to_vec(&obs).expect("serializable observation");
+        uplink
+            .publish(session.exchange(), &fleet_key, &payload)
+            .expect("fleet publish over TCP");
+        published += 1;
+    }
+    let outcome = server
+        .ingest_pending(&app, now + SimDuration::from_mins(5), published)
+        .expect("ingest fleet observations");
+    assert_eq!(
+        outcome.stored, published,
+        "fleet slice must store every published observation"
+    );
+    println!(
+        "\nfleet slice: {published} of {} devices uploaded one capture each over real",
+        fleet.len()
+    );
+    println!(
+        "TCP (RemoteBroker -> brokerd); the whole crowd would offer ~{:.1}M obs/day,",
+        fleet.expected_observations_per_day() / 1e6
+    );
+    println!(
+        "peaking at ~{:.0} arrivals per 5-minute slot.",
+        fleet.peak_slot_arrivals()
+    );
 
     // Scrape both daemons exactly as `xtask obs` would (drain mode, so
     // the shared in-process recorder is exported exactly once).

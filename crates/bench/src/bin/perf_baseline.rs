@@ -78,6 +78,8 @@ fn print_speedups(measurements: &[Measurement]) {
         "blue_analysis" => "global",
         "wal_append" => "per_record",
         "net_round_trip" => "tcp",
+        "sustained_throughput" => "shards_1",
+        "batched_ingest" | "batched_ingest_fsyncs_per_obs" => "per_message",
         _ => "full_scan",
     };
     let mut by_key: BTreeMap<(&str, usize), BTreeMap<&str, f64>> = BTreeMap::new();

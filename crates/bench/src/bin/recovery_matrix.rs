@@ -26,14 +26,17 @@
 // A CLI's job is to print.
 #![allow(clippy::print_stdout)]
 
-use mps_broker::{Broker, BrokerDurabilityConfig, ExchangeType};
+use mps_broker::{Broker, BrokerDurabilityConfig, BrokerTransport, ExchangeType};
 use mps_docstore::{Durability, DurabilityConfig, Filter, Store};
 use mps_faults::{CrashPlan, CrashTarget};
-use mps_wal::{KillPoint, WalConfig};
+use mps_goflow::{GoFlowServer, Role};
+use mps_types::{AppId, DeviceModel, Observation, SimTime, SoundLevel};
+use mps_wal::{KillPoint, KillSwitch, WalConfig};
 use serde_json::json;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Records appended between snapshot attempts in every cell — small, so
 /// the mid-snapshot and mid-compaction kill points fire early.
@@ -109,6 +112,37 @@ fn main() {
             }
         }
     }
+    // The batched-ingest cells: a GoFlow server over a durable store,
+    // killed mid-way through a 16-document group-committed batch.
+    for point in [KillPoint::MidAppend, KillPoint::PostAppendPreAck] {
+        for &skip in append_skips {
+            let batches = if long { 64 } else { 12 };
+            let line = match ingest_cell(point, skip, batches) {
+                Ok(cell) => format!(
+                    "PASS {:>8} {:>18} skip {:>2}: {} committed, {} ambiguous, {} recovered, torn_tail={}, deterministic",
+                    "ingest",
+                    point.as_str(),
+                    skip,
+                    cell.committed,
+                    cell.ambiguous,
+                    cell.recovered,
+                    cell.torn,
+                ),
+                Err(why) => {
+                    failures += 1;
+                    format!(
+                        "FAIL {:>8} {:>18} skip {:>2}: {why}",
+                        "ingest",
+                        point.as_str(),
+                        skip,
+                    )
+                }
+            };
+            println!("{line}");
+            let _ = writeln!(report, "{line}");
+        }
+    }
+
     let verdict = if failures == 0 {
         "verdict: all cells passed".to_owned()
     } else {
@@ -409,6 +443,129 @@ fn broker_cell(point: KillPoint, skip: u64, ops: u64) -> Result<Cell, String> {
         committed: published_set.len(),
         ambiguous: ambiguous.len(),
         recovered: everywhere.len(),
+        torn,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(cell)
+}
+
+// ---------------------------------------------------------------------
+// Batched ingest: GoFlow drains 16-message batches into a durable store
+// (one group-committed WAL append per batch), crash mid-batch, reopen.
+// ---------------------------------------------------------------------
+
+/// Messages per ingest batch — matches the batched-ingest bench size.
+const INGEST_BATCH: usize = 16;
+
+fn ingest_cell(point: KillPoint, skip: u64, batches: u64) -> Result<Cell, String> {
+    let dir = scratch("ingest", point, skip);
+    let _ = std::fs::remove_dir_all(&dir);
+    // Armed only after app registration, so `skip` counts ingest-batch
+    // appends, not the setup's index-creation records.
+    let kill = KillSwitch::new();
+    let config = DurabilityConfig::new(&dir)
+        .wal(WalConfig::default().telemetry(false).kill(kill.clone()))
+        .snapshot_every(SNAPSHOT_EVERY);
+    let store =
+        Store::open(Durability::Durable(config)).map_err(|e| format!("faulted open: {e}"))?;
+    let broker: Arc<dyn BrokerTransport> = Arc::new(Broker::new());
+    let server = GoFlowServer::over(Arc::clone(&broker), Arc::new(store));
+    let app = AppId::new("SC");
+    server.register_app(&app).map_err(|e| format!("app: {e}"))?;
+    let token = server
+        .register_user(&app, 1u64.into(), Role::Contributor)
+        .map_err(|e| format!("user: {e}"))?;
+    let session = server.login(&token).map_err(|e| format!("login: {e}"))?;
+    kill.arm(point, skip);
+
+    // Every observation carries its sequence number as the SPL value, so
+    // presence after recovery is checkable per message.
+    let obs_for = |seq: u64| {
+        Observation::builder()
+            .device(1u64.into())
+            .user(1u64.into())
+            .model(DeviceModel::LgeNexus5)
+            .captured_at(SimTime::from_hms(0, 10, 0, 0))
+            .spl(SoundLevel::new(seq as f64))
+            .build()
+    };
+    let key = session.observation_key("noise", "FR75013");
+    let now = SimTime::from_hms(0, 10, 5, 0);
+    let mut committed: BTreeSet<u64> = BTreeSet::new();
+    let mut ambiguous: BTreeSet<u64> = BTreeSet::new();
+    for b in 0..batches {
+        let seqs: Vec<u64> = (b * INGEST_BATCH as u64..(b + 1) * INGEST_BATCH as u64).collect();
+        for &seq in &seqs {
+            let payload = serde_json::to_vec(&obs_for(seq)).map_err(|e| format!("encode: {e}"))?;
+            broker
+                .publish(session.exchange(), &key, &payload)
+                .map_err(|e| format!("publish: {e}"))?;
+        }
+        let outcome = server
+            .ingest_pending(&app, now, INGEST_BATCH)
+            .map_err(|e| format!("ingest: {e}"))?;
+        if outcome.stored == INGEST_BATCH {
+            committed.extend(seqs);
+        } else {
+            // The crash batch: ingest nacked it for redelivery, and a
+            // durable prefix of the torn group commit may survive — every
+            // message in it is legitimately on either side of the crash.
+            ambiguous.extend(seqs);
+            break;
+        }
+    }
+    if kill.dead() != Some(point) {
+        return Err(format!("kill never fired (dead={:?})", kill.dead()));
+    }
+    drop(session);
+    drop(server);
+    let torn = torn_tail(&dir);
+
+    // Two independent replays of the same log must agree byte-for-byte.
+    let reopen = || -> Result<(String, Vec<u64>), String> {
+        let config = DurabilityConfig::new(&dir)
+            .wal(WalConfig::default().telemetry(false))
+            .snapshot_every(SNAPSHOT_EVERY);
+        let store = Store::open(Durability::Durable(config)).map_err(|e| format!("reopen: {e}"))?;
+        let export = store.export_json();
+        let seqs = store
+            .collection("obs-SC")
+            .all()
+            .iter()
+            .filter_map(|d| d.get("spl").and_then(serde_json::Value::as_f64))
+            .map(|spl| spl as u64)
+            .collect();
+        Ok((export, seqs))
+    };
+    let (export_a, seqs) = reopen()?;
+    let (export_b, _) = reopen()?;
+    if export_a != export_b {
+        return Err("replay is not deterministic: exports differ".to_owned());
+    }
+
+    for s in &committed {
+        let n = seqs.iter().filter(|x| *x == s).count();
+        if n != 1 {
+            return Err(format!("committed obs seq {s} present {n} times, want 1"));
+        }
+    }
+    for s in &ambiguous {
+        let n = seqs.iter().filter(|x| *x == s).count();
+        if n > 1 {
+            return Err(format!(
+                "crash-batch obs seq {s} present {n} times, want <=1"
+            ));
+        }
+    }
+    for s in &seqs {
+        if !committed.contains(s) && !ambiguous.contains(s) {
+            return Err(format!("unknown obs seq {s} appeared from nowhere"));
+        }
+    }
+    let cell = Cell {
+        committed: committed.len(),
+        ambiguous: ambiguous.len(),
+        recovered: seqs.len(),
         torn,
     };
     let _ = std::fs::remove_dir_all(&dir);

@@ -193,14 +193,17 @@ impl Broker {
         Self::default()
     }
 
-    /// Opens a durable broker: recovers queue contents from the log in
-    /// `config.dir` (creating it on first open) and write-ahead-logs
-    /// every subsequent queue transition.
+    /// Opens a durable broker: recovers topology and queue contents from
+    /// the log in `config.dir` (creating it on first open) and
+    /// write-ahead-logs every subsequent declaration and queue
+    /// transition.
     ///
     /// Topology (exchanges, bindings, capacities, dead-letter policies)
-    /// is not persisted; re-declare it after opening — declarations are
-    /// idempotent and keep recovered messages. Messages that were
-    /// unacked at the crash come back as ready (at-least-once).
+    /// is persisted and restored before queue transitions are replayed,
+    /// so applications need not re-declare anything on startup
+    /// (re-declaring stays idempotent and keeps recovered messages).
+    /// Messages that were unacked at the crash come back as ready
+    /// (at-least-once).
     ///
     /// # Errors
     ///
@@ -210,9 +213,69 @@ impl Broker {
         let (wal, recovered) =
             mps_wal::Wal::open(&config.dir, config.wal).map_err(durability::wal_err)?;
         let replayed = durability::replay(&recovered)?;
+
+        // Topology first: exchanges, queue shells with capacities,
+        // bindings, dead-letter policies. Bindings whose endpoint vanished
+        // later in the log are skipped — same ignore-unknown policy as
+        // message deltas.
+        let mut exchanges: BTreeMap<String, ExchangeState> = BTreeMap::new();
+        for (name, kind) in &replayed.topology.exchanges {
+            exchanges.insert(name.clone(), ExchangeState::new(*kind));
+        }
         let mut queues: BTreeMap<String, QueueState> = BTreeMap::new();
+        for (name, capacity) in &replayed.topology.queue_capacities {
+            queues.insert(
+                name.clone(),
+                QueueState {
+                    capacity: *capacity,
+                    ..QueueState::default()
+                },
+            );
+        }
+        for (ex_name, queue, pattern) in &replayed.topology.queue_bindings {
+            if !queues.contains_key(queue) {
+                continue;
+            }
+            let Some(ex) = exchanges.get_mut(ex_name) else {
+                continue;
+            };
+            let pattern = BindingPattern::new(pattern.as_str())?;
+            let compiled = CompiledPattern::new(&pattern);
+            ex.add_binding(Binding {
+                pattern,
+                compiled,
+                target: Target::Queue(queue.clone()),
+            });
+        }
+        for (source, destination, pattern) in &replayed.topology.exchange_bindings {
+            if !exchanges.contains_key(destination) {
+                continue;
+            }
+            let Some(ex) = exchanges.get_mut(source) else {
+                continue;
+            };
+            let pattern = BindingPattern::new(pattern.as_str())?;
+            let compiled = CompiledPattern::new(&pattern);
+            ex.add_binding(Binding {
+                pattern,
+                compiled,
+                target: Target::Exchange(destination.clone()),
+            });
+        }
+        for (queue, (max, target)) in &replayed.topology.dead_letters {
+            if !queues.contains_key(target) {
+                continue;
+            }
+            if let Some(q) = queues.get_mut(queue) {
+                q.dead_letter = Some(DeadLetterPolicy {
+                    max_delivery_attempts: *max,
+                    target: target.clone(),
+                });
+            }
+        }
+
         for (name, entries) in replayed.queues {
-            let mut q = QueueState::default();
+            let q = queues.entry(name).or_default();
             for e in entries {
                 let mut message = Message::new(RoutingKey::new(&e.key)?, e.payload);
                 for (k, v) in e.headers {
@@ -221,9 +284,9 @@ impl Broker {
                 q.ready.push_back((Arc::new(message), e.deliveries, e.id));
             }
             q.enqueued_total = q.ready.len() as u64;
-            queues.insert(name, q);
         }
         let state = State {
+            exchanges,
             queues,
             next_durable_id: replayed.next_id,
             ..State::default()
@@ -272,7 +335,35 @@ impl Broker {
                 view.insert(name.clone(), entries);
             }
         }
-        let bytes = durability::encode_snapshot(&view, state.next_durable_id)?;
+        let mut topology = durability::ReplayedTopology::default();
+        for (name, ex) in &state.exchanges {
+            topology.exchanges.insert(name.clone(), ex.kind);
+            for b in &ex.bindings {
+                let pattern = b.pattern.as_str().to_owned();
+                match &b.target {
+                    Target::Queue(q) => {
+                        topology
+                            .queue_bindings
+                            .push((name.clone(), q.clone(), pattern));
+                    }
+                    Target::Exchange(e) => {
+                        topology
+                            .exchange_bindings
+                            .push((name.clone(), e.clone(), pattern));
+                    }
+                }
+            }
+        }
+        for (name, q) in &state.queues {
+            topology.queue_capacities.insert(name.clone(), q.capacity);
+            if let Some(policy) = &q.dead_letter {
+                topology.dead_letters.insert(
+                    name.clone(),
+                    (policy.max_delivery_attempts, policy.target.clone()),
+                );
+            }
+        }
+        let bytes = durability::encode_snapshot(&view, state.next_durable_id, &topology)?;
         durable.write_snapshot(&bytes)
     }
 
@@ -322,34 +413,39 @@ impl Broker {
 
     // ----- management -----------------------------------------------------
 
-    /// Declares an exchange. Redeclaring with the same type is a no-op.
+    /// Declares an exchange. Redeclaring with the same type is a no-op
+    /// (and logs nothing on a durable broker).
     ///
     /// # Errors
     ///
     /// Returns [`BrokerError::ExchangeTypeMismatch`] if the exchange exists
-    /// with a different type.
+    /// with a different type, or [`BrokerError::Durability`] if a durable
+    /// broker fails to log the declaration.
     pub fn declare_exchange(&self, name: &str, kind: ExchangeType) -> Result<(), BrokerError> {
         let mut state = self.state.lock();
         match state.exchanges.get(name) {
             Some(existing) if existing.kind != kind => {
-                Err(BrokerError::ExchangeTypeMismatch { name: name.into() })
+                return Err(BrokerError::ExchangeTypeMismatch { name: name.into() });
             }
-            Some(_) => Ok(()),
-            None => {
-                state
-                    .exchanges
-                    .insert(name.to_owned(), ExchangeState::new(kind));
-                Ok(())
-            }
+            Some(_) => return Ok(()),
+            None => {}
         }
+        state
+            .exchanges
+            .insert(name.to_owned(), ExchangeState::new(kind));
+        if let Some(durable) = &self.durable {
+            durable.append(&[durability::declare_exchange_delta(name, kind)])?;
+        }
+        Ok(())
     }
 
-    /// Declares an unbounded queue. Redeclaring is a no-op.
+    /// Declares an unbounded queue. Redeclaring is a no-op (and logs
+    /// nothing on a durable broker).
     ///
     /// # Errors
     ///
-    /// Currently infallible; returns `Result` for forward compatibility
-    /// with declaration arguments.
+    /// Returns [`BrokerError::Durability`] if a durable broker fails to
+    /// log the declaration.
     pub fn declare_queue(&self, name: &str) -> Result<(), BrokerError> {
         self.declare_queue_inner(name, None)
     }
@@ -359,7 +455,8 @@ impl Broker {
     ///
     /// # Errors
     ///
-    /// Currently infallible; returns `Result` for forward compatibility.
+    /// Returns [`BrokerError::Durability`] if a durable broker fails to
+    /// log the declaration.
     pub fn declare_queue_with_capacity(
         &self,
         name: &str,
@@ -370,13 +467,19 @@ impl Broker {
 
     fn declare_queue_inner(&self, name: &str, capacity: Option<usize>) -> Result<(), BrokerError> {
         let mut state = self.state.lock();
-        state
-            .queues
-            .entry(name.to_owned())
-            .or_insert_with(|| QueueState {
+        if state.queues.contains_key(name) {
+            return Ok(());
+        }
+        state.queues.insert(
+            name.to_owned(),
+            QueueState {
                 capacity,
                 ..QueueState::default()
-            });
+            },
+        );
+        if let Some(durable) = &self.durable {
+            durable.append(&[durability::declare_queue_delta(name, capacity)])?;
+        }
         Ok(())
     }
 
@@ -403,7 +506,7 @@ impl Broker {
         queue: &str,
         pattern: &str,
     ) -> Result<(), BrokerError> {
-        let pattern = BindingPattern::new(pattern)?;
+        let parsed = BindingPattern::new(pattern)?;
         let mut state = self.state.lock();
         if !state.queues.contains_key(queue) {
             return Err(BrokerError::QueueNotFound(queue.into()));
@@ -412,14 +515,18 @@ impl Broker {
             .exchanges
             .get_mut(exchange)
             .ok_or_else(|| BrokerError::ExchangeNotFound(exchange.into()))?;
-        let compiled = CompiledPattern::new(&pattern);
+        let compiled = CompiledPattern::new(&parsed);
         let changed = ex.add_binding(Binding {
-            pattern,
+            pattern: parsed,
             compiled,
             target: Target::Queue(queue.to_owned()),
         });
         if changed {
-            state.route_cache.invalidate();
+            let affected = exchanges_reaching(&state.exchanges, exchange);
+            state.route_cache.invalidate_exchanges(&affected);
+            if let Some(durable) = &self.durable {
+                durable.append(&[durability::bind_queue_delta(exchange, queue, pattern)])?;
+            }
         }
         Ok(())
     }
@@ -439,7 +546,7 @@ impl Broker {
         destination: &str,
         pattern: &str,
     ) -> Result<(), BrokerError> {
-        let pattern = BindingPattern::new(pattern)?;
+        let parsed = BindingPattern::new(pattern)?;
         let mut state = self.state.lock();
         if !state.exchanges.contains_key(destination) {
             return Err(BrokerError::ExchangeNotFound(destination.into()));
@@ -448,14 +555,22 @@ impl Broker {
             .exchanges
             .get_mut(source)
             .ok_or_else(|| BrokerError::ExchangeNotFound(source.into()))?;
-        let compiled = CompiledPattern::new(&pattern);
+        let compiled = CompiledPattern::new(&parsed);
         let changed = ex.add_binding(Binding {
-            pattern,
+            pattern: parsed,
             compiled,
             target: Target::Exchange(destination.to_owned()),
         });
         if changed {
-            state.route_cache.invalidate();
+            let affected = exchanges_reaching(&state.exchanges, source);
+            state.route_cache.invalidate_exchanges(&affected);
+            if let Some(durable) = &self.durable {
+                durable.append(&[durability::bind_exchange_delta(
+                    source,
+                    destination,
+                    pattern,
+                )])?;
+            }
         }
         Ok(())
     }
@@ -471,16 +586,20 @@ impl Broker {
         queue: &str,
         pattern: &str,
     ) -> Result<(), BrokerError> {
-        let pattern = BindingPattern::new(pattern)?;
+        let parsed = BindingPattern::new(pattern)?;
         let mut state = self.state.lock();
         let ex = state
             .exchanges
             .get_mut(exchange)
             .ok_or_else(|| BrokerError::ExchangeNotFound(exchange.into()))?;
         let target = Target::Queue(queue.to_owned());
-        let changed = ex.retain_bindings(|b| !(b.pattern == pattern && b.target == target));
+        let changed = ex.retain_bindings(|b| !(b.pattern == parsed && b.target == target));
         if changed {
-            state.route_cache.invalidate();
+            let affected = exchanges_reaching(&state.exchanges, exchange);
+            state.route_cache.invalidate_exchanges(&affected);
+            if let Some(durable) = &self.durable {
+                durable.append(&[durability::unbind_queue_delta(exchange, queue, pattern)])?;
+            }
         }
         Ok(())
     }
@@ -489,17 +608,26 @@ impl Broker {
     ///
     /// # Errors
     ///
-    /// Returns [`BrokerError::ExchangeNotFound`] if it does not exist.
+    /// Returns [`BrokerError::ExchangeNotFound`] if it does not exist, or
+    /// [`BrokerError::Durability`] if a durable broker fails to log the
+    /// deletion.
     pub fn delete_exchange(&self, name: &str) -> Result<(), BrokerError> {
         let mut state = self.state.lock();
-        if state.exchanges.remove(name).is_none() {
+        if !state.exchanges.contains_key(name) {
             return Err(BrokerError::ExchangeNotFound(name.into()));
         }
+        // Cached routes entering through any exchange that can reach the
+        // doomed one may traverse it — compute the set before removal.
+        let affected = exchanges_reaching(&state.exchanges, name);
+        state.exchanges.remove(name);
         let gone = Target::Exchange(name.to_owned());
         for ex in state.exchanges.values_mut() {
             ex.retain_bindings(|b| b.target != gone);
         }
-        state.route_cache.invalidate();
+        state.route_cache.invalidate_exchanges(&affected);
+        if let Some(durable) = &self.durable {
+            durable.append(&[durability::delete_exchange_delta(name)])?;
+        }
         Ok(())
     }
 
@@ -516,10 +644,19 @@ impl Broker {
             return Err(BrokerError::QueueNotFound(name.into()));
         }
         let gone = Target::Queue(name.to_owned());
-        for ex in state.exchanges.values_mut() {
-            ex.retain_bindings(|b| b.target != gone);
+        let mut touched: Vec<String> = Vec::new();
+        for (ex_name, ex) in state.exchanges.iter_mut() {
+            if ex.retain_bindings(|b| b.target != gone) {
+                touched.push(ex_name.clone());
+            }
         }
-        state.route_cache.invalidate();
+        // Only routes that could name the deleted queue are stale: those
+        // entering through an exchange that reaches one that bound it.
+        let mut affected = BTreeSet::new();
+        for ex_name in &touched {
+            affected.extend(exchanges_reaching(&state.exchanges, ex_name));
+        }
+        state.route_cache.invalidate_exchanges(&affected);
         if let Some(durable) = &self.durable {
             durable.append(&[durability::delete_queue_delta(name)])?;
         }
@@ -621,10 +758,21 @@ impl Broker {
             .queues
             .get_mut(queue)
             .ok_or_else(|| BrokerError::QueueNotFound(queue.into()))?;
-        q.dead_letter = Some(DeadLetterPolicy {
+        let policy = DeadLetterPolicy {
             max_delivery_attempts,
             target: target.to_owned(),
-        });
+        };
+        let changed = q.dead_letter.as_ref() != Some(&policy);
+        q.dead_letter = Some(policy);
+        if changed {
+            if let Some(durable) = &self.durable {
+                durable.append(&[durability::dead_letter_policy_delta(
+                    queue,
+                    max_delivery_attempts,
+                    target,
+                )])?;
+            }
+        }
         Ok(())
     }
 
@@ -831,6 +979,61 @@ impl Broker {
         Ok(())
     }
 
+    /// Acknowledges a batch of deliveries from one queue with a single
+    /// group-committed log append — one fsync settles the whole batch,
+    /// the hot-path counterpart of per-delivery [`Broker::ack`] used by
+    /// batched ingest. Tags are settled in order; on the first unknown
+    /// tag the acks gathered so far are still committed and the error is
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownDeliveryTag`] for an unknown tag,
+    /// [`BrokerError::QueueNotFound`] for an unknown queue, and
+    /// [`BrokerError::Durability`] if logging the batch fails.
+    pub fn ack_many(&self, queue: &str, tags: &[u64]) -> Result<(), BrokerError> {
+        if tags.is_empty() {
+            return Ok(());
+        }
+        let mut state = self.state.lock();
+        let q = state
+            .queues
+            .get_mut(queue)
+            .ok_or_else(|| BrokerError::QueueNotFound(queue.into()))?;
+        let mut deltas = Vec::with_capacity(tags.len());
+        let mut settled: u64 = 0;
+        let mut unknown = None;
+        for &tag in tags {
+            match q.unacked.remove(&tag) {
+                Some((_, _, durable_id)) => {
+                    settled += 1;
+                    if self.durable.is_some() {
+                        deltas.push(durability::ack_delta(queue, durable_id));
+                    }
+                }
+                None => {
+                    unknown = Some(tag);
+                    break;
+                }
+            }
+        }
+        let depth = q.ready.len();
+        if let Some(durable) = &self.durable {
+            durable.append(&deltas)?;
+        }
+        self.metrics.on_acked_many(settled);
+        self.metrics.sample_queue_depth(queue, depth);
+        drop(state);
+        self.maybe_snapshot();
+        match unknown {
+            None => Ok(()),
+            Some(tag) => Err(BrokerError::UnknownDeliveryTag {
+                queue: queue.into(),
+                tag,
+            }),
+        }
+    }
+
     /// Negatively acknowledges a delivery. With `requeue`, the message
     /// returns to the **front** of the queue flagged as redelivered —
     /// unless the queue's [`DeadLetterPolicy`] is exhausted, in which case
@@ -943,6 +1146,40 @@ impl Broker {
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
     }
+}
+
+/// The set of exchanges from which `changed` is reachable over
+/// exchange-to-exchange bindings, including `changed` itself — exactly
+/// the route-cache entry points whose memoized destination sets could
+/// traverse the changed exchange. Fixpoint over the reversed binding
+/// graph; topologies are small and topology changes rare, so the
+/// quadratic sweep is fine.
+fn exchanges_reaching(
+    exchanges: &BTreeMap<String, ExchangeState>,
+    changed: &str,
+) -> BTreeSet<String> {
+    let mut reaching: BTreeSet<String> = BTreeSet::new();
+    reaching.insert(changed.to_owned());
+    loop {
+        let mut grew = false;
+        for (name, ex) in exchanges {
+            if reaching.contains(name) {
+                continue;
+            }
+            let feeds = ex.bindings.iter().any(|b| match &b.target {
+                Target::Exchange(dst) => reaching.contains(dst),
+                Target::Queue(_) => false,
+            });
+            if feeds {
+                reaching.insert(name.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    reaching
 }
 
 /// Breadth-first walk across exchange-to-exchange bindings from `entry`,
@@ -1856,6 +2093,166 @@ mod tests {
         let d = b.consume("q", 1).unwrap();
         assert_eq!(d[0].message.header("x-client"), Some("c1"));
         assert!(d[0].redelivered, "delivery count survives recovery");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn topology_survives_recovery_without_redeclare() {
+        let dir = temp_dir("topo");
+        let b = Broker::open_durable(durable_config(&dir)).unwrap();
+        b.declare_exchange("client", ExchangeType::Topic).unwrap();
+        b.declare_exchange("app", ExchangeType::Topic).unwrap();
+        b.declare_exchange("old", ExchangeType::Fanout).unwrap();
+        b.declare_queue_with_capacity("q", 8).unwrap();
+        b.declare_queue("dlq").unwrap();
+        b.declare_queue("spill").unwrap();
+        b.bind_exchange("client", "app", "#").unwrap();
+        b.bind_queue("app", "q", "obs.#").unwrap();
+        b.bind_queue("app", "spill", "obs.#").unwrap();
+        b.unbind_queue("app", "spill", "obs.#").unwrap();
+        b.configure_dead_letter("q", 2, "dlq").unwrap();
+        b.delete_exchange("old").unwrap();
+        b.publish("client", "obs.x", &b"m"[..]).unwrap();
+        drop(b);
+
+        // No re-declaration: the recovered broker routes, bounds and
+        // dead-letters exactly like the one that crashed.
+        let b = Broker::open_durable(durable_config(&dir)).unwrap();
+        assert!(b.exchange_exists("client") && b.exchange_exists("app"));
+        assert!(!b.exchange_exists("old"), "deleted exchange stays deleted");
+        assert_eq!(b.publish("client", "obs.y", &b"n"[..]).unwrap(), 1);
+        assert_eq!(b.queue_depth("q").unwrap(), 2);
+        assert_eq!(b.queue_depth("spill").unwrap(), 0, "unbind survives");
+        let info = b.queues().into_iter().find(|q| q.name == "q").unwrap();
+        assert_eq!(info.capacity, Some(8), "capacity survives");
+        assert_eq!(
+            b.dead_letter_policy("q").unwrap(),
+            Some(DeadLetterPolicy {
+                max_delivery_attempts: 2,
+                target: "dlq".into()
+            })
+        );
+        // And the recovered policy still fires.
+        for _ in 0..2 {
+            let d = b.consume("q", 1).unwrap();
+            b.nack("q", d[0].tag, true).unwrap();
+        }
+        assert_eq!(b.queue_depth("dlq").unwrap(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn topology_survives_snapshot_compaction() {
+        let dir = temp_dir("topo-snap");
+        let b = Broker::open_durable(durable_config(&dir)).unwrap();
+        declare_app(&b);
+        b.publish("app", "obs.x", &b"m"[..]).unwrap();
+        // Checkpointing folds topology into the snapshot; the compacted
+        // log must still recover every declaration.
+        b.checkpoint().unwrap();
+        drop(b);
+
+        let b = Broker::open_durable(durable_config(&dir)).unwrap();
+        assert!(b.exchange_exists("app"));
+        assert_eq!(
+            b.dead_letter_policy("q").unwrap().map(|p| p.target),
+            Some("dlq".into())
+        );
+        assert_eq!(b.publish("app", "obs.y", &b"n"[..]).unwrap(), 1);
+        assert_eq!(b.queue_depth("q").unwrap(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn route_cache_survives_unrelated_churn() {
+        let b = Broker::new();
+        b.declare_exchange("hot", ExchangeType::Topic).unwrap();
+        b.declare_exchange("churn", ExchangeType::Topic).unwrap();
+        b.declare_queue("hq").unwrap();
+        b.declare_queue("cq").unwrap();
+        b.bind_queue("hot", "hq", "obs.#").unwrap();
+
+        // Warm the hot entry: one miss, then hits.
+        b.publish("hot", "obs.x", &b"1"[..]).unwrap();
+        b.publish("hot", "obs.x", &b"2"[..]).unwrap();
+        let warm = b.metrics();
+        assert_eq!(warm.route_cache_misses, 1);
+        assert_eq!(warm.route_cache_hits, 1);
+
+        // Churn on an unrelated exchange must not evict the hot entry.
+        for _ in 0..16 {
+            b.bind_queue("churn", "cq", "obs.#").unwrap();
+            b.unbind_queue("churn", "cq", "obs.#").unwrap();
+        }
+        b.publish("hot", "obs.x", &b"3"[..]).unwrap();
+        let after = b.metrics();
+        assert_eq!(after.route_cache_misses, 1, "no re-route after churn");
+        assert_eq!(after.route_cache_hits, 2);
+
+        // Churn on the hot exchange itself does invalidate.
+        b.bind_queue("hot", "cq", "other.#").unwrap();
+        b.publish("hot", "obs.x", &b"4"[..]).unwrap();
+        assert_eq!(b.metrics().route_cache_misses, 2);
+    }
+
+    #[test]
+    fn route_cache_invalidation_follows_exchange_chains() {
+        let b = Broker::new();
+        b.declare_exchange("entry", ExchangeType::Topic).unwrap();
+        b.declare_exchange("inner", ExchangeType::Topic).unwrap();
+        b.declare_queue("q").unwrap();
+        b.bind_exchange("entry", "inner", "#").unwrap();
+        b.publish("entry", "obs.x", &b"1"[..]).unwrap();
+        // Binding deep in the chain must invalidate routes cached at the
+        // entry exchange, or the new queue would be silently skipped.
+        b.bind_queue("inner", "q", "obs.#").unwrap();
+        assert_eq!(b.publish("entry", "obs.x", &b"2"[..]).unwrap(), 1);
+        assert_eq!(b.queue_depth("q").unwrap(), 1);
+
+        // Deleting a routed-to queue likewise refreshes ancestor entries.
+        b.delete_queue("q").unwrap();
+        assert_eq!(b.publish("entry", "obs.x", &b"3"[..]).unwrap(), 0);
+    }
+
+    #[test]
+    fn ack_many_settles_batch_and_reports_unknown_tags() {
+        let b = broker_with_topic_setup();
+        b.bind_queue("app", "q1", "obs.#").unwrap();
+        for i in 0..4u8 {
+            b.publish("app", "obs.x", vec![i]).unwrap();
+        }
+        let d = b.consume("q1", 4).unwrap();
+        let tags: Vec<u64> = d.iter().map(|d| d.tag).collect();
+        b.ack_many("q1", &tags[..3]).unwrap();
+        assert_eq!(b.metrics().acked, 3);
+        // Unknown tag after a valid one: the valid ack still settles.
+        let err = b.ack_many("q1", &[tags[3], 999]).unwrap_err();
+        assert!(matches!(
+            err,
+            BrokerError::UnknownDeliveryTag { tag: 999, .. }
+        ));
+        assert_eq!(b.metrics().acked, 4);
+        assert!(b.ack("q1", tags[3]).is_err(), "already settled");
+        b.ack_many("q1", &[]).unwrap();
+    }
+
+    #[test]
+    fn ack_many_is_durable_across_recovery() {
+        let dir = temp_dir("ackmany");
+        let b = Broker::open_durable(durable_config(&dir)).unwrap();
+        declare_app(&b);
+        for i in 0..4u8 {
+            b.publish("app", "obs.x", vec![i]).unwrap();
+        }
+        let d = b.consume("q", 3).unwrap();
+        let tags: Vec<u64> = d.iter().map(|d| d.tag).collect();
+        b.ack_many("q", &tags).unwrap();
+        drop(b);
+
+        let b = Broker::open_durable(durable_config(&dir)).unwrap();
+        let q = b.queue_snapshot("q").unwrap();
+        let payloads: Vec<&[u8]> = q.ready.iter().map(|m| m.payload.as_slice()).collect();
+        assert_eq!(payloads, vec![&[3u8][..]], "batch-acked never resurrected");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -13,15 +13,20 @@
 //! redelivered — standard at-least-once semantics — while an acked
 //! message is never resurrected, because its `ack` delta survives.
 //!
-//! **Limits.** Topology (exchanges, bindings, capacities, dead-letter
-//! policies) is *not* persisted; applications re-declare it on startup,
-//! which is idempotent and keeps recovered messages (`declare_queue` on
-//! an existing queue is a no-op). Per-queue session counters
-//! (`enqueued_total`, delivery tags) restart. As with the docstore, a
-//! durability failure mid-operation can leave memory ahead of the log;
-//! the instance must be discarded and reopened.
+//! **Topology is durable too**: exchange and queue declarations (with
+//! capacities), bindings and dead-letter policies are logged as
+//! `declare_exchange` / `declare_queue` / `bind_queue` / `bind_exchange`
+//! / `unbind_queue` / `delete_exchange` / `dead_letter_policy` deltas
+//! and restored *before* queue transitions are replayed, so applications
+//! no longer have to re-declare capacities and DLQ policies on startup
+//! (re-declaring stays idempotent and harmless).
+//!
+//! **Limits.** Per-queue session counters (`enqueued_total`, delivery
+//! tags) restart. As with the docstore, a durability failure
+//! mid-operation can leave memory ahead of the log; the instance must
+//! be discarded and reopened.
 
-use crate::{BrokerError, Message};
+use crate::{BrokerError, ExchangeType, Message};
 use mps_wal::Recovered;
 use serde_json::{json, Map, Value};
 use std::collections::{BTreeMap, VecDeque};
@@ -103,8 +108,26 @@ pub(crate) struct RecoveredEntry {
     pub(crate) deliveries: u32,
 }
 
-/// The replayed queue contents plus the next durable id to assign.
+/// Durable topology as recovered from (or encoded into) the log: the
+/// declarative broker state that is *not* per-message. Also serves as
+/// the snapshot-time view the broker builds from its live state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct ReplayedTopology {
+    /// Exchange name → type.
+    pub(crate) exchanges: BTreeMap<String, ExchangeType>,
+    /// Declared queues and their capacity limits.
+    pub(crate) queue_capacities: BTreeMap<String, Option<usize>>,
+    /// `(exchange, queue, pattern)` bindings, in declaration order.
+    pub(crate) queue_bindings: Vec<(String, String, String)>,
+    /// `(source, destination, pattern)` exchange-to-exchange bindings.
+    pub(crate) exchange_bindings: Vec<(String, String, String)>,
+    /// Queue → (max delivery attempts, dead-letter target).
+    pub(crate) dead_letters: BTreeMap<String, (u32, String)>,
+}
+
+/// The replayed topology and queue contents plus the next durable id.
 pub(crate) struct ReplayedState {
+    pub(crate) topology: ReplayedTopology,
     pub(crate) queues: BTreeMap<String, VecDeque<RecoveredEntry>>,
     pub(crate) next_id: u64,
 }
@@ -223,6 +246,51 @@ pub(crate) fn from_hex(s: &str) -> Result<Vec<u8>, BrokerError> {
 
 // ----- delta builders ---------------------------------------------------
 
+fn kind_str(kind: ExchangeType) -> &'static str {
+    match kind {
+        ExchangeType::Direct => "direct",
+        ExchangeType::Fanout => "fanout",
+        ExchangeType::Topic => "topic",
+    }
+}
+
+fn parse_kind(s: &str) -> Result<ExchangeType, BrokerError> {
+    match s {
+        "direct" => Ok(ExchangeType::Direct),
+        "fanout" => Ok(ExchangeType::Fanout),
+        "topic" => Ok(ExchangeType::Topic),
+        other => Err(corrupt(format!("unknown exchange kind `{other}`"))),
+    }
+}
+
+pub(crate) fn declare_exchange_delta(name: &str, kind: ExchangeType) -> Value {
+    json!({"op": "declare_exchange", "name": name, "kind": kind_str(kind)})
+}
+
+pub(crate) fn declare_queue_delta(name: &str, capacity: Option<usize>) -> Value {
+    json!({"op": "declare_queue", "name": name, "capacity": capacity})
+}
+
+pub(crate) fn bind_queue_delta(exchange: &str, queue: &str, pattern: &str) -> Value {
+    json!({"op": "bind_queue", "exchange": exchange, "queue": queue, "pattern": pattern})
+}
+
+pub(crate) fn bind_exchange_delta(source: &str, destination: &str, pattern: &str) -> Value {
+    json!({"op": "bind_exchange", "source": source, "destination": destination, "pattern": pattern})
+}
+
+pub(crate) fn unbind_queue_delta(exchange: &str, queue: &str, pattern: &str) -> Value {
+    json!({"op": "unbind_queue", "exchange": exchange, "queue": queue, "pattern": pattern})
+}
+
+pub(crate) fn delete_exchange_delta(name: &str) -> Value {
+    json!({"op": "delete_exchange", "name": name})
+}
+
+pub(crate) fn dead_letter_policy_delta(queue: &str, max_attempts: u32, target: &str) -> Value {
+    json!({"op": "dead_letter_policy", "queue": queue, "max_attempts": max_attempts, "target": target})
+}
+
 pub(crate) fn enqueue_delta(queue: &str, entry: &RecoveredEntry) -> Value {
     let mut headers = Map::new();
     for (k, v) in &entry.headers {
@@ -266,10 +334,11 @@ pub(crate) fn delete_queue_delta(queue: &str) -> Value {
 // ----- snapshot + replay ------------------------------------------------
 
 /// Encodes the full queue state (ready + unacked folded together, queue
-/// order) as canonical snapshot bytes.
+/// order) plus the declared topology as canonical snapshot bytes.
 pub(crate) fn encode_snapshot(
     queues: &BTreeMap<String, Vec<RecoveredEntry>>,
     next_id: u64,
+    topology: &ReplayedTopology,
 ) -> Result<Vec<u8>, BrokerError> {
     let mut out = Map::new();
     for (name, entries) in queues {
@@ -291,7 +360,124 @@ pub(crate) fn encode_snapshot(
             .collect();
         out.insert(name.clone(), Value::Array(list));
     }
-    serde_json::to_vec(&json!({"next_id": next_id, "queues": out})).map_err(corrupt)
+    let exchanges: Map<String, Value> = topology
+        .exchanges
+        .iter()
+        .map(|(name, kind)| (name.clone(), Value::String(kind_str(*kind).to_owned())))
+        .collect();
+    let capacities: Map<String, Value> = topology
+        .queue_capacities
+        .iter()
+        .map(|(name, cap)| (name.clone(), json!(cap)))
+        .collect();
+    let triple = |(a, b, c): &(String, String, String)| json!([a, b, c]);
+    let dead_letters: Map<String, Value> = topology
+        .dead_letters
+        .iter()
+        .map(|(queue, (max, target))| {
+            (
+                queue.clone(),
+                json!({"max_attempts": max, "target": target}),
+            )
+        })
+        .collect();
+    serde_json::to_vec(&json!({
+        "next_id": next_id,
+        "queues": out,
+        "topology": {
+            "exchanges": exchanges,
+            "queue_capacities": capacities,
+            "queue_bindings": topology.queue_bindings.iter().map(triple).collect::<Vec<_>>(),
+            "exchange_bindings": topology.exchange_bindings.iter().map(triple).collect::<Vec<_>>(),
+            "dead_letters": dead_letters,
+        },
+    }))
+    .map_err(corrupt)
+}
+
+fn parse_triples(
+    value: Option<&Value>,
+    at: &str,
+) -> Result<Vec<(String, String, String)>, BrokerError> {
+    let mut out = Vec::new();
+    for entry in value.and_then(Value::as_array).into_iter().flatten() {
+        let parts = entry
+            .as_array()
+            .filter(|a| a.len() == 3)
+            .ok_or_else(|| corrupt(format!("{at}: binding is not a 3-tuple")))?;
+        let mut strings = Vec::with_capacity(3);
+        for p in parts {
+            strings.push(
+                p.as_str()
+                    .ok_or_else(|| corrupt(format!("{at}: non-string binding part")))?
+                    .to_owned(),
+            );
+        }
+        let c = strings.pop().unwrap_or_default();
+        let b = strings.pop().unwrap_or_default();
+        let a = strings.pop().unwrap_or_default();
+        out.push((a, b, c));
+    }
+    Ok(out)
+}
+
+/// Parses the topology section of a snapshot; snapshots written before
+/// topology became durable simply lack the key and recover empty.
+fn parse_topology(snapshot: &Value) -> Result<ReplayedTopology, BrokerError> {
+    let mut topology = ReplayedTopology::default();
+    let Some(section) = snapshot.get("topology") else {
+        return Ok(topology);
+    };
+    for (name, kind) in section
+        .get("exchanges")
+        .and_then(Value::as_object)
+        .into_iter()
+        .flatten()
+    {
+        let kind = kind
+            .as_str()
+            .ok_or_else(|| corrupt(format!("exchange {name}: non-string kind")))?;
+        topology.exchanges.insert(name.clone(), parse_kind(kind)?);
+    }
+    for (name, cap) in section
+        .get("queue_capacities")
+        .and_then(Value::as_object)
+        .into_iter()
+        .flatten()
+    {
+        let capacity = if cap.is_null() {
+            None
+        } else {
+            Some(
+                cap.as_u64()
+                    .ok_or_else(|| corrupt(format!("queue {name}: bad capacity")))?
+                    as usize,
+            )
+        };
+        topology.queue_capacities.insert(name.clone(), capacity);
+    }
+    topology.queue_bindings = parse_triples(section.get("queue_bindings"), "queue_bindings")?;
+    topology.exchange_bindings =
+        parse_triples(section.get("exchange_bindings"), "exchange_bindings")?;
+    for (queue, policy) in section
+        .get("dead_letters")
+        .and_then(Value::as_object)
+        .into_iter()
+        .flatten()
+    {
+        let max = policy
+            .get("max_attempts")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| corrupt(format!("dead letter on {queue}: missing max_attempts")))?;
+        let target = policy
+            .get("target")
+            .and_then(Value::as_str)
+            .ok_or_else(|| corrupt(format!("dead letter on {queue}: missing target")))?;
+        topology
+            .dead_letters
+            .insert(queue.clone(), (max as u32, target.to_owned()));
+    }
+    Ok(topology)
 }
 
 fn parse_entry(value: &Value, at: &str) -> Result<RecoveredEntry, BrokerError> {
@@ -336,13 +522,15 @@ fn remove_by_id(queue: &mut VecDeque<RecoveredEntry>, id: u64) -> Option<Recover
     queue.remove(pos)
 }
 
-/// Rebuilds queue contents from a recovered snapshot + log tail.
+/// Rebuilds topology and queue contents from a recovered snapshot +
+/// log tail.
 ///
 /// Deltas referring to ids the replay no longer holds (e.g. an `ack`
 /// logged after a crash-killed `enqueue` append) are ignored: the
 /// message was never durably enqueued, so there is nothing to remove.
 pub(crate) fn replay(recovered: &Recovered) -> Result<ReplayedState, BrokerError> {
     let mut queues: BTreeMap<String, VecDeque<RecoveredEntry>> = BTreeMap::new();
+    let mut topology = ReplayedTopology::default();
     let mut next_id: u64 = 1;
 
     if let Some(bytes) = &recovered.snapshot {
@@ -351,6 +539,7 @@ pub(crate) fn replay(recovered: &Recovered) -> Result<ReplayedState, BrokerError
             .get("next_id")
             .and_then(Value::as_u64)
             .ok_or_else(|| corrupt("snapshot missing next_id"))?;
+        topology = parse_topology(&state)?;
         for (name, list) in state
             .get("queues")
             .and_then(Value::as_object)
@@ -364,6 +553,13 @@ pub(crate) fn replay(recovered: &Recovered) -> Result<ReplayedState, BrokerError
         }
     }
 
+    let field = |delta: &Value, name: &'static str, lsn: &u64| -> Result<String, BrokerError> {
+        Ok(delta
+            .get(name)
+            .and_then(Value::as_str)
+            .ok_or_else(|| corrupt(format!("delta at lsn {lsn} has no {name}")))?
+            .to_owned())
+    };
     for (lsn, payload) in &recovered.entries {
         let delta: Value = serde_json::from_slice(payload)
             .map_err(|e| corrupt(format!("bad delta at lsn {lsn}: {e}")))?;
@@ -371,6 +567,84 @@ pub(crate) fn replay(recovered: &Recovered) -> Result<ReplayedState, BrokerError
             .get("op")
             .and_then(Value::as_str)
             .ok_or_else(|| corrupt(format!("delta at lsn {lsn} has no op")))?;
+
+        // Topology deltas carry their own fields; handle them before the
+        // queue-transition ops, which all require a `queue` field.
+        match op {
+            "declare_exchange" => {
+                let name = field(&delta, "name", lsn)?;
+                let kind = parse_kind(&field(&delta, "kind", lsn)?)?;
+                topology.exchanges.insert(name, kind);
+                continue;
+            }
+            "declare_queue" => {
+                let name = field(&delta, "name", lsn)?;
+                let capacity = match delta.get("capacity") {
+                    None | Some(Value::Null) => None,
+                    Some(v) => Some(v.as_u64().ok_or_else(|| {
+                        corrupt(format!("declare_queue at lsn {lsn}: bad capacity"))
+                    })? as usize),
+                };
+                topology.queue_capacities.entry(name).or_insert(capacity);
+                continue;
+            }
+            "bind_queue" => {
+                let binding = (
+                    field(&delta, "exchange", lsn)?,
+                    field(&delta, "queue", lsn)?,
+                    field(&delta, "pattern", lsn)?,
+                );
+                if !topology.queue_bindings.contains(&binding) {
+                    topology.queue_bindings.push(binding);
+                }
+                continue;
+            }
+            "bind_exchange" => {
+                let binding = (
+                    field(&delta, "source", lsn)?,
+                    field(&delta, "destination", lsn)?,
+                    field(&delta, "pattern", lsn)?,
+                );
+                if !topology.exchange_bindings.contains(&binding) {
+                    topology.exchange_bindings.push(binding);
+                }
+                continue;
+            }
+            "unbind_queue" => {
+                let binding = (
+                    field(&delta, "exchange", lsn)?,
+                    field(&delta, "queue", lsn)?,
+                    field(&delta, "pattern", lsn)?,
+                );
+                topology.queue_bindings.retain(|b| *b != binding);
+                continue;
+            }
+            "delete_exchange" => {
+                let name = field(&delta, "name", lsn)?;
+                topology.exchanges.remove(&name);
+                topology
+                    .queue_bindings
+                    .retain(|(source, _, _)| *source != name);
+                topology
+                    .exchange_bindings
+                    .retain(|(source, destination, _)| *source != name && *destination != name);
+                continue;
+            }
+            "dead_letter_policy" => {
+                let queue = field(&delta, "queue", lsn)?;
+                let target = field(&delta, "target", lsn)?;
+                let max = delta
+                    .get("max_attempts")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| {
+                        corrupt(format!("dead_letter_policy at lsn {lsn}: no max_attempts"))
+                    })? as u32;
+                topology.dead_letters.insert(queue, (max, target));
+                continue;
+            }
+            _ => {}
+        }
+
         let queue_name = delta
             .get("queue")
             .and_then(Value::as_str)
@@ -432,6 +706,11 @@ pub(crate) fn replay(recovered: &Recovered) -> Result<ReplayedState, BrokerError
             }
             "delete_queue" => {
                 queues.remove(queue_name);
+                topology.queue_capacities.remove(queue_name);
+                topology.dead_letters.remove(queue_name);
+                topology
+                    .queue_bindings
+                    .retain(|(_, queue, _)| queue != queue_name);
             }
             other => {
                 return Err(corrupt(format!("unknown op `{other}` at lsn {lsn}")));
@@ -439,7 +718,11 @@ pub(crate) fn replay(recovered: &Recovered) -> Result<ReplayedState, BrokerError
         }
     }
 
-    Ok(ReplayedState { queues, next_id })
+    Ok(ReplayedState {
+        topology,
+        queues,
+        next_id,
+    })
 }
 
 #[cfg(test)]
@@ -494,6 +777,88 @@ mod tests {
         let dlq: Vec<u64> = state.queues["dlq"].iter().map(|e| e.id).collect();
         assert_eq!(dlq, vec![2]);
         assert_eq!(state.queues["dlq"][0].deliveries, 0);
+    }
+
+    #[test]
+    fn replay_restores_topology_from_deltas() {
+        let deltas = [
+            declare_exchange_delta("obs", ExchangeType::Topic),
+            declare_exchange_delta("doomed", ExchangeType::Fanout),
+            declare_queue_delta("q", Some(64)),
+            declare_queue_delta("unbounded", None),
+            bind_queue_delta("obs", "q", "obs.#"),
+            bind_queue_delta("obs", "q", "obs.#"), // idempotent re-bind
+            bind_queue_delta("doomed", "q", "#"),
+            bind_exchange_delta("obs", "doomed", "#"),
+            dead_letter_policy_delta("q", 5, "dlq"),
+            unbind_queue_delta("obs", "q", "never.bound"), // no-op
+            delete_exchange_delta("doomed"),
+        ];
+        let recovered = Recovered {
+            snapshot: None,
+            snapshot_lsn: 0,
+            entries: deltas
+                .iter()
+                .enumerate()
+                .map(|(i, d)| (i as u64 + 1, serde_json::to_vec(d).unwrap()))
+                .collect(),
+            report: Default::default(),
+        };
+        let state = replay(&recovered).unwrap();
+        let topology = &state.topology;
+        assert_eq!(
+            topology.exchanges,
+            BTreeMap::from([("obs".to_owned(), ExchangeType::Topic)]),
+            "deleted exchange must not survive replay"
+        );
+        assert_eq!(topology.queue_capacities["q"], Some(64));
+        assert_eq!(topology.queue_capacities["unbounded"], None);
+        assert_eq!(
+            topology.queue_bindings,
+            vec![("obs".to_owned(), "q".to_owned(), "obs.#".to_owned())],
+            "duplicate binds collapse; bindings from a deleted exchange drop"
+        );
+        assert!(topology.exchange_bindings.is_empty());
+        assert_eq!(topology.dead_letters["q"], (5, "dlq".to_owned()));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_topology() {
+        let mut topology = ReplayedTopology::default();
+        topology.exchanges.insert("obs".into(), ExchangeType::Topic);
+        topology.queue_capacities.insert("q".into(), Some(8));
+        topology.queue_capacities.insert("dlq".into(), None);
+        topology
+            .queue_bindings
+            .push(("obs".into(), "q".into(), "obs.*.temp".into()));
+        topology
+            .exchange_bindings
+            .push(("obs".into(), "audit".into(), "#".into()));
+        topology.dead_letters.insert("q".into(), (3, "dlq".into()));
+        let bytes = encode_snapshot(&BTreeMap::new(), 7, &topology).unwrap();
+        let recovered = Recovered {
+            snapshot: Some(bytes),
+            snapshot_lsn: 1,
+            entries: vec![],
+            report: Default::default(),
+        };
+        let state = replay(&recovered).unwrap();
+        assert_eq!(state.next_id, 7);
+        assert_eq!(state.topology, topology);
+    }
+
+    #[test]
+    fn pre_topology_snapshots_recover_with_empty_topology() {
+        let bytes = serde_json::to_vec(&json!({"next_id": 3, "queues": {}})).unwrap();
+        let recovered = Recovered {
+            snapshot: Some(bytes),
+            snapshot_lsn: 1,
+            entries: vec![],
+            report: Default::default(),
+        };
+        let state = replay(&recovered).unwrap();
+        assert_eq!(state.topology, ReplayedTopology::default());
+        assert_eq!(state.next_id, 3);
     }
 
     #[test]

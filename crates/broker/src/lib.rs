@@ -26,8 +26,12 @@
 //! modelled where they belong, in the mobile client's connectivity model.
 //!
 //! Brokers are in-memory by default; [`Broker::open_durable`]
-//! write-ahead-logs every queue transition and replays the log on
-//! reopen — see [`mod@durability`].
+//! write-ahead-logs topology and every queue transition and replays the
+//! log on reopen — see [`mod@durability`].
+//!
+//! For fleet-scale throughput, [`ShardedBroker`] partitions messages by
+//! routing-key hash across N independent brokers behind the same
+//! [`BrokerTransport`] surface — see [`mod@sharded`].
 //!
 //! # Examples
 //!
@@ -54,6 +58,7 @@ mod metrics;
 #[cfg(test)]
 mod proptests;
 pub mod router;
+pub mod sharded;
 mod topic;
 mod transport;
 
@@ -63,5 +68,6 @@ pub use error::BrokerError;
 pub use message::{Delivery, Message};
 pub use metrics::{BrokerMetrics, MetricsSnapshot};
 pub use router::TopicTrie;
+pub use sharded::{shard_for_key, ShardedBroker};
 pub use topic::{topic_matches, BindingPattern, CompiledPattern, PatternWord, RoutingKey};
 pub use transport::BrokerTransport;

@@ -149,6 +149,11 @@ impl BrokerMetrics {
         shared().acked.inc();
     }
 
+    pub(crate) fn on_acked_many(&self, n: u64) {
+        self.acked.add(n);
+        shared().acked.add(n);
+    }
+
     pub(crate) fn on_requeued(&self) {
         self.requeued.inc();
         shared().requeued.inc();

@@ -20,7 +20,7 @@
 
 use crate::topic::{CompiledPattern, PatternWord};
 use crate::{BindingPattern, ExchangeType};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// How many `(exchange, key)` entries the routing-result cache may hold
@@ -335,6 +335,19 @@ impl RouteCache {
         self.entries = 0;
     }
 
+    /// Drops only the cached routes whose *entry* exchange is in
+    /// `entries` — the sharper form of [`RouteCache::invalidate`] used
+    /// when a topology change can only affect routes that traverse the
+    /// changed exchange (the broker passes the reverse-reachable set).
+    /// Routes entered through unrelated exchanges stay warm.
+    pub(crate) fn invalidate_exchanges(&mut self, entries: &BTreeSet<String>) {
+        for name in entries {
+            if let Some(keys) = self.by_exchange.remove(name) {
+                self.entries = self.entries.saturating_sub(keys.len());
+            }
+        }
+    }
+
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.entries
@@ -467,6 +480,24 @@ mod tests {
         let index =
             ExchangeIndex::rebuild(ExchangeType::Topic, patterns.iter().zip(compiled.iter()));
         assert_eq!(index.matching_bindings("b.x", &["b", "x"]), vec![1]);
+    }
+
+    #[test]
+    fn per_exchange_invalidation_spares_unrelated_entries() {
+        let mut cache = RouteCache::new(16);
+        let targets = Arc::new(vec!["q".to_owned()]);
+        cache.insert("a", "k1", Arc::clone(&targets));
+        cache.insert("a", "k2", Arc::clone(&targets));
+        cache.insert("b", "k1", Arc::clone(&targets));
+        let gone: BTreeSet<String> = ["a".to_owned()].into();
+        cache.invalidate_exchanges(&gone);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get("a", "k1").is_none());
+        assert!(cache.get("a", "k2").is_none());
+        assert!(cache.get("b", "k1").is_some(), "unrelated entry survives");
+        // Invalidating an exchange with no cached routes is a no-op.
+        cache.invalidate_exchanges(&gone);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -184,6 +184,23 @@ pub trait BrokerTransport: fmt::Debug + Send + Sync {
     /// [`BrokerError::Transport`].
     fn ack(&self, queue: &str, tag: u64) -> Result<(), BrokerError>;
 
+    /// Acknowledges a batch of deliveries from one queue. The default
+    /// implementation loops [`ack`](BrokerTransport::ack), so remote
+    /// transports work unchanged; the embedded broker overrides it with
+    /// a single group-committed log append for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BrokerError::UnknownDeliveryTag`] (tags settled
+    /// before the unknown one stay settled), or
+    /// [`BrokerError::Transport`].
+    fn ack_many(&self, queue: &str, tags: &[u64]) -> Result<(), BrokerError> {
+        for &tag in tags {
+            self.ack(queue, tag)?;
+        }
+        Ok(())
+    }
+
     /// Rejects a delivery; with `requeue` it is redelivered (subject to
     /// the queue's dead-letter policy), otherwise dropped (counted).
     ///
@@ -277,6 +294,10 @@ impl BrokerTransport for Broker {
         Broker::ack(self, queue, tag)
     }
 
+    fn ack_many(&self, queue: &str, tags: &[u64]) -> Result<(), BrokerError> {
+        Broker::ack_many(self, queue, tags)
+    }
+
     fn nack(&self, queue: &str, tag: u64, requeue: bool) -> Result<(), BrokerError> {
         Broker::nack(self, queue, tag, requeue)
     }
@@ -368,6 +389,10 @@ impl<T: BrokerTransport + ?Sized> BrokerTransport for Arc<T> {
         (**self).ack(queue, tag)
     }
 
+    fn ack_many(&self, queue: &str, tags: &[u64]) -> Result<(), BrokerError> {
+        (**self).ack_many(queue, tags)
+    }
+
     fn nack(&self, queue: &str, tag: u64, requeue: bool) -> Result<(), BrokerError> {
         (**self).nack(queue, tag, requeue)
     }
@@ -421,6 +446,85 @@ mod tests {
         }
         takes_transport(&broker);
         assert!(broker.queue_exists("q"));
+    }
+
+    #[test]
+    fn ack_many_default_loops_ack() {
+        /// A transport that only implements `ack`, exercising the
+        /// trait-default batch path a remote client would use.
+        #[derive(Debug)]
+        struct CountingAcks(Arc<Broker>);
+        impl BrokerTransport for CountingAcks {
+            fn declare_exchange(&self, n: &str, k: ExchangeType) -> Result<(), BrokerError> {
+                self.0.declare_exchange(n, k)
+            }
+            fn declare_queue(&self, n: &str) -> Result<(), BrokerError> {
+                self.0.declare_queue(n)
+            }
+            fn declare_queue_with_capacity(&self, n: &str, c: usize) -> Result<(), BrokerError> {
+                self.0.declare_queue_with_capacity(n, c)
+            }
+            fn exchange_exists(&self, n: &str) -> bool {
+                self.0.exchange_exists(n)
+            }
+            fn queue_exists(&self, n: &str) -> bool {
+                self.0.queue_exists(n)
+            }
+            fn bind_queue(&self, e: &str, q: &str, p: &str) -> Result<(), BrokerError> {
+                self.0.bind_queue(e, q, p)
+            }
+            fn bind_exchange(&self, s: &str, d: &str, p: &str) -> Result<(), BrokerError> {
+                self.0.bind_exchange(s, d, p)
+            }
+            fn unbind_queue(&self, e: &str, q: &str, p: &str) -> Result<(), BrokerError> {
+                self.0.unbind_queue(e, q, p)
+            }
+            fn delete_exchange(&self, n: &str) -> Result<(), BrokerError> {
+                self.0.delete_exchange(n)
+            }
+            fn delete_queue(&self, n: &str) -> Result<(), BrokerError> {
+                self.0.delete_queue(n)
+            }
+            fn purge_queue(&self, n: &str) -> Result<usize, BrokerError> {
+                self.0.purge_queue(n)
+            }
+            fn configure_dead_letter(&self, q: &str, m: u32, t: &str) -> Result<(), BrokerError> {
+                self.0.configure_dead_letter(q, m, t)
+            }
+            fn dead_letter_policy(&self, q: &str) -> Result<Option<DeadLetterPolicy>, BrokerError> {
+                self.0.dead_letter_policy(q)
+            }
+            fn queue_depth(&self, n: &str) -> Result<usize, BrokerError> {
+                self.0.queue_depth(n)
+            }
+            fn publish(&self, e: &str, k: &str, p: &[u8]) -> Result<usize, BrokerError> {
+                self.0.publish(e, k, p.to_vec())
+            }
+            fn publish_message(&self, e: &str, m: Message) -> Result<usize, BrokerError> {
+                self.0.publish_message(e, m)
+            }
+            fn consume(&self, q: &str, max: usize) -> Result<Vec<Delivery>, BrokerError> {
+                self.0.consume(q, max)
+            }
+            fn ack(&self, q: &str, tag: u64) -> Result<(), BrokerError> {
+                self.0.ack(q, tag)
+            }
+            fn nack(&self, q: &str, tag: u64, requeue: bool) -> Result<(), BrokerError> {
+                self.0.nack(q, tag, requeue)
+            }
+        }
+
+        let broker = Arc::new(Broker::new());
+        let t = CountingAcks(Arc::clone(&broker));
+        t.declare_exchange("ex", ExchangeType::Topic).unwrap();
+        t.declare_queue("q").unwrap();
+        t.bind_queue("ex", "q", "#").unwrap();
+        for i in 0..3u8 {
+            t.publish("ex", "a.b", &[i]).unwrap();
+        }
+        let tags: Vec<u64> = t.consume("q", 3).unwrap().iter().map(|d| d.tag).collect();
+        t.ack_many("q", &tags).unwrap();
+        assert_eq!(broker.metrics().acked, 3);
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! one with [`Store::open`] and [`Durability::Durable`] write-ahead-logs
 //! every mutation and replays the log on reopen — see [`mod@durability`].
 //!
+//! For fleet-scale throughput, [`ShardedStore`] partitions collections by
+//! name hash across N independent stores behind the same
+//! [`DocstoreTransport`] surface, mirroring the broker's sharding scheme.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,6 +44,7 @@ mod index;
 mod planner;
 #[cfg(test)]
 mod proptests;
+mod sharded;
 mod store;
 mod telemetry;
 mod transport;
@@ -53,6 +58,7 @@ pub use error::StoreError;
 pub use filter::Filter;
 pub use index::IndexKey;
 pub use planner::PlanKind;
+pub use sharded::{shard_for_collection, ShardedStore};
 pub use store::Store;
 pub use transport::{CollectionHandle, CollectionOps, DocstoreTransport};
 pub use update::Update;

@@ -16,6 +16,16 @@
 //! * **storage failures** nack the message back for redelivery, so the
 //!   broker's dead-letter policy eventually parks repeat offenders in the
 //!   GF dead-letter queue rather than cycling or dropping them.
+//!
+//! Storage is batched: a drain pass collects every on-time observation it
+//! decoded and stores them with a single `insert_many` (one
+//! group-committed WAL append on a durable store), then settles the
+//! drained messages with a single `ack_many` (one group-committed append
+//! on a durable broker). If the batch insert fails, the pass falls back to
+//! the per-message path — one insert and one ack/nack per message — which
+//! attributes the loss to individual messages exactly as ingest always
+//! has. Both paths build documents from the same observations with the
+//! same code, so they store byte-identical documents.
 
 use crate::channels::gf_queue;
 use crate::telemetry::telemetry;
@@ -93,9 +103,15 @@ pub(crate) struct Ingestor {
     policy: PrivacyPolicy,
     /// Late-data threshold in milliseconds; negative means disabled.
     late_threshold_ms: AtomicI64,
-    /// Test hook: number of upcoming inserts to fail artificially.
+    /// Test hook: number of upcoming inserts to fail artificially (also
+    /// fails the batched store attempt while non-zero, without counting
+    /// down, so the per-message fallback attributes each failure).
     #[cfg(test)]
     pub(crate) force_storage_failures: std::sync::atomic::AtomicUsize,
+    /// Test hook: skip the batched store attempt entirely, exercising the
+    /// per-message path with storage still healthy.
+    #[cfg(test)]
+    pub(crate) force_batch_fallback: std::sync::atomic::AtomicBool,
 }
 
 impl std::fmt::Debug for Ingestor {
@@ -114,6 +130,8 @@ impl Ingestor {
             late_threshold_ms: AtomicI64::new(-1),
             #[cfg(test)]
             force_storage_failures: std::sync::atomic::AtomicUsize::new(0),
+            #[cfg(test)]
+            force_batch_fallback: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -163,6 +181,11 @@ impl Ingestor {
     /// per-day counts in `analytics`. Malformed payloads and late
     /// observations are parked in `quarantine`; storage failures nack the
     /// message back for redelivery (and, eventually, dead-lettering).
+    ///
+    /// On-time observations are stored with one batched insert and the
+    /// drained messages settled with one batched ack per pass; a failed
+    /// batch falls back to per-message storage (see the [module
+    /// docs](self)).
     pub(crate) fn drain(
         &self,
         app: &AppId,
@@ -176,73 +199,34 @@ impl Ingestor {
         let metrics = telemetry();
         let _drain_timer = SpanTimer::start(&metrics.ingest_drain_seconds);
         let mut outcome = IngestOutcome::default();
-        let late_threshold = self.late_threshold();
+        let pass = DrainPass {
+            app,
+            queue: &queue,
+            collection,
+            quarantine,
+            analytics,
+            late_threshold: self.late_threshold(),
+            now,
+        };
         let Ok(deliveries) = self.broker.consume(&queue, max_messages) else {
             return outcome;
         };
+
+        // Decode pass. Malformed payloads are quarantined and settled
+        // immediately — both storage paths treat them identically —
+        // while decoded messages join the batch.
+        let mut decoded = Vec::new();
         for delivery in deliveries {
             // Trace context: one entry per observation in the payload, in
             // payload order, re-parented under a `broker_queue` span that
             // covers the message's residence in the GF queue.
             let contexts = ingest_contexts(&delivery.message, now);
             match Self::decode(delivery.payload()) {
-                Ok(observations) => {
-                    let mut storage_failed = false;
-                    for (i, obs) in observations.iter().enumerate() {
-                        let ctx = contexts.get(i).copied();
-                        let delay = now.saturating_since(obs.captured_at);
-                        if late_threshold.is_some_and(|limit| delay > limit) {
-                            let parked = quarantine.insert_one(json!({
-                                "reason": "late",
-                                "delay_ms": delay.as_millis(),
-                                "arrived_ms": now.as_millis(),
-                                "trace": ctx.map(|c| c.trace.to_string()),
-                                "observation":
-                                    ObservationRecord::to_document(obs, now, &self.policy),
-                            }));
-                            if parked.is_ok() {
-                                outcome.quarantined += 1;
-                                metrics.ingest_quarantined_late.inc();
-                                record_ingest_span(
-                                    ctx,
-                                    Hop::Quarantine,
-                                    Outcome::Quarantined,
-                                    "late",
-                                    now,
-                                );
-                            }
-                            continue;
-                        }
-                        let mut doc = ObservationRecord::to_document(obs, now, &self.policy);
-                        if let Some(ctx) = ctx {
-                            doc["trace"] = json!(ctx.trace.to_string());
-                        }
-                        if self.insert_observation(collection, doc).is_ok() {
-                            outcome.stored += 1;
-                            metrics.ingest_stored.inc();
-                            metrics
-                                .ingest_delivery_delay_ms
-                                .observe(delay.as_millis() as f64);
-                            analytics.record(app, now, obs.is_localized());
-                            record_ingest_span(ctx, Hop::DocstoreWrite, Outcome::Ok, "stored", now);
-                        } else {
-                            storage_failed = true;
-                            break;
-                        }
-                    }
-                    if storage_failed {
-                        // Redeliver the whole message: the broker counts the
-                        // attempt and dead-letters it once the queue's policy
-                        // is exhausted, so nothing is lost silently. This is
-                        // at-least-once — observations stored before the
-                        // failure may be stored again on redelivery.
-                        outcome.requeued += 1;
-                        metrics.ingest_storage_failures.inc();
-                        let _ = self.broker.nack(&queue, delivery.tag, true);
-                    } else {
-                        let _ = self.broker.ack(&queue, delivery.tag);
-                    }
-                }
+                Ok(observations) => decoded.push(DecodedMessage {
+                    tag: delivery.tag,
+                    observations,
+                    contexts,
+                }),
                 Err(err) => {
                     outcome.malformed += 1;
                     metrics.ingest_malformed.inc();
@@ -271,8 +255,205 @@ impl Ingestor {
                 }
             }
         }
+        if decoded.is_empty() {
+            return outcome;
+        }
+
+        metrics.ingest_batches.inc();
+        if let Some(batch) = self.try_store_batch(&pass, &decoded) {
+            for late in batch.late {
+                self.quarantine_late(&pass, late, &mut outcome);
+            }
+            for stored in batch.stored {
+                outcome.stored += 1;
+                metrics.ingest_stored.inc();
+                metrics
+                    .ingest_delivery_delay_ms
+                    .observe(stored.delay.as_millis() as f64);
+                analytics.record(app, now, stored.localized);
+                record_ingest_span(stored.ctx, Hop::DocstoreWrite, Outcome::Ok, "stored", now);
+            }
+            let tags: Vec<u64> = decoded.iter().map(|m| m.tag).collect();
+            let _ = self.broker.ack_many(&queue, &tags);
+            return outcome;
+        }
+
+        metrics.ingest_batch_fallbacks.inc();
+        for message in decoded {
+            self.store_per_message(&pass, message, &mut outcome);
+        }
         outcome
     }
+
+    /// Attempts the batched store: classifies every decoded observation
+    /// (without side effects) and inserts all on-time documents with one
+    /// `insert_many`. `None` means the batch insert failed and the caller
+    /// must fall back to per-message storage.
+    fn try_store_batch(
+        &self,
+        pass: &DrainPass<'_>,
+        decoded: &[DecodedMessage],
+    ) -> Option<StoredBatch> {
+        #[cfg(test)]
+        if self.force_storage_failures.load(Ordering::SeqCst) > 0
+            || self.force_batch_fallback.load(Ordering::Relaxed)
+        {
+            return None;
+        }
+        let mut docs = Vec::new();
+        let mut batch = StoredBatch::default();
+        for message in decoded {
+            for (i, obs) in message.observations.iter().enumerate() {
+                let ctx = message.contexts.get(i).copied();
+                let delay = pass.now.saturating_since(obs.captured_at);
+                if pass.late_threshold.is_some_and(|limit| delay > limit) {
+                    batch.late.push(LateObservation {
+                        ctx,
+                        delay,
+                        document: ObservationRecord::to_document(obs, pass.now, &self.policy),
+                    });
+                    continue;
+                }
+                let mut doc = ObservationRecord::to_document(obs, pass.now, &self.policy);
+                if let Some(ctx) = ctx {
+                    doc["trace"] = json!(ctx.trace.to_string());
+                }
+                docs.push(doc);
+                batch.stored.push(StoredObservation {
+                    ctx,
+                    delay,
+                    localized: obs.is_localized(),
+                });
+            }
+        }
+        if !docs.is_empty() {
+            pass.collection.insert_many(docs).ok()?;
+        }
+        Some(batch)
+    }
+
+    /// The per-message storage path: one insert per observation, one
+    /// ack/nack per message. This is both the fallback after a failed
+    /// batch insert and the reference semantics the batched path must
+    /// match.
+    fn store_per_message(
+        &self,
+        pass: &DrainPass<'_>,
+        message: DecodedMessage,
+        outcome: &mut IngestOutcome,
+    ) {
+        let metrics = telemetry();
+        let mut storage_failed = false;
+        for (i, obs) in message.observations.iter().enumerate() {
+            let ctx = message.contexts.get(i).copied();
+            let delay = pass.now.saturating_since(obs.captured_at);
+            if pass.late_threshold.is_some_and(|limit| delay > limit) {
+                let late = LateObservation {
+                    ctx,
+                    delay,
+                    document: ObservationRecord::to_document(obs, pass.now, &self.policy),
+                };
+                self.quarantine_late(pass, late, outcome);
+                continue;
+            }
+            let mut doc = ObservationRecord::to_document(obs, pass.now, &self.policy);
+            if let Some(ctx) = ctx {
+                doc["trace"] = json!(ctx.trace.to_string());
+            }
+            if self.insert_observation(pass.collection, doc).is_ok() {
+                outcome.stored += 1;
+                metrics.ingest_stored.inc();
+                metrics
+                    .ingest_delivery_delay_ms
+                    .observe(delay.as_millis() as f64);
+                pass.analytics
+                    .record(pass.app, pass.now, obs.is_localized());
+                record_ingest_span(ctx, Hop::DocstoreWrite, Outcome::Ok, "stored", pass.now);
+            } else {
+                storage_failed = true;
+                break;
+            }
+        }
+        if storage_failed {
+            // Redeliver the whole message: the broker counts the
+            // attempt and dead-letters it once the queue's policy
+            // is exhausted, so nothing is lost silently. This is
+            // at-least-once — observations stored before the
+            // failure may be stored again on redelivery.
+            outcome.requeued += 1;
+            metrics.ingest_storage_failures.inc();
+            let _ = self.broker.nack(pass.queue, message.tag, true);
+        } else {
+            let _ = self.broker.ack(pass.queue, message.tag);
+        }
+    }
+
+    /// Parks one late observation in the quarantine collection.
+    fn quarantine_late(
+        &self,
+        pass: &DrainPass<'_>,
+        late: LateObservation,
+        outcome: &mut IngestOutcome,
+    ) {
+        let parked = pass.quarantine.insert_one(json!({
+            "reason": "late",
+            "delay_ms": late.delay.as_millis(),
+            "arrived_ms": pass.now.as_millis(),
+            "trace": late.ctx.map(|c| c.trace.to_string()),
+            "observation": late.document,
+        }));
+        if parked.is_ok() {
+            outcome.quarantined += 1;
+            telemetry().ingest_quarantined_late.inc();
+            record_ingest_span(
+                late.ctx,
+                Hop::Quarantine,
+                Outcome::Quarantined,
+                "late",
+                pass.now,
+            );
+        }
+    }
+}
+
+/// Shared context of one drain pass.
+struct DrainPass<'a> {
+    app: &'a AppId,
+    queue: &'a str,
+    collection: &'a CollectionHandle,
+    quarantine: &'a CollectionHandle,
+    analytics: &'a UsageAnalytics,
+    late_threshold: Option<SimDuration>,
+    now: SimTime,
+}
+
+/// A decoded GF message awaiting storage: the broker tag to settle, the
+/// observations it carried and their trace contexts (payload order).
+struct DecodedMessage {
+    tag: u64,
+    observations: Vec<Observation>,
+    contexts: Vec<TraceContext>,
+}
+
+/// Classification result of a successful batched store attempt.
+#[derive(Default)]
+struct StoredBatch {
+    late: Vec<LateObservation>,
+    stored: Vec<StoredObservation>,
+}
+
+/// A late observation to park in quarantine.
+struct LateObservation {
+    ctx: Option<TraceContext>,
+    delay: SimDuration,
+    document: Value,
+}
+
+/// Bookkeeping for one observation stored by the batched path.
+struct StoredObservation {
+    ctx: Option<TraceContext>,
+    delay: SimDuration,
+    localized: bool,
 }
 
 /// Parses the trace contexts off a delivered message and closes each

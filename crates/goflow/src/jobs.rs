@@ -123,13 +123,13 @@ impl JobRegistry {
     pub fn run_pending(&self, collection: &CollectionHandle) -> usize {
         // Collect pending scripts first so user scripts run outside the
         // registry lock (they may be slow).
-        let pending: Vec<(u64, JobScript)> = self
-            .jobs
-            .lock()
-            .iter()
-            .filter(|(_, j)| j.status == JobStatus::Pending)
-            .map(|(id, j)| (*id, Arc::clone(&j.script)))
-            .collect();
+        let pending: Vec<(u64, JobScript)> = {
+            let jobs = self.jobs.lock();
+            jobs.iter()
+                .filter(|(_, j)| j.status == JobStatus::Pending)
+                .map(|(id, j)| (*id, Arc::clone(&j.script)))
+                .collect()
+        };
         let n = pending.len();
         let metrics = telemetry();
         for (id, script) in pending {

@@ -575,6 +575,117 @@ mod tests {
         assert_eq!(outcome.stored, 10);
     }
 
+    /// The batched storage path is an optimisation, not a behaviour
+    /// change: same outcome, byte-identical documents in the same order,
+    /// same quarantine, same analytics as the per-message path.
+    #[test]
+    fn batched_ingest_matches_per_message_ingest() {
+        let make = || {
+            let (broker, server, app) = server();
+            let token = server
+                .register_user(&app, 1.into(), Role::Contributor)
+                .unwrap();
+            let session = server.login(&token).unwrap();
+            let key = session.observation_key("noise", "FR75013");
+            // Mixed traffic: singles, a buffered batch payload, a
+            // malformed payload and a late observation.
+            for i in 0..3 {
+                let o = obs(1, 50.0 + i as f64, SimTime::from_hms(2, 9, i as u32, 0));
+                broker
+                    .publish(session.exchange(), &key, serde_json::to_vec(&o).unwrap())
+                    .unwrap();
+            }
+            let batch: Vec<Observation> = (0..5)
+                .map(|i| obs(1, 60.0 + i as f64, SimTime::from_hms(2, 8, i as u32, 0)))
+                .collect();
+            broker
+                .publish(
+                    session.exchange(),
+                    &key,
+                    serde_json::to_vec(&batch).unwrap(),
+                )
+                .unwrap();
+            broker
+                .publish(session.exchange(), &key, &b"garbage"[..])
+                .unwrap();
+            let stale = obs(1, 70.0, SimTime::from_hms(0, 0, 0, 0));
+            broker
+                .publish(
+                    session.exchange(),
+                    &key,
+                    serde_json::to_vec(&stale).unwrap(),
+                )
+                .unwrap();
+            server.set_late_quarantine(Some(SimDuration::from_hours(24)));
+            (broker, server, app)
+        };
+        let (_, batched, app) = make();
+        let (_, per_message, _) = make();
+        per_message
+            .ingestor
+            .force_batch_fallback
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+
+        let now = SimTime::from_hms(2, 10, 0, 0);
+        let a = batched.ingest_pending(&app, now, 100).unwrap();
+        let b = per_message.ingest_pending(&app, now, 100).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.stored, 8);
+        assert_eq!(a.malformed, 1);
+        assert_eq!(a.quarantined, 2);
+        assert_eq!(
+            batched.collection(&app).unwrap().all(),
+            per_message.collection(&app).unwrap().all()
+        );
+        assert_eq!(
+            batched.quarantine(&app).unwrap().all(),
+            per_message.quarantine(&app).unwrap().all()
+        );
+        assert_eq!(
+            batched.observation_total(&app),
+            per_message.observation_total(&app)
+        );
+        assert_eq!(
+            batched.observation_total_localized(&app),
+            per_message.observation_total_localized(&app)
+        );
+    }
+
+    /// A failed batch insert degrades to the per-message path, which
+    /// attributes the loss to individual messages — transient failures
+    /// requeue exactly the affected message, and nothing is lost.
+    #[test]
+    fn batch_fallback_preserves_loss_attribution() {
+        let (broker, server, app) = server();
+        let token = server
+            .register_user(&app, 1.into(), Role::Contributor)
+            .unwrap();
+        let session = server.login(&token).unwrap();
+        let key = session.observation_key("noise", "FR75013");
+        for i in 0..2 {
+            let o = obs(1, 50.0 + i as f64, SimTime::EPOCH);
+            broker
+                .publish(session.exchange(), &key, serde_json::to_vec(&o).unwrap())
+                .unwrap();
+        }
+        // One transient storage failure: the batched attempt steps aside
+        // and the per-message path pins the failure on the first message.
+        server
+            .ingestor
+            .force_storage_failures
+            .store(1, std::sync::atomic::Ordering::SeqCst);
+        let outcome = server.ingest_pending(&app, SimTime::EPOCH, 10).unwrap();
+        assert_eq!(outcome.stored, 1);
+        assert_eq!(outcome.requeued, 1);
+        // The nacked message is redelivered and stored by the (healthy
+        // again) batched path — nothing lost, nothing duplicated.
+        let outcome = server.ingest_pending(&app, SimTime::EPOCH, 10).unwrap();
+        assert_eq!(outcome.stored, 1);
+        assert_eq!(outcome.requeued, 0);
+        assert_eq!(server.collection(&app).unwrap().len(), 2);
+        assert_eq!(broker.queue_depth("gf-SC-queue").unwrap(), 0);
+    }
+
     #[test]
     fn query_filters_apply() {
         let (broker, server, app) = server();

@@ -22,6 +22,11 @@ pub(crate) struct GoFlowTelemetry {
     pub(crate) ingest_quarantined_malformed: Counter,
     /// Storage failures that sent a message back for redelivery.
     pub(crate) ingest_storage_failures: Counter,
+    /// Drain passes that attempted a batched (group-committed) store.
+    pub(crate) ingest_batches: Counter,
+    /// Drain passes that fell back to per-message storage after a batch
+    /// insert failed.
+    pub(crate) ingest_batch_fallbacks: Counter,
     /// End-to-end capture-to-storage delay, in milliseconds.
     pub(crate) ingest_delivery_delay_ms: Histogram,
     /// Broker-queue residence of traced messages (publish to ingest), in
@@ -68,6 +73,14 @@ pub(crate) fn telemetry() -> &'static GoFlowTelemetry {
             ingest_storage_failures: registry.counter(
                 "goflow_ingest_storage_failures_total",
                 "Storage failures that sent a message back for redelivery",
+            ),
+            ingest_batches: registry.counter(
+                "goflow_ingest_batches_total",
+                "Drain passes that attempted a batched store",
+            ),
+            ingest_batch_fallbacks: registry.counter(
+                "goflow_ingest_batch_fallbacks_total",
+                "Drain passes that fell back to per-message storage",
             ),
             ingest_delivery_delay_ms: registry.histogram(
                 "goflow_ingest_delivery_delay_ms",
@@ -121,6 +134,8 @@ mod tests {
             "goflow_ingest_malformed_total",
             "goflow_ingest_quarantined_total",
             "goflow_ingest_storage_failures_total",
+            "goflow_ingest_batches_total",
+            "goflow_ingest_batch_fallbacks_total",
             "goflow_ingest_delivery_delay_ms",
             "goflow_ingest_broker_wait_ms",
             "goflow_ingest_drain_seconds",

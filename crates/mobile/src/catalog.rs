@@ -107,6 +107,20 @@ impl ModelProfile {
             .collect()
     }
 
+    /// The interned profile catalog, built once per process in the
+    /// paper's row order. Fleet-scale code ([`crate::Fleet`]) resolves
+    /// profiles by reference instead of recomputing them per device.
+    pub fn catalog() -> &'static [ModelProfile] {
+        static CATALOG: std::sync::OnceLock<Vec<ModelProfile>> = std::sync::OnceLock::new();
+        CATALOG.get_or_init(Self::all)
+    }
+
+    /// The interned profile of `model` (same values as
+    /// [`ModelProfile::for_model`], shared storage).
+    pub fn interned(model: DeviceModel) -> &'static ModelProfile {
+        &Self::catalog()[model.index()]
+    }
+
     /// Samples a location provider from the profile's mix using a uniform
     /// draw in `[0, 1)`.
     pub fn provider_for(&self, u: f64) -> LocationProvider {

@@ -83,7 +83,7 @@ impl Device {
     /// off `root`.
     pub fn new(config: DeviceConfig, root: &SimRng) -> Self {
         let mut rng = root.split("device", config.device.raw());
-        let profile = ModelProfile::for_model(config.model);
+        let profile = ModelProfile::interned(config.model).clone();
         let microphone = Microphone::for_device(&profile, &mut rng);
         let location = LocationSampler::for_profile(&profile);
         let activity = ActivityModel::new(&mut rng);

@@ -30,6 +30,10 @@
 //!   through any [`mps_faults::Link`] transport ([`BrokerLink`] adapts a
 //!   broker exchange).
 //! * [`Device`] — one simulated phone tying the models together.
+//! * [`Fleet`] — a lazily-derived crowd of up to millions of devices:
+//!   members are pure functions of `(seed, index)` over the interned
+//!   model catalog, with the population diurnal load shape and a
+//!   round-robin shard partition for scale-out driving.
 //!
 //! # Examples
 //!
@@ -51,6 +55,7 @@ mod catalog;
 mod client;
 mod connectivity;
 mod device;
+mod fleet;
 mod journey;
 mod location;
 mod microphone;
@@ -66,6 +71,7 @@ pub use catalog::ModelProfile;
 pub use client::{BrokerLink, GoFlowClient, SendOutcome};
 pub use connectivity::{transmission_latency, ConnectivityClass, ConnectivityModel, CLASS_SHARES};
 pub use device::{Device, DeviceConfig};
+pub use fleet::Fleet;
 pub use journey::{Journey, JourneyTrace, JourneyVisibility};
 pub use location::LocationSampler;
 pub use microphone::{Microphone, SoundEnvironment};

@@ -2,19 +2,24 @@
 //!
 //! ```text
 //! mps-docstored [--listen ADDR] [--wal-dir DIR] [--max-connections N]
-//!               [--instance NAME]
+//!               [--instance NAME] [--shards N]
 //! ```
 //!
 //! Serves an `mps-docstore` instance over the mps-net wire protocol.
 //! With `--wal-dir` every mutation is write-ahead-logged to that
 //! directory and replayed on restart; without it the store is
-//! in-memory. `--instance` names this process in the fleet: the admin
+//! in-memory. `--shards N` (default 1) serves a
+//! collection-name-hash-partitioned `ShardedStore` instead of a single
+//! store — same wire protocol, N-way internal parallelism; with
+//! `--wal-dir` each shard logs to its own `shard-{i}` subdirectory.
+//! `--instance` names this process in the fleet: the admin
 //! health report echoes it and `xtask obs` labels merged metrics with
 //! it. Prints the bound address on stderr (`listening on ...`)
 //! and exits cleanly when a client sends the shutdown opcode. See
-//! `docs/DEPLOYMENT.md` and `docs/OBSERVABILITY.md`.
+//! `docs/DEPLOYMENT.md`, `docs/SHARDING.md` and
+//! `docs/OBSERVABILITY.md`.
 
-use mps_docstore::{DocstoreTransport, Durability, DurabilityConfig, Store};
+use mps_docstore::{DocstoreTransport, Durability, DurabilityConfig, ShardedStore, Store};
 use mps_net::docstore_api::DocstoreService;
 use mps_net::server::{ServerConfig, WireServer};
 use std::process::ExitCode;
@@ -25,6 +30,7 @@ struct Flags {
     wal_dir: Option<String>,
     max_connections: usize,
     instance: String,
+    shards: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -33,6 +39,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         wal_dir: None,
         max_connections: ServerConfig::default().max_connections,
         instance: "docstored".to_string(),
+        shards: 1,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -50,10 +57,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .map_err(|_| "--max-connections needs an integer".to_string())?;
             }
             "--instance" => flags.instance = value_for("--instance")?,
+            "--shards" => {
+                flags.shards = value_for("--shards")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| "--shards needs an integer >= 1".to_string())?;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: mps-docstored [--listen ADDR] [--wal-dir DIR] [--max-connections N] \
-                     [--instance NAME]"
+                     [--instance NAME] [--shards N]"
                         .to_string(),
                 )
             }
@@ -73,18 +87,31 @@ fn main() -> ExitCode {
         }
     };
 
-    let durability = match &flags.wal_dir {
-        None => Durability::InMemory,
-        Some(dir) => Durability::Durable(DurabilityConfig::new(dir)),
-    };
-    let store = match Store::open(durability) {
-        Ok(store) => store,
-        Err(err) => {
-            eprintln!("cannot open store: {err}");
-            return ExitCode::FAILURE;
+    let store: Arc<dyn DocstoreTransport> = if flags.shards > 1 {
+        let opened = match &flags.wal_dir {
+            None => Ok(ShardedStore::new(flags.shards)),
+            Some(dir) => ShardedStore::open_durable(flags.shards, DurabilityConfig::new(dir)),
+        };
+        match opened {
+            Ok(store) => Arc::new(store),
+            Err(err) => {
+                eprintln!("cannot open {}-shard store: {err}", flags.shards);
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let durability = match &flags.wal_dir {
+            None => Durability::InMemory,
+            Some(dir) => Durability::Durable(DurabilityConfig::new(dir)),
+        };
+        match Store::open(durability) {
+            Ok(store) => Arc::new(store),
+            Err(err) => {
+                eprintln!("cannot open store: {err}");
+                return ExitCode::FAILURE;
+            }
         }
     };
-    let store: Arc<dyn DocstoreTransport> = Arc::new(store);
     let config = ServerConfig {
         max_connections: flags.max_connections,
         instance: flags.instance,

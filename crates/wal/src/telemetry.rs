@@ -20,6 +20,10 @@ pub(crate) struct WalTelemetry {
     pub(crate) recoveries: Counter,
     /// Recoveries that truncated a torn tail off the last segment.
     pub(crate) torn_tail_truncations: Counter,
+    /// Durability barriers issued on the append path (one per group
+    /// commit) — the denominator the batching benches divide stored
+    /// observations by.
+    pub(crate) fsyncs: Counter,
     /// Segment files (closed + active) across live `Wal` instances —
     /// each instance contributes deltas and withdraws them on drop, so
     /// the readiness probe sees compaction keeping the count bounded.
@@ -45,6 +49,10 @@ pub(crate) fn telemetry() -> &'static WalTelemetry {
                 "wal_torn_tail_truncations_total",
                 "Recoveries that truncated a torn tail off the last segment",
             ),
+            fsyncs: registry.counter(
+                "wal_fsyncs_total",
+                "Group-commit durability barriers issued on the append path",
+            ),
             open_segments: registry.gauge(
                 "wal_open_segments",
                 "Segment files (closed + active) across live WAL instances",
@@ -68,10 +76,16 @@ mod tests {
             "wal_bytes_written_total",
             "wal_recoveries_total",
             "wal_torn_tail_truncations_total",
+            "wal_fsyncs_total",
             "wal_open_segments",
         ] {
             assert!(names.iter().any(|n| n == name), "missing {name}");
         }
-        let _ = (&t.bytes_written, &t.recoveries, &t.torn_tail_truncations);
+        let _ = (
+            &t.bytes_written,
+            &t.recoveries,
+            &t.torn_tail_truncations,
+            &t.fsyncs,
+        );
     }
 }

@@ -1,0 +1,241 @@
+//! End-to-end resilience under sharding: the faulted pipeline of
+//! `tests/resilience_pipeline.rs`, re-run with a 4-shard broker and a
+//! 4-shard docstore behind the same transports and with batched ingest
+//! drains interleaved mid-run.
+//!
+//! Six devices publish on six distinct routing keys chosen so that all
+//! four broker shards own traffic. The invariants are the same as the
+//! single-broker run — **zero silent loss** (the conservation ledger
+//! balances exactly, duplicates included) and **every observation trace
+//! reaches exactly one primary terminal outcome** — proving the
+//! partitioning scheme changes where messages live, not what happens to
+//! them.
+
+use soundcity::broker::{BrokerTransport, ShardedBroker};
+use soundcity::docstore::{DocstoreTransport, ShardedStore};
+use soundcity::faults::{FaultPlan, FaultSpec, FaultyLink};
+use soundcity::goflow::{GoFlowServer, Role};
+use soundcity::mobile::{BrokerLink, GoFlowClient, RetryPolicy};
+use soundcity::telemetry::trace::{FlightRecorder, TraceId, TraceIndex};
+use soundcity::telemetry::Registry;
+use soundcity::types::{
+    AppId, AppVersion, DeviceModel, Observation, SimDuration, SimTime, SoundLevel,
+};
+use std::sync::Arc;
+
+fn observation(device: u64, i: i64) -> Observation {
+    Observation::builder()
+        .device(device.into())
+        .user(device.into())
+        .model(DeviceModel::LgeNexus5)
+        .captured_at(SimTime::EPOCH + SimDuration::from_mins(i))
+        .spl(SoundLevel::new(45.0 + ((device as i64 + i) % 30) as f64))
+        .app_version(AppVersion::V1_2_9)
+        .build()
+}
+
+#[test]
+fn sharded_pipeline_keeps_zero_silent_loss_and_one_terminal_per_trace() {
+    let recorder = FlightRecorder::global();
+    recorder.clear();
+
+    const SHARDS: usize = 4;
+    const DEVICES: u64 = 6;
+    const CYCLES: i64 = 100;
+
+    let broker = Arc::new(ShardedBroker::new(SHARDS));
+    let store = Arc::new(ShardedStore::new(SHARDS));
+    let server = GoFlowServer::over(
+        Arc::clone(&broker) as Arc<dyn BrokerTransport>,
+        Arc::clone(&store) as Arc<dyn DocstoreTransport>,
+    );
+    let app = AppId::soundcity();
+    server.register_app(&app).unwrap();
+
+    // One client per device, each on its own routing key. Zones are
+    // picked per device so device d's key lands on shard d % SHARDS —
+    // all four shards own live traffic by construction.
+    let mut sessions = Vec::new();
+    for device in 0..DEVICES {
+        let token = server
+            .register_user(&app, device.into(), Role::Contributor)
+            .unwrap();
+        let session = server.login(&token).unwrap();
+        let want = (device as usize) % SHARDS;
+        let (zone, key) = (0..)
+            .map(|z| {
+                let zone = format!("Z{z:03}");
+                let key = session.observation_key("noise", &zone);
+                (zone, key)
+            })
+            .find(|(_, key)| broker.shard_of(key) == want)
+            .unwrap();
+        sessions.push((device, session, zone, key));
+    }
+    let shards_hit: std::collections::BTreeSet<usize> = sessions
+        .iter()
+        .map(|(_, _, _, key)| broker.shard_of(key))
+        .collect();
+    assert_eq!(shards_hit.len(), SHARDS, "every shard owns a device key");
+
+    // Per-device faulted links (drops, delays, duplicates) and clients.
+    let mut rigs = Vec::new();
+    for (device, session, _zone, key) in &sessions {
+        let spec = FaultSpec {
+            drop_prob: 0.06,
+            delay_prob: 0.15,
+            mean_delay: SimDuration::from_mins(4),
+            duplicate_prob: 0.05,
+            max_duplicates: 2,
+            ..FaultSpec::none()
+        };
+        let faulty = FaultyLink::new(
+            BrokerLink::new(&*broker, session.exchange()),
+            FaultPlan::new(7_000 + device, spec),
+        );
+        let client = GoFlowClient::new(session.exchange(), key.clone(), AppVersion::V1_2_9)
+            .with_retry_policy(
+                RetryPolicy {
+                    max_attempts: 20,
+                    ..RetryPolicy::default()
+                },
+                *device,
+            );
+        rigs.push((*device, faulty, client));
+    }
+
+    // The run: every device records one observation per minute, and the
+    // server drains the queue in capped batches every 25 minutes — the
+    // batched-ingest path operating *during* the fault storm, not after.
+    let mut expected: Vec<TraceId> = Vec::new();
+    let mut mid_run_stored = 0usize;
+    let mut mid_run_quarantined = 0usize;
+    for i in 0..CYCLES {
+        let now = SimTime::EPOCH + SimDuration::from_mins(i);
+        for (device, faulty, client) in &mut rigs {
+            let obs = observation(*device, i);
+            expected.push(TraceId::for_observation(
+                *device,
+                obs.captured_at.as_millis(),
+            ));
+            client.record(obs);
+            faulty.advance_to(now).unwrap();
+            client.on_cycle_at(&faulty.at(now), true, now);
+        }
+        if i % 25 == 24 {
+            let outcome = server.ingest_pending(&app, now, 64).unwrap();
+            assert_eq!(outcome.requeued, 0);
+            mid_run_stored += outcome.stored;
+            mid_run_quarantined += outcome.quarantined;
+        }
+    }
+    assert!(
+        mid_run_stored > 0,
+        "mid-run batched drains must make progress"
+    );
+    assert_eq!(mid_run_quarantined, 0);
+
+    // Quiesce every device: flush the clients, drain the delay lines.
+    let end = SimTime::EPOCH + SimDuration::from_mins(CYCLES);
+    let mut sent = 0u64;
+    let mut dropped = 0u64;
+    let mut duplicated = 0u64;
+    for (_, faulty, client) in &mut rigs {
+        client.flush_at(&faulty.at(end), end);
+        faulty.drain_pending().unwrap();
+        assert_eq!(client.pending(), 0);
+        assert_eq!(client.queued_retries(), 0);
+        assert_eq!(client.shed_total(), 0);
+        assert_eq!(faulty.pending(), 0);
+        let stats = faulty.stats();
+        assert!(stats.delayed > 0, "every plan should have injected delays");
+        sent += client.total_sent();
+        dropped += stats.dropped;
+        duplicated += stats.duplicated;
+    }
+    assert_eq!(sent, DEVICES * CYCLES as u64);
+    assert!(dropped > 0 && duplicated > 0);
+
+    // A crash-looping consumer dead-letters the two oldest survivors —
+    // their (sharded) delivery tags must route the nacks back correctly.
+    let gf_queue = "gf-SC-queue";
+    const DEAD_LETTERED: u64 = 2;
+    for _ in 0..5 {
+        for delivery in broker.consume(gf_queue, DEAD_LETTERED as usize).unwrap() {
+            broker.nack(gf_queue, delivery.tag, true).unwrap();
+        }
+    }
+    let dlq = server.dead_letter_queue(&app);
+    assert_eq!(broker.queue_depth(&dlq).unwrap() as u64, DEAD_LETTERED);
+
+    // Malformed probes outside the fault layer: one per device key, so
+    // quarantine fires on several shards.
+    let malformed = sessions.len() as u64;
+    for (_, session, _, key) in &sessions {
+        broker
+            .publish(session.exchange(), key, &b"corrupted upload"[..])
+            .unwrap();
+    }
+
+    // Final drain, still in capped batches.
+    let mut stored = mid_run_stored as u64;
+    let mut quarantined = 0u64;
+    loop {
+        let outcome = server.ingest_pending(&app, end, 64).unwrap();
+        assert_eq!(outcome.requeued, 0);
+        stored += outcome.stored as u64;
+        quarantined += outcome.quarantined as u64;
+        if outcome.stored + outcome.malformed + outcome.quarantined == 0 {
+            break;
+        }
+    }
+    assert_eq!(broker.queue_depth(gf_queue).unwrap(), 0);
+    assert_eq!(quarantined, malformed);
+    assert_eq!(server.quarantine(&app).unwrap().len() as u64, malformed);
+
+    // --- The zero-silent-loss ledger, sharded edition ------------------
+    // stored + quarantined + dead-lettered + injected drops
+    //   == sent + duplicates + malformed probes.
+    assert!(stored > 0);
+    assert_eq!(
+        stored + quarantined + DEAD_LETTERED + dropped,
+        sent + duplicated + malformed
+    );
+
+    // The logical queue depth seen through the transport is the sum of
+    // the per-shard depths (all zero now), and the batched-ingest and
+    // sharded-publish counters both moved.
+    let per_shard_total: usize = broker
+        .shards()
+        .iter()
+        .map(|s| s.queue_depth(gf_queue).unwrap())
+        .sum();
+    assert_eq!(per_shard_total, 0);
+    let registry = Registry::global();
+    for counter in [
+        "broker_sharded_publishes_total",
+        "goflow_ingest_batches_total",
+        "faults_injected_drops_total",
+        "broker_core_dead_lettered_total",
+        "goflow_ingest_quarantined_total",
+    ] {
+        assert!(
+            registry.counter_value(counter).unwrap_or(0) > 0,
+            "counter {counter} should be non-zero after the run"
+        );
+    }
+
+    // --- one primary terminal per observation trace --------------------
+    assert_eq!(recorder.dropped(), 0, "ring must retain the whole run");
+    let spans = recorder.snapshot();
+    let index = TraceIndex::from_spans(spans);
+    assert!(
+        index.unterminated().is_empty(),
+        "every trace must reach a terminal outcome"
+    );
+    for trace in &expected {
+        let tree = index.get(*trace).expect("observation trace retained");
+        let primaries = tree.terminals().filter(|s| !s.duplicate).count();
+        assert_eq!(primaries, 1, "trace {trace} must terminate exactly once");
+    }
+}
